@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples scorecard clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro run all
+
+scorecard:
+	$(PYTHON) -m repro run scorecard
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/carrier_provisioning.py
+	$(PYTHON) examples/model_validation.py
+	$(PYTHON) examples/online_caching.py
+	$(PYTHON) examples/ccn_data_plane.py
+	$(PYTHON) examples/adaptive_provisioning.py
+	$(PYTHON) examples/heterogeneous_provisioning.py
+	$(PYTHON) examples/custom_topology.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table or figure, times it via
+pytest-benchmark, prints the rendered rows/series, and writes them to
+``benchmarks/results/<id>.txt`` so runs can be diffed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    """Directory collecting the rendered tables/figures of this run."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(artifact_dir):
+    """Write one experiment's rendered output to disk and stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

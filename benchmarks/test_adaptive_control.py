@@ -1,0 +1,85 @@
+"""Extension benchmark: online self-adaptive coordination (§VII).
+
+The paper names "online self-adaptive algorithms to adjust the
+coordination level" as future work.  This benchmark runs the two
+controllers of :mod:`repro.adaptive` against drifting Zipf traffic on a
+ring topology and reports tracking error, regret and placement churn
+versus a clairvoyant oracle.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive import (
+    AdaptiveSimulation,
+    DriftingPopularity,
+    GradientController,
+    ModelBasedController,
+    linear_drift,
+)
+from repro.core import Scenario
+from repro.topology import ring_topology
+
+N_ROUTERS = 8
+CATALOG = 4_000
+EPOCHS = 12
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        alpha=0.7, n_routers=N_ROUTERS, capacity=40.0, catalog_size=CATALOG
+    )
+
+
+def _run(controller) -> "AdaptationTrace":
+    simulation = AdaptiveSimulation(
+        ring_topology(N_ROUTERS),
+        _scenario(),
+        DriftingPopularity(linear_drift(0.6, 1.3, EPOCHS), CATALOG),
+        controller,
+        requests_per_epoch=1_500,
+        seed=4,
+    )
+    return simulation.run(EPOCHS)
+
+
+def test_model_based_adaptation(benchmark, record_artifact):
+    trace = benchmark.pedantic(
+        lambda: _run(ModelBasedController(_scenario(), memory=0.3)),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Model-based adaptation under linear drift s: 0.6 -> 1.3"]
+    lines.append(f"{'epoch':>5}  {'s_true':>7}  {'deployed':>9}  {'oracle':>7}  {'regret':>8}")
+    for r in trace.records:
+        lines.append(
+            f"{r.epoch:>5}  {r.true_exponent:>7.3f}  {r.deployed_level:>9.4f}  "
+            f"{r.oracle_level:>7.4f}  {r.regret:>8.4f}"
+        )
+    lines.append(
+        f"tail tracking error: {trace.tracking_error(tail=6):.4f}; "
+        f"total churn: {trace.total_churn()}"
+    )
+    record_artifact("adaptive_model_based", "\n".join(lines))
+    assert trace.tracking_error(tail=6) < 0.1
+
+
+def test_gradient_adaptation(benchmark, record_artifact):
+    trace = benchmark.pedantic(
+        lambda: _run(
+            GradientController(initial_level=0.2, step_gain=0.5, probe_gain=0.15)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(
+        "adaptive_gradient",
+        "Gradient (Kiefer-Wolfowitz) adaptation under the same drift\n"
+        f"start gap: {abs(trace.records[0].deployed_level - trace.records[0].oracle_level):.4f}\n"
+        f"tail tracking error: {trace.tracking_error(tail=4):.4f}\n"
+        f"total churn: {trace.total_churn()}",
+    )
+    # Model-free control is slower; require clear movement toward the oracle.
+    start_gap = abs(
+        trace.records[0].deployed_level - trace.records[0].oracle_level
+    )
+    assert trace.tracking_error(tail=4) < start_gap

@@ -1,0 +1,28 @@
+"""Ablation benchmark: coordinated-rank assignment disciplines.
+
+The model is agnostic to how coordinated ranks map onto routers; the
+routers are not.  Round-robin interleaving balances the peer-service
+load; contiguous blocks concentrate the popular coordinated head on
+one router — same aggregate performance, very different hot spots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import assignment_balance
+from repro.analysis.tables import render_table
+
+
+def test_assignment_balance(benchmark, record_artifact):
+    table = benchmark.pedantic(
+        assignment_balance, kwargs={"requests": 10_000}, rounds=1, iterations=1
+    )
+    record_artifact("assignment_balance", render_table(table))
+    by_assignment = {row[0]: row for row in table.rows}
+    round_robin = by_assignment["round-robin"]
+    contiguous = by_assignment["contiguous"]
+    # Aggregate performance identical (the model's agnosticism)...
+    assert round_robin[1] == pytest.approx(contiguous[1], abs=0.01)
+    # ...but the load distribution differs drastically.
+    assert contiguous[5] > 3 * round_robin[5]

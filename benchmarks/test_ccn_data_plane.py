@@ -1,0 +1,105 @@
+"""Validation benchmark: the packet-level CCN data plane.
+
+Cross-checks all three levels of the reproduction on the US-A topology
+at one coordination level: the analytical model's origin load, the
+flow-level nearest-replica simulator, and the packet-level CCN network
+with custodian FIB routes.  Also compares the classic en-route caching
+strategies under dynamic (LRU) stores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.ccn import CCNNetwork, NoCache, make_enroute_strategy
+from repro.core import (
+    LatencyModel,
+    ProvisioningStrategy,
+    RoutingPerformanceModel,
+    ZipfPopularity,
+)
+from repro.simulation import SteadyStateSimulator
+from repro.topology import load_topology
+
+CAPACITY = 50
+CATALOG = 5_000
+EXPONENT = 0.8
+REQUESTS = 5_000
+
+
+def test_three_level_agreement(benchmark, record_artifact):
+    topology = load_topology("us-a")
+    level = 0.5
+    strategy = ProvisioningStrategy(
+        capacity=CAPACITY, n_routers=topology.n_routers, level=level
+    )
+    workload = IRMWorkload(ZipfModel(EXPONENT, CATALOG), topology.nodes, seed=3)
+
+    perf = RoutingPerformanceModel(
+        popularity=ZipfPopularity(EXPONENT, CATALOG),
+        latency=LatencyModel(1.0, 2.0, 3.0),
+        capacity=float(CAPACITY),
+        n_routers=topology.n_routers,
+    )
+    analytical = float(perf.origin_load(strategy.coordinated_slots, exact=True))
+
+    flow = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    ).run(workload, REQUESTS)
+
+    def packet_level():
+        net = CCNNetwork(
+            topology, origin_gateway=topology.nodes[0], enroute=NoCache()
+        )
+        net.install_strategy(strategy)
+        return net.run_workload(workload, REQUESTS, interarrival_ms=1_000.0)
+
+    packet = benchmark.pedantic(packet_level, rounds=1, iterations=1)
+
+    record_artifact(
+        "ccn_three_level",
+        "Origin load at level 0.5 across abstraction levels (US-A)\n"
+        f"analytical model:        {analytical:.4f}\n"
+        f"flow-level simulator:    {flow.origin_load:.4f}\n"
+        f"packet-level CCN plane:  {packet.origin_load:.4f}\n"
+        f"CCN mean interest hops:  {packet.mean_interest_hops:.4f}\n"
+        f"CCN directive messages:  {packet.requests_completed and ''}"
+        f"{packet.pit_aggregations} PIT aggregations",
+    )
+    assert flow.origin_load == pytest.approx(analytical, abs=0.02)
+    assert packet.origin_load == pytest.approx(analytical, abs=0.03)
+    assert packet.requests_completed == REQUESTS
+
+
+def test_enroute_strategy_comparison(benchmark, record_artifact):
+    """LCE / LCD / prob(0.5) / edge under dynamic LRU stores."""
+    topology = load_topology("geant")
+    workload = IRMWorkload(ZipfModel(1.0, 2_000), topology.nodes, seed=9)
+
+    def run(strategy_name: str):
+        net = CCNNetwork(
+            topology,
+            origin_gateway=topology.nodes[0],
+            enroute=make_enroute_strategy(strategy_name, probability=0.5, seed=1),
+            default_capacity=30,
+        )
+        return net.run_workload(workload, 4_000, interarrival_ms=2.0)
+
+    results = {name: run(name) for name in ("lce", "lcd", "prob", "edge")}
+    benchmark.pedantic(lambda: run("lce"), rounds=1, iterations=1)
+
+    lines = [
+        "En-route caching strategies, dynamic LRU stores (GEANT, c=30, "
+        "Zipf 1.0, 4k requests)",
+        f"{'strategy':>9}  {'origin load':>11}  {'cs hits':>8}  {'mean hops':>9}",
+    ]
+    for name, metrics in results.items():
+        lines.append(
+            f"{name:>9}  {metrics.origin_load:>11.4f}  {metrics.cs_hits:>8}  "
+            f"{metrics.mean_interest_hops:>9.4f}"
+        )
+        assert metrics.requests_completed == 4_000
+    record_artifact("ccn_enroute", "\n".join(lines))
+    # Any caching beats the empty network; LCE caches most aggressively.
+    assert results["lce"].origin_load < 1.0

@@ -1,0 +1,24 @@
+"""Benchmark: coordination round latency vs w (§V-A's rationale).
+
+The paper sets the unit coordination cost to the maximum pairwise
+latency because parallel fan-out is gated by the slowest path.  This
+bench measures the distributed protocol's actual round latency on all
+four topologies and verifies it is a small multiple of w.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import coordination_convergence
+from repro.analysis.tables import render_table
+
+
+def test_convergence_vs_w(benchmark, record_artifact):
+    table = benchmark(coordination_convergence)
+    record_artifact("convergence", render_table(table))
+    for row in table.rows:
+        _, w, convergecast, dissemination, round_ms, ratio = row
+        # One convergecast + one dissemination sweep, each gated by the
+        # deepest root-path (<= w): the round fits within 2w.
+        assert round_ms <= 2.0 * w + 1e-9
+        assert ratio <= 2.0
+        assert convergecast > 0 and dissemination > 0

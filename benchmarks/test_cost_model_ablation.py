@@ -1,0 +1,52 @@
+"""Ablation benchmark: linear vs piece-wise linear coordination cost.
+
+The paper adopts a linear communication-cost model (eq. 3), citing
+ISPs' piece-wise linear cost practice.  This ablation quantifies how
+much the linearity assumption matters: we minimize the objective under
+a convex piece-wise linear cost with the same average slope and compare
+the resulting optimal level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PerformanceCostModel, Scenario
+from repro.core.cost import PiecewiseLinearCostModel
+
+
+def _piecewise_objective_minimum(scenario: Scenario) -> float:
+    """Grid-minimize alpha*T + (1-alpha)*W_pw for a 3-segment cost."""
+    perf = scenario.performance_model()
+    unit = scenario.unit_cost * scenario.cost_scale
+    cost = PiecewiseLinearCostModel(
+        breakpoints=[scenario.capacity / 3, 2 * scenario.capacity / 3],
+        slopes=[0.5 * unit, 1.0 * unit, 1.5 * unit],
+    )
+    xs = np.linspace(0.0, scenario.capacity, 4001)
+    t = np.asarray(perf.mean_latency(xs))
+    w = np.asarray(cost.cost(xs, scenario.n_routers))
+    objective = scenario.alpha * t + (1 - scenario.alpha) * w
+    return float(xs[int(np.argmin(objective))] / scenario.capacity)
+
+
+def test_piecewise_vs_linear(benchmark, record_artifact):
+    scenario = Scenario(alpha=0.5)
+    linear_level = scenario.solve().level
+    piecewise_level = benchmark(lambda: _piecewise_objective_minimum(scenario))
+    record_artifact(
+        "cost_model_ablation",
+        "Cost-model ablation (alpha=0.5, Table IV base point)\n"
+        f"linear cost optimal level:          {linear_level:.4f}\n"
+        f"piece-wise linear optimal level:    {piecewise_level:.4f}\n"
+        f"difference:                         {abs(linear_level - piecewise_level):.4f}",
+    )
+    # Same average slope -> the optimum moves, but stays in a sane band.
+    assert 0.0 <= piecewise_level <= 1.0
+    # The linear optimum (~0.73) falls in the steep third segment
+    # (slope 1.5w), so the piece-wise optimum retreats and pins at the
+    # 2/3 capacity breakpoint — the classic kink-capture of convex
+    # piece-wise costs.  It must sit between the second breakpoint and
+    # the linear optimum.
+    assert 2 / 3 - 0.01 <= piecewise_level <= linear_level + 0.01

@@ -1,0 +1,86 @@
+"""Ablation benchmark: sensitivity to the cost-normalization choice.
+
+EXPERIMENTS.md note C documents that the paper's figures require an
+unstated normalization of the cost term; this reproduction normalizes
+by ``W(c)`` at the Table IV base point.  This bench demonstrates that
+the *qualitative* reproduction does not hinge on that exact constant:
+every Figure-4 shape claim (monotonicity in α, γ-dominance, the 0→~1
+swing) holds across a 16x range of normalization scales — only the
+*location* of the α-sensitive range shifts (monotonically), exactly as
+the theory predicts (rescaling cost is equivalent to reweighting α).
+
+The literal, unnormalized scale (≈ 5.3×10⁵ × the balanced one) is also
+checked: there the trade-off degenerates (ℓ* = 0 until α ≈ 1), which is
+why the normalization is necessary at all.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sensitivity import sensitive_range
+from repro.core import Scenario
+from repro.core.scenario import BALANCED_COST_SCALE
+
+ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+GAMMAS = (2.0, 10.0)
+MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def _levels(scale_multiplier: float, gamma: float):
+    scenario = Scenario(gamma=gamma, cost_scale=BALANCED_COST_SCALE * scale_multiplier)
+    return [
+        scenario.replace(alpha=a).solve(check_conditions=False).level
+        for a in ALPHAS
+    ]
+
+
+def test_shape_invariant_to_normalization(benchmark, record_artifact):
+    results = {
+        (m, g): _levels(m, g) for m in MULTIPLIERS for g in GAMMAS
+    }
+    benchmark.pedantic(lambda: _levels(1.0, 2.0), rounds=1, iterations=1)
+
+    lines = [
+        "Figure-4 shape claims across cost-normalization scales "
+        "(multiplier x BALANCED_COST_SCALE)",
+        f"{'mult':>5}  {'gamma':>5}  " + "  ".join(f"a={a:g}" for a in ALPHAS),
+    ]
+    for (m, g), levels in sorted(results.items()):
+        lines.append(
+            f"{m:>5.2f}  {g:>5.0f}  " + "  ".join(f"{l:5.3f}" for l in levels)
+        )
+        # Claim 1: monotone in alpha at every scale.
+        assert levels == sorted(levels), (m, g)
+        # Claim 2: a real swing exists and tops out at the alpha=1
+        # optimum.  (At small multipliers the sensitive range sits
+        # below alpha=0.1 — cheaper coordination starts higher — so
+        # the near-zero start is only required at scale >= 1.)
+        assert levels[0] <= levels[-1] - 0.05
+        assert levels[-1] > 0.8
+        if m >= 1.0:
+            assert levels[0] < 0.45
+    # Claim 3: gamma-dominance at every scale and alpha.
+    for m in MULTIPLIERS:
+        for i in range(len(ALPHAS)):
+            assert results[(m, 10.0)][i] >= results[(m, 2.0)][i] - 1e-9
+    # The sensitive range moves right as cost weighs more, monotonically.
+    range_lows = [
+        sensitive_range(
+            Scenario(gamma=5.0, cost_scale=BALANCED_COST_SCALE * m),
+            grid_size=81,
+        ).alpha_low
+        for m in MULTIPLIERS
+    ]
+    assert range_lows == sorted(range_lows)
+    lines.append(
+        "sensitive-range alpha_low per multiplier: "
+        + ", ".join(f"{m:g}x: {lo:.3f}" for m, lo in zip(MULTIPLIERS, range_lows))
+    )
+
+    # The literal (unnormalized) model degenerates — the reason note C exists.
+    literal = Scenario(alpha=0.99, cost_scale=1.0).solve(check_conditions=False)
+    lines.append(
+        f"literal cost scale (1.0): l*(alpha=0.99) = {literal.level:.6f} "
+        "(degenerate; no usable trade-off)"
+    )
+    assert literal.level < 1e-6
+    record_artifact("cost_scale_ablation", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""Ablation benchmark: the coordination/redundancy trade-off.
+
+Coordination stores each rank once — higher coverage, zero redundancy.
+This bench fails one custodian store at a sweep of coordination levels
+and reports the origin-load damage, verified against the analytical
+prediction (the failed router's coordinated request mass).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.core import ProvisioningStrategy
+from repro.simulation import SteadyStateSimulator
+from repro.simulation.failures import (
+    build_degraded_simulator,
+    coordinated_mass_lost,
+)
+from repro.topology import load_topology
+
+CAPACITY = 50
+CATALOG = 5_000
+EXPONENT = 0.8
+REQUESTS = 20_000
+
+
+def test_failure_damage_vs_level(benchmark, record_artifact):
+    topology = load_topology("us-a")
+    popularity = ZipfModel(EXPONENT, CATALOG)
+    workload = IRMWorkload(popularity, topology.nodes, seed=31)
+
+    def run_level(level: float):
+        strategy = ProvisioningStrategy(
+            capacity=CAPACITY, n_routers=topology.n_routers, level=level
+        )
+        healthy = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        ).run(workload, REQUESTS)
+        degraded = build_degraded_simulator(topology, strategy, [0]).run(
+            workload, REQUESTS
+        )
+        predicted = coordinated_mass_lost(strategy, popularity, [0])
+        return healthy.origin_load, degraded.origin_load, predicted
+
+    levels = (0.0, 0.25, 0.5, 1.0)
+    results = {level: run_level(level) for level in levels}
+    benchmark.pedantic(lambda: run_level(0.5), rounds=1, iterations=1)
+
+    lines = [
+        "One failed custodian store: origin-load damage vs coordination "
+        "level (US-A, c=50)",
+        f"{'level':>6}  {'healthy':>8}  {'degraded':>9}  {'damage':>7}  "
+        f"{'predicted':>9}",
+    ]
+    previous_damage = -1.0
+    for level in levels:
+        healthy, degraded, predicted = results[level]
+        damage = degraded - healthy
+        lines.append(
+            f"{level:>6.2f}  {healthy:>8.4f}  {degraded:>9.4f}  "
+            f"{damage:>7.4f}  {predicted:>9.4f}"
+        )
+        assert damage == pytest.approx(predicted, abs=0.01)
+        # More coordination -> more mass at risk per custodian.
+        assert predicted >= previous_damage - 0.01
+        previous_damage = predicted
+    record_artifact("failure_injection", "\n".join(lines))

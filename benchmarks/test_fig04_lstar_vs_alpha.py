@@ -1,0 +1,26 @@
+"""Benchmark + reproduction of Figure 4: ℓ* vs α, one curve per γ.
+
+Paper shape claims verified here:
+- ℓ* increases monotonically from ~0 to ~1 as α grows;
+- for the same α, a higher γ gives a higher coordination level;
+- the α-sensitive range shifts with γ.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import figure4_level_vs_alpha
+from repro.analysis.tables import render_figure
+
+
+def test_figure4(benchmark, record_artifact):
+    fig = benchmark(figure4_level_vs_alpha)
+    record_artifact("figure4", render_figure(fig))
+    for series in fig.series:
+        assert series.is_monotone_increasing(tolerance=1e-6)
+    # Gamma-dominance at every grid alpha.
+    for i in range(len(fig.series[0].x)):
+        levels = [s.y[i] for s in fig.series]
+        assert levels == sorted(levels)
+    # Full range: ~0 at small alpha (low gamma), ~1 at alpha=1 (high gamma).
+    assert fig.series[0].y[0] < 0.05
+    assert fig.series[-1].y[-1] > 0.9

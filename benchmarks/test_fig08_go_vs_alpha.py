@@ -1,0 +1,20 @@
+"""Benchmark + reproduction of Figure 8: origin load reduction G_O vs α.
+
+Paper shape claims: G_O increases with α (a higher ℓ* stores more) and
+a higher γ raises the whole curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import figure8_origin_gain_vs_alpha
+from repro.analysis.tables import render_figure
+
+
+def test_figure8(benchmark, record_artifact):
+    fig = benchmark(figure8_origin_gain_vs_alpha)
+    record_artifact("figure8", render_figure(fig))
+    for series in fig.series:
+        assert series.is_monotone_increasing(tolerance=1e-6)
+    for i in range(len(fig.series[0].x)):
+        gains = [s.y[i] for s in fig.series]
+        assert gains == sorted(gains)

@@ -1,0 +1,24 @@
+"""Benchmark + reproduction of Figure 9: origin load reduction G_O vs s.
+
+Paper shape claims: for relatively small α the maximum G_O sits above
+s = 1 (the paper reports ~1.3); s = 1 itself is excluded (singular).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure9_origin_gain_vs_exponent
+from repro.analysis.tables import render_figure
+
+
+def test_figure9(benchmark, record_artifact):
+    fig = benchmark(figure9_origin_gain_vs_exponent)
+    record_artifact("figure9", render_figure(fig))
+    for label in ("alpha=0.4", "alpha=0.6"):
+        series = fig.series_by_label(label)
+        peak_s = series.x[int(np.argmax(series.y))]
+        assert peak_s > 1.0, f"{label} peaks at {peak_s}"
+    # Gains stay in [0, 1] across the sweep.
+    for series in fig.series:
+        assert all(0.0 <= y <= 1.0 for y in series.y)

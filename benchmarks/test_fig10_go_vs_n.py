@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Figure 10: origin load reduction G_O vs n.
+
+Paper shape claims: for small α the gain is roughly flat in n; for
+α → 1 the gain grows with network size; higher α means higher gain.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import figure10_origin_gain_vs_routers
+from repro.analysis.tables import render_figure
+
+
+def test_figure10(benchmark, record_artifact):
+    fig = benchmark(figure10_origin_gain_vs_routers)
+    record_artifact("figure10", render_figure(fig))
+    flat = fig.series_by_label("alpha=0.4")
+    assert max(flat.y) - min(flat.y) < 0.2  # roughly constant
+    growing = fig.series_by_label("alpha=1")
+    assert growing.y[-1] > growing.y[0]  # network size effect emerges
+    for i in range(len(fig.series[0].x)):
+        gains = [s.y[i] for s in fig.series]
+        assert gains == sorted(gains)

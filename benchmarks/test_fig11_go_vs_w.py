@@ -1,0 +1,20 @@
+"""Benchmark + reproduction of Figure 11: origin load reduction G_O vs w.
+
+Paper shape claims: for small α (< 0.4) the gain decreases rapidly as
+the unit coordination cost grows; for large α it is almost invariant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import figure11_origin_gain_vs_unit_cost
+from repro.analysis.tables import render_figure
+
+
+def test_figure11(benchmark, record_artifact):
+    fig = benchmark(figure11_origin_gain_vs_unit_cost)
+    record_artifact("figure11", render_figure(fig))
+    small = fig.series_by_label("alpha=0.2")
+    assert small.is_monotone_decreasing(tolerance=1e-6)
+    assert small.y[0] > 2 * small.y[-1] + 1e-12
+    large = fig.series_by_label("alpha=1")
+    assert max(large.y) - min(large.y) < 1e-9

@@ -1,0 +1,23 @@
+"""Benchmark + reproduction of Figure 13: routing improvement G_R vs s.
+
+Paper shape claims: G_R is small when s is far from 1 (towards 0 or 2)
+and largest for s close to 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import figure13_routing_gain_vs_exponent
+from repro.analysis.tables import render_figure
+
+
+def test_figure13(benchmark, record_artifact):
+    fig = benchmark(figure13_routing_gain_vs_exponent)
+    record_artifact("figure13", render_figure(fig))
+    for label in ("alpha=0.8", "alpha=1"):
+        series = fig.series_by_label(label)
+        peak_s = series.x[int(np.argmax(series.y))]
+        assert 0.6 <= peak_s <= 1.4, f"{label} peaks at {peak_s}"
+        assert series.y[0] < max(series.y)
+        assert series.y[-1] < max(series.y)

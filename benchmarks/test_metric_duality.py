@@ -1,0 +1,25 @@
+"""Benchmark: hop-count vs millisecond distance metric (§V-A).
+
+The paper evaluated both metrics and "observed similar results"; this
+bench quantifies the similarity on all four reconstructed topologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import metric_duality
+from repro.analysis.tables import render_table
+
+
+def test_metric_duality(benchmark, record_artifact):
+    table = benchmark(metric_duality)
+    record_artifact("metric_duality", render_table(table))
+    diffs = table.column("|diff|")
+    # Dual metrics agree within ~0.1 level everywhere, exactly at the
+    # reference topology and at alpha = 1 (scale-free regime).
+    assert max(diffs) < 0.12
+    for row in table.rows:
+        topology, alpha, _, _, diff = row
+        if alpha == 1.0:
+            assert diff == pytest.approx(0.0, abs=1e-9), topology

@@ -1,0 +1,30 @@
+"""Benchmark: analytical model versus the event-level simulator.
+
+The paper's evaluation is purely numerical; this reproduction also
+builds the request-level simulator the model abstracts.  Here we verify
+the model's origin-load prediction against simulation on the US-A
+topology across coordination levels — the agreement is the strongest
+internal check the reproduction has.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import model_vs_simulation
+from repro.analysis.tables import render_table
+
+
+def test_model_vs_simulation(benchmark, record_artifact):
+    table = benchmark.pedantic(
+        model_vs_simulation, kwargs={"requests": 30_000}, rounds=1, iterations=1
+    )
+    record_artifact("model_vs_simulation", render_table(table))
+    for row in table.rows:
+        level, model_origin, sim_origin = row[0], row[1], row[2]
+        assert sim_origin == pytest.approx(model_origin, abs=0.02), level
+    # Monotone: more coordination, less origin load — in both worlds.
+    model_col = [row[1] for row in table.rows]
+    sim_col = [row[2] for row in table.rows]
+    assert model_col == sorted(model_col, reverse=True)
+    assert sim_col == sorted(sim_col, reverse=True)

@@ -1,0 +1,29 @@
+"""Benchmark: the performance/cost Pareto frontier and its knee.
+
+The α sweep of eq. 4 traces the bi-objective frontier; the knee is the
+operating point capturing most of the latency gain at a fraction of
+the coordination budget — the recommendation a carrier without a
+preferred α would take.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import pareto_tradeoff
+from repro.analysis.tables import render_table
+
+
+def test_pareto_frontier(benchmark, record_artifact):
+    table = benchmark(pareto_tradeoff)
+    record_artifact("pareto", render_table(table))
+    latencies = table.column("T(x*)")
+    costs = table.column("W(x*)")
+    assert all(b <= a + 1e-9 for a, b in zip(latencies, latencies[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+    knee_rows = [row for row in table.rows if row[-1]]
+    assert len(knee_rows) == 1
+    knee = knee_rows[0]
+    # The knee is interior and captures most of the achievable gain.
+    assert 0.0 < knee[0] < 1.0
+    total_gain = latencies[0] - latencies[-1]
+    knee_gain = latencies[0] - knee[2]
+    assert knee_gain >= 0.5 * total_gain

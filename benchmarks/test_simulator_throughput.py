@@ -1,0 +1,37 @@
+"""Performance benchmark: simulator request throughput.
+
+Not a paper artifact — this guards the simulator's performance so the
+model-validation experiments stay fast as the library evolves.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.core import ProvisioningStrategy
+from repro.simulation import DynamicSimulator, SteadyStateSimulator
+from repro.topology import load_topology
+
+
+def test_steady_state_throughput(benchmark):
+    topology = load_topology("us-a")
+    strategy = ProvisioningStrategy(
+        capacity=100, n_routers=topology.n_routers, level=0.5
+    )
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+    workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=0)
+
+    metrics = benchmark(lambda: simulator.run(workload, 10_000))
+    assert metrics.requests == 10_000
+
+
+def test_dynamic_lru_throughput(benchmark):
+    topology = load_topology("us-a")
+    simulator = DynamicSimulator(
+        topology, capacity=100, policy="lru", coordination_level=0.5, seed=0
+    )
+    workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=1)
+
+    metrics = benchmark(lambda: simulator.run(workload, 5_000))
+    assert metrics.requests == 5_000

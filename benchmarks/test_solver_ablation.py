@@ -1,0 +1,54 @@
+"""Ablation benchmark: the four solvers against each other.
+
+DESIGN.md calls out three independent solution paths (Lemma 2 fixed
+point, exact first-order bisection, direct convex minimization) plus
+the brute-force grid baseline.  This bench times each on the Table IV
+base point and verifies they agree on the solution, quantifying the
+approximation error Lemma 2's ``n-1 ≈ n`` simplifications introduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import grid_search_strategy
+from repro.core import Scenario, optimal_strategy
+
+SCENARIO = Scenario(alpha=0.7)
+
+
+@pytest.mark.parametrize("method", ["first-order", "lemma2", "scalar-min"])
+def test_solver_timing(benchmark, method):
+    strategy = benchmark(
+        lambda: optimal_strategy(SCENARIO.model(), method=method)
+    )
+    assert 0.0 <= strategy.level <= 1.0
+
+
+def test_grid_search_timing(benchmark):
+    strategy = benchmark(lambda: grid_search_strategy(SCENARIO.model()))
+    assert 0.0 <= strategy.level <= 1.0
+
+
+def test_solver_agreement(benchmark, record_artifact):
+    model = SCENARIO.model()
+    exact = benchmark(lambda: optimal_strategy(model, method="first-order"))
+    rows = [f"{'solver':>12}  {'level':>10}  {'objective':>12}  {'vs exact':>10}"]
+    for method in ("first-order", "lemma2", "scalar-min"):
+        strategy = optimal_strategy(model, method=method)
+        rows.append(
+            f"{method:>12}  {strategy.level:>10.6f}  "
+            f"{strategy.objective_value:>12.6f}  "
+            f"{abs(strategy.level - exact.level):>10.6f}"
+        )
+        if method != "lemma2":
+            assert strategy.level == pytest.approx(exact.level, abs=1e-4)
+        else:
+            assert strategy.level == pytest.approx(exact.level, abs=0.1)
+    brute = grid_search_strategy(model)
+    rows.append(
+        f"{'grid':>12}  {brute.level:>10.6f}  {brute.objective_value:>12.6f}  "
+        f"{abs(brute.level - exact.level):>10.6f}"
+    )
+    assert brute.level == pytest.approx(exact.level, abs=1e-3)
+    record_artifact("solver_ablation", "\n".join(rows))

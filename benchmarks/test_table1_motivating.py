@@ -1,0 +1,24 @@
+"""Benchmark + reproduction of Table I (the motivating example, §II).
+
+Paper values: origin load 33% vs 0%, hop count ~0.67 vs 0.5,
+coordination cost 0 vs 1 message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import table1_motivating
+from repro.analysis.tables import render_table
+
+
+def test_table1(benchmark, record_artifact):
+    table = benchmark(table1_motivating)
+    record_artifact("table1", render_table(table))
+    non_coord = table.column("Non-coordinated caching")
+    coord = table.column("Coordinated caching")
+    assert non_coord[0] == pytest.approx(1 / 3)
+    assert coord[0] == 0.0
+    assert non_coord[1] == pytest.approx(2 / 3)
+    assert coord[1] == pytest.approx(0.5)
+    assert (non_coord[2], coord[2]) == (0, 1)

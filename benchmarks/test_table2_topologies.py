@@ -1,0 +1,24 @@
+"""Benchmark + reproduction of Table II (topology statistics, §V-A)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import table2_topologies
+from repro.analysis.tables import render_table
+from repro.topology import datasets
+
+
+def _rebuild_table2():
+    """Rebuild from scratch (cache cleared) so the benchmark measures
+    the full topology construction + calibration pipeline."""
+    datasets.load_abilene.cache_clear()
+    datasets.load_cernet.cache_clear()
+    datasets.load_geant.cache_clear()
+    datasets.load_us_a.cache_clear()
+    return table2_topologies()
+
+
+def test_table2(benchmark, record_artifact):
+    table = benchmark(_rebuild_table2)
+    record_artifact("table2", render_table(table))
+    assert table.column("|V|") == (11, 36, 23, 20)
+    assert table.column("|E|") == (28, 112, 74, 80)

@@ -1,0 +1,23 @@
+"""Benchmark + reproduction of Table III (derived parameters, §V-A).
+
+All five columns (n, w, d1-d0 in ms and hops) must match the paper's
+published values; the hop means are exact rationals (e.g. Abilene's
+2.4182 = 266/110) and reproduce to full precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import table3_parameters
+from repro.analysis.tables import render_table
+
+
+def test_table3(benchmark, record_artifact):
+    table = benchmark(table3_parameters)
+    record_artifact("table3", render_table(table))
+    for row in table.rows:
+        _, _, w, ms, hops, paper_w, paper_ms, paper_hops = row
+        assert w == pytest.approx(paper_w, abs=1e-3)
+        assert ms == pytest.approx(paper_ms, abs=1e-3)
+        assert hops == pytest.approx(paper_hops, abs=1e-3)

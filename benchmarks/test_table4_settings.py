@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of Table IV (evaluation parameter grid)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import table4_settings
+from repro.analysis.tables import render_table
+
+
+def test_table4(benchmark, record_artifact):
+    table = benchmark(table4_settings)
+    record_artifact("table4", render_table(table))
+    assert len(table.rows) == 4
+    # The base point parameters appear verbatim.
+    flat = [cell for row in table.rows for cell in row]
+    assert "26.7" in flat
+    assert "2.2842" in flat

@@ -1,0 +1,54 @@
+"""Benchmark + verification of Theorem 2's asymptotics and accuracy.
+
+Two checks: (a) the closed form's opposite n→∞ limits for s < 1
+(ℓ* → 1) and s > 1 (ℓ* → 0); (b) its agreement with the exact
+first-order optimum, which must tighten as n grows (the n-1 ≈ n
+approximation vanishing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import theorem2_closed_form_vs_n
+from repro.analysis.tables import render_figure
+from repro.core import Scenario, closed_form_alpha1, optimal_strategy
+
+
+def test_theorem2_asymptotics(benchmark, record_artifact):
+    fig = benchmark(theorem2_closed_form_vs_n)
+    record_artifact("theorem2", render_figure(fig))
+    for series in fig.series:
+        s = float(series.label.split("=")[1])
+        if s < 1.0:
+            assert series.is_monotone_increasing(tolerance=1e-12)
+            assert series.y[-1] > 0.95
+        else:
+            assert series.is_monotone_decreasing(tolerance=1e-12)
+            # Convergence to 0 is slow for s just above 1 (the exponent
+            # of n is (s-1)/s); require clear decay on the plotted grid
+            # and near-zero in the deep asymptotic regime.
+            assert series.y[-1] < 0.7 * series.y[0]
+            assert closed_form_alpha1(5.0, 10**12, s) < 0.05
+
+
+def test_theorem2_accuracy_improves_with_n(benchmark, record_artifact):
+    benchmark(lambda: closed_form_alpha1(5.0, 1000, 0.8))
+    lines = ["Theorem 2 closed form vs exact first-order optimum (alpha=1)"]
+    lines.append(f"{'n':>6}  {'closed form':>12}  {'exact':>12}  {'|error|':>10}")
+    previous_error = None
+    for n in (10, 50, 200, 1000):
+        scenario = Scenario(
+            alpha=1.0, n_routers=n, catalog_size=10**7, capacity=10**3
+        )
+        closed = closed_form_alpha1(scenario.gamma, n, scenario.exponent)
+        exact = optimal_strategy(
+            scenario.model(), check_conditions=False
+        ).level
+        error = abs(closed - exact)
+        lines.append(f"{n:>6}  {closed:>12.6f}  {exact:>12.6f}  {error:>10.6f}")
+        if previous_error is not None and n >= 50:
+            assert error <= previous_error + 1e-9
+        previous_error = error
+    record_artifact("theorem2_accuracy", "\n".join(lines))
+    assert previous_error == pytest.approx(0.0, abs=0.01)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Online adaptation: re-provisioning the coordination level under drift.
+
+The paper's future work (§VII) asks for online self-adaptive algorithms
+that adjust the coordination level as network dynamics change.  This
+example drives a drifting workload — the Zipf exponent moves linearly
+from 0.6 (flat, cache-hostile) to 1.3 (head-heavy) over 16 epochs — on
+the Abilene topology, and compares two controllers against a
+clairvoyant oracle:
+
+- model-based: estimate the exponent from observed traffic (MLE),
+  re-solve the paper's optimization, move (optionally rate-limited to
+  bound placement churn);
+- gradient: model-free Kiefer-Wolfowitz descent on the measured
+  objective.
+
+Run:  python examples/adaptive_provisioning.py
+"""
+
+from repro.adaptive import (
+    AdaptiveSimulation,
+    DriftingPopularity,
+    GradientController,
+    ModelBasedController,
+    linear_drift,
+)
+from repro.core import Scenario
+from repro.topology import load_topology
+
+EPOCHS = 16
+CATALOG = 4_000
+
+
+def run(controller_name: str, controller, scenario, topology) -> None:
+    drift = DriftingPopularity(linear_drift(0.6, 1.3, EPOCHS), CATALOG)
+    simulation = AdaptiveSimulation(
+        topology, scenario, drift, controller,
+        requests_per_epoch=2_000, seed=11,
+    )
+    trace = simulation.run(EPOCHS)
+    print(f"--- {controller_name} ---")
+    print(f"{'epoch':>5}  {'s_true':>7}  {'deployed':>9}  {'oracle':>7}  {'churn':>6}")
+    for record in trace.records:
+        print(
+            f"{record.epoch:>5}  {record.true_exponent:>7.3f}  "
+            f"{record.deployed_level:>9.4f}  {record.oracle_level:>7.4f}  "
+            f"{record.placement_churn:>6}"
+        )
+    print(
+        f"tail tracking error = {trace.tracking_error(tail=6):.4f}; "
+        f"total placement churn = {trace.total_churn()}\n"
+    )
+
+
+def main() -> None:
+    topology = load_topology("abilene")
+    scenario = Scenario(
+        alpha=0.7,
+        n_routers=topology.n_routers,
+        capacity=40.0,
+        catalog_size=CATALOG,
+    )
+    print(
+        "Popularity drift s: 0.6 -> 1.3 over "
+        f"{EPOCHS} epochs on {topology.name} (n={topology.n_routers})\n"
+    )
+    run(
+        "model-based (estimate-then-optimize)",
+        ModelBasedController(scenario, memory=0.3),
+        scenario,
+        topology,
+    )
+    run(
+        "model-based, churn-limited (max step 0.05/epoch)",
+        ModelBasedController(scenario, memory=0.3, max_step=0.05),
+        scenario,
+        topology,
+    )
+    run(
+        "gradient (model-free Kiefer-Wolfowitz)",
+        GradientController(initial_level=0.2, step_gain=0.5, probe_gain=0.15),
+        scenario,
+        topology,
+    )
+    print(
+        "Reading: the model-based controller locks onto the oracle within\n"
+        "an epoch or two and follows the drift; rate-limiting trades a\n"
+        "little tracking lag for much lower placement churn; the model-\n"
+        "free controller converges more slowly but needs no popularity\n"
+        "assumption."
+    )
+
+
+if __name__ == "__main__":
+    main()

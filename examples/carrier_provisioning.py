@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Carrier provisioning study over the paper's four real topologies.
+
+For each network (Abilene, CERNET, GEANT, US-A) this example extracts
+the Table III parameters (router count n, unit coordination cost w =
+max pairwise latency, mean intra-domain hop distance d1-d0), solves the
+optimal coordination level across a range of trade-off weights alpha,
+and prints a per-carrier provisioning recommendation with the expected
+origin-load and latency gains.
+
+This is the workflow a network carrier adopting the paper's model would
+follow: measure the topology, pick alpha to taste, provision l*.
+
+Run:  python examples/carrier_provisioning.py
+"""
+
+from repro import Scenario, load_topology, topology_parameters
+
+ALPHAS = (0.2, 0.5, 0.8, 1.0)
+TOPOLOGIES = ("abilene", "cernet", "geant", "us-a")
+
+
+def study_topology(name: str) -> None:
+    topology = load_topology(name)
+    params = topology_parameters(topology)
+    print(f"--- {topology.name} ({topology.region}, {topology.kind}) ---")
+    print(
+        f"routers n = {params.n_routers}, unit cost w = "
+        f"{params.unit_cost_ms:.1f} ms, mean peer distance = "
+        f"{params.mean_hops:.4f} hops ({params.mean_latency_ms:.1f} ms)"
+    )
+    print(f"{'alpha':>6}  {'l*':>8}  {'G_O':>8}  {'G_R':>8}  method")
+    for alpha in ALPHAS:
+        scenario = Scenario(
+            alpha=alpha,
+            n_routers=params.n_routers,
+            unit_cost=params.unit_cost_ms,
+            peer_delta=params.mean_hops,
+        )
+        strategy, gains = scenario.solve_with_gains()
+        print(
+            f"{alpha:>6.1f}  {strategy.level:>8.4f}  "
+            f"{gains.origin_load_reduction:>8.2%}  "
+            f"{gains.routing_improvement:>8.2%}  {strategy.method}"
+        )
+    print()
+
+
+def main() -> None:
+    print("Optimal coordinated-caching provisioning per carrier")
+    print("(base model parameters from the paper's Table IV; per-topology")
+    print(" n, w, d1-d0 extracted from the reconstructed networks)\n")
+    for name in TOPOLOGIES:
+        study_topology(name)
+    print(
+        "Reading: larger networks (CERNET, n=36) coordinate less at low\n"
+        "alpha because the w*n*x cost term scales with n, while at\n"
+        "alpha -> 1 every carrier converges to a high coordination level."
+    )
+
+
+if __name__ == "__main__":
+    main()

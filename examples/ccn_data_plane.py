@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The coordinated strategy on a real CCN data plane, packet by packet.
+
+The paper's model abstracts CCN into three latency tiers.  This example
+runs the actual protocol machinery — Interests, Data, Pending Interest
+Tables, name-based FIBs — on the Abilene topology and shows three
+things the abstraction hides:
+
+1. placement alone is NOT enough: splitting contents across routers
+   without installing custodian FIB routes leaves Interests flowing
+   toward the origin (the coordination messages of eq. 3 are what buy
+   the gain);
+2. with the routes installed, the packet-level origin load matches the
+   analytical model;
+3. PIT aggregation: concurrent Interests for the same content collapse
+   into a single upstream fetch — a CCN effect the flow-level model
+   cannot represent (and which makes measured origin load slightly
+   better than predicted under bursty arrivals).
+
+Run:  python examples/ccn_data_plane.py
+"""
+
+from repro import IRMWorkload, ProvisioningStrategy, ZipfModel, load_topology
+from repro.ccn import CCNNetwork, NoCache
+from repro.core import LatencyModel, RoutingPerformanceModel, ZipfPopularity
+
+CAPACITY = 40
+CATALOG = 4_000
+EXPONENT = 0.8
+REQUESTS = 6_000
+LEVEL = 0.6
+
+
+def build_network(topology) -> CCNNetwork:
+    return CCNNetwork(
+        topology, origin_gateway=topology.nodes[0], enroute=NoCache()
+    )
+
+
+def main() -> None:
+    topology = load_topology("abilene")
+    n = topology.n_routers
+    strategy = ProvisioningStrategy(capacity=CAPACITY, n_routers=n, level=LEVEL)
+    workload = IRMWorkload(ZipfModel(EXPONENT, CATALOG), topology.nodes, seed=21)
+
+    perf = RoutingPerformanceModel(
+        popularity=ZipfPopularity(EXPONENT, CATALOG),
+        latency=LatencyModel(1.0, 2.0, 3.0),
+        capacity=float(CAPACITY),
+        n_routers=n,
+    )
+    predicted = float(perf.origin_load(strategy.coordinated_slots, exact=True))
+    print(f"Topology: {topology.name} (n={n}); level l = {LEVEL}")
+    print(f"analytical origin load prediction: {predicted:.4f}\n")
+
+    # 1. Placement without FIB coordination.
+    net = build_network(topology)
+    placement_only = build_network(topology)
+    for index, node in enumerate(topology.nodes):
+        from repro.simulation import StaticCache
+
+        ranks = frozenset(strategy.contents_of_router(index))
+        placement_only._nodes[node].store = StaticCache(CAPACITY, ranks)
+    metrics1 = placement_only.run_workload(
+        workload, REQUESTS, interarrival_ms=1_000.0
+    )
+    print(
+        "placement only (no custodian routes):  "
+        f"origin load {metrics1.origin_load:.4f}  "
+        f"(directives paid: {placement_only.directive_messages})"
+    )
+
+    # 2. Full coordination: placement + FIB routes.
+    net.install_strategy(strategy)
+    metrics2 = net.run_workload(workload, REQUESTS, interarrival_ms=1_000.0)
+    print(
+        "coordinated (routes installed):        "
+        f"origin load {metrics2.origin_load:.4f}  "
+        f"(directives paid: {net.directive_messages})"
+    )
+
+    # 3. Bursty arrivals: PIT aggregation kicks in.
+    bursty = build_network(topology)
+    bursty.install_strategy(strategy)
+    metrics3 = bursty.run_workload(workload, REQUESTS, interarrival_ms=0.05)
+    print(
+        "coordinated, bursty arrivals:          "
+        f"origin load {metrics3.origin_load:.4f}  "
+        f"({metrics3.pit_aggregations} Interests aggregated in PITs)"
+    )
+
+    print(
+        f"\nmean fetch distance (coordinated): "
+        f"{metrics2.mean_interest_hops:.3f} router hops; "
+        f"mean completion latency {metrics2.mean_latency_ms:.1f} ms"
+    )
+    print(
+        "\nReading: the model's prediction is realized only when the\n"
+        "coordination messages install the custodian routes — the cost\n"
+        "term of eq. 3 is not an accounting fiction but the price of the\n"
+        "routing state that produces the gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

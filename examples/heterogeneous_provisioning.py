@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Heterogeneous capacities: when routers differ, who should coordinate?
+
+The paper's model assumes identical routers; its future work (§VII)
+asks about heterogeneous storage.  This example provisions a domain
+whose router capacities range over a 9:1 spread (think: core PoPs with
+large stores, edge PoPs with small ones) while keeping the aggregate
+storage fixed, and compares:
+
+- the *uniform-level* strategy — applying the paper's homogeneous
+  result, every router coordinates the same fraction of its store;
+- the *free per-router optimum* — each router gets its own
+  coordinated share, solved jointly.
+
+Run:  python examples/heterogeneous_provisioning.py
+"""
+
+import numpy as np
+
+from repro.core import Scenario
+from repro.hetero import (
+    HeterogeneousModel,
+    optimize_shares,
+    optimize_uniform_level,
+)
+
+N_ROUTERS = 20
+TOTAL_CAPACITY = 20_000.0
+ALPHA = 0.6
+
+
+def build_model(spread: float) -> HeterogeneousModel:
+    scenario = Scenario(alpha=ALPHA)
+    base = np.linspace(1.0, spread, N_ROUTERS)
+    capacities = base / base.sum() * TOTAL_CAPACITY
+    return HeterogeneousModel(
+        scenario.popularity(),
+        scenario.latency(),
+        capacities,
+        scenario.cost_model(),
+        ALPHA,
+    )
+
+
+def main() -> None:
+    print(
+        f"n = {N_ROUTERS} routers, fixed aggregate storage "
+        f"{TOTAL_CAPACITY:.0f}, alpha = {ALPHA}\n"
+    )
+    print(f"{'spread':>7}  {'uniform obj':>12}  {'free obj':>12}  {'gain':>8}")
+    for spread in (1.0, 3.0, 9.0):
+        model = build_model(spread)
+        uniform = optimize_uniform_level(model)
+        free = optimize_shares(model)
+        gain = uniform.objective_value - free.objective_value
+        print(
+            f"{spread:>7.1f}  {uniform.objective_value:>12.6f}  "
+            f"{free.objective_value:>12.6f}  {gain:>8.6f}"
+        )
+
+    model = build_model(9.0)
+    free = optimize_shares(model)
+    print("\nPer-router optimal coordination levels (9:1 capacity spread):")
+    print(f"{'router':>6}  {'capacity':>9}  {'x_i':>9}  {'level':>6}")
+    for i, (cap, share, level) in enumerate(
+        zip(model.capacities, free.shares, free.levels)
+    ):
+        print(f"{i:>6}  {cap:>9.0f}  {share:>9.1f}  {level:>6.3f}")
+
+    print(
+        "\nReading: the free optimum concentrates local (replicated)\n"
+        "storage on the smallest routers — their stores barely dent the\n"
+        "popularity head, so they serve it locally — while mid-size and\n"
+        "large routers dedicate most capacity to the coordinated pool.\n"
+        "The uniform-level rule leaves measurable objective value on the\n"
+        "table once capacities disperse."
+    )
+
+
+if __name__ == "__main__":
+    main()

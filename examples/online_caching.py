@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Online (dynamic) caching: replacement policies vs the provisioned optimum.
+
+The analytical model assumes a provisioned steady state.  Real CCN
+routers run online replacement (LRU by default).  This example runs the
+dynamic simulator on the GEANT topology in three configurations —
+
+1. non-coordinated LRU (each router caches what passes by; misses go
+   to the origin),
+2. non-coordinated perfect-LFU (the paper's "canonical frequency-based
+   policy", which converges to the top-c placement of the model),
+3. hash-coordinated LRU at the model's optimal level l* (each rank has
+   a custodian router that absorbs the domain's misses),
+
+— and compares their measured origin load and mean fetch distance
+against the analytical optimum's prediction.
+
+Run:  python examples/online_caching.py
+"""
+
+from repro import (
+    DynamicSimulator,
+    IRMWorkload,
+    ProvisioningStrategy,
+    Scenario,
+    SteadyStateSimulator,
+    ZipfModel,
+    load_topology,
+    topology_parameters,
+)
+
+CAPACITY = 50
+CATALOG = 5_000
+EXPONENT = 0.8
+REQUESTS = 40_000
+WARMUP = 40_000
+
+
+def main() -> None:
+    topology = load_topology("geant")
+    params = topology_parameters(topology)
+    workload = IRMWorkload(ZipfModel(EXPONENT, CATALOG), topology.nodes, seed=9)
+
+    # The model's recommended coordination level for this network.
+    scenario = Scenario(
+        alpha=0.8,
+        n_routers=params.n_routers,
+        unit_cost=params.unit_cost_ms,
+        peer_delta=params.mean_hops,
+        capacity=float(CAPACITY),
+        catalog_size=CATALOG,
+    )
+    level_star = scenario.solve(check_conditions=False).level
+    print(f"Topology: {topology.name} (n={params.n_routers}); "
+          f"model-optimal coordination level l* = {level_star:.3f}\n")
+
+    configs = {
+        "LRU, non-coordinated": DynamicSimulator(
+            topology, capacity=CAPACITY, policy="lru",
+            coordination_level=0.0, seed=1,
+        ),
+        "perfect-LFU, non-coordinated": DynamicSimulator(
+            topology, capacity=CAPACITY, policy="perfect-lfu",
+            coordination_level=0.0, seed=1,
+        ),
+        "LRU, hash-coordinated @ l*": DynamicSimulator(
+            topology, capacity=CAPACITY, policy="lru",
+            coordination_level=level_star, seed=1,
+        ),
+    }
+
+    header = (
+        f"{'configuration':<32}  {'origin load':>11}  {'local':>7}  "
+        f"{'peer':>7}  {'mean hops':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, simulator in configs.items():
+        metrics = simulator.run(workload, REQUESTS, warmup=WARMUP)
+        print(
+            f"{name:<32}  {metrics.origin_load:>11.4f}  "
+            f"{metrics.local_fraction:>7.4f}  {metrics.peer_fraction:>7.4f}  "
+            f"{metrics.mean_hops:>9.4f}"
+        )
+
+    # The provisioned steady state at l* — what the model promises.
+    strategy = ProvisioningStrategy(
+        capacity=CAPACITY, n_routers=params.n_routers, level=level_star
+    )
+    provisioned = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    ).run(workload, REQUESTS)
+    print(
+        f"{'provisioned optimum (model)':<32}  "
+        f"{provisioned.origin_load:>11.4f}  "
+        f"{provisioned.local_fraction:>7.4f}  "
+        f"{provisioned.peer_fraction:>7.4f}  {provisioned.mean_hops:>9.4f}"
+    )
+
+    print(
+        "\nReading: coordination (hash or provisioned) cuts the origin\n"
+        "load far below any non-coordinated policy, because the domain\n"
+        "collectively stores n times more distinct contents — the\n"
+        "paper's central quantitative claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

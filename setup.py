@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` requires wheel's bdist_wheel; on fully offline boxes
+without it, `python setup.py develop` installs the same editable layout.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — coordinated in-network caching for content-centric networks.
+
+A complete, from-scratch reproduction of
+
+    Yanhua Li, Yonggang Wen, Haiyong Xie, Zhi-Li Zhang.
+    "Coordinating In-Network Caching in Content-Centric Networks:
+    Model and Analysis."  IEEE ICDCS 2013.
+
+The library provides:
+
+- the paper's analytical model (:mod:`repro.core`): Zipf popularity,
+  three-tier latency, the performance/cost objective, the optimal
+  provisioning strategy with three cross-validated solvers, and the
+  origin-load / routing-performance gains;
+- the topology substrate (:mod:`repro.topology`): the four evaluation
+  networks reconstructed to match Tables II and III exactly, plus
+  synthetic generators;
+- the content substrate (:mod:`repro.catalog`): catalogs, popularity
+  models and workload generators;
+- a request-level simulator (:mod:`repro.simulation`) validating the
+  analysis and reproducing the motivating example;
+- the evaluation harness (:mod:`repro.analysis`): every table and
+  figure of the paper as a regenerable experiment.
+
+Quickstart::
+
+    from repro import Scenario
+
+    scenario = Scenario(alpha=0.8, gamma=5.0, exponent=0.8)
+    strategy, gains = scenario.solve_with_gains()
+    print(strategy.level, gains.origin_load_reduction)
+"""
+
+from .core import (
+    CoordinationCostModel,
+    LatencyModel,
+    OptimalStrategy,
+    PerformanceCostModel,
+    PerformanceGains,
+    ProvisioningStrategy,
+    RoutingPerformanceModel,
+    Scenario,
+    ZipfPopularity,
+    closed_form_alpha1,
+    evaluate_gains,
+    optimal_strategy,
+    origin_load_reduction,
+    routing_improvement,
+)
+from .catalog import Catalog, IRMWorkload, Request, SequenceWorkload, ZipfModel
+from .errors import (
+    CatalogError,
+    ConvergenceError,
+    ExistenceConditionError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    SingularExponentError,
+    TopologyError,
+)
+from .simulation import (
+    DynamicSimulator,
+    OriginModel,
+    SimulationMetrics,
+    SteadyStateSimulator,
+)
+from .topology import Topology, load_topology, topology_parameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "ConvergenceError",
+    "CoordinationCostModel",
+    "DynamicSimulator",
+    "ExistenceConditionError",
+    "IRMWorkload",
+    "LatencyModel",
+    "OptimalStrategy",
+    "OriginModel",
+    "ParameterError",
+    "PerformanceCostModel",
+    "PerformanceGains",
+    "ProvisioningStrategy",
+    "ReproError",
+    "Request",
+    "RoutingPerformanceModel",
+    "Scenario",
+    "SequenceWorkload",
+    "SimulationError",
+    "SimulationMetrics",
+    "SingularExponentError",
+    "SteadyStateSimulator",
+    "Topology",
+    "TopologyError",
+    "ZipfModel",
+    "ZipfPopularity",
+    "__version__",
+    "closed_form_alpha1",
+    "evaluate_gains",
+    "load_topology",
+    "optimal_strategy",
+    "origin_load_reduction",
+    "routing_improvement",
+    "topology_parameters",
+]

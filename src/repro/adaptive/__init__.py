@@ -1,0 +1,40 @@
+"""Online self-adaptive coordination (the paper's §VII future work).
+
+Drifting-popularity workloads, online Zipf-exponent estimation, two
+adaptive controllers (model-based estimate-then-optimize and model-free
+Kiefer-Wolfowitz gradient descent), and the closed-loop epoch runner
+that measures tracking error, regret and placement churn.
+"""
+
+from .controller import (
+    AdaptiveController,
+    EpochObservation,
+    GradientController,
+    ModelBasedController,
+)
+from .drift import (
+    DriftingPopularity,
+    EpochWorkloadFactory,
+    linear_drift,
+    sinusoidal_drift,
+    step_drift,
+)
+from .estimator import ExponentEstimator, estimate_exponent
+from .runner import AdaptationTrace, AdaptiveSimulation, EpochRecord
+
+__all__ = [
+    "AdaptationTrace",
+    "AdaptiveController",
+    "AdaptiveSimulation",
+    "DriftingPopularity",
+    "EpochObservation",
+    "EpochRecord",
+    "EpochWorkloadFactory",
+    "ExponentEstimator",
+    "GradientController",
+    "ModelBasedController",
+    "estimate_exponent",
+    "linear_drift",
+    "sinusoidal_drift",
+    "step_drift",
+]

@@ -1,0 +1,192 @@
+"""Online controllers that adapt the coordination level.
+
+Two complementary designs for the paper's §VII "online self-adaptive
+algorithms" direction:
+
+- :class:`ModelBasedController` — estimates the Zipf exponent from
+  observed traffic (MLE), re-solves the paper's optimization with the
+  estimate, and moves to the solved level, optionally rate-limited to
+  bound per-epoch placement churn.  Fast, accurate while the model's
+  assumptions hold.
+
+- :class:`GradientController` — model-free Kiefer–Wolfowitz stochastic
+  approximation: it probes ``ℓ ± δ_t`` on alternate epochs, estimates
+  the objective's finite-difference slope from *measured* epoch
+  objectives, and descends with a decaying step.  Slower, but makes no
+  popularity assumption at all.
+
+Both expose the same two-method protocol used by
+:class:`~repro.adaptive.runner.AdaptiveSimulation`:
+``propose(epoch) -> level`` then ``feedback(epoch, observation)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.optimizer import optimal_strategy
+from ..core.scenario import Scenario
+from ..errors import ParameterError
+from .estimator import ExponentEstimator
+
+__all__ = ["EpochObservation", "AdaptiveController", "ModelBasedController", "GradientController"]
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """What the network measured during one epoch at one level.
+
+    Attributes
+    ----------
+    level:
+        The coordination level that was deployed.
+    measured_objective:
+        The realized per-request objective (latency and cost combined
+        with the scenario's α) — the signal model-free control descends.
+    observed_ranks:
+        The epoch's observed request ranks (for exponent estimation).
+    """
+
+    level: float
+    measured_objective: float
+    observed_ranks: np.ndarray
+
+
+class AdaptiveController(abc.ABC):
+    """Protocol: propose a level, then receive the epoch's feedback."""
+
+    @abc.abstractmethod
+    def propose(self, epoch: int) -> float:
+        """The coordination level to deploy for this epoch."""
+
+    @abc.abstractmethod
+    def feedback(self, epoch: int, observation: EpochObservation) -> None:
+        """Fold the epoch's measurements back into the controller."""
+
+
+class ModelBasedController(AdaptiveController):
+    """Estimate-then-optimize adaptation.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario template supplying every parameter except the
+        exponent, which is estimated online.
+    initial_level:
+        Level deployed before any traffic has been observed.
+    memory:
+        Estimator window retention per epoch (see
+        :class:`~repro.adaptive.estimator.ExponentEstimator`).
+    max_step:
+        Optional cap on the per-epoch level change (placement-churn
+        rate limit); ``None`` jumps straight to the solved optimum.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        initial_level: float = 0.0,
+        memory: float = 0.5,
+        max_step: Optional[float] = None,
+    ):
+        if not 0.0 <= initial_level <= 1.0:
+            raise ParameterError(f"initial level must lie in [0, 1], got {initial_level}")
+        if max_step is not None and max_step <= 0:
+            raise ParameterError(f"max_step must be positive, got {max_step}")
+        self.scenario = scenario
+        self.level = float(initial_level)
+        self.max_step = max_step
+        self.estimator = ExponentEstimator(scenario.catalog_size, memory=memory)
+        self.last_estimate: Optional[float] = None
+
+    def propose(self, epoch: int) -> float:
+        return self.level
+
+    def feedback(self, epoch: int, observation: EpochObservation) -> None:
+        self.estimator.observe(observation.observed_ranks)
+        if not self.estimator.has_observations:
+            return
+        estimate = self.estimator.estimate()
+        self.last_estimate = estimate
+        target = optimal_strategy(
+            self.scenario.replace(exponent=estimate).model(),
+            check_conditions=False,
+        ).level
+        if self.max_step is None:
+            self.level = target
+        else:
+            delta = np.clip(target - self.level, -self.max_step, self.max_step)
+            self.level = float(np.clip(self.level + delta, 0.0, 1.0))
+
+
+class GradientController(AdaptiveController):
+    """Model-free Kiefer–Wolfowitz stochastic approximation.
+
+    Epochs are paired: epoch ``2k`` deploys ``ℓ_k + δ_k``, epoch
+    ``2k+1`` deploys ``ℓ_k − δ_k``; after the pair the measured-objective
+    difference gives a slope estimate and the level moves by
+    ``−a_k · slope`` with the classic decaying gains
+    ``a_k = a0/(k+1)``, ``δ_k = d0/(k+1)^{1/3}``.
+
+    Parameters
+    ----------
+    initial_level:
+        Starting level ``ℓ_0``.
+    step_gain:
+        ``a0`` — descent gain.
+    probe_gain:
+        ``d0`` — probe half-width.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_level: float = 0.5,
+        step_gain: float = 0.5,
+        probe_gain: float = 0.1,
+    ):
+        if not 0.0 <= initial_level <= 1.0:
+            raise ParameterError(f"initial level must lie in [0, 1], got {initial_level}")
+        if step_gain <= 0 or probe_gain <= 0:
+            raise ParameterError("gains must be positive")
+        self.level = float(initial_level)
+        self.step_gain = float(step_gain)
+        self.probe_gain = float(probe_gain)
+        self._pending_plus: Optional[float] = None
+
+    def _probe_width(self, pair_index: int) -> float:
+        return self.probe_gain / (pair_index + 1) ** (1.0 / 3.0)
+
+    def _step_size(self, pair_index: int) -> float:
+        return self.step_gain / (pair_index + 1)
+
+    def propose(self, epoch: int) -> float:
+        pair = epoch // 2
+        delta = self._probe_width(pair)
+        if epoch % 2 == 0:
+            return float(np.clip(self.level + delta, 0.0, 1.0))
+        return float(np.clip(self.level - delta, 0.0, 1.0))
+
+    def feedback(self, epoch: int, observation: EpochObservation) -> None:
+        pair = epoch // 2
+        if epoch % 2 == 0:
+            self._pending_plus = observation.measured_objective
+            return
+        if self._pending_plus is None:
+            raise ParameterError(
+                "gradient controller received an odd-epoch feedback without "
+                "its paired even-epoch observation"
+            )
+        delta = self._probe_width(pair)
+        slope = (self._pending_plus - observation.measured_objective) / (
+            2.0 * delta
+        )
+        self._pending_plus = None
+        self.level = float(
+            np.clip(self.level - self._step_size(pair) * slope, 0.0, 1.0)
+        )

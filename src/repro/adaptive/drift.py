@@ -1,0 +1,149 @@
+"""Time-varying workloads for the online-adaptation experiments.
+
+The paper's model is static; its future work (§VII) asks for "online
+self-adaptive algorithms to adjust the coordination level" as the
+network dynamics change.  The natural dynamics in this model are
+popularity dynamics: the Zipf exponent ``s`` drifting over time (flash
+crowds sharpen the head; catalog aging flattens it).
+
+:class:`DriftingPopularity` produces a per-epoch popularity model whose
+exponent follows a configured trajectory, and
+:class:`EpochWorkloadFactory` turns it into seeded IRM workloads, one
+per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from ..catalog.popularity import ZipfModel
+from ..catalog.workload import IRMWorkload
+from ..errors import ParameterError
+
+__all__ = [
+    "linear_drift",
+    "sinusoidal_drift",
+    "step_drift",
+    "DriftingPopularity",
+    "EpochWorkloadFactory",
+]
+
+
+def _validate_exponent(s: float) -> float:
+    if not 0.05 <= s <= 1.95:
+        raise ParameterError(
+            f"drift trajectories must keep s within [0.05, 1.95], got {s}"
+        )
+    return s
+
+
+def linear_drift(start: float, end: float, n_epochs: int) -> Callable[[int], float]:
+    """Exponent trajectory moving linearly from ``start`` to ``end``."""
+    _validate_exponent(start)
+    _validate_exponent(end)
+    if n_epochs < 1:
+        raise ParameterError(f"need at least one epoch, got {n_epochs}")
+
+    def trajectory(epoch: int) -> float:
+        if n_epochs == 1:
+            return start
+        t = min(max(epoch, 0), n_epochs - 1) / (n_epochs - 1)
+        return start + t * (end - start)
+
+    return trajectory
+
+
+def sinusoidal_drift(
+    center: float, amplitude: float, period: int
+) -> Callable[[int], float]:
+    """Exponent oscillating around ``center`` with the given period."""
+    _validate_exponent(center - amplitude)
+    _validate_exponent(center + amplitude)
+    if period < 2:
+        raise ParameterError(f"period must be at least 2 epochs, got {period}")
+
+    def trajectory(epoch: int) -> float:
+        return center + amplitude * math.sin(2.0 * math.pi * epoch / period)
+
+    return trajectory
+
+
+def step_drift(
+    values: Sequence[float], epochs_per_step: int
+) -> Callable[[int], float]:
+    """Piece-wise constant exponent: each value holds for a block of epochs."""
+    if not values:
+        raise ParameterError("need at least one step value")
+    for v in values:
+        _validate_exponent(v)
+    if epochs_per_step < 1:
+        raise ParameterError(f"epochs_per_step must be positive, got {epochs_per_step}")
+    steps = tuple(float(v) for v in values)
+
+    def trajectory(epoch: int) -> float:
+        index = min(max(epoch, 0) // epochs_per_step, len(steps) - 1)
+        return steps[index]
+
+    return trajectory
+
+
+class DriftingPopularity:
+    """Per-epoch Zipf popularity following an exponent trajectory.
+
+    The exponent at epoch ``t`` is ``trajectory(t)``, clipped away from
+    the ``s = 1`` singularity by ``singularity_guard`` so downstream
+    model solves stay well defined.
+    """
+
+    def __init__(
+        self,
+        trajectory: Callable[[int], float],
+        catalog_size: int,
+        *,
+        singularity_guard: float = 1e-3,
+    ):
+        if catalog_size < 2:
+            raise ParameterError(f"catalog must have at least 2 items, got {catalog_size}")
+        if singularity_guard <= 0:
+            raise ParameterError("singularity guard must be positive")
+        self.trajectory = trajectory
+        self.catalog_size = int(catalog_size)
+        self.singularity_guard = float(singularity_guard)
+
+    def exponent_at(self, epoch: int) -> float:
+        """The (singularity-guarded) exponent of the given epoch."""
+        s = float(self.trajectory(epoch))
+        _validate_exponent(s)
+        if abs(s - 1.0) < self.singularity_guard:
+            s = 1.0 - self.singularity_guard if s <= 1.0 else 1.0 + self.singularity_guard
+        return s
+
+    def model_at(self, epoch: int) -> ZipfModel:
+        """The sampling popularity model of the given epoch."""
+        return ZipfModel(self.exponent_at(epoch), self.catalog_size)
+
+
+class EpochWorkloadFactory:
+    """Builds one seeded IRM workload per epoch from a drifting popularity."""
+
+    def __init__(
+        self,
+        popularity: DriftingPopularity,
+        clients: Sequence[object],
+        *,
+        seed: int = 0,
+    ):
+        if not clients:
+            raise ParameterError("need at least one client router")
+        self.popularity = popularity
+        self.clients = list(clients)
+        self.seed = int(seed)
+
+    def workload_at(self, epoch: int) -> IRMWorkload:
+        """The epoch's workload (deterministic per (seed, epoch))."""
+        return IRMWorkload(
+            self.popularity.model_at(epoch),
+            self.clients,
+            seed=self.seed * 1_000_003 + epoch,
+        )

@@ -1,0 +1,134 @@
+"""Online Zipf-exponent estimation from observed request ranks.
+
+The model-based adaptive controller needs the current popularity
+exponent ``s``.  Routers observe request ranks directly (CCN names map
+to catalog objects), so ``s`` can be estimated by maximum likelihood:
+
+.. math::
+
+    \\hat s = \\arg\\max_s \\Big[-s \\sum_m \\log r_m - M \\log H_{N,s}\\Big],
+
+a smooth 1-D concave problem solved by bounded scalar minimization.
+:class:`ExponentEstimator` keeps an exponentially weighted window of
+observations so the estimate tracks drift.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+from scipy import optimize as _scipy_optimize
+
+from ..core.zipf import harmonic_number
+from ..errors import ConvergenceError, ParameterError
+
+__all__ = ["estimate_exponent", "ExponentEstimator"]
+
+
+def estimate_exponent(
+    ranks: np.ndarray,
+    catalog_size: int,
+    *,
+    bounds: tuple[float, float] = (0.05, 1.95),
+) -> float:
+    """Maximum-likelihood Zipf exponent from a sample of ranks.
+
+    Parameters
+    ----------
+    ranks:
+        Observed request ranks (1-based integers within the catalog).
+    catalog_size:
+        The catalog size ``N`` (assumed known — CCN routers know their
+        namespace).
+    bounds:
+        Search interval for ``s``.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ParameterError("need at least one observed rank")
+    if np.any((ranks < 1) | (ranks > catalog_size)):
+        raise ParameterError("observed ranks must lie within the catalog")
+    lo, hi = bounds
+    if not 0 < lo < hi:
+        raise ParameterError(f"invalid bounds {bounds}")
+    mean_log_rank = float(np.mean(np.log(ranks.astype(np.float64))))
+
+    def negative_log_likelihood(s: float) -> float:
+        return s * mean_log_rank + math.log(harmonic_number(catalog_size, s))
+
+    result = _scipy_optimize.minimize_scalar(
+        negative_log_likelihood, bounds=(lo, hi), method="bounded",
+        options={"xatol": 1e-8},
+    )
+    if not result.success:  # pragma: no cover - bounded Brent rarely fails
+        raise ConvergenceError(f"exponent MLE failed: {result.message}")
+    return float(result.x)
+
+
+class ExponentEstimator:
+    """Windowed online MLE of the Zipf exponent.
+
+    Observations are summarized by their count and mean log-rank, with
+    exponential decay ``memory`` per epoch, so old traffic fades and the
+    estimate follows popularity drift.
+
+    Parameters
+    ----------
+    catalog_size:
+        The catalog size ``N``.
+    memory:
+        Per-epoch retention in ``[0, 1)``; 0 forgets everything each
+        epoch, values near 1 average over long horizons.
+    """
+
+    def __init__(self, catalog_size: int, *, memory: float = 0.5):
+        if catalog_size < 2:
+            raise ParameterError(f"catalog must have at least 2 items, got {catalog_size}")
+        if not 0.0 <= memory < 1.0:
+            raise ParameterError(f"memory must lie in [0, 1), got {memory}")
+        self.catalog_size = int(catalog_size)
+        self.memory = float(memory)
+        self._weight = 0.0
+        self._weighted_log_sum = 0.0
+
+    @property
+    def has_observations(self) -> bool:
+        """Whether any traffic has been observed yet."""
+        return self._weight > 0.0
+
+    def observe(self, ranks: np.ndarray) -> None:
+        """Fold one epoch's observed ranks into the window."""
+        ranks = np.asarray(ranks)
+        if ranks.size == 0:
+            return
+        if np.any((ranks < 1) | (ranks > self.catalog_size)):
+            raise ParameterError("observed ranks must lie within the catalog")
+        self._weight = self.memory * self._weight + float(ranks.size)
+        self._weighted_log_sum = self.memory * self._weighted_log_sum + float(
+            np.sum(np.log(ranks.astype(np.float64)))
+        )
+
+    def estimate(self, *, bounds: tuple[float, float] = (0.05, 1.95)) -> float:
+        """Current MLE of ``s`` over the decayed window."""
+        if not self.has_observations:
+            raise ParameterError("no observations to estimate from")
+        mean_log_rank = self._weighted_log_sum / self._weight
+        lo, hi = bounds
+
+        def negative_log_likelihood(s: float) -> float:
+            return s * mean_log_rank + math.log(
+                harmonic_number(self.catalog_size, s)
+            )
+
+        result = _scipy_optimize.minimize_scalar(
+            negative_log_likelihood, bounds=(lo, hi), method="bounded",
+            options={"xatol": 1e-8},
+        )
+        if not result.success:  # pragma: no cover
+            raise ConvergenceError(f"exponent MLE failed: {result.message}")
+        return float(result.x)
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._weight = 0.0
+        self._weighted_log_sum = 0.0

@@ -1,0 +1,230 @@
+"""Epoch-driven adaptive simulation loop.
+
+:class:`AdaptiveSimulation` closes the loop the paper's future work
+sketches: traffic drifts, an online controller re-provisions the
+coordination level, the provisioned network serves the epoch's requests
+through the event-level simulator, and the realized performance feeds
+back into the controller.  Each epoch is recorded against the *oracle*
+(the optimal level solved with the true, hidden exponent), so
+adaptation quality is quantified as regret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.optimizer import optimal_strategy
+from ..core.scenario import Scenario
+from ..core.strategy import ProvisioningStrategy
+from ..errors import ParameterError
+from ..simulation.simulator import SteadyStateSimulator
+from ..topology.graph import Topology
+from .controller import AdaptiveController, EpochObservation
+from .drift import DriftingPopularity, EpochWorkloadFactory
+
+__all__ = ["EpochRecord", "AdaptationTrace", "AdaptiveSimulation"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's adaptation outcome.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch index.
+    true_exponent:
+        The hidden Zipf exponent driving the epoch's traffic.
+    deployed_level:
+        The level the controller chose before seeing the traffic.
+    oracle_level:
+        The optimum under the true exponent (what a clairvoyant
+        controller would deploy).
+    measured_objective:
+        The objective realized by the deployed level, computed from
+        *observed* tier fractions.
+    oracle_objective:
+        The analytical objective at the oracle level under the true
+        exponent.
+    regret:
+        ``measured_objective - oracle_objective`` (can be slightly
+        negative due to sampling noise).
+    placement_churn:
+        Coordinated (rank, router) placements changed versus the
+        previous epoch.
+    """
+
+    epoch: int
+    true_exponent: float
+    deployed_level: float
+    oracle_level: float
+    measured_objective: float
+    oracle_objective: float
+    regret: float
+    placement_churn: int
+
+
+@dataclass(frozen=True)
+class AdaptationTrace:
+    """The full epoch-by-epoch record of one adaptive run."""
+
+    records: tuple[EpochRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def levels(self) -> np.ndarray:
+        """Deployed level per epoch."""
+        return np.array([r.deployed_level for r in self.records])
+
+    def oracle_levels(self) -> np.ndarray:
+        """Oracle level per epoch."""
+        return np.array([r.oracle_level for r in self.records])
+
+    def tracking_error(self, *, tail: Optional[int] = None) -> float:
+        """Mean |deployed − oracle| level gap, optionally over a tail."""
+        records = self.records[-tail:] if tail else self.records
+        return float(
+            np.mean([abs(r.deployed_level - r.oracle_level) for r in records])
+        )
+
+    def mean_regret(self, *, tail: Optional[int] = None) -> float:
+        """Mean objective regret, optionally over the last ``tail`` epochs."""
+        records = self.records[-tail:] if tail else self.records
+        return float(np.mean([r.regret for r in records]))
+
+    def total_churn(self) -> int:
+        """Total coordinated placements moved across the run."""
+        return int(sum(r.placement_churn for r in self.records))
+
+
+class AdaptiveSimulation:
+    """Runs a controller against drifting traffic on a topology.
+
+    Parameters
+    ----------
+    topology:
+        The router network (its node count fixes ``n``).
+    scenario:
+        Scenario template: α, γ, capacity, catalog, cost — everything
+        but the exponent, which drifts.
+    drift:
+        The hidden exponent trajectory.
+    controller:
+        The adaptive controller under test.
+    requests_per_epoch:
+        Traffic volume per epoch.
+    seed:
+        Workload seed.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        scenario: Scenario,
+        drift: DriftingPopularity,
+        controller: AdaptiveController,
+        *,
+        requests_per_epoch: int = 2_000,
+        seed: int = 0,
+    ):
+        if scenario.n_routers != topology.n_routers:
+            raise ParameterError(
+                f"scenario has n={scenario.n_routers} but topology "
+                f"{topology.name!r} has {topology.n_routers} routers"
+            )
+        if scenario.catalog_size != drift.catalog_size:
+            raise ParameterError(
+                "scenario and drift must agree on the catalog size "
+                f"({scenario.catalog_size} != {drift.catalog_size})"
+            )
+        if requests_per_epoch < 1:
+            raise ParameterError(
+                f"requests_per_epoch must be positive, got {requests_per_epoch}"
+            )
+        self.topology = topology
+        self.scenario = scenario
+        self.drift = drift
+        self.controller = controller
+        self.requests_per_epoch = int(requests_per_epoch)
+        self.factory = EpochWorkloadFactory(drift, topology.nodes, seed=seed)
+
+    def _measured_objective(self, metrics, level: float) -> float:
+        """Objective from observed tier fractions + deployed cost."""
+        latency = self.scenario.latency()
+        local, peer, origin = metrics.tier_fractions()
+        measured_latency = (
+            local * latency.d0 + peer * latency.d1 + origin * latency.d2
+        )
+        storage = level * self.scenario.capacity
+        cost = self.scenario.cost_model().cost(storage, self.scenario.n_routers)
+        return self.scenario.alpha * measured_latency + (
+            1.0 - self.scenario.alpha
+        ) * float(cost)
+
+    def run(self, n_epochs: int) -> AdaptationTrace:
+        """Run the closed loop for ``n_epochs`` epochs."""
+        if n_epochs < 1:
+            raise ParameterError(f"need at least one epoch, got {n_epochs}")
+        records: list[EpochRecord] = []
+        previous_strategy: Optional[ProvisioningStrategy] = None
+        capacity = int(self.scenario.capacity)
+        n = self.scenario.n_routers
+        for epoch in range(n_epochs):
+            true_s = self.drift.exponent_at(epoch)
+            level = float(np.clip(self.controller.propose(epoch), 0.0, 1.0))
+            strategy = ProvisioningStrategy(
+                capacity=capacity, n_routers=n, level=level
+            )
+            simulator = SteadyStateSimulator.from_strategy(
+                self.topology, strategy, message_accounting="none"
+            )
+            workload = self.factory.workload_at(epoch)
+            requests = workload.materialize(self.requests_per_epoch)
+            metrics_collector = simulator.run(
+                _ListWorkload(requests), self.requests_per_epoch
+            )
+            measured = self._measured_objective(metrics_collector, level)
+
+            true_scenario = self.scenario.replace(exponent=true_s)
+            oracle = optimal_strategy(
+                true_scenario.model(), check_conditions=False
+            )
+            churn = (
+                strategy.reassignment_churn(previous_strategy)
+                if previous_strategy is not None
+                else 0
+            )
+            records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    true_exponent=true_s,
+                    deployed_level=level,
+                    oracle_level=oracle.level,
+                    measured_objective=measured,
+                    oracle_objective=oracle.objective_value,
+                    regret=measured - oracle.objective_value,
+                    placement_churn=churn,
+                )
+            )
+            observation = EpochObservation(
+                level=level,
+                measured_objective=measured,
+                observed_ranks=np.array([r.rank for r in requests]),
+            )
+            self.controller.feedback(epoch, observation)
+            previous_strategy = strategy
+        return AdaptationTrace(records=tuple(records))
+
+
+class _ListWorkload:
+    """Adapter: a materialized request list as a Workload."""
+
+    def __init__(self, requests):
+        self._requests = requests
+
+    def requests(self, count: int):
+        return iter(self._requests[:count])

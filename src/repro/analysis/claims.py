@@ -1,0 +1,306 @@
+"""The reproduction scorecard: every paper claim as a checkable item.
+
+Each :class:`Claim` pairs a quoted assertion from the paper with an
+executable check over this library.  :func:`evaluate_claims` runs them
+all and returns a scorecard — the one-stop answer to "what exactly does
+this reproduction confirm?".
+
+Checks re-derive everything from the public API (no cached constants),
+so the scorecard doubles as a deep integration test; the benchmark
+suite renders it via ``python -m repro run scorecard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.optimizer import closed_form_alpha1, optimal_strategy
+from ..core.scenario import Scenario
+from ..topology.datasets import TABLE_III_TARGETS, load_topology
+from ..topology.parameters import topology_parameters
+from .experiments import TableData, table1_motivating
+from .sensitivity import sensitive_range
+
+__all__ = ["Claim", "ClaimResult", "PAPER_CLAIMS", "evaluate_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable assertion from the paper."""
+
+    claim_id: str
+    source: str
+    statement: str
+    check: Callable[[], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of evaluating one claim."""
+
+    claim_id: str
+    source: str
+    statement: str
+    holds: bool
+    evidence: str
+
+
+# -- individual checks -------------------------------------------------------
+
+
+def _check_table1() -> tuple[bool, str]:
+    table = table1_motivating()
+    non_coord = table.column("Non-coordinated caching")
+    coord = table.column("Coordinated caching")
+    ok = (
+        abs(non_coord[0] - 1 / 3) < 1e-9
+        and coord[0] == 0.0
+        and abs(non_coord[1] - 2 / 3) < 1e-9
+        and abs(coord[1] - 0.5) < 1e-9
+        and (non_coord[2], coord[2]) == (0, 1)
+    )
+    return ok, (
+        f"origin {non_coord[0]:.4f}->{coord[0]:.4f}, hops "
+        f"{non_coord[1]:.4f}->{coord[1]:.4f}, cost {non_coord[2]}->{coord[2]}"
+    )
+
+
+def _check_table3() -> tuple[bool, str]:
+    worst = 0.0
+    for name, target in TABLE_III_TARGETS.items():
+        params = topology_parameters(load_topology(name))
+        worst = max(
+            worst,
+            abs(params.unit_cost_ms - target.unit_cost_ms) / target.unit_cost_ms,
+            abs(params.mean_latency_ms - target.mean_latency_ms)
+            / target.mean_latency_ms,
+            abs(params.mean_hops - target.mean_hops) / target.mean_hops,
+        )
+    return worst < 1e-4, f"worst relative deviation {worst:.2e}"
+
+
+def _check_convexity() -> tuple[bool, str]:
+    ok = all(
+        Scenario(alpha=alpha, exponent=s).model().is_convex()
+        for alpha in (0.2, 0.7, 1.0)
+        for s in (0.5, 1.5)
+    )
+    return ok, "second derivative positive on a 6-instance grid"
+
+
+def _check_uniqueness() -> tuple[bool, str]:
+    """Three solvers agree => the optimum behaves as unique."""
+    worst = 0.0
+    for alpha in (0.3, 0.7, 1.0):
+        model = Scenario(alpha=alpha).model()
+        exact = optimal_strategy(model, method="first-order").level
+        scalar = optimal_strategy(model, method="scalar-min").level
+        worst = max(worst, abs(exact - scalar))
+    return worst < 1e-3, f"first-order vs scalar-min max gap {worst:.2e}"
+
+
+def _check_monotone_alpha() -> tuple[bool, str]:
+    levels = [
+        optimal_strategy(Scenario(alpha=a).model(), check_conditions=False).level
+        for a in np.linspace(0.05, 1.0, 12)
+    ]
+    ok = all(b >= a - 1e-9 for a, b in zip(levels, levels[1:]))
+    return ok, f"l* spans [{levels[0]:.3f}, {levels[-1]:.3f}] increasing"
+
+
+def _check_gamma_dominance() -> tuple[bool, str]:
+    rows = []
+    for alpha in (0.3, 0.6, 0.9):
+        levels = [
+            optimal_strategy(
+                Scenario(alpha=alpha, gamma=g).model(), check_conditions=False
+            ).level
+            for g in (2.0, 6.0, 10.0)
+        ]
+        rows.append(levels == sorted(levels))
+    return all(rows), "higher gamma -> higher l* at alpha 0.3/0.6/0.9"
+
+
+def _check_figure5_alpha1_range() -> tuple[bool, str]:
+    high = optimal_strategy(
+        Scenario(alpha=1.0, exponent=0.05).model(), check_conditions=False
+    ).level
+    low = optimal_strategy(
+        Scenario(alpha=1.0, exponent=1.95).model(), check_conditions=False
+    ).level
+    ok = high > 0.95 and abs(low - 0.35) < 0.06
+    return ok, f"l*(s->0)={high:.3f}, l*(s->2)={low:.3f} (paper: 1 -> 0.35)"
+
+
+def _check_figure5_hump() -> tuple[bool, str]:
+    exponents = [s for s in np.arange(0.1, 1.95, 0.1) if abs(s - 1) > 1e-9]
+    levels = [
+        optimal_strategy(
+            Scenario(alpha=0.5, exponent=float(s)).model(),
+            check_conditions=False,
+        ).level
+        for s in exponents
+    ]
+    peak = exponents[int(np.argmax(levels))]
+    ok = 0.3 <= peak <= 1.1 and max(levels) > levels[0] and max(levels) > levels[-1]
+    return ok, f"alpha=0.5 peak at s={peak:.1f} (paper: ~0.5-0.9)"
+
+
+def _check_theorem2_limits() -> tuple[bool, str]:
+    below = closed_form_alpha1(5.0, 10**9, 0.6)
+    above = closed_form_alpha1(5.0, 10**9, 1.4)
+    ok = below > 0.999 and above < 0.01
+    return ok, f"n=1e9: l*(s=0.6)={below:.4f}, l*(s=1.4)={above:.4f}"
+
+
+def _check_scale_free() -> tuple[bool, str]:
+    base = Scenario(alpha=1.0)
+    scaled = base.replace(
+        access_latency=base.access_latency * 13.0,
+        peer_delta=base.peer_delta * 13.0,
+    )
+    a = optimal_strategy(base.model(), check_conditions=False).level
+    b = optimal_strategy(scaled.model(), check_conditions=False).level
+    return abs(a - b) < 1e-9, f"13x latency scaling moves l* by {abs(a - b):.2e}"
+
+
+def _check_figure9_peak() -> tuple[bool, str]:
+    from ..core.gains import evaluate_gains
+
+    exponents = [s for s in np.arange(0.7, 1.95, 0.1) if abs(s - 1) > 1e-9]
+    gains = []
+    for s in exponents:
+        scenario = Scenario(alpha=0.4, exponent=float(s))
+        model = scenario.model()
+        strategy = optimal_strategy(model, check_conditions=False)
+        gains.append(evaluate_gains(model, strategy).origin_load_reduction)
+    peak = exponents[int(np.argmax(gains))]
+    return 1.0 < peak < 1.5, f"G_O(alpha=0.4) peaks at s={peak:.1f} (paper: ~1.3)"
+
+
+def _check_figure13_peak() -> tuple[bool, str]:
+    from ..core.gains import evaluate_gains
+
+    exponents = [s for s in np.arange(0.3, 1.8, 0.1) if abs(s - 1) > 1e-9]
+    gains = []
+    for s in exponents:
+        scenario = Scenario(alpha=1.0, exponent=float(s))
+        model = scenario.model()
+        strategy = optimal_strategy(model, check_conditions=False)
+        gains.append(evaluate_gains(model, strategy).routing_improvement)
+    peak = exponents[int(np.argmax(gains))]
+    return 0.7 <= peak <= 1.3, f"G_R(alpha=1) peaks at s={peak:.1f} (paper: ~1)"
+
+
+def _check_sensitive_range_shift() -> tuple[bool, str]:
+    low = sensitive_range(Scenario(gamma=2.0), grid_size=101)
+    high = sensitive_range(Scenario(gamma=10.0), grid_size=101)
+    ok = high.alpha_high < low.alpha_low + 0.25 and high.alpha_low < low.alpha_low
+    return ok, (
+        f"gamma=2: [{low.alpha_low:.2f},{low.alpha_high:.2f}]; "
+        f"gamma=10: [{high.alpha_low:.2f},{high.alpha_high:.2f}] "
+        f"(paper quotes [0.6,0.8] and [0.2,0.4]; attribution swapped, "
+        f"see EXPERIMENTS.md)"
+    )
+
+
+def _check_topology_similarity() -> tuple[bool, str]:
+    """§V-A: "We obtain similar results for all four network topologies"."""
+    levels_at_one = []
+    for name in ("abilene", "cernet", "geant", "us-a"):
+        scenario = Scenario.from_topology(load_topology(name))
+        sweep = [
+            optimal_strategy(
+                scenario.replace(alpha=a).model(), check_conditions=False
+            ).level
+            for a in (0.2, 0.5, 0.8, 1.0)
+        ]
+        if sweep != sorted(sweep):  # the Figure-4 trend must hold everywhere
+            return False, f"{name}: l* not monotone in alpha ({sweep})"
+        levels_at_one.append(sweep[-1])
+    spread = max(levels_at_one) - min(levels_at_one)
+    return spread < 0.05, (
+        f"l*(alpha=1) across topologies in "
+        f"[{min(levels_at_one):.3f}, {max(levels_at_one):.3f}] "
+        f"(spread {spread:.3f}); alpha-trend identical on all four"
+    )
+
+
+def _check_metric_duality() -> tuple[bool, str]:
+    """§V-A: hop-count and ms metrics "observed similar results"."""
+    from .experiments import metric_duality
+
+    table = metric_duality(alphas=(0.5, 0.8, 1.0))
+    worst = max(table.column("|diff|"))
+    return worst < 0.12, f"max |l*(hops) - l*(ms)| = {worst:.4f} over 4 topologies"
+
+
+def _check_gr_cap() -> tuple[bool, str]:
+    """The 60-90% G_R claim is impossible under Table IV parameters."""
+    from ..core.gains import evaluate_gains
+
+    best = 0.0
+    for gamma in (8.0, 10.0):
+        scenario = Scenario(alpha=1.0, gamma=gamma)
+        model = scenario.model()
+        strategy = optimal_strategy(model, check_conditions=False)
+        best = max(best, evaluate_gains(model, strategy).routing_improvement)
+    return best < 0.30, (
+        f"max G_R under Table IV = {best:.3f} < 0.30 analytical cap "
+        f"(paper's 60-90% claim inconsistent with its own eq. 2)"
+    )
+
+
+PAPER_CLAIMS: tuple[Claim, ...] = (
+    Claim("T1", "Table I", "Motivating example: 33%->0% origin, 0.67->0.5 hops, 0->1 messages", _check_table1),
+    Claim("T3", "Table III", "Derived topology parameters (n, w, d1-d0) match", _check_table3),
+    Claim("L1", "Lemma 1", "T_w is convex on [0, c] under the stated conditions", _check_convexity),
+    Claim("TH1", "Theorem 1", "The optimal strategy is unique (solver agreement)", _check_uniqueness),
+    Claim("F4a", "Figure 4", "l* increases monotonically from 0 to 1 in alpha", _check_monotone_alpha),
+    Claim("F4b", "Figure 4", "Higher gamma gives a higher coordination level", _check_gamma_dominance),
+    Claim("F4c", "Figure 4", "The alpha-sensitive range location depends on gamma", _check_sensitive_range_shift),
+    Claim("F5a", "Figure 5", "At alpha=1, l* falls from 1 to ~0.35 over s in (0,2)", _check_figure5_alpha1_range),
+    Claim("F5b", "Figure 5", "For alpha<1, l* peaks around s ~ 0.5-0.9", _check_figure5_hump),
+    Claim("TH2", "Theorem 2", "s<1 drives l*->1, s>1 drives l*->0 as n grows", _check_theorem2_limits),
+    Claim("SF", "Theorem 2", "The optimum is latency scale free (depends on gamma only)", _check_scale_free),
+    Claim("F9", "Figure 9", "For small alpha, G_O peaks near s ~ 1.3", _check_figure9_peak),
+    Claim("F13", "Figure 13", "G_R peaks for s close to 1", _check_figure13_peak),
+    Claim("F12", "Figure 12", "G_R magnitude: 60-90% claim fails its own formula (cap ~27%)", _check_gr_cap),
+    Claim("VA1", "Section V-A", "Similar results across all four topologies", _check_topology_similarity),
+    Claim("VA2", "Section V-A", "Hop-count and ms metrics give similar results", _check_metric_duality),
+)
+
+
+def evaluate_claims() -> tuple[ClaimResult, ...]:
+    """Run every registered claim check and collect the scorecard."""
+    results = []
+    for claim in PAPER_CLAIMS:
+        holds, evidence = claim.check()
+        results.append(
+            ClaimResult(
+                claim_id=claim.claim_id,
+                source=claim.source,
+                statement=claim.statement,
+                holds=holds,
+                evidence=evidence,
+            )
+        )
+    return tuple(results)
+
+
+def scorecard_table() -> TableData:
+    """The scorecard as a renderable table (CLI: ``repro run scorecard``)."""
+    results = evaluate_claims()
+    rows = tuple(
+        (r.claim_id, r.source, "PASS" if r.holds else "FAIL", r.statement, r.evidence)
+        for r in results
+    )
+    return TableData(
+        table_id="scorecard",
+        title="Reproduction scorecard: paper claims vs this library",
+        columns=("id", "source", "status", "claim", "measured evidence"),
+        rows=rows,
+    )

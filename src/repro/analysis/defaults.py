@@ -1,0 +1,113 @@
+"""The paper's evaluation parameter settings (Table IV), as code.
+
+Table IV fixes a base parameter point derived from the US-A topology
+(Table III row 4) and, per figure, sweeps one or two parameters around
+it.  This module encodes the base scenario and every figure's grid so
+that the experiment functions and benchmarks share a single source of
+truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.scenario import Scenario
+
+__all__ = [
+    "BASE_SCENARIO",
+    "FIGURE_GAMMAS",
+    "ALPHA_GRID",
+    "ALPHA_GRID_DENSE",
+    "EXPONENT_GRID",
+    "ROUTER_COUNT_GRID",
+    "UNIT_COST_GRID",
+    "TABLE_IV_ROWS",
+]
+
+#: The base evaluation point: Table IV's common values (s = 0.8, n = 20,
+#: N = 1e6, c = 1e3) with w and d1-d0 from the US-A topology (Table III).
+BASE_SCENARIO = Scenario(
+    alpha=0.5,
+    gamma=5.0,
+    exponent=0.8,
+    n_routers=20,
+    catalog_size=10**6,
+    capacity=10**3,
+    unit_cost=26.7,
+    peer_delta=2.2842,
+)
+
+#: Tiered-latency-ratio values of Figures 4, 8 and 12.
+FIGURE_GAMMAS = (2.0, 4.0, 6.0, 8.0, 10.0)
+
+#: The α sweep of Figures 4, 8 and 12 — the open interval (0, 1) plus
+#: its endpoints' closures where the optimum is well defined.
+ALPHA_GRID = tuple(np.round(np.linspace(0.05, 1.0, 20), 4))
+
+#: A denser α grid for curves whose sensitive range needs resolution.
+ALPHA_GRID_DENSE = tuple(np.round(np.linspace(0.02, 1.0, 50), 4))
+
+#: The Zipf-exponent sweep of Figures 5, 9 and 13 — [0.1, 1) ∪ (1, 1.9],
+#: excluding the singular point s = 1.
+EXPONENT_GRID = tuple(
+    float(s)
+    for s in np.round(np.arange(0.1, 1.95, 0.1), 4)
+    if abs(s - 1.0) > 1e-9
+)
+
+#: The α values plotted as separate curves in Figures 5/9/13, 6/10, 7/11.
+CURVE_ALPHAS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: The router-count sweep of Figures 6 and 10.
+ROUTER_COUNT_GRID = (10, 20, 50, 100, 150, 200, 300, 400, 500)
+
+#: The unit-coordination-cost sweep of Figures 7 and 11 (ms).
+UNIT_COST_GRID = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0)
+
+#: Table IV verbatim: per-figure parameter settings, for rendering.
+TABLE_IV_ROWS = (
+    {
+        "figures": "4, 8, 12",
+        "alpha": "(0,1)",
+        "gamma": "{2,4,6,8,10}",
+        "s": "0.8",
+        "n": "20",
+        "N": "1e6",
+        "c": "1e3",
+        "w": "26.7",
+        "d1-d0": "2.2842",
+    },
+    {
+        "figures": "5, 9, 13",
+        "alpha": "[0.2,1]",
+        "gamma": "5",
+        "s": "[0.1,1) U (1,1.9]",
+        "n": "20",
+        "N": "1e6",
+        "c": "1e3",
+        "w": "26.7",
+        "d1-d0": "2.2842",
+    },
+    {
+        "figures": "7, 11",
+        "alpha": "[0.2,1]",
+        "gamma": "5",
+        "s": "0.8",
+        "n": "20",
+        "N": "1e6",
+        "c": "1e3",
+        "w": "10~100",
+        "d1-d0": "2.2842",
+    },
+    {
+        "figures": "6, 10",
+        "alpha": "[0.2,1]",
+        "gamma": "5",
+        "s": "0.8",
+        "n": "10~500",
+        "N": "1e6",
+        "c": "1e3",
+        "w": "26.7",
+        "d1-d0": "2.2842",
+    },
+)

@@ -1,0 +1,998 @@
+"""One function per paper table and figure (§II Table I — §V Figure 13).
+
+Each ``figure*``/``table*`` function regenerates the data behind the
+corresponding artifact of the paper using the library's public API and
+returns a structured result (:class:`~repro.analysis.sweep.FigureData`
+or :class:`TableData`).  The benchmark suite calls these and prints the
+rows/series; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..catalog.popularity import ZipfModel
+from ..catalog.workload import IRMWorkload, SequenceWorkload
+from ..core.optimizer import closed_form_alpha1, optimal_strategy
+from ..core.scenario import Scenario
+from ..core.strategy import ProvisioningStrategy
+from ..errors import ParameterError
+from ..simulation.cache import StaticCache
+from ..simulation.router import CCNRouter
+from ..simulation.routing import OriginModel
+from ..simulation.simulator import SteadyStateSimulator
+from ..topology.datasets import TABLE_III_TARGETS, load_topology
+from ..topology.graph import Topology
+from ..topology.parameters import topology_parameters
+from .defaults import (
+    ALPHA_GRID,
+    BASE_SCENARIO,
+    CURVE_ALPHAS,
+    EXPONENT_GRID,
+    FIGURE_GAMMAS,
+    ROUTER_COUNT_GRID,
+    TABLE_IV_ROWS,
+    UNIT_COST_GRID,
+)
+from .sweep import FigureData, Series, sweep
+
+__all__ = [
+    "TableData",
+    "table1_motivating",
+    "table2_topologies",
+    "table3_parameters",
+    "table4_settings",
+    "figure4_level_vs_alpha",
+    "figure5_level_vs_exponent",
+    "figure6_level_vs_routers",
+    "figure7_level_vs_unit_cost",
+    "figure8_origin_gain_vs_alpha",
+    "figure9_origin_gain_vs_exponent",
+    "figure10_origin_gain_vs_routers",
+    "figure11_origin_gain_vs_unit_cost",
+    "figure12_routing_gain_vs_alpha",
+    "figure13_routing_gain_vs_exponent",
+    "theorem2_closed_form_vs_n",
+    "model_vs_simulation",
+    "metric_duality",
+    "coverage_regime",
+    "popularity_robustness",
+    "irm_vs_locality",
+    "coordination_convergence",
+    "assignment_balance",
+    "pareto_tradeoff",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass(frozen=True)
+class TableData:
+    """A reproduced table: ordered columns and rows of cells."""
+
+    table_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ParameterError(
+                    f"table {self.table_id}: row {row!r} does not match "
+                    f"{len(self.columns)} columns"
+                )
+
+    def column(self, name: str) -> tuple[object, ...]:
+        """All cells of one named column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ParameterError(
+                f"table {self.table_id} has no column {name!r}"
+            )
+        return tuple(row[idx] for row in self.rows)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def _motivating_topology() -> tuple[Topology, OriginModel]:
+    topology = Topology.from_edges(
+        [("R0", "R1"), ("R0", "R2"), ("R1", "R2")],
+        name="motivating",
+        link_latency_ms=5.0,
+    )
+    origin = OriginModel(gateway="R0", extra_hops=1.0, extra_latency_ms=50.0)
+    return topology, origin
+
+
+def table1_motivating(*, requests: int = 600) -> TableData:
+    """Table I: the three-router motivating example, simulated.
+
+    Two clients at R1 and R2 each cycle through requests ``{a, a, b}``
+    (ranks 1, 1, 2); R1 and R2 store one content each, R0 none.  The
+    non-coordinated strategy has both routers cache the most popular
+    content ``a``; the coordinated strategy splits ``{a, b}`` between
+    them at the cost of one consensus message.
+    """
+    if requests % 6 != 0:
+        raise ParameterError(
+            f"request count must be a multiple of the 6-request cycle, got {requests}"
+        )
+    topology, origin = _motivating_topology()
+    workload = SequenceWorkload([("R1", [1, 1, 2]), ("R2", [1, 1, 2])])
+
+    def fleet(r1: frozenset[int], r2: frozenset[int]) -> dict[str, CCNRouter]:
+        return {
+            "R0": CCNRouter("R0", StaticCache(0)),
+            "R1": CCNRouter.provisioned(
+                "R1", frozenset(), r1, coordinated_capacity=1
+            ),
+            "R2": CCNRouter.provisioned(
+                "R2", frozenset(), r2, coordinated_capacity=1
+            ),
+        }
+
+    non_coordinated = SteadyStateSimulator(
+        topology, fleet(frozenset({1}), frozenset({1})), origin=origin
+    ).run(workload, requests)
+    coordinated = SteadyStateSimulator(
+        topology,
+        fleet(frozenset({1}), frozenset({2})),
+        origin=origin,
+        coordination_messages=1,
+    ).run(workload, requests)
+
+    return TableData(
+        table_id="I",
+        title="Comparing the coordinated and non-coordinated strategies",
+        columns=("Metric", "Non-coordinated caching", "Coordinated caching"),
+        rows=(
+            (
+                "Load on origin",
+                non_coordinated.origin_load,
+                coordinated.origin_load,
+            ),
+            ("Routing hop count", non_coordinated.mean_hops, coordinated.mean_hops),
+            (
+                "Coordination cost",
+                non_coordinated.coordination_messages,
+                coordinated.coordination_messages,
+            ),
+        ),
+        notes="Paper values: 33% vs 0%; ~0.67 vs 0.5; 0 vs 1.",
+    )
+
+
+def table2_topologies() -> TableData:
+    """Table II: the four evaluation topologies' basic statistics."""
+    rows = []
+    for name in ("abilene", "cernet", "geant", "us-a"):
+        topology = load_topology(name)
+        rows.append(
+            (
+                topology.name,
+                topology.n_routers,
+                topology.n_directed_edges,
+                topology.region,
+                topology.kind,
+            )
+        )
+    return TableData(
+        table_id="II",
+        title="Topologies used in evaluations",
+        columns=("Topology", "|V|", "|E|", "Region", "Type"),
+        rows=tuple(rows),
+        notes="|E| counts both directions, as the paper does.",
+    )
+
+
+def table3_parameters() -> TableData:
+    """Table III: derived parameters (n, w, d1-d0) per topology."""
+    rows = []
+    for name in ("abilene", "cernet", "geant", "us-a"):
+        params = topology_parameters(load_topology(name))
+        target = TABLE_III_TARGETS[name]
+        rows.append(
+            (
+                params.name,
+                params.n_routers,
+                round(params.unit_cost_ms, 4),
+                round(params.mean_latency_ms, 4),
+                round(params.mean_hops, 4),
+                target.unit_cost_ms,
+                target.mean_latency_ms,
+                target.mean_hops,
+            )
+        )
+    return TableData(
+        table_id="III",
+        title="Topological parameters (measured vs paper)",
+        columns=(
+            "Topology",
+            "n",
+            "w (ms)",
+            "d1-d0 (ms)",
+            "d1-d0 (hops)",
+            "paper w",
+            "paper ms",
+            "paper hops",
+        ),
+        rows=tuple(rows),
+    )
+
+
+def table4_settings() -> TableData:
+    """Table IV: the evaluation parameter grid, verbatim."""
+    columns = ("figures", "alpha", "gamma", "s", "n", "N", "c", "w", "d1-d0")
+    rows = tuple(tuple(row[c] for c in columns) for row in TABLE_IV_ROWS)
+    return TableData(
+        table_id="IV",
+        title="System parameters used in analysis",
+        columns=columns,
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Optimal strategy figures (4-7)
+# ---------------------------------------------------------------------------
+
+
+def figure4_level_vs_alpha(
+    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS
+) -> FigureData:
+    """Figure 4: optimal level ℓ* versus trade-off weight α, per γ."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="alpha",
+        x_values=alphas,
+        quantity="level",
+        curve_field="gamma",
+        curve_values=gammas,
+        curve_label=lambda g: f"gamma={g:g}",
+    )
+    return FigureData(
+        figure_id="4",
+        title="Optimal strategy vs trade-off parameter",
+        xlabel="alpha",
+        ylabel="optimal coordination level l*",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure5_level_vs_exponent(
+    *,
+    exponents: Sequence[float] = EXPONENT_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 5: optimal level ℓ* versus Zipf exponent s, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="exponent",
+        x_values=exponents,
+        quantity="level",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="5",
+        title="Optimal strategy vs Zipf exponent",
+        xlabel="s",
+        ylabel="optimal coordination level l*",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure6_level_vs_routers(
+    *,
+    router_counts: Sequence[int] = ROUTER_COUNT_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 6: optimal level ℓ* versus network size n, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="n_routers",
+        x_values=router_counts,
+        quantity="level",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="6",
+        title="Optimal strategy vs network size",
+        xlabel="n",
+        ylabel="optimal coordination level l*",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure7_level_vs_unit_cost(
+    *,
+    unit_costs: Sequence[float] = UNIT_COST_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 7: optimal level ℓ* versus unit coordination cost w, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="unit_cost",
+        x_values=unit_costs,
+        quantity="level",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="7",
+        title="Optimal strategy vs unit coordination cost",
+        xlabel="w (ms)",
+        ylabel="optimal coordination level l*",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Origin load reduction figures (8-11)
+# ---------------------------------------------------------------------------
+
+
+def figure8_origin_gain_vs_alpha(
+    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS
+) -> FigureData:
+    """Figure 8: origin load reduction G_O versus α, per γ."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="alpha",
+        x_values=alphas,
+        quantity="origin_gain",
+        curve_field="gamma",
+        curve_values=gammas,
+        curve_label=lambda g: f"gamma={g:g}",
+    )
+    return FigureData(
+        figure_id="8",
+        title="Origin load reduction vs trade-off parameter",
+        xlabel="alpha",
+        ylabel="origin load reduction G_O",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure9_origin_gain_vs_exponent(
+    *,
+    exponents: Sequence[float] = EXPONENT_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 9: origin load reduction G_O versus Zipf exponent s, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="exponent",
+        x_values=exponents,
+        quantity="origin_gain",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="9",
+        title="Origin load reduction vs Zipf exponent",
+        xlabel="s",
+        ylabel="origin load reduction G_O",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure10_origin_gain_vs_routers(
+    *,
+    router_counts: Sequence[int] = ROUTER_COUNT_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 10: origin load reduction G_O versus network size n, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="n_routers",
+        x_values=router_counts,
+        quantity="origin_gain",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="10",
+        title="Origin load reduction vs network size",
+        xlabel="n",
+        ylabel="origin load reduction G_O",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure11_origin_gain_vs_unit_cost(
+    *,
+    unit_costs: Sequence[float] = UNIT_COST_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 11: origin load reduction G_O versus unit cost w, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="unit_cost",
+        x_values=unit_costs,
+        quantity="origin_gain",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="11",
+        title="Origin load reduction vs unit coordination cost",
+        xlabel="w (ms)",
+        ylabel="origin load reduction G_O",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Routing improvement figures (12-13)
+# ---------------------------------------------------------------------------
+
+
+def figure12_routing_gain_vs_alpha(
+    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS
+) -> FigureData:
+    """Figure 12: routing performance improvement G_R versus α, per γ."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="alpha",
+        x_values=alphas,
+        quantity="routing_gain",
+        curve_field="gamma",
+        curve_values=gammas,
+        curve_label=lambda g: f"gamma={g:g}",
+    )
+    return FigureData(
+        figure_id="12",
+        title="Routing improvement vs trade-off parameter",
+        xlabel="alpha",
+        ylabel="routing improvement G_R",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+def figure13_routing_gain_vs_exponent(
+    *,
+    exponents: Sequence[float] = EXPONENT_GRID,
+    alphas: Sequence[float] = CURVE_ALPHAS,
+) -> FigureData:
+    """Figure 13: routing performance improvement G_R versus s, per α."""
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="exponent",
+        x_values=exponents,
+        quantity="routing_gain",
+        curve_field="alpha",
+        curve_values=alphas,
+        curve_label=lambda a: f"alpha={a:g}",
+    )
+    return FigureData(
+        figure_id="13",
+        title="Routing improvement vs Zipf exponent",
+        xlabel="s",
+        ylabel="routing improvement G_R",
+        series=series,
+        parameters={"scenario": BASE_SCENARIO},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Additional analyses: metric duality, coverage regime, Theorem 2, validation
+# ---------------------------------------------------------------------------
+
+
+def metric_duality(
+    *, alphas: Sequence[float] = (0.2, 0.5, 0.8, 1.0)
+) -> TableData:
+    """§V-A's dual-metric check: hop-count vs millisecond ``d1-d0``.
+
+    The paper states it evaluated both metrics "and observed similar
+    results".  For each paper topology and trade-off weight, this
+    experiment solves the optimal level twice — once parameterized with
+    the topology's mean pairwise hop count (the presented results) and
+    once with its mean pairwise latency in ms — and reports both.
+
+    Dimensional consistency: switching the latency unit rescales the
+    performance term ``T``, so the cost normalization must carry the
+    same unit (EXPERIMENTS.md note C).  A per-topology rescaling would
+    make the comparison an exact tautology (the optimum is scale free),
+    so the conversion uses one fixed reference — the US-A base point's
+    ms-per-hop — for every topology; the residual differences then
+    reflect each topology's genuine ms-vs-hops structural deviation.
+    """
+    rows = []
+    reference = TABLE_III_TARGETS["us-a"]
+    reference_ms_per_hop = reference.mean_latency_ms / reference.mean_hops
+    for name in ("abilene", "cernet", "geant", "us-a"):
+        topology = load_topology(name)
+        params = topology_parameters(topology)
+        for alpha in alphas:
+            base = BASE_SCENARIO.replace(
+                alpha=alpha,
+                n_routers=params.n_routers,
+                unit_cost=params.unit_cost_ms,
+            )
+            level_hops = (
+                base.replace(peer_delta=params.mean_hops)
+                .solve(check_conditions=False)
+                .level
+            )
+            level_ms = (
+                base.replace(
+                    peer_delta=params.mean_latency_ms,
+                    cost_scale=base.cost_scale * reference_ms_per_hop,
+                )
+                .solve(check_conditions=False)
+                .level
+            )
+            rows.append(
+                (
+                    params.name,
+                    alpha,
+                    round(level_hops, 4),
+                    round(level_ms, 4),
+                    round(abs(level_hops - level_ms), 4),
+                )
+            )
+    return TableData(
+        table_id="metric-duality",
+        title="Optimal level under hop-count vs millisecond peer distance",
+        columns=("Topology", "alpha", "l* (hops)", "l* (ms)", "|diff|"),
+        rows=tuple(rows),
+        notes="Paper §V-A: both metrics give similar results.",
+    )
+
+
+def coverage_regime(
+    *,
+    coverage_ratios: Sequence[float] = (0.02, 0.1, 0.5, 1.0, 2.0),
+    alpha: float = 1.0,
+    gamma: float = 10.0,
+) -> TableData:
+    """Where the paper's 60-90% routing gains actually live.
+
+    Table IV's parameters give aggregate storage ``n·c`` of only 2% of
+    the catalog, capping ``G_R`` below ~28% (EXPERIMENTS.md note on
+    Figure 12).  This experiment sweeps the coverage ratio ``n·c/N`` by
+    growing the per-router capacity and reports the achievable gains —
+    the 60-90% regime appears once coverage approaches the catalog
+    size, recovering the paper's headline magnitudes.
+    """
+    from ..core.gains import evaluate_gains
+    from ..core.optimizer import optimal_strategy
+
+    rows = []
+    n = BASE_SCENARIO.n_routers
+    n_catalog = BASE_SCENARIO.catalog_size
+    for ratio in coverage_ratios:
+        capacity = ratio * n_catalog / n
+        scenario = BASE_SCENARIO.replace(
+            alpha=alpha, gamma=gamma, capacity=capacity
+        )
+        model = scenario.model()
+        strategy = optimal_strategy(model, check_conditions=False)
+        gains = evaluate_gains(model, strategy)
+        rows.append(
+            (
+                ratio,
+                round(capacity, 0),
+                round(strategy.level, 4),
+                round(gains.origin_load_reduction, 4),
+                round(gains.routing_improvement, 4),
+            )
+        )
+    return TableData(
+        table_id="coverage",
+        title="Gains vs storage coverage n*c/N (alpha=1, gamma=10)",
+        columns=("coverage", "c", "l*", "G_O", "G_R"),
+        rows=tuple(rows),
+        notes=(
+            "Table IV's coverage is 0.02; the paper's 60-90% G_R claim "
+            "requires coverage near 1."
+        ),
+    )
+
+
+def theorem2_closed_form_vs_n(
+    *,
+    router_counts: Sequence[int] = (10, 20, 50, 100, 200, 500, 1000, 5000),
+    exponents: Sequence[float] = (0.5, 0.8, 1.2, 1.5),
+    gamma: float = 5.0,
+) -> FigureData:
+    """Theorem 2: ℓ*(α=1) versus n — opposite limits for s<1 and s>1.
+
+    For ``s ∈ (0,1)`` the closed form tends to 1 (coordinate all
+    storage) as ``n`` grows; for ``s ∈ (1,2)`` it tends to 0.
+    """
+    series = []
+    for s in exponents:
+        ys = tuple(
+            closed_form_alpha1(gamma, n, s) for n in router_counts
+        )
+        series.append(
+            Series(
+                label=f"s={s:g}",
+                x=tuple(float(n) for n in router_counts),
+                y=ys,
+            )
+        )
+    return FigureData(
+        figure_id="thm2",
+        title="Closed-form optimal level vs network size (alpha=1)",
+        xlabel="n",
+        ylabel="l* (closed form)",
+        series=tuple(series),
+        parameters={"gamma": gamma},
+    )
+
+
+def model_vs_simulation(
+    *,
+    scenario: Optional[Scenario] = None,
+    levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    requests: int = 50_000,
+    seed: int = 7,
+) -> TableData:
+    """Analytical tier fractions vs event simulation, per level ℓ.
+
+    Uses a reduced instance (the US-A topology, ``c = 50``,
+    ``N = 5000``) so the discrete simulation is exact and fast, and
+    compares the model's predicted origin load against a steady-state
+    simulation of the same placement under IRM Zipf traffic.
+    """
+    if scenario is None:
+        scenario = BASE_SCENARIO.replace(capacity=50.0, catalog_size=5000)
+    topology = load_topology("us-a")
+    if topology.n_routers != scenario.n_routers:
+        scenario = scenario.replace(n_routers=topology.n_routers)
+    popularity = ZipfModel(scenario.exponent, scenario.catalog_size)
+    workload = IRMWorkload(popularity, topology.nodes, seed=seed)
+    perf = scenario.performance_model()
+
+    rows = []
+    for level in levels:
+        strategy = ProvisioningStrategy(
+            capacity=int(scenario.capacity),
+            n_routers=scenario.n_routers,
+            level=level,
+        )
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        )
+        metrics = simulator.run(workload, requests)
+        x = strategy.coordinated_slots
+        model_origin = float(perf.origin_load(float(x), exact=True))
+        rows.append(
+            (
+                level,
+                round(model_origin, 4),
+                round(metrics.origin_load, 4),
+                round(metrics.local_fraction, 4),
+                round(metrics.peer_fraction, 4),
+                round(metrics.mean_hops, 4),
+            )
+        )
+    return TableData(
+        table_id="model-vs-sim",
+        title="Analytical origin load vs steady-state simulation",
+        columns=(
+            "level",
+            "model origin load",
+            "sim origin load",
+            "sim local frac",
+            "sim peer frac",
+            "sim mean hops",
+        ),
+        rows=tuple(rows),
+        notes=f"US-A topology, c=50, N=5000, {requests} IRM requests, seed={seed}.",
+    )
+
+
+def popularity_robustness(
+    *, plateaus: Sequence[float] = (0.0, 10.0, 100.0, 1000.0)
+) -> TableData:
+    """Robustness of the Zipf-assumed strategy to Zipf-Mandelbrot traffic.
+
+    The operator provisions believing popularity is pure Zipf; the
+    network actually sees a flattened head (plateau q).  Reports the
+    objective regret of the misspecified strategy against the true
+    optimum (see repro.analysis.robustness).
+    """
+    from .robustness import misspecification_study
+
+    scenario = BASE_SCENARIO.replace(
+        alpha=0.7, capacity=100.0, catalog_size=100_000
+    )
+    rows = tuple(
+        (
+            row.plateau,
+            round(row.assumed_level, 4),
+            round(row.true_level, 4),
+            round(row.assumed_objective, 4),
+            round(row.true_objective, 4),
+            round(row.relative_regret, 5),
+        )
+        for row in misspecification_study(scenario, plateaus=plateaus)
+    )
+    return TableData(
+        table_id="robustness",
+        title="Zipf-assumed strategy under Zipf-Mandelbrot traffic",
+        columns=(
+            "plateau q",
+            "assumed l*",
+            "true l*",
+            "assumed obj",
+            "true obj",
+            "rel regret",
+        ),
+        rows=rows,
+        notes="alpha=0.7, c=100, N=1e5; regret is vs the true optimum.",
+    )
+
+
+def irm_vs_locality(
+    *,
+    localities: Sequence[float] = (0.0, 0.3, 0.6, 0.8),
+    requests: int = 8_000,
+    warmup: int = 6_000,
+    seed: int = 13,
+) -> TableData:
+    """How temporal locality breaks the model's IRM assumption.
+
+    The analytical model assumes independent references.  Real streams
+    re-reference recent contents; dynamic LRU caches exploit that and
+    beat the IRM-based prediction.  This experiment runs the dynamic
+    simulator under increasing locality and reports the local hit
+    fraction against the model's steady-state expectation.
+    """
+    from ..catalog.workload import LocalityWorkload
+    from ..core.zipf import ZipfPopularity
+    from ..simulation.simulator import DynamicSimulator
+    from ..topology.generators import ring_topology
+
+    topology = ring_topology(8)
+    capacity, catalog, exponent = 40, 5_000, 0.7
+    popularity = ZipfModel(exponent, catalog)
+    model_expectation = float(
+        ZipfPopularity(exponent, catalog).cdf(capacity)
+    )
+    rows = []
+    for locality in localities:
+        workload = LocalityWorkload(
+            popularity,
+            topology.nodes,
+            locality=locality,
+            window=32,
+            seed=seed,
+        )
+        simulator = DynamicSimulator(
+            topology, capacity=capacity, policy="lru", seed=0
+        )
+        metrics = simulator.run(workload, requests, warmup=warmup)
+        rows.append(
+            (
+                locality,
+                round(metrics.local_fraction, 4),
+                round(model_expectation, 4),
+                round(metrics.local_fraction - model_expectation, 4),
+            )
+        )
+    return TableData(
+        table_id="irm-vs-locality",
+        title="Dynamic LRU hit fraction vs the IRM model expectation",
+        columns=(
+            "locality",
+            "sim local frac",
+            "IRM top-c mass",
+            "excess",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"ring-8, c={capacity}, N={catalog}, s={exponent}; the IRM "
+            "column is F(c), the model's per-router ceiling."
+        ),
+    )
+
+
+def coordination_convergence(
+    *, level: float = 0.5, capacity: int = 20
+) -> TableData:
+    """§V-A's justification for w = max pairwise latency.
+
+    The paper estimates the unit coordination cost by the *maximum*
+    pairwise latency "since the communications ... can be implemented
+    in parallel, and the maximum latency plays a key role in
+    determining the speed of converging to the optimal strategy".
+    This experiment measures the distributed protocol's actual round
+    latency per topology and compares it against w: the round time is
+    a small multiple of w (bounded by 2x: one convergecast + one
+    dissemination sweep, each gated by the deepest leaf ~ w).
+    """
+    from ..core.strategy import ProvisioningStrategy
+    from ..simulation.protocol import DistributedCoordinator
+
+    rows = []
+    for name in ("abilene", "cernet", "geant", "us-a"):
+        topology = load_topology(name)
+        params = topology_parameters(topology)
+        coordinator = DistributedCoordinator(topology)
+        outcome = coordinator.run_round(
+            ProvisioningStrategy(
+                capacity=capacity, n_routers=topology.n_routers, level=level
+            )
+        )
+        rows.append(
+            (
+                params.name,
+                round(params.unit_cost_ms, 2),
+                round(outcome.convergecast_latency_ms, 2),
+                round(outcome.dissemination_latency_ms, 2),
+                round(outcome.round_latency_ms, 2),
+                round(outcome.round_latency_ms / params.unit_cost_ms, 3),
+            )
+        )
+    return TableData(
+        table_id="convergence",
+        title="Coordination round latency vs w = max pairwise latency",
+        columns=(
+            "Topology",
+            "w (ms)",
+            "convergecast",
+            "dissemination",
+            "round (ms)",
+            "round/w",
+        ),
+        rows=tuple(rows),
+        notes="Validates the paper's w-estimation rationale (round <= 2w).",
+    )
+
+
+def assignment_balance(
+    *, level: float = 0.5, requests: int = 20_000, seed: int = 17
+) -> TableData:
+    """Round-robin vs contiguous coordinated-rank assignment.
+
+    The analytical model is agnostic to how coordinated ranks map onto
+    routers, but real routers are not: contiguous blocks hand the most
+    popular coordinated ranks to one router, concentrating the peer
+    traffic, while round-robin interleaves popularity across routers.
+    This experiment measures the per-router peer-service imbalance
+    (coefficient of variation) under both disciplines — identical
+    aggregate performance, very different load distribution.
+    """
+    topology = load_topology("us-a")
+    popularity = ZipfModel(0.8, 5_000)
+    workload = IRMWorkload(popularity, topology.nodes, seed=seed)
+    rows = []
+    for assignment in ("round-robin", "contiguous"):
+        strategy = ProvisioningStrategy(
+            capacity=50,
+            n_routers=topology.n_routers,
+            level=level,
+            assignment=assignment,
+        )
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        )
+        metrics = simulator.run(workload, requests)
+        served = metrics.served_by
+        rows.append(
+            (
+                assignment,
+                round(metrics.origin_load, 4),
+                round(metrics.peer_fraction, 4),
+                max(served.values()) if served else 0,
+                min(served.values()) if served else 0,
+                round(metrics.peer_load_imbalance(topology.n_routers), 4),
+            )
+        )
+    return TableData(
+        table_id="assignment",
+        title="Coordinated-rank assignment: peer-service load balance",
+        columns=(
+            "assignment",
+            "origin load",
+            "peer frac",
+            "max served",
+            "min served",
+            "imbalance CV",
+        ),
+        rows=tuple(rows),
+        notes="US-A, c=50, N=5000, level 0.5; aggregate metrics match.",
+    )
+
+
+def pareto_tradeoff(
+    *, alphas: Optional[Sequence[float]] = None
+) -> TableData:
+    """The performance/cost Pareto frontier traced by the alpha sweep.
+
+    Each row is one optimal operating point (W(x*), T(x*)); the knee
+    row marks the standard no-preference choice (max distance from the
+    extremes' chord).  See repro.analysis.pareto.
+    """
+    import numpy as np
+
+    from .pareto import knee_point, pareto_frontier
+
+    if alphas is None:
+        alphas = tuple(np.round(np.linspace(0.0, 1.0, 21), 4))
+    points = pareto_frontier(BASE_SCENARIO, alphas=alphas)
+    knee = knee_point(points)
+    rows = tuple(
+        (
+            p.alpha,
+            round(p.level, 4),
+            round(p.latency, 4),
+            round(p.cost, 4),
+            "<- knee" if p is knee else "",
+        )
+        for p in points
+    )
+    return TableData(
+        table_id="pareto",
+        title="Performance/cost Pareto frontier (alpha sweep)",
+        columns=("alpha", "l*", "T(x*)", "W(x*)", ""),
+        rows=rows,
+        notes="Table IV base point; cost in normalized units (note C).",
+    )
+
+
+def _scorecard():
+    """Reproduction scorecard: every paper claim checked (see claims.py)."""
+    from .claims import scorecard_table
+
+    return scorecard_table()
+
+
+_scorecard.__doc__ = "Reproduction scorecard: every paper claim checked live."
+
+
+#: Registry of every experiment, for the CLI and the benchmark suite.
+ALL_EXPERIMENTS: Mapping[str, object] = {
+    "table1": table1_motivating,
+    "table2": table2_topologies,
+    "table3": table3_parameters,
+    "table4": table4_settings,
+    "figure4": figure4_level_vs_alpha,
+    "figure5": figure5_level_vs_exponent,
+    "figure6": figure6_level_vs_routers,
+    "figure7": figure7_level_vs_unit_cost,
+    "figure8": figure8_origin_gain_vs_alpha,
+    "figure9": figure9_origin_gain_vs_exponent,
+    "figure10": figure10_origin_gain_vs_routers,
+    "figure11": figure11_origin_gain_vs_unit_cost,
+    "figure12": figure12_routing_gain_vs_alpha,
+    "figure13": figure13_routing_gain_vs_exponent,
+    "theorem2": theorem2_closed_form_vs_n,
+    "model-vs-sim": model_vs_simulation,
+    "metric-duality": metric_duality,
+    "coverage": coverage_regime,
+    "robustness": popularity_robustness,
+    "irm-vs-locality": irm_vs_locality,
+    "assignment": assignment_balance,
+    "pareto": pareto_tradeoff,
+    "convergence": coordination_convergence,
+    "scorecard": _scorecard,
+}

@@ -1,0 +1,105 @@
+"""Machine-readable export of reproduced tables and figures.
+
+Besides the fixed-width text of :mod:`repro.analysis.tables`, results
+can be written as CSV (one file per table/figure, ready for plotting
+tools) or JSON (one document with full metadata, ready for archival or
+diffing between library versions).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ParameterError
+from .experiments import TableData
+from .sweep import FigureData
+
+__all__ = [
+    "table_to_csv",
+    "figure_to_csv",
+    "table_to_json",
+    "figure_to_json",
+    "export_result",
+]
+
+Result = Union[TableData, FigureData]
+
+
+def table_to_csv(table: TableData) -> str:
+    """Render a table as CSV text (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def figure_to_csv(figure: FigureData) -> str:
+    """Render a figure as CSV: x column plus one column per series."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([figure.xlabel] + [s.label for s in figure.series])
+    if figure.series:
+        for i, x in enumerate(figure.series[0].x):
+            writer.writerow([x] + [s.y[i] for s in figure.series])
+    return buffer.getvalue()
+
+
+def table_to_json(table: TableData) -> str:
+    """Render a table as a JSON document with metadata."""
+    document = {
+        "kind": "table",
+        "id": table.table_id,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": table.notes,
+    }
+    return json.dumps(document, indent=2, default=str)
+
+
+def figure_to_json(figure: FigureData) -> str:
+    """Render a figure as a JSON document with metadata."""
+    document = {
+        "kind": "figure",
+        "id": figure.figure_id,
+        "title": figure.title,
+        "xlabel": figure.xlabel,
+        "ylabel": figure.ylabel,
+        "series": [
+            {"label": s.label, "x": list(s.x), "y": list(s.y)}
+            for s in figure.series
+        ],
+        "parameters": {k: str(v) for k, v in figure.parameters.items()},
+    }
+    return json.dumps(document, indent=2, default=str)
+
+
+def export_result(
+    result: Result, fmt: str, *, path: Union[str, Path, None] = None
+) -> str:
+    """Serialize a table/figure to ``fmt`` (``csv`` or ``json``).
+
+    Returns the serialized text; when ``path`` is given the text is
+    also written there.
+    """
+    if isinstance(result, TableData):
+        renderers = {"csv": table_to_csv, "json": table_to_json}
+    elif isinstance(result, FigureData):
+        renderers = {"csv": figure_to_csv, "json": figure_to_json}
+    else:
+        raise ParameterError(
+            f"cannot export object of type {type(result).__name__}"
+        )
+    renderer = renderers.get(fmt.lower())
+    if renderer is None:
+        raise ParameterError(f"unknown export format {fmt!r}; use 'csv' or 'json'")
+    text = renderer(result)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,104 @@
+"""The performance/cost Pareto frontier behind eq. 4.
+
+The paper scalarizes two objectives — routing performance ``T(x)`` and
+coordination cost ``W(x)`` — with a weight ``α``.  Sweeping ``α`` over
+``[0, 1]`` and recording each optimum's ``(W(x*), T(x*))`` traces the
+*Pareto frontier* of the underlying bi-objective problem (for convex
+problems the scalarization recovers the whole frontier).  This is the
+curve a carrier actually reads when picking ``α``: how much latency a
+marginal unit of coordination budget buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.optimizer import optimal_strategy
+from ..core.scenario import Scenario
+from ..errors import ParameterError
+
+__all__ = ["ParetoPoint", "pareto_frontier", "knee_point"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the performance/cost frontier.
+
+    Attributes
+    ----------
+    alpha:
+        The scalarization weight producing this point.
+    level:
+        The optimal coordination level ``ℓ*(α)``.
+    latency:
+        Routing performance ``T(x*)`` (the first objective).
+    cost:
+        Coordination cost ``W(x*)`` (the second objective, in the
+        scenario's normalized units).
+    """
+
+    alpha: float
+    level: float
+    latency: float
+    cost: float
+
+
+def pareto_frontier(
+    scenario: Scenario,
+    *,
+    alphas: Sequence[float] = tuple(np.round(np.linspace(0.0, 1.0, 21), 4)),
+) -> tuple[ParetoPoint, ...]:
+    """Trace the (cost, latency) frontier by sweeping the weight ``α``.
+
+    Points are returned in ``α`` order; by convexity (Lemma 1) latency
+    is non-increasing and cost non-decreasing along the sweep, which
+    the tests assert.
+    """
+    if not alphas:
+        raise ParameterError("need at least one alpha")
+    points = []
+    for alpha in alphas:
+        spec = scenario.replace(alpha=float(alpha))
+        model = spec.model()
+        strategy = optimal_strategy(model, check_conditions=False)
+        points.append(
+            ParetoPoint(
+                alpha=float(alpha),
+                level=strategy.level,
+                latency=float(model.performance.mean_latency(strategy.storage)),
+                cost=float(model.cost.cost(strategy.storage, spec.n_routers)),
+            )
+        )
+    return tuple(points)
+
+
+def knee_point(points: Sequence[ParetoPoint]) -> ParetoPoint:
+    """The frontier's knee: the point farthest from the extremes' chord.
+
+    A standard multi-objective heuristic for "the" operating point when
+    no explicit weight is preferred: normalize both objectives to
+    [0, 1], draw the line between the two frontier endpoints, and pick
+    the point with the maximum perpendicular distance below it.
+    """
+    if len(points) < 3:
+        raise ParameterError("need at least 3 frontier points to find a knee")
+    costs = np.array([p.cost for p in points])
+    latencies = np.array([p.latency for p in points])
+    cost_span = costs.max() - costs.min()
+    latency_span = latencies.max() - latencies.min()
+    if cost_span <= 0 or latency_span <= 0:
+        raise ParameterError("degenerate frontier: an objective never moves")
+    x = (costs - costs.min()) / cost_span
+    y = (latencies - latencies.min()) / latency_span
+    # Chord from the first to the last point in sweep order.
+    x0, y0, x1, y1 = x[0], y[0], x[-1], y[-1]
+    chord_length = float(np.hypot(x1 - x0, y1 - y0))
+    if chord_length == 0:
+        raise ParameterError("degenerate frontier: endpoints coincide")
+    distances = np.abs(
+        (y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0
+    ) / chord_length
+    return points[int(np.argmax(distances))]

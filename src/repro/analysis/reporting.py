@@ -1,0 +1,112 @@
+"""Live markdown report generation.
+
+Regenerates a paper-vs-measured reproduction report from scratch — the
+programmatic counterpart of EXPERIMENTS.md: the scorecard, every table,
+and every figure, all computed by the current build and rendered as one
+markdown document.  ``python -m repro report -o report.md`` writes it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from .experiments import ALL_EXPERIMENTS, TableData
+from .sweep import FigureData
+from ..errors import ParameterError
+
+__all__ = ["table_to_markdown", "figure_to_markdown", "generate_report"]
+
+
+def _format(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def table_to_markdown(table: TableData) -> str:
+    """One table as a GitHub-flavoured markdown section."""
+    lines = [f"### Table {table.table_id}: {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(_format(cell) for cell in row) + " |")
+    if table.notes:
+        lines.append("")
+        lines.append(f"*{table.notes}*")
+    return "\n".join(lines)
+
+
+def figure_to_markdown(figure: FigureData) -> str:
+    """One figure as a markdown section (x column + series columns)."""
+    lines = [
+        f"### Figure {figure.figure_id}: {figure.title}",
+        "",
+        f"*y-axis: {figure.ylabel}*",
+        "",
+    ]
+    header = [figure.xlabel] + [s.label for s in figure.series]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    if figure.series:
+        for i, x in enumerate(figure.series[0].x):
+            row = [_format(x)] + [_format(s.y[i]) for s in figure.series]
+            lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def generate_report(
+    *,
+    experiments: Optional[Iterable[str]] = None,
+    path: Union[str, Path, None] = None,
+    title: str = "Reproduction report",
+) -> str:
+    """Run experiments and render them into one markdown document.
+
+    Parameters
+    ----------
+    experiments:
+        Experiment ids to include, in order (defaults to all of
+        :data:`~repro.analysis.experiments.ALL_EXPERIMENTS`, scorecard
+        first).
+    path:
+        Optional output file.
+    title:
+        Document heading.
+
+    Returns the markdown text.
+    """
+    if experiments is None:
+        names = list(ALL_EXPERIMENTS)
+        if "scorecard" in names:
+            names.remove("scorecard")
+            names.insert(0, "scorecard")
+    else:
+        names = list(experiments)
+        unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+        if unknown:
+            raise ParameterError(
+                f"unknown experiments {unknown}; valid ids: "
+                f"{sorted(ALL_EXPERIMENTS)}"
+            )
+    sections = [
+        f"# {title}",
+        "",
+        "Generated live by `repro` — every number below was computed by "
+        "this build.  See EXPERIMENTS.md for the paper-vs-measured "
+        "commentary and DESIGN.md for the system inventory.",
+    ]
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        if isinstance(result, TableData):
+            sections.append(table_to_markdown(result))
+        elif isinstance(result, FigureData):
+            sections.append(figure_to_markdown(result))
+        else:  # pragma: no cover - registry holds only tables/figures
+            sections.append(f"### {name}\n\n```\n{result}\n```")
+    text = "\n\n".join(sections) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,153 @@
+"""Robustness of the optimal strategy to popularity misspecification.
+
+The paper's optimizer assumes pure Zipf popularity.  Real catalogs
+often follow Zipf–Mandelbrot (a flattened head: rank weight
+``(i+q)^{-s}``) — so what does deploying the Zipf-optimal ℓ* cost when
+the true popularity has a plateau?
+
+:func:`discrete_objective` evaluates the weighted objective under *any*
+discrete popularity model (the same three-tier structure as eq. 2, with
+the exact pmf instead of the continuous approximation), and
+:func:`misspecification_study` compares the Zipf-assumed strategy
+against the true optimum as the plateau ``q`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..catalog.popularity import PopularityModel, ZipfMandelbrotModel
+from ..core.scenario import Scenario
+from ..errors import ParameterError
+
+__all__ = [
+    "discrete_objective",
+    "optimal_level_discrete",
+    "MisspecificationRow",
+    "misspecification_study",
+]
+
+
+def discrete_objective(
+    scenario: Scenario, popularity: PopularityModel, level: float
+) -> float:
+    """Eq. 4 evaluated with an arbitrary discrete popularity model.
+
+    Tier fractions use the model's exact CDF at the rank boundaries the
+    provisioning induces (local ``c-x``, coordinated through
+    ``c-x+n·x``); latency and cost parameters come from the scenario.
+    """
+    if not 0.0 <= level <= 1.0:
+        raise ParameterError(f"level must lie in [0, 1], got {level}")
+    if popularity.catalog_size != scenario.catalog_size:
+        raise ParameterError(
+            "popularity and scenario disagree on catalog size "
+            f"({popularity.catalog_size} != {scenario.catalog_size})"
+        )
+    capacity = scenario.capacity
+    x = level * capacity
+    n = scenario.n_routers
+    local_boundary = int(np.floor(capacity - x))
+    coordinated_boundary = int(np.floor(capacity - x + x * n))
+    f_local = popularity.cdf(local_boundary)
+    f_coordinated = popularity.cdf(coordinated_boundary)
+    latency = scenario.latency()
+    mean_latency = (
+        f_local * latency.d0
+        + (f_coordinated - f_local) * latency.d1
+        + (1.0 - f_coordinated) * latency.d2
+    )
+    cost = float(scenario.cost_model().cost(x, n))
+    return scenario.alpha * mean_latency + (1.0 - scenario.alpha) * cost
+
+
+def optimal_level_discrete(
+    scenario: Scenario,
+    popularity: PopularityModel,
+    *,
+    resolution: int = 401,
+) -> tuple[float, float]:
+    """Grid-optimal ``(level, objective)`` under a discrete popularity."""
+    if resolution < 2:
+        raise ParameterError(f"resolution must be at least 2, got {resolution}")
+    levels = np.linspace(0.0, 1.0, resolution)
+    values = np.array(
+        [discrete_objective(scenario, popularity, float(l)) for l in levels]
+    )
+    best = int(np.argmin(values))
+    return float(levels[best]), float(values[best])
+
+
+@dataclass(frozen=True)
+class MisspecificationRow:
+    """Outcome of one plateau setting.
+
+    Attributes
+    ----------
+    plateau:
+        The true popularity's Zipf–Mandelbrot ``q``.
+    assumed_level:
+        ℓ* solved under the (misspecified) pure-Zipf assumption.
+    true_level:
+        The grid optimum under the true popularity.
+    assumed_objective / true_objective:
+        The true-popularity objective at each level.
+    regret:
+        ``assumed_objective - true_objective`` — what misspecification
+        costs; 0 means the Zipf strategy was robust.
+    """
+
+    plateau: float
+    assumed_level: float
+    true_level: float
+    assumed_objective: float
+    true_objective: float
+
+    @property
+    def regret(self) -> float:
+        return self.assumed_objective - self.true_objective
+
+    @property
+    def relative_regret(self) -> float:
+        """Regret as a fraction of the true optimum."""
+        return self.regret / self.true_objective if self.true_objective else 0.0
+
+
+def misspecification_study(
+    scenario: Scenario,
+    *,
+    plateaus: Sequence[float] = (0.0, 10.0, 100.0, 1000.0),
+    resolution: int = 401,
+) -> tuple[MisspecificationRow, ...]:
+    """Zipf-assumed strategy vs true optimum under Zipf–Mandelbrot traffic.
+
+    For every plateau ``q``: the operator solves ℓ* believing popularity
+    is Zipf(``s``) (the scenario's exponent); the network actually sees
+    Zipf–Mandelbrot(``s``, ``q``).  Both levels are scored under the
+    *true* popularity.
+    """
+    assumed_level = scenario.solve(check_conditions=False).level
+    rows = []
+    for plateau in plateaus:
+        true_popularity = ZipfMandelbrotModel(
+            scenario.exponent, plateau, scenario.catalog_size
+        )
+        true_level, true_objective = optimal_level_discrete(
+            scenario, true_popularity, resolution=resolution
+        )
+        assumed_objective = discrete_objective(
+            scenario, true_popularity, assumed_level
+        )
+        rows.append(
+            MisspecificationRow(
+                plateau=float(plateau),
+                assumed_level=assumed_level,
+                true_level=true_level,
+                assumed_objective=assumed_objective,
+                true_objective=true_objective,
+            )
+        )
+    return tuple(rows)

@@ -1,0 +1,152 @@
+"""Sensitivity analysis of the optimal strategy (paper §V-B).
+
+The paper repeatedly discusses the *stability* of the optimal strategy:
+ℓ* has an α-"sensitive range" whose location depends on γ, and its
+response to the other parameters varies sharply across regimes.  This
+module quantifies those observations:
+
+- :func:`level_sensitivity` — the finite-difference derivative of ℓ*
+  with respect to any scenario field;
+- :func:`sensitive_range` — the α-interval over which ℓ* climbs
+  through the central portion of its swing (the paper's "sensitive
+  range", e.g. "[0.2, 0.4] when γ = 2");
+- :func:`sensitivity_profile` — all first-order sensitivities at one
+  parameter point, as a table-friendly mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.optimizer import optimal_strategy
+from ..core.scenario import Scenario
+from ..errors import ParameterError
+
+__all__ = ["SensitiveRange", "level_sensitivity", "sensitive_range", "sensitivity_profile"]
+
+#: Scenario fields sensitivity analysis may differentiate against.
+_NUMERIC_FIELDS = (
+    "alpha",
+    "gamma",
+    "exponent",
+    "unit_cost",
+    "peer_delta",
+    "capacity",
+)
+
+
+def _solve_level(scenario: Scenario) -> float:
+    return optimal_strategy(scenario.model(), check_conditions=False).level
+
+
+def level_sensitivity(
+    scenario: Scenario, field: str, *, relative_step: float = 1e-4
+) -> float:
+    """Central finite-difference ``dℓ*/dθ`` for one scenario field.
+
+    Integer-valued fields (``n_routers``, ``catalog_size``) change the
+    problem discretely and are rejected; perturb them explicitly
+    instead.
+    """
+    if field not in _NUMERIC_FIELDS:
+        raise ParameterError(
+            f"cannot differentiate against {field!r}; choose one of "
+            f"{_NUMERIC_FIELDS}"
+        )
+    value = float(getattr(scenario, field))
+    step = max(abs(value), 1.0) * relative_step
+    lo_value, hi_value = value - step, value + step
+    # Keep the perturbations inside each field's admissible region.
+    if field == "alpha":
+        lo_value, hi_value = max(lo_value, 0.0), min(hi_value, 1.0)
+    if field == "exponent":
+        lo_value = max(lo_value, 1e-3)
+        hi_value = min(hi_value, 2.0 - 1e-3)
+    if hi_value <= lo_value:
+        raise ParameterError(
+            f"field {field!r} has no room to perturb around {value}"
+        )
+    lo = _solve_level(scenario.replace(**{field: lo_value}))
+    hi = _solve_level(scenario.replace(**{field: hi_value}))
+    return (hi - lo) / (hi_value - lo_value)
+
+
+@dataclass(frozen=True)
+class SensitiveRange:
+    """The α-interval carrying the central mass of ℓ*'s swing.
+
+    Attributes
+    ----------
+    alpha_low / alpha_high:
+        Interval endpoints: where ℓ* first exceeds ``low_fraction`` /
+        ``high_fraction`` of its full swing.
+    level_low / level_high:
+        ℓ* at the two endpoints.
+    max_slope_alpha:
+        The α of steepest ascent within the grid.
+    """
+
+    alpha_low: float
+    alpha_high: float
+    level_low: float
+    level_high: float
+    max_slope_alpha: float
+
+    @property
+    def width(self) -> float:
+        """Interval width in α."""
+        return self.alpha_high - self.alpha_low
+
+
+def sensitive_range(
+    scenario: Scenario,
+    *,
+    low_fraction: float = 0.25,
+    high_fraction: float = 0.75,
+    grid_size: int = 201,
+) -> SensitiveRange:
+    """Locate the paper's "sensitive range" of α for one scenario.
+
+    Sweeps α over a fine grid, finds the full swing
+    ``ℓ*(1) - ℓ*(0+)``, and reports where the curve crosses the
+    ``low_fraction`` and ``high_fraction`` quantiles of that swing.
+    """
+    if not 0.0 <= low_fraction < high_fraction <= 1.0:
+        raise ParameterError(
+            f"fractions must satisfy 0 <= low < high <= 1, got "
+            f"({low_fraction}, {high_fraction})"
+        )
+    if grid_size < 10:
+        raise ParameterError(f"grid too coarse: {grid_size}")
+    alphas = np.linspace(0.005, 1.0, grid_size)
+    levels = np.array(
+        [_solve_level(scenario.replace(alpha=float(a))) for a in alphas]
+    )
+    swing = levels[-1] - levels[0]
+    if swing <= 1e-6:
+        raise ParameterError(
+            "optimal level does not vary with alpha for this scenario; "
+            "no sensitive range exists"
+        )
+    low_target = levels[0] + low_fraction * swing
+    high_target = levels[0] + high_fraction * swing
+    low_idx = int(np.argmax(levels >= low_target))
+    high_idx = int(np.argmax(levels >= high_target))
+    slopes = np.diff(levels) / np.diff(alphas)
+    return SensitiveRange(
+        alpha_low=float(alphas[low_idx]),
+        alpha_high=float(alphas[high_idx]),
+        level_low=float(levels[low_idx]),
+        level_high=float(levels[high_idx]),
+        max_slope_alpha=float(alphas[int(np.argmax(slopes))]),
+    )
+
+
+def sensitivity_profile(scenario: Scenario) -> Mapping[str, float]:
+    """All first-order sensitivities ``dℓ*/dθ`` at one parameter point."""
+    return {
+        field: level_sensitivity(scenario, field) for field in _NUMERIC_FIELDS
+    }

@@ -1,0 +1,161 @@
+"""Generic parameter-sweep engine for the evaluation figures.
+
+Every figure of the paper is a family of 1-D sweeps: one scenario
+field varies along the x-axis, one field distinguishes the curves, and
+some scalar of the solved optimum (``ℓ*``, ``G_O`` or ``G_R``) is the
+y-value.  :func:`sweep` runs exactly that and returns structured
+:class:`Series`/:class:`FigureData` objects the benchmarks and the CLI
+render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..core.gains import evaluate_gains
+from ..core.optimizer import optimal_strategy
+from ..core.scenario import Scenario
+from ..errors import ParameterError
+
+__all__ = ["Series", "FigureData", "QUANTITIES", "solve_quantity", "sweep"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: parallel x and y sequences."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ParameterError(
+                f"series {self.label!r} has mismatched lengths "
+                f"({len(self.x)} x vs {len(self.y)} y)"
+            )
+
+    def y_at(self, x_value: float, *, tolerance: float = 1e-9) -> float:
+        """The y value at an exact x grid point."""
+        for xv, yv in zip(self.x, self.y):
+            if abs(xv - x_value) <= tolerance:
+                return yv
+        raise ParameterError(f"x = {x_value} is not a grid point of {self.label!r}")
+
+    def is_monotone_increasing(self, *, tolerance: float = 1e-9) -> bool:
+        """Whether the curve never decreases (up to tolerance)."""
+        return all(b >= a - tolerance for a, b in zip(self.y, self.y[1:]))
+
+    def is_monotone_decreasing(self, *, tolerance: float = 1e-9) -> bool:
+        """Whether the curve never increases (up to tolerance)."""
+        return all(b <= a + tolerance for a, b in zip(self.y, self.y[1:]))
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """All series of one reproduced figure, plus axis metadata."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: tuple[Series, ...]
+    parameters: Mapping[str, object] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        """Find a series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ParameterError(
+            f"figure {self.figure_id} has no series labelled {label!r}"
+        )
+
+
+def _solve_level(scenario: Scenario) -> float:
+    return optimal_strategy(scenario.model(), check_conditions=False).level
+
+
+def _solve_origin_gain(scenario: Scenario) -> float:
+    model = scenario.model()
+    strategy = optimal_strategy(model, check_conditions=False)
+    return evaluate_gains(model, strategy).origin_load_reduction
+
+
+def _solve_routing_gain(scenario: Scenario) -> float:
+    model = scenario.model()
+    strategy = optimal_strategy(model, check_conditions=False)
+    return evaluate_gains(model, strategy).routing_improvement
+
+
+#: Named y-axis quantities a sweep can compute from a scenario.
+QUANTITIES: Mapping[str, Callable[[Scenario], float]] = {
+    "level": _solve_level,
+    "origin_gain": _solve_origin_gain,
+    "routing_gain": _solve_routing_gain,
+}
+
+
+def solve_quantity(scenario: Scenario, quantity: str) -> float:
+    """Solve one scenario for one named quantity (``level``, ``origin_gain``, ``routing_gain``)."""
+    try:
+        fn = QUANTITIES[quantity]
+    except KeyError:
+        raise ParameterError(
+            f"unknown quantity {quantity!r}; expected one of {sorted(QUANTITIES)}"
+        )
+    return fn(scenario)
+
+
+def sweep(
+    base: Scenario,
+    *,
+    x_field: str,
+    x_values: Sequence[float],
+    quantity: str,
+    curve_field: Optional[str] = None,
+    curve_values: Sequence[float] = (),
+    curve_label: Optional[Callable[[float], str]] = None,
+) -> tuple[Series, ...]:
+    """Run a 1-D sweep, optionally fanned out into multiple curves.
+
+    Parameters
+    ----------
+    base:
+        The scenario supplying every non-swept parameter.
+    x_field / x_values:
+        The scenario field for the x-axis and its grid.
+    quantity:
+        Which y-quantity to solve (a key of :data:`QUANTITIES`).
+    curve_field / curve_values:
+        Optional second field: one :class:`Series` per value.
+    curve_label:
+        Formats a curve value into a series label; defaults to
+        ``"{field}={value}"``.
+    """
+    if curve_field is None:
+        curve_values = (None,)  # type: ignore[assignment]
+
+    def label_for(value: object) -> str:
+        if curve_field is None:
+            return quantity
+        if curve_label is not None:
+            return curve_label(value)  # type: ignore[arg-type]
+        return f"{curve_field}={value}"
+
+    result: list[Series] = []
+    for curve_value in curve_values:
+        scenario = (
+            base
+            if curve_field is None
+            else base.replace(**{curve_field: curve_value})
+        )
+        ys = tuple(
+            solve_quantity(scenario.replace(**{x_field: xv}), quantity)
+            for xv in x_values
+        )
+        result.append(
+            Series(label=label_for(curve_value), x=tuple(float(v) for v in x_values), y=ys)
+        )
+    return tuple(result)

@@ -1,0 +1,136 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+The benchmark harness and CLI print the paper's artifacts as
+fixed-width text: tables cell-by-cell, figures as one row per x grid
+point with one column per series — the same rows/series the paper
+reports, suitable for diffing across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .experiments import TableData
+from .sweep import FigureData
+
+__all__ = ["render_table", "render_figure", "render_ascii_chart", "format_cell"]
+
+
+def format_cell(value: object, *, precision: int = 4) -> str:
+    """Format one cell: floats to fixed precision, the rest via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def _render_grid(
+    title: str, columns: Sequence[str], rows: Iterable[Sequence[object]],
+    *, precision: int = 4,
+) -> str:
+    formatted_rows = [
+        [format_cell(cell, precision=precision) for cell in row] for row in rows
+    ]
+    widths = [len(c) for c in columns]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table(table: TableData, *, precision: int = 4) -> str:
+    """Render a :class:`TableData` to fixed-width text."""
+    body = _render_grid(
+        f"Table {table.table_id}: {table.title}",
+        table.columns,
+        table.rows,
+        precision=precision,
+    )
+    if table.notes:
+        body += f"\n  note: {table.notes}"
+    return body
+
+
+def render_ascii_chart(
+    figure: FigureData, *, width: int = 68, height: int = 18
+) -> str:
+    """Render a figure as an ASCII line chart (terminal-friendly).
+
+    Each series gets a marker character; points map onto a
+    ``width × height`` character grid spanning the data's bounding box.
+    Intended for quick visual inspection in the CLI — the numeric grid
+    of :func:`render_figure` remains the canonical output.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("chart needs at least 16x6 characters")
+    lines = [f"Figure {figure.figure_id}: {figure.title}"]
+    if not figure.series or not figure.series[0].x:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    markers = "*o+x#@%&"
+    xs = [x for s in figure.series for x in s.x]
+    ys = [y for s in figure.series for y in s.y]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(figure.series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(series.x, series.y):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            grid[row][col] = marker
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis_label = (
+        f"{' ' * label_width}  {x_min:.3g}"
+        f"{' ' * max(width - len(f'{x_min:.3g}') - len(f'{x_max:.3g}') - 1, 1)}"
+        f"{x_max:.3g}"
+    )
+    lines.append(x_axis_label)
+    lines.append(
+        f"x: {figure.xlabel}; y: {figure.ylabel}; "
+        + ", ".join(
+            f"{markers[i % len(markers)]}={s.label}"
+            for i, s in enumerate(figure.series)
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData, *, precision: int = 4) -> str:
+    """Render a :class:`FigureData` as a grid: x column + one column per series."""
+    columns = [figure.xlabel] + [s.label for s in figure.series]
+    if figure.series:
+        x_grid = figure.series[0].x
+        rows = [
+            [x] + [s.y[i] for s in figure.series] for i, x in enumerate(x_grid)
+        ]
+    else:
+        rows = []
+    body = _render_grid(
+        f"Figure {figure.figure_id}: {figure.title}  [y: {figure.ylabel}]",
+        columns,
+        rows,
+        precision=precision,
+    )
+    return body

@@ -1,0 +1,16 @@
+"""Baseline strategies: fixed levels and derivative-free solvers."""
+
+from .fixed import (
+    fixed_level_strategy,
+    fully_coordinated_strategy,
+    non_coordinated_strategy,
+)
+from .heuristics import grid_search_strategy, marginal_value_level
+
+__all__ = [
+    "fixed_level_strategy",
+    "fully_coordinated_strategy",
+    "grid_search_strategy",
+    "marginal_value_level",
+    "non_coordinated_strategy",
+]

@@ -1,0 +1,45 @@
+"""Fixed-level baseline strategies.
+
+The paper's comparison point is the fully non-coordinated strategy
+(``ℓ = 0``); its opposite is full coordination (``ℓ = 1``).  These
+baselines wrap fixed levels in the same result type the optimizer
+produces, so gains and benchmarks can treat every strategy uniformly.
+"""
+
+from __future__ import annotations
+
+from ..core.objective import PerformanceCostModel
+from ..core.optimizer import OptimalStrategy
+from ..errors import ParameterError
+
+__all__ = [
+    "non_coordinated_strategy",
+    "fully_coordinated_strategy",
+    "fixed_level_strategy",
+]
+
+
+def fixed_level_strategy(
+    model: PerformanceCostModel, level: float
+) -> OptimalStrategy:
+    """A strategy pinned at coordination level ``ℓ`` (no optimization)."""
+    if not 0.0 <= level <= 1.0:
+        raise ParameterError(f"level must lie in [0, 1], got {level}")
+    storage = level * model.capacity
+    return OptimalStrategy(
+        level=level,
+        storage=storage,
+        objective_value=float(model.objective(storage)),
+        method="fixed",
+        alpha=model.alpha,
+    )
+
+
+def non_coordinated_strategy(model: PerformanceCostModel) -> OptimalStrategy:
+    """The paper's baseline: every router independently caches top-c (ℓ=0)."""
+    return fixed_level_strategy(model, 0.0)
+
+
+def fully_coordinated_strategy(model: PerformanceCostModel) -> OptimalStrategy:
+    """All storage coordinated (ℓ=1): maximum distinct contents cached."""
+    return fixed_level_strategy(model, 1.0)

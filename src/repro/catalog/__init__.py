@@ -1,0 +1,35 @@
+"""Content substrate: catalog, popularity models, request workloads."""
+
+from .content import Catalog, ContentObject
+from .popularity import (
+    PopularityModel,
+    UniformModel,
+    ZipfMandelbrotModel,
+    ZipfModel,
+)
+from .traces import load_trace, save_trace
+from .workload import (
+    IRMWorkload,
+    LocalityWorkload,
+    Request,
+    SequenceWorkload,
+    TraceWorkload,
+    Workload,
+)
+
+__all__ = [
+    "Catalog",
+    "ContentObject",
+    "IRMWorkload",
+    "LocalityWorkload",
+    "PopularityModel",
+    "Request",
+    "SequenceWorkload",
+    "TraceWorkload",
+    "UniformModel",
+    "Workload",
+    "load_trace",
+    "save_trace",
+    "ZipfMandelbrotModel",
+    "ZipfModel",
+]

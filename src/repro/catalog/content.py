@@ -1,0 +1,101 @@
+"""Content catalog: the universe of named, unit-size content objects.
+
+The paper's homogeneous content model (§III-A) normalizes content size
+to one unit against router storage (as CCN's chunking makes natural),
+so a catalog is fully described by its size ``N`` and the rank order of
+its objects.  :class:`Catalog` adds stable object naming on top, which
+the simulator uses for CCN-style named requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import CatalogError
+
+__all__ = ["ContentObject", "Catalog"]
+
+
+@dataclass(frozen=True, order=True)
+class ContentObject:
+    """One named content object.
+
+    Attributes
+    ----------
+    rank:
+        Global popularity rank, 1-based (1 = most popular).
+    name:
+        CCN-style hierarchical name, derived from the rank.
+    """
+
+    rank: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise CatalogError(f"content rank must be >= 1, got {self.rank}")
+        if not self.name:
+            raise CatalogError("content name must be non-empty")
+
+
+class Catalog:
+    """An ordered catalog of ``N`` unit-size content objects.
+
+    Objects are materialized lazily — a catalog of ``10**9`` objects
+    costs nothing until specific objects are requested.
+
+    Parameters
+    ----------
+    size:
+        Number of distinct contents ``N``.
+    prefix:
+        Name prefix for generated object names (CCN namespace).
+    """
+
+    def __init__(self, size: int, *, prefix: str = "/repro/content"):
+        if int(size) != size or size < 1:
+            raise CatalogError(f"catalog size must be a positive integer, got {size}")
+        if not prefix.startswith("/"):
+            raise CatalogError(f"CCN name prefix must start with '/', got {prefix!r}")
+        self.size = int(size)
+        self.prefix = prefix.rstrip("/")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Catalog(size={self.size}, prefix={self.prefix!r})"
+
+    def __contains__(self, rank: object) -> bool:
+        return isinstance(rank, int) and 1 <= rank <= self.size
+
+    def object_at(self, rank: int) -> ContentObject:
+        """The content object of the given 1-based popularity rank."""
+        if rank not in self:
+            raise CatalogError(
+                f"rank must lie in [1, {self.size}], got {rank}"
+            )
+        return ContentObject(rank=rank, name=f"{self.prefix}/{rank}")
+
+    def rank_of(self, name: str) -> int:
+        """Inverse of :meth:`object_at` on names this catalog generated."""
+        head, _, tail = name.rpartition("/")
+        if head != self.prefix:
+            raise CatalogError(f"name {name!r} is not under prefix {self.prefix!r}")
+        try:
+            rank = int(tail)
+        except ValueError:
+            raise CatalogError(f"name {name!r} has a non-numeric rank component")
+        if rank not in self:
+            raise CatalogError(
+                f"name {name!r} has rank outside [1, {self.size}]"
+            )
+        return rank
+
+    def top(self, k: int) -> Iterator[ContentObject]:
+        """Iterate the ``k`` most popular objects in rank order."""
+        if k < 0:
+            raise CatalogError(f"k must be non-negative, got {k}")
+        for rank in range(1, min(k, self.size) + 1):
+            yield self.object_at(rank)

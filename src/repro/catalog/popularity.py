@@ -1,0 +1,144 @@
+"""Popularity models over a content catalog.
+
+The paper assumes Zipf popularity (its eq. 1, citing Breslau et al. for
+the web and Cheng/Gill et al. for video); this module generalizes the
+notion behind a small interface so the simulator and workload generator
+can also be exercised under Zipf–Mandelbrot (flattened head, observed
+for video catalogs) and uniform popularity (worst case for caching) —
+useful for the sensitivity/ablation experiments.
+
+All models expose rank-based ``pmf``/``cdf`` and seeded sampling.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CatalogError, ParameterError
+from ..core.zipf import ZipfPopularity
+
+__all__ = [
+    "PopularityModel",
+    "ZipfModel",
+    "ZipfMandelbrotModel",
+    "UniformModel",
+]
+
+
+class PopularityModel(abc.ABC):
+    """Interface: a probability distribution over catalog ranks ``1..N``."""
+
+    def __init__(self, catalog_size: int):
+        if int(catalog_size) != catalog_size or catalog_size < 1:
+            raise CatalogError(
+                f"catalog size must be a positive integer, got {catalog_size}"
+            )
+        self.catalog_size = int(catalog_size)
+        self._pmf_table: Optional[np.ndarray] = None
+        self._cdf_table: Optional[np.ndarray] = None
+
+    @abc.abstractmethod
+    def _weights(self) -> np.ndarray:
+        """Unnormalized popularity weights for ranks ``1..N``."""
+
+    def _tables(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._pmf_table is None:
+            weights = np.asarray(self._weights(), dtype=np.float64)
+            if weights.shape != (self.catalog_size,):
+                raise CatalogError(
+                    f"weights must have shape ({self.catalog_size},), "
+                    f"got {weights.shape}"
+                )
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise CatalogError("popularity weights must be non-negative with positive sum")
+            self._pmf_table = weights / weights.sum()
+            self._cdf_table = np.cumsum(self._pmf_table)
+        assert self._cdf_table is not None
+        return self._pmf_table, self._cdf_table
+
+    def pmf(self, rank: int) -> float:
+        """Request probability of the given 1-based rank."""
+        if not 1 <= rank <= self.catalog_size:
+            return 0.0
+        pmf_table, _ = self._tables()
+        return float(pmf_table[rank - 1])
+
+    def cdf(self, k: int) -> float:
+        """Probability that a request targets a top-``k`` content."""
+        if k <= 0:
+            return 0.0
+        _, cdf_table = self._tables()
+        return float(cdf_table[min(k, self.catalog_size) - 1])
+
+    def sample(self, size: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. ranks by inverse-transform sampling."""
+        if size < 0:
+            raise ParameterError(f"sample size must be non-negative, got {size}")
+        rng = rng if rng is not None else np.random.default_rng()
+        _, cdf_table = self._tables()
+        return np.searchsorted(cdf_table, rng.random(size), side="left") + 1
+
+    def top_k_mass(self, k: int) -> float:
+        """Alias of :meth:`cdf` matching the analytical API's vocabulary."""
+        return self.cdf(k)
+
+
+class ZipfModel(PopularityModel):
+    """The paper's Zipf popularity (eq. 1), rank weight ``i^{-s}``."""
+
+    def __init__(self, exponent: float, catalog_size: int):
+        super().__init__(catalog_size)
+        if not 0.0 < exponent < 2.0:
+            raise ParameterError(f"Zipf exponent must lie in (0, 2), got {exponent}")
+        self.exponent = float(exponent)
+
+    def _weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
+        return ranks**-self.exponent
+
+    def to_analytical(self) -> ZipfPopularity:
+        """The matching analytical :class:`ZipfPopularity` object."""
+        return ZipfPopularity(self.exponent, self.catalog_size)
+
+    def __repr__(self) -> str:
+        return f"ZipfModel(exponent={self.exponent}, catalog_size={self.catalog_size})"
+
+
+class ZipfMandelbrotModel(PopularityModel):
+    """Zipf–Mandelbrot popularity, rank weight ``(i + q)^{-s}``.
+
+    The plateau parameter ``q >= 0`` flattens the head of the
+    distribution; ``q = 0`` recovers plain Zipf.
+    """
+
+    def __init__(self, exponent: float, plateau: float, catalog_size: int):
+        super().__init__(catalog_size)
+        if not 0.0 < exponent < 2.0:
+            raise ParameterError(f"exponent must lie in (0, 2), got {exponent}")
+        if plateau < 0:
+            raise ParameterError(f"plateau q must be non-negative, got {plateau}")
+        self.exponent = float(exponent)
+        self.plateau = float(plateau)
+
+    def _weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
+        return (ranks + self.plateau) ** -self.exponent
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfMandelbrotModel(exponent={self.exponent}, "
+            f"plateau={self.plateau}, catalog_size={self.catalog_size})"
+        )
+
+
+class UniformModel(PopularityModel):
+    """Uniform popularity — the adversarial case for any caching scheme."""
+
+    def _weights(self) -> np.ndarray:
+        return np.ones(self.catalog_size, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"UniformModel(catalog_size={self.catalog_size})"

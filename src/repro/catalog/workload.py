@@ -1,0 +1,280 @@
+"""Request workload generation.
+
+The simulator consumes streams of :class:`Request` objects — (client
+router, content rank) pairs.  Four generators cover the paper's needs:
+
+- :class:`IRMWorkload` — the independent reference model: each request
+  samples a rank i.i.d. from a popularity model and a client router
+  uniformly (or per supplied weights).  This is the stochastic process
+  the paper's steady-state analysis implicitly assumes.
+- :class:`SequenceWorkload` — deterministic repeating sequences, used
+  to reproduce the paper's motivating example (§II: two clients each
+  issuing ``{a, a, b}`` repeatedly).
+- :class:`LocalityWorkload` — IRM plus short-term temporal locality
+  (per-client re-references), for studying how real traffic departs
+  from the model's IRM assumption.
+- :class:`TraceWorkload` — replays an explicit list of requests, for
+  tests and custom experiments (see :mod:`repro.catalog.traces` for
+  CSV persistence).
+
+All generators are deterministic under a seed and support both
+streaming iteration and batch materialization.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .popularity import PopularityModel
+
+__all__ = [
+    "Request",
+    "Workload",
+    "IRMWorkload",
+    "LocalityWorkload",
+    "SequenceWorkload",
+    "TraceWorkload",
+]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Request:
+    """One content request entering the network.
+
+    Attributes
+    ----------
+    client:
+        The first-hop router the requesting client attaches to.
+    rank:
+        Popularity rank of the requested content (1-based).
+    """
+
+    client: NodeId
+    rank: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ParameterError(f"request rank must be >= 1, got {self.rank}")
+
+
+class Workload(abc.ABC):
+    """Interface: a reproducible stream of requests."""
+
+    @abc.abstractmethod
+    def requests(self, count: int) -> Iterator[Request]:
+        """Yield the first ``count`` requests of the stream."""
+
+    def materialize(self, count: int) -> list[Request]:
+        """The first ``count`` requests as a list."""
+        return list(self.requests(count))
+
+
+class IRMWorkload(Workload):
+    """Independent-reference-model workload over a popularity model.
+
+    Parameters
+    ----------
+    popularity:
+        Distribution over content ranks.
+    clients:
+        Routers that originate requests.
+    client_weights:
+        Optional relative request rates per client; uniform if omitted.
+    seed:
+        RNG seed; two workloads with the same seed yield identical
+        streams.
+    """
+
+    def __init__(
+        self,
+        popularity: PopularityModel,
+        clients: Sequence[NodeId],
+        *,
+        client_weights: Optional[Sequence[float]] = None,
+        seed: int = 0,
+    ):
+        if not clients:
+            raise ParameterError("need at least one client router")
+        self.popularity = popularity
+        self.clients = list(clients)
+        if client_weights is not None:
+            weights = np.asarray(client_weights, dtype=np.float64)
+            if weights.shape != (len(self.clients),):
+                raise ParameterError(
+                    f"client_weights must have length {len(self.clients)}, "
+                    f"got {weights.shape}"
+                )
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ParameterError(
+                    "client weights must be non-negative with positive sum"
+                )
+            self._client_probs = weights / weights.sum()
+        else:
+            self._client_probs = np.full(
+                len(self.clients), 1.0 / len(self.clients)
+            )
+        self.seed = int(seed)
+
+    def requests(self, count: int) -> Iterator[Request]:
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        # Independent child generators for ranks and clients keep the
+        # stream prefix-stable: the first k requests are identical no
+        # matter how many are ultimately drawn (or how batching falls).
+        rank_rng, client_rng = np.random.default_rng(self.seed).spawn(2)
+        client_cdf = np.cumsum(self._client_probs)
+        batch = 65536
+        remaining = count
+        while remaining > 0:
+            size = min(batch, remaining)
+            ranks = self.popularity.sample(size, rank_rng)
+            client_idx = np.searchsorted(
+                client_cdf, client_rng.random(size), side="right"
+            )
+            client_idx = np.minimum(client_idx, len(self.clients) - 1)
+            for rank, ci in zip(ranks, client_idx):
+                yield Request(client=self.clients[int(ci)], rank=int(rank))
+            remaining -= size
+
+
+class SequenceWorkload(Workload):
+    """Deterministic repeating per-client rank sequences.
+
+    The paper's motivating example is two clients, each cycling through
+    ``(a, a, b)`` = ranks ``(1, 1, 2)``.  Requests from the clients are
+    interleaved round-robin, one request per client per step, matching
+    the example's synchronized flows.
+
+    Parameters
+    ----------
+    flows:
+        Mapping-like sequence of ``(client, rank_cycle)`` pairs; each
+        client issues its cycle's ranks in order, forever.
+    """
+
+    def __init__(self, flows: Sequence[tuple[NodeId, Sequence[int]]]):
+        if not flows:
+            raise ParameterError("need at least one flow")
+        for client, cycle in flows:
+            if not cycle:
+                raise ParameterError(f"flow for client {client!r} has an empty cycle")
+            if any(int(r) != r or r < 1 for r in cycle):
+                raise ParameterError(
+                    f"flow for client {client!r} has non-positive-integer ranks"
+                )
+        self.flows = [(client, tuple(int(r) for r in cycle)) for client, cycle in flows]
+
+    def requests(self, count: int) -> Iterator[Request]:
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        iterators = [
+            (client, itertools.cycle(cycle)) for client, cycle in self.flows
+        ]
+        produced = 0
+        while produced < count:
+            for client, cycle_iter in iterators:
+                if produced >= count:
+                    return
+                yield Request(client=client, rank=next(cycle_iter))
+                produced += 1
+
+    def period(self) -> int:
+        """Number of requests in one full synchronized cycle of all flows."""
+        import math
+
+        lcm = 1
+        for _, cycle in self.flows:
+            lcm = lcm * len(cycle) // math.gcd(lcm, len(cycle))
+        return lcm * len(self.flows)
+
+
+class LocalityWorkload(Workload):
+    """IRM workload with short-term temporal locality.
+
+    Real request streams re-reference recently requested contents far
+    more often than the independent reference model predicts (the
+    trace studies the paper cites).  This generator captures that with
+    a per-client recency buffer: with probability ``locality`` the next
+    request repeats a uniformly chosen entry of the client's last
+    ``window`` requests; otherwise it samples fresh from the popularity
+    model.  ``locality = 0`` reduces exactly to :class:`IRMWorkload`'s
+    distribution (though not its stream, as the RNG usage differs).
+
+    Parameters
+    ----------
+    popularity:
+        The base popularity model for fresh draws.
+    clients:
+        Routers that originate requests.
+    locality:
+        Re-reference probability in ``[0, 1)``.
+    window:
+        Per-client recency buffer length.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        popularity: PopularityModel,
+        clients: Sequence[NodeId],
+        *,
+        locality: float = 0.5,
+        window: int = 32,
+        seed: int = 0,
+    ):
+        if not clients:
+            raise ParameterError("need at least one client router")
+        if not 0.0 <= locality < 1.0:
+            raise ParameterError(f"locality must lie in [0, 1), got {locality}")
+        if window < 1:
+            raise ParameterError(f"window must be positive, got {window}")
+        self.popularity = popularity
+        self.clients = list(clients)
+        self.locality = float(locality)
+        self.window = int(window)
+        self.seed = int(seed)
+
+    def requests(self, count: int) -> Iterator[Request]:
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        rng = np.random.default_rng(self.seed)
+        history: dict[NodeId, list[int]] = {c: [] for c in self.clients}
+        for _ in range(count):
+            client = self.clients[int(rng.integers(len(self.clients)))]
+            recent = history[client]
+            if recent and rng.random() < self.locality:
+                rank = recent[int(rng.integers(len(recent)))]
+            else:
+                rank = int(self.popularity.sample(1, rng)[0])
+            recent.append(rank)
+            if len(recent) > self.window:
+                recent.pop(0)
+            yield Request(client=client, rank=rank)
+
+
+class TraceWorkload(Workload):
+    """Replays an explicit request trace (for tests and custom runs)."""
+
+    def __init__(self, trace: Iterable[Request]):
+        self.trace = list(trace)
+
+    def requests(self, count: int) -> Iterator[Request]:
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        if count > len(self.trace):
+            raise ParameterError(
+                f"trace holds {len(self.trace)} requests; {count} were requested"
+            )
+        return iter(self.trace[:count])
+
+    def __len__(self) -> int:
+        return len(self.trace)

@@ -1,0 +1,43 @@
+"""Packet-level CCN substrate: names, Interest/Data, PIT, FIB, forwarding.
+
+The architecture the paper's model abstracts (Jacobson et al., CoNEXT
+2009): name-based forwarding with per-hop Content Stores, Pending
+Interest Tables and FIBs.  Coordinated provisioning is realized the way
+a real deployment would do it — per-name FIB routes toward custodian
+routers — closing the loop between the analytical model and the data
+plane.
+"""
+
+from .caching import (
+    CacheEverywhere,
+    EdgeCache,
+    EnRouteCaching,
+    LeaveCopyDown,
+    NoCache,
+    ProbabilisticCache,
+    make_enroute_strategy,
+)
+from .fib import Fib, build_fibs
+from .names import Name
+from .network import CCNMetrics, CCNNetwork
+from .packets import Data, Interest
+from .pit import Pit, PitEntry
+
+__all__ = [
+    "CCNMetrics",
+    "CCNNetwork",
+    "CacheEverywhere",
+    "Data",
+    "EdgeCache",
+    "EnRouteCaching",
+    "Fib",
+    "Interest",
+    "LeaveCopyDown",
+    "Name",
+    "NoCache",
+    "Pit",
+    "PitEntry",
+    "ProbabilisticCache",
+    "build_fibs",
+    "make_enroute_strategy",
+]

@@ -1,0 +1,117 @@
+"""En-route caching strategies for the Data return path.
+
+When a Data packet flows back through a CCN node, the node decides
+whether to admit it into its content store.  The classic disciplines
+(studied by the caching literature the paper cites — Psaras et al.,
+Tyson et al.) are provided behind one interface:
+
+- :class:`CacheEverywhere` (LCE) — every on-path node admits;
+- :class:`LeaveCopyDown` (LCD) — only the node one hop downstream of
+  the hit admits, pulling popular content toward consumers one level
+  per request;
+- :class:`ProbabilisticCache` — admit with fixed probability ``p``;
+- :class:`EdgeCache` — only the consumer's first-hop node admits;
+- :class:`NoCache` — never admit (provisioned stores only).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "EnRouteCaching",
+    "CacheEverywhere",
+    "LeaveCopyDown",
+    "ProbabilisticCache",
+    "EdgeCache",
+    "NoCache",
+    "make_enroute_strategy",
+]
+
+
+class EnRouteCaching(abc.ABC):
+    """Decides, per node on the Data return path, whether to admit."""
+
+    @abc.abstractmethod
+    def should_cache(
+        self, *, hops_from_producer: int, at_consumer_edge: bool
+    ) -> bool:
+        """Whether the node at this path position admits the Data.
+
+        ``hops_from_producer`` counts from the node (or origin) that
+        satisfied the Interest; the first node on the return path has
+        value 1.  ``at_consumer_edge`` is True when this node delivers
+        the Data directly to a consumer (a client face is pending in
+        its PIT) — both signals are locally available, unlike a
+        hops-from-consumer count.
+        """
+
+
+class CacheEverywhere(EnRouteCaching):
+    """LCE: every on-path node admits (CCN's default)."""
+
+    def should_cache(self, *, hops_from_producer: int, at_consumer_edge: bool) -> bool:
+        return True
+
+
+class LeaveCopyDown(EnRouteCaching):
+    """LCD: only the node immediately downstream of the producer admits."""
+
+    def should_cache(self, *, hops_from_producer: int, at_consumer_edge: bool) -> bool:
+        return hops_from_producer == 1
+
+
+class ProbabilisticCache(EnRouteCaching):
+    """Admit with fixed probability ``p`` (seeded)."""
+
+    def __init__(self, probability: float, *, seed: int = 0):
+        if not 0.0 <= probability <= 1.0:
+            raise ParameterError(
+                f"cache probability must lie in [0, 1], got {probability}"
+            )
+        self.probability = float(probability)
+        self._rng = np.random.default_rng(seed)
+
+    def should_cache(self, *, hops_from_producer: int, at_consumer_edge: bool) -> bool:
+        return bool(self._rng.random() < self.probability)
+
+
+class EdgeCache(EnRouteCaching):
+    """Only the consumer's first-hop node admits."""
+
+    def should_cache(self, *, hops_from_producer: int, at_consumer_edge: bool) -> bool:
+        return at_consumer_edge
+
+
+class NoCache(EnRouteCaching):
+    """Never admit — for provisioned (static) content stores."""
+
+    def should_cache(self, *, hops_from_producer: int, at_consumer_edge: bool) -> bool:
+        return False
+
+
+_STRATEGIES = {
+    "lce": CacheEverywhere,
+    "lcd": LeaveCopyDown,
+    "edge": EdgeCache,
+    "none": NoCache,
+}
+
+
+def make_enroute_strategy(
+    name: str, *, probability: float = 0.5, seed: int = 0
+) -> EnRouteCaching:
+    """Instantiate a strategy by name (``lce``/``lcd``/``prob``/``edge``/``none``)."""
+    key = name.strip().lower()
+    if key == "prob":
+        return ProbabilisticCache(probability, seed=seed)
+    if key not in _STRATEGIES:
+        raise ParameterError(
+            f"unknown en-route strategy {name!r}; expected one of "
+            f"{sorted([*_STRATEGIES, 'prob'])}"
+        )
+    return _STRATEGIES[key]()

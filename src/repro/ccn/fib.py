@@ -1,0 +1,131 @@
+"""Forwarding Information Base: longest-prefix name-based forwarding.
+
+Each CCN node holds a FIB mapping name prefixes to next-hop neighbors.
+This module provides the table itself plus the builders that realize
+the paper's two provisioning modes on a topology:
+
+- the default route: every name forwards along the shortest path toward
+  the origin gateway (non-coordinated CCN);
+- coordinated overrides: for each rank assigned to a custodian router,
+  an exact-name FIB entry routes the Interest toward the custodian
+  instead — this is precisely how the paper's coordinated placement is
+  *enforced* in a real CCN data plane, and each such entry corresponds
+  to one directive message of the eq. 3 cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+import networkx as nx
+
+from ..errors import ParameterError, TopologyError
+from ..topology.graph import Topology
+from .names import Name
+
+__all__ = ["Fib", "build_fibs"]
+
+NodeId = Hashable
+
+
+class Fib:
+    """A longest-prefix-match forwarding table for one node."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Name, NodeId] = {}
+
+    def add_route(self, prefix: Name, next_hop: NodeId) -> None:
+        """Install (or replace) a route for a name prefix."""
+        self._entries[prefix] = next_hop
+
+    def remove_route(self, prefix: Name) -> None:
+        """Remove a route; missing prefixes raise."""
+        try:
+            del self._entries[prefix]
+        except KeyError:
+            raise ParameterError(f"no FIB route for prefix {prefix}")
+
+    def lookup(self, name: Name) -> Optional[NodeId]:
+        """Longest-prefix-match next hop, or ``None`` if no route."""
+        for prefix in name.prefixes():
+            next_hop = self._entries.get(prefix)
+            if next_hop is not None:
+                return next_hop
+        return None
+
+    def lookup_all(self, name: Name) -> tuple[NodeId, ...]:
+        """All matching next hops, longest prefix first, deduplicated.
+
+        Gives the forwarding plane ranked alternatives: the exact
+        custodian route (if any) first, the shorter-prefix default
+        (origin) route after it — the basis for NDN-style retry when
+        the preferred upstream fails to produce.
+        """
+        hops: list[NodeId] = []
+        for prefix in name.prefixes():
+            next_hop = self._entries.get(prefix)
+            if next_hop is not None and next_hop not in hops:
+                hops.append(next_hop)
+        return tuple(hops)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Name) -> bool:
+        return prefix in self._entries
+
+    def routes(self) -> Mapping[Name, NodeId]:
+        """A read-only view of the installed routes."""
+        return dict(self._entries)
+
+
+def build_fibs(
+    topology: Topology,
+    origin_gateway: NodeId,
+    *,
+    root_prefix: Name,
+    custodians: Optional[Mapping[Name, NodeId]] = None,
+) -> dict[NodeId, Fib]:
+    """Build every node's FIB for a domain.
+
+    Each node gets a default route for ``root_prefix`` along its
+    shortest path toward ``origin_gateway`` (hop metric, matching the
+    intradomain IGP), plus, for every ``(name, custodian)`` in
+    ``custodians``, an exact-name route along the shortest path toward
+    that custodian.  The custodian itself gets no override (its content
+    store answers directly; unsatisfied Interests fall through to the
+    default origin route).
+    """
+    if origin_gateway not in topology.nodes:
+        raise TopologyError(
+            f"origin gateway {origin_gateway!r} is not in topology "
+            f"{topology.name!r}"
+        )
+    graph = topology.graph
+    paths_to = {
+        target: nx.shortest_path(graph, target=target)
+        for target in {origin_gateway}
+        | set((custodians or {}).values())
+    }
+    for target in paths_to:
+        if target not in topology.nodes:
+            raise TopologyError(f"custodian {target!r} is not a router")
+
+    fibs: dict[NodeId, Fib] = {node: Fib() for node in topology.nodes}
+    for node in topology.nodes:
+        if node != origin_gateway:
+            path = paths_to[origin_gateway][node]
+            fibs[node].add_route(root_prefix, path[1])
+    if custodians:
+        for name, custodian in custodians.items():
+            if not root_prefix.is_prefix_of(name):
+                raise ParameterError(
+                    f"custodian name {name} is outside the domain prefix "
+                    f"{root_prefix}"
+                )
+            for node in topology.nodes:
+                if node == custodian:
+                    continue
+                path = paths_to[custodian][node]
+                fibs[node].add_route(name, path[1])
+    return fibs

@@ -1,0 +1,99 @@
+"""Hierarchical content names (CCN/NDN naming).
+
+CCN identifies content by hierarchical names (``/repro/content/42``)
+rather than host addresses.  :class:`Name` is an immutable component
+sequence with the prefix-matching operations that the FIB's
+longest-prefix lookup needs.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator
+
+from ..errors import ParameterError
+
+__all__ = ["Name"]
+
+
+@total_ordering
+class Name:
+    """An immutable hierarchical CCN name.
+
+    Construct from a slash-separated string (``Name("/a/b/c")``) or a
+    component sequence (``Name.from_components(["a", "b", "c"])``).
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, uri: str):
+        if not uri.startswith("/"):
+            raise ParameterError(f"CCN names must start with '/', got {uri!r}")
+        parts = [p for p in uri.split("/") if p]
+        if any("/" in p for p in parts):  # pragma: no cover - split precludes
+            raise ParameterError(f"invalid name component in {uri!r}")
+        object.__setattr__(self, "_components", tuple(parts))
+
+    @classmethod
+    def from_components(cls, components: Iterator[str]) -> "Name":
+        """Build a name from individual components (no slashes inside)."""
+        parts = tuple(components)
+        for part in parts:
+            if not part or "/" in part:
+                raise ParameterError(f"invalid name component {part!r}")
+        name = cls.__new__(cls)
+        object.__setattr__(name, "_components", parts)
+        return name
+
+    def __setattr__(self, key, value):  # immutability
+        raise AttributeError("Name is immutable")
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        """The name's components, root first."""
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __str__(self) -> str:
+        return "/" + "/".join(self._components)
+
+    def __repr__(self) -> str:
+        return f"Name({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._components == other._components
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def is_prefix_of(self, other: "Name") -> bool:
+        """Whether this name is a (non-strict) prefix of ``other``."""
+        return self._components == other._components[: len(self._components)]
+
+    def prefix(self, length: int) -> "Name":
+        """The first ``length`` components as a name."""
+        if not 0 <= length <= len(self._components):
+            raise ParameterError(
+                f"prefix length must lie in [0, {len(self._components)}], got {length}"
+            )
+        return Name.from_components(self._components[:length])
+
+    def prefixes(self) -> Iterator["Name"]:
+        """All prefixes from longest (self) to shortest (root)."""
+        for length in range(len(self._components), -1, -1):
+            yield self.prefix(length)
+
+    def child(self, component: str) -> "Name":
+        """This name extended by one component."""
+        if not component or "/" in component:
+            raise ParameterError(f"invalid name component {component!r}")
+        return Name.from_components(self._components + (component,))

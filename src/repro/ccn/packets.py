@@ -1,0 +1,77 @@
+"""Interest and Data packets (the two CCN packet types).
+
+CCN's pull model: a consumer issues an *Interest* naming the content it
+wants; the Interest leaves forwarding state (PIT entries) as it travels;
+the matching *Data* packet flows back along that state, consuming it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import ParameterError
+from .names import Name
+
+__all__ = ["Interest", "Data"]
+
+_nonce_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Interest:
+    """A request for named content.
+
+    Attributes
+    ----------
+    name:
+        The requested content name (exact-match in this model, as CCN
+        segments are individually named).
+    nonce:
+        Unique token for duplicate/loop detection.
+    hop_limit:
+        Remaining hops before the Interest is dropped.
+    """
+
+    name: Name
+    nonce: int = field(default_factory=lambda: next(_nonce_counter))
+    hop_limit: int = 255
+
+    def __post_init__(self) -> None:
+        if self.hop_limit < 0:
+            raise ParameterError(f"hop limit must be non-negative, got {self.hop_limit}")
+
+    def decremented(self) -> "Interest":
+        """A copy with one fewer remaining hop (same nonce)."""
+        return Interest(name=self.name, nonce=self.nonce, hop_limit=self.hop_limit - 1)
+
+
+@dataclass(frozen=True)
+class Data:
+    """A content object travelling back toward the consumer(s).
+
+    Attributes
+    ----------
+    name:
+        The content name (must match the Interest exactly).
+    producer:
+        Identifier of the node that satisfied the Interest (a router's
+        content store or the origin), for metrics.
+    from_origin:
+        Whether the origin server produced this Data (a cache miss for
+        the whole domain).
+    """
+
+    name: Name
+    producer: object
+    from_origin: bool = False
+    hops_from_producer: int = 0
+
+    def forwarded(self) -> "Data":
+        """A copy with the producer-distance counter advanced one hop."""
+        return Data(
+            name=self.name,
+            producer=self.producer,
+            from_origin=self.from_origin,
+            hops_from_producer=self.hops_from_producer + 1,
+        )

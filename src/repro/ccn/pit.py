@@ -1,0 +1,115 @@
+"""Pending Interest Table: CCN's per-hop request state.
+
+A PIT entry records which faces asked for a name, so the returning Data
+can retrace the Interests' path — and so that concurrent Interests for
+the same name are *aggregated*: only the first is forwarded upstream,
+later ones just add their face to the entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from ..errors import ParameterError
+from .names import Name
+
+__all__ = ["PitEntry", "Pit"]
+
+FaceId = Hashable
+
+
+@dataclass
+class PitEntry:
+    """One pending name: downstream faces, seen nonces, tried upstreams."""
+
+    faces: set = field(default_factory=set)
+    nonces: set = field(default_factory=set)
+    out_faces: set = field(default_factory=set)
+    expires_at: float = float("inf")
+
+
+class Pit:
+    """The pending-interest table of one node.
+
+    Parameters
+    ----------
+    lifetime:
+        Logical-time duration entries stay pending before expiring
+        (unsatisfied Interests time out).
+    """
+
+    def __init__(self, *, lifetime: float = 4_000.0):
+        if lifetime <= 0:
+            raise ParameterError(f"PIT lifetime must be positive, got {lifetime}")
+        self.lifetime = float(lifetime)
+        self._entries: dict[Name, PitEntry] = {}
+        self.aggregated = 0  # Interests absorbed by an existing entry
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: Name) -> bool:
+        return name in self._entries
+
+    def _purge_expired(self, now: float) -> None:
+        stale = [n for n, e in self._entries.items() if e.expires_at <= now]
+        for name in stale:
+            del self._entries[name]
+            self.expired += 1
+
+    def insert(self, name: Name, face: FaceId, nonce: int, now: float) -> str:
+        """Record an incoming Interest and classify it.
+
+        Returns one of:
+
+        - ``"forward"`` — no live entry existed; the Interest must be
+          sent upstream;
+        - ``"aggregated"`` — a live entry absorbed it (new nonce); the
+          Data already in flight will satisfy this face too;
+        - ``"duplicate"`` — the nonce was already seen here: the
+          Interest looped back, signalling the tried upstream cannot
+          produce — the caller should retry an alternative FIB next hop
+          (NDN's retry-on-duplicate-nonce behaviour).
+        """
+        self._purge_expired(now)
+        entry = self._entries.get(name)
+        if entry is None:
+            self._entries[name] = PitEntry(
+                faces={face}, nonces={nonce}, expires_at=now + self.lifetime
+            )
+            return "forward"
+        if nonce in entry.nonces:
+            entry.expires_at = now + self.lifetime
+            return "duplicate"
+        entry.faces.add(face)
+        entry.nonces.add(nonce)
+        entry.expires_at = now + self.lifetime
+        self.aggregated += 1
+        return "aggregated"
+
+    def mark_forwarded(self, name: Name, face: FaceId) -> None:
+        """Record that the Interest for ``name`` went upstream via ``face``."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ParameterError(f"no live PIT entry for {name}")
+        entry.out_faces.add(face)
+
+    def tried_faces(self, name: Name) -> frozenset:
+        """Upstream faces already tried for a pending name (empty if none)."""
+        entry = self._entries.get(name)
+        return frozenset(entry.out_faces) if entry is not None else frozenset()
+
+    def satisfy(self, name: Name, now: float) -> Optional[frozenset]:
+        """Consume the entry for an arriving Data.
+
+        Returns the downstream faces to forward the Data to, or ``None``
+        when no live entry exists (unsolicited Data is dropped — CCN's
+        flow balance).
+        """
+        self._purge_expired(now)
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            return None
+        return frozenset(entry.faces)

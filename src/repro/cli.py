@@ -1,0 +1,342 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list                       # enumerate experiments
+    python -m repro run figure4                # print one figure's series
+    python -m repro run all                    # regenerate everything
+    python -m repro run table3 --format csv    # machine-readable export
+    python -m repro run figure4 -o fig4.json --format json
+    python -m repro solve --alpha 0.8 ...      # solve one scenario ad hoc
+    python -m repro topology abilene           # topology statistics
+    python -m repro sensitivity --gamma 5      # sensitive range of alpha
+    python -m repro protocol geant             # coordination protocol cost
+
+The default output is the fixed-width text rendering of
+:mod:`repro.analysis.tables`, suitable for redirecting into files and
+diffing across runs; ``--format csv``/``json`` switch to
+machine-readable exports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.experiments import ALL_EXPERIMENTS, TableData
+from .analysis.export import export_result
+from .analysis.sweep import FigureData
+from .analysis.tables import render_figure, render_table
+from .core.scenario import Scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures of 'Coordinating In-Network "
+            "Caching in Content-Centric Networks' (ICDCS 2013)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id: one of {', '.join(ALL_EXPERIMENTS)} or 'all'",
+    )
+    run.add_argument(
+        "--format",
+        choices=("text", "csv", "json", "ascii"),
+        default="text",
+        help="output format (default: text; 'ascii' draws figures as charts)",
+    )
+    run.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the result to a file instead of stdout",
+    )
+
+    solve = subparsers.add_parser("solve", help="solve a single scenario")
+    solve.add_argument("--alpha", type=float, default=0.5)
+    solve.add_argument("--gamma", type=float, default=5.0)
+    solve.add_argument("--exponent", "-s", type=float, default=0.8)
+    solve.add_argument("--routers", "-n", type=int, default=20)
+    solve.add_argument("--catalog", "-N", type=int, default=10**6)
+    solve.add_argument("--capacity", "-c", type=float, default=10**3)
+    solve.add_argument("--unit-cost", "-w", type=float, default=26.7)
+    solve.add_argument("--peer-delta", type=float, default=2.2842)
+
+    topo = subparsers.add_parser(
+        "topology", help="show a topology's statistics and Table III row"
+    )
+    topo.add_argument("name", help="abilene | cernet | geant | us-a")
+
+    sens = subparsers.add_parser(
+        "sensitivity", help="sensitive alpha-range and parameter sensitivities"
+    )
+    sens.add_argument("--gamma", type=float, default=5.0)
+    sens.add_argument("--exponent", "-s", type=float, default=0.8)
+    sens.add_argument("--alpha", type=float, default=0.5)
+
+    proto = subparsers.add_parser(
+        "protocol", help="distributed coordination protocol cost on a topology"
+    )
+    proto.add_argument("name", help="abilene | cernet | geant | us-a")
+    proto.add_argument("--level", type=float, default=0.5)
+    proto.add_argument("--capacity", type=int, default=20)
+
+    report = subparsers.add_parser(
+        "report", help="generate the full markdown reproduction report"
+    )
+    report.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    report.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        help="experiment ids to include (default: all, scorecard first)",
+    )
+    return parser
+
+
+def _render(result: object) -> str:
+    if isinstance(result, TableData):
+        return render_table(result)
+    if isinstance(result, FigureData):
+        return render_figure(result)
+    return str(result)
+
+
+def _emit(result: object, args: argparse.Namespace, out) -> None:
+    fmt = getattr(args, "format", "text")
+    output = getattr(args, "output", None)
+    if fmt == "ascii":
+        from .analysis.tables import render_ascii_chart
+
+        text = (
+            render_ascii_chart(result)
+            if isinstance(result, FigureData)
+            else _render(result)
+        )
+        if output:
+            from pathlib import Path
+
+            Path(output).write_text(text + "\n")
+        else:
+            print(text, file=out)
+        return
+    if fmt == "text":
+        text = _render(result)
+        if output:
+            from pathlib import Path
+
+            Path(output).write_text(text + "\n")
+        else:
+            print(text, file=out)
+        return
+    text = export_result(result, fmt, path=output)
+    if not output:
+        print(text, file=out)
+
+
+def _run_experiment(args: argparse.Namespace, out) -> int:
+    name = args.experiment
+    if name == "all":
+        if getattr(args, "format", "text") != "text" or getattr(args, "output", None):
+            print(
+                "'run all' supports only the default text format on stdout",
+                file=sys.stderr,
+            )
+            return 2
+        for key, fn in ALL_EXPERIMENTS.items():
+            print(_render(fn()), file=out)
+            print(file=out)
+        return 0
+    fn = ALL_EXPERIMENTS.get(name)
+    if fn is None:
+        print(
+            f"unknown experiment {name!r}; run 'repro list' for options",
+            file=sys.stderr,
+        )
+        return 2
+    _emit(fn(), args, out)
+    return 0
+
+
+def _solve(args: argparse.Namespace, out) -> int:
+    scenario = Scenario(
+        alpha=args.alpha,
+        gamma=args.gamma,
+        exponent=args.exponent,
+        n_routers=args.routers,
+        catalog_size=args.catalog,
+        capacity=args.capacity,
+        unit_cost=args.unit_cost,
+        peer_delta=args.peer_delta,
+    )
+    strategy, gains = scenario.solve_with_gains(check_conditions=False)
+    print(f"scenario: {scenario}", file=out)
+    print(
+        f"optimal level l* = {strategy.level:.6f} "
+        f"(storage x* = {strategy.storage:.2f}, method {strategy.method})",
+        file=out,
+    )
+    print(
+        f"objective T_w(x*) = {strategy.objective_value:.6f}",
+        file=out,
+    )
+    print(
+        f"origin load reduction G_O = {gains.origin_load_reduction:.4f}; "
+        f"routing improvement G_R = {gains.routing_improvement:.4f}",
+        file=out,
+    )
+    return 0
+
+
+def _topology(args: argparse.Namespace, out) -> int:
+    from .errors import TopologyError
+    from .topology import load_topology, topology_parameters
+
+    try:
+        topology = load_topology(args.name)
+    except TopologyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    params = topology_parameters(topology)
+    print(f"{topology.name} ({topology.region}, {topology.kind})", file=out)
+    print(
+        f"routers n = {params.n_routers}; links = {topology.n_links} "
+        f"(|E| = {topology.n_directed_edges} directed)",
+        file=out,
+    )
+    print(f"diameter = {topology.diameter_hops()} hops", file=out)
+    print(
+        f"w (max pairwise latency)   = {params.unit_cost_ms:.4f} ms",
+        file=out,
+    )
+    print(
+        f"d1-d0 (mean pairwise)      = {params.mean_latency_ms:.4f} ms / "
+        f"{params.mean_hops:.4f} hops",
+        file=out,
+    )
+    return 0
+
+
+def _sensitivity(args: argparse.Namespace, out) -> int:
+    from .analysis.sensitivity import sensitive_range, sensitivity_profile
+
+    scenario = Scenario(
+        alpha=args.alpha, gamma=args.gamma, exponent=args.exponent
+    )
+    result = sensitive_range(scenario)
+    print(
+        f"sensitive alpha range (gamma={args.gamma:g}, s={args.exponent:g}): "
+        f"[{result.alpha_low:.3f}, {result.alpha_high:.3f}] "
+        f"(width {result.width:.3f}, steepest at {result.max_slope_alpha:.3f})",
+        file=out,
+    )
+    profile = sensitivity_profile(scenario)
+    print(f"first-order sensitivities of l* at alpha={args.alpha:g}:", file=out)
+    for field, value in profile.items():
+        print(f"  d l*/d {field:<11} = {value:+.5f}", file=out)
+    return 0
+
+
+def _protocol(args: argparse.Namespace, out) -> int:
+    from .core.strategy import ProvisioningStrategy
+    from .errors import TopologyError
+    from .simulation.protocol import DistributedCoordinator
+    from .topology import load_topology
+
+    try:
+        topology = load_topology(args.name)
+    except TopologyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not 0.0 <= args.level <= 1.0:
+        print("--level must lie in [0, 1]", file=sys.stderr)
+        return 2
+    strategy = ProvisioningStrategy(
+        capacity=args.capacity, n_routers=topology.n_routers, level=args.level
+    )
+    coordinator = DistributedCoordinator(topology)
+    outcome = coordinator.run_round(strategy)
+    print(
+        f"{topology.name}: spanning-tree coordination round at level "
+        f"{args.level:g} (c={args.capacity})",
+        file=out,
+    )
+    print(f"root: {coordinator.root}", file=out)
+    print(f"state messages (convergecast):  {outcome.state_messages}", file=out)
+    print(f"directive messages (tree-path): {outcome.directive_messages}", file=out)
+    print(
+        f"linear model (eq. 3) books:     {strategy.coordination_messages()}",
+        file=out,
+    )
+    print(f"round latency:                  {outcome.round_latency_ms:.2f} ms", file=out)
+    return 0
+
+
+def _report(args: argparse.Namespace, out) -> int:
+    from .analysis.reporting import generate_report
+    from .errors import ParameterError
+
+    try:
+        text = generate_report(
+            experiments=args.experiments, path=args.output
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not args.output:
+        print(text, file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv, out)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _dispatch(argv: Optional[Sequence[str]], out) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:14s} {doc}", file=out)
+        return 0
+    if args.command == "run":
+        return _run_experiment(args, out)
+    if args.command == "solve":
+        return _solve(args, out)
+    if args.command == "topology":
+        return _topology(args, out)
+    if args.command == "sensitivity":
+        return _sensitivity(args, out)
+    if args.command == "protocol":
+        return _protocol(args, out)
+    if args.command == "report":
+        return _report(args, out)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

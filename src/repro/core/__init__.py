@@ -1,0 +1,80 @@
+"""Core analytical model of Li et al. (ICDCS 2013).
+
+This subpackage implements the paper's primary contribution: the
+performance/cost model of coordinated in-network caching (eqs. 1–6),
+the optimal provisioning strategy (eqs. 7–8, Lemmas 1–2, Theorems 1–2)
+and the resulting performance gains (§IV-E).
+"""
+
+from .conditions import ExistenceConditions, check_existence
+from .cost import CoordinationCostModel, PiecewiseLinearCostModel
+from .gains import (
+    PerformanceGains,
+    evaluate_gains,
+    origin_load_reduction,
+    routing_improvement,
+)
+from .latency import LatencyModel
+from .objective import PerformanceCostModel
+from .optimizer import (
+    Lemma2Coefficients,
+    OptimalStrategy,
+    closed_form_alpha1,
+    lemma2_coefficients,
+    minimize_objective,
+    optimal_strategy,
+    solve_first_order,
+    solve_lemma2,
+)
+from .performance import RoutingPerformanceModel, tier_fractions
+from .scenario import Scenario
+from .strategy import ProvisioningStrategy
+from .zipf import (
+    ZipfPopularity,
+    continuous_cdf,
+    continuous_cdf_limit,
+    continuous_pdf,
+    harmonic_number,
+    harmonic_numbers,
+    inverse_continuous_cdf,
+    top_k_mass,
+    validate_exponent,
+    zipf_cdf,
+    zipf_pmf,
+)
+
+__all__ = [
+    "CoordinationCostModel",
+    "ExistenceConditions",
+    "LatencyModel",
+    "Lemma2Coefficients",
+    "OptimalStrategy",
+    "PerformanceCostModel",
+    "PerformanceGains",
+    "PiecewiseLinearCostModel",
+    "ProvisioningStrategy",
+    "RoutingPerformanceModel",
+    "Scenario",
+    "ZipfPopularity",
+    "check_existence",
+    "closed_form_alpha1",
+    "continuous_cdf",
+    "continuous_cdf_limit",
+    "continuous_pdf",
+    "evaluate_gains",
+    "harmonic_number",
+    "harmonic_numbers",
+    "inverse_continuous_cdf",
+    "lemma2_coefficients",
+    "minimize_objective",
+    "optimal_strategy",
+    "origin_load_reduction",
+    "routing_improvement",
+    "solve_first_order",
+    "solve_lemma2",
+    "tier_fractions",
+    "top_k_mass",
+    "validate_exponent",
+    "zipf_cdf",
+    "zipf_pmf",
+]

@@ -1,0 +1,118 @@
+"""Lemma 1 existence conditions as a checkable object (paper §IV-B).
+
+Lemma 1 states that ``T_w`` is convex and the optimal strategy exists
+when all of the following hold:
+
+1. ``0 ≤ x ≤ c`` and ``c > 0``;
+2. the number of contents is sufficiently large (``N ≫ 1``);
+3. the number of routers ``n > 1``;
+4. ``0 < s < 2`` and ``s ≠ 1``;
+5. ``d0 < d1 ≤ d2``.
+
+:class:`ExistenceConditions` evaluates every condition independently and
+reports the precise set of violations, so callers get actionable
+diagnostics instead of a bare boolean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ExistenceConditionError
+from .latency import LatencyModel
+from .zipf import SINGULARITY_TOLERANCE
+
+__all__ = ["ExistenceConditions", "check_existence"]
+
+#: Lemma 1 asks for "N sufficiently large"; the paper's evaluations use
+#: N between 1e6 and 1e12.  We treat N ≥ 100 as large enough for the
+#: continuous approximation to be meaningful, and tests quantify the
+#: approximation error explicitly.
+MIN_LARGE_CATALOG = 100
+
+
+@dataclass(frozen=True)
+class ExistenceConditions:
+    """Outcome of checking Lemma 1's conditions for one instance.
+
+    Each ``*_ok`` field mirrors one numbered condition; ``violations``
+    collects human-readable descriptions of everything that failed.
+    """
+
+    capacity_ok: bool
+    catalog_ok: bool
+    routers_ok: bool
+    exponent_ok: bool
+    latency_ok: bool
+    violations: tuple[str, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every Lemma 1 condition holds."""
+        return not self.violations
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`ExistenceConditionError` when any condition fails."""
+        if self.violations:
+            raise ExistenceConditionError(list(self.violations))
+
+
+def check_existence(
+    *,
+    capacity: float,
+    catalog_size: float,
+    n_routers: int,
+    exponent: float,
+    latency: LatencyModel,
+) -> ExistenceConditions:
+    """Check Lemma 1's existence conditions for the given parameters.
+
+    The latency ordering condition is enforced by
+    :class:`~repro.core.latency.LatencyModel` at construction time, so it
+    can only be reported as satisfied here; it is included for
+    completeness and for symmetry with the paper's statement.
+    """
+    violations: list[str] = []
+
+    capacity_ok = bool(math.isfinite(capacity) and capacity > 0)
+    if not capacity_ok:
+        violations.append(f"capacity must satisfy c > 0 (got c={capacity})")
+
+    catalog_ok = bool(catalog_size >= MIN_LARGE_CATALOG)
+    if not catalog_ok:
+        violations.append(
+            f"catalog must be large (N >= {MIN_LARGE_CATALOG}); got N={catalog_size}"
+        )
+    if capacity_ok and catalog_ok and capacity * max(n_routers, 1) > catalog_size:
+        catalog_ok = False
+        violations.append(
+            f"aggregate storage c*n = {capacity * n_routers} must not exceed N={catalog_size}"
+        )
+
+    routers_ok = bool(n_routers > 1)
+    if not routers_ok:
+        violations.append(f"router count must satisfy n > 1 (got n={n_routers})")
+
+    exponent_ok = bool(
+        0.0 < exponent < 2.0 and abs(exponent - 1.0) > SINGULARITY_TOLERANCE
+    )
+    if not exponent_ok:
+        violations.append(
+            f"Zipf exponent must lie in (0,1) ∪ (1,2) (got s={exponent})"
+        )
+
+    latency_ok = bool(latency.d0 < latency.d1 <= latency.d2)
+    if not latency_ok:  # pragma: no cover - LatencyModel already enforces this
+        violations.append(
+            f"latencies must satisfy d0 < d1 <= d2 (got {latency.as_tuple()})"
+        )
+
+    return ExistenceConditions(
+        capacity_ok=capacity_ok,
+        catalog_ok=catalog_ok,
+        routers_ok=routers_ok,
+        exponent_ok=exponent_ok,
+        latency_ok=latency_ok,
+        violations=tuple(violations),
+    )

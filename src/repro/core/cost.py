@@ -1,0 +1,173 @@
+"""Coordination cost models (paper §III-B.2, eq. 3).
+
+The paper decomposes the cost of coordinating in-network caching into
+three parts: a *communication* cost that grows with the number of
+coordinated slots (collecting state from and distributing policy to all
+routers), plus *computational* and *enforcement* costs that it argues
+are effectively constant in ``x``.  The resulting model is linear:
+
+.. math::
+
+    W(x; w, \\hat w) = w \\cdot n \\cdot x + \\hat w,
+
+with ``w`` the expected communication cost per coordinated content per
+router (the *unit coordination cost*) and ``ŵ`` the fixed overhead.
+
+The paper motivates the linear form by noting ISPs model such costs with
+piece-wise linear functions (Fortz & Thorup); we therefore also provide
+a piece-wise linear cost model with the same interface so ablations can
+quantify how much the linearity assumption matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["CoordinationCostModel", "PiecewiseLinearCostModel"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CoordinationCostModel:
+    """The paper's linear coordination cost ``W(x) = w·n·x + ŵ`` (eq. 3).
+
+    Parameters
+    ----------
+    unit_cost:
+        ``w`` — expected communication cost per coordinated content per
+        router.  The paper estimates it per topology as the maximum
+        pairwise router latency (Table III).
+    fixed_cost:
+        ``ŵ`` — the invariant computational + enforcement cost.  It does
+        not affect the optimal strategy (constant offset) but does enter
+        reported absolute objective values.
+    """
+
+    unit_cost: float
+    fixed_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.unit_cost) or self.unit_cost <= 0:
+            raise ParameterError(
+                f"unit coordination cost w must be positive and finite, got {self.unit_cost}"
+            )
+        if not math.isfinite(self.fixed_cost) or self.fixed_cost < 0:
+            raise ParameterError(
+                f"fixed coordination cost ŵ must be non-negative and finite, got {self.fixed_cost}"
+            )
+
+    def cost(self, x: ArrayLike, n_routers: int) -> ArrayLike:
+        """Total coordination cost for ``x`` coordinated slots per router."""
+        if n_routers < 1:
+            raise ParameterError(f"router count must be positive, got {n_routers}")
+        xs = np.asarray(x, dtype=np.float64)
+        if np.any(xs < 0):
+            raise ParameterError("coordinated storage x must be non-negative")
+        values = self.unit_cost * n_routers * xs + self.fixed_cost
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            return float(values)
+        return values
+
+    def marginal_cost(self, n_routers: int) -> float:
+        """``dW/dx = w·n`` — the slope entering the first-order condition."""
+        if n_routers < 1:
+            raise ParameterError(f"router count must be positive, got {n_routers}")
+        return self.unit_cost * n_routers
+
+    def with_unit_cost(self, unit_cost: float) -> "CoordinationCostModel":
+        """Copy with a different unit cost (convenient for ``w`` sweeps)."""
+        return CoordinationCostModel(unit_cost=unit_cost, fixed_cost=self.fixed_cost)
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCostModel:
+    """Convex piece-wise linear coordination cost (ablation model).
+
+    Follows the Fortz–Thorup style the paper cites for ISP cost curves:
+    the marginal cost increases at each breakpoint, keeping the total
+    cost convex so Lemma 1's convexity argument still applies and the
+    optimizer remains valid.
+
+    Parameters
+    ----------
+    breakpoints:
+        Increasing ``x`` values at which the slope changes; the first
+        segment starts at 0.
+    slopes:
+        Marginal cost (per coordinated slot per router, times ``n``) on
+        each segment; must be increasing (convexity) and have exactly
+        ``len(breakpoints) + 1`` entries.
+    fixed_cost:
+        Constant offset, as in the linear model.
+    """
+
+    breakpoints: tuple[float, ...]
+    slopes: tuple[float, ...]
+    fixed_cost: float = 0.0
+
+    def __init__(
+        self,
+        breakpoints: Sequence[float],
+        slopes: Sequence[float],
+        fixed_cost: float = 0.0,
+    ):
+        bps = tuple(float(b) for b in breakpoints)
+        sls = tuple(float(s) for s in slopes)
+        if len(sls) != len(bps) + 1:
+            raise ParameterError(
+                f"need len(breakpoints)+1 slopes, got {len(bps)} breakpoints "
+                f"and {len(sls)} slopes"
+            )
+        if any(b <= 0 for b in bps) or any(
+            b2 <= b1 for b1, b2 in zip(bps, bps[1:])
+        ):
+            raise ParameterError("breakpoints must be positive and strictly increasing")
+        if any(s <= 0 for s in sls):
+            raise ParameterError("slopes must be positive")
+        if any(s2 < s1 for s1, s2 in zip(sls, sls[1:])):
+            raise ParameterError("slopes must be non-decreasing for convexity")
+        if not math.isfinite(fixed_cost) or fixed_cost < 0:
+            raise ParameterError(f"fixed cost must be non-negative, got {fixed_cost}")
+        object.__setattr__(self, "breakpoints", bps)
+        object.__setattr__(self, "slopes", sls)
+        object.__setattr__(self, "fixed_cost", float(fixed_cost))
+
+    def _segment_cost(self, x: np.ndarray) -> np.ndarray:
+        total = np.full_like(x, 0.0)
+        prev = 0.0
+        for bp, slope in zip(self.breakpoints, self.slopes):
+            seg = np.clip(x - prev, 0.0, bp - prev)
+            total = total + slope * seg
+            prev = bp
+        total = total + self.slopes[-1] * np.clip(x - prev, 0.0, None)
+        return total
+
+    def cost(self, x: ArrayLike, n_routers: int) -> ArrayLike:
+        """Total coordination cost; per-router slots scaled by ``n``."""
+        if n_routers < 1:
+            raise ParameterError(f"router count must be positive, got {n_routers}")
+        xs = np.asarray(x, dtype=np.float64)
+        if np.any(xs < 0):
+            raise ParameterError("coordinated storage x must be non-negative")
+        values = n_routers * self._segment_cost(xs) + self.fixed_cost
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            return float(values)
+        return values
+
+    def marginal_cost_at(self, x: float, n_routers: int) -> float:
+        """``dW/dx`` at ``x`` (right derivative at breakpoints)."""
+        if n_routers < 1:
+            raise ParameterError(f"router count must be positive, got {n_routers}")
+        if x < 0:
+            raise ParameterError("coordinated storage x must be non-negative")
+        for bp, slope in zip(self.breakpoints, self.slopes):
+            if x < bp:
+                return n_routers * slope
+        return n_routers * self.slopes[-1]

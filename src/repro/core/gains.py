@@ -1,0 +1,99 @@
+"""Performance gains of the optimal strategy (paper §IV-E).
+
+Two gains are quantified relative to the non-coordinated baseline
+(``x = 0``, every router independently caches the global top-``c``):
+
+- **Origin load reduction** ``G_O`` — the relative reduction in the
+  request fraction hitting the origin server:
+
+  .. math::
+
+      G_O = 1 - \\frac{1 - F(c + (n-1)x^*)}{1 - F(c)}
+          = \\frac{(c + (n-1)x^*)^{1-s} - c^{1-s}}{N^{1-s} - c^{1-s}}
+
+- **Routing performance improvement** ``G_R`` — the relative reduction
+  in mean latency:
+
+  .. math:: G_R = 1 - T(x^*) / T(0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .objective import PerformanceCostModel
+from .optimizer import OptimalStrategy
+
+__all__ = ["PerformanceGains", "origin_load_reduction", "routing_improvement", "evaluate_gains"]
+
+
+def origin_load_reduction(model: PerformanceCostModel, storage: float) -> float:
+    """Origin load reduction ``G_O`` for coordinated storage ``x`` (§IV-E.1).
+
+    Computed from first principles as
+    ``1 - origin_load(x) / origin_load(0)`` using the continuous CDF,
+    which reduces algebraically to the paper's closed form.
+    """
+    perf = model.performance
+    if not 0.0 <= storage <= perf.capacity:
+        raise ParameterError(
+            f"storage must lie in [0, {perf.capacity}], got {storage}"
+        )
+    baseline = float(perf.origin_load(0.0))
+    if baseline <= 0.0:
+        # Degenerate: non-coordinated caching already absorbs everything.
+        return 0.0
+    return 1.0 - float(perf.origin_load(storage)) / baseline
+
+
+def routing_improvement(model: PerformanceCostModel, storage: float) -> float:
+    """Routing performance improvement ``G_R = 1 - T(x)/T(0)`` (§IV-E.2)."""
+    perf = model.performance
+    if not 0.0 <= storage <= perf.capacity:
+        raise ParameterError(
+            f"storage must lie in [0, {perf.capacity}], got {storage}"
+        )
+    baseline = perf.mean_latency_noncoordinated()
+    return 1.0 - float(perf.mean_latency(storage)) / baseline
+
+
+@dataclass(frozen=True)
+class PerformanceGains:
+    """Both gains for one solved strategy, plus the underlying loads.
+
+    Attributes
+    ----------
+    origin_load_reduction:
+        ``G_O ∈ [0, 1]`` — relative origin traffic removed.
+    routing_improvement:
+        ``G_R ∈ [0, 1)`` — relative mean-latency reduction.
+    origin_load_optimal / origin_load_baseline:
+        Absolute request fractions hitting the origin with the optimal
+        and the non-coordinated strategy.
+    latency_optimal / latency_baseline:
+        Absolute mean latencies ``T(x*)`` and ``T(0)``.
+    """
+
+    origin_load_reduction: float
+    routing_improvement: float
+    origin_load_optimal: float
+    origin_load_baseline: float
+    latency_optimal: float
+    latency_baseline: float
+
+
+def evaluate_gains(
+    model: PerformanceCostModel, strategy: OptimalStrategy
+) -> PerformanceGains:
+    """Evaluate both §IV-E gains for a solved strategy."""
+    perf = model.performance
+    x_star = strategy.storage
+    return PerformanceGains(
+        origin_load_reduction=origin_load_reduction(model, x_star),
+        routing_improvement=routing_improvement(model, x_star),
+        origin_load_optimal=float(perf.origin_load(x_star)),
+        origin_load_baseline=float(perf.origin_load(0.0)),
+        latency_optimal=float(perf.mean_latency(x_star)),
+        latency_baseline=perf.mean_latency_noncoordinated(),
+    )

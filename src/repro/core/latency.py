@@ -1,0 +1,159 @@
+"""The three-tier latency model (paper §III-B.1).
+
+The paper abstracts content retrieval latency into three tiers:
+
+- ``d0`` — the requested content is in the client's first-hop router's
+  content store (local hit);
+- ``d1`` — the content is fetched from a peer router inside the same
+  administrative domain (coordinated hit);
+- ``d2`` — the content must be fetched from the origin server (miss).
+
+The model requires ``d0 < d1 <= d2``.  Three derived ratios drive the
+analysis: the first-tier ratio ``t1 = d1/d0``, the second-tier ratio
+``t2 = d2/d1``, and the *tiered latency ratio*
+``γ = (d2 - d1) / (d1 - d0)``, which Theorem 2 shows is the only latency
+quantity the optimal strategy depends on (the "latency scale free"
+property).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Immutable three-tier latency model ``(d0, d1, d2)``.
+
+    Parameters
+    ----------
+    d0:
+        Mean latency of a local content-store hit.  Typical real-world
+        values cited by the paper: ~100 ms cellular, 10–20 ms cable,
+        ~30 ms ADSL access.
+    d1:
+        Mean latency of fetching from a peer router in the same domain
+        (includes ``d0``); ``d1 - d0`` is the intra-domain transfer
+        latency, typically a few to 20 ms.
+    d2:
+        Mean latency of fetching from the origin server; typically 100+
+        ms with a heavy-tailed distribution.
+
+    Raises
+    ------
+    ParameterError
+        If any latency is non-positive, non-finite, or the ordering
+        ``d0 < d1 <= d2`` is violated.
+    """
+
+    d0: float
+    d1: float
+    d2: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("d0", self.d0), ("d1", self.d1), ("d2", self.d2)):
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                raise ParameterError(f"latency {name} must be a finite number, got {value!r}")
+            if value <= 0:
+                raise ParameterError(f"latency {name} must be positive, got {value}")
+        if not self.d0 < self.d1:
+            raise ParameterError(
+                f"peer latency d1 must exceed local latency d0 (d0={self.d0}, d1={self.d1})"
+            )
+        if not self.d1 <= self.d2:
+            raise ParameterError(
+                f"origin latency d2 must be at least peer latency d1 (d1={self.d1}, d2={self.d2})"
+            )
+
+    @classmethod
+    def from_gamma(
+        cls, gamma: float, *, d0: float = 1.0, peer_delta: float = 1.0
+    ) -> "LatencyModel":
+        """Build a model with a prescribed tiered latency ratio ``γ``.
+
+        Because of the scale-free property (Theorem 2), the optimizer's
+        output depends on latencies only through ``γ``; this constructor
+        makes sweeping ``γ`` convenient.  The returned model has
+        ``d1 - d0 = peer_delta`` and ``d2 - d1 = γ · peer_delta``.
+        """
+        if gamma <= 0:
+            raise ParameterError(f"tiered latency ratio must be positive, got {gamma}")
+        if peer_delta <= 0:
+            raise ParameterError(f"peer_delta must be positive, got {peer_delta}")
+        d1 = d0 + peer_delta
+        d2 = d1 + gamma * peer_delta
+        return cls(d0=d0, d1=d1, d2=d2)
+
+    @classmethod
+    def from_hops(
+        cls, peer_hops: float, origin_hops: float, *, access_hops: float = 1.0
+    ) -> "LatencyModel":
+        """Build a model from hop counts (the paper's alternate metric).
+
+        ``access_hops`` is the client-to-first-hop-router distance (the
+        ``d0`` analogue), ``peer_hops`` the mean intra-domain shortest
+        path (``d1 - d0``) and ``origin_hops`` the mean distance to the
+        origin (``d2 - d1``).
+        """
+        if peer_hops <= 0 or origin_hops <= 0 or access_hops <= 0:
+            raise ParameterError("hop counts must all be positive")
+        d0 = access_hops
+        d1 = d0 + peer_hops
+        d2 = d1 + origin_hops
+        return cls(d0=d0, d1=d1, d2=d2)
+
+    @property
+    def first_tier_ratio(self) -> float:
+        """``t1 = d1 / d0`` (paper §III-B.1)."""
+        return self.d1 / self.d0
+
+    @property
+    def second_tier_ratio(self) -> float:
+        """``t2 = d2 / d1`` (paper §III-B.1)."""
+        return self.d2 / self.d1
+
+    @property
+    def gamma(self) -> float:
+        """Tiered latency ratio ``γ = (d2 - d1) / (d1 - d0)``."""
+        return (self.d2 - self.d1) / (self.d1 - self.d0)
+
+    @property
+    def peer_delta(self) -> float:
+        """Intra-domain transfer latency ``d1 - d0``."""
+        return self.d1 - self.d0
+
+    @property
+    def origin_delta(self) -> float:
+        """Origin-versus-peer latency excess ``d2 - d1``."""
+        return self.d2 - self.d1
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        """Return a copy with every latency multiplied by ``factor``.
+
+        By Theorem 2's scale-free property, the optimal strategy of the
+        scaled model equals that of the original; tests assert this.
+        """
+        if factor <= 0:
+            raise ParameterError(f"scale factor must be positive, got {factor}")
+        return LatencyModel(self.d0 * factor, self.d1 * factor, self.d2 * factor)
+
+    def shifted(self, offset: float) -> "LatencyModel":
+        """Return a copy with ``offset`` added to every latency.
+
+        A uniform shift leaves both ``d1 - d0`` and ``d2 - d1`` (hence
+        ``γ``) unchanged, so it too preserves the optimal strategy.
+        """
+        if self.d0 + offset <= 0:
+            raise ParameterError(
+                f"offset {offset} would make d0 non-positive ({self.d0 + offset})"
+            )
+        return LatencyModel(self.d0 + offset, self.d1 + offset, self.d2 + offset)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """The latencies as a plain ``(d0, d1, d2)`` tuple."""
+        return (self.d0, self.d1, self.d2)

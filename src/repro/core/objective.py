@@ -1,0 +1,142 @@
+"""The weighted performance/cost objective ``T_w`` (paper §IV-A, eq. 4).
+
+The paper combines routing performance and coordination cost with a
+trade-off weight ``α ∈ [0, 1]``:
+
+.. math::
+
+    T_w(x) = α · T(x) + (1 - α) · W(x),
+
+and the optimal provisioning problem (eq. 5) is
+``x* = argmin_{x ∈ [0, c]} T_w(x)``.  Lemma 1 shows ``T_w`` is convex
+in ``x`` under mild conditions; this module evaluates the objective and
+its derivatives and exposes a numerical convexity certificate used by
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from .cost import CoordinationCostModel, PiecewiseLinearCostModel
+from .performance import RoutingPerformanceModel
+
+__all__ = ["PerformanceCostModel"]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Cost models the objective accepts: anything exposing ``cost(x, n)``
+#: plus either ``marginal_cost(n)`` (constant slope, eq. 3) or
+#: ``marginal_cost_at(x, n)`` (piece-wise, Fortz-Thorup style).
+CostModel = Union[CoordinationCostModel, PiecewiseLinearCostModel]
+
+
+@dataclass(frozen=True)
+class PerformanceCostModel:
+    """The full performance/cost objective of eq. 4.
+
+    Parameters
+    ----------
+    performance:
+        The routing performance model ``T(x)`` (eq. 2).
+    cost:
+        The coordination cost model: the paper's linear ``W(x)``
+        (eq. 3) or the convex piece-wise linear variant.  Convexity of
+        the cost keeps Lemma 1's argument (and hence every solver)
+        valid.
+    alpha:
+        Trade-off weight ``α ∈ [0, 1]``; ``α = 1`` weighs routing
+        performance only, ``α = 0`` coordination cost only.
+    """
+
+    performance: RoutingPerformanceModel
+    cost: CostModel
+    alpha: float
+
+    def _marginal_cost(self, x: float) -> float:
+        """Slope of the cost term at ``x`` (constant for eq. 3)."""
+        if hasattr(self.cost, "marginal_cost_at"):
+            return float(self.cost.marginal_cost_at(float(x), self.n_routers))
+        return float(self.cost.marginal_cost(self.n_routers))
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.alpha, (int, float)) and math.isfinite(self.alpha)):
+            raise ParameterError(f"alpha must be a finite number, got {self.alpha!r}")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ParameterError(f"alpha must lie in [0, 1], got {self.alpha}")
+
+    @property
+    def capacity(self) -> float:
+        """Per-router capacity ``c`` (delegated to the performance model)."""
+        return self.performance.capacity
+
+    @property
+    def n_routers(self) -> int:
+        """Router count ``n`` (delegated to the performance model)."""
+        return self.performance.n_routers
+
+    def objective(self, x: ArrayLike) -> ArrayLike:
+        """Evaluate ``T_w(x) = α·T(x) + (1-α)·W(x)`` (eq. 4)."""
+        t = np.asarray(self.performance.mean_latency(x))
+        w = np.asarray(self.cost.cost(x, self.n_routers))
+        values = self.alpha * t + (1.0 - self.alpha) * w
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            return float(values)
+        return values
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        """First derivative ``dT_w/dx`` (Appendix A, eq. 10).
+
+        At a piece-wise cost's breakpoints the right derivative is
+        used — consistent with the bisection solver, which only needs
+        a monotone (not continuous) derivative on a convex objective.
+        """
+        t_prime = np.asarray(self.performance.derivative(x))
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            w_prime = self._marginal_cost(float(x))
+            return float(self.alpha * t_prime + (1.0 - self.alpha) * w_prime)
+        w_prime = np.array([self._marginal_cost(float(v)) for v in np.asarray(x)])
+        return self.alpha * t_prime + (1.0 - self.alpha) * w_prime
+
+    def second_derivative(self, x: ArrayLike) -> ArrayLike:
+        """Second derivative; the linear cost contributes nothing."""
+        values = self.alpha * np.asarray(self.performance.second_derivative(x))
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            return float(values)
+        return values
+
+    def is_convex(self, num_samples: int = 257) -> bool:
+        """Numerical convexity certificate over ``[0, c]``.
+
+        Checks the Appendix-A second derivative at ``num_samples``
+        interior points.  Lemma 1 guarantees convexity only under its
+        stated conditions; callers outside those conditions can use this
+        to decide whether the convex solver remains trustworthy.
+        """
+        if num_samples < 3:
+            raise ParameterError(f"need at least 3 samples, got {num_samples}")
+        xs = np.linspace(0.0, self.capacity, num_samples + 2)[1:-1]
+        return bool(np.all(np.asarray(self.second_derivative(xs)) >= -1e-9))
+
+    def coordination_level(self, x: ArrayLike) -> ArrayLike:
+        """Map storage ``x`` to the coordination level ``ℓ = x / c``."""
+        xs = np.asarray(x, dtype=np.float64)
+        values = xs / self.capacity
+        if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+            return float(values)
+        return values
+
+    def storage_for_level(self, level: ArrayLike) -> ArrayLike:
+        """Map coordination level ``ℓ`` back to storage ``x = ℓ·c``."""
+        ls = np.asarray(level, dtype=np.float64)
+        if np.any((ls < 0) | (ls > 1)):
+            raise ParameterError("coordination level must lie in [0, 1]")
+        values = ls * self.capacity
+        if np.isscalar(level) or getattr(level, "ndim", 1) == 0:
+            return float(values)
+        return values

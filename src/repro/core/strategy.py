@@ -1,0 +1,172 @@
+"""Materializing a coordination level into concrete cache contents.
+
+The analytical model works with a single scalar — the coordination level
+``ℓ`` — but an actual network needs a *placement*: which ranks live in
+every router's local (non-coordinated) partition and how the coordinated
+ranks are divided among routers.  :class:`ProvisioningStrategy` performs
+that translation, following the paper's storage layout:
+
+- every router locally stores the globally top-ranked ``c - x`` contents
+  (ranks ``1 .. c-x``), identically replicated network-wide;
+- the routers collectively store the next ``n·x`` distinct contents
+  (ranks ``c-x+1 .. c-x+n·x``), each rank on exactly one router.
+
+Two assignment disciplines are provided for the coordinated partition:
+round-robin (rank ``r`` goes to router ``r mod n``), which balances
+popularity mass across routers, and contiguous blocks (router ``i``
+takes ranks ``[c-x+i·x+1, c-x+(i+1)·x]``), which minimizes reassignment
+churn when ``ℓ`` changes.  The analytical model is agnostic to the
+choice; the simulator exercises both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParameterError
+
+__all__ = ["ProvisioningStrategy"]
+
+_ASSIGNMENTS = ("round-robin", "contiguous")
+
+
+@dataclass(frozen=True)
+class ProvisioningStrategy:
+    """A concrete storage provisioning plan for ``n`` routers.
+
+    Parameters
+    ----------
+    capacity:
+        Per-router content-store capacity ``c`` (integer content units).
+    n_routers:
+        Number of routers ``n``.
+    level:
+        Coordination level ``ℓ ∈ [0, 1]``; the coordinated portion per
+        router is ``x = round(ℓ·c)`` slots.
+    assignment:
+        ``"round-robin"`` or ``"contiguous"`` placement of coordinated
+        ranks onto routers.
+    """
+
+    capacity: int
+    n_routers: int
+    level: float
+    assignment: str = "round-robin"
+
+    def __post_init__(self) -> None:
+        if int(self.capacity) != self.capacity or self.capacity < 1:
+            raise ParameterError(
+                f"capacity must be a positive integer, got {self.capacity}"
+            )
+        if int(self.n_routers) != self.n_routers or self.n_routers < 1:
+            raise ParameterError(
+                f"router count must be a positive integer, got {self.n_routers}"
+            )
+        if not (isinstance(self.level, (int, float)) and math.isfinite(self.level)):
+            raise ParameterError(f"level must be a finite number, got {self.level!r}")
+        if not 0.0 <= self.level <= 1.0:
+            raise ParameterError(f"level must lie in [0, 1], got {self.level}")
+        if self.assignment not in _ASSIGNMENTS:
+            raise ParameterError(
+                f"assignment must be one of {_ASSIGNMENTS}, got {self.assignment!r}"
+            )
+
+    @property
+    def coordinated_slots(self) -> int:
+        """``x`` — coordinated slots per router (rounded from ``ℓ·c``)."""
+        return int(round(self.level * self.capacity))
+
+    @property
+    def local_slots(self) -> int:
+        """``c - x`` — non-coordinated slots per router."""
+        return self.capacity - self.coordinated_slots
+
+    @property
+    def local_ranks(self) -> range:
+        """Ranks replicated at every router: ``1 .. c-x``."""
+        return range(1, self.local_slots + 1)
+
+    @property
+    def coordinated_ranks(self) -> range:
+        """Ranks stored once network-wide: ``c-x+1 .. c-x+n·x``."""
+        start = self.local_slots + 1
+        return range(start, start + self.n_routers * self.coordinated_slots)
+
+    @property
+    def unique_contents(self) -> int:
+        """Total distinct contents cached: ``(c-x) + n·x``."""
+        return self.local_slots + self.n_routers * self.coordinated_slots
+
+    def owner_of_rank(self, rank: int) -> int:
+        """Router index (0-based) holding the coordinated copy of ``rank``.
+
+        Raises :class:`ParameterError` for ranks outside the coordinated
+        partition — local ranks are on *every* router and origin-only
+        ranks on none, so neither has a single owner.
+        """
+        coordinated = self.coordinated_ranks
+        if rank not in coordinated:
+            raise ParameterError(
+                f"rank {rank} is not in the coordinated partition {coordinated!r}"
+            )
+        offset = rank - coordinated.start
+        if self.assignment == "round-robin":
+            return offset % self.n_routers
+        return offset // self.coordinated_slots
+
+    def contents_of_router(self, router: int) -> list[int]:
+        """All ranks stored at router ``router`` (local + coordinated)."""
+        if not 0 <= router < self.n_routers:
+            raise ParameterError(
+                f"router index must lie in [0, {self.n_routers}), got {router}"
+            )
+        ranks = list(self.local_ranks)
+        coordinated = self.coordinated_ranks
+        if self.assignment == "round-robin":
+            ranks.extend(
+                rank
+                for rank in coordinated
+                if (rank - coordinated.start) % self.n_routers == router
+            )
+        else:
+            x = self.coordinated_slots
+            start = coordinated.start + router * x
+            ranks.extend(range(start, start + x))
+        return ranks
+
+    def iter_assignments(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(rank, router)`` pairs for the coordinated partition."""
+        for rank in self.coordinated_ranks:
+            yield rank, self.owner_of_rank(rank)
+
+    def coordination_messages(self) -> int:
+        """Messages needed to install the coordinated partition.
+
+        The coordinator sends one placement directive per coordinated
+        slot per router (``n·x`` messages), matching the linear
+        communication-cost model of eq. 3; the non-coordinated partition
+        needs none.  This count is what the simulator reports as the
+        coordination cost in message units.
+        """
+        return self.n_routers * self.coordinated_slots
+
+    def reassignment_churn(self, other: "ProvisioningStrategy") -> int:
+        """Number of (rank, router) coordinated placements that differ.
+
+        Useful for studying the cost of adapting ``ℓ`` online (the
+        paper's future-work direction); contiguous assignment minimizes
+        this churn for small level changes.
+        """
+        if (self.capacity, self.n_routers) != (other.capacity, other.n_routers):
+            raise ParameterError(
+                "strategies must share capacity and router count to compare churn"
+            )
+        mine = dict(self.iter_assignments())
+        theirs = dict(other.iter_assignments())
+        moved = sum(
+            1 for rank, owner in mine.items() if theirs.get(rank) != owner
+        )
+        added = sum(1 for rank in theirs if rank not in mine)
+        return moved + added

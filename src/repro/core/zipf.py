@@ -1,0 +1,365 @@
+"""Zipf popularity primitives (paper §III-A, eq. 1 and eq. 6).
+
+The paper models content popularity with the Zipf distribution: out of a
+catalog of ``N`` equally sized objects, the object of rank ``i`` is
+requested with probability
+
+.. math::
+
+    f(i; s, N) = \\frac{i^{-s}}{H_{N,s}},
+
+where ``H_{N,s}`` is the generalized harmonic number of order ``s``.
+Analysis in the paper replaces the discrete CDF with the continuous
+approximation (eq. 6)
+
+.. math::
+
+    F(x; s, N) \\approx \\frac{x^{1-s} - 1}{N^{1-s} - 1},
+
+valid for ``s in (0, 1) ∪ (1, 2)``.  This module provides both the exact
+discrete forms and the continuous approximation, together with the
+``s → 1`` logarithmic limits, inverse CDFs, and seeded samplers used by
+the workload generator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import CatalogError, ParameterError, SingularExponentError
+
+__all__ = [
+    "harmonic_number",
+    "harmonic_numbers",
+    "zipf_pmf",
+    "zipf_cdf",
+    "continuous_cdf",
+    "continuous_cdf_limit",
+    "continuous_pdf",
+    "inverse_continuous_cdf",
+    "top_k_mass",
+    "validate_exponent",
+    "ZipfPopularity",
+]
+
+#: Exponents within this distance of 1.0 are treated as singular for the
+#: continuous approximation; the discrete forms remain exact everywhere.
+SINGULARITY_TOLERANCE = 1e-12
+
+#: Rank threshold above which :func:`harmonic_number` switches from the
+#: exact cumulative sum to the Euler–Maclaurin asymptotic expansion.
+_ASYMPTOTIC_THRESHOLD = 50_000_000
+
+
+def validate_exponent(s: float, *, allow_one: bool = False) -> float:
+    """Validate a Zipf exponent against the paper's admissible range.
+
+    The paper analyzes ``s in (0, 1) ∪ (1, 2)``.  ``s = 1`` is a singular
+    point of the continuous approximation; pass ``allow_one=True`` for
+    code paths that handle the logarithmic limit explicitly.
+
+    Returns the exponent unchanged, for fluent use.
+    """
+    s = float(s)
+    if not math.isfinite(s):
+        raise ParameterError(f"Zipf exponent must be finite, got {s!r}")
+    if not 0.0 < s < 2.0:
+        raise ParameterError(f"Zipf exponent must lie in (0, 2), got {s}")
+    if not allow_one and abs(s - 1.0) <= SINGULARITY_TOLERANCE:
+        raise SingularExponentError(
+            "Zipf exponent s = 1 is a singular point of the continuous "
+            "approximation (paper eq. 6); use the *_limit helpers instead"
+        )
+    return s
+
+
+def _validate_catalog_size(n: Union[int, float]) -> int:
+    n_int = int(n)
+    if n_int != n or n_int < 1:
+        raise CatalogError(f"catalog size must be a positive integer, got {n!r}")
+    return n_int
+
+
+def harmonic_number(k: Union[int, float], s: float) -> float:
+    """Generalized harmonic number ``H_{k,s} = sum_{j=1}^{k} j^{-s}``.
+
+    Exact summation for moderate ``k``; for very large ``k`` (above 5e7)
+    an Euler–Maclaurin expansion is used, which is accurate to well below
+    1e-12 relative error in the paper's parameter ranges.
+    """
+    k = int(k)
+    if k < 0:
+        raise ParameterError(f"harmonic number order must be non-negative, got {k}")
+    if k == 0:
+        return 0.0
+    s = float(s)
+    if k <= _ASYMPTOTIC_THRESHOLD:
+        j = np.arange(1, k + 1, dtype=np.float64)
+        return float(np.sum(j**-s))
+    # Euler–Maclaurin: H_{k,s} = zeta-like head + tail expansion.
+    head_k = 10_000
+    j = np.arange(1, head_k + 1, dtype=np.float64)
+    head = float(np.sum(j**-s))
+    # Integral tail from head_k to k plus correction terms.
+    a, b = float(head_k), float(k)
+    if abs(s - 1.0) <= SINGULARITY_TOLERANCE:
+        integral = math.log(b / a)
+    else:
+        integral = (b ** (1.0 - s) - a ** (1.0 - s)) / (1.0 - s)
+    correction = 0.5 * (b**-s - a**-s)
+    bernoulli = (s / 12.0) * (a ** (-s - 1.0) - b ** (-s - 1.0))
+    return head + integral + correction + bernoulli
+
+
+def harmonic_numbers(k_max: int, s: float) -> np.ndarray:
+    """Vector of ``H_{k,s}`` for ``k = 0, 1, ..., k_max`` (index = k)."""
+    k_max = int(k_max)
+    if k_max < 0:
+        raise ParameterError(f"k_max must be non-negative, got {k_max}")
+    j = np.arange(0, k_max + 1, dtype=np.float64)
+    terms = np.zeros(k_max + 1, dtype=np.float64)
+    if k_max >= 1:
+        terms[1:] = j[1:] ** -float(s)
+    return np.cumsum(terms)
+
+
+def zipf_pmf(rank: Union[int, np.ndarray], s: float, n_catalog: int) -> Union[float, np.ndarray]:
+    """Exact Zipf pmf ``f(i; s, N)`` (paper eq. 1).
+
+    ``rank`` may be a scalar or an integer array; ranks outside
+    ``[1, N]`` get probability 0.
+    """
+    n_catalog = _validate_catalog_size(n_catalog)
+    s = float(s)
+    h_n = harmonic_number(n_catalog, s)
+    ranks = np.asarray(rank, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        probs = np.where(
+            (ranks >= 1) & (ranks <= n_catalog), ranks ** -s / h_n, 0.0
+        )
+    if np.isscalar(rank) or getattr(rank, "ndim", 1) == 0:
+        return float(probs)
+    return probs
+
+
+def zipf_cdf(k: Union[int, np.ndarray], s: float, n_catalog: int) -> Union[float, np.ndarray]:
+    """Exact Zipf CDF ``F(k; s, N) = H_{k,s} / H_{N,s}`` (paper §III-B).
+
+    ``k`` is clipped to ``[0, N]``.  For array inputs the full harmonic
+    prefix-sum table is built once.
+    """
+    n_catalog = _validate_catalog_size(n_catalog)
+    s = float(s)
+    h_n = harmonic_number(n_catalog, s)
+    if np.isscalar(k) or getattr(k, "ndim", 1) == 0:
+        k_int = int(np.clip(int(k), 0, n_catalog))
+        return harmonic_number(k_int, s) / h_n
+    ks = np.clip(np.asarray(k, dtype=np.int64), 0, n_catalog)
+    table = harmonic_numbers(int(ks.max()), s)
+    return table[ks] / h_n
+
+
+def continuous_cdf(
+    x: Union[float, np.ndarray], s: float, n_catalog: float
+) -> Union[float, np.ndarray]:
+    """Continuous approximation of the Zipf CDF (paper eq. 6).
+
+    .. math:: F(x; s, N) = (x^{1-s} - 1) / (N^{1-s} - 1)
+
+    Defined for ``x >= 1``; inputs below 1 are clipped to 1 (mass 0) and
+    inputs above ``N`` are clipped to ``N`` (mass 1), matching the
+    paper's usage where arguments are cache sizes within ``[1, N]``.
+    """
+    s = validate_exponent(s)
+    n_catalog = float(n_catalog)
+    if n_catalog <= 1.0:
+        raise CatalogError(f"catalog size must exceed 1, got {n_catalog}")
+    one_minus_s = 1.0 - s
+    denom = n_catalog**one_minus_s - 1.0
+    xs = np.clip(np.asarray(x, dtype=np.float64), 1.0, n_catalog)
+    values = (xs**one_minus_s - 1.0) / denom
+    if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+        return float(values)
+    return values
+
+
+def continuous_cdf_limit(
+    x: Union[float, np.ndarray], n_catalog: float
+) -> Union[float, np.ndarray]:
+    """The ``s → 1`` limit of eq. 6: ``F(x; 1, N) = ln x / ln N``.
+
+    The paper excludes ``s = 1`` from its analysis; this limit is
+    provided so that callers sweeping ``s`` can plot a continuous curve
+    through the singular point.
+    """
+    n_catalog = float(n_catalog)
+    if n_catalog <= 1.0:
+        raise CatalogError(f"catalog size must exceed 1, got {n_catalog}")
+    xs = np.clip(np.asarray(x, dtype=np.float64), 1.0, n_catalog)
+    values = np.log(xs) / math.log(n_catalog)
+    if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+        return float(values)
+    return values
+
+
+def continuous_pdf(
+    x: Union[float, np.ndarray], s: float, n_catalog: float
+) -> Union[float, np.ndarray]:
+    """Derivative of eq. 6: ``dF/dx = (1-s) x^{-s} / (N^{1-s} - 1)``.
+
+    This is the quantity appearing throughout the paper's Appendix A
+    derivative computations.
+    """
+    s = validate_exponent(s)
+    n_catalog = float(n_catalog)
+    if n_catalog <= 1.0:
+        raise CatalogError(f"catalog size must exceed 1, got {n_catalog}")
+    one_minus_s = 1.0 - s
+    denom = n_catalog**one_minus_s - 1.0
+    xs = np.asarray(x, dtype=np.float64)
+    if np.any(xs <= 0):
+        raise ParameterError("continuous_pdf requires x > 0")
+    values = one_minus_s * xs**-s / denom
+    if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
+        return float(values)
+    return values
+
+
+def inverse_continuous_cdf(
+    p: Union[float, np.ndarray], s: float, n_catalog: float
+) -> Union[float, np.ndarray]:
+    """Inverse of eq. 6: the rank ``x`` such that ``F(x; s, N) = p``.
+
+    Used both by the inverse-transform sampler and by provisioning code
+    that asks "how much storage captures probability mass ``p``".
+    """
+    s = validate_exponent(s)
+    n_catalog = float(n_catalog)
+    if n_catalog <= 1.0:
+        raise CatalogError(f"catalog size must exceed 1, got {n_catalog}")
+    ps = np.asarray(p, dtype=np.float64)
+    if np.any((ps < 0.0) | (ps > 1.0)):
+        raise ParameterError("probability mass must lie in [0, 1]")
+    one_minus_s = 1.0 - s
+    denom = n_catalog**one_minus_s - 1.0
+    values = (1.0 + ps * denom) ** (1.0 / one_minus_s)
+    if np.isscalar(p) or getattr(p, "ndim", 1) == 0:
+        return float(values)
+    return values
+
+
+def top_k_mass(k: Union[int, float], s: float, n_catalog: float, *, exact: bool = False) -> float:
+    """Probability mass of the top-``k`` ranked contents.
+
+    With ``exact=True``, uses the discrete harmonic-number CDF; otherwise
+    uses the paper's continuous approximation.
+    """
+    if exact:
+        return float(zipf_cdf(int(k), s, int(n_catalog)))
+    return float(continuous_cdf(float(k), s, n_catalog))
+
+
+class ZipfPopularity:
+    """A Zipf popularity model over a catalog of ``N`` unit-size objects.
+
+    This is the object-oriented façade over the module functions used by
+    the rest of the library.  It precomputes nothing heavy at
+    construction time; the discrete pmf table is built lazily on first
+    sampling request.
+
+    Parameters
+    ----------
+    exponent:
+        Zipf exponent ``s``; must lie in ``(0, 2)``.  ``s = 1`` is
+        accepted here (the discrete distribution is perfectly well
+        defined at 1) but the continuous-approximation methods raise
+        :class:`~repro.errors.SingularExponentError` for it.
+    catalog_size:
+        Number of distinct contents ``N``.
+    """
+
+    def __init__(self, exponent: float, catalog_size: int):
+        self.exponent = validate_exponent(exponent, allow_one=True)
+        self.catalog_size = _validate_catalog_size(catalog_size)
+        self._pmf_table: Optional[np.ndarray] = None
+        self._cdf_table: Optional[np.ndarray] = None
+
+    def __repr__(self) -> str:
+        return f"ZipfPopularity(exponent={self.exponent}, catalog_size={self.catalog_size})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZipfPopularity):
+            return NotImplemented
+        return (
+            self.exponent == other.exponent
+            and self.catalog_size == other.catalog_size
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.exponent, self.catalog_size))
+
+    @property
+    def is_singular(self) -> bool:
+        """Whether the exponent sits on the ``s = 1`` singular point."""
+        return abs(self.exponent - 1.0) <= SINGULARITY_TOLERANCE
+
+    def pmf(self, rank: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """Exact request probability of the given rank(s) (eq. 1)."""
+        return zipf_pmf(rank, self.exponent, self.catalog_size)
+
+    def cdf(self, k: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """Exact probability that a request targets a top-``k`` content."""
+        return zipf_cdf(k, self.exponent, self.catalog_size)
+
+    def cdf_continuous(self, x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """The paper's continuous CDF approximation (eq. 6)."""
+        if self.is_singular:
+            return continuous_cdf_limit(x, self.catalog_size)
+        return continuous_cdf(x, self.exponent, self.catalog_size)
+
+    def interval_mass(self, lo: float, hi: float, *, exact: bool = False) -> float:
+        """Probability mass of ranks in ``(lo, hi]``.
+
+        This is the paper's ``F(hi) - F(lo)`` building block for the
+        middle (peer-served) latency tier.
+        """
+        if hi < lo:
+            raise ParameterError(f"interval bounds out of order: ({lo}, {hi}]")
+        if exact:
+            return float(self.cdf(int(hi))) - float(self.cdf(int(lo)))
+        return float(self.cdf_continuous(hi)) - float(self.cdf_continuous(lo))
+
+    def _tables(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._pmf_table is None:
+            ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
+            weights = ranks**-self.exponent
+            weights /= weights.sum()
+            self._pmf_table = weights
+            self._cdf_table = np.cumsum(weights)
+        assert self._cdf_table is not None
+        return self._pmf_table, self._cdf_table
+
+    def sample(
+        self, size: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw ``size`` i.i.d. ranks (1-based) from the exact pmf.
+
+        Uses inverse-transform sampling against the precomputed discrete
+        CDF table, which is exact (unlike ``numpy.random.zipf``, which
+        samples the unbounded Zipf law and requires ``s > 1``).
+        """
+        if size < 0:
+            raise ParameterError(f"sample size must be non-negative, got {size}")
+        rng = rng if rng is not None else np.random.default_rng()
+        _, cdf_table = self._tables()
+        u = rng.random(size)
+        return np.searchsorted(cdf_table, u, side="left") + 1
+
+    def expected_rank(self) -> float:
+        """Mean of the rank distribution (useful for sanity checks)."""
+        pmf_table, _ = self._tables()
+        ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
+        return float(np.dot(ranks, pmf_table))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "SingularExponentError",
+    "ExistenceConditionError",
+    "ConvergenceError",
+    "TopologyError",
+    "CatalogError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is outside its admissible range.
+
+    Raised, for example, when a latency model violates ``d0 < d1 <= d2``
+    or when a cache capacity is negative.
+    """
+
+
+class SingularExponentError(ParameterError):
+    """The Zipf exponent hit the singular point ``s = 1``.
+
+    The paper's continuous approximation (eq. 6) and the optimality
+    equation (eq. 7) are undefined at ``s = 1``; callers that need the
+    limit behaviour should use the dedicated ``*_limit`` helpers in
+    :mod:`repro.core.zipf`.
+    """
+
+
+class ExistenceConditionError(ReproError):
+    """Lemma 1's existence conditions do not hold for the given inputs."""
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        summary = "; ".join(self.violations) or "unknown violation"
+        super().__init__(f"optimal strategy existence conditions violated: {summary}")
+
+
+class ConvergenceError(ReproError):
+    """A numerical solver failed to converge to the requested tolerance."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (disconnected, missing latency, ...)."""
+
+
+class CatalogError(ReproError):
+    """A content catalog or popularity model is malformed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

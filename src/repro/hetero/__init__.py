@@ -1,0 +1,15 @@
+"""Heterogeneous-capacity extension (the paper's §VII future work)."""
+
+from .model import HeterogeneousModel
+from .optimizer import (
+    HeterogeneousStrategy,
+    optimize_shares,
+    optimize_uniform_level,
+)
+
+__all__ = [
+    "HeterogeneousModel",
+    "HeterogeneousStrategy",
+    "optimize_shares",
+    "optimize_uniform_level",
+]

@@ -1,0 +1,167 @@
+"""Heterogeneous-capacity extension of the performance/cost model.
+
+The paper's model assumes every router has the same capacity ``c`` and
+the same coordinated share ``x`` (§III-A), and names the heterogeneous
+case as future work (§VII).  This module generalizes to per-router
+capacities ``c_i`` and per-router coordinated shares ``x_i``:
+
+- router ``i`` locally stores the globally top-ranked ``l_i = c_i - x_i``
+  contents (replicated, non-coordinated);
+- since every rank ``r ≤ L = max_i l_i`` is local to *some* router, a
+  client whose own router misses can still fetch it from a peer — so
+  the coordinated pool stores the next distinct ranks
+  ``(L, L + X]`` with ``X = Σ_i x_i``;
+- the mean service latency for clients of router ``i`` is
+
+  .. math::
+
+      T_i = F(l_i)\\,d_0 + [F(L + X) - F(l_i)]\\,d_1 + [1 - F(L + X)]\\,d_2,
+
+  and the network objective averages ``T_i`` over routers (uniform
+  client mass per router, matching the paper's symmetric assumption)
+  and adds the coordination cost ``W = w·X + ŵ``:
+
+  .. math:: T_w(x_1..x_n) = α·\\bar T + (1-α)·W.
+
+Setting ``c_i ≡ c`` and ``x_i ≡ x`` recovers the paper's homogeneous
+objective exactly (eq. 4 with ``W = w·n·x``), which the tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..core.cost import CoordinationCostModel
+from ..core.latency import LatencyModel
+from ..core.zipf import ZipfPopularity
+from ..errors import ParameterError
+
+__all__ = ["HeterogeneousModel"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class HeterogeneousModel:
+    """Performance/cost objective with per-router capacities.
+
+    Parameters
+    ----------
+    popularity:
+        The Zipf popularity model (shared across routers).
+    latency:
+        The three-tier latency model (shared; heterogeneous latency is
+        a further extension).
+    capacities:
+        Per-router store capacities ``c_i`` (positive).
+    cost:
+        The linear coordination cost model; its ``unit_cost`` is
+        charged per coordinated slot (``W = w·Σx_i + ŵ``).
+    alpha:
+        Trade-off weight ``α ∈ [0, 1]``.
+    """
+
+    popularity: ZipfPopularity
+    latency: LatencyModel
+    capacities: tuple[float, ...]
+    cost: CoordinationCostModel
+    alpha: float
+
+    def __init__(
+        self,
+        popularity: ZipfPopularity,
+        latency: LatencyModel,
+        capacities: Sequence[float],
+        cost: CoordinationCostModel,
+        alpha: float,
+    ):
+        caps = tuple(float(c) for c in capacities)
+        if not caps:
+            raise ParameterError("need at least one router capacity")
+        if any(not math.isfinite(c) or c <= 0 for c in caps):
+            raise ParameterError(f"capacities must be positive and finite: {caps}")
+        if max(caps) > popularity.catalog_size:
+            raise ParameterError(
+                "largest capacity exceeds the catalog size "
+                f"({max(caps)} > {popularity.catalog_size})"
+            )
+        if not 0.0 <= alpha <= 1.0:
+            raise ParameterError(f"alpha must lie in [0, 1], got {alpha}")
+        object.__setattr__(self, "popularity", popularity)
+        object.__setattr__(self, "latency", latency)
+        object.__setattr__(self, "capacities", caps)
+        object.__setattr__(self, "cost", cost)
+        object.__setattr__(self, "alpha", float(alpha))
+
+    @property
+    def n_routers(self) -> int:
+        """Number of routers ``n``."""
+        return len(self.capacities)
+
+    @property
+    def total_capacity(self) -> float:
+        """``Σ_i c_i`` — the aggregate storage in the domain."""
+        return float(sum(self.capacities))
+
+    def _validate_shares(self, shares: ArrayLike) -> np.ndarray:
+        x = np.asarray(shares, dtype=np.float64)
+        caps = np.asarray(self.capacities)
+        if x.shape != caps.shape:
+            raise ParameterError(
+                f"expected {caps.shape[0]} coordinated shares, got shape {x.shape}"
+            )
+        if np.any(x < -1e-12) or np.any(x > caps + 1e-9):
+            raise ParameterError(
+                "coordinated shares must satisfy 0 <= x_i <= c_i"
+            )
+        return np.clip(x, 0.0, caps)
+
+    def mean_latency(self, shares: ArrayLike) -> float:
+        """Mean service latency averaged over routers' client bases."""
+        x = self._validate_shares(shares)
+        caps = np.asarray(self.capacities)
+        local = caps - x
+        pool_start = float(local.max())
+        pool_end = pool_start + float(x.sum())
+        f_pool = float(self.popularity.cdf_continuous(pool_end))
+        f_local = np.asarray(self.popularity.cdf_continuous(local))
+        lat = self.latency
+        per_router = (
+            f_local * lat.d0
+            + (f_pool - f_local) * lat.d1
+            + (1.0 - f_pool) * lat.d2
+        )
+        return float(per_router.mean())
+
+    def coordination_cost(self, shares: ArrayLike) -> float:
+        """``W = w·Σx_i + ŵ`` (the homogeneous ``w·n·x`` generalized)."""
+        x = self._validate_shares(shares)
+        return self.cost.unit_cost * float(x.sum()) + self.cost.fixed_cost
+
+    def objective(self, shares: ArrayLike) -> float:
+        """``α·T̄ + (1-α)·W`` for a share vector."""
+        return self.alpha * self.mean_latency(shares) + (
+            1.0 - self.alpha
+        ) * self.coordination_cost(shares)
+
+    def origin_load(self, shares: ArrayLike) -> float:
+        """Fraction of requests served by the origin."""
+        x = self._validate_shares(shares)
+        caps = np.asarray(self.capacities)
+        pool_end = float((caps - x).max()) + float(x.sum())
+        return 1.0 - float(self.popularity.cdf_continuous(pool_end))
+
+    def uniform_shares(self, level: float) -> np.ndarray:
+        """The homogeneous-style share vector ``x_i = level · c_i``."""
+        if not 0.0 <= level <= 1.0:
+            raise ParameterError(f"level must lie in [0, 1], got {level}")
+        return level * np.asarray(self.capacities)
+
+    def levels_of(self, shares: ArrayLike) -> np.ndarray:
+        """Per-router coordination levels ``x_i / c_i``."""
+        x = self._validate_shares(shares)
+        return x / np.asarray(self.capacities)

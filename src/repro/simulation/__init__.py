@@ -1,0 +1,60 @@
+"""Discrete request-level CCN caching simulator.
+
+The analytical model's event-level counterpart: content stores with
+replacement policies, nearest-replica routing, coordinated placement
+with message accounting, and steady-state/dynamic simulators.
+"""
+
+from .cache import (
+    CachePolicy,
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+    PerfectLFUCache,
+    RandomCache,
+    StaticCache,
+    make_policy,
+)
+from .coordination import CoordinationReport, Coordinator
+from .failures import (
+    build_degraded_simulator,
+    coordinated_mass_lost,
+    fail_stores,
+)
+from .metrics import MetricsCollector, SimulationMetrics
+from .protocol import DistributedCoordinator, ProtocolOutcome
+from .router import CCNRouter
+from .routing import (
+    NearestReplicaRouter,
+    OriginModel,
+    RouteDecision,
+    ServiceTier,
+)
+from .simulator import DynamicSimulator, SteadyStateSimulator
+
+__all__ = [
+    "CCNRouter",
+    "CachePolicy",
+    "CoordinationReport",
+    "Coordinator",
+    "DistributedCoordinator",
+    "DynamicSimulator",
+    "FIFOCache",
+    "LFUCache",
+    "LRUCache",
+    "MetricsCollector",
+    "NearestReplicaRouter",
+    "PerfectLFUCache",
+    "OriginModel",
+    "ProtocolOutcome",
+    "RandomCache",
+    "RouteDecision",
+    "ServiceTier",
+    "SimulationMetrics",
+    "StaticCache",
+    "SteadyStateSimulator",
+    "build_degraded_simulator",
+    "coordinated_mass_lost",
+    "fail_stores",
+    "make_policy",
+]

@@ -1,0 +1,139 @@
+"""Coordinated placement: turning a strategy into router stores.
+
+The conceptually centralized coordinator of the paper (§III-A, node
+``C`` of Figure 2) collects content-store state from all routers,
+computes the placement a :class:`ProvisioningStrategy` prescribes, and
+distributes directives.  This module implements that protocol at the
+message-accounting level the paper's cost model (eq. 3) abstracts:
+
+- ``collection`` — one state report per router;
+- ``directives`` — one placement directive per coordinated slot per
+  router (the ``w·n·x`` linear term of eq. 3);
+- ``consensus`` — the minimum messages for the routers to agree on a
+  partition at all: a spanning tree of the participants, ``n - 1``
+  messages (this is the "at least one message" of the paper's
+  two-router motivating example).
+
+It also builds the provisioned :class:`CCNRouter` fleet for the
+steady-state simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..core.strategy import ProvisioningStrategy
+from ..errors import ParameterError
+from .router import CCNRouter
+
+__all__ = ["CoordinationReport", "Coordinator"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class CoordinationReport:
+    """Message accounting for one coordination round.
+
+    Attributes
+    ----------
+    collection_messages:
+        State reports from routers to the coordinator (``n``; 0 when
+        nothing is coordinated).
+    directive_messages:
+        Placement directives, one per coordinated slot per router
+        (``n·x`` — the quantity eq. 3's communication term charges).
+    consensus_messages:
+        Minimum messages for participants to reach consensus on the
+        partition (``n - 1`` over a spanning tree; the motivating
+        example's single message between R1 and R2).
+    """
+
+    collection_messages: int
+    directive_messages: int
+    consensus_messages: int
+
+    @property
+    def total_messages(self) -> int:
+        """Full protocol cost: collection plus directives."""
+        return self.collection_messages + self.directive_messages
+
+
+class Coordinator:
+    """Builds provisioned router fleets and accounts coordination cost.
+
+    Parameters
+    ----------
+    strategy:
+        The provisioning plan (capacity split and rank assignment).
+    routers:
+        Topology node identifiers, in placement order: router ``i`` of
+        the strategy's assignment is ``routers[i]``.
+    """
+
+    def __init__(self, strategy: ProvisioningStrategy, routers: Sequence[NodeId]):
+        if len(routers) != strategy.n_routers:
+            raise ParameterError(
+                f"strategy expects {strategy.n_routers} routers, got {len(routers)}"
+            )
+        if len(set(routers)) != len(routers):
+            raise ParameterError("router identifiers must be unique")
+        self.strategy = strategy
+        self.routers = list(routers)
+
+    def placement(self) -> dict[NodeId, tuple[frozenset[int], frozenset[int]]]:
+        """Per-router ``(local_ranks, coordinated_ranks)`` sets."""
+        local = frozenset(self.strategy.local_ranks)
+        result: dict[NodeId, tuple[frozenset[int], frozenset[int]]] = {}
+        for i, node in enumerate(self.routers):
+            coordinated = frozenset(
+                r
+                for r in self.strategy.contents_of_router(i)
+                if r not in local
+            )
+            result[node] = (local, coordinated)
+        return result
+
+    def build_routers(self) -> dict[NodeId, CCNRouter]:
+        """Materialize the provisioned steady-state router fleet."""
+        fleet: dict[NodeId, CCNRouter] = {}
+        for node, (local, coordinated) in self.placement().items():
+            fleet[node] = CCNRouter.provisioned(
+                node,
+                local,
+                coordinated,
+                local_capacity=self.strategy.local_slots,
+                coordinated_capacity=self.strategy.coordinated_slots,
+            )
+        return fleet
+
+    def report(self) -> CoordinationReport:
+        """Message accounting for installing this strategy."""
+        n = self.strategy.n_routers
+        x = self.strategy.coordinated_slots
+        if x == 0:
+            # Non-coordinated provisioning involves no exchange at all.
+            return CoordinationReport(
+                collection_messages=0,
+                directive_messages=0,
+                consensus_messages=0,
+            )
+        return CoordinationReport(
+            collection_messages=n,
+            directive_messages=n * x,
+            consensus_messages=max(n - 1, 0),
+        )
+
+    def holders_index(self) -> dict[int, list[NodeId]]:
+        """Rank → routers holding it, for the whole provisioned network.
+
+        Local ranks map to all routers; coordinated ranks to their
+        single assigned owner.
+        """
+        index: dict[int, list[NodeId]] = {}
+        for rank in self.strategy.local_ranks:
+            index[rank] = list(self.routers)
+        for rank, owner in self.strategy.iter_assignments():
+            index.setdefault(rank, []).append(self.routers[owner])
+        return index

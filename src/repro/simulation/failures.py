@@ -1,0 +1,110 @@
+"""Failure injection for provisioned networks.
+
+Coordinated caching concentrates each coordinated rank on exactly one
+router, so a single store failure removes a *predictable* slice of the
+in-network content: the failed router's coordinated share (its local
+partition is replicated everywhere else and costs nothing).  This
+module injects store failures into a steady-state fleet and computes
+the analytical prediction of the damage, so tests and benchmarks can
+verify the simulated degradation matches theory.
+
+This also quantifies a real coordination trade-off the paper does not
+discuss: non-coordinated caching is fully failure-redundant (every
+store holds the same contents), while coordination trades that
+redundancy for coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..catalog.popularity import PopularityModel
+from ..core.strategy import ProvisioningStrategy
+from ..errors import ParameterError, SimulationError
+from ..simulation.cache import StaticCache
+from ..simulation.router import CCNRouter
+from ..simulation.routing import OriginModel
+from ..simulation.simulator import SteadyStateSimulator
+from ..topology.graph import Topology
+
+__all__ = ["fail_stores", "coordinated_mass_lost", "build_degraded_simulator"]
+
+NodeId = Hashable
+
+
+def fail_stores(
+    simulator: SteadyStateSimulator, failed: Iterable[NodeId]
+) -> None:
+    """Empty the content stores of the given routers, in place.
+
+    The routers keep forwarding (the failure is of the storage plane,
+    not the node), matching a content-store wipe/restart.  The
+    simulator's replica index is rebuilt accordingly.
+    """
+    failed = list(failed)
+    for node in failed:
+        router = simulator.fleet.get(node)
+        if router is None:
+            raise SimulationError(f"cannot fail unknown router {node!r}")
+        simulator.fleet[node] = CCNRouter(
+            node,
+            StaticCache(router.local_store.capacity),
+            StaticCache(router.coordinated_store.capacity)
+            if router.coordinated_store is not None
+            else None,
+        )
+    # Rebuild the static holders index without the failed stores.
+    simulator._holders = {}
+    for node, router in simulator.fleet.items():
+        for rank in router.stored_ranks():
+            simulator._holders.setdefault(rank, []).append(node)
+
+
+def coordinated_mass_lost(
+    strategy: ProvisioningStrategy,
+    popularity: PopularityModel,
+    failed_indices: Sequence[int],
+) -> float:
+    """Analytical request mass whose only in-network copy just failed.
+
+    The local partition is replicated on every router, so only the
+    failed routers' *coordinated* ranks leave the network.  Returns the
+    summed request probability of those ranks — exactly the expected
+    origin-load increase.
+    """
+    failed = set(failed_indices)
+    for index in failed:
+        if not 0 <= index < strategy.n_routers:
+            raise ParameterError(
+                f"router index {index} outside [0, {strategy.n_routers})"
+            )
+    # With every router failed, the local partition also vanishes; this
+    # helper models partial failures where replicas survive elsewhere.
+    if len(failed) >= strategy.n_routers and strategy.local_slots > 0:
+        raise ParameterError(
+            "coordinated_mass_lost models partial failures; failing every "
+            "router also loses the replicated local partition"
+        )
+    mass = 0.0
+    for rank, owner in strategy.iter_assignments():
+        if owner in failed:
+            mass += popularity.pmf(rank)
+    return mass
+
+
+def build_degraded_simulator(
+    topology: Topology,
+    strategy: ProvisioningStrategy,
+    failed_indices: Sequence[int],
+    *,
+    origin: OriginModel | None = None,
+    metric: str = "hops",
+) -> SteadyStateSimulator:
+    """A provisioned simulator with the given routers' stores failed."""
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, origin=origin, metric=metric,
+        message_accounting="none",
+    )
+    nodes = topology.nodes
+    fail_stores(simulator, [nodes[i] for i in failed_indices])
+    return simulator

@@ -1,0 +1,158 @@
+"""Metric accumulation for simulation runs.
+
+The paper's three motivating metrics (§II, Table I) are the load on
+origin, the routing hop count, and the storage coordination cost.
+:class:`MetricsCollector` accumulates them request by request, and
+:class:`SimulationMetrics` is the immutable summary the simulator
+returns, with per-tier hit fractions, mean hops/latency, and message
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from ..errors import SimulationError
+from .routing import RouteDecision, ServiceTier
+
+__all__ = ["SimulationMetrics", "MetricsCollector"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Immutable summary of one simulation run.
+
+    Attributes
+    ----------
+    requests:
+        Total requests served.
+    local_hits / peer_hits / origin_hits:
+        Requests served by each tier; they sum to ``requests``.
+    total_hops / total_latency_ms:
+        Sums of fetch-path hops and latency over all requests
+        (excluding the constant client access leg).
+    coordination_messages:
+        Messages spent installing/maintaining coordination.
+    served_by:
+        Peer-tier requests served per router — which routers carry the
+        domain's coordinated/replica traffic.  Local hits (each client
+        serving itself) and origin service are not included.
+    """
+
+    requests: int
+    local_hits: int
+    peer_hits: int
+    origin_hits: int
+    total_hops: float
+    total_latency_ms: float
+    coordination_messages: int
+    served_by: Mapping[NodeId, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.local_hits + self.peer_hits + self.origin_hits != self.requests:
+            raise SimulationError(
+                "tier hit counts must sum to the request count "
+                f"({self.local_hits}+{self.peer_hits}+{self.origin_hits} != "
+                f"{self.requests})"
+            )
+
+    @property
+    def origin_load(self) -> float:
+        """Fraction of requests served by the origin (Table I row 1)."""
+        return self.origin_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean fetch hops per request (Table I row 2)."""
+        return self.total_hops / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean fetch latency per request."""
+        return self.total_latency_ms / self.requests if self.requests else 0.0
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of requests hitting the local content store."""
+        return self.local_hits / self.requests if self.requests else 0.0
+
+    @property
+    def peer_fraction(self) -> float:
+        """Fraction of requests served by a peer router."""
+        return self.peer_hits / self.requests if self.requests else 0.0
+
+    def tier_fractions(self) -> tuple[float, float, float]:
+        """``(local, peer, origin)`` fractions — comparable to the model's."""
+        return (self.local_fraction, self.peer_fraction, self.origin_load)
+
+    def peer_load_imbalance(self, n_routers: int = 0) -> float:
+        """Coefficient of variation of per-router peer-served counts.
+
+        0 means perfectly balanced peer-service load; larger values
+        mean a few routers carry most of the coordinated traffic.
+        Pass ``n_routers`` to include routers that served nothing
+        (``served_by`` only records routers with at least one hit).
+        """
+        counts = list(self.served_by.values())
+        counts += [0] * max(n_routers - len(counts), 0)
+        if len(counts) < 2:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return (variance**0.5) / mean
+
+
+class MetricsCollector:
+    """Mutable accumulator turned into :class:`SimulationMetrics` at the end."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.local_hits = 0
+        self.peer_hits = 0
+        self.origin_hits = 0
+        self.total_hops = 0.0
+        self.total_latency_ms = 0.0
+        self.coordination_messages = 0
+        self.served_by: dict[NodeId, int] = {}
+
+    def record(self, decision: RouteDecision) -> None:
+        """Record one resolved request."""
+        self.requests += 1
+        if decision.tier == ServiceTier.LOCAL:
+            self.local_hits += 1
+        elif decision.tier == ServiceTier.PEER:
+            self.peer_hits += 1
+        elif decision.tier == ServiceTier.ORIGIN:
+            self.origin_hits += 1
+        else:
+            raise SimulationError(f"unknown service tier {decision.tier!r}")
+        if decision.tier == ServiceTier.PEER and decision.server is not None:
+            self.served_by[decision.server] = (
+                self.served_by.get(decision.server, 0) + 1
+            )
+        self.total_hops += decision.hops
+        self.total_latency_ms += decision.latency_ms
+
+    def record_messages(self, count: int) -> None:
+        """Add coordination messages (placement directives, consensus)."""
+        if count < 0:
+            raise SimulationError(f"message count must be non-negative, got {count}")
+        self.coordination_messages += count
+
+    def summary(self) -> SimulationMetrics:
+        """Freeze the accumulated counters into a summary."""
+        return SimulationMetrics(
+            requests=self.requests,
+            local_hits=self.local_hits,
+            peer_hits=self.peer_hits,
+            origin_hits=self.origin_hits,
+            total_hops=self.total_hops,
+            total_latency_ms=self.total_latency_ms,
+            coordination_messages=self.coordination_messages,
+            served_by=dict(self.served_by),
+        )

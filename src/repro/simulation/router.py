@@ -1,0 +1,148 @@
+"""A CCN-style router: content store plus request handling.
+
+The paper's routers have two capabilities — forwarding and an
+in-network content store.  :class:`CCNRouter` models the content-store
+side: a (possibly split) store with a provisioned partition and a
+dynamic partition, mirroring the model's ``c - x`` local / ``x``
+coordinated split.  Forwarding decisions live in
+:mod:`repro.simulation.routing`; the simulator composes the two.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..errors import ParameterError, SimulationError
+from .cache import CachePolicy, StaticCache
+
+__all__ = ["CCNRouter"]
+
+NodeId = Hashable
+
+
+class CCNRouter:
+    """One router's content store, split into two partitions.
+
+    Parameters
+    ----------
+    node:
+        The router's identifier in the topology.
+    local_store:
+        The non-coordinated partition (size ``c - x`` in the model) —
+        typically a :class:`StaticCache` of the top ranks, or a dynamic
+        policy (LRU/LFU) in online simulations.
+    coordinated_store:
+        The coordinated partition (size ``x``); ``None`` when the
+        router participates only in non-coordinated caching.
+    """
+
+    def __init__(
+        self,
+        node: NodeId,
+        local_store: CachePolicy,
+        coordinated_store: Optional[CachePolicy] = None,
+    ):
+        self.node = node
+        self.local_store = local_store
+        self.coordinated_store = coordinated_store
+
+    @property
+    def capacity(self) -> int:
+        """Total store capacity ``c`` across both partitions."""
+        # Note: ``is not None``, not truthiness — CachePolicy defines
+        # __len__, so an *empty* coordinated store would be falsy.
+        coordinated = (
+            self.coordinated_store.capacity
+            if self.coordinated_store is not None
+            else 0
+        )
+        return self.local_store.capacity + coordinated
+
+    def holds(self, rank: int) -> bool:
+        """Whether either partition currently stores the rank."""
+        if rank in self.local_store:
+            return True
+        return self.coordinated_store is not None and rank in self.coordinated_store
+
+    def lookup(self, rank: int) -> bool:
+        """Statistics-recording lookup across both partitions.
+
+        The local partition is consulted first (it holds the most
+        popular contents); a hit there does not touch the coordinated
+        partition's statistics.
+        """
+        if self.local_store.lookup(rank):
+            return True
+        if self.coordinated_store is not None:
+            return self.coordinated_store.lookup(rank)
+        return False
+
+    def admit_local(self, rank: int) -> Optional[int]:
+        """Admit a fetched content into the local (dynamic) partition."""
+        return self.local_store.admit(rank)
+
+    def admit_coordinated(self, rank: int) -> Optional[int]:
+        """Admit a content into the coordinated partition."""
+        if self.coordinated_store is None:
+            raise SimulationError(
+                f"router {self.node!r} has no coordinated partition"
+            )
+        return self.coordinated_store.admit(rank)
+
+    def stored_ranks(self) -> frozenset[int]:
+        """All ranks currently stored on this router."""
+        ranks = set(self.local_store.contents)
+        if self.coordinated_store is not None:
+            ranks |= self.coordinated_store.contents
+        return frozenset(ranks)
+
+    def __repr__(self) -> str:
+        return (
+            f"CCNRouter(node={self.node!r}, capacity={self.capacity}, "
+            f"stored={len(self.stored_ranks())})"
+        )
+
+    @classmethod
+    def provisioned(
+        cls,
+        node: NodeId,
+        local_ranks: frozenset[int],
+        coordinated_ranks: frozenset[int],
+        *,
+        local_capacity: Optional[int] = None,
+        coordinated_capacity: Optional[int] = None,
+    ) -> "CCNRouter":
+        """Build a fully static router from explicit rank sets.
+
+        This is the steady-state configuration the analytical model
+        assumes: the local partition holds the global top ranks, the
+        coordinated partition holds this router's share of the
+        coordinated range.
+        """
+        local_capacity = (
+            len(local_ranks) if local_capacity is None else local_capacity
+        )
+        coordinated_capacity = (
+            len(coordinated_ranks)
+            if coordinated_capacity is None
+            else coordinated_capacity
+        )
+        if local_capacity < len(local_ranks):
+            raise ParameterError(
+                f"local capacity {local_capacity} below rank count {len(local_ranks)}"
+            )
+        if coordinated_capacity < len(coordinated_ranks):
+            raise ParameterError(
+                f"coordinated capacity {coordinated_capacity} below rank count "
+                f"{len(coordinated_ranks)}"
+            )
+        coordinated_store = (
+            StaticCache(coordinated_capacity, coordinated_ranks)
+            if coordinated_capacity > 0
+            else None
+        )
+        return cls(
+            node,
+            local_store=StaticCache(local_capacity, local_ranks),
+            coordinated_store=coordinated_store,
+        )

@@ -1,0 +1,228 @@
+"""Nearest-replica routing over a topology.
+
+A CCN request at router ``r`` resolves in three tiers, matching the
+model's ``d0``/``d1``/``d2`` structure: the local content store, the
+nearest peer router holding a replica, and finally the origin server.
+:class:`NearestReplicaRouter` answers "who serves this request and at
+what hop/latency cost" from precomputed all-pairs matrices, and
+:class:`OriginModel` places the origin in the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+import numpy as np
+
+from ..errors import SimulationError, TopologyError
+from ..topology.graph import Topology
+
+__all__ = ["ServiceTier", "RouteDecision", "OriginModel", "NearestReplicaRouter"]
+
+NodeId = Hashable
+
+
+class ServiceTier:
+    """The three service tiers of the model (string constants)."""
+
+    LOCAL = "local"
+    PEER = "peer"
+    ORIGIN = "origin"
+
+    ALL = (LOCAL, PEER, ORIGIN)
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Outcome of resolving one request.
+
+    Attributes
+    ----------
+    tier:
+        One of :class:`ServiceTier`'s constants.
+    server:
+        The serving router (``None`` when the origin serves).
+    hops:
+        Router-level hops traversed to fetch the content (0 for local).
+    latency_ms:
+        Latency of the fetch path, excluding the client access leg
+        (which corresponds to the model's ``d0`` and is added by the
+        metrics layer).
+    """
+
+    tier: str
+    server: Optional[NodeId]
+    hops: float
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class OriginModel:
+    """Placement of the origin server relative to the topology.
+
+    The origin attaches to one router (its "gateway") and sits
+    ``extra_hops``/``extra_latency_ms`` beyond it — e.g. the paper's
+    motivating example has O one hop behind R0.
+
+    Parameters
+    ----------
+    gateway:
+        The router the origin attaches through.
+    extra_hops:
+        Hops between the gateway and the origin itself.
+    extra_latency_ms:
+        Latency between the gateway and the origin.
+    """
+
+    gateway: NodeId
+    extra_hops: float = 1.0
+    extra_latency_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.extra_hops < 0:
+            raise SimulationError(
+                f"origin extra hops must be non-negative, got {self.extra_hops}"
+            )
+        if self.extra_latency_ms < 0:
+            raise SimulationError(
+                f"origin extra latency must be non-negative, got {self.extra_latency_ms}"
+            )
+
+
+class NearestReplicaRouter:
+    """Resolves requests to the nearest replica or the origin.
+
+    Parameters
+    ----------
+    topology:
+        The router network.
+    origin:
+        Origin placement; defaults to attaching the origin at the
+        router with the highest closeness centrality (a realistic
+        peering-point choice) one hop out.
+    metric:
+        ``"hops"`` (shortest-path hop distance, paper's presented
+        metric) or ``"latency"`` (Dijkstra latency distance) for
+        choosing the nearest replica.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        origin: Optional[OriginModel] = None,
+        metric: str = "hops",
+    ):
+        if metric not in ("hops", "latency"):
+            raise SimulationError(f"metric must be 'hops' or 'latency', got {metric!r}")
+        self.topology = topology
+        self.metric = metric
+        # Hops and latency must describe the SAME path per pair, so both
+        # are accumulated along the paths the chosen metric selects.
+        self._hops, self._latency = self._path_matrices(topology, metric)
+        if origin is None:
+            centrality = self._hops.sum(axis=1)
+            gateway = topology.nodes[int(np.argmin(centrality))]
+            origin = OriginModel(gateway=gateway)
+        if origin.gateway not in topology.nodes:
+            raise TopologyError(
+                f"origin gateway {origin.gateway!r} is not a router of "
+                f"{topology.name!r}"
+            )
+        self.origin = origin
+        self._distance = self._hops if metric == "hops" else self._latency
+
+    @staticmethod
+    def _path_matrices(topology: Topology, metric: str):
+        """Per-pair (hops, latency) along the metric's shortest paths."""
+        import networkx as nx
+        import numpy as np
+
+        n = topology.n_routers
+        hops = np.zeros((n, n), dtype=np.float64)
+        latency = np.zeros((n, n), dtype=np.float64)
+        graph = topology.graph
+        if metric == "hops":
+            paths_iter = nx.all_pairs_shortest_path(graph)
+        else:
+            paths_iter = nx.all_pairs_dijkstra_path(graph, weight="latency_ms")
+        for source, paths in paths_iter:
+            i = topology.index_of(source)
+            for target, path in paths.items():
+                j = topology.index_of(target)
+                hops[i, j] = len(path) - 1
+                latency[i, j] = sum(
+                    graph.edges[path[k], path[k + 1]]["latency_ms"]
+                    for k in range(len(path) - 1)
+                )
+        if topology.pair_overhead_ms > 0:
+            latency += topology.pair_overhead_ms * (1.0 - np.eye(n))
+        return hops, latency
+
+    def resolve(
+        self, client: NodeId, holders: Iterable[NodeId]
+    ) -> RouteDecision:
+        """Route a request from ``client`` given the replica holder set.
+
+        Local replicas win outright; otherwise the nearest peer holder
+        under the configured metric (ties broken by topology node index,
+        independent of holder iteration order); otherwise the origin.
+        """
+        client_idx = self.topology.index_of(client)
+        best_idx: Optional[int] = None
+        best_distance = float("inf")
+        for holder in holders:
+            holder_idx = self.topology.index_of(holder)
+            if holder_idx == client_idx:
+                return RouteDecision(
+                    tier=ServiceTier.LOCAL, server=client, hops=0.0, latency_ms=0.0
+                )
+            distance = float(self._distance[client_idx, holder_idx])
+            if distance < best_distance or (
+                distance == best_distance
+                and best_idx is not None
+                and holder_idx < best_idx
+            ):
+                best_distance = distance
+                best_idx = holder_idx
+        if best_idx is not None:
+            return RouteDecision(
+                tier=ServiceTier.PEER,
+                server=self.topology.nodes[best_idx],
+                hops=float(self._hops[client_idx, best_idx]),
+                latency_ms=float(self._latency[client_idx, best_idx]),
+            )
+        gateway_idx = self.topology.index_of(self.origin.gateway)
+        return RouteDecision(
+            tier=ServiceTier.ORIGIN,
+            server=None,
+            hops=float(self._hops[client_idx, gateway_idx]) + self.origin.extra_hops,
+            latency_ms=float(self._latency[client_idx, gateway_idx])
+            + self.origin.extra_latency_ms,
+        )
+
+    def origin_distance(self, client: NodeId) -> tuple[float, float]:
+        """``(hops, latency_ms)`` from a client router to the origin."""
+        client_idx = self.topology.index_of(client)
+        gateway_idx = self.topology.index_of(self.origin.gateway)
+        return (
+            float(self._hops[client_idx, gateway_idx]) + self.origin.extra_hops,
+            float(self._latency[client_idx, gateway_idx])
+            + self.origin.extra_latency_ms,
+        )
+
+    def mean_peer_distance(self) -> tuple[float, float]:
+        """Mean ``(hops, latency_ms)`` over ordered non-self router pairs.
+
+        This is the simulator-side counterpart of the model's
+        ``d1 - d0`` extraction (Table III).
+        """
+        n = self.topology.n_routers
+        if n < 2:
+            return 0.0, 0.0
+        off_diag = n * (n - 1)
+        return (
+            float(self._hops.sum()) / off_diag,
+            float(self._latency.sum()) / off_diag,
+        )

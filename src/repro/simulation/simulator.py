@@ -1,0 +1,266 @@
+"""Request-level simulators over a topology.
+
+Two simulators bracket the paper's abstraction:
+
+- :class:`SteadyStateSimulator` drives a workload over a *provisioned*
+  (static) placement — exactly the steady state eq. 2 models — and
+  measures origin load, hop counts and latency.  Comparing its output
+  against the analytical ``T(x)``/``G_O`` validates the model; it also
+  reproduces the motivating example (Table I) exactly.
+
+- :class:`DynamicSimulator` runs online cache replacement (LRU/LFU/...)
+  per router, either fully non-coordinated (miss → origin) or
+  hash-coordinated (miss → rank's custodian router → origin), showing
+  that the provisioned steady state emerges from dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+from ..catalog.workload import Workload
+from ..core.strategy import ProvisioningStrategy
+from ..errors import ParameterError, SimulationError
+from ..topology.graph import Topology
+from .cache import make_policy
+from .coordination import Coordinator
+from .metrics import MetricsCollector, SimulationMetrics
+from .router import CCNRouter
+from .routing import NearestReplicaRouter, OriginModel, RouteDecision, ServiceTier
+
+__all__ = ["SteadyStateSimulator", "DynamicSimulator"]
+
+NodeId = Hashable
+
+
+class SteadyStateSimulator:
+    """Simulates a provisioned (static) placement in steady state.
+
+    Parameters
+    ----------
+    topology:
+        The router network.
+    fleet:
+        Router stores keyed by topology node.  Every topology node must
+        appear (use capacity-0 stores for storage-less routers like the
+        motivating example's R0).
+    origin:
+        Origin placement (defaults to the most central router's
+        gateway, one hop out).
+    metric:
+        Nearest-replica metric, ``"hops"`` or ``"latency"``.
+    coordination_messages:
+        Messages charged for installing this placement (from a
+        :class:`~repro.simulation.coordination.CoordinationReport`).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        fleet: Mapping[NodeId, CCNRouter],
+        *,
+        origin: Optional[OriginModel] = None,
+        metric: str = "hops",
+        coordination_messages: int = 0,
+    ):
+        missing = set(topology.nodes) - set(fleet)
+        if missing:
+            raise SimulationError(
+                f"fleet is missing routers {sorted(map(repr, missing))}"
+            )
+        extra = set(fleet) - set(topology.nodes)
+        if extra:
+            raise SimulationError(
+                f"fleet has routers not in the topology: {sorted(map(repr, extra))}"
+            )
+        self.topology = topology
+        self.fleet = dict(fleet)
+        self.router = NearestReplicaRouter(topology, origin=origin, metric=metric)
+        self.coordination_messages = int(coordination_messages)
+        # Static placement: build the rank -> holders index once.
+        self._holders: dict[int, list[NodeId]] = {}
+        for node, ccn_router in self.fleet.items():
+            for rank in ccn_router.stored_ranks():
+                self._holders.setdefault(rank, []).append(node)
+
+    @classmethod
+    def from_strategy(
+        cls,
+        topology: Topology,
+        strategy: ProvisioningStrategy,
+        *,
+        origin: Optional[OriginModel] = None,
+        metric: str = "hops",
+        message_accounting: str = "directives",
+    ) -> "SteadyStateSimulator":
+        """Provision every router of the topology per the strategy.
+
+        ``message_accounting`` selects which protocol cost is charged:
+        ``"directives"`` (the eq. 3 ``n·x`` placement messages, plus
+        state collection), ``"consensus"`` (the minimal ``n - 1``
+        spanning-tree agreement of the motivating example), or
+        ``"none"``.
+        """
+        if strategy.n_routers != topology.n_routers:
+            raise ParameterError(
+                f"strategy is for {strategy.n_routers} routers but topology "
+                f"{topology.name!r} has {topology.n_routers}"
+            )
+        coordinator = Coordinator(strategy, topology.nodes)
+        report = coordinator.report()
+        if message_accounting == "directives":
+            messages = report.total_messages
+        elif message_accounting == "consensus":
+            messages = report.consensus_messages
+        elif message_accounting == "none":
+            messages = 0
+        else:
+            raise ParameterError(
+                f"unknown message accounting {message_accounting!r}"
+            )
+        return cls(
+            topology,
+            coordinator.build_routers(),
+            origin=origin,
+            metric=metric,
+            coordination_messages=messages,
+        )
+
+    def resolve(self, client: NodeId, rank: int) -> RouteDecision:
+        """Resolve a single request (records per-router statistics)."""
+        ccn_router = self.fleet.get(client)
+        if ccn_router is None:
+            raise SimulationError(f"request from unknown router {client!r}")
+        ccn_router.lookup(rank)  # record local store statistics
+        return self.router.resolve(client, self._holders.get(rank, ()))
+
+    def run(self, workload: Workload, count: int) -> SimulationMetrics:
+        """Drive ``count`` requests of the workload and summarize."""
+        collector = MetricsCollector()
+        collector.record_messages(self.coordination_messages)
+        for request in workload.requests(count):
+            collector.record(self.resolve(request.client, request.rank))
+        return collector.summary()
+
+
+class DynamicSimulator:
+    """Online cache-replacement simulation.
+
+    Parameters
+    ----------
+    topology:
+        The router network.
+    capacity:
+        Per-router content-store capacity ``c``.
+    policy:
+        Replacement policy name for the dynamic partitions
+        (``"lru"``/``"lfu"``/``"fifo"``/``"random"``).
+    coordination_level:
+        ``ℓ ∈ [0, 1]``: fraction of each store run as a
+        hash-coordinated partition.  ``0`` is fully non-coordinated
+        (misses go straight to the origin); ``1`` is fully coordinated
+        (every rank has a custodian router).
+    origin / metric:
+        As in :class:`SteadyStateSimulator`.
+    seed:
+        Seed for randomized policies.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        capacity: int,
+        policy: str = "lru",
+        coordination_level: float = 0.0,
+        origin: Optional[OriginModel] = None,
+        metric: str = "hops",
+        seed: int = 0,
+    ):
+        if int(capacity) != capacity or capacity < 1:
+            raise ParameterError(
+                f"capacity must be a positive integer, got {capacity}"
+            )
+        if not 0.0 <= coordination_level <= 1.0:
+            raise ParameterError(
+                f"coordination level must lie in [0, 1], got {coordination_level}"
+            )
+        self.topology = topology
+        self.capacity = int(capacity)
+        self.level = float(coordination_level)
+        self.router = NearestReplicaRouter(topology, origin=origin, metric=metric)
+        coordinated_slots = int(round(self.level * self.capacity))
+        local_slots = self.capacity - coordinated_slots
+        self.fleet: dict[NodeId, CCNRouter] = {}
+        for i, node in enumerate(topology.nodes):
+            local = make_policy(policy, local_slots, seed=seed * 1009 + i)
+            coordinated = (
+                make_policy(policy, coordinated_slots, seed=seed * 2003 + i)
+                if coordinated_slots > 0
+                else None
+            )
+            self.fleet[node] = CCNRouter(node, local, coordinated)
+        self._nodes = topology.nodes
+        self._coordinated_slots = coordinated_slots
+
+    def _custodian(self, rank: int) -> NodeId:
+        """The rank's custodian router under static hash partitioning."""
+        return self._nodes[rank % len(self._nodes)]
+
+    def _resolve(self, client: NodeId, rank: int) -> RouteDecision:
+        ccn_router = self.fleet.get(client)
+        if ccn_router is None:
+            raise SimulationError(f"request from unknown router {client!r}")
+        if ccn_router.lookup(rank):
+            return RouteDecision(
+                tier=ServiceTier.LOCAL, server=client, hops=0.0, latency_ms=0.0
+            )
+        if self._coordinated_slots > 0:
+            custodian = self._custodian(rank)
+            custodian_router = self.fleet[custodian]
+            if custodian is not client and rank in custodian_router.coordinated_store:
+                custodian_router.coordinated_store.lookup(rank)
+                decision = self.router.resolve(client, [custodian])
+                ccn_router.admit_local(rank)
+                return decision
+            # Miss at the custodian too: fetch from origin via the
+            # custodian (it admits the content for future requests).
+            origin_hops, origin_latency = self.router.origin_distance(custodian)
+            to_custodian = self.router.resolve(client, [custodian])
+            if custodian is client:
+                hops, latency = self.router.origin_distance(client)
+            else:
+                hops = to_custodian.hops + origin_hops
+                latency = to_custodian.latency_ms + origin_latency
+            custodian_router.admit_coordinated(rank)
+            ccn_router.admit_local(rank)
+            return RouteDecision(
+                tier=ServiceTier.ORIGIN, server=None, hops=hops, latency_ms=latency
+            )
+        hops, latency = self.router.origin_distance(client)
+        ccn_router.admit_local(rank)
+        return RouteDecision(
+            tier=ServiceTier.ORIGIN, server=None, hops=hops, latency_ms=latency
+        )
+
+    def run(
+        self,
+        workload: Workload,
+        count: int,
+        *,
+        warmup: int = 0,
+    ) -> SimulationMetrics:
+        """Drive the workload, optionally discarding a warm-up prefix.
+
+        ``warmup`` requests are simulated (populating caches) but not
+        counted, so the summary reflects steady-state behaviour — the
+        regime the analytical model describes.
+        """
+        if warmup < 0:
+            raise ParameterError(f"warmup must be non-negative, got {warmup}")
+        collector = MetricsCollector()
+        for i, request in enumerate(workload.requests(count + warmup)):
+            decision = self._resolve(request.client, request.rank)
+            if i >= warmup:
+                collector.record(decision)
+        return collector.summary()

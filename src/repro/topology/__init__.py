@@ -1,0 +1,58 @@
+"""Network topology substrate: graphs, datasets, parameters, generators."""
+
+from .datasets import (
+    TABLE_III_TARGETS,
+    TOPOLOGY_NAMES,
+    TableIIITargets,
+    calibrate_link_latencies,
+    load_abilene,
+    load_cernet,
+    load_geant,
+    load_topology,
+    load_us_a,
+)
+from .generators import (
+    barabasi_albert_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+from .geo import (
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS,
+    great_circle_km,
+    propagation_delay_ms,
+)
+from .graph import Topology
+from .io import load_topology_file, save_topology, topology_to_json
+from .parameters import TopologyParameters, topology_parameters
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "FIBER_KM_PER_MS",
+    "TABLE_III_TARGETS",
+    "TOPOLOGY_NAMES",
+    "TableIIITargets",
+    "Topology",
+    "TopologyParameters",
+    "barabasi_albert_topology",
+    "calibrate_link_latencies",
+    "erdos_renyi_topology",
+    "great_circle_km",
+    "grid_topology",
+    "load_abilene",
+    "load_cernet",
+    "load_geant",
+    "load_topology",
+    "load_topology_file",
+    "load_us_a",
+    "propagation_delay_ms",
+    "ring_topology",
+    "save_topology",
+    "star_topology",
+    "topology_parameters",
+    "topology_to_json",
+    "waxman_topology",
+]

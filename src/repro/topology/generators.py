@@ -1,0 +1,152 @@
+"""Synthetic topology generators for scaling studies and tests.
+
+The paper sweeps the router count ``n`` from 10 to 500 (Figures 6 and
+10); its real topologies only cover 11–36 routers, so scaling
+experiments need synthetic networks.  These generators produce
+:class:`~repro.topology.graph.Topology` instances with controlled
+structure, deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..errors import TopologyError
+from .graph import Topology
+
+__all__ = [
+    "ring_topology",
+    "star_topology",
+    "grid_topology",
+    "erdos_renyi_topology",
+    "waxman_topology",
+    "barabasi_albert_topology",
+]
+
+
+def _finalize(
+    graph: nx.Graph, name: str, link_latency_ms: float
+) -> Topology:
+    if link_latency_ms <= 0:
+        raise TopologyError(f"link latency must be positive, got {link_latency_ms}")
+    for _, _, data in graph.edges(data=True):
+        data.setdefault("latency_ms", link_latency_ms)
+    return Topology(graph, name=name, kind="Synthetic")
+
+
+def ring_topology(n_routers: int, *, link_latency_ms: float = 5.0) -> Topology:
+    """A cycle of ``n`` routers — worst-case diameter for its edge count."""
+    if n_routers < 3:
+        raise TopologyError(f"a ring needs at least 3 routers, got {n_routers}")
+    return _finalize(
+        nx.cycle_graph(n_routers), f"ring-{n_routers}", link_latency_ms
+    )
+
+
+def star_topology(n_routers: int, *, link_latency_ms: float = 5.0) -> Topology:
+    """A hub-and-spoke star: router 0 is the hub."""
+    if n_routers < 2:
+        raise TopologyError(f"a star needs at least 2 routers, got {n_routers}")
+    return _finalize(
+        nx.star_graph(n_routers - 1), f"star-{n_routers}", link_latency_ms
+    )
+
+
+def grid_topology(rows: int, cols: int, *, link_latency_ms: float = 5.0) -> Topology:
+    """A ``rows × cols`` 2-D lattice (nodes are flattened to integers)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid dimensions must be positive, got {rows}x{cols}")
+    grid = nx.grid_2d_graph(rows, cols)
+    graph = nx.convert_node_labels_to_integers(grid, ordering="sorted")
+    return _finalize(graph, f"grid-{rows}x{cols}", link_latency_ms)
+
+
+def erdos_renyi_topology(
+    n_routers: int,
+    edge_probability: float,
+    *,
+    seed: int = 0,
+    link_latency_ms: float = 5.0,
+    max_attempts: int = 100,
+) -> Topology:
+    """A connected Erdős–Rényi ``G(n, p)`` graph (resampled until connected)."""
+    if not 0.0 < edge_probability <= 1.0:
+        raise TopologyError(
+            f"edge probability must lie in (0, 1], got {edge_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    for _ in range(max_attempts):
+        graph = nx.gnp_random_graph(
+            n_routers, edge_probability, seed=int(rng.integers(2**31))
+        )
+        if n_routers == 1 or nx.is_connected(graph):
+            return _finalize(
+                graph, f"er-{n_routers}-p{edge_probability}", link_latency_ms
+            )
+    raise TopologyError(
+        f"failed to sample a connected G({n_routers}, {edge_probability}) in "
+        f"{max_attempts} attempts; increase edge_probability"
+    )
+
+
+def waxman_topology(
+    n_routers: int,
+    *,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    seed: int = 0,
+    km_per_ms: float = 200.0,
+    domain_km: float = 4000.0,
+    max_attempts: int = 100,
+) -> Topology:
+    """A Waxman random geometric graph with distance-derived latencies.
+
+    Routers are placed uniformly in a ``domain_km``-sized square; an
+    edge between routers at distance ``d`` appears with probability
+    ``alpha · exp(-d / (beta · L))`` where ``L`` is the domain diagonal
+    — the classic model for Internet-like topologies.  Link latency is
+    the Euclidean distance over ``km_per_ms``.
+    """
+    if n_routers < 2:
+        raise TopologyError(f"need at least 2 routers, got {n_routers}")
+    if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+        raise TopologyError("Waxman alpha and beta must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    diagonal = domain_km * np.sqrt(2.0)
+    for _ in range(max_attempts):
+        points = rng.uniform(0.0, domain_km, size=(n_routers, 2))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n_routers))
+        for i in range(n_routers):
+            for j in range(i + 1, n_routers):
+                distance = float(np.linalg.norm(points[i] - points[j]))
+                if rng.random() < alpha * np.exp(-distance / (beta * diagonal)):
+                    graph.add_edge(
+                        i,
+                        j,
+                        latency_ms=max(distance / km_per_ms, 1e-3),
+                        distance_km=distance,
+                    )
+        if nx.is_connected(graph):
+            return Topology(graph, name=f"waxman-{n_routers}", kind="Synthetic")
+    raise TopologyError(
+        f"failed to sample a connected Waxman({n_routers}) in {max_attempts} "
+        f"attempts; increase alpha or beta"
+    )
+
+
+def barabasi_albert_topology(
+    n_routers: int,
+    attachments: int = 2,
+    *,
+    seed: int = 0,
+    link_latency_ms: float = 5.0,
+) -> Topology:
+    """A Barabási–Albert preferential-attachment graph (scale-free degrees)."""
+    if n_routers <= attachments:
+        raise TopologyError(
+            f"need n_routers > attachments, got {n_routers} <= {attachments}"
+        )
+    graph = nx.barabasi_albert_graph(n_routers, attachments, seed=seed)
+    return _finalize(graph, f"ba-{n_routers}-m{attachments}", link_latency_ms)

@@ -1,0 +1,62 @@
+"""Geographic helpers for topology reconstruction.
+
+The paper's topologies are PoP-level maps of real networks with
+pairwise latencies measured by the authors.  Those latency matrices are
+not public, so :mod:`repro.topology.datasets` reconstructs them from PoP
+coordinates: link propagation latency is proportional to great-circle
+distance (light travels ~200 km/ms in fiber), plus per-hop processing.
+This module provides the distance and latency primitives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ParameterError
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "FIBER_KM_PER_MS",
+    "great_circle_km",
+    "propagation_delay_ms",
+]
+
+#: Mean Earth radius, kilometres.
+EARTH_RADIUS_KM = 6371.0
+
+#: Signal propagation speed in optical fiber, km per millisecond
+#: (about 2/3 of the vacuum speed of light).
+FIBER_KM_PER_MS = 200.0
+
+
+def great_circle_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle (haversine) distance in km between two lat/lon points.
+
+    Coordinates are in decimal degrees; latitudes must lie in [-90, 90]
+    and longitudes in [-180, 180].
+    """
+    for name, lat in (("lat1", lat1), ("lat2", lat2)):
+        if not -90.0 <= lat <= 90.0:
+            raise ParameterError(f"{name} must lie in [-90, 90], got {lat}")
+    for name, lon in (("lon1", lon1), ("lon2", lon2)):
+        if not -180.0 <= lon <= 180.0:
+            raise ParameterError(f"{name} must lie in [-180, 180], got {lon}")
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def propagation_delay_ms(distance_km: float, *, km_per_ms: float = FIBER_KM_PER_MS) -> float:
+    """One-way propagation delay in ms for a fiber span of given length."""
+    if distance_km < 0:
+        raise ParameterError(f"distance must be non-negative, got {distance_km}")
+    if km_per_ms <= 0:
+        raise ParameterError(f"km_per_ms must be positive, got {km_per_ms}")
+    return distance_km / km_per_ms

@@ -1,0 +1,277 @@
+"""The :class:`Topology` substrate: a router graph with latencies.
+
+A topology is an undirected connected graph of routers with a latency
+on every link.  It exposes the matrices the paper's parameter
+extraction (§V-A) needs — pairwise shortest-path hop counts ``h_ij``
+and latencies ``d_ij`` — plus validation, node metadata and convenient
+construction from edge lists or coordinate maps.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..errors import TopologyError
+from .geo import great_circle_km, propagation_delay_ms
+
+__all__ = ["Topology"]
+
+NodeId = Hashable
+
+
+class Topology:
+    """An undirected, connected router-level network with link latencies.
+
+    Parameters
+    ----------
+    graph:
+        A connected undirected :class:`networkx.Graph`.  Each edge may
+        carry a ``latency_ms`` attribute; edges without one default to
+        ``default_link_latency_ms``.
+    name:
+        Human-readable topology name (e.g. ``"Abilene"``).
+    region / kind:
+        Metadata matching the paper's Table II columns (``Region`` and
+        ``Type``).
+    default_link_latency_ms:
+        Latency used for edges that do not specify one.
+    pair_overhead_ms:
+        Constant added to every non-self pairwise latency ``d_ij``.
+        Models the endpoint processing included in measured router-pair
+        latencies (the paper's ``d_ij`` are measurements, not pure
+        propagation); used by dataset calibration to match Table III.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        name: str = "unnamed",
+        region: str = "",
+        kind: str = "",
+        default_link_latency_ms: float = 1.0,
+        pair_overhead_ms: float = 0.0,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("topology must have at least one router")
+        if graph.is_directed():
+            raise TopologyError("topology graph must be undirected")
+        if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise TopologyError(f"topology {name!r} must be connected")
+        if default_link_latency_ms <= 0:
+            raise TopologyError(
+                f"default link latency must be positive, got {default_link_latency_ms}"
+            )
+        self._graph = graph.copy()
+        for u, v, data in self._graph.edges(data=True):
+            latency = data.get("latency_ms", default_link_latency_ms)
+            if latency <= 0:
+                raise TopologyError(
+                    f"link ({u!r}, {v!r}) has non-positive latency {latency}"
+                )
+            data["latency_ms"] = float(latency)
+        if pair_overhead_ms < 0:
+            raise TopologyError(
+                f"pair overhead must be non-negative, got {pair_overhead_ms}"
+            )
+        self.pair_overhead_ms = float(pair_overhead_ms)
+        self.name = name
+        self.region = region
+        self.kind = kind
+        self._nodes: tuple[NodeId, ...] = tuple(self._graph.nodes())
+        self._index: dict[NodeId, int] = {v: i for i, v in enumerate(self._nodes)}
+        self._hop_matrix: Optional[np.ndarray] = None
+        self._latency_matrix: Optional[np.ndarray] = None
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[NodeId, NodeId]],
+        *,
+        name: str = "unnamed",
+        region: str = "",
+        kind: str = "",
+        link_latency_ms: float = 1.0,
+    ) -> "Topology":
+        """Build a topology from an edge list with uniform link latency."""
+        graph = nx.Graph()
+        graph.add_edges_from(edges)
+        return cls(
+            graph,
+            name=name,
+            region=region,
+            kind=kind,
+            default_link_latency_ms=link_latency_ms,
+        )
+
+    @classmethod
+    def from_coordinates(
+        cls,
+        coordinates: Mapping[NodeId, tuple[float, float]],
+        edges: Iterable[tuple[NodeId, NodeId]],
+        *,
+        name: str = "unnamed",
+        region: str = "",
+        kind: str = "",
+        km_per_ms: float = 200.0,
+        per_hop_ms: float = 0.0,
+    ) -> "Topology":
+        """Build a topology whose link latencies derive from geography.
+
+        Each link gets ``great_circle_distance / km_per_ms + per_hop_ms``
+        milliseconds; node coordinates are stored as ``lat``/``lon``
+        attributes for plotting and recalibration.
+        """
+        graph = nx.Graph()
+        for node, (lat, lon) in coordinates.items():
+            graph.add_node(node, lat=float(lat), lon=float(lon))
+        for u, v in edges:
+            if u not in coordinates or v not in coordinates:
+                raise TopologyError(f"edge ({u!r}, {v!r}) references unknown node")
+            km = great_circle_km(*coordinates[u], *coordinates[v])
+            graph.add_edge(
+                u, v, latency_ms=propagation_delay_ms(km, km_per_ms=km_per_ms) + per_hop_ms,
+                distance_km=km,
+            )
+        return cls(graph, name=name, region=region, kind=kind)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (mutating it is not supported)."""
+        return self._graph
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """Router identifiers in a stable order."""
+        return self._nodes
+
+    @property
+    def n_routers(self) -> int:
+        """``n = |V|``."""
+        return len(self._nodes)
+
+    @property
+    def n_links(self) -> int:
+        """Number of undirected links ``|E|/2`` in the paper's directed count."""
+        return self._graph.number_of_edges()
+
+    @property
+    def n_directed_edges(self) -> int:
+        """``|E|`` as the paper's Table II counts it (both directions)."""
+        return 2 * self._graph.number_of_edges()
+
+    def index_of(self, node: NodeId) -> int:
+        """Stable integer index of a router (for matrix addressing)."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise TopologyError(f"unknown router {node!r} in topology {self.name!r}")
+
+    def link_latency(self, u: NodeId, v: NodeId) -> float:
+        """Latency of the direct link ``(u, v)``; raises if absent."""
+        try:
+            return float(self._graph.edges[u, v]["latency_ms"])
+        except KeyError:
+            raise TopologyError(f"no link between {u!r} and {v!r} in {self.name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self.name!r}, routers={self.n_routers}, "
+            f"links={self.n_links})"
+        )
+
+    # -- matrices ------------------------------------------------------------
+
+    def hop_matrix(self) -> np.ndarray:
+        """Pairwise shortest-path hop counts ``h_ij`` (n×n, zeros on diag)."""
+        if self._hop_matrix is None:
+            n = self.n_routers
+            matrix = np.zeros((n, n), dtype=np.float64)
+            for source, lengths in nx.all_pairs_shortest_path_length(self._graph):
+                i = self._index[source]
+                for target, hops in lengths.items():
+                    matrix[i, self._index[target]] = hops
+            self._hop_matrix = matrix
+        return self._hop_matrix.copy()
+
+    def latency_matrix(self) -> np.ndarray:
+        """Pairwise shortest-path latencies ``d_ij`` in ms (n×n).
+
+        Paths are shortest by cumulative link latency (Dijkstra); the
+        topology's ``pair_overhead_ms`` is added to every non-self pair.
+        """
+        if self._latency_matrix is None:
+            n = self.n_routers
+            matrix = np.zeros((n, n), dtype=np.float64)
+            for source, lengths in nx.all_pairs_dijkstra_path_length(
+                self._graph, weight="latency_ms"
+            ):
+                i = self._index[source]
+                for target, latency in lengths.items():
+                    matrix[i, self._index[target]] = latency
+            if self.pair_overhead_ms > 0:
+                matrix += self.pair_overhead_ms * (
+                    1.0 - np.eye(n, dtype=np.float64)
+                )
+            self._latency_matrix = matrix
+        return self._latency_matrix.copy()
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> list[NodeId]:
+        """One shortest path by hop count (deterministic tie-breaking)."""
+        return nx.shortest_path(self._graph, source, target)
+
+    # -- derived statistics ----------------------------------------------------
+
+    def mean_pairwise_hops(self) -> float:
+        """Mean ``h_ij`` over ordered non-self pairs.
+
+        This is the paper's Table III "d1 - d0 (hops)" statistic.  (The
+        paper's formula writes ``1/|V|^2`` but its published values are
+        exact over ``|V|·(|V|-1)`` pairs — e.g. Abilene's 2.4182 =
+        266/110 — so non-self averaging is what was actually computed.)
+        """
+        n = self.n_routers
+        if n < 2:
+            return 0.0
+        return float(self.hop_matrix().sum()) / (n * (n - 1))
+
+    def mean_pairwise_latency(self) -> float:
+        """Mean ``d_ij`` in ms over ordered non-self pairs (Table III ms)."""
+        n = self.n_routers
+        if n < 2:
+            return 0.0
+        return float(self.latency_matrix().sum()) / (n * (n - 1))
+
+    def max_pairwise_latency(self) -> float:
+        """``max_{i,j} d_ij`` — the paper's unit coordination cost ``w``."""
+        return float(self.latency_matrix().max())
+
+    def diameter_hops(self) -> int:
+        """Graph diameter in hops."""
+        return int(self.hop_matrix().max())
+
+    def scale_latencies(self, factor: float) -> "Topology":
+        """Return a copy with all link latencies multiplied by ``factor``."""
+        if factor <= 0:
+            raise TopologyError(f"scale factor must be positive, got {factor}")
+        graph = self._graph.copy()
+        for _, _, data in graph.edges(data=True):
+            data["latency_ms"] *= factor
+        return Topology(
+            graph,
+            name=self.name,
+            region=self.region,
+            kind=self.kind,
+            pair_overhead_ms=self.pair_overhead_ms * factor,
+        )
+
+    def degree_sequence(self) -> list[int]:
+        """Sorted (descending) router degrees."""
+        return sorted((d for _, d in self._graph.degree()), reverse=True)

@@ -1,0 +1,119 @@
+"""Topology persistence: JSON save/load for user-supplied networks.
+
+Carriers adopting the model bring their own PoP maps.  This module
+round-trips :class:`~repro.topology.graph.Topology` objects through a
+small JSON schema — node list (with optional coordinates), link list
+(with latencies), and metadata — so measured networks can be stored
+next to the code and loaded with one call.
+
+Schema::
+
+    {
+      "name": "MyNet", "region": "...", "kind": "...",
+      "pair_overhead_ms": 0.0,
+      "nodes": [{"id": "NYC", "lat": 40.71, "lon": -74.01}, ...],
+      "links": [{"a": "NYC", "b": "CHI", "latency_ms": 3.9,
+                 "distance_km": 1145.0}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .graph import Topology
+
+__all__ = ["topology_to_json", "save_topology", "load_topology_file"]
+
+
+def topology_to_json(topology: Topology) -> str:
+    """Serialize a topology to the JSON schema above."""
+    nodes = []
+    for node in topology.nodes:
+        data = topology.graph.nodes[node]
+        entry: dict = {"id": str(node)}
+        if "lat" in data and "lon" in data:
+            entry["lat"] = float(data["lat"])
+            entry["lon"] = float(data["lon"])
+        nodes.append(entry)
+    links = []
+    for u, v, data in topology.graph.edges(data=True):
+        entry = {
+            "a": str(u),
+            "b": str(v),
+            "latency_ms": float(data["latency_ms"]),
+        }
+        if "distance_km" in data:
+            entry["distance_km"] = float(data["distance_km"])
+        links.append(entry)
+    document = {
+        "name": topology.name,
+        "region": topology.region,
+        "kind": topology.kind,
+        "pair_overhead_ms": topology.pair_overhead_ms,
+        "nodes": nodes,
+        "links": links,
+    }
+    return json.dumps(document, indent=2)
+
+
+def save_topology(topology: Topology, path: Union[str, Path]) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(topology_to_json(topology) + "\n")
+
+
+def load_topology_file(path: Union[str, Path]) -> Topology:
+    """Load a topology from a JSON file (schema in the module docstring).
+
+    Node identifiers become strings; links must reference declared
+    nodes and carry positive latencies (validated by
+    :class:`~repro.topology.graph.Topology`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TopologyError(f"topology file {path} does not exist")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"topology file {path} is not valid JSON: {exc}")
+    for key in ("name", "nodes", "links"):
+        if key not in document:
+            raise TopologyError(f"topology file {path} is missing {key!r}")
+    graph = nx.Graph()
+    declared: set[str] = set()
+    for entry in document["nodes"]:
+        if "id" not in entry:
+            raise TopologyError(f"node entry {entry!r} has no 'id'")
+        node_id = str(entry["id"])
+        if node_id in declared:
+            raise TopologyError(f"duplicate node id {node_id!r}")
+        declared.add(node_id)
+        attrs = {}
+        if "lat" in entry and "lon" in entry:
+            attrs = {"lat": float(entry["lat"]), "lon": float(entry["lon"])}
+        graph.add_node(node_id, **attrs)
+    for entry in document["links"]:
+        for key in ("a", "b", "latency_ms"):
+            if key not in entry:
+                raise TopologyError(f"link entry {entry!r} is missing {key!r}")
+        a, b = str(entry["a"]), str(entry["b"])
+        if a not in declared or b not in declared:
+            raise TopologyError(
+                f"link ({a!r}, {b!r}) references an undeclared node"
+            )
+        attrs = {"latency_ms": float(entry["latency_ms"])}
+        if "distance_km" in entry:
+            attrs["distance_km"] = float(entry["distance_km"])
+        graph.add_edge(a, b, **attrs)
+    return Topology(
+        graph,
+        name=str(document["name"]),
+        region=str(document.get("region", "")),
+        kind=str(document.get("kind", "")),
+        pair_overhead_ms=float(document.get("pair_overhead_ms", 0.0)),
+    )

@@ -1,0 +1,127 @@
+"""Unit tests for repro.adaptive.controller — adaptive controllers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.controller import (
+    EpochObservation,
+    GradientController,
+    ModelBasedController,
+)
+from repro.catalog import ZipfModel
+from repro.core import Scenario
+from repro.errors import ParameterError
+
+
+def observation(level=0.5, objective=1.0, ranks=None) -> EpochObservation:
+    return EpochObservation(
+        level=level,
+        measured_objective=objective,
+        observed_ranks=ranks if ranks is not None else np.array([1, 2, 3]),
+    )
+
+
+class TestModelBasedController:
+    def make(self, **kwargs) -> ModelBasedController:
+        scenario = Scenario(alpha=0.7, capacity=50.0, catalog_size=5_000)
+        defaults = dict(initial_level=0.0, memory=0.3)
+        defaults.update(kwargs)
+        return ModelBasedController(scenario, **defaults)
+
+    def test_initial_proposal(self):
+        assert self.make(initial_level=0.25).propose(0) == 0.25
+
+    def test_moves_to_solved_level_after_feedback(self):
+        controller = self.make()
+        model = ZipfModel(0.8, 5_000)
+        ranks = model.sample(20_000, np.random.default_rng(0))
+        controller.feedback(0, observation(ranks=ranks))
+        scenario = Scenario(alpha=0.7, capacity=50.0, catalog_size=5_000)
+        expected = scenario.replace(
+            exponent=controller.last_estimate
+        ).solve(check_conditions=False).level
+        assert controller.propose(1) == pytest.approx(expected, abs=1e-9)
+        assert controller.last_estimate == pytest.approx(0.8, abs=0.05)
+
+    def test_rate_limited_steps(self):
+        controller = self.make(max_step=0.1)
+        model = ZipfModel(0.8, 5_000)
+        ranks = model.sample(20_000, np.random.default_rng(0))
+        controller.feedback(0, observation(ranks=ranks))
+        assert controller.propose(1) <= 0.1 + 1e-12
+
+    def test_empty_traffic_keeps_level(self):
+        controller = self.make(initial_level=0.4)
+        controller.feedback(0, observation(ranks=np.array([], dtype=int)))
+        assert controller.propose(1) == 0.4
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            self.make(initial_level=1.5)
+        with pytest.raises(ParameterError):
+            self.make(max_step=0.0)
+
+
+class TestGradientController:
+    def test_probe_pattern(self):
+        controller = GradientController(initial_level=0.5, probe_gain=0.1)
+        assert controller.propose(0) == pytest.approx(0.6)
+        assert controller.propose(1) == pytest.approx(0.4)
+
+    def test_probe_width_decays(self):
+        controller = GradientController(initial_level=0.5, probe_gain=0.1)
+        first = controller.propose(0) - 0.5
+        later = controller.propose(10) - 0.5
+        assert later < first
+
+    def test_descends_measured_slope(self):
+        controller = GradientController(
+            initial_level=0.5, step_gain=0.2, probe_gain=0.1
+        )
+        # Higher objective at l+delta than l-delta -> slope positive
+        # -> level decreases.
+        controller.feedback(0, observation(objective=2.0))
+        controller.feedback(1, observation(objective=1.0))
+        assert controller.level < 0.5
+
+    def test_ascends_when_objective_favors_higher_level(self):
+        controller = GradientController(
+            initial_level=0.5, step_gain=0.2, probe_gain=0.1
+        )
+        controller.feedback(0, observation(objective=1.0))
+        controller.feedback(1, observation(objective=2.0))
+        assert controller.level > 0.5
+
+    def test_level_clipped_to_unit_interval(self):
+        controller = GradientController(
+            initial_level=0.95, step_gain=50.0, probe_gain=0.05
+        )
+        controller.feedback(0, observation(objective=0.0))
+        controller.feedback(1, observation(objective=10.0))
+        assert 0.0 <= controller.level <= 1.0
+
+    def test_odd_feedback_without_pair_raises(self):
+        controller = GradientController()
+        with pytest.raises(ParameterError):
+            controller.feedback(1, observation())
+
+    def test_converges_on_quadratic(self):
+        """On a noiseless convex objective, KW converges to the optimum."""
+        controller = GradientController(
+            initial_level=0.1, step_gain=0.8, probe_gain=0.1
+        )
+        target = 0.7
+        for epoch in range(400):
+            level = controller.propose(epoch)
+            controller.feedback(
+                epoch, observation(level=level, objective=(level - target) ** 2)
+            )
+        assert controller.level == pytest.approx(target, abs=0.05)
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            GradientController(initial_level=-0.1)
+        with pytest.raises(ParameterError):
+            GradientController(step_gain=0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.adaptive.drift — drifting workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.drift import (
+    DriftingPopularity,
+    EpochWorkloadFactory,
+    linear_drift,
+    sinusoidal_drift,
+    step_drift,
+)
+from repro.errors import ParameterError
+
+
+class TestTrajectories:
+    def test_linear_endpoints(self):
+        traj = linear_drift(0.5, 1.5, 11)
+        assert traj(0) == pytest.approx(0.5)
+        assert traj(10) == pytest.approx(1.5)
+        assert traj(5) == pytest.approx(1.0)
+
+    def test_linear_clamps_outside_range(self):
+        traj = linear_drift(0.5, 1.5, 11)
+        assert traj(-5) == pytest.approx(0.5)
+        assert traj(100) == pytest.approx(1.5)
+
+    def test_linear_single_epoch(self):
+        assert linear_drift(0.7, 1.2, 1)(0) == pytest.approx(0.7)
+
+    def test_linear_validates(self):
+        with pytest.raises(ParameterError):
+            linear_drift(0.0, 1.0, 10)
+        with pytest.raises(ParameterError):
+            linear_drift(0.5, 1.5, 0)
+
+    def test_sinusoidal_oscillates(self):
+        traj = sinusoidal_drift(0.9, 0.3, 8)
+        assert traj(0) == pytest.approx(0.9)
+        assert traj(2) == pytest.approx(1.2)
+        assert traj(6) == pytest.approx(0.6)
+
+    def test_sinusoidal_validates_amplitude(self):
+        with pytest.raises(ParameterError):
+            sinusoidal_drift(0.9, 0.9, 8)  # would hit 0.0
+        with pytest.raises(ParameterError):
+            sinusoidal_drift(0.9, 0.3, 1)
+
+    def test_step_holds_blocks(self):
+        traj = step_drift([0.5, 1.3], epochs_per_step=3)
+        assert [traj(e) for e in range(7)] == [0.5] * 3 + [1.3] * 4
+
+    def test_step_validates(self):
+        with pytest.raises(ParameterError):
+            step_drift([], 3)
+        with pytest.raises(ParameterError):
+            step_drift([0.5], 0)
+        with pytest.raises(ParameterError):
+            step_drift([2.5], 1)
+
+
+class TestDriftingPopularity:
+    def test_guards_singularity(self):
+        drift = DriftingPopularity(
+            linear_drift(0.9, 1.1, 21), 1000, singularity_guard=0.01
+        )
+        for epoch in range(21):
+            s = drift.exponent_at(epoch)
+            assert abs(s - 1.0) >= 0.01 - 1e-12
+
+    def test_model_at_uses_trajectory(self):
+        drift = DriftingPopularity(linear_drift(0.5, 1.5, 11), 1000)
+        assert drift.model_at(0).exponent == pytest.approx(0.5)
+        assert drift.model_at(10).exponent == pytest.approx(1.5)
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            DriftingPopularity(linear_drift(0.5, 1.5, 5), 1)
+        with pytest.raises(ParameterError):
+            DriftingPopularity(
+                linear_drift(0.5, 1.5, 5), 100, singularity_guard=0.0
+            )
+
+
+class TestEpochWorkloadFactory:
+    def test_deterministic_per_epoch(self):
+        drift = DriftingPopularity(linear_drift(0.5, 1.5, 5), 500)
+        factory = EpochWorkloadFactory(drift, ["A", "B"], seed=3)
+        a = factory.workload_at(2).materialize(50)
+        b = factory.workload_at(2).materialize(50)
+        assert a == b
+
+    def test_epochs_differ(self):
+        drift = DriftingPopularity(linear_drift(0.5, 1.5, 5), 500)
+        factory = EpochWorkloadFactory(drift, ["A", "B"], seed=3)
+        assert factory.workload_at(0).materialize(50) != factory.workload_at(
+            1
+        ).materialize(50)
+
+    def test_validates_clients(self):
+        drift = DriftingPopularity(linear_drift(0.5, 1.5, 5), 500)
+        with pytest.raises(ParameterError):
+            EpochWorkloadFactory(drift, [])

@@ -1,0 +1,97 @@
+"""Unit tests for repro.adaptive.estimator — online Zipf MLE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.estimator import ExponentEstimator, estimate_exponent
+from repro.catalog import ZipfModel
+from repro.errors import ParameterError
+
+
+class TestBatchMLE:
+    @pytest.mark.parametrize("true_s", [0.5, 0.8, 1.2, 1.6])
+    def test_recovers_true_exponent(self, true_s):
+        model = ZipfModel(true_s, 5_000)
+        ranks = model.sample(30_000, np.random.default_rng(7))
+        estimate = estimate_exponent(ranks, 5_000)
+        assert estimate == pytest.approx(true_s, abs=0.05)
+
+    def test_more_samples_tighter(self):
+        model = ZipfModel(0.9, 2_000)
+        rng = np.random.default_rng(1)
+        small = abs(estimate_exponent(model.sample(500, rng), 2_000) - 0.9)
+        rng = np.random.default_rng(1)
+        large = abs(estimate_exponent(model.sample(50_000, rng), 2_000) - 0.9)
+        assert large <= small + 0.02
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            estimate_exponent(np.array([]), 100)
+
+    def test_rejects_out_of_catalog_ranks(self):
+        with pytest.raises(ParameterError):
+            estimate_exponent(np.array([1, 500]), 100)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ParameterError):
+            estimate_exponent(np.array([1, 2]), 100, bounds=(1.0, 0.5))
+
+
+class TestWindowedEstimator:
+    def test_single_batch_matches_batch_mle(self):
+        model = ZipfModel(0.8, 2_000)
+        ranks = model.sample(10_000, np.random.default_rng(3))
+        estimator = ExponentEstimator(2_000, memory=0.5)
+        estimator.observe(ranks)
+        assert estimator.estimate() == pytest.approx(
+            estimate_exponent(ranks, 2_000), abs=1e-9
+        )
+
+    def test_tracks_drift(self):
+        """After a regime change, low memory forgets the old exponent."""
+        old = ZipfModel(0.5, 2_000)
+        new = ZipfModel(1.5, 2_000)
+        rng = np.random.default_rng(5)
+        estimator = ExponentEstimator(2_000, memory=0.2)
+        estimator.observe(old.sample(5_000, rng))
+        for _ in range(6):
+            estimator.observe(new.sample(5_000, rng))
+        assert estimator.estimate() == pytest.approx(1.5, abs=0.1)
+
+    def test_high_memory_averages_regimes(self):
+        old = ZipfModel(0.5, 2_000)
+        new = ZipfModel(1.5, 2_000)
+        rng = np.random.default_rng(5)
+        sticky = ExponentEstimator(2_000, memory=0.95)
+        sticky.observe(old.sample(20_000, rng))
+        sticky.observe(new.sample(5_000, rng))
+        estimate = sticky.estimate()
+        assert 0.5 < estimate < 1.4  # still pulled toward the old regime
+
+    def test_empty_observation_is_noop(self):
+        estimator = ExponentEstimator(100)
+        estimator.observe(np.array([], dtype=int))
+        assert not estimator.has_observations
+
+    def test_estimate_without_observations_raises(self):
+        with pytest.raises(ParameterError):
+            ExponentEstimator(100).estimate()
+
+    def test_reset(self):
+        estimator = ExponentEstimator(100)
+        estimator.observe(np.array([1, 2, 3]))
+        estimator.reset()
+        assert not estimator.has_observations
+
+    def test_validates_construction(self):
+        with pytest.raises(ParameterError):
+            ExponentEstimator(1)
+        with pytest.raises(ParameterError):
+            ExponentEstimator(100, memory=1.0)
+
+    def test_validates_observed_ranks(self):
+        estimator = ExponentEstimator(100)
+        with pytest.raises(ParameterError):
+            estimator.observe(np.array([0]))

@@ -1,0 +1,121 @@
+"""Integration tests for repro.adaptive.runner — the closed loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveSimulation,
+    DriftingPopularity,
+    GradientController,
+    ModelBasedController,
+    linear_drift,
+    step_drift,
+)
+from repro.core import Scenario
+from repro.errors import ParameterError
+from repro.topology import load_topology, ring_topology
+
+
+def make_simulation(controller, *, drift=None, n_routers=8, seed=1):
+    topology = ring_topology(n_routers)
+    scenario = Scenario(
+        alpha=0.7, n_routers=n_routers, capacity=40.0, catalog_size=4_000
+    )
+    drift = drift or DriftingPopularity(linear_drift(0.8, 0.8, 10), 4_000)
+    return AdaptiveSimulation(
+        topology, scenario, drift, controller,
+        requests_per_epoch=1_500, seed=seed,
+    )
+
+
+class TestTraceBookkeeping:
+    def test_record_count_and_fields(self):
+        controller = ModelBasedController(
+            Scenario(alpha=0.7, n_routers=8, capacity=40.0, catalog_size=4_000)
+        )
+        trace = make_simulation(controller).run(5)
+        assert len(trace) == 5
+        for record in trace.records:
+            assert 0.0 <= record.deployed_level <= 1.0
+            assert 0.0 <= record.oracle_level <= 1.0
+            assert record.placement_churn >= 0
+        assert trace.records[0].placement_churn == 0  # nothing to move yet
+
+    def test_levels_arrays(self):
+        controller = ModelBasedController(
+            Scenario(alpha=0.7, n_routers=8, capacity=40.0, catalog_size=4_000)
+        )
+        trace = make_simulation(controller).run(4)
+        assert trace.levels().shape == (4,)
+        assert trace.oracle_levels().shape == (4,)
+
+    def test_validation(self):
+        controller = GradientController()
+        topology = ring_topology(8)
+        scenario = Scenario(alpha=0.7, n_routers=5, capacity=40.0, catalog_size=4_000)
+        drift = DriftingPopularity(linear_drift(0.8, 0.8, 5), 4_000)
+        with pytest.raises(ParameterError):
+            AdaptiveSimulation(topology, scenario, drift, controller)
+        scenario8 = scenario.replace(n_routers=8)
+        bad_drift = DriftingPopularity(linear_drift(0.8, 0.8, 5), 999)
+        with pytest.raises(ParameterError):
+            AdaptiveSimulation(topology, scenario8, bad_drift, controller)
+        good = AdaptiveSimulation(topology, scenario8, drift, controller)
+        with pytest.raises(ParameterError):
+            good.run(0)
+
+
+class TestModelBasedAdaptation:
+    def test_tracks_static_oracle(self):
+        scenario = Scenario(
+            alpha=0.7, n_routers=8, capacity=40.0, catalog_size=4_000
+        )
+        controller = ModelBasedController(scenario, memory=0.5)
+        trace = make_simulation(controller).run(8)
+        assert trace.tracking_error(tail=5) < 0.08
+
+    def test_tracks_regime_change(self):
+        scenario = Scenario(
+            alpha=0.7, n_routers=8, capacity=40.0, catalog_size=4_000
+        )
+        controller = ModelBasedController(scenario, memory=0.1)
+        drift = DriftingPopularity(
+            step_drift([0.5, 1.4], epochs_per_step=8), 4_000
+        )
+        trace = make_simulation(controller, drift=drift).run(16)
+        # After the switch the deployed level must approach the new oracle.
+        assert abs(
+            trace.records[-1].deployed_level - trace.records[-1].oracle_level
+        ) < 0.1
+
+    def test_rate_limit_reduces_churn(self):
+        scenario = Scenario(
+            alpha=0.7, n_routers=8, capacity=40.0, catalog_size=4_000
+        )
+        drift = DriftingPopularity(
+            step_drift([0.5, 1.4], epochs_per_step=4), 4_000
+        )
+        free = make_simulation(
+            ModelBasedController(scenario, memory=0.1), drift=drift
+        ).run(8)
+        limited = make_simulation(
+            ModelBasedController(scenario, memory=0.1, max_step=0.05),
+            drift=drift,
+        ).run(8)
+        assert limited.total_churn() <= free.total_churn()
+
+
+class TestGradientAdaptation:
+    def test_moves_toward_oracle_under_static_traffic(self):
+        controller = GradientController(
+            initial_level=0.1, step_gain=0.5, probe_gain=0.15
+        )
+        trace = make_simulation(controller).run(30)
+        start_gap = abs(
+            trace.records[0].deployed_level - trace.records[0].oracle_level
+        )
+        end_gap = trace.tracking_error(tail=6)
+        assert end_gap < start_gap
+        assert end_gap < 0.25

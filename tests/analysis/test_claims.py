@@ -1,0 +1,48 @@
+"""Tests for repro.analysis.claims — the reproduction scorecard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import (
+    PAPER_CLAIMS,
+    evaluate_claims,
+    scorecard_table,
+)
+
+
+class TestRegistry:
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_claim_has_source_and_statement(self):
+        for claim in PAPER_CLAIMS:
+            assert claim.source
+            assert claim.statement
+            assert callable(claim.check)
+
+    def test_covers_key_artifacts(self):
+        sources = {c.source for c in PAPER_CLAIMS}
+        for required in ("Table I", "Lemma 1", "Theorem 1", "Theorem 2",
+                         "Figure 4", "Figure 5", "Figure 12", "Section V-A"):
+            assert required in sources
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return evaluate_claims()
+
+    def test_all_claims_hold(self, results):
+        failing = [r.claim_id for r in results if not r.holds]
+        assert not failing, f"claims failing: {failing}"
+
+    def test_every_claim_produces_evidence(self, results):
+        for result in results:
+            assert result.evidence
+
+    def test_scorecard_table_structure(self, results):
+        table = scorecard_table()
+        assert len(table.rows) == len(PAPER_CLAIMS)
+        assert set(table.column("status")) == {"PASS"}

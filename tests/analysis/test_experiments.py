@@ -1,0 +1,307 @@
+"""Tests for repro.analysis.experiments — the paper's tables and figures.
+
+Beyond smoke-running every experiment, these tests assert the *shape*
+claims the paper makes about each figure — the substance of the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    TableData,
+    figure4_level_vs_alpha,
+    figure5_level_vs_exponent,
+    figure6_level_vs_routers,
+    figure7_level_vs_unit_cost,
+    figure8_origin_gain_vs_alpha,
+    figure9_origin_gain_vs_exponent,
+    figure10_origin_gain_vs_routers,
+    figure11_origin_gain_vs_unit_cost,
+    figure12_routing_gain_vs_alpha,
+    figure13_routing_gain_vs_exponent,
+    model_vs_simulation,
+    table1_motivating,
+    table2_topologies,
+    table3_parameters,
+    table4_settings,
+    theorem2_closed_form_vs_n,
+)
+from repro.errors import ParameterError
+
+# Reduced grids keep the shape-assertion tests fast.
+FAST_ALPHAS = (0.2, 0.4, 0.6, 0.8, 1.0)
+FAST_EXPONENTS = (0.1, 0.4, 0.7, 0.9, 1.1, 1.4, 1.7, 1.9)
+FAST_GAMMAS = (2.0, 6.0, 10.0)
+FAST_NS = (10, 50, 200, 500)
+FAST_WS = (10.0, 40.0, 70.0, 100.0)
+
+
+class TestTableData:
+    def test_row_shape_validated(self):
+        with pytest.raises(ParameterError):
+            TableData(
+                table_id="x", title="t", columns=("a", "b"), rows=((1,),)
+            )
+
+    def test_column_access(self):
+        table = TableData(
+            table_id="x", title="t", columns=("a", "b"), rows=((1, 2), (3, 4))
+        )
+        assert table.column("b") == (2, 4)
+        with pytest.raises(ParameterError):
+            table.column("c")
+
+
+class TestTable1:
+    def test_paper_values(self):
+        table = table1_motivating()
+        non_coord = table.column("Non-coordinated caching")
+        coord = table.column("Coordinated caching")
+        assert non_coord[0] == pytest.approx(1 / 3)  # origin load 33%
+        assert coord[0] == pytest.approx(0.0)  # -> 0%
+        assert non_coord[1] == pytest.approx(2 / 3)  # ~0.67 hops
+        assert coord[1] == pytest.approx(0.5)  # -> 0.5 hops
+        assert non_coord[2] == 0  # no messages
+        assert coord[2] == 1  # one consensus message
+
+    def test_rejects_partial_cycle(self):
+        with pytest.raises(ParameterError):
+            table1_motivating(requests=7)
+
+
+class TestTables2to4:
+    def test_table2_matches_paper(self):
+        table = table2_topologies()
+        assert table.column("Topology") == ("Abilene", "CERNET", "GEANT", "US-A")
+        assert table.column("|V|") == (11, 36, 23, 20)
+        assert table.column("|E|") == (28, 112, 74, 80)
+
+    def test_table3_measured_equals_paper(self):
+        table = table3_parameters()
+        for row in table.rows:
+            _, _, w, ms, hops, paper_w, paper_ms, paper_hops = row
+            assert w == pytest.approx(paper_w, abs=1e-3)
+            assert ms == pytest.approx(paper_ms, abs=1e-3)
+            assert hops == pytest.approx(paper_hops, abs=1e-3)
+
+    def test_table4_structure(self):
+        table = table4_settings()
+        assert len(table.rows) == 4
+        assert "figures" in table.columns
+
+
+class TestFigure4:
+    def test_monotone_increasing_in_alpha(self):
+        fig = figure4_level_vs_alpha(alphas=FAST_ALPHAS, gammas=FAST_GAMMAS)
+        for series in fig.series:
+            assert series.is_monotone_increasing(tolerance=1e-6)
+
+    def test_higher_gamma_higher_level(self):
+        fig = figure4_level_vs_alpha(alphas=FAST_ALPHAS, gammas=FAST_GAMMAS)
+        for alpha in FAST_ALPHAS:
+            levels = [s.y_at(alpha) for s in fig.series]
+            assert levels == sorted(levels)
+
+    def test_range_spans_zero_to_one(self):
+        """l* increases 'monotonically from 0 to 1' across alpha."""
+        fig = figure4_level_vs_alpha(
+            alphas=(0.02, 0.99), gammas=(10.0,)
+        )
+        series = fig.series[0]
+        assert series.y[0] < 0.1
+        assert series.y[-1] > 0.9
+
+
+class TestFigure5:
+    def test_alpha1_decreases_from_1_to_035(self):
+        """Paper: for alpha=1, l* falls from ~1 at s->0 to ~0.35 at s->2."""
+        fig = figure5_level_vs_exponent(
+            exponents=(0.05, 1.95), alphas=(1.0,)
+        )
+        series = fig.series[0]
+        assert series.y[0] > 0.95
+        assert series.y[-1] == pytest.approx(0.35, abs=0.05)
+
+    def test_small_s_drives_level_to_zero_for_alpha_below_one(self):
+        fig = figure5_level_vs_exponent(exponents=(0.05,), alphas=(0.2, 0.6))
+        for series in fig.series:
+            assert series.y[0] < 0.05
+
+    def test_hump_exists_for_partial_alpha(self):
+        """Paper: for alpha < 1 there is a maximum l* around s ~ 0.5-0.9."""
+        exponents = tuple(np.round(np.arange(0.1, 1.95, 0.1), 3))
+        exponents = tuple(s for s in exponents if abs(s - 1.0) > 1e-9)
+        fig = figure5_level_vs_exponent(exponents=exponents, alphas=(0.5,))
+        series = fig.series[0]
+        peak_idx = int(np.argmax(series.y))
+        peak_s = series.x[peak_idx]
+        assert 0.3 <= peak_s <= 1.0
+        assert series.y[peak_idx] > series.y[0]
+        assert series.y[peak_idx] > series.y[-1]
+
+    def test_lower_alpha_lower_level(self):
+        fig = figure5_level_vs_exponent(exponents=(0.8,), alphas=(0.2, 0.6, 1.0))
+        levels = [s.y[0] for s in fig.series]
+        assert levels == sorted(levels)
+
+
+class TestFigure6:
+    def test_level_decreases_with_network_size(self):
+        """Paper: l* decreases as n increases (coordination costs grow)."""
+        fig = figure6_level_vs_routers(router_counts=FAST_NS, alphas=(0.4, 0.6))
+        for series in fig.series:
+            assert series.is_monotone_decreasing(tolerance=1e-6)
+
+    def test_higher_alpha_higher_level(self):
+        fig = figure6_level_vs_routers(router_counts=(50,), alphas=(0.2, 0.6, 1.0))
+        levels = [s.y[0] for s in fig.series]
+        assert levels == sorted(levels)
+
+
+class TestFigure7:
+    def test_level_decreases_with_unit_cost_small_alpha(self):
+        """Paper: for small alpha, l* drops drastically as w grows."""
+        fig = figure7_level_vs_unit_cost(unit_costs=FAST_WS, alphas=(0.2, 0.4))
+        for series in fig.series:
+            assert series.is_monotone_decreasing(tolerance=1e-6)
+            assert series.y[0] > 2 * series.y[-1] + 1e-9
+
+    def test_alpha1_is_cost_invariant(self):
+        """Paper: at alpha=1, l* is a constant close to 1 regardless of w."""
+        fig = figure7_level_vs_unit_cost(unit_costs=FAST_WS, alphas=(1.0,))
+        series = fig.series[0]
+        assert max(series.y) - min(series.y) < 1e-9
+        assert series.y[0] > 0.9
+
+
+class TestFigures8to11:
+    def test_figure8_origin_gain_monotone_in_alpha_and_gamma(self):
+        fig = figure8_origin_gain_vs_alpha(alphas=FAST_ALPHAS, gammas=FAST_GAMMAS)
+        for series in fig.series:
+            assert series.is_monotone_increasing(tolerance=1e-6)
+        for alpha in FAST_ALPHAS:
+            gains = [s.y_at(alpha) for s in fig.series]
+            assert gains == sorted(gains)
+
+    def test_figure9_small_alpha_peak_above_one(self):
+        """Paper: for smaller alpha the G_O maximum sits near s ~ 1.3."""
+        fig = figure9_origin_gain_vs_exponent(
+            exponents=FAST_EXPONENTS, alphas=(0.4,)
+        )
+        series = fig.series[0]
+        peak_s = series.x[int(np.argmax(series.y))]
+        assert peak_s > 1.0
+
+    def test_figure10_origin_gain_flat_for_small_alpha(self):
+        """Paper: when alpha is small, network size barely moves G_O."""
+        fig = figure10_origin_gain_vs_routers(
+            router_counts=FAST_NS, alphas=(0.4,)
+        )
+        series = fig.series[0]
+        assert max(series.y) - min(series.y) < 0.2
+
+    def test_figure11_origin_gain_drops_with_w_for_small_alpha(self):
+        fig = figure11_origin_gain_vs_unit_cost(unit_costs=FAST_WS, alphas=(0.2,))
+        series = fig.series[0]
+        assert series.is_monotone_decreasing(tolerance=1e-6)
+
+    def test_figure11_origin_gain_invariant_for_alpha_one(self):
+        fig = figure11_origin_gain_vs_unit_cost(unit_costs=FAST_WS, alphas=(1.0,))
+        series = fig.series[0]
+        assert max(series.y) - min(series.y) < 1e-9
+
+
+class TestFigures12to13:
+    def test_figure12_routing_gain_monotone(self):
+        fig = figure12_routing_gain_vs_alpha(alphas=FAST_ALPHAS, gammas=FAST_GAMMAS)
+        for series in fig.series:
+            assert series.is_monotone_increasing(tolerance=1e-6)
+        for alpha in FAST_ALPHAS:
+            gains = [s.y_at(alpha) for s in fig.series]
+            assert gains == sorted(gains)
+
+    def test_figure13_peak_near_s_equals_one(self):
+        """Paper: G_R is largest for s close to 1, smaller at 0 and 2."""
+        fig = figure13_routing_gain_vs_exponent(
+            exponents=FAST_EXPONENTS, alphas=(1.0,)
+        )
+        series = fig.series[0]
+        peak_s = series.x[int(np.argmax(series.y))]
+        assert 0.7 <= peak_s <= 1.4
+        assert series.y[0] < max(series.y)
+        assert series.y[-1] < max(series.y)
+
+
+class TestTheorem2Figure:
+    def test_opposite_limits(self):
+        fig = theorem2_closed_form_vs_n()
+        for series in fig.series:
+            s = float(series.label.split("=")[1])
+            if s < 1.0:
+                assert series.is_monotone_increasing(tolerance=1e-9)
+                assert series.y[-1] > 0.95
+            else:
+                assert series.is_monotone_decreasing(tolerance=1e-9)
+                assert series.y[-1] < series.y[0]
+
+
+class TestModelVsSimulation:
+    def test_agreement_within_tolerance(self):
+        table = model_vs_simulation(requests=20_000)
+        for row in table.rows:
+            _, model_origin, sim_origin = row[0], row[1], row[2]
+            assert sim_origin == pytest.approx(model_origin, abs=0.02)
+
+    def test_tier_fractions_sum_to_one(self):
+        table = model_vs_simulation(requests=5_000)
+        for row in table.rows:
+            _, _, sim_origin, local, peer, _ = row
+            assert local + peer + sim_origin == pytest.approx(1.0, abs=1e-6)
+
+
+class TestMetricDuality:
+    def test_reference_topology_exact(self):
+        """US-A defines the unit conversion, so its two variants agree."""
+        from repro.analysis.experiments import metric_duality
+
+        table = metric_duality(alphas=(0.3, 0.8))
+        for row in table.rows:
+            topology, _, level_hops, level_ms, diff = row
+            if topology == "US-A":
+                assert diff == pytest.approx(0.0, abs=1e-6)
+
+    def test_metrics_similar_everywhere(self):
+        """The paper's 'similar results' claim: differences stay small."""
+        from repro.analysis.experiments import metric_duality
+
+        table = metric_duality(alphas=(0.5, 0.8, 1.0))
+        assert max(table.column("|diff|")) < 0.12
+
+
+class TestCoverageRegime:
+    def test_gr_recovers_paper_magnitude_at_full_coverage(self):
+        """60-90% G_R appears once n*c approaches N (EXPERIMENTS.md)."""
+        from repro.analysis.experiments import coverage_regime
+
+        table = coverage_regime(coverage_ratios=(0.02, 1.0))
+        gains = table.column("G_R")
+        assert gains[0] < 0.30  # Table IV's regime
+        assert 0.6 <= gains[-1] <= 0.95  # the paper's claimed band
+
+    def test_origin_gain_saturates(self):
+        from repro.analysis.experiments import coverage_regime
+
+        table = coverage_regime(coverage_ratios=(0.02, 2.0))
+        assert table.column("G_O")[-1] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 24
+
+    def test_registry_ids_unique(self):
+        assert len(set(ALL_EXPERIMENTS)) == len(ALL_EXPERIMENTS)

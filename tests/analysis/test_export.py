@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.export — CSV/JSON serialization."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.experiments import TableData
+from repro.analysis.export import (
+    export_result,
+    figure_to_csv,
+    figure_to_json,
+    table_to_csv,
+    table_to_json,
+)
+from repro.analysis.sweep import FigureData, Series
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def table() -> TableData:
+    return TableData(
+        table_id="X",
+        title="A title",
+        columns=("name", "value"),
+        rows=(("alpha", 1.5), ("beta", 2)),
+        notes="n",
+    )
+
+
+@pytest.fixture
+def figure() -> FigureData:
+    return FigureData(
+        figure_id="9",
+        title="fig",
+        xlabel="x",
+        ylabel="y",
+        series=(
+            Series(label="a", x=(1.0, 2.0), y=(10.0, 20.0)),
+            Series(label="b", x=(1.0, 2.0), y=(30.0, 40.0)),
+        ),
+        parameters={"gamma": 5.0},
+    )
+
+
+class TestCsv:
+    def test_table_roundtrip(self, table):
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[0] == ["name", "value"]
+        assert rows[1] == ["alpha", "1.5"]
+        assert len(rows) == 3
+
+    def test_figure_layout(self, figure):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["1.0", "10.0", "30.0"]
+
+    def test_empty_figure(self):
+        fig = FigureData(
+            figure_id="0", title="t", xlabel="x", ylabel="y", series=()
+        )
+        rows = list(csv.reader(io.StringIO(figure_to_csv(fig))))
+        assert rows == [["x"]]
+
+
+class TestJson:
+    def test_table_document(self, table):
+        doc = json.loads(table_to_json(table))
+        assert doc["kind"] == "table"
+        assert doc["id"] == "X"
+        assert doc["columns"] == ["name", "value"]
+        assert doc["rows"][0] == ["alpha", 1.5]
+        assert doc["notes"] == "n"
+
+    def test_figure_document(self, figure):
+        doc = json.loads(figure_to_json(figure))
+        assert doc["kind"] == "figure"
+        assert doc["series"][0] == {"label": "a", "x": [1.0, 2.0], "y": [10.0, 20.0]}
+        assert doc["parameters"] == {"gamma": "5.0"}
+
+
+class TestExportResult:
+    def test_dispatch(self, table, figure):
+        assert export_result(table, "csv").startswith("name,value")
+        assert json.loads(export_result(figure, "json"))["kind"] == "figure"
+
+    def test_writes_file(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        text = export_result(table, "csv", path=path)
+        assert path.read_text() == text
+
+    def test_rejects_unknown_format(self, table):
+        with pytest.raises(ParameterError):
+            export_result(table, "xml")
+
+    def test_rejects_unknown_object(self):
+        with pytest.raises(ParameterError):
+            export_result("not a result", "csv")  # type: ignore[arg-type]

@@ -1,0 +1,77 @@
+"""Unit tests for repro.analysis.pareto — the performance/cost frontier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pareto import knee_point, pareto_frontier, ParetoPoint
+from repro.core import Scenario
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return pareto_frontier(Scenario(gamma=5.0))
+
+
+class TestFrontier:
+    def test_alpha_sweep_order(self, frontier):
+        alphas = [p.alpha for p in frontier]
+        assert alphas == sorted(alphas)
+        assert alphas[0] == 0.0
+        assert alphas[-1] == 1.0
+
+    def test_latency_non_increasing(self, frontier):
+        latencies = [p.latency for p in frontier]
+        assert all(b <= a + 1e-9 for a, b in zip(latencies, latencies[1:]))
+
+    def test_cost_non_decreasing(self, frontier):
+        costs = [p.cost for p in frontier]
+        assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_levels_track_alpha(self, frontier):
+        levels = [p.level for p in frontier]
+        assert levels[0] == 0.0
+        assert levels[-1] > 0.9
+        assert all(b >= a - 1e-9 for a, b in zip(levels, levels[1:]))
+
+    def test_endpoints(self, frontier):
+        # Alpha 0: no coordination, zero variable cost.
+        assert frontier[0].cost == pytest.approx(0.0, abs=1e-9)
+        # Alpha 1: latency at its minimum over the frontier.
+        assert frontier[-1].latency == min(p.latency for p in frontier)
+
+    def test_rejects_empty_alphas(self):
+        with pytest.raises(ParameterError):
+            pareto_frontier(Scenario(), alphas=())
+
+
+class TestKnee:
+    def test_knee_is_interior(self, frontier):
+        knee = knee_point(frontier)
+        assert frontier[0].alpha < knee.alpha < frontier[-1].alpha
+
+    def test_knee_buys_most_latency_cheaply(self, frontier):
+        """The knee captures the bulk of the achievable latency gain at
+        a fraction of the maximal cost."""
+        knee = knee_point(frontier)
+        total_gain = frontier[0].latency - frontier[-1].latency
+        knee_gain = frontier[0].latency - knee.latency
+        assert knee_gain >= 0.5 * total_gain
+        assert knee.cost <= 0.8 * frontier[-1].cost
+
+    def test_needs_three_points(self):
+        points = (
+            ParetoPoint(alpha=0.0, level=0.0, latency=2.0, cost=0.0),
+            ParetoPoint(alpha=1.0, level=1.0, latency=1.0, cost=1.0),
+        )
+        with pytest.raises(ParameterError):
+            knee_point(points)
+
+    def test_degenerate_frontier_rejected(self):
+        points = tuple(
+            ParetoPoint(alpha=a, level=0.0, latency=2.0, cost=0.0)
+            for a in (0.0, 0.5, 1.0)
+        )
+        with pytest.raises(ParameterError):
+            knee_point(points)

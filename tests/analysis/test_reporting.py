@@ -1,0 +1,65 @@
+"""Unit tests for repro.analysis.reporting — markdown report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import TableData
+from repro.analysis.reporting import (
+    figure_to_markdown,
+    generate_report,
+    table_to_markdown,
+)
+from repro.analysis.sweep import FigureData, Series
+from repro.errors import ParameterError
+
+
+class TestTableMarkdown:
+    def test_structure(self):
+        table = TableData(
+            table_id="X", title="T", columns=("a", "b"),
+            rows=(("v", 1.23456),), notes="note",
+        )
+        text = table_to_markdown(table)
+        assert "### Table X: T" in text
+        assert "| a | b |" in text
+        assert "| v | 1.2346 |" in text
+        assert "*note*" in text
+
+    def test_no_notes(self):
+        table = TableData(table_id="X", title="T", columns=("a",), rows=((1,),))
+        assert "*" not in table_to_markdown(table).splitlines()[-1]
+
+
+class TestFigureMarkdown:
+    def test_structure(self):
+        fig = FigureData(
+            figure_id="9", title="F", xlabel="x", ylabel="y",
+            series=(Series(label="s1", x=(1.0,), y=(2.0,)),),
+        )
+        text = figure_to_markdown(fig)
+        assert "### Figure 9: F" in text
+        assert "| x | s1 |" in text
+        assert "| 1.0000 | 2.0000 |" in text
+        assert "*y-axis: y*" in text
+
+
+class TestGenerateReport:
+    def test_selected_experiments(self):
+        text = generate_report(experiments=["table1", "table2"])
+        assert "Table I" in text
+        assert "Table II" in text
+        assert "Figure 4" not in text
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = generate_report(experiments=["table2"], path=path)
+        assert path.read_text() == text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_report(experiments=["figure99"])
+
+    def test_title(self):
+        text = generate_report(experiments=["table2"], title="My run")
+        assert text.startswith("# My run")

@@ -1,0 +1,98 @@
+"""Unit tests for repro.analysis.robustness — misspecification study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.robustness import (
+    discrete_objective,
+    misspecification_study,
+    optimal_level_discrete,
+)
+from repro.catalog.popularity import UniformModel, ZipfMandelbrotModel, ZipfModel
+from repro.core import Scenario
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def scenario() -> Scenario:
+    return Scenario(alpha=0.7, capacity=100.0, catalog_size=20_000)
+
+
+class TestDiscreteObjective:
+    def test_matches_continuous_model_for_zipf(self, scenario):
+        """With pure Zipf popularity, the discrete objective tracks the
+        continuous-approximation objective of the core model."""
+        popularity = ZipfModel(scenario.exponent, scenario.catalog_size)
+        model = scenario.model()
+        for level in (0.0, 0.4, 0.9):
+            discrete = discrete_objective(scenario, popularity, level)
+            continuous = float(model.objective(level * scenario.capacity))
+            assert discrete == pytest.approx(continuous, rel=0.05)
+
+    def test_bounded_by_latency_and_cost(self, scenario):
+        popularity = ZipfModel(0.8, scenario.catalog_size)
+        latency = scenario.latency()
+        for level in (0.0, 0.5, 1.0):
+            value = discrete_objective(scenario, popularity, level)
+            upper = latency.d2 + float(
+                scenario.cost_model().cost(scenario.capacity, scenario.n_routers)
+            )
+            assert 0 < value <= upper
+
+    def test_rejects_bad_level(self, scenario):
+        popularity = ZipfModel(0.8, scenario.catalog_size)
+        with pytest.raises(ParameterError):
+            discrete_objective(scenario, popularity, 1.5)
+
+    def test_rejects_catalog_mismatch(self, scenario):
+        with pytest.raises(ParameterError):
+            discrete_objective(scenario, ZipfModel(0.8, 999), 0.5)
+
+
+class TestOptimalLevelDiscrete:
+    def test_agrees_with_core_optimizer_for_zipf(self, scenario):
+        popularity = ZipfModel(scenario.exponent, scenario.catalog_size)
+        level, _ = optimal_level_discrete(scenario, popularity, resolution=201)
+        core = scenario.solve(check_conditions=False).level
+        assert level == pytest.approx(core, abs=0.05)
+
+    def test_uniform_popularity_prefers_full_coordination(self, scenario):
+        """With no popularity skew, local replication is worthless: the
+        optimum coordinates everything (more distinct contents)."""
+        popularity = UniformModel(scenario.catalog_size)
+        level, _ = optimal_level_discrete(scenario, popularity, resolution=101)
+        assert level > 0.9
+
+    def test_rejects_tiny_resolution(self, scenario):
+        with pytest.raises(ParameterError):
+            optimal_level_discrete(
+                scenario, ZipfModel(0.8, scenario.catalog_size), resolution=1
+            )
+
+
+class TestMisspecificationStudy:
+    def test_zero_plateau_near_zero_regret(self, scenario):
+        rows = misspecification_study(
+            scenario, plateaus=(0.0,), resolution=101
+        )
+        assert rows[0].relative_regret < 0.01
+
+    def test_regret_nonnegative(self, scenario):
+        for row in misspecification_study(
+            scenario, plateaus=(0.0, 50.0, 500.0), resolution=101
+        ):
+            assert row.regret >= -1e-9
+
+    def test_flatter_head_pushes_true_optimum_up(self, scenario):
+        rows = misspecification_study(
+            scenario, plateaus=(0.0, 500.0), resolution=101
+        )
+        assert rows[1].true_level >= rows[0].true_level
+
+    def test_strategy_is_robust(self, scenario):
+        """The headline finding: even q = 1000 costs < 2% objective."""
+        rows = misspecification_study(
+            scenario, plateaus=(1000.0,), resolution=101
+        )
+        assert rows[0].relative_regret < 0.02

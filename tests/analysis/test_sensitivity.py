@@ -1,0 +1,103 @@
+"""Unit tests for repro.analysis.sensitivity — stability of ℓ*."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    level_sensitivity,
+    sensitive_range,
+    sensitivity_profile,
+)
+from repro.core import Scenario
+from repro.errors import ParameterError
+
+
+class TestLevelSensitivity:
+    def test_alpha_sensitivity_positive(self):
+        """ℓ* increases in α (Figure 4), so dℓ*/dα > 0 mid-range."""
+        assert level_sensitivity(Scenario(alpha=0.5), "alpha") > 0
+
+    def test_gamma_sensitivity_positive(self):
+        assert level_sensitivity(Scenario(alpha=0.5), "gamma") > 0
+
+    def test_unit_cost_sensitivity_negative(self):
+        """ℓ* decreases in w (Figure 7) at moderate α."""
+        assert level_sensitivity(Scenario(alpha=0.4), "unit_cost") < 0
+
+    def test_unit_cost_insensitive_at_alpha_one(self):
+        """At α = 1 the cost term vanishes: dℓ*/dw = 0 (Figure 7)."""
+        assert level_sensitivity(Scenario(alpha=1.0), "unit_cost") == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_rejects_integer_fields(self):
+        with pytest.raises(ParameterError):
+            level_sensitivity(Scenario(), "n_routers")
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ParameterError):
+            level_sensitivity(Scenario(), "weather")
+
+    def test_matches_secant_of_sweep(self):
+        scenario = Scenario(alpha=0.5)
+        eps = 0.01
+        lo = scenario.replace(alpha=0.5 - eps).solve(check_conditions=False).level
+        hi = scenario.replace(alpha=0.5 + eps).solve(check_conditions=False).level
+        secant = (hi - lo) / (2 * eps)
+        assert level_sensitivity(scenario, "alpha") == pytest.approx(
+            secant, rel=0.1
+        )
+
+
+class TestSensitiveRange:
+    def test_shifts_down_with_gamma(self):
+        """Higher γ moves the sensitive range to lower α — the
+        self-consistent version of the paper's Figure 4 remark."""
+        low_gamma = sensitive_range(Scenario(gamma=2.0))
+        high_gamma = sensitive_range(Scenario(gamma=10.0))
+        assert high_gamma.alpha_low < low_gamma.alpha_low
+        assert high_gamma.alpha_high < low_gamma.alpha_high
+
+    def test_range_well_formed(self):
+        result = sensitive_range(Scenario(gamma=5.0))
+        assert 0.0 < result.alpha_low <= result.alpha_high <= 1.0
+        assert result.level_low <= result.level_high
+        assert result.width >= 0.0
+        assert result.alpha_low <= result.max_slope_alpha + 0.3
+
+    def test_matches_paper_interval_scale(self):
+        """Both paper-quoted intervals ([0.2,0.4] and [0.6,0.8]) appear
+        across the γ extremes, with widths ~0.2."""
+        low_gamma = sensitive_range(Scenario(gamma=2.0))
+        high_gamma = sensitive_range(Scenario(gamma=10.0))
+        assert 0.1 <= high_gamma.alpha_low <= 0.3
+        assert 0.2 <= high_gamma.alpha_high <= 0.45
+        assert 0.35 <= low_gamma.alpha_low <= 0.65
+        assert 0.6 <= low_gamma.alpha_high <= 0.85
+
+    def test_degenerate_scenario_rejected(self):
+        """With a negligible cost term, ℓ* equals the α=1 optimum for
+        every α — no swing, hence no sensitive range."""
+        with pytest.raises(ParameterError):
+            sensitive_range(Scenario(cost_scale=1e-15), grid_size=21)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ParameterError):
+            sensitive_range(Scenario(), low_fraction=0.9, high_fraction=0.1)
+        with pytest.raises(ParameterError):
+            sensitive_range(Scenario(), grid_size=5)
+
+
+class TestProfile:
+    def test_profile_covers_all_fields(self):
+        profile = sensitivity_profile(Scenario(alpha=0.5))
+        assert set(profile) == {
+            "alpha", "gamma", "exponent", "unit_cost", "peer_delta", "capacity",
+        }
+
+    def test_signs_consistent_with_figures(self):
+        profile = sensitivity_profile(Scenario(alpha=0.5))
+        assert profile["alpha"] > 0  # Figure 4
+        assert profile["gamma"] > 0  # Figure 4
+        assert profile["unit_cost"] < 0  # Figure 7

@@ -1,0 +1,141 @@
+"""Unit tests for repro.analysis.tables — text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import TableData
+from repro.analysis.sweep import FigureData, Series
+from repro.analysis.tables import (
+    format_cell,
+    render_ascii_chart,
+    render_figure,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456789) == "1.2346"
+        assert format_cell(1.5, precision=1) == "1.5"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_not_formatted_as_float(self):
+        assert format_cell(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def make(self) -> TableData:
+        return TableData(
+            table_id="X",
+            title="A title",
+            columns=("name", "value"),
+            rows=(("alpha", 1.23456), ("beta", 2)),
+            notes="a note",
+        )
+
+    def test_contains_title_and_cells(self):
+        text = render_table(self.make())
+        assert "Table X: A title" in text
+        assert "alpha" in text
+        assert "1.2346" in text
+        assert "a note" in text
+
+    def test_no_notes_line_when_empty(self):
+        table = TableData(
+            table_id="Y", title="t", columns=("a",), rows=((1,),)
+        )
+        assert "note:" not in render_table(table)
+
+    def test_columns_aligned(self):
+        lines = render_table(self.make()).splitlines()
+        header = lines[1]
+        separator = lines[2]
+        assert len(separator) == len(header)
+
+
+class TestRenderFigure:
+    def make(self) -> FigureData:
+        return FigureData(
+            figure_id="7",
+            title="Some sweep",
+            xlabel="w",
+            ylabel="l*",
+            series=(
+                Series(label="alpha=0.2", x=(10.0, 20.0), y=(0.5, 0.4)),
+                Series(label="alpha=1.0", x=(10.0, 20.0), y=(0.9, 0.9)),
+            ),
+        )
+
+    def test_contains_series_columns(self):
+        text = render_figure(self.make())
+        assert "Figure 7" in text
+        assert "alpha=0.2" in text
+        assert "alpha=1.0" in text
+        assert "[y: l*]" in text
+
+    def test_one_row_per_x(self):
+        lines = render_figure(self.make()).splitlines()
+        # title + header + rule + 2 data rows
+        assert len(lines) == 5
+
+    def test_empty_figure(self):
+        fig = FigureData(
+            figure_id="0", title="empty", xlabel="x", ylabel="y", series=()
+        )
+        text = render_figure(fig)
+        assert "Figure 0" in text
+
+
+class TestAsciiChart:
+    def make(self) -> FigureData:
+        return FigureData(
+            figure_id="4",
+            title="sweep",
+            xlabel="alpha",
+            ylabel="l*",
+            series=(
+                Series(label="g2", x=(0.0, 0.5, 1.0), y=(0.0, 0.4, 0.8)),
+                Series(label="g10", x=(0.0, 0.5, 1.0), y=(0.1, 0.7, 0.95)),
+            ),
+        )
+
+    def test_contains_markers_and_legend(self):
+        text = render_ascii_chart(self.make())
+        assert "*" in text and "o" in text
+        assert "*=g2" in text and "o=g10" in text
+        assert "x: alpha; y: l*" in text
+
+    def test_grid_dimensions(self):
+        text = render_ascii_chart(self.make(), width=40, height=10)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        for row in plot_rows:
+            assert len(row.split("|", 1)[1]) == 40
+
+    def test_axis_labels(self):
+        text = render_ascii_chart(self.make())
+        assert "0.95" in text  # y max
+        assert "0" in text
+
+    def test_empty_series(self):
+        fig = FigureData(
+            figure_id="0", title="t", xlabel="x", ylabel="y", series=()
+        )
+        assert "(no data)" in render_ascii_chart(fig)
+
+    def test_flat_series_no_crash(self):
+        fig = FigureData(
+            figure_id="f", title="flat", xlabel="x", ylabel="y",
+            series=(Series(label="c", x=(1.0, 2.0), y=(0.5, 0.5)),),
+        )
+        assert "c" in render_ascii_chart(fig)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(self.make(), width=5, height=3)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.baselines — fixed strategies and heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    fixed_level_strategy,
+    fully_coordinated_strategy,
+    grid_search_strategy,
+    marginal_value_level,
+    non_coordinated_strategy,
+)
+from repro.core.optimizer import optimal_strategy
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+BASE = Scenario(alpha=0.7)
+
+
+class TestFixedStrategies:
+    def test_non_coordinated(self):
+        strategy = non_coordinated_strategy(BASE.model())
+        assert strategy.level == 0.0
+        assert strategy.storage == 0.0
+        assert strategy.method == "fixed"
+
+    def test_fully_coordinated(self):
+        strategy = fully_coordinated_strategy(BASE.model())
+        assert strategy.level == 1.0
+        assert strategy.storage == BASE.capacity
+
+    def test_fixed_level_objective_value(self):
+        model = BASE.model()
+        strategy = fixed_level_strategy(model, 0.4)
+        assert strategy.objective_value == pytest.approx(
+            float(model.objective(0.4 * model.capacity)), rel=1e-12
+        )
+
+    def test_fixed_level_validation(self):
+        with pytest.raises(ParameterError):
+            fixed_level_strategy(BASE.model(), 1.5)
+
+
+class TestGridSearch:
+    def test_agrees_with_analytical_optimizer(self):
+        for alpha in (0.3, 0.6, 0.9):
+            model = Scenario(alpha=alpha).model()
+            analytical = optimal_strategy(model)
+            brute = grid_search_strategy(model, resolution=20_001)
+            assert brute.level == pytest.approx(analytical.level, abs=1e-3)
+            assert brute.objective_value <= analytical.objective_value + 1e-6
+
+    def test_alpha_zero_boundary(self):
+        model = Scenario(alpha=0.0).model()
+        assert grid_search_strategy(model).level == 0.0
+
+    def test_method_label(self):
+        assert grid_search_strategy(BASE.model()).method == "grid-search"
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(ParameterError):
+            grid_search_strategy(BASE.model(), resolution=1)
+
+
+class TestMarginalGreedy:
+    def test_close_to_optimum_on_convex_objective(self):
+        model = BASE.model()
+        greedy = marginal_value_level(model, step_slots=1.0)
+        best = optimal_strategy(model)
+        # Within one step of the optimum in storage terms.
+        assert greedy.storage == pytest.approx(best.storage, abs=2.0)
+
+    def test_stops_at_zero_when_cost_dominates(self):
+        model = Scenario(alpha=0.01).model()
+        greedy = marginal_value_level(model)
+        assert greedy.level == pytest.approx(0.0, abs=1e-3)
+
+    def test_method_label(self):
+        assert marginal_value_level(BASE.model()).method == "marginal-greedy"
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ParameterError):
+            marginal_value_level(BASE.model(), step_slots=0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.catalog.content — catalogs and content objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.content import Catalog, ContentObject
+from repro.errors import CatalogError
+
+
+class TestContentObject:
+    def test_valid(self):
+        obj = ContentObject(rank=3, name="/x/3")
+        assert obj.rank == 3
+
+    def test_ordering_by_rank(self):
+        a = ContentObject(1, "/x/1")
+        b = ContentObject(2, "/x/2")
+        assert a < b
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(CatalogError):
+            ContentObject(rank=0, name="/x/0")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(CatalogError):
+            ContentObject(rank=1, name="")
+
+
+class TestCatalog:
+    def test_size_and_len(self):
+        catalog = Catalog(100)
+        assert len(catalog) == 100
+        assert catalog.size == 100
+
+    def test_lazy_huge_catalog(self):
+        catalog = Catalog(10**9)
+        obj = catalog.object_at(10**9)
+        assert obj.rank == 10**9
+
+    def test_contains(self):
+        catalog = Catalog(10)
+        assert 1 in catalog
+        assert 10 in catalog
+        assert 0 not in catalog
+        assert 11 not in catalog
+        assert "1" not in catalog
+
+    def test_object_names_are_ccn_style(self):
+        catalog = Catalog(10, prefix="/repro/video")
+        assert catalog.object_at(7).name == "/repro/video/7"
+
+    def test_object_at_rejects_out_of_range(self):
+        with pytest.raises(CatalogError):
+            Catalog(10).object_at(11)
+        with pytest.raises(CatalogError):
+            Catalog(10).object_at(0)
+
+    def test_rank_of_roundtrip(self):
+        catalog = Catalog(50)
+        for rank in (1, 25, 50):
+            assert catalog.rank_of(catalog.object_at(rank).name) == rank
+
+    def test_rank_of_rejects_foreign_prefix(self):
+        with pytest.raises(CatalogError):
+            Catalog(10).rank_of("/other/5")
+
+    def test_rank_of_rejects_non_numeric(self):
+        with pytest.raises(CatalogError):
+            Catalog(10).rank_of("/repro/content/abc")
+
+    def test_rank_of_rejects_out_of_range(self):
+        with pytest.raises(CatalogError):
+            Catalog(10).rank_of("/repro/content/11")
+
+    def test_top_iterates_in_rank_order(self):
+        ranks = [obj.rank for obj in Catalog(100).top(5)]
+        assert ranks == [1, 2, 3, 4, 5]
+
+    def test_top_clips_at_catalog_size(self):
+        assert len(list(Catalog(3).top(10))) == 3
+
+    def test_top_rejects_negative(self):
+        with pytest.raises(CatalogError):
+            list(Catalog(3).top(-1))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(CatalogError):
+            Catalog(0)
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(CatalogError):
+            Catalog(10, prefix="no-slash")
+
+    def test_repr(self):
+        assert "42" in repr(Catalog(42))

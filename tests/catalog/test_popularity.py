@@ -1,0 +1,116 @@
+"""Unit tests for repro.catalog.popularity — popularity models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.popularity import (
+    UniformModel,
+    ZipfMandelbrotModel,
+    ZipfModel,
+)
+from repro.errors import CatalogError, ParameterError
+
+
+class TestZipfModel:
+    def test_pmf_sums_to_one(self):
+        model = ZipfModel(0.8, 500)
+        total = sum(model.pmf(i) for i in range(1, 501))
+        assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_matches_analytical(self):
+        model = ZipfModel(0.8, 1000)
+        analytical = model.to_analytical()
+        for rank in (1, 10, 100):
+            assert model.pmf(rank) == pytest.approx(
+                float(analytical.pmf(rank)), rel=1e-12
+            )
+
+    def test_cdf_endpoints(self):
+        model = ZipfModel(1.2, 100)
+        assert model.cdf(0) == 0.0
+        assert model.cdf(100) == pytest.approx(1.0)
+        assert model.cdf(1000) == pytest.approx(1.0)
+
+    def test_out_of_range_pmf_zero(self):
+        model = ZipfModel(0.8, 10)
+        assert model.pmf(0) == 0.0
+        assert model.pmf(11) == 0.0
+
+    def test_sample_reproducible(self):
+        model = ZipfModel(0.8, 100)
+        a = model.sample(50, np.random.default_rng(3))
+        b = model.sample(50, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_sample_frequencies(self):
+        model = ZipfModel(1.0, 50)
+        draws = model.sample(100_000, np.random.default_rng(0))
+        assert float(np.mean(draws == 1)) == pytest.approx(model.pmf(1), abs=0.01)
+
+    def test_sample_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            ZipfModel(0.8, 10).sample(-5)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ParameterError):
+            ZipfModel(0.0, 100)
+        with pytest.raises(ParameterError):
+            ZipfModel(2.5, 100)
+
+    def test_rejects_bad_catalog(self):
+        with pytest.raises(CatalogError):
+            ZipfModel(0.8, 0)
+
+    def test_top_k_mass_alias(self):
+        model = ZipfModel(0.8, 100)
+        assert model.top_k_mass(10) == model.cdf(10)
+
+    def test_repr(self):
+        assert "0.8" in repr(ZipfModel(0.8, 100))
+
+
+class TestZipfMandelbrot:
+    def test_plateau_zero_equals_zipf(self):
+        zipf = ZipfModel(0.8, 200)
+        zm = ZipfMandelbrotModel(0.8, 0.0, 200)
+        for rank in (1, 50, 200):
+            assert zm.pmf(rank) == pytest.approx(zipf.pmf(rank), rel=1e-12)
+
+    def test_plateau_flattens_head(self):
+        zipf = ZipfModel(0.8, 200)
+        zm = ZipfMandelbrotModel(0.8, 50.0, 200)
+        assert zm.pmf(1) < zipf.pmf(1)
+        # The head-to-mid ratio shrinks with the plateau.
+        assert zm.pmf(1) / zm.pmf(10) < zipf.pmf(1) / zipf.pmf(10)
+
+    def test_rejects_negative_plateau(self):
+        with pytest.raises(ParameterError):
+            ZipfMandelbrotModel(0.8, -1.0, 100)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ParameterError):
+            ZipfMandelbrotModel(0.0, 1.0, 100)
+
+    def test_repr(self):
+        assert "plateau" in repr(ZipfMandelbrotModel(0.8, 5.0, 100))
+
+
+class TestUniformModel:
+    def test_flat_pmf(self):
+        model = UniformModel(100)
+        assert model.pmf(1) == pytest.approx(0.01)
+        assert model.pmf(100) == pytest.approx(0.01)
+
+    def test_cdf_linear(self):
+        model = UniformModel(100)
+        assert model.cdf(25) == pytest.approx(0.25)
+
+    def test_sample_spread(self):
+        draws = UniformModel(10).sample(50_000, np.random.default_rng(0))
+        counts = np.bincount(draws, minlength=11)[1:]
+        assert counts.min() > 4000  # roughly uniform
+
+    def test_repr(self):
+        assert "100" in repr(UniformModel(100))

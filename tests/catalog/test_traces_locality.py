@@ -1,0 +1,145 @@
+"""Unit tests for trace persistence and the locality workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    IRMWorkload,
+    LocalityWorkload,
+    Request,
+    TraceWorkload,
+    ZipfModel,
+    load_trace,
+    save_trace,
+)
+from repro.errors import CatalogError, ParameterError
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        requests = [Request("A", 1), Request("B", 7), Request("A", 3)]
+        path = tmp_path / "trace.csv"
+        count = save_trace(requests, path)
+        assert count == 3
+        replayed = load_trace(path).materialize(3)
+        assert replayed == requests
+
+    def test_roundtrip_through_workload(self, tmp_path):
+        workload = IRMWorkload(ZipfModel(0.8, 100), ["A", "B"], seed=4)
+        original = workload.materialize(50)
+        path = tmp_path / "trace.csv"
+        save_trace(original, path)
+        assert load_trace(path).materialize(50) == original
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\nA,1\n")
+        with pytest.raises(CatalogError):
+            load_trace(path)
+
+    def test_bad_row_width(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("client,rank\nA,1,extra\n")
+        with pytest.raises(CatalogError):
+            load_trace(path)
+
+    def test_non_integer_rank(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("client,rank\nA,seven\n")
+        with pytest.raises(CatalogError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert save_trace([], path) == 0
+        assert len(load_trace(path)) == 0
+
+
+class TestLocalityWorkload:
+    def make(self, locality=0.6, seed=0, **kwargs) -> LocalityWorkload:
+        return LocalityWorkload(
+            ZipfModel(0.8, 1_000),
+            ["A", "B", "C"],
+            locality=locality,
+            seed=seed,
+            **kwargs,
+        )
+
+    def test_deterministic(self):
+        assert self.make().materialize(100) == self.make().materialize(100)
+
+    def test_count_and_validity(self):
+        requests = self.make().materialize(500)
+        assert len(requests) == 500
+        assert all(1 <= r.rank <= 1_000 for r in requests)
+        assert {r.client for r in requests} <= {"A", "B", "C"}
+
+    def test_locality_raises_rereference_rate(self):
+        """Higher locality means more immediate re-references."""
+
+        def rereference_rate(locality: float) -> float:
+            requests = LocalityWorkload(
+                ZipfModel(0.8, 10_000), ["A"], locality=locality,
+                window=16, seed=1,
+            ).materialize(5_000)
+            ranks = [r.rank for r in requests]
+            window: list[int] = []
+            hits = 0
+            for rank in ranks:
+                if rank in window:
+                    hits += 1
+                window.append(rank)
+                if len(window) > 16:
+                    window.pop(0)
+            return hits / len(ranks)
+
+        low = rereference_rate(0.0)
+        high = rereference_rate(0.8)
+        assert high > low + 0.3
+
+    def test_zero_locality_marginal_matches_popularity(self):
+        requests = LocalityWorkload(
+            ZipfModel(1.0, 100), ["A"], locality=0.0, seed=2
+        ).materialize(50_000)
+        observed = float(np.mean([r.rank == 1 for r in requests]))
+        expected = ZipfModel(1.0, 100).pmf(1)
+        assert observed == pytest.approx(expected, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LocalityWorkload(ZipfModel(0.8, 100), [])
+        with pytest.raises(ParameterError):
+            self.make(locality=1.0)
+        with pytest.raises(ParameterError):
+            self.make(window=0)
+        with pytest.raises(ParameterError):
+            self.make().materialize(-1)
+
+    def test_locality_helps_lru_beyond_irm_prediction(self):
+        """The point of the generator: temporal locality lets small LRU
+        caches beat what the IRM-based model predicts."""
+        from repro.simulation import DynamicSimulator
+        from repro.topology import ring_topology
+
+        topology = ring_topology(4)
+        popularity = ZipfModel(0.7, 5_000)
+        irm = IRMWorkload(popularity, topology.nodes, seed=3)
+        local = LocalityWorkload(
+            popularity, topology.nodes, locality=0.7, window=32, seed=3
+        )
+        results = {}
+        for name, workload in (("irm", irm), ("locality", local)):
+            simulator = DynamicSimulator(
+                topology, capacity=40, policy="lru", seed=0
+            )
+            results[name] = simulator.run(workload, 6_000, warmup=4_000)
+        assert (
+            results["locality"].local_fraction
+            > results["irm"].local_fraction + 0.1
+        )

@@ -1,0 +1,158 @@
+"""Unit tests for repro.catalog.workload — request stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.popularity import ZipfModel
+from repro.catalog.workload import (
+    IRMWorkload,
+    Request,
+    SequenceWorkload,
+    TraceWorkload,
+)
+from repro.errors import ParameterError
+
+
+class TestRequest:
+    def test_valid(self):
+        r = Request(client="R1", rank=5)
+        assert r.client == "R1"
+        assert r.rank == 5
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ParameterError):
+            Request(client="R1", rank=0)
+
+
+class TestIRMWorkload:
+    def make(self, **kwargs) -> IRMWorkload:
+        defaults = dict(
+            popularity=ZipfModel(0.8, 100),
+            clients=["A", "B", "C"],
+            seed=7,
+        )
+        defaults.update(kwargs)
+        return IRMWorkload(**defaults)
+
+    def test_deterministic_under_seed(self):
+        a = self.make().materialize(100)
+        b = self.make().materialize(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = self.make(seed=1).materialize(100)
+        b = self.make(seed=2).materialize(100)
+        assert a != b
+
+    def test_count_respected(self):
+        assert len(self.make().materialize(123)) == 123
+
+    def test_clients_from_pool(self):
+        requests = self.make().materialize(500)
+        assert {r.client for r in requests} == {"A", "B", "C"}
+
+    def test_ranks_in_catalog(self):
+        requests = self.make().materialize(1000)
+        assert all(1 <= r.rank <= 100 for r in requests)
+
+    def test_client_weights_respected(self):
+        wl = self.make(client_weights=[1.0, 0.0, 0.0])
+        requests = wl.materialize(200)
+        assert all(r.client == "A" for r in requests)
+
+    def test_skewed_weights_distribution(self):
+        wl = self.make(client_weights=[8.0, 1.0, 1.0], seed=0)
+        requests = wl.materialize(10_000)
+        share_a = sum(1 for r in requests if r.client == "A") / 10_000
+        assert share_a == pytest.approx(0.8, abs=0.03)
+
+    def test_batching_boundary(self):
+        """The internal 64 Ki batch boundary must not distort the stream."""
+        wl = self.make()
+        long = wl.materialize(65_536 + 10)
+        short = wl.materialize(100)
+        assert long[:100] == short
+
+    def test_rejects_empty_clients(self):
+        with pytest.raises(ParameterError):
+            IRMWorkload(ZipfModel(0.8, 100), [])
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ParameterError):
+            self.make(client_weights=[1.0])
+        with pytest.raises(ParameterError):
+            self.make(client_weights=[-1.0, 1.0, 1.0])
+        with pytest.raises(ParameterError):
+            self.make(client_weights=[0.0, 0.0, 0.0])
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ParameterError):
+            self.make().materialize(-1)
+
+
+class TestSequenceWorkload:
+    def test_motivating_example_interleaving(self):
+        """Two clients cycling {a,a,b}: round-robin interleaved."""
+        wl = SequenceWorkload([("R1", [1, 1, 2]), ("R2", [1, 1, 2])])
+        requests = wl.materialize(6)
+        assert [(r.client, r.rank) for r in requests] == [
+            ("R1", 1), ("R2", 1),
+            ("R1", 1), ("R2", 1),
+            ("R1", 2), ("R2", 2),
+        ]
+
+    def test_cycles_repeat(self):
+        wl = SequenceWorkload([("X", [3, 7])])
+        ranks = [r.rank for r in wl.requests(6)]
+        assert ranks == [3, 7, 3, 7, 3, 7]
+
+    def test_period(self):
+        wl = SequenceWorkload([("A", [1, 2, 3]), ("B", [1, 2])])
+        assert wl.period() == 6 * 2
+
+    def test_unequal_cycles(self):
+        wl = SequenceWorkload([("A", [1]), ("B", [2, 3])])
+        requests = wl.materialize(6)
+        assert [(r.client, r.rank) for r in requests] == [
+            ("A", 1), ("B", 2), ("A", 1), ("B", 3), ("A", 1), ("B", 2),
+        ]
+
+    def test_rejects_empty_flows(self):
+        with pytest.raises(ParameterError):
+            SequenceWorkload([])
+
+    def test_rejects_empty_cycle(self):
+        with pytest.raises(ParameterError):
+            SequenceWorkload([("A", [])])
+
+    def test_rejects_bad_ranks(self):
+        with pytest.raises(ParameterError):
+            SequenceWorkload([("A", [0])])
+        with pytest.raises(ParameterError):
+            SequenceWorkload([("A", [1.5])])
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ParameterError):
+            SequenceWorkload([("A", [1])]).materialize(-1)
+
+
+class TestTraceWorkload:
+    def test_replays_exactly(self):
+        trace = [Request("A", 1), Request("B", 2), Request("A", 3)]
+        wl = TraceWorkload(trace)
+        assert wl.materialize(3) == trace
+        assert len(wl) == 3
+
+    def test_prefix(self):
+        trace = [Request("A", 1), Request("B", 2)]
+        assert TraceWorkload(trace).materialize(1) == trace[:1]
+
+    def test_rejects_overrun(self):
+        with pytest.raises(ParameterError):
+            TraceWorkload([Request("A", 1)]).materialize(2)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ParameterError):
+            TraceWorkload([]).materialize(-1)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.ccn.caching — en-route strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccn import (
+    CacheEverywhere,
+    EdgeCache,
+    LeaveCopyDown,
+    NoCache,
+    ProbabilisticCache,
+    make_enroute_strategy,
+)
+from repro.errors import ParameterError
+
+
+class TestStrategies:
+    def test_lce_always(self):
+        strategy = CacheEverywhere()
+        assert strategy.should_cache(hops_from_producer=1, at_consumer_edge=False)
+        assert strategy.should_cache(hops_from_producer=5, at_consumer_edge=True)
+
+    def test_lcd_only_first_hop(self):
+        strategy = LeaveCopyDown()
+        assert strategy.should_cache(hops_from_producer=1, at_consumer_edge=False)
+        assert not strategy.should_cache(hops_from_producer=2, at_consumer_edge=True)
+
+    def test_edge_only_consumer_edge(self):
+        strategy = EdgeCache()
+        assert strategy.should_cache(hops_from_producer=3, at_consumer_edge=True)
+        assert not strategy.should_cache(hops_from_producer=1, at_consumer_edge=False)
+
+    def test_none_never(self):
+        strategy = NoCache()
+        assert not strategy.should_cache(hops_from_producer=1, at_consumer_edge=True)
+
+    def test_probabilistic_extremes(self):
+        always = ProbabilisticCache(1.0, seed=0)
+        never = ProbabilisticCache(0.0, seed=0)
+        assert all(
+            always.should_cache(hops_from_producer=1, at_consumer_edge=False)
+            for _ in range(20)
+        )
+        assert not any(
+            never.should_cache(hops_from_producer=1, at_consumer_edge=False)
+            for _ in range(20)
+        )
+
+    def test_probabilistic_rate(self):
+        strategy = ProbabilisticCache(0.3, seed=1)
+        hits = sum(
+            strategy.should_cache(hops_from_producer=1, at_consumer_edge=False)
+            for _ in range(5000)
+        )
+        assert hits / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_probabilistic_validates(self):
+        with pytest.raises(ParameterError):
+            ProbabilisticCache(1.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("lce", CacheEverywhere),
+            ("lcd", LeaveCopyDown),
+            ("edge", EdgeCache),
+            ("none", NoCache),
+            ("prob", ProbabilisticCache),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_enroute_strategy(name), cls)
+
+    def test_prob_parameters(self):
+        strategy = make_enroute_strategy("prob", probability=0.9, seed=3)
+        assert strategy.probability == 0.9
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            make_enroute_strategy("mdc")

@@ -1,0 +1,165 @@
+"""Unit tests for repro.ccn.fib and repro.ccn.pit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccn import Fib, Name, Pit, build_fibs
+from repro.errors import ParameterError, TopologyError
+from repro.topology import Topology
+
+
+class TestFib:
+    def test_longest_prefix_match(self):
+        fib = Fib()
+        fib.add_route(Name("/a"), "X")
+        fib.add_route(Name("/a/b"), "Y")
+        assert fib.lookup(Name("/a/b/c")) == "Y"
+        assert fib.lookup(Name("/a/z")) == "X"
+        assert fib.lookup(Name("/other")) is None
+
+    def test_default_route(self):
+        fib = Fib()
+        fib.add_route(Name("/"), "GW")
+        assert fib.lookup(Name("/anything/at/all")) == "GW"
+
+    def test_replace_route(self):
+        fib = Fib()
+        fib.add_route(Name("/a"), "X")
+        fib.add_route(Name("/a"), "Y")
+        assert fib.lookup(Name("/a")) == "Y"
+        assert len(fib) == 1
+
+    def test_remove_route(self):
+        fib = Fib()
+        fib.add_route(Name("/a"), "X")
+        fib.remove_route(Name("/a"))
+        assert Name("/a") not in fib
+        with pytest.raises(ParameterError):
+            fib.remove_route(Name("/a"))
+
+    def test_routes_view_is_copy(self):
+        fib = Fib()
+        fib.add_route(Name("/a"), "X")
+        view = fib.routes()
+        view[Name("/b")] = "Y"  # type: ignore[index]
+        assert Name("/b") not in fib
+
+
+class TestLookupAll:
+    def test_ranked_alternatives(self):
+        fib = Fib()
+        fib.add_route(Name("/a/b"), "custodian")
+        fib.add_route(Name("/"), "gateway")
+        assert fib.lookup_all(Name("/a/b")) == ("custodian", "gateway")
+        assert fib.lookup_all(Name("/a/z")) == ("gateway",)
+
+    def test_deduplicates(self):
+        fib = Fib()
+        fib.add_route(Name("/a"), "X")
+        fib.add_route(Name("/"), "X")
+        assert fib.lookup_all(Name("/a/b")) == ("X",)
+
+    def test_empty(self):
+        assert Fib().lookup_all(Name("/a")) == ()
+
+
+class TestBuildFibs:
+    @pytest.fixture
+    def line(self) -> Topology:
+        return Topology.from_edges(
+            [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=1.0
+        )
+
+    def test_default_routes_point_to_gateway(self, line):
+        fibs = build_fibs(line, "D", root_prefix=Name("/repro/content"))
+        name = Name("/repro/content/7")
+        assert fibs["A"].lookup(name) == "B"
+        assert fibs["B"].lookup(name) == "C"
+        assert fibs["C"].lookup(name) == "D"
+        assert fibs["D"].lookup(name) is None  # gateway crosses to origin
+
+    def test_custodian_overrides(self, line):
+        name = Name("/repro/content/42")
+        fibs = build_fibs(
+            line, "D", root_prefix=Name("/repro/content"),
+            custodians={name: "A"},
+        )
+        # Toward A for the coordinated name...
+        assert fibs["C"].lookup(name) == "B"
+        assert fibs["B"].lookup(name) == "A"
+        # ...but toward the origin for everything else.
+        assert fibs["B"].lookup(Name("/repro/content/1")) == "C"
+        # The custodian itself keeps its default (origin) route.
+        assert fibs["A"].lookup(name) == "B"
+
+    def test_rejects_unknown_gateway(self, line):
+        with pytest.raises(TopologyError):
+            build_fibs(line, "Z", root_prefix=Name("/repro/content"))
+
+    def test_rejects_foreign_custodian_name(self, line):
+        with pytest.raises(ParameterError):
+            build_fibs(
+                line, "D", root_prefix=Name("/repro/content"),
+                custodians={Name("/other/1"): "A"},
+            )
+
+
+class TestPit:
+    def test_first_insert_forwards(self):
+        pit = Pit()
+        assert pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0) == "forward"
+
+    def test_second_insert_aggregates(self):
+        pit = Pit()
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        assert pit.insert(Name("/a/1"), "faceB", nonce=2, now=1.0) == "aggregated"
+        assert pit.aggregated == 1
+
+    def test_duplicate_nonce_classified(self):
+        pit = Pit()
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        assert pit.insert(Name("/a/1"), "faceC", nonce=1, now=1.0) == "duplicate"
+        assert pit.aggregated == 0
+
+    def test_out_face_tracking(self):
+        pit = Pit()
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        assert pit.tried_faces(Name("/a/1")) == frozenset()
+        pit.mark_forwarded(Name("/a/1"), "up1")
+        pit.mark_forwarded(Name("/a/1"), "up2")
+        assert pit.tried_faces(Name("/a/1")) == frozenset({"up1", "up2"})
+
+    def test_mark_forwarded_requires_entry(self):
+        with pytest.raises(ParameterError):
+            Pit().mark_forwarded(Name("/a/1"), "up1")
+
+    def test_tried_faces_empty_without_entry(self):
+        assert Pit().tried_faces(Name("/a/1")) == frozenset()
+
+    def test_satisfy_returns_all_faces(self):
+        pit = Pit()
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        pit.insert(Name("/a/1"), "faceB", nonce=2, now=0.0)
+        faces = pit.satisfy(Name("/a/1"), now=1.0)
+        assert faces == frozenset({"faceA", "faceB"})
+        assert len(pit) == 0
+
+    def test_unsolicited_data(self):
+        assert Pit().satisfy(Name("/a/1"), now=0.0) is None
+
+    def test_expiry(self):
+        pit = Pit(lifetime=10.0)
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        assert pit.satisfy(Name("/a/1"), now=11.0) is None
+        assert pit.expired == 1
+
+    def test_expiry_refreshed_by_aggregation(self):
+        pit = Pit(lifetime=10.0)
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        pit.insert(Name("/a/1"), "faceB", nonce=2, now=8.0)  # refresh
+        assert pit.satisfy(Name("/a/1"), now=15.0) is not None
+
+    def test_rejects_bad_lifetime(self):
+        with pytest.raises(ParameterError):
+            Pit(lifetime=0.0)

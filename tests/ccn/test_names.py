@@ -1,0 +1,81 @@
+"""Unit tests for repro.ccn.names — hierarchical CCN names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccn import Name
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_from_uri(self):
+        name = Name("/a/b/c")
+        assert name.components == ("a", "b", "c")
+        assert str(name) == "/a/b/c"
+        assert len(name) == 3
+
+    def test_root(self):
+        assert len(Name("/")) == 0
+        assert str(Name("/")) == "/"
+
+    def test_collapses_duplicate_slashes(self):
+        assert Name("/a//b/").components == ("a", "b")
+
+    def test_requires_leading_slash(self):
+        with pytest.raises(ParameterError):
+            Name("a/b")
+
+    def test_from_components(self):
+        assert Name.from_components(["x", "y"]) == Name("/x/y")
+
+    def test_from_components_rejects_bad(self):
+        with pytest.raises(ParameterError):
+            Name.from_components(["a/b"])
+        with pytest.raises(ParameterError):
+            Name.from_components([""])
+
+    def test_immutable(self):
+        name = Name("/a")
+        with pytest.raises(AttributeError):
+            name.components = ()  # type: ignore[misc]
+
+    def test_hash_and_equality(self):
+        assert Name("/a/b") == Name("/a/b")
+        assert hash(Name("/a/b")) == hash(Name("/a/b"))
+        assert Name("/a/b") != Name("/a/c")
+        assert Name("/a") != "not-a-name"
+
+    def test_ordering(self):
+        assert Name("/a") < Name("/a/b") < Name("/b")
+
+    def test_repr(self):
+        assert "'/a/b'" in repr(Name("/a/b"))
+
+
+class TestPrefixOperations:
+    def test_is_prefix_of(self):
+        assert Name("/a").is_prefix_of(Name("/a/b"))
+        assert Name("/a/b").is_prefix_of(Name("/a/b"))
+        assert not Name("/a/b").is_prefix_of(Name("/a"))
+        assert not Name("/x").is_prefix_of(Name("/a/b"))
+        assert Name("/").is_prefix_of(Name("/anything"))
+
+    def test_prefix(self):
+        assert Name("/a/b/c").prefix(2) == Name("/a/b")
+        assert Name("/a/b/c").prefix(0) == Name("/")
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ParameterError):
+            Name("/a").prefix(2)
+
+    def test_prefixes_longest_first(self):
+        prefixes = list(Name("/a/b").prefixes())
+        assert prefixes == [Name("/a/b"), Name("/a"), Name("/")]
+
+    def test_child(self):
+        assert Name("/a").child("b") == Name("/a/b")
+        with pytest.raises(ParameterError):
+            Name("/a").child("x/y")
+        with pytest.raises(ParameterError):
+            Name("/a").child("")

@@ -1,0 +1,128 @@
+"""Edge-case tests for the CCN forwarding engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import TraceWorkload
+from repro.catalog.workload import Request
+from repro.ccn import CCNNetwork, NoCache
+from repro.ccn.packets import Data, Interest
+from repro.ccn.network import CLIENT_FACE, ORIGIN_FACE
+from repro.errors import ParameterError
+from repro.simulation import StaticCache
+from repro.topology import Topology, ring_topology
+
+
+@pytest.fixture
+def line() -> Topology:
+    return Topology.from_edges(
+        [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=2.0
+    )
+
+
+class TestHopLimit:
+    def test_exhausted_hop_limit_drops_interest(self, line):
+        net = CCNNetwork(line, origin_gateway="D", enroute=NoCache())
+        name = net.rank_to_name(1)
+        net._pending_issues[("A", name)] = [0.0]
+        net.metrics.requests_issued += 1
+        # Inject an Interest with hop_limit 0 directly: it must be dropped
+        # (no forwarding, no origin production, no completion).
+        net._schedule(0.0, "interest", "A", Interest(name=name, hop_limit=0), CLIENT_FACE)
+        metrics = net.run()
+        assert metrics.requests_completed == 0
+        assert metrics.origin_productions == 0
+
+
+class TestMaxTime:
+    def test_run_stops_at_deadline(self, line):
+        net = CCNNetwork(
+            line, origin_gateway="D", enroute=NoCache(), origin_latency_ms=500.0
+        )
+        net.issue("A", 5)
+        metrics = net.run(max_time_ms=1.0)
+        # The Interest needs >1000 ms round trip; nothing completes.
+        assert metrics.requests_completed == 0
+        assert metrics.requests_issued == 1
+
+
+class TestUnsolicitedData:
+    def test_dropped_without_pit_entry(self, line):
+        net = CCNNetwork(line, origin_gateway="D", enroute=NoCache())
+        name = net.rank_to_name(3)
+        net._schedule(
+            0.0, "data", "B", Data(name=name, producer="C", hops_from_producer=1), "C"
+        )
+        metrics = net.run()
+        assert metrics.requests_completed == 0
+        assert metrics.data_transmissions == 0
+
+
+class TestClientLatency:
+    def test_access_leg_added_twice(self, line):
+        net = CCNNetwork(
+            line,
+            origin_gateway="A",
+            stores={"A": StaticCache(1, frozenset({1}))},
+            enroute=NoCache(),
+            client_latency_ms=7.0,
+        )
+        net.issue("A", 1)
+        metrics = net.run()
+        # 7 ms in + 0 (local hit) + 7 ms out.
+        assert metrics.latencies_ms == [pytest.approx(14.0)]
+
+
+class TestPitExpiryPath:
+    def test_expired_entry_triggers_refetch(self, line):
+        net = CCNNetwork(
+            line,
+            origin_gateway="D",
+            enroute=NoCache(),
+            origin_latency_ms=5.0,
+            pit_lifetime_ms=0.5,  # shorter than one link traversal
+        )
+        net.issue("A", 2)
+        metrics = net.run()
+        # The PIT entries expire before the Data returns, so the Data is
+        # dropped along the way and the request never completes — the
+        # timeout semantics the Pit models.
+        assert metrics.requests_completed == 0
+        assert metrics.origin_productions == 1
+
+
+class TestDynamicCustodianMiss:
+    def test_custodian_without_content_falls_through_to_origin(self, line):
+        """A custodian route toward a router that lost the content must
+        still resolve via the default origin route."""
+        from repro.ccn import build_fibs
+
+        net = CCNNetwork(line, origin_gateway="D", enroute=NoCache())
+        name = net.rank_to_name(9)
+        fibs = build_fibs(
+            line, "D", root_prefix=net.root_prefix, custodians={name: "A"}
+        )
+        for node in line.nodes:
+            net._nodes[node].fib = fibs[node]
+        # A has no store: the Interest routes C -> B -> A, misses, and A's
+        # default route sends it back up toward the origin gateway D.
+        net.issue("C", 9)
+        metrics = net.run()
+        assert metrics.requests_completed == 1
+        assert metrics.origin_productions == 1
+
+
+class TestRunWorkloadValidation:
+    def test_rejects_negative_interarrival(self, line):
+        net = CCNNetwork(line, origin_gateway="D")
+        workload = TraceWorkload([Request("A", 1)])
+        with pytest.raises(ParameterError):
+            net.run_workload(workload, 1, interarrival_ms=-1.0)
+
+
+class TestFaceConstants:
+    def test_pseudo_faces_distinct_from_routers(self):
+        topology = ring_topology(4)
+        assert CLIENT_FACE not in topology.nodes
+        assert ORIGIN_FACE not in topology.nodes

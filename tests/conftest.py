@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CoordinationCostModel,
+    LatencyModel,
+    PerformanceCostModel,
+    RoutingPerformanceModel,
+    Scenario,
+    ZipfPopularity,
+)
+from repro.topology import Topology
+
+
+@pytest.fixture
+def latency() -> LatencyModel:
+    """A plain valid three-tier latency model."""
+    return LatencyModel(d0=1.0, d1=3.0, d2=13.0)  # gamma = 5
+
+
+@pytest.fixture
+def popularity() -> ZipfPopularity:
+    """A small Zipf popularity model (fast exact computations)."""
+    return ZipfPopularity(exponent=0.8, catalog_size=10_000)
+
+
+@pytest.fixture
+def performance(popularity, latency) -> RoutingPerformanceModel:
+    """A routing performance model with c=100, n=10."""
+    return RoutingPerformanceModel(
+        popularity=popularity, latency=latency, capacity=100.0, n_routers=10
+    )
+
+
+@pytest.fixture
+def cost() -> CoordinationCostModel:
+    """A linear coordination cost model with a small unit cost."""
+    return CoordinationCostModel(unit_cost=1e-4, fixed_cost=0.0)
+
+
+@pytest.fixture
+def model(performance, cost) -> PerformanceCostModel:
+    """A full objective with alpha = 0.7."""
+    return PerformanceCostModel(performance=performance, cost=cost, alpha=0.7)
+
+
+@pytest.fixture
+def base_scenario() -> Scenario:
+    """The paper's Table IV base scenario."""
+    return Scenario()
+
+
+@pytest.fixture
+def triangle_topology() -> Topology:
+    """The motivating example's three-router triangle."""
+    return Topology.from_edges(
+        [("R0", "R1"), ("R0", "R2"), ("R1", "R2")],
+        name="triangle",
+        link_latency_ms=5.0,
+    )
+
+
+@pytest.fixture
+def line_topology() -> Topology:
+    """A four-router path: A - B - C - D."""
+    return Topology.from_edges(
+        [("A", "B"), ("B", "C"), ("C", "D")], name="line", link_latency_ms=2.0
+    )

@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.conditions — Lemma 1 existence checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import check_existence
+from repro.core.latency import LatencyModel
+from repro.errors import ExistenceConditionError
+
+
+def check(**overrides):
+    params = dict(
+        capacity=100.0,
+        catalog_size=1_000_000,
+        n_routers=10,
+        exponent=0.8,
+        latency=LatencyModel(1.0, 3.0, 13.0),
+    )
+    params.update(overrides)
+    return check_existence(**params)
+
+
+class TestAllConditionsHold:
+    def test_paper_base_point(self):
+        result = check()
+        assert result.all_ok
+        assert result.violations == ()
+        result.raise_if_violated()  # must not raise
+
+    def test_individual_flags_set(self):
+        result = check()
+        assert result.capacity_ok
+        assert result.catalog_ok
+        assert result.routers_ok
+        assert result.exponent_ok
+        assert result.latency_ok
+
+
+class TestViolations:
+    def test_nonpositive_capacity(self):
+        result = check(capacity=0.0)
+        assert not result.capacity_ok
+        assert not result.all_ok
+        assert any("c > 0" in v for v in result.violations)
+
+    def test_small_catalog(self):
+        result = check(catalog_size=10)
+        assert not result.catalog_ok
+
+    def test_aggregate_storage_exceeds_catalog(self):
+        result = check(capacity=100.0, catalog_size=500, n_routers=10)
+        assert not result.catalog_ok
+        assert any("aggregate" in v for v in result.violations)
+
+    def test_single_router(self):
+        result = check(n_routers=1)
+        assert not result.routers_ok
+
+    def test_exponent_at_singularity(self):
+        result = check(exponent=1.0)
+        assert not result.exponent_ok
+
+    def test_exponent_out_of_range(self):
+        assert not check(exponent=0.0).exponent_ok
+        assert not check(exponent=2.5).exponent_ok
+
+    def test_raise_if_violated(self):
+        result = check(n_routers=1)
+        with pytest.raises(ExistenceConditionError) as excinfo:
+            result.raise_if_violated()
+        assert "n > 1" in str(excinfo.value)
+        assert excinfo.value.violations
+
+    def test_multiple_violations_all_reported(self):
+        result = check(capacity=-1.0, n_routers=1, exponent=3.0)
+        assert len(result.violations) >= 3

@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.cost — coordination cost models (eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CoordinationCostModel, PiecewiseLinearCostModel
+from repro.errors import ParameterError
+
+
+class TestLinearCost:
+    def test_formula(self):
+        m = CoordinationCostModel(unit_cost=2.0, fixed_cost=5.0)
+        # W(x) = w*n*x + w_hat
+        assert m.cost(10.0, n_routers=3) == pytest.approx(2.0 * 3 * 10.0 + 5.0)
+
+    def test_zero_storage_gives_fixed_cost(self):
+        m = CoordinationCostModel(unit_cost=2.0, fixed_cost=7.0)
+        assert m.cost(0.0, n_routers=5) == pytest.approx(7.0)
+
+    def test_marginal(self):
+        m = CoordinationCostModel(unit_cost=3.0)
+        assert m.marginal_cost(n_routers=4) == pytest.approx(12.0)
+
+    def test_vectorized(self):
+        m = CoordinationCostModel(unit_cost=1.0)
+        xs = np.array([0.0, 1.0, 2.0])
+        values = m.cost(xs, n_routers=2)
+        assert np.allclose(values, [0.0, 2.0, 4.0])
+
+    def test_with_unit_cost_copy(self):
+        m = CoordinationCostModel(unit_cost=1.0, fixed_cost=3.0)
+        m2 = m.with_unit_cost(9.0)
+        assert m2.unit_cost == 9.0
+        assert m2.fixed_cost == 3.0
+        assert m.unit_cost == 1.0  # original untouched
+
+    def test_rejects_nonpositive_unit_cost(self):
+        with pytest.raises(ParameterError):
+            CoordinationCostModel(unit_cost=0.0)
+        with pytest.raises(ParameterError):
+            CoordinationCostModel(unit_cost=-1.0)
+
+    def test_rejects_negative_fixed_cost(self):
+        with pytest.raises(ParameterError):
+            CoordinationCostModel(unit_cost=1.0, fixed_cost=-1.0)
+
+    def test_rejects_negative_storage(self):
+        m = CoordinationCostModel(unit_cost=1.0)
+        with pytest.raises(ParameterError):
+            m.cost(-1.0, n_routers=2)
+
+    def test_rejects_bad_router_count(self):
+        m = CoordinationCostModel(unit_cost=1.0)
+        with pytest.raises(ParameterError):
+            m.cost(1.0, n_routers=0)
+        with pytest.raises(ParameterError):
+            m.marginal_cost(0)
+
+
+class TestPiecewiseLinearCost:
+    def make(self) -> PiecewiseLinearCostModel:
+        # slope 1 on [0,10], 2 on [10,20], 4 beyond
+        return PiecewiseLinearCostModel(
+            breakpoints=[10.0, 20.0], slopes=[1.0, 2.0, 4.0], fixed_cost=1.0
+        )
+
+    def test_segment_values(self):
+        m = self.make()
+        n = 1
+        assert m.cost(0.0, n) == pytest.approx(1.0)
+        assert m.cost(5.0, n) == pytest.approx(1.0 + 5.0)
+        assert m.cost(10.0, n) == pytest.approx(1.0 + 10.0)
+        assert m.cost(15.0, n) == pytest.approx(1.0 + 10.0 + 2 * 5.0)
+        assert m.cost(25.0, n) == pytest.approx(1.0 + 10.0 + 20.0 + 4 * 5.0)
+
+    def test_scales_with_routers(self):
+        m = self.make()
+        assert m.cost(5.0, 3) == pytest.approx(3 * 5.0 + 1.0)
+
+    def test_continuity_at_breakpoints(self):
+        m = self.make()
+        for bp in (10.0, 20.0):
+            below = m.cost(bp - 1e-9, 2)
+            above = m.cost(bp + 1e-9, 2)
+            assert above == pytest.approx(below, abs=1e-6)
+
+    def test_convexity_numeric(self):
+        m = self.make()
+        xs = np.linspace(0, 30, 301)
+        values = np.asarray(m.cost(xs, 1))
+        second_diff = np.diff(values, 2)
+        assert np.all(second_diff >= -1e-9)
+
+    def test_marginal_cost_at(self):
+        m = self.make()
+        assert m.marginal_cost_at(5.0, 1) == pytest.approx(1.0)
+        assert m.marginal_cost_at(15.0, 1) == pytest.approx(2.0)
+        assert m.marginal_cost_at(100.0, 1) == pytest.approx(4.0)
+        assert m.marginal_cost_at(10.0, 1) == pytest.approx(2.0)  # right derivative
+
+    def test_marginal_rejects_bad_inputs(self):
+        m = self.make()
+        with pytest.raises(ParameterError):
+            m.marginal_cost_at(-1.0, 1)
+        with pytest.raises(ParameterError):
+            m.marginal_cost_at(1.0, 0)
+
+    def test_rejects_slope_count_mismatch(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinearCostModel(breakpoints=[1.0], slopes=[1.0])
+
+    def test_rejects_decreasing_slopes(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinearCostModel(breakpoints=[1.0], slopes=[2.0, 1.0])
+
+    def test_rejects_unsorted_breakpoints(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinearCostModel(breakpoints=[5.0, 2.0], slopes=[1.0, 2.0, 3.0])
+
+    def test_rejects_nonpositive_breakpoints(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinearCostModel(breakpoints=[0.0], slopes=[1.0, 2.0])
+
+    def test_rejects_nonpositive_slopes(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinearCostModel(breakpoints=[1.0], slopes=[0.0, 1.0])
+
+    def test_rejects_negative_fixed(self):
+        with pytest.raises(ParameterError):
+            PiecewiseLinearCostModel(
+                breakpoints=[1.0], slopes=[1.0, 2.0], fixed_cost=-1.0
+            )
+
+    def test_rejects_negative_storage(self):
+        with pytest.raises(ParameterError):
+            self.make().cost(-0.5, 1)
+
+    def test_single_segment_matches_linear(self):
+        piecewise = PiecewiseLinearCostModel(breakpoints=[], slopes=[3.0])
+        linear = CoordinationCostModel(unit_cost=3.0)
+        for x in (0.0, 1.0, 7.5):
+            assert piecewise.cost(x, 4) == pytest.approx(linear.cost(x, 4))

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.gains — G_O and G_R (paper §IV-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gains import (
+    evaluate_gains,
+    origin_load_reduction,
+    routing_improvement,
+)
+from repro.core.optimizer import optimal_strategy
+from repro.core.scenario import Scenario
+from repro.errors import ParameterError
+
+BASE = Scenario()
+
+
+class TestOriginLoadReduction:
+    def test_zero_at_zero_storage(self):
+        assert origin_load_reduction(BASE.model(), 0.0) == pytest.approx(0.0)
+
+    def test_matches_paper_closed_form(self):
+        """G_O = ((c+(n-1)x)^{1-s} - c^{1-s}) / (N^{1-s} - c^{1-s})."""
+        scenario = BASE
+        model = scenario.model()
+        x = 400.0
+        s = scenario.exponent
+        c = scenario.capacity
+        n = scenario.n_routers
+        n_cat = float(scenario.catalog_size)
+        expected = ((c + (n - 1) * x) ** (1 - s) - c ** (1 - s)) / (
+            n_cat ** (1 - s) - c ** (1 - s)
+        )
+        assert origin_load_reduction(model, x) == pytest.approx(expected, rel=1e-9)
+
+    def test_closed_form_for_s_above_one(self):
+        scenario = BASE.replace(exponent=1.5)
+        model = scenario.model()
+        x = 250.0
+        s, c, n = 1.5, scenario.capacity, scenario.n_routers
+        n_cat = float(scenario.catalog_size)
+        expected = ((c + (n - 1) * x) ** (1 - s) - c ** (1 - s)) / (
+            n_cat ** (1 - s) - c ** (1 - s)
+        )
+        assert origin_load_reduction(model, x) == pytest.approx(expected, rel=1e-9)
+
+    def test_monotone_in_storage(self):
+        model = BASE.model()
+        gains = [origin_load_reduction(model, x) for x in (0.0, 100.0, 500.0, 1000.0)]
+        assert gains == sorted(gains)
+
+    def test_in_unit_interval(self):
+        model = BASE.model()
+        for x in (0.0, 500.0, 1000.0):
+            assert 0.0 <= origin_load_reduction(model, x) <= 1.0
+
+    def test_full_coverage_reaches_one(self):
+        """When aggregate storage covers the catalog, G_O hits 1."""
+        scenario = BASE.replace(catalog_size=10_000, capacity=1000.0)
+        model = scenario.model()
+        # c + (n-1)x = 1000 + 19*1000 = 20000 > N = 10000.
+        assert origin_load_reduction(model, 1000.0) == pytest.approx(1.0)
+
+    def test_rejects_out_of_range_storage(self):
+        with pytest.raises(ParameterError):
+            origin_load_reduction(BASE.model(), -1.0)
+        with pytest.raises(ParameterError):
+            origin_load_reduction(BASE.model(), 1e9)
+
+
+class TestRoutingImprovement:
+    def test_zero_at_zero_storage(self):
+        assert routing_improvement(BASE.model(), 0.0) == pytest.approx(0.0)
+
+    def test_positive_at_interior_optimum(self):
+        model = BASE.replace(alpha=0.8).model()
+        strategy = optimal_strategy(model)
+        assert routing_improvement(model, strategy.storage) > 0.0
+
+    def test_definition(self):
+        model = BASE.model()
+        x = 600.0
+        perf = model.performance
+        expected = 1.0 - float(perf.mean_latency(x)) / perf.mean_latency_noncoordinated()
+        assert routing_improvement(model, x) == pytest.approx(expected, rel=1e-12)
+
+    def test_below_one(self):
+        model = BASE.model()
+        for x in (0.0, 500.0, 1000.0):
+            assert routing_improvement(model, x) < 1.0
+
+    def test_rejects_out_of_range_storage(self):
+        with pytest.raises(ParameterError):
+            routing_improvement(BASE.model(), 2000.0)
+
+
+class TestEvaluateGains:
+    def test_bundles_consistent_values(self):
+        model = BASE.replace(alpha=0.8).model()
+        strategy = optimal_strategy(model)
+        gains = evaluate_gains(model, strategy)
+        assert gains.origin_load_reduction == pytest.approx(
+            origin_load_reduction(model, strategy.storage), rel=1e-12
+        )
+        assert gains.routing_improvement == pytest.approx(
+            routing_improvement(model, strategy.storage), rel=1e-12
+        )
+        assert gains.latency_baseline == pytest.approx(
+            model.performance.mean_latency_noncoordinated(), rel=1e-12
+        )
+        assert gains.origin_load_optimal <= gains.origin_load_baseline
+        assert gains.latency_optimal <= gains.latency_baseline
+
+    def test_gain_relationships(self):
+        """G_O = 1 - load_opt/load_base; G_R = 1 - T_opt/T_base."""
+        model = BASE.replace(alpha=0.9).model()
+        gains = evaluate_gains(model, optimal_strategy(model))
+        assert gains.origin_load_reduction == pytest.approx(
+            1 - gains.origin_load_optimal / gains.origin_load_baseline, rel=1e-9
+        )
+        assert gains.routing_improvement == pytest.approx(
+            1 - gains.latency_optimal / gains.latency_baseline, rel=1e-9
+        )
+
+    def test_higher_gamma_higher_gains(self):
+        """Figures 8 and 12: larger gamma raises both gains."""
+        gains_by_gamma = []
+        for gamma in (2.0, 6.0, 10.0):
+            scenario = BASE.replace(alpha=0.8, gamma=gamma)
+            model = scenario.model()
+            gains_by_gamma.append(evaluate_gains(model, optimal_strategy(model)))
+        origin = [g.origin_load_reduction for g in gains_by_gamma]
+        routing = [g.routing_improvement for g in gains_by_gamma]
+        assert origin == sorted(origin)
+        assert routing == sorted(routing)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.latency — the three-tier latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.latency import LatencyModel
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_valid_model(self):
+        m = LatencyModel(d0=1.0, d1=3.0, d2=13.0)
+        assert m.as_tuple() == (1.0, 3.0, 13.0)
+
+    def test_d1_equal_d2_allowed(self):
+        """The paper requires d0 < d1 <= d2 — equality at the top is legal."""
+        m = LatencyModel(d0=1.0, d1=5.0, d2=5.0)
+        assert m.gamma == 0.0
+
+    def test_rejects_d0_ge_d1(self):
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=3.0, d1=3.0, d2=5.0)
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=4.0, d1=3.0, d2=5.0)
+
+    def test_rejects_d2_below_d1(self):
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=1.0, d1=3.0, d2=2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=0.0, d1=1.0, d2=2.0)
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=-1.0, d1=1.0, d2=2.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=1.0, d1=float("inf"), d2=float("inf"))
+        with pytest.raises(ParameterError):
+            LatencyModel(d0=float("nan"), d1=1.0, d2=2.0)
+
+    def test_frozen(self):
+        m = LatencyModel(1.0, 2.0, 3.0)
+        with pytest.raises(Exception):
+            m.d0 = 5.0  # type: ignore[misc]
+
+
+class TestDerivedRatios:
+    def test_tier_ratios(self):
+        m = LatencyModel(d0=2.0, d1=6.0, d2=18.0)
+        assert m.first_tier_ratio == pytest.approx(3.0)
+        assert m.second_tier_ratio == pytest.approx(3.0)
+
+    def test_gamma_definition(self):
+        m = LatencyModel(d0=1.0, d1=3.0, d2=13.0)
+        assert m.gamma == pytest.approx((13.0 - 3.0) / (3.0 - 1.0))
+
+    def test_deltas(self):
+        m = LatencyModel(d0=1.0, d1=3.5, d2=13.0)
+        assert m.peer_delta == pytest.approx(2.5)
+        assert m.origin_delta == pytest.approx(9.5)
+
+
+class TestFromGamma:
+    def test_realizes_requested_gamma(self):
+        for gamma in (0.5, 1.0, 5.0, 42.0):
+            m = LatencyModel.from_gamma(gamma)
+            assert m.gamma == pytest.approx(gamma)
+
+    def test_respects_d0_and_delta(self):
+        m = LatencyModel.from_gamma(4.0, d0=2.0, peer_delta=3.0)
+        assert m.d0 == 2.0
+        assert m.peer_delta == pytest.approx(3.0)
+        assert m.origin_delta == pytest.approx(12.0)
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ParameterError):
+            LatencyModel.from_gamma(0.0)
+        with pytest.raises(ParameterError):
+            LatencyModel.from_gamma(-2.0)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ParameterError):
+            LatencyModel.from_gamma(5.0, peer_delta=0.0)
+
+
+class TestFromHops:
+    def test_hop_construction(self):
+        m = LatencyModel.from_hops(peer_hops=2.4, origin_hops=10.0)
+        assert m.d0 == 1.0
+        assert m.peer_delta == pytest.approx(2.4)
+        assert m.origin_delta == pytest.approx(10.0)
+        assert m.gamma == pytest.approx(10.0 / 2.4)
+
+    def test_rejects_nonpositive_hops(self):
+        with pytest.raises(ParameterError):
+            LatencyModel.from_hops(0.0, 5.0)
+        with pytest.raises(ParameterError):
+            LatencyModel.from_hops(2.0, -1.0)
+
+
+class TestTransforms:
+    def test_scaled_preserves_gamma(self):
+        """The scale-free property: gamma is invariant to uniform scaling."""
+        m = LatencyModel(1.0, 3.0, 13.0)
+        for factor in (0.1, 2.0, 100.0):
+            assert m.scaled(factor).gamma == pytest.approx(m.gamma)
+
+    def test_scaled_values(self):
+        m = LatencyModel(1.0, 3.0, 13.0).scaled(2.0)
+        assert m.as_tuple() == (2.0, 6.0, 26.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            LatencyModel(1.0, 2.0, 3.0).scaled(0.0)
+
+    def test_shifted_preserves_deltas(self):
+        m = LatencyModel(1.0, 3.0, 13.0)
+        shifted = m.shifted(10.0)
+        assert shifted.peer_delta == pytest.approx(m.peer_delta)
+        assert shifted.origin_delta == pytest.approx(m.origin_delta)
+        assert shifted.gamma == pytest.approx(m.gamma)
+
+    def test_shifted_rejects_nonpositive_d0(self):
+        with pytest.raises(ParameterError):
+            LatencyModel(1.0, 2.0, 3.0).shifted(-1.0)
+
+    def test_negative_shift_within_bounds(self):
+        m = LatencyModel(2.0, 4.0, 6.0).shifted(-1.0)
+        assert m.as_tuple() == (1.0, 3.0, 5.0)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.objective — T_w of eq. 4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CoordinationCostModel
+from repro.core.latency import LatencyModel
+from repro.core.objective import PerformanceCostModel
+from repro.core.performance import RoutingPerformanceModel
+from repro.core.zipf import ZipfPopularity
+from repro.errors import ParameterError
+
+
+def make_model(alpha: float = 0.7, unit_cost: float = 1e-4) -> PerformanceCostModel:
+    return PerformanceCostModel(
+        performance=RoutingPerformanceModel(
+            popularity=ZipfPopularity(0.8, 100_000),
+            latency=LatencyModel(1.0, 3.0, 13.0),
+            capacity=100.0,
+            n_routers=10,
+        ),
+        cost=CoordinationCostModel(unit_cost=unit_cost),
+        alpha=alpha,
+    )
+
+
+class TestObjective:
+    def test_is_convex_combination(self):
+        model = make_model(alpha=0.3)
+        x = 40.0
+        t = model.performance.mean_latency(x)
+        w = model.cost.cost(x, model.n_routers)
+        assert model.objective(x) == pytest.approx(0.3 * t + 0.7 * w, rel=1e-12)
+
+    def test_alpha_one_is_pure_latency(self):
+        model = make_model(alpha=1.0)
+        assert model.objective(50.0) == pytest.approx(
+            model.performance.mean_latency(50.0), rel=1e-12
+        )
+
+    def test_alpha_zero_is_pure_cost(self):
+        model = make_model(alpha=0.0)
+        assert model.objective(50.0) == pytest.approx(
+            model.cost.cost(50.0, 10), rel=1e-12
+        )
+
+    def test_vectorized_matches_scalar(self):
+        model = make_model()
+        xs = np.array([0.0, 25.0, 75.0])
+        vec = model.objective(xs)
+        for x, v in zip(xs, vec):
+            assert v == pytest.approx(model.objective(float(x)), rel=1e-12)
+
+
+class TestDerivatives:
+    def test_first_derivative_numeric(self):
+        model = make_model()
+        eps = 1e-4
+        for x in (10.0, 50.0, 90.0):
+            numeric = (model.objective(x + eps) - model.objective(x - eps)) / (2 * eps)
+            assert model.derivative(x) == pytest.approx(numeric, rel=1e-5)
+
+    def test_second_derivative_excludes_linear_cost(self):
+        model = make_model(alpha=0.5)
+        assert model.second_derivative(50.0) == pytest.approx(
+            0.5 * model.performance.second_derivative(50.0), rel=1e-12
+        )
+
+    def test_derivative_vectorized(self):
+        model = make_model()
+        xs = np.array([10.0, 50.0])
+        vec = model.derivative(xs)
+        for x, v in zip(xs, vec):
+            assert v == pytest.approx(model.derivative(float(x)), rel=1e-12)
+
+
+class TestConvexity:
+    def test_certificate_holds_lemma1(self):
+        """Lemma 1: T_w is convex on [0, c] under the paper's conditions."""
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            assert make_model(alpha=alpha).is_convex()
+
+    def test_certificate_holds_for_s_above_one(self):
+        model = PerformanceCostModel(
+            performance=RoutingPerformanceModel(
+                popularity=ZipfPopularity(1.5, 100_000),
+                latency=LatencyModel(1.0, 3.0, 13.0),
+                capacity=100.0,
+                n_routers=10,
+            ),
+            cost=CoordinationCostModel(unit_cost=1e-4),
+            alpha=0.6,
+        )
+        assert model.is_convex()
+
+    def test_certificate_rejects_tiny_sample_count(self):
+        with pytest.raises(ParameterError):
+            make_model().is_convex(num_samples=2)
+
+
+class TestLevelMapping:
+    def test_roundtrip(self):
+        model = make_model()
+        for level in (0.0, 0.25, 1.0):
+            x = model.storage_for_level(level)
+            assert model.coordination_level(x) == pytest.approx(level)
+
+    def test_capacity_delegation(self):
+        model = make_model()
+        assert model.capacity == 100.0
+        assert model.n_routers == 10
+
+    def test_rejects_invalid_level(self):
+        with pytest.raises(ParameterError):
+            make_model().storage_for_level(1.5)
+
+    def test_vectorized_levels(self):
+        model = make_model()
+        levels = np.array([0.0, 0.5, 1.0])
+        xs = model.storage_for_level(levels)
+        assert np.allclose(xs, [0.0, 50.0, 100.0])
+        assert np.allclose(model.coordination_level(xs), levels)
+
+
+class TestValidation:
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(ParameterError):
+            make_model(alpha=-0.1)
+        with pytest.raises(ParameterError):
+            make_model(alpha=1.1)
+
+    def test_rejects_nonfinite_alpha(self):
+        with pytest.raises(ParameterError):
+            make_model(alpha=float("nan"))

@@ -1,0 +1,210 @@
+"""Unit tests for repro.core.performance — T(x) of eq. 2 and Appendix A."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LatencyModel
+from repro.core.performance import RoutingPerformanceModel, tier_fractions
+from repro.core.zipf import ZipfPopularity
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def perf() -> RoutingPerformanceModel:
+    return RoutingPerformanceModel(
+        popularity=ZipfPopularity(0.8, 100_000),
+        latency=LatencyModel(1.0, 3.0, 13.0),
+        capacity=100.0,
+        n_routers=10,
+    )
+
+
+class TestTierFractions:
+    def test_sum_to_one(self, perf):
+        for x in (0.0, 25.0, 50.0, 100.0):
+            local, peer, origin = tier_fractions(
+                x, perf.capacity, perf.n_routers, perf.popularity
+            )
+            assert local + peer + origin == pytest.approx(1.0, abs=1e-12)
+
+    def test_no_coordination_means_no_peer_tier(self, perf):
+        _, peer, _ = tier_fractions(0.0, 100.0, 10, perf.popularity)
+        assert peer == pytest.approx(0.0, abs=1e-12)
+
+    def test_full_coordination_empties_local_tier(self, perf):
+        local, peer, origin = tier_fractions(100.0, 100.0, 10, perf.popularity)
+        assert local == pytest.approx(0.0, abs=1e-12)
+        assert peer > 0
+
+    def test_coordination_grows_peer_and_shrinks_origin(self, perf):
+        _, peer_low, origin_low = tier_fractions(10.0, 100.0, 10, perf.popularity)
+        _, peer_high, origin_high = tier_fractions(90.0, 100.0, 10, perf.popularity)
+        assert peer_high > peer_low
+        assert origin_high < origin_low
+
+    def test_exact_variant_sums_to_one(self, perf):
+        local, peer, origin = tier_fractions(
+            40.0, 100.0, 10, perf.popularity, exact=True
+        )
+        assert local + peer + origin == pytest.approx(1.0, abs=1e-12)
+
+    def test_vectorized(self, perf):
+        xs = np.array([0.0, 50.0, 100.0])
+        local, peer, origin = tier_fractions(xs, 100.0, 10, perf.popularity)
+        assert local.shape == peer.shape == origin.shape == (3,)
+        assert np.allclose(local + peer + origin, 1.0)
+
+    def test_rejects_out_of_range_x(self, perf):
+        with pytest.raises(ParameterError):
+            tier_fractions(-1.0, 100.0, 10, perf.popularity)
+        with pytest.raises(ParameterError):
+            tier_fractions(101.0, 100.0, 10, perf.popularity)
+
+    def test_rejects_bad_capacity_and_routers(self, perf):
+        with pytest.raises(ParameterError):
+            tier_fractions(0.0, 0.0, 10, perf.popularity)
+        with pytest.raises(ParameterError):
+            tier_fractions(0.0, 100.0, 0, perf.popularity)
+
+
+class TestMeanLatency:
+    def test_noncoordinated_endpoint_formula(self, perf):
+        """T(0) matches the paper's §IV-E.2 closed form."""
+        s, n_cat = 0.8, 100_000.0
+        c = 100.0
+        d0, d2 = 1.0, 13.0
+        expected = (
+            (n_cat ** (1 - s) - c ** (1 - s)) * d2 + (c ** (1 - s) - 1) * d0
+        ) / (n_cat ** (1 - s) - 1)
+        assert perf.mean_latency_noncoordinated() == pytest.approx(expected, rel=1e-12)
+
+    def test_bounded_by_latency_tiers(self, perf):
+        for x in np.linspace(0, 100, 11):
+            t = perf.mean_latency(float(x))
+            assert 1.0 <= t <= 13.0
+
+    def test_coordination_reduces_latency_in_performance_regime(self, perf):
+        """With many routers and gamma > 1, some coordination always helps."""
+        assert perf.mean_latency(50.0) < perf.mean_latency(0.0)
+
+    def test_exact_close_to_continuous(self, perf):
+        err = perf.approximation_error(50.0)
+        assert err < 0.05 * perf.mean_latency(50.0)
+
+    def test_vectorized_matches_scalar(self, perf):
+        xs = np.array([0.0, 30.0, 60.0])
+        vec = perf.mean_latency(xs)
+        for x, v in zip(xs, vec):
+            assert v == pytest.approx(perf.mean_latency(float(x)), rel=1e-12)
+
+    def test_fully_coordinated_endpoint(self, perf):
+        t = perf.mean_latency_fully_coordinated()
+        assert t == pytest.approx(perf.mean_latency(100.0), rel=1e-12)
+
+
+class TestDerivatives:
+    def test_first_derivative_matches_numeric(self, perf):
+        eps = 1e-4
+        for x in (10.0, 50.0, 90.0):
+            numeric = (
+                perf.mean_latency(x + eps) - perf.mean_latency(x - eps)
+            ) / (2 * eps)
+            assert perf.derivative(x) == pytest.approx(numeric, rel=1e-5)
+
+    def test_second_derivative_matches_numeric(self, perf):
+        eps = 1e-3
+        for x in (20.0, 50.0, 80.0):
+            numeric = (
+                perf.mean_latency(x + eps)
+                - 2 * perf.mean_latency(x)
+                + perf.mean_latency(x - eps)
+            ) / eps**2
+            assert perf.second_derivative(x) == pytest.approx(numeric, rel=1e-3)
+
+    def test_second_derivative_positive_lemma1(self, perf):
+        """Lemma 1: T is convex under the stated conditions."""
+        xs = np.linspace(1.0, 99.0, 33)
+        assert np.all(np.asarray(perf.second_derivative(xs)) > 0)
+
+    def test_convexity_for_s_above_one(self):
+        perf = RoutingPerformanceModel(
+            popularity=ZipfPopularity(1.5, 100_000),
+            latency=LatencyModel(1.0, 3.0, 13.0),
+            capacity=100.0,
+            n_routers=10,
+        )
+        xs = np.linspace(1.0, 99.0, 33)
+        assert np.all(np.asarray(perf.second_derivative(xs)) > 0)
+
+    def test_derivative_diverges_near_capacity(self, perf):
+        assert perf.derivative(100.0 - 1e-9) > perf.derivative(99.0) > 0 or (
+            perf.derivative(100.0 - 1e-9) > 0
+        )
+
+
+class TestOriginLoad:
+    def test_decreasing_in_x(self, perf):
+        loads = [float(perf.origin_load(x)) for x in (0.0, 25.0, 50.0, 100.0)]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_range(self, perf):
+        for x in (0.0, 50.0, 100.0):
+            assert 0.0 <= float(perf.origin_load(x)) <= 1.0
+
+
+class TestUniqueContents:
+    def test_formula(self, perf):
+        assert perf.unique_contents_stored(0.0) == pytest.approx(100.0)
+        assert perf.unique_contents_stored(100.0) == pytest.approx(1000.0)
+        assert perf.unique_contents_stored(40.0) == pytest.approx(60 + 400)
+
+    def test_vectorized(self, perf):
+        xs = np.array([0.0, 100.0])
+        assert np.allclose(perf.unique_contents_stored(xs), [100.0, 1000.0])
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ParameterError):
+            RoutingPerformanceModel(
+                popularity=ZipfPopularity(0.8, 1000),
+                latency=LatencyModel(1.0, 2.0, 3.0),
+                capacity=0.0,
+                n_routers=5,
+            )
+
+    def test_rejects_capacity_above_catalog(self):
+        with pytest.raises(ParameterError):
+            RoutingPerformanceModel(
+                popularity=ZipfPopularity(0.8, 100),
+                latency=LatencyModel(1.0, 2.0, 3.0),
+                capacity=200.0,
+                n_routers=5,
+            )
+
+    def test_allows_aggregate_beyond_catalog(self):
+        """c·n > N is the full-coverage regime; CDF saturates at 1."""
+        perf = RoutingPerformanceModel(
+            popularity=ZipfPopularity(0.8, 500),
+            latency=LatencyModel(1.0, 2.0, 3.0),
+            capacity=100.0,
+            n_routers=10,
+        )
+        assert float(perf.origin_load(100.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_router_count(self):
+        with pytest.raises(ParameterError):
+            RoutingPerformanceModel(
+                popularity=ZipfPopularity(0.8, 1000),
+                latency=LatencyModel(1.0, 2.0, 3.0),
+                capacity=10.0,
+                n_routers=0,
+            )
+
+    def test_rejects_x_out_of_range(self, perf):
+        with pytest.raises(ParameterError):
+            perf.mean_latency(-1.0)
+        with pytest.raises(ParameterError):
+            perf.derivative(101.0)

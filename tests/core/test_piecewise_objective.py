@@ -1,0 +1,86 @@
+"""Tests: the optimizer with the piece-wise linear cost model.
+
+Lemma 1's convexity argument only needs a convex cost, so the exact
+first-order and scalar-min solvers must work unchanged when eq. 3's
+linear cost is replaced by the Fortz-Thorup-style piece-wise variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import grid_search_strategy
+from repro.core import PerformanceCostModel, Scenario
+from repro.core.cost import PiecewiseLinearCostModel
+from repro.core.optimizer import lemma2_coefficients, optimal_strategy
+from repro.errors import ParameterError
+
+
+def make_model(alpha: float = 0.6) -> PerformanceCostModel:
+    scenario = Scenario(alpha=alpha)
+    unit = scenario.unit_cost * scenario.cost_scale
+    cost = PiecewiseLinearCostModel(
+        breakpoints=[scenario.capacity / 3, 2 * scenario.capacity / 3],
+        slopes=[0.5 * unit, 1.0 * unit, 2.0 * unit],
+    )
+    return PerformanceCostModel(
+        performance=scenario.performance_model(), cost=cost, alpha=alpha
+    )
+
+
+class TestObjectiveWithPiecewiseCost:
+    def test_objective_evaluates(self):
+        model = make_model()
+        values = [float(model.objective(x)) for x in (0.0, 300.0, 700.0, 1000.0)]
+        assert all(np.isfinite(values))
+
+    def test_derivative_matches_numeric_off_breakpoints(self):
+        model = make_model()
+        eps = 1e-4
+        for x in (100.0, 500.0, 900.0):
+            numeric = (
+                float(model.objective(x + eps)) - float(model.objective(x - eps))
+            ) / (2 * eps)
+            assert float(model.derivative(x)) == pytest.approx(numeric, rel=1e-4)
+
+    def test_derivative_vectorized(self):
+        model = make_model()
+        xs = np.array([100.0, 500.0, 900.0])
+        vec = model.derivative(xs)
+        for x, v in zip(xs, vec):
+            assert v == pytest.approx(float(model.derivative(float(x))), rel=1e-12)
+
+    def test_objective_convex(self):
+        model = make_model()
+        xs = np.linspace(0.0, model.capacity, 401)
+        values = np.array([float(model.objective(float(x))) for x in xs])
+        assert np.all(np.diff(values, 2) >= -1e-9)
+
+
+class TestSolversWithPiecewiseCost:
+    @pytest.mark.parametrize("method", ["first-order", "scalar-min"])
+    def test_solver_agrees_with_grid(self, method):
+        model = make_model()
+        solved = optimal_strategy(model, method=method)
+        brute = grid_search_strategy(model, resolution=20_001)
+        assert solved.objective_value <= brute.objective_value + 1e-6
+        assert solved.level == pytest.approx(brute.level, abs=1e-3)
+
+    def test_auto_method_works(self):
+        strategy = optimal_strategy(make_model())
+        assert 0.0 <= strategy.level <= 1.0
+
+    def test_lemma2_rejects_piecewise(self):
+        with pytest.raises(ParameterError):
+            lemma2_coefficients(make_model())
+        with pytest.raises(ParameterError):
+            optimal_strategy(make_model(), method="lemma2")
+
+    def test_steeper_tail_lowers_optimum(self):
+        """A steeper late segment pins the optimum at/below the kink
+        relative to the flat linear model of equal early slope."""
+        scenario = Scenario(alpha=0.6)
+        linear_level = scenario.solve().level
+        piecewise_level = optimal_strategy(make_model(alpha=0.6)).level
+        assert piecewise_level <= max(linear_level, 2 / 3) + 0.01

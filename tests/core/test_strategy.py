@@ -1,0 +1,177 @@
+"""Unit tests for repro.core.strategy — materialized provisioning plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategy import ProvisioningStrategy
+from repro.errors import ParameterError
+
+
+def make(level: float = 0.5, capacity: int = 10, n: int = 4, assignment="round-robin"):
+    return ProvisioningStrategy(
+        capacity=capacity, n_routers=n, level=level, assignment=assignment
+    )
+
+
+class TestPartitions:
+    def test_slot_split(self):
+        s = make(level=0.3, capacity=10)
+        assert s.coordinated_slots == 3
+        assert s.local_slots == 7
+
+    def test_level_zero_all_local(self):
+        s = make(level=0.0)
+        assert s.coordinated_slots == 0
+        assert list(s.local_ranks) == list(range(1, 11))
+        assert len(s.coordinated_ranks) == 0
+
+    def test_level_one_all_coordinated(self):
+        s = make(level=1.0, capacity=10, n=4)
+        assert s.local_slots == 0
+        assert list(s.coordinated_ranks) == list(range(1, 41))
+
+    def test_rank_ranges_paper_layout(self):
+        """Local: 1..c-x; coordinated: c-x+1..c-x+n*x (paper §III-B)."""
+        s = make(level=0.5, capacity=10, n=4)  # x=5, c-x=5
+        assert list(s.local_ranks) == [1, 2, 3, 4, 5]
+        assert list(s.coordinated_ranks) == list(range(6, 26))
+
+    def test_unique_contents(self):
+        s = make(level=0.5, capacity=10, n=4)
+        assert s.unique_contents == 5 + 4 * 5
+
+    def test_rounding_of_fractional_slots(self):
+        s = make(level=0.25, capacity=10)
+        assert s.coordinated_slots == 2  # round(2.5) banker's = 2
+        s2 = make(level=0.35, capacity=10)
+        assert s2.coordinated_slots == 4  # round(3.5) banker's = 4
+
+
+class TestOwnership:
+    def test_round_robin_assignment(self):
+        s = make(level=0.5, capacity=10, n=4)
+        start = s.coordinated_ranks.start
+        assert s.owner_of_rank(start) == 0
+        assert s.owner_of_rank(start + 1) == 1
+        assert s.owner_of_rank(start + 4) == 0
+
+    def test_contiguous_assignment(self):
+        s = make(level=0.5, capacity=10, n=4, assignment="contiguous")
+        start = s.coordinated_ranks.start  # 6, x=5
+        assert s.owner_of_rank(start) == 0
+        assert s.owner_of_rank(start + 4) == 0
+        assert s.owner_of_rank(start + 5) == 1
+        assert s.owner_of_rank(start + 19) == 3
+
+    def test_every_coordinated_rank_has_exactly_one_owner(self):
+        for assignment in ("round-robin", "contiguous"):
+            s = make(level=0.7, capacity=10, n=3, assignment=assignment)
+            owners = dict(s.iter_assignments())
+            assert set(owners) == set(s.coordinated_ranks)
+            assert all(0 <= o < 3 for o in owners.values())
+
+    def test_balanced_load_across_routers(self):
+        for assignment in ("round-robin", "contiguous"):
+            s = make(level=0.5, capacity=10, n=4, assignment=assignment)
+            counts = [0] * 4
+            for _, owner in s.iter_assignments():
+                counts[owner] += 1
+            assert all(c == s.coordinated_slots for c in counts)
+
+    def test_owner_rejects_non_coordinated_rank(self):
+        s = make(level=0.5, capacity=10, n=4)
+        with pytest.raises(ParameterError):
+            s.owner_of_rank(1)  # local rank
+        with pytest.raises(ParameterError):
+            s.owner_of_rank(10_000)  # origin-only rank
+
+
+class TestRouterContents:
+    def test_capacity_respected(self):
+        for assignment in ("round-robin", "contiguous"):
+            s = make(level=0.5, capacity=10, n=4, assignment=assignment)
+            for router in range(4):
+                assert len(s.contents_of_router(router)) == 10
+
+    def test_local_ranks_on_every_router(self):
+        s = make(level=0.3, capacity=10, n=4)
+        for router in range(4):
+            contents = set(s.contents_of_router(router))
+            assert set(s.local_ranks) <= contents
+
+    def test_coordinated_ranks_partitioned(self):
+        s = make(level=0.5, capacity=10, n=4)
+        coordinated_union = set()
+        for router in range(4):
+            mine = set(s.contents_of_router(router)) - set(s.local_ranks)
+            assert not (mine & coordinated_union), "rank stored twice"
+            coordinated_union |= mine
+        assert coordinated_union == set(s.coordinated_ranks)
+
+    def test_contents_match_owner_function(self):
+        for assignment in ("round-robin", "contiguous"):
+            s = make(level=0.5, capacity=10, n=4, assignment=assignment)
+            for router in range(4):
+                mine = set(s.contents_of_router(router)) - set(s.local_ranks)
+                for rank in mine:
+                    assert s.owner_of_rank(rank) == router
+
+    def test_rejects_bad_router_index(self):
+        s = make()
+        with pytest.raises(ParameterError):
+            s.contents_of_router(-1)
+        with pytest.raises(ParameterError):
+            s.contents_of_router(4)
+
+
+class TestMessagesAndChurn:
+    def test_coordination_messages_linear_in_x(self):
+        assert make(level=0.0).coordination_messages() == 0
+        assert make(level=0.5, capacity=10, n=4).coordination_messages() == 20
+        assert make(level=1.0, capacity=10, n=4).coordination_messages() == 40
+
+    def test_churn_zero_for_identical(self):
+        a = make(level=0.5)
+        b = make(level=0.5)
+        assert a.reassignment_churn(b) == 0
+
+    def test_churn_counts_added_ranks(self):
+        a = make(level=0.0, capacity=10, n=4)
+        b = make(level=0.5, capacity=10, n=4)
+        assert a.reassignment_churn(b) == len(b.coordinated_ranks)
+
+    def test_contiguous_less_churn_than_round_robin_for_small_change(self):
+        rr_a = make(level=0.5, capacity=100, n=4, assignment="round-robin")
+        rr_b = make(level=0.52, capacity=100, n=4, assignment="round-robin")
+        ct_a = make(level=0.5, capacity=100, n=4, assignment="contiguous")
+        ct_b = make(level=0.52, capacity=100, n=4, assignment="contiguous")
+        assert ct_a.reassignment_churn(ct_b) <= rr_a.reassignment_churn(rr_b)
+
+    def test_churn_rejects_mismatched_shapes(self):
+        with pytest.raises(ParameterError):
+            make(capacity=10).reassignment_churn(make(capacity=20))
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            ProvisioningStrategy(capacity=0, n_routers=2, level=0.5)
+
+    def test_rejects_bad_router_count(self):
+        with pytest.raises(ParameterError):
+            ProvisioningStrategy(capacity=10, n_routers=0, level=0.5)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ParameterError):
+            ProvisioningStrategy(capacity=10, n_routers=2, level=1.5)
+        with pytest.raises(ParameterError):
+            ProvisioningStrategy(capacity=10, n_routers=2, level=-0.1)
+        with pytest.raises(ParameterError):
+            ProvisioningStrategy(capacity=10, n_routers=2, level=float("nan"))
+
+    def test_rejects_unknown_assignment(self):
+        with pytest.raises(ParameterError):
+            ProvisioningStrategy(
+                capacity=10, n_routers=2, level=0.5, assignment="hash"
+            )

@@ -1,0 +1,324 @@
+"""Unit tests for repro.core.zipf — Zipf primitives (paper eq. 1 and 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.zipf import (
+    ZipfPopularity,
+    continuous_cdf,
+    continuous_cdf_limit,
+    continuous_pdf,
+    harmonic_number,
+    harmonic_numbers,
+    inverse_continuous_cdf,
+    top_k_mass,
+    validate_exponent,
+    zipf_cdf,
+    zipf_pmf,
+)
+from repro.errors import CatalogError, ParameterError, SingularExponentError
+
+
+class TestValidateExponent:
+    def test_accepts_valid_range(self):
+        for s in (0.1, 0.5, 0.99, 1.01, 1.5, 1.9):
+            assert validate_exponent(s) == s
+
+    def test_rejects_zero_and_two(self):
+        with pytest.raises(ParameterError):
+            validate_exponent(0.0)
+        with pytest.raises(ParameterError):
+            validate_exponent(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            validate_exponent(-0.5)
+
+    def test_rejects_one_by_default(self):
+        with pytest.raises(SingularExponentError):
+            validate_exponent(1.0)
+
+    def test_allow_one_flag(self):
+        assert validate_exponent(1.0, allow_one=True) == 1.0
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ParameterError):
+            validate_exponent(float("nan"))
+        with pytest.raises(ParameterError):
+            validate_exponent(float("inf"))
+
+
+class TestHarmonicNumber:
+    def test_matches_naive_sum(self):
+        for s in (0.5, 1.0, 1.5):
+            for k in (1, 2, 10, 100):
+                naive = sum(j**-s for j in range(1, k + 1))
+                assert harmonic_number(k, s) == pytest.approx(naive, rel=1e-12)
+
+    def test_zero_order_is_zero(self):
+        assert harmonic_number(0, 0.8) == 0.0
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ParameterError):
+            harmonic_number(-1, 0.8)
+
+    def test_monotone_in_k(self):
+        values = [harmonic_number(k, 0.7) for k in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_s1_is_classic_harmonic(self):
+        # H_{10,1} = 1 + 1/2 + ... + 1/10
+        assert harmonic_number(10, 1.0) == pytest.approx(7381 / 2520, rel=1e-12)
+
+    def test_asymptotic_branch_continuity(self):
+        """The Euler–Maclaurin branch must agree with exact summation."""
+        import repro.core.zipf as zipf_mod
+
+        k = 200_000
+        exact = harmonic_number(k, 0.8)
+        original = zipf_mod._ASYMPTOTIC_THRESHOLD
+        zipf_mod._ASYMPTOTIC_THRESHOLD = 100_000
+        try:
+            approx = harmonic_number(k, 0.8)
+        finally:
+            zipf_mod._ASYMPTOTIC_THRESHOLD = original
+        assert approx == pytest.approx(exact, rel=1e-10)
+
+    def test_vector_version_matches_scalar(self):
+        table = harmonic_numbers(50, 1.2)
+        assert table[0] == 0.0
+        for k in (1, 7, 50):
+            assert table[k] == pytest.approx(harmonic_number(k, 1.2), rel=1e-12)
+
+    def test_vector_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            harmonic_numbers(-1, 0.8)
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        n = 500
+        total = sum(zipf_pmf(i, 0.8, n) for i in range(1, n + 1))
+        assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_rank_one_most_popular(self):
+        probs = [zipf_pmf(i, 0.8, 100) for i in range(1, 101)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_out_of_range_is_zero(self):
+        assert zipf_pmf(0, 0.8, 100) == 0.0
+        assert zipf_pmf(101, 0.8, 100) == 0.0
+
+    def test_matches_formula(self):
+        n, s = 100, 1.3
+        h = harmonic_number(n, s)
+        assert zipf_pmf(5, s, n) == pytest.approx(5**-s / h, rel=1e-12)
+
+    def test_array_input(self):
+        result = zipf_pmf(np.array([1, 2, 200]), 0.8, 100)
+        assert result.shape == (3,)
+        assert result[2] == 0.0
+        assert result[0] > result[1] > 0
+
+    def test_rejects_bad_catalog(self):
+        with pytest.raises(CatalogError):
+            zipf_pmf(1, 0.8, 0)
+
+
+class TestZipfCdf:
+    def test_endpoints(self):
+        assert zipf_cdf(0, 0.8, 100) == 0.0
+        assert zipf_cdf(100, 0.8, 100) == pytest.approx(1.0, rel=1e-12)
+
+    def test_clipping_beyond_catalog(self):
+        assert zipf_cdf(1000, 0.8, 100) == pytest.approx(1.0, rel=1e-12)
+
+    def test_matches_pmf_cumsum(self):
+        n, s = 200, 0.6
+        cumulative = 0.0
+        for k in range(1, 21):
+            cumulative += zipf_pmf(k, s, n)
+            assert zipf_cdf(k, s, n) == pytest.approx(cumulative, rel=1e-12)
+
+    def test_array_matches_scalar(self):
+        ks = np.array([0, 1, 10, 50, 100])
+        vec = zipf_cdf(ks, 0.8, 100)
+        for k, v in zip(ks, vec):
+            assert v == pytest.approx(zipf_cdf(int(k), 0.8, 100), rel=1e-12)
+
+
+class TestContinuousCdf:
+    def test_endpoints(self):
+        assert continuous_cdf(1.0, 0.8, 1e6) == 0.0
+        assert continuous_cdf(1e6, 0.8, 1e6) == pytest.approx(1.0, rel=1e-12)
+
+    def test_clips_below_one_and_above_n(self):
+        assert continuous_cdf(0.5, 0.8, 100) == 0.0
+        assert continuous_cdf(200, 0.8, 100) == pytest.approx(1.0)
+
+    def test_close_to_exact_for_large_n(self):
+        """Eq. 6 approximates the discrete CDF well when N is large."""
+        n, s = 100_000, 0.8
+        for k in (100, 1000, 10_000):
+            exact = zipf_cdf(k, s, n)
+            approx = continuous_cdf(float(k), s, n)
+            assert approx == pytest.approx(exact, abs=0.03)
+
+    def test_works_for_s_above_one(self):
+        value = continuous_cdf(100.0, 1.5, 1e6)
+        assert 0.0 < value < 1.0
+
+    def test_monotone(self):
+        xs = np.linspace(1, 1e4, 50)
+        values = continuous_cdf(xs, 1.3, 1e4)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_rejects_s_equal_one(self):
+        with pytest.raises(SingularExponentError):
+            continuous_cdf(10.0, 1.0, 100)
+
+    def test_rejects_tiny_catalog(self):
+        with pytest.raises(CatalogError):
+            continuous_cdf(1.0, 0.8, 1.0)
+
+
+class TestContinuousCdfLimit:
+    def test_log_form(self):
+        assert continuous_cdf_limit(10.0, 100.0) == pytest.approx(0.5, rel=1e-12)
+
+    def test_endpoints(self):
+        assert continuous_cdf_limit(1.0, 100.0) == 0.0
+        assert continuous_cdf_limit(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_is_limit_of_general_form(self):
+        """F(x; s→1, N) converges to ln x / ln N."""
+        x, n = 50.0, 1e5
+        limit = continuous_cdf_limit(x, n)
+        for s in (0.999, 1.001):
+            assert continuous_cdf(x, s, n) == pytest.approx(limit, rel=1e-2)
+
+
+class TestContinuousPdf:
+    def test_is_derivative_of_cdf(self):
+        x, s, n = 500.0, 0.8, 1e6
+        eps = 1e-3
+        numeric = (continuous_cdf(x + eps, s, n) - continuous_cdf(x - eps, s, n)) / (
+            2 * eps
+        )
+        assert continuous_pdf(x, s, n) == pytest.approx(numeric, rel=1e-6)
+
+    def test_positive_everywhere(self):
+        xs = np.linspace(1, 1e5, 20)
+        for s in (0.5, 1.5):
+            assert np.all(np.asarray(continuous_pdf(xs, s, 1e6)) > 0)
+
+    def test_rejects_nonpositive_x(self):
+        with pytest.raises(ParameterError):
+            continuous_pdf(0.0, 0.8, 1e6)
+
+
+class TestInverseContinuousCdf:
+    def test_roundtrip(self):
+        s, n = 0.8, 1e6
+        for p in (0.0, 0.1, 0.5, 0.9, 1.0):
+            x = inverse_continuous_cdf(p, s, n)
+            assert continuous_cdf(x, s, n) == pytest.approx(p, abs=1e-9)
+
+    def test_roundtrip_s_above_one(self):
+        s, n = 1.4, 1e6
+        for p in (0.2, 0.7):
+            x = inverse_continuous_cdf(p, s, n)
+            assert continuous_cdf(x, s, n) == pytest.approx(p, abs=1e-9)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            inverse_continuous_cdf(1.5, 0.8, 1e6)
+        with pytest.raises(ParameterError):
+            inverse_continuous_cdf(-0.1, 0.8, 1e6)
+
+
+class TestTopKMass:
+    def test_exact_and_continuous_agree_roughly(self):
+        exact = top_k_mass(1000, 0.8, 100_000, exact=True)
+        approx = top_k_mass(1000, 0.8, 100_000, exact=False)
+        assert approx == pytest.approx(exact, abs=0.03)
+
+    def test_exact_uses_discrete(self):
+        assert top_k_mass(100, 0.8, 100, exact=True) == pytest.approx(1.0)
+
+
+class TestZipfPopularity:
+    def test_repr_and_equality(self):
+        a = ZipfPopularity(0.8, 1000)
+        b = ZipfPopularity(0.8, 1000)
+        c = ZipfPopularity(0.9, 1000)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert "0.8" in repr(a)
+
+    def test_equality_with_other_type(self):
+        assert ZipfPopularity(0.8, 10) != "zipf"
+
+    def test_singular_detection(self):
+        assert ZipfPopularity(1.0, 100).is_singular
+        assert not ZipfPopularity(0.8, 100).is_singular
+
+    def test_singular_cdf_continuous_uses_limit(self):
+        pop = ZipfPopularity(1.0, 100)
+        assert pop.cdf_continuous(10.0) == pytest.approx(0.5)
+
+    def test_interval_mass(self):
+        pop = ZipfPopularity(0.8, 10_000)
+        full = pop.interval_mass(1, 10_000)
+        assert full == pytest.approx(1.0, abs=1e-9)
+        head = pop.interval_mass(1, 100)
+        tail = pop.interval_mass(100, 10_000)
+        assert head + tail == pytest.approx(full, abs=1e-9)
+
+    def test_interval_mass_exact(self):
+        pop = ZipfPopularity(0.8, 1000)
+        mass = pop.interval_mass(10, 20, exact=True)
+        expected = float(pop.cdf(20)) - float(pop.cdf(10))
+        assert mass == pytest.approx(expected, rel=1e-12)
+
+    def test_interval_mass_rejects_reversed(self):
+        with pytest.raises(ParameterError):
+            ZipfPopularity(0.8, 100).interval_mass(20, 10)
+
+    def test_sampling_is_seed_deterministic(self):
+        pop = ZipfPopularity(0.8, 1000)
+        a = pop.sample(100, np.random.default_rng(42))
+        b = pop.sample(100, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_sampling_range(self):
+        pop = ZipfPopularity(0.8, 50)
+        draws = pop.sample(5000, np.random.default_rng(0))
+        assert draws.min() >= 1
+        assert draws.max() <= 50
+
+    def test_sampling_frequency_matches_pmf(self):
+        pop = ZipfPopularity(0.8, 100)
+        draws = pop.sample(200_000, np.random.default_rng(1))
+        freq_rank1 = float(np.mean(draws == 1))
+        assert freq_rank1 == pytest.approx(float(pop.pmf(1)), abs=0.01)
+
+    def test_sample_rejects_negative_size(self):
+        with pytest.raises(ParameterError):
+            ZipfPopularity(0.8, 100).sample(-1)
+
+    def test_expected_rank_bounds(self):
+        pop = ZipfPopularity(0.8, 100)
+        mean = pop.expected_rank()
+        assert 1.0 < mean < 100.0
+
+    def test_higher_exponent_concentrates_head(self):
+        flat = ZipfPopularity(0.3, 1000)
+        steep = ZipfPopularity(1.7, 1000)
+        assert float(steep.cdf(10)) > float(flat.cdf(10))

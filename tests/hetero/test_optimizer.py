@@ -1,0 +1,85 @@
+"""Unit tests for repro.hetero.optimizer — per-router provisioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CoordinationCostModel, LatencyModel, Scenario, ZipfPopularity
+from repro.errors import ParameterError
+from repro.hetero import (
+    HeterogeneousModel,
+    optimize_shares,
+    optimize_uniform_level,
+)
+
+
+def make(capacities, alpha=0.6):
+    scenario = Scenario(alpha=alpha)
+    return HeterogeneousModel(
+        scenario.popularity(),
+        scenario.latency(),
+        capacities,
+        scenario.cost_model(),
+        alpha,
+    )
+
+
+class TestFreeOptimization:
+    def test_homogeneous_matches_scalar_optimum(self):
+        """With equal capacities, per-router SLSQP must land where the
+        paper's scalar optimizer does."""
+        scenario = Scenario(alpha=0.6)
+        model = make([1000.0] * 20, alpha=0.6)
+        strategy = optimize_shares(model)
+        scalar = scenario.solve(check_conditions=False)
+        assert strategy.objective_value == pytest.approx(
+            scalar.objective_value, rel=1e-4
+        )
+        assert strategy.mean_level == pytest.approx(scalar.level, abs=0.05)
+
+    def test_beats_uniform_on_dispersed_capacities(self):
+        caps = list(np.linspace(200, 1800, 20))
+        model = make(caps, alpha=0.6)
+        free = optimize_shares(model)
+        uniform = optimize_uniform_level(model)
+        assert free.objective_value <= uniform.objective_value + 1e-9
+
+    def test_shares_within_bounds(self):
+        caps = [100.0, 400.0, 900.0]
+        model = make(caps, alpha=0.7)
+        strategy = optimize_shares(model)
+        for share, cap in zip(strategy.shares, caps):
+            assert -1e-9 <= share <= cap + 1e-9
+
+    def test_levels_consistent_with_shares(self):
+        caps = [100.0, 400.0]
+        strategy = optimize_shares(make(caps, alpha=0.7))
+        for level, share, cap in zip(strategy.levels, strategy.shares, caps):
+            assert level == pytest.approx(share / cap, abs=1e-9)
+
+    def test_alpha_zero_coordinates_nothing(self):
+        strategy = optimize_shares(make([100.0, 200.0], alpha=0.0))
+        assert strategy.total_coordinated == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_bad_restarts(self):
+        with pytest.raises(ParameterError):
+            optimize_shares(make([100.0]), restarts=0)
+
+
+class TestUniformLevel:
+    def test_matches_grid_of_scalar_objective(self):
+        model = make([1000.0] * 20, alpha=0.6)
+        strategy = optimize_uniform_level(model)
+        scenario = Scenario(alpha=0.6)
+        scalar = scenario.solve(check_conditions=False)
+        assert strategy.levels[0] == pytest.approx(scalar.level, abs=1e-3)
+
+    def test_all_levels_equal(self):
+        strategy = optimize_uniform_level(make([100.0, 700.0], alpha=0.6))
+        assert strategy.levels[0] == pytest.approx(strategy.levels[1], abs=1e-12)
+        assert strategy.method == "uniform-level"
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ParameterError):
+            optimize_uniform_level(make([100.0]), resolution=1)

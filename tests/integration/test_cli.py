@@ -1,0 +1,171 @@
+"""Integration tests for the repro CLI."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in ("table1", "figure4", "figure13", "model-vs-sim"):
+            assert name in text
+
+
+class TestRun:
+    def test_run_table1(self):
+        code, text = run_cli("run", "table1")
+        assert code == 0
+        assert "Table I" in text
+        assert "0.3333" in text
+        assert "0.5000" in text
+
+    def test_run_table2(self):
+        code, text = run_cli("run", "table2")
+        assert code == 0
+        assert "CERNET" in text
+
+    def test_run_table4(self):
+        code, text = run_cli("run", "table4")
+        assert code == 0
+        assert "2.2842" in text
+
+    def test_run_theorem2(self):
+        code, text = run_cli("run", "theorem2")
+        assert code == 0
+        assert "Figure thm2" in text
+
+    def test_unknown_experiment(self):
+        code, _ = run_cli("run", "figure99")
+        assert code == 2
+
+
+class TestSolve:
+    def test_solve_default(self):
+        code, text = run_cli("solve")
+        assert code == 0
+        assert "optimal level" in text
+        assert "G_O" in text
+
+    def test_solve_alpha_one(self):
+        code, text = run_cli("solve", "--alpha", "1.0")
+        assert code == 0
+        assert "first-order" in text
+
+    def test_solve_custom_parameters(self):
+        code, text = run_cli(
+            "solve", "--alpha", "0.6", "--gamma", "8", "-s", "1.2", "-n", "50"
+        )
+        assert code == 0
+        assert "l* = " in text
+
+
+class TestRunFormats:
+    def test_csv_format(self):
+        code, text = run_cli("run", "table2", "--format", "csv")
+        assert code == 0
+        assert text.startswith("Topology,|V|,|E|")
+
+    def test_json_format(self):
+        import json
+
+        code, text = run_cli("run", "table4", "--format", "json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["kind"] == "table"
+
+    def test_output_file(self, tmp_path):
+        path = tmp_path / "t2.csv"
+        code, text = run_cli("run", "table2", "--format", "csv", "-o", str(path))
+        assert code == 0
+        assert text == ""  # written to the file, not stdout
+        assert path.read_text().startswith("Topology")
+
+    def test_run_all_rejects_nondefault_format(self):
+        code, _ = run_cli("run", "all", "--format", "csv")
+        assert code == 2
+
+
+class TestAsciiFormat:
+    def test_figure_renders_as_chart(self):
+        code, text = run_cli("run", "theorem2", "--format", "ascii")
+        assert code == 0
+        assert "|" in text and "+--" in text
+        assert "x: n; y: l* (closed form)" in text
+
+    def test_table_falls_back_to_text(self):
+        code, text = run_cli("run", "table2", "--format", "ascii")
+        assert code == 0
+        assert "Table II" in text
+
+
+class TestReportCommand:
+    def test_report_selected(self, tmp_path):
+        path = tmp_path / "r.md"
+        code, text = run_cli(
+            "report", "--experiments", "table2", "-o", str(path)
+        )
+        assert code == 0
+        assert text == ""
+        assert "Table II" in path.read_text()
+
+    def test_report_unknown_experiment(self):
+        code, _ = run_cli("report", "--experiments", "bogus")
+        assert code == 2
+
+
+class TestTopologyCommand:
+    def test_shows_table_iii_values(self):
+        code, text = run_cli("topology", "abilene")
+        assert code == 0
+        assert "22.3000 ms" in text
+        assert "2.4182 hops" in text
+
+    def test_unknown_topology(self):
+        code, _ = run_cli("topology", "arpanet")
+        assert code == 2
+
+
+class TestSensitivityCommand:
+    def test_reports_range_and_profile(self):
+        code, text = run_cli("sensitivity", "--gamma", "5")
+        assert code == 0
+        assert "sensitive alpha range" in text
+        assert "d l*/d alpha" in text
+
+
+class TestProtocolCommand:
+    def test_reports_messages(self):
+        code, text = run_cli("protocol", "abilene", "--level", "0.5")
+        assert code == 0
+        assert "state messages" in text
+        assert "directive messages" in text
+
+    def test_rejects_bad_level(self):
+        code, _ = run_cli("protocol", "abilene", "--level", "1.5")
+        assert code == 2
+
+    def test_unknown_topology(self):
+        code, _ = run_cli("protocol", "nonexistent")
+        assert code == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])

@@ -1,0 +1,133 @@
+"""Integration: the analytical model against the event simulator.
+
+These tests drive both halves of the library end-to-end — analytical
+tier fractions / origin loads (eq. 2) versus measured steady-state
+simulation on real reconstructed topologies — and assert they agree.
+This is the strongest internal validation the reproduction has.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.core import (
+    LatencyModel,
+    ProvisioningStrategy,
+    RoutingPerformanceModel,
+    ZipfPopularity,
+)
+from repro.simulation import SteadyStateSimulator
+from repro.topology import load_topology, ring_topology
+
+
+@pytest.mark.parametrize("level", [0.0, 0.5, 1.0])
+def test_origin_load_model_vs_simulation_us_a(level):
+    """Analytical 1 - F(c + (n-1)x) equals the simulated origin load."""
+    topology = load_topology("us-a")
+    capacity, catalog = 50, 5_000
+    exponent = 0.8
+    strategy = ProvisioningStrategy(
+        capacity=capacity, n_routers=topology.n_routers, level=level
+    )
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+    workload = IRMWorkload(ZipfModel(exponent, catalog), topology.nodes, seed=11)
+    metrics = simulator.run(workload, 40_000)
+
+    perf = RoutingPerformanceModel(
+        popularity=ZipfPopularity(exponent, catalog),
+        latency=LatencyModel(1.0, 2.0, 3.0),  # latencies irrelevant here
+        capacity=float(capacity),
+        n_routers=topology.n_routers,
+    )
+    predicted = float(perf.origin_load(strategy.coordinated_slots, exact=True))
+    assert metrics.origin_load == pytest.approx(predicted, abs=0.015)
+
+
+@pytest.mark.parametrize("level", [0.25, 0.75])
+def test_tier_fractions_model_vs_simulation(level):
+    from repro.core.performance import tier_fractions
+
+    topology = load_topology("abilene")
+    capacity, catalog, exponent = 40, 4_000, 1.2
+    strategy = ProvisioningStrategy(
+        capacity=capacity, n_routers=topology.n_routers, level=level
+    )
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+    workload = IRMWorkload(ZipfModel(exponent, catalog), topology.nodes, seed=5)
+    metrics = simulator.run(workload, 40_000)
+
+    popularity = ZipfPopularity(exponent, catalog)
+    local, peer, origin = tier_fractions(
+        float(strategy.coordinated_slots),
+        float(capacity),
+        topology.n_routers,
+        popularity,
+        exact=True,
+    )
+    # The simulator counts a rank owned by the requesting router itself
+    # as a LOCAL hit, while the model books the whole coordinated range
+    # as PEER; shift 1/n of the peer mass accordingly.
+    n = topology.n_routers
+    local_adjusted = local + peer / n
+    peer_adjusted = peer * (n - 1) / n
+    assert metrics.local_fraction == pytest.approx(local_adjusted, abs=0.02)
+    assert metrics.peer_fraction == pytest.approx(peer_adjusted, abs=0.02)
+    assert metrics.origin_load == pytest.approx(origin, abs=0.02)
+
+
+def test_mean_hops_ordering_matches_model_prediction():
+    """More coordination must reduce simulated origin load and keep the
+    mean fetch distance consistent with the model's tier ordering."""
+    topology = ring_topology(8)
+    capacity, catalog = 20, 2_000
+    workload = IRMWorkload(ZipfModel(0.8, catalog), topology.nodes, seed=3)
+    results = {}
+    for level in (0.0, 1.0):
+        strategy = ProvisioningStrategy(
+            capacity=capacity, n_routers=8, level=level
+        )
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        )
+        results[level] = simulator.run(workload, 20_000)
+    assert results[1.0].origin_load < results[0.0].origin_load
+    # Full coordination stores 8x the distinct contents.
+    assert results[1.0].peer_fraction > results[0.0].peer_fraction
+
+
+def test_coordination_message_accounting_end_to_end():
+    topology = load_topology("abilene")
+    strategy = ProvisioningStrategy(
+        capacity=10, n_routers=topology.n_routers, level=0.5
+    )
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="directives"
+    )
+    workload = IRMWorkload(ZipfModel(0.8, 1000), topology.nodes, seed=0)
+    metrics = simulator.run(workload, 100)
+    # n collection + n*x directives = 11 + 11*5.
+    assert metrics.coordination_messages == 11 + 55
+
+
+def test_gains_positive_on_every_paper_topology():
+    """The optimal strategy beats non-coordination on all four networks."""
+    from repro.core import Scenario
+    from repro.topology import topology_parameters
+
+    for name in ("abilene", "cernet", "geant", "us-a"):
+        params = topology_parameters(load_topology(name))
+        scenario = Scenario(
+            alpha=0.8,
+            n_routers=params.n_routers,
+            unit_cost=params.unit_cost_ms,
+            peer_delta=params.mean_hops,
+        )
+        strategy, gains = scenario.solve_with_gains()
+        assert strategy.level > 0.0, name
+        assert gains.origin_load_reduction > 0.0, name
+        assert gains.routing_improvement > 0.0, name

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These sweep random valid parameter draws through the model stack and
+assert the paper's structural claims hold everywhere in the admissible
+region, not just at the evaluation grid points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LatencyModel,
+    ProvisioningStrategy,
+    Scenario,
+    ZipfPopularity,
+    closed_form_alpha1,
+    optimal_strategy,
+)
+from repro.core.optimizer import lemma2_coefficients, solve_lemma2
+from repro.core.performance import tier_fractions
+
+# Exponents in the admissible set, bounded away from the singularity.
+exponents = st.one_of(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=1.05, max_value=1.95),
+)
+alphas = st.floats(min_value=0.01, max_value=1.0)
+gammas = st.floats(min_value=0.1, max_value=50.0)
+router_counts = st.integers(min_value=2, max_value=300)
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_scenario(alpha, gamma, s, n) -> Scenario:
+    return Scenario(
+        alpha=alpha,
+        gamma=gamma,
+        exponent=s,
+        n_routers=n,
+        catalog_size=10**6,
+        capacity=10**3,
+    )
+
+
+class TestOptimizerProperties:
+    @common_settings
+    @given(alpha=alphas, gamma=gammas, s=exponents, n=router_counts)
+    def test_level_always_in_unit_interval(self, alpha, gamma, s, n):
+        strategy = optimal_strategy(
+            make_scenario(alpha, gamma, s, n).model(), check_conditions=False
+        )
+        assert 0.0 <= strategy.level <= 1.0
+
+    @common_settings
+    @given(alpha=alphas, gamma=gammas, s=exponents, n=router_counts)
+    def test_optimum_no_worse_than_boundaries(self, alpha, gamma, s, n):
+        model = make_scenario(alpha, gamma, s, n).model()
+        best = optimal_strategy(model, check_conditions=False)
+        tol = 1e-9 * max(1.0, abs(best.objective_value))
+        assert best.objective_value <= float(model.objective(0.0)) + tol
+        assert best.objective_value <= float(model.objective(model.capacity)) + tol
+
+    @common_settings
+    @given(gamma=gammas, s=exponents, n=router_counts)
+    def test_scale_free_property(self, gamma, s, n):
+        """Theorem 2: scaling all latencies leaves the optimum unchanged."""
+        base = make_scenario(1.0, gamma, s, n)
+        scaled = base.replace(
+            access_latency=base.access_latency * 7.5,
+            peer_delta=base.peer_delta * 7.5,
+        )
+        level_a = optimal_strategy(base.model(), check_conditions=False).level
+        level_b = optimal_strategy(scaled.model(), check_conditions=False).level
+        assert level_b == pytest.approx(level_a, rel=1e-9, abs=1e-12)
+
+    @common_settings
+    @given(gamma=gammas, s=exponents, n=router_counts)
+    def test_lemma2_root_unique_bracket(self, gamma, s, n):
+        """Theorem 1: the Lemma 2 residual brackets exactly one root."""
+        scenario = make_scenario(0.5, gamma, s, n)
+        coeffs = lemma2_coefficients(scenario.model())
+        root = solve_lemma2(coeffs)
+        assert 0.0 < root < 1.0
+        eps = 1e-6
+        if eps < root < 1 - eps:
+            assert coeffs.residual(root - eps) >= coeffs.residual(root + eps)
+
+    @common_settings
+    @given(gamma=gammas, s=exponents, n=router_counts)
+    def test_closed_form_in_unit_interval(self, gamma, s, n):
+        assert 0.0 < closed_form_alpha1(gamma, n, s) <= 1.0
+
+    @common_settings
+    @given(
+        gamma=gammas,
+        s=exponents,
+        n=router_counts,
+        a1=alphas,
+        a2=alphas,
+    )
+    def test_monotone_in_alpha(self, gamma, s, n, a1, a2):
+        assume(abs(a1 - a2) > 1e-6)
+        lo, hi = min(a1, a2), max(a1, a2)
+        level_lo = optimal_strategy(
+            make_scenario(lo, gamma, s, n).model(), check_conditions=False
+        ).level
+        level_hi = optimal_strategy(
+            make_scenario(hi, gamma, s, n).model(), check_conditions=False
+        ).level
+        assert level_hi >= level_lo - 1e-9
+
+
+class TestModelProperties:
+    @common_settings
+    @given(
+        s=exponents,
+        level=st.floats(min_value=0.0, max_value=1.0),
+        n=router_counts,
+    )
+    def test_tier_fractions_sum_to_one(self, s, level, n):
+        popularity = ZipfPopularity(s, 10**6)
+        local, peer, origin = tier_fractions(
+            level * 1000.0, 1000.0, n, popularity
+        )
+        assert local + peer + origin == pytest.approx(1.0, abs=1e-9)
+        assert min(local, peer, origin) >= -1e-12
+
+    @common_settings
+    @given(s=exponents, gamma=gammas)
+    def test_latency_bounded_by_tiers(self, s, gamma):
+        scenario = make_scenario(0.5, gamma, s, 20)
+        perf = scenario.performance_model()
+        lat = scenario.latency()
+        for x in np.linspace(0.0, 1000.0, 7):
+            t = float(perf.mean_latency(float(x)))
+            assert lat.d0 - 1e-9 <= t <= lat.d2 + 1e-9
+
+    @common_settings
+    @given(s=exponents)
+    def test_continuous_cdf_monotone(self, s):
+        popularity = ZipfPopularity(s, 10**6)
+        xs = np.linspace(1.0, 10**6, 50)
+        values = np.asarray(popularity.cdf_continuous(xs))
+        assert np.all(np.diff(values) >= -1e-12)
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestStrategyProperties:
+    @common_settings
+    @given(
+        capacity=st.integers(min_value=1, max_value=200),
+        n=st.integers(min_value=1, max_value=50),
+        level=st.floats(min_value=0.0, max_value=1.0),
+        assignment=st.sampled_from(["round-robin", "contiguous"]),
+    )
+    def test_partition_invariants(self, capacity, n, level, assignment):
+        strategy = ProvisioningStrategy(
+            capacity=capacity, n_routers=n, level=level, assignment=assignment
+        )
+        # Slots conserve capacity.
+        assert strategy.local_slots + strategy.coordinated_slots == capacity
+        # Unique contents formula.
+        assert (
+            strategy.unique_contents
+            == strategy.local_slots + n * strategy.coordinated_slots
+        )
+        # Every router is at capacity.
+        for router in range(n):
+            assert len(strategy.contents_of_router(router)) == capacity
+        # Coordinated ranks partition exactly.
+        owners = dict(strategy.iter_assignments())
+        assert set(owners) == set(strategy.coordinated_ranks)
+
+    @common_settings
+    @given(
+        d0=st.floats(min_value=0.1, max_value=100.0),
+        peer=st.floats(min_value=0.01, max_value=100.0),
+        origin=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_latency_model_ratios_consistent(self, d0, peer, origin):
+        latency = LatencyModel(d0, d0 + peer, d0 + peer + origin)
+        assert latency.gamma == pytest.approx(origin / peer, rel=1e-9)
+        assert latency.peer_delta == pytest.approx(peer, rel=1e-9)
+        assert (
+            latency.scaled(3.0).gamma == pytest.approx(latency.gamma, rel=1e-9)
+        )
+
+
+class TestSimulatorProperties:
+    @common_settings
+    @given(
+        level=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_every_request_served_exactly_once(self, level, seed):
+        from repro.catalog import IRMWorkload, ZipfModel
+        from repro.simulation import SteadyStateSimulator
+        from repro.topology import ring_topology
+
+        topology = ring_topology(5)
+        strategy = ProvisioningStrategy(capacity=8, n_routers=5, level=level)
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        )
+        workload = IRMWorkload(ZipfModel(0.8, 500), topology.nodes, seed=seed)
+        metrics = simulator.run(workload, 200)
+        assert metrics.requests == 200
+        assert (
+            metrics.local_hits + metrics.peer_hits + metrics.origin_hits == 200
+        )
+        assert 0.0 <= metrics.origin_load <= 1.0

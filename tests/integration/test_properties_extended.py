@@ -1,0 +1,225 @@
+"""Property-based tests for the extension subsystems (ccn, hetero, adaptive)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.ccn import CCNNetwork, Name, NoCache
+from repro.core import (
+    CoordinationCostModel,
+    LatencyModel,
+    ProvisioningStrategy,
+    ZipfPopularity,
+)
+from repro.hetero import HeterogeneousModel, optimize_shares, optimize_uniform_level
+from repro.topology import ring_topology
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestNameProperties:
+    @common_settings
+    @given(
+        components=st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_characters="/", min_codepoint=33),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_uri_roundtrip(self, components):
+        name = Name.from_components(components)
+        assert Name(str(name)) == name
+
+    @common_settings
+    @given(
+        a=st.lists(st.sampled_from("abcxyz"), min_size=0, max_size=4),
+        b=st.lists(st.sampled_from("abcxyz"), min_size=0, max_size=4),
+    )
+    def test_prefix_relation_consistent(self, a, b):
+        name_a = Name.from_components(a)
+        name_b = Name.from_components(b)
+        if name_a.is_prefix_of(name_b):
+            assert len(name_a) <= len(name_b)
+            assert name_b.prefix(len(name_a)) == name_a
+
+
+class TestCCNConservation:
+    @common_settings
+    @given(
+        level=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+        requests=st.integers(min_value=10, max_value=200),
+    )
+    def test_every_request_completes_exactly_once(self, level, seed, requests):
+        """Flow balance: with long PIT lifetimes and a reliable origin,
+        every issued Interest completes exactly once."""
+        topology = ring_topology(5)
+        net = CCNNetwork(
+            topology, origin_gateway=topology.nodes[0], enroute=NoCache()
+        )
+        net.install_strategy(
+            ProvisioningStrategy(capacity=8, n_routers=5, level=level)
+        )
+        workload = IRMWorkload(ZipfModel(0.8, 300), topology.nodes, seed=seed)
+        metrics = net.run_workload(workload, requests, interarrival_ms=3.0)
+        assert metrics.requests_issued == requests
+        assert metrics.requests_completed == requests
+        assert metrics.origin_productions <= requests
+        assert 0.0 <= metrics.origin_load <= 1.0
+        # Producer distance is at least 0 and bounded by diameter + origin leg.
+        if metrics.interest_hops:
+            assert min(metrics.interest_hops) >= 0
+            assert max(metrics.interest_hops) <= topology.diameter_hops() * 2 + 1
+
+    @common_settings
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_latencies_non_negative(self, seed):
+        topology = ring_topology(4)
+        net = CCNNetwork(
+            topology, origin_gateway=topology.nodes[0], default_capacity=5
+        )
+        workload = IRMWorkload(ZipfModel(1.0, 100), topology.nodes, seed=seed)
+        metrics = net.run_workload(workload, 60, interarrival_ms=0.5)
+        assert all(lat >= 0.0 for lat in metrics.latencies_ms)
+
+
+class TestHeterogeneousProperties:
+    @common_settings
+    @given(
+        caps=st.lists(
+            st.floats(min_value=10.0, max_value=500.0), min_size=2, max_size=8
+        ),
+        alpha=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_free_never_loses_to_uniform(self, caps, alpha):
+        model = HeterogeneousModel(
+            ZipfPopularity(0.8, 10**5),
+            LatencyModel(1.0, 3.0, 13.0),
+            caps,
+            CoordinationCostModel(unit_cost=1e-4),
+            alpha,
+        )
+        free = optimize_shares(model, restarts=2)
+        uniform = optimize_uniform_level(model, resolution=201)
+        assert free.objective_value <= uniform.objective_value + 1e-9
+
+    @common_settings
+    @given(
+        caps=st.lists(
+            st.floats(min_value=10.0, max_value=500.0), min_size=2, max_size=8
+        ),
+        level=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_objective_bounded_by_latency_tiers_plus_cost(self, caps, level):
+        model = HeterogeneousModel(
+            ZipfPopularity(0.8, 10**5),
+            LatencyModel(1.0, 3.0, 13.0),
+            caps,
+            CoordinationCostModel(unit_cost=1e-4),
+            1.0,  # pure latency
+        )
+        value = model.objective(model.uniform_shares(level))
+        assert 1.0 - 1e-9 <= value <= 13.0 + 1e-9
+
+    @common_settings
+    @given(
+        caps=st.lists(
+            st.floats(min_value=10.0, max_value=300.0), min_size=2, max_size=6
+        )
+    )
+    def test_origin_load_decreases_with_uniform_level(self, caps):
+        model = HeterogeneousModel(
+            ZipfPopularity(0.8, 10**5),
+            LatencyModel(1.0, 3.0, 13.0),
+            caps,
+            CoordinationCostModel(unit_cost=1e-4),
+            0.5,
+        )
+        loads = [
+            model.origin_load(model.uniform_shares(level))
+            for level in (0.0, 0.5, 1.0)
+        ]
+        assert loads[0] >= loads[1] - 1e-9 >= loads[2] - 2e-9
+
+
+class TestSimulatorModelAgreement:
+    @common_settings
+    @given(
+        exponent=st.one_of(
+            st.floats(min_value=0.3, max_value=0.95),
+            st.floats(min_value=1.05, max_value=1.6),
+        ),
+        level=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_origin_load_matches_exact_model(self, exponent, level, n, seed):
+        """For ANY valid (s, l, n), the simulated origin load equals the
+        exact discrete model's 1 - F(c + (n-1)x) within sampling noise."""
+        from repro.core import LatencyModel, RoutingPerformanceModel, ZipfPopularity
+        from repro.simulation import SteadyStateSimulator
+
+        capacity, catalog, requests = 20, 1_500, 6_000
+        topology = ring_topology(n)
+        strategy = ProvisioningStrategy(
+            capacity=capacity, n_routers=n, level=level
+        )
+        workload = IRMWorkload(
+            ZipfModel(exponent, catalog), topology.nodes, seed=seed
+        )
+        metrics = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        ).run(workload, requests)
+        perf = RoutingPerformanceModel(
+            popularity=ZipfPopularity(exponent, catalog),
+            latency=LatencyModel(1.0, 2.0, 3.0),
+            capacity=float(capacity),
+            n_routers=n,
+        )
+        predicted = float(
+            perf.origin_load(float(strategy.coordinated_slots), exact=True)
+        )
+        assert metrics.origin_load == pytest.approx(predicted, abs=0.035)
+
+
+class TestEstimatorProperties:
+    @common_settings
+    @given(
+        true_s=st.floats(min_value=0.3, max_value=1.7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_mle_recovers_exponent(self, true_s, seed):
+        from repro.adaptive import estimate_exponent
+
+        model = ZipfModel(true_s, 2_000)
+        ranks = model.sample(20_000, np.random.default_rng(seed))
+        estimate = estimate_exponent(ranks, 2_000)
+        assert estimate == pytest.approx(true_s, abs=0.08)
+
+    @common_settings
+    @given(
+        memory=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_windowed_equals_batch_on_single_observation(self, memory, seed):
+        from repro.adaptive import ExponentEstimator, estimate_exponent
+
+        model = ZipfModel(0.9, 1_000)
+        ranks = model.sample(5_000, np.random.default_rng(seed))
+        estimator = ExponentEstimator(1_000, memory=memory)
+        estimator.observe(ranks)
+        assert estimator.estimate() == pytest.approx(
+            estimate_exponent(ranks, 1_000), abs=1e-6
+        )

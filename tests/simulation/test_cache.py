@@ -1,0 +1,234 @@
+"""Unit tests for repro.simulation.cache — replacement policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.simulation.cache import (
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+    RandomCache,
+    StaticCache,
+    make_policy,
+)
+
+
+class TestStaticCache:
+    def test_fixed_contents(self):
+        cache = StaticCache(3, frozenset({1, 2, 3}))
+        assert 1 in cache
+        assert 4 not in cache
+        assert cache.contents == frozenset({1, 2, 3})
+
+    def test_admit_is_noop(self):
+        cache = StaticCache(3, frozenset({1, 2}))
+        assert cache.admit(9) is None
+        assert 9 not in cache
+
+    def test_lookup_statistics(self):
+        cache = StaticCache(2, frozenset({1}))
+        assert cache.lookup(1) is True
+        assert cache.lookup(2) is False
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        cache = StaticCache(2, frozenset({1}))
+        cache.lookup(1)
+        cache.reset_statistics()
+        assert cache.hits == 0
+        assert cache.hit_ratio == 0.0
+        assert 1 in cache
+
+    def test_rejects_overfull(self):
+        with pytest.raises(SimulationError):
+            StaticCache(1, frozenset({1, 2}))
+
+    def test_rejects_bad_ranks(self):
+        with pytest.raises(ParameterError):
+            StaticCache(3, frozenset({0}))
+
+    def test_zero_capacity(self):
+        cache = StaticCache(0)
+        assert cache.lookup(1) is False
+        assert cache.admit(1) is None
+        assert len(cache) == 0
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        evicted = cache.admit(3)
+        assert evicted == 1
+        assert cache.contents == frozenset({2, 3})
+
+    def test_touch_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.lookup(1)  # 1 becomes most recent
+        assert cache.admit(3) == 2
+
+    def test_admit_existing_is_touch(self):
+        cache = LRUCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        assert cache.admit(1) is None  # refresh, no eviction
+        assert cache.admit(3) == 2
+
+    def test_len(self):
+        cache = LRUCache(5)
+        for r in (1, 2, 3):
+            cache.admit(r)
+        assert len(cache) == 3
+
+
+class TestLFUCache:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        for _ in range(5):
+            cache.lookup(1)
+        assert cache.admit(3) == 2
+
+    def test_lru_tiebreak(self):
+        cache = LFUCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.lookup(1)
+        cache.lookup(2)  # equal frequencies; 1 is older
+        assert cache.admit(3) == 1
+
+    def test_mostly_holds_popular_ranks_under_zipf(self):
+        """In-cache LFU keeps most (not all — tail churn) of the head."""
+        rng = np.random.default_rng(0)
+        ranks = np.arange(1, 101)
+        weights = ranks**-1.2
+        weights /= weights.sum()
+        cache = LFUCache(10)
+        for rank in rng.choice(ranks, size=30_000, p=weights):
+            if not cache.lookup(int(rank)):
+                cache.admit(int(rank))
+        top = set(range(1, 11))
+        assert len(cache.contents & top) >= 5
+
+    def test_frequency_resets_on_reinsert(self):
+        cache = LFUCache(1)
+        cache.admit(1)
+        for _ in range(10):
+            cache.lookup(1)
+        cache.admit(2)  # evicts 1 despite its high frequency (capacity 1)
+        assert cache.contents == frozenset({2})
+
+
+class TestPerfectLFUCache:
+    def test_converges_to_exact_top_ranks_under_zipf(self):
+        """Global-frequency LFU realizes the paper's non-coordinated
+        steady state: exactly the top-c ranks (paper §II)."""
+        from repro.simulation.cache import PerfectLFUCache
+
+        rng = np.random.default_rng(0)
+        ranks = np.arange(1, 101)
+        weights = ranks**-1.2
+        weights /= weights.sum()
+        cache = PerfectLFUCache(10)
+        for rank in rng.choice(ranks, size=50_000, p=weights):
+            if not cache.lookup(int(rank)):
+                cache.admit(int(rank))
+        top = set(range(1, 11))
+        assert len(cache.contents & top) >= 9
+
+    def test_never_displaces_hotter_item(self):
+        from repro.simulation.cache import PerfectLFUCache
+
+        cache = PerfectLFUCache(1)
+        cache.admit(1)
+        for _ in range(5):
+            cache.lookup(1)
+        assert cache.admit(2) is None  # colder item cannot displace
+        assert cache.contents == frozenset({1})
+
+    def test_hotter_newcomer_displaces(self):
+        from repro.simulation.cache import PerfectLFUCache
+
+        cache = PerfectLFUCache(1)
+        cache.admit(1)
+        # Rank 2 misses repeatedly, accumulating global frequency.
+        for _ in range(3):
+            cache.lookup(2)
+            cache.admit(2)
+        assert cache.contents == frozenset({2})
+
+    def test_factory_name(self):
+        from repro.simulation.cache import PerfectLFUCache
+
+        assert isinstance(make_policy("perfect-lfu", 4), PerfectLFUCache)
+
+
+class TestFIFOCache:
+    def test_insertion_order_eviction(self):
+        cache = FIFOCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.lookup(1)  # FIFO ignores recency
+        assert cache.admit(3) == 1
+
+    def test_admit_existing_no_reorder(self):
+        cache = FIFOCache(2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(1)  # already present: no reinsertion
+        assert cache.admit(3) == 1
+
+
+class TestRandomCache:
+    def test_capacity_respected(self):
+        cache = RandomCache(3, seed=1)
+        for r in range(1, 20):
+            cache.admit(r)
+        assert len(cache) == 3
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            cache = RandomCache(3, seed=seed)
+            for r in range(1, 30):
+                cache.admit(r)
+            return cache.contents
+
+        assert run(5) == run(5)
+
+    def test_evicted_rank_reported(self):
+        cache = RandomCache(1, seed=0)
+        cache.admit(1)
+        assert cache.admit(2) == 1
+
+    def test_internal_position_consistency(self):
+        cache = RandomCache(5, seed=2)
+        for r in range(1, 100):
+            cache.admit(r)
+            for stored in cache.contents:
+                assert stored in cache
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUCache), ("lfu", LFUCache), ("fifo", FIFOCache),
+        ("random", RandomCache), ("LRU", LRUCache),
+    ])
+    def test_factory(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ParameterError):
+            make_policy("belady", 4)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ParameterError):
+            make_policy("lru", -1)

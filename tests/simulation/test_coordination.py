@@ -1,0 +1,96 @@
+"""Unit tests for repro.simulation.coordination — placement + messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategy import ProvisioningStrategy
+from repro.errors import ParameterError
+from repro.simulation.coordination import Coordinator
+
+
+def make(level=0.5, capacity=10, n=4, assignment="round-robin"):
+    strategy = ProvisioningStrategy(
+        capacity=capacity, n_routers=n, level=level, assignment=assignment
+    )
+    routers = [f"R{i}" for i in range(n)]
+    return Coordinator(strategy, routers)
+
+
+class TestPlacement:
+    def test_local_ranks_everywhere(self):
+        coordinator = make(level=0.3)
+        placement = coordinator.placement()
+        local_expected = frozenset(range(1, 8))
+        for node, (local, _) in placement.items():
+            assert local == local_expected
+
+    def test_coordinated_ranks_partitioned(self):
+        coordinator = make(level=0.5)
+        placement = coordinator.placement()
+        seen: set[int] = set()
+        for _, (_, coordinated) in placement.items():
+            assert not (coordinated & seen)
+            seen |= coordinated
+        assert seen == set(coordinator.strategy.coordinated_ranks)
+
+    def test_build_routers_capacity(self):
+        fleet = make(level=0.5, capacity=10).build_routers()
+        for router in fleet.values():
+            assert router.capacity == 10
+
+    def test_holders_index_consistency(self):
+        coordinator = make(level=0.5)
+        index = coordinator.holders_index()
+        fleet = coordinator.build_routers()
+        for rank, holders in index.items():
+            for node in holders:
+                assert fleet[node].holds(rank)
+
+    def test_holders_local_on_all(self):
+        coordinator = make(level=0.3, n=4)
+        index = coordinator.holders_index()
+        for rank in coordinator.strategy.local_ranks:
+            assert len(index[rank]) == 4
+
+    def test_holders_coordinated_on_one(self):
+        coordinator = make(level=0.5, n=4)
+        index = coordinator.holders_index()
+        for rank in coordinator.strategy.coordinated_ranks:
+            assert len(index[rank]) == 1
+
+
+class TestMessages:
+    def test_non_coordinated_costs_nothing(self):
+        report = make(level=0.0).report()
+        assert report.collection_messages == 0
+        assert report.directive_messages == 0
+        assert report.consensus_messages == 0
+        assert report.total_messages == 0
+
+    def test_directive_messages_linear(self):
+        report = make(level=0.5, capacity=10, n=4).report()
+        assert report.directive_messages == 4 * 5  # n*x
+        assert report.collection_messages == 4
+        assert report.total_messages == 24
+
+    def test_consensus_is_spanning_tree(self):
+        report = make(level=0.5, n=4).report()
+        assert report.consensus_messages == 3
+
+    def test_two_router_consensus_is_one_message(self):
+        """The motivating example: one message between R1 and R2."""
+        report = make(level=1.0, capacity=1, n=2).report()
+        assert report.consensus_messages == 1
+
+
+class TestValidation:
+    def test_router_count_mismatch(self):
+        strategy = ProvisioningStrategy(capacity=10, n_routers=4, level=0.5)
+        with pytest.raises(ParameterError):
+            Coordinator(strategy, ["R0", "R1"])
+
+    def test_duplicate_routers(self):
+        strategy = ProvisioningStrategy(capacity=10, n_routers=2, level=0.5)
+        with pytest.raises(ParameterError):
+            Coordinator(strategy, ["R0", "R0"])

@@ -1,0 +1,145 @@
+"""Tests for repro.simulation.failures — store failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.core import ProvisioningStrategy
+from repro.errors import ParameterError, SimulationError
+from repro.simulation import SteadyStateSimulator
+from repro.simulation.failures import (
+    build_degraded_simulator,
+    coordinated_mass_lost,
+    fail_stores,
+)
+from repro.topology import ring_topology
+
+N_ROUTERS = 8
+CAPACITY = 20
+CATALOG = 2_000
+EXPONENT = 0.9
+
+
+def make_strategy(level: float = 0.5, assignment="round-robin"):
+    return ProvisioningStrategy(
+        capacity=CAPACITY, n_routers=N_ROUTERS, level=level,
+        assignment=assignment,
+    )
+
+
+class TestFailStores:
+    def test_failed_store_emptied(self):
+        topology = ring_topology(N_ROUTERS)
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, make_strategy(), message_accounting="none"
+        )
+        victim = topology.nodes[3]
+        fail_stores(simulator, [victim])
+        assert simulator.fleet[victim].stored_ranks() == frozenset()
+        # Other routers untouched.
+        other = topology.nodes[0]
+        assert simulator.fleet[other].stored_ranks()
+
+    def test_holders_index_rebuilt(self):
+        topology = ring_topology(N_ROUTERS)
+        strategy = make_strategy()
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        )
+        victim_index = 2
+        victim = topology.nodes[victim_index]
+        victim_ranks = set(strategy.contents_of_router(victim_index)) - set(
+            strategy.local_ranks
+        )
+        fail_stores(simulator, [victim])
+        for rank in victim_ranks:
+            assert victim not in simulator._holders.get(rank, [])
+
+    def test_unknown_router_rejected(self):
+        topology = ring_topology(N_ROUTERS)
+        simulator = SteadyStateSimulator.from_strategy(
+            topology, make_strategy(), message_accounting="none"
+        )
+        with pytest.raises(SimulationError):
+            fail_stores(simulator, ["nonexistent"])
+
+
+class TestCoordinatedMassLost:
+    def test_matches_pmf_sum(self):
+        strategy = make_strategy()
+        popularity = ZipfModel(EXPONENT, CATALOG)
+        expected = sum(
+            popularity.pmf(rank)
+            for rank, owner in strategy.iter_assignments()
+            if owner == 3
+        )
+        assert coordinated_mass_lost(strategy, popularity, [3]) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_zero_for_noncoordinated_strategy(self):
+        strategy = make_strategy(level=0.0)
+        popularity = ZipfModel(EXPONENT, CATALOG)
+        assert coordinated_mass_lost(strategy, popularity, [0]) == 0.0
+
+    def test_additive_over_disjoint_failures(self):
+        strategy = make_strategy()
+        popularity = ZipfModel(EXPONENT, CATALOG)
+        both = coordinated_mass_lost(strategy, popularity, [1, 4])
+        separate = coordinated_mass_lost(
+            strategy, popularity, [1]
+        ) + coordinated_mass_lost(strategy, popularity, [4])
+        assert both == pytest.approx(separate, rel=1e-12)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ParameterError):
+            coordinated_mass_lost(
+                make_strategy(), ZipfModel(EXPONENT, CATALOG), [99]
+            )
+
+    def test_rejects_total_failure(self):
+        with pytest.raises(ParameterError):
+            coordinated_mass_lost(
+                make_strategy(0.5),
+                ZipfModel(EXPONENT, CATALOG),
+                list(range(N_ROUTERS)),
+            )
+
+
+class TestDegradationMatchesTheory:
+    @pytest.mark.parametrize("failed", [[0], [3], [1, 5]])
+    def test_origin_load_increase_equals_lost_mass(self, failed):
+        """Failing a custodian raises origin load by exactly the request
+        mass of its coordinated ranks — the coordination/redundancy
+        trade-off, verified simulation-vs-theory."""
+        topology = ring_topology(N_ROUTERS)
+        strategy = make_strategy()
+        popularity = ZipfModel(EXPONENT, CATALOG)
+        workload = IRMWorkload(popularity, topology.nodes, seed=23)
+        requests = 40_000
+
+        healthy = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        ).run(workload, requests)
+        degraded = build_degraded_simulator(topology, strategy, failed).run(
+            workload, requests
+        )
+        predicted_increase = coordinated_mass_lost(strategy, popularity, failed)
+        measured_increase = degraded.origin_load - healthy.origin_load
+        assert measured_increase == pytest.approx(predicted_increase, abs=0.01)
+
+    def test_noncoordinated_is_failure_redundant(self):
+        """With l=0 every store is identical: one failure costs nothing
+        except that router's own local hits becoming peer hits."""
+        topology = ring_topology(N_ROUTERS)
+        strategy = make_strategy(level=0.0)
+        workload = IRMWorkload(ZipfModel(EXPONENT, CATALOG), topology.nodes, seed=7)
+        healthy = SteadyStateSimulator.from_strategy(
+            topology, strategy, message_accounting="none"
+        ).run(workload, 20_000)
+        degraded = build_degraded_simulator(topology, strategy, [2]).run(
+            workload, 20_000
+        )
+        assert degraded.origin_load == pytest.approx(healthy.origin_load, abs=1e-9)
+        assert degraded.peer_hits > healthy.peer_hits  # rerouted, not lost

@@ -1,0 +1,125 @@
+"""Unit tests for repro.simulation.metrics — metric accumulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.metrics import MetricsCollector, SimulationMetrics
+from repro.simulation.routing import RouteDecision, ServiceTier
+
+
+def decision(tier: str, hops: float = 1.0, latency: float = 2.0) -> RouteDecision:
+    return RouteDecision(tier=tier, server=None, hops=hops, latency_ms=latency)
+
+
+class TestCollector:
+    def test_tier_counting(self):
+        collector = MetricsCollector()
+        collector.record(decision(ServiceTier.LOCAL, 0.0, 0.0))
+        collector.record(decision(ServiceTier.PEER, 1.0, 5.0))
+        collector.record(decision(ServiceTier.ORIGIN, 3.0, 60.0))
+        summary = collector.summary()
+        assert summary.requests == 3
+        assert summary.local_hits == 1
+        assert summary.peer_hits == 1
+        assert summary.origin_hits == 1
+        assert summary.total_hops == pytest.approx(4.0)
+        assert summary.total_latency_ms == pytest.approx(65.0)
+
+    def test_rejects_unknown_tier(self):
+        collector = MetricsCollector()
+        with pytest.raises(SimulationError):
+            collector.record(decision("satellite"))
+
+    def test_peer_server_attribution(self):
+        collector = MetricsCollector()
+        collector.record(
+            RouteDecision(tier=ServiceTier.PEER, server="X", hops=1.0, latency_ms=1.0)
+        )
+        collector.record(
+            RouteDecision(tier=ServiceTier.PEER, server="X", hops=1.0, latency_ms=1.0)
+        )
+        collector.record(
+            RouteDecision(tier=ServiceTier.LOCAL, server="Y", hops=0.0, latency_ms=0.0)
+        )
+        summary = collector.summary()
+        assert summary.served_by == {"X": 2}  # local hits not attributed
+
+    def test_messages(self):
+        collector = MetricsCollector()
+        collector.record_messages(5)
+        collector.record_messages(2)
+        assert collector.summary().coordination_messages == 7
+
+    def test_rejects_negative_messages(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector().record_messages(-1)
+
+
+class TestSummary:
+    def make(self, local=2, peer=3, origin=5) -> SimulationMetrics:
+        return SimulationMetrics(
+            requests=local + peer + origin,
+            local_hits=local,
+            peer_hits=peer,
+            origin_hits=origin,
+            total_hops=20.0,
+            total_latency_ms=100.0,
+            coordination_messages=4,
+        )
+
+    def test_derived_ratios(self):
+        m = self.make()
+        assert m.origin_load == pytest.approx(0.5)
+        assert m.local_fraction == pytest.approx(0.2)
+        assert m.peer_fraction == pytest.approx(0.3)
+        assert m.mean_hops == pytest.approx(2.0)
+        assert m.mean_latency_ms == pytest.approx(10.0)
+
+    def test_tier_fractions_sum_to_one(self):
+        fractions = self.make().tier_fractions()
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_conservation_enforced(self):
+        """Tier counts must sum to the request count — an invariant."""
+        with pytest.raises(SimulationError):
+            SimulationMetrics(
+                requests=10,
+                local_hits=1,
+                peer_hits=1,
+                origin_hits=1,
+                total_hops=0.0,
+                total_latency_ms=0.0,
+                coordination_messages=0,
+            )
+
+    def test_served_by_default_empty(self):
+        assert self.make().served_by == {}
+
+    def test_peer_load_imbalance_balanced(self):
+        m = SimulationMetrics(
+            requests=4, local_hits=0, peer_hits=4, origin_hits=0,
+            total_hops=4.0, total_latency_ms=4.0, coordination_messages=0,
+            served_by={"A": 2, "B": 2},
+        )
+        assert m.peer_load_imbalance() == pytest.approx(0.0)
+
+    def test_peer_load_imbalance_skewed(self):
+        m = SimulationMetrics(
+            requests=4, local_hits=0, peer_hits=4, origin_hits=0,
+            total_hops=4.0, total_latency_ms=4.0, coordination_messages=0,
+            served_by={"A": 4},
+        )
+        # Padding with idle routers exposes the concentration.
+        assert m.peer_load_imbalance(4) > 1.0
+        assert m.peer_load_imbalance() == 0.0  # single counted router
+
+    def test_empty_run(self):
+        m = SimulationMetrics(
+            requests=0, local_hits=0, peer_hits=0, origin_hits=0,
+            total_hops=0.0, total_latency_ms=0.0, coordination_messages=0,
+        )
+        assert m.origin_load == 0.0
+        assert m.mean_hops == 0.0
+        assert m.mean_latency_ms == 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for repro.simulation.protocol — distributed coordination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProvisioningStrategy
+from repro.errors import ParameterError, TopologyError
+from repro.simulation.protocol import DistributedCoordinator
+from repro.topology import Topology, load_topology, star_topology
+
+
+@pytest.fixture
+def line() -> Topology:
+    return Topology.from_edges(
+        [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=2.0
+    )
+
+
+class TestTreeConstruction:
+    def test_default_root_is_most_central(self, line):
+        coordinator = DistributedCoordinator(line)
+        assert coordinator.root in ("B", "C")
+
+    def test_explicit_root(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        assert coordinator.root == "A"
+        assert coordinator.tree_depth_hops("A") == 0
+        assert coordinator.tree_depth_hops("D") == 3
+
+    def test_unknown_root_rejected(self, line):
+        with pytest.raises(TopologyError):
+            DistributedCoordinator(line, root="Z")
+
+
+class TestRound:
+    def test_state_messages_are_spanning_tree(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        outcome = coordinator.run_round(strategy)
+        assert outcome.state_messages == 3  # n - 1
+
+    def test_non_coordinated_round_free_of_directives(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.0)
+        outcome = coordinator.run_round(strategy)
+        assert outcome.directive_messages == 0
+        assert outcome.dissemination_latency_ms == 0.0
+        assert outcome.placements == {}
+
+    def test_every_coordinated_rank_placed(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        outcome = coordinator.run_round(strategy)
+        assert set(outcome.placements) == set(strategy.coordinated_ranks)
+        assert set(outcome.placements.values()) <= set(line.nodes)
+
+    def test_directive_count_is_tree_path_weighted(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.25)
+        # x = 1: one rank per router; depths from A are 0,1,2,3 -> 6.
+        outcome = coordinator.run_round(strategy)
+        assert outcome.directive_messages == 0 + 1 + 2 + 3
+
+    def test_latency_accounting(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.25)
+        outcome = coordinator.run_round(strategy)
+        assert outcome.convergecast_latency_ms == pytest.approx(6.0)  # A..D
+        assert outcome.dissemination_latency_ms == pytest.approx(6.0)
+        assert outcome.round_latency_ms == pytest.approx(12.0)
+
+    def test_total_messages(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.25)
+        outcome = coordinator.run_round(strategy)
+        assert outcome.total_messages == outcome.state_messages + outcome.directive_messages
+
+    def test_router_count_mismatch_rejected(self, line):
+        coordinator = DistributedCoordinator(line)
+        with pytest.raises(ParameterError):
+            coordinator.run_round(
+                ProvisioningStrategy(capacity=4, n_routers=9, level=0.5)
+            )
+
+
+class TestLinearModelFidelity:
+    def test_star_is_exact(self):
+        """On a star rooted at the hub, every directive travels exactly
+        one tree hop... except the hub's own (zero hops), so the real
+        traffic is slightly BELOW the n·x linear model."""
+        topology = star_topology(6)
+        coordinator = DistributedCoordinator(topology, root=topology.nodes[0])
+        strategy = ProvisioningStrategy(capacity=4, n_routers=6, level=0.5)
+        error = coordinator.linear_model_error(strategy)
+        assert -0.2 <= error <= 0.0
+
+    def test_deeper_trees_exceed_linear_model(self, line):
+        coordinator = DistributedCoordinator(line, root="A")
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        # Depths 0..3 average 1.5 > 1 -> more traffic than w·n·x books.
+        assert coordinator.linear_model_error(strategy) > 0.0
+
+    def test_zero_coordination_error_zero(self, line):
+        coordinator = DistributedCoordinator(line)
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.0)
+        assert coordinator.linear_model_error(strategy) == 0.0
+
+    def test_real_topology_error_bounded(self):
+        """On the paper's topologies the linear model is right within a
+        small constant factor (mean tree depth ~ 2)."""
+        for name in ("abilene", "geant"):
+            topology = load_topology(name)
+            coordinator = DistributedCoordinator(topology)
+            strategy = ProvisioningStrategy(
+                capacity=10, n_routers=topology.n_routers, level=0.5
+            )
+            error = coordinator.linear_model_error(strategy)
+            assert -1.0 < error < 2.0, name

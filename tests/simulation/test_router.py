@@ -1,0 +1,100 @@
+"""Unit tests for repro.simulation.router — the CCN router store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.simulation.cache import LRUCache, StaticCache
+from repro.simulation.router import CCNRouter
+
+
+class TestBasicStore:
+    def test_capacity_sums_partitions(self):
+        router = CCNRouter("R", LRUCache(3), LRUCache(2))
+        assert router.capacity == 5
+
+    def test_capacity_without_coordinated(self):
+        router = CCNRouter("R", LRUCache(3))
+        assert router.capacity == 3
+
+    def test_holds_checks_both_partitions(self):
+        router = CCNRouter(
+            "R", StaticCache(2, frozenset({1})), StaticCache(2, frozenset({5}))
+        )
+        assert router.holds(1)
+        assert router.holds(5)
+        assert not router.holds(9)
+
+    def test_lookup_prefers_local(self):
+        local = StaticCache(2, frozenset({1}))
+        coordinated = StaticCache(2, frozenset({1}))
+        router = CCNRouter("R", local, coordinated)
+        assert router.lookup(1)
+        assert local.hits == 1
+        assert coordinated.hits == 0  # untouched on a local hit
+
+    def test_lookup_falls_through_to_coordinated(self):
+        local = StaticCache(2, frozenset({1}))
+        coordinated = StaticCache(2, frozenset({5}))
+        router = CCNRouter("R", local, coordinated)
+        assert router.lookup(5)
+        assert local.misses == 1
+        assert coordinated.hits == 1
+
+    def test_lookup_miss_everywhere(self):
+        router = CCNRouter("R", StaticCache(1, frozenset({1})))
+        assert not router.lookup(7)
+
+    def test_stored_ranks_union(self):
+        router = CCNRouter(
+            "R", StaticCache(2, frozenset({1, 2})), StaticCache(1, frozenset({9}))
+        )
+        assert router.stored_ranks() == frozenset({1, 2, 9})
+
+    def test_admit_local(self):
+        router = CCNRouter("R", LRUCache(1))
+        router.admit_local(4)
+        assert router.holds(4)
+
+    def test_admit_coordinated_requires_partition(self):
+        router = CCNRouter("R", LRUCache(1))
+        with pytest.raises(SimulationError):
+            router.admit_coordinated(4)
+
+    def test_repr(self):
+        router = CCNRouter("R7", LRUCache(3))
+        assert "R7" in repr(router)
+
+
+class TestProvisionedFactory:
+    def test_builds_static_partitions(self):
+        router = CCNRouter.provisioned(
+            "R", frozenset({1, 2}), frozenset({10, 11})
+        )
+        assert router.holds(1) and router.holds(11)
+        assert router.capacity == 4
+
+    def test_explicit_capacities(self):
+        router = CCNRouter.provisioned(
+            "R",
+            frozenset({1}),
+            frozenset(),
+            local_capacity=5,
+            coordinated_capacity=3,
+        )
+        assert router.capacity == 8
+
+    def test_zero_coordinated_capacity_omits_partition(self):
+        router = CCNRouter.provisioned("R", frozenset({1}), frozenset())
+        assert router.coordinated_store is None
+
+    def test_rejects_undersized_capacities(self):
+        with pytest.raises(ParameterError):
+            CCNRouter.provisioned(
+                "R", frozenset({1, 2}), frozenset(), local_capacity=1
+            )
+        with pytest.raises(ParameterError):
+            CCNRouter.provisioned(
+                "R", frozenset(), frozenset({1, 2}), coordinated_capacity=1
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for repro.simulation.routing — nearest-replica resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.simulation.routing import (
+    NearestReplicaRouter,
+    OriginModel,
+    ServiceTier,
+)
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def line() -> Topology:
+    return Topology.from_edges(
+        [("A", "B"), ("B", "C"), ("C", "D")], name="line", link_latency_ms=2.0
+    )
+
+
+class TestOriginModel:
+    def test_defaults(self):
+        origin = OriginModel(gateway="B")
+        assert origin.extra_hops == 1.0
+        assert origin.extra_latency_ms == 50.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            OriginModel(gateway="B", extra_hops=-1.0)
+        with pytest.raises(SimulationError):
+            OriginModel(gateway="B", extra_latency_ms=-1.0)
+
+
+class TestResolve:
+    def test_local_wins(self, line):
+        router = NearestReplicaRouter(line, origin=OriginModel("A"))
+        decision = router.resolve("B", ["B", "C"])
+        assert decision.tier == ServiceTier.LOCAL
+        assert decision.server == "B"
+        assert decision.hops == 0.0
+        assert decision.latency_ms == 0.0
+
+    def test_nearest_peer_selected(self, line):
+        router = NearestReplicaRouter(line, origin=OriginModel("A"))
+        decision = router.resolve("A", ["C", "D"])
+        assert decision.tier == ServiceTier.PEER
+        assert decision.server == "C"
+        assert decision.hops == 2.0
+        assert decision.latency_ms == pytest.approx(4.0)
+
+    def test_origin_fallback(self, line):
+        origin = OriginModel("D", extra_hops=1.0, extra_latency_ms=10.0)
+        router = NearestReplicaRouter(line, origin=origin)
+        decision = router.resolve("A", [])
+        assert decision.tier == ServiceTier.ORIGIN
+        assert decision.server is None
+        assert decision.hops == pytest.approx(3.0 + 1.0)
+        assert decision.latency_ms == pytest.approx(6.0 + 10.0)
+
+    def test_latency_metric(self):
+        """With the latency metric, a low-latency far hop can win."""
+        topo = Topology.from_edges([("A", "B"), ("B", "C"), ("A", "C")])
+        topo.graph.edges["A", "B"]["latency_ms"] = 10.0
+        topo = Topology(topo.graph, name="t")
+        router = NearestReplicaRouter(topo, origin=OriginModel("A"), metric="latency")
+        decision = router.resolve("A", ["B"])
+        # Path A-C-B (2 hops, 2 ms) beats direct A-B (1 hop, 10 ms).
+        assert decision.latency_ms == pytest.approx(2.0)
+        assert decision.hops == 2.0
+
+    def test_unknown_metric_rejected(self, line):
+        with pytest.raises(SimulationError):
+            NearestReplicaRouter(line, metric="rtt")
+
+    def test_unknown_gateway_rejected(self, line):
+        with pytest.raises(TopologyError):
+            NearestReplicaRouter(line, origin=OriginModel("Z"))
+
+    def test_unknown_client_rejected(self, line):
+        router = NearestReplicaRouter(line)
+        with pytest.raises(TopologyError):
+            router.resolve("Z", [])
+
+    def test_default_origin_is_most_central(self, line):
+        """B and C tie for closeness on the line; the first wins."""
+        router = NearestReplicaRouter(line)
+        assert router.origin.gateway == "B"
+
+    def test_deterministic_tie_breaking(self, line):
+        router = NearestReplicaRouter(line, origin=OriginModel("A"))
+        # B and D are both 1 hop from C; the earlier-indexed holder wins.
+        decision = router.resolve("C", ["B", "D"])
+        assert decision.server == "B"
+        decision2 = router.resolve("C", ["D", "B"])
+        assert decision2.server == "B"
+
+
+class TestDistances:
+    def test_origin_distance(self, line):
+        origin = OriginModel("D", extra_hops=2.0, extra_latency_ms=30.0)
+        router = NearestReplicaRouter(line, origin=origin)
+        hops, latency = router.origin_distance("A")
+        assert hops == pytest.approx(5.0)
+        assert latency == pytest.approx(36.0)
+
+    def test_mean_peer_distance_matches_topology(self, line):
+        router = NearestReplicaRouter(line)
+        hops, latency = router.mean_peer_distance()
+        assert hops == pytest.approx(line.mean_pairwise_hops())
+        assert latency == pytest.approx(line.mean_pairwise_latency())
+
+    def test_mean_peer_distance_single_node(self):
+        solo = Topology.from_edges([], name="solo") if False else None
+        # Single-node topology built directly.
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node("only")
+        topo = Topology(graph)
+        router = NearestReplicaRouter(topo, origin=OriginModel("only"))
+        assert router.mean_peer_distance() == (0.0, 0.0)

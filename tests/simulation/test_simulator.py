@@ -1,0 +1,243 @@
+"""Unit tests for repro.simulation.simulator — steady-state and dynamic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.popularity import ZipfModel
+from repro.catalog.workload import IRMWorkload, SequenceWorkload, TraceWorkload, Request
+from repro.core.strategy import ProvisioningStrategy
+from repro.errors import ParameterError, SimulationError
+from repro.simulation.cache import StaticCache
+from repro.simulation.router import CCNRouter
+from repro.simulation.routing import OriginModel
+from repro.simulation.simulator import DynamicSimulator, SteadyStateSimulator
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def square() -> Topology:
+    return Topology.from_edges(
+        [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+        name="square",
+        link_latency_ms=2.0,
+    )
+
+
+class TestSteadyStateFromStrategy:
+    def test_full_fleet_built(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        sim = SteadyStateSimulator.from_strategy(square, strategy)
+        assert set(sim.fleet) == set(square.nodes)
+        for router in sim.fleet.values():
+            assert router.capacity == 4
+
+    def test_message_accounting_modes(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        directives = SteadyStateSimulator.from_strategy(
+            square, strategy, message_accounting="directives"
+        )
+        consensus = SteadyStateSimulator.from_strategy(
+            square, strategy, message_accounting="consensus"
+        )
+        none = SteadyStateSimulator.from_strategy(
+            square, strategy, message_accounting="none"
+        )
+        assert directives.coordination_messages == 4 + 4 * 2
+        assert consensus.coordination_messages == 3
+        assert none.coordination_messages == 0
+
+    def test_unknown_accounting_rejected(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        with pytest.raises(ParameterError):
+            SteadyStateSimulator.from_strategy(
+                square, strategy, message_accounting="carrier-pigeon"
+            )
+
+    def test_router_count_mismatch_rejected(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=7, level=0.5)
+        with pytest.raises(ParameterError):
+            SteadyStateSimulator.from_strategy(square, strategy)
+
+
+class TestSteadyStateRun:
+    def test_conservation(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        sim = SteadyStateSimulator.from_strategy(square, strategy)
+        workload = IRMWorkload(ZipfModel(0.8, 100), square.nodes, seed=0)
+        metrics = sim.run(workload, 1000)
+        assert metrics.requests == 1000
+        assert (
+            metrics.local_hits + metrics.peer_hits + metrics.origin_hits == 1000
+        )
+
+    def test_local_rank_always_local(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        sim = SteadyStateSimulator.from_strategy(square, strategy)
+        # Ranks 1..2 are the local partition: always a local hit.
+        workload = TraceWorkload([Request("A", 1), Request("C", 2)])
+        metrics = sim.run(workload, 2)
+        assert metrics.local_hits == 2
+        assert metrics.mean_hops == 0.0
+
+    def test_deep_rank_goes_to_origin(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.0)
+        sim = SteadyStateSimulator.from_strategy(square, strategy)
+        workload = TraceWorkload([Request("A", 99)])
+        metrics = sim.run(workload, 1)
+        assert metrics.origin_hits == 1
+
+    def test_more_coordination_lowers_origin_load(self, square):
+        workload = IRMWorkload(ZipfModel(0.8, 200), square.nodes, seed=1)
+        loads = []
+        for level in (0.0, 0.5, 1.0):
+            strategy = ProvisioningStrategy(capacity=10, n_routers=4, level=level)
+            sim = SteadyStateSimulator.from_strategy(square, strategy)
+            loads.append(sim.run(workload, 4000).origin_load)
+        assert loads[0] > loads[1] > loads[2]
+
+    def test_unknown_client_rejected(self, square):
+        strategy = ProvisioningStrategy(capacity=4, n_routers=4, level=0.5)
+        sim = SteadyStateSimulator.from_strategy(square, strategy)
+        with pytest.raises(SimulationError):
+            sim.resolve("Z", 1)
+
+    def test_fleet_validation(self, square):
+        partial = {"A": CCNRouter("A", StaticCache(0))}
+        with pytest.raises(SimulationError):
+            SteadyStateSimulator(square, partial)
+        extra = {
+            node: CCNRouter(node, StaticCache(0)) for node in square.nodes
+        }
+        extra["Z"] = CCNRouter("Z", StaticCache(0))
+        with pytest.raises(SimulationError):
+            SteadyStateSimulator(square, extra)
+
+    def test_motivating_example_values(self):
+        """Table I numbers drop out of the simulator exactly."""
+        topo = Topology.from_edges(
+            [("R0", "R1"), ("R0", "R2"), ("R1", "R2")], link_latency_ms=5.0
+        )
+        origin = OriginModel(gateway="R0", extra_hops=1.0)
+        workload = SequenceWorkload([("R1", [1, 1, 2]), ("R2", [1, 1, 2])])
+
+        def fleet(r1, r2):
+            return {
+                "R0": CCNRouter("R0", StaticCache(0)),
+                "R1": CCNRouter.provisioned("R1", frozenset(), r1),
+                "R2": CCNRouter.provisioned("R2", frozenset(), r2),
+            }
+
+        non_coord = SteadyStateSimulator(
+            topo, fleet(frozenset({1}), frozenset({1})), origin=origin
+        ).run(workload, 60)
+        coord = SteadyStateSimulator(
+            topo, fleet(frozenset({1}), frozenset({2})), origin=origin
+        ).run(workload, 60)
+        assert non_coord.origin_load == pytest.approx(1 / 3)
+        assert non_coord.mean_hops == pytest.approx(2 / 3)
+        assert coord.origin_load == 0.0
+        assert coord.mean_hops == pytest.approx(0.5)
+
+
+class TestDynamicSimulator:
+    def test_noncoordinated_lru_populates(self, square):
+        sim = DynamicSimulator(square, capacity=10, policy="lru", seed=0)
+        workload = IRMWorkload(ZipfModel(1.2, 100), square.nodes, seed=2)
+        metrics = sim.run(workload, 3000)
+        assert metrics.requests == 3000
+        assert metrics.local_hits > 0
+        assert metrics.peer_hits == 0  # no coordination: never peer-served
+
+    def test_warmup_discarded(self, square):
+        sim = DynamicSimulator(square, capacity=10, policy="lfu", seed=0)
+        workload = IRMWorkload(ZipfModel(1.2, 100), square.nodes, seed=2)
+        metrics = sim.run(workload, 1000, warmup=2000)
+        assert metrics.requests == 1000
+
+    def test_warmup_improves_hit_ratio(self, square):
+        workload = IRMWorkload(ZipfModel(1.2, 500), square.nodes, seed=3)
+        cold = DynamicSimulator(square, capacity=20, policy="lfu", seed=0).run(
+            workload, 2000
+        )
+        warm = DynamicSimulator(square, capacity=20, policy="lfu", seed=0).run(
+            workload, 2000, warmup=8000
+        )
+        assert warm.local_fraction >= cold.local_fraction
+
+    def test_hash_coordination_serves_peers(self, square):
+        sim = DynamicSimulator(
+            square, capacity=10, policy="lru", coordination_level=0.5, seed=0
+        )
+        workload = IRMWorkload(ZipfModel(0.8, 200), square.nodes, seed=4)
+        metrics = sim.run(workload, 4000, warmup=2000)
+        assert metrics.peer_hits > 0
+
+    def test_coordination_reduces_origin_load(self, square):
+        workload = IRMWorkload(ZipfModel(0.8, 400), square.nodes, seed=5)
+        non_coord = DynamicSimulator(
+            square, capacity=20, coordination_level=0.0, seed=0
+        ).run(workload, 5000, warmup=5000)
+        coord = DynamicSimulator(
+            square, capacity=20, coordination_level=1.0, seed=0
+        ).run(workload, 5000, warmup=5000)
+        assert coord.origin_load < non_coord.origin_load
+
+    def test_perfect_lfu_reaches_model_steady_state(self, square):
+        """Dynamic perfect-LFU converges to the provisioned top-c placement
+        the analytical model assumes (paper §II, non-coordinated case)."""
+        popularity = ZipfModel(1.2, 200)
+        workload = IRMWorkload(popularity, square.nodes, seed=6)
+        sim = DynamicSimulator(square, capacity=20, policy="perfect-lfu", seed=0)
+        sim.run(workload, 1, warmup=40_000)
+        top = set(range(1, 21))
+        for router in sim.fleet.values():
+            stored = router.stored_ranks()
+            assert len(stored & top) >= 17
+
+    def test_custodian_is_client_path(self, square):
+        """When a rank's custodian is the requesting router itself, the
+        miss goes straight to the origin and the custodian admits."""
+        sim = DynamicSimulator(
+            square, capacity=10, policy="lru", coordination_level=1.0, seed=0
+        )
+        client = sim._custodian(7)  # the router that owns rank 7
+        metrics = sim.run(TraceWorkload([Request(client, 7)]), 1)
+        assert metrics.origin_hits == 1
+        # The custodian cached it; a repeat is now a local hit.
+        metrics2 = sim.run(TraceWorkload([Request(client, 7)]), 1)
+        assert metrics2.local_hits == 1
+
+    def test_custodian_peer_hit_after_fetch(self, square):
+        """Another router's request for the same rank is peer-served by
+        the custodian after the first fetch."""
+        sim = DynamicSimulator(
+            square, capacity=10, policy="lru", coordination_level=1.0, seed=0
+        )
+        custodian = sim._custodian(7)
+        other = next(n for n in square.nodes if n != custodian)
+        sim.run(TraceWorkload([Request(other, 7)]), 1)  # origin fetch
+        metrics = sim.run(TraceWorkload([Request(other, 7)]), 1)
+        # 'other' admitted it locally on the first fetch, so this is a
+        # local hit; evict by filling other's local store is overkill —
+        # instead ask from a third router.
+        third = next(
+            n for n in square.nodes if n not in (custodian, other)
+        )
+        metrics3 = sim.run(TraceWorkload([Request(third, 7)]), 1)
+        assert metrics3.peer_hits == 1
+
+    def test_validation(self, square):
+        with pytest.raises(ParameterError):
+            DynamicSimulator(square, capacity=0)
+        with pytest.raises(ParameterError):
+            DynamicSimulator(square, capacity=10, coordination_level=1.5)
+        sim = DynamicSimulator(square, capacity=10)
+        workload = IRMWorkload(ZipfModel(0.8, 100), square.nodes, seed=0)
+        with pytest.raises(ParameterError):
+            sim.run(workload, 10, warmup=-1)
+
+    def test_unknown_client_rejected(self, square):
+        sim = DynamicSimulator(square, capacity=10)
+        with pytest.raises(SimulationError):
+            sim.run(TraceWorkload([Request("Z", 1)]), 1)

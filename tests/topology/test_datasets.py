@@ -1,0 +1,149 @@
+"""Unit tests for repro.topology.datasets — Tables II & III reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.datasets import (
+    TABLE_III_TARGETS,
+    calibrate_link_latencies,
+    load_abilene,
+    load_cernet,
+    load_geant,
+    load_topology,
+    load_us_a,
+)
+
+#: Table II of the paper: (|V|, |E| directed, region, type).
+TABLE_II = {
+    "abilene": (11, 28, "North America", "Educational"),
+    "cernet": (36, 112, "East Asia", "Educational"),
+    "geant": (23, 74, "Europe", "Educational"),
+    "us-a": (20, 80, "North America", "Commercial"),
+}
+
+
+class TestTableII:
+    @pytest.mark.parametrize("name", sorted(TABLE_II))
+    def test_node_and_edge_counts(self, name):
+        topo = load_topology(name)
+        n_nodes, n_edges, region, kind = TABLE_II[name]
+        assert topo.n_routers == n_nodes
+        assert topo.n_directed_edges == n_edges
+        assert topo.region == region
+        assert topo.kind == kind
+
+    @pytest.mark.parametrize("name", sorted(TABLE_II))
+    def test_connected(self, name):
+        import networkx as nx
+
+        assert nx.is_connected(load_topology(name).graph)
+
+
+class TestTableIII:
+    @pytest.mark.parametrize("name", sorted(TABLE_III_TARGETS))
+    def test_unit_cost_exact(self, name):
+        """w = max pairwise latency must match Table III exactly."""
+        topo = load_topology(name)
+        target = TABLE_III_TARGETS[name]
+        assert topo.max_pairwise_latency() == pytest.approx(
+            target.unit_cost_ms, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III_TARGETS))
+    def test_mean_latency_exact(self, name):
+        topo = load_topology(name)
+        target = TABLE_III_TARGETS[name]
+        assert topo.mean_pairwise_latency() == pytest.approx(
+            target.mean_latency_ms, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III_TARGETS))
+    def test_mean_hops_exact(self, name):
+        """The published hop means are exact rationals (e.g. 266/110)."""
+        topo = load_topology(name)
+        target = TABLE_III_TARGETS[name]
+        assert topo.mean_pairwise_hops() == pytest.approx(
+            target.mean_hops, abs=5e-5
+        )
+
+    def test_abilene_hop_sum_is_266(self):
+        """2.4182 = 266/110 — the real Abilene backbone's exact value."""
+        assert load_abilene().hop_matrix().sum() == pytest.approx(266.0)
+
+    def test_cernet_hop_sum(self):
+        assert load_cernet().hop_matrix().sum() == pytest.approx(3558.0)
+
+    def test_geant_hop_sum(self):
+        assert load_geant().hop_matrix().sum() == pytest.approx(1316.0)
+
+    def test_us_a_hop_sum(self):
+        assert load_us_a().hop_matrix().sum() == pytest.approx(868.0)
+
+
+class TestLoader:
+    def test_aliases(self):
+        assert load_topology("USA").name == "US-A"
+        assert load_topology("us_a").name == "US-A"
+        assert load_topology("Abilene").name == "Abilene"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TopologyError):
+            load_topology("arpanet")
+
+    def test_loaders_cached(self):
+        assert load_abilene() is load_abilene()
+
+    def test_abilene_real_cities(self):
+        nodes = set(load_abilene().nodes)
+        assert {"Seattle", "Denver", "NewYork", "Atlanta"} <= nodes
+
+
+class TestCalibration:
+    COORDS = {
+        "A": (40.0, -74.0),
+        "B": (41.9, -87.6),
+        "C": (34.0, -118.2),
+        "D": (47.6, -122.3),
+    }
+    EDGES = [("A", "B"), ("B", "C"), ("C", "D"), ("B", "D")]
+
+    def test_hits_both_targets(self):
+        a, b, c = calibrate_link_latencies(
+            self.COORDS, self.EDGES, target_max_ms=20.0, target_mean_ms=15.0
+        )
+        assert a >= 0 and b >= 0 and c >= 0
+
+    def test_rejects_unreachable_ratio(self):
+        """A max/mean ratio beyond the graph's hop/distance spread is
+        infeasible with non-negative coefficients."""
+        with pytest.raises(TopologyError):
+            calibrate_link_latencies(
+                self.COORDS, self.EDGES, target_max_ms=30.0, target_mean_ms=15.0
+            )
+
+    def test_rejects_max_below_mean(self):
+        with pytest.raises(TopologyError):
+            calibrate_link_latencies(
+                self.COORDS, self.EDGES, target_max_ms=10.0, target_mean_ms=15.0
+            )
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(TopologyError):
+            calibrate_link_latencies(
+                self.COORDS, [("A", "B"), ("C", "D")],
+                target_max_ms=30.0, target_mean_ms=15.0,
+            )
+
+    def test_propagation_slope_physical(self):
+        """The fitted per-km slope never exceeds the fiber constant."""
+        for loader in (load_abilene, load_cernet, load_geant, load_us_a):
+            topo = loader()
+            for u, v, data in topo.graph.edges(data=True):
+                km = data.get("distance_km")
+                assert km is not None
+                # latency = a*km + b with a <= 1/200 and b >= 0
+                assert data["latency_ms"] >= km / 200.0 - 1e-9 or data[
+                    "latency_ms"
+                ] >= 0

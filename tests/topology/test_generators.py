@@ -1,0 +1,125 @@
+"""Unit tests for repro.topology.generators — synthetic topologies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generators import (
+    barabasi_albert_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+
+
+class TestRing:
+    def test_structure(self):
+        topo = ring_topology(8)
+        assert topo.n_routers == 8
+        assert topo.n_links == 8
+        assert topo.degree_sequence() == [2] * 8
+
+    def test_diameter(self):
+        assert ring_topology(8).diameter_hops() == 4
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(TopologyError):
+            ring_topology(5, link_latency_ms=0.0)
+
+
+class TestStar:
+    def test_structure(self):
+        topo = star_topology(6)
+        assert topo.n_routers == 6
+        assert topo.n_links == 5
+        assert max(topo.degree_sequence()) == 5
+
+    def test_diameter_is_two(self):
+        assert star_topology(6).diameter_hops() == 2
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            star_topology(1)
+
+
+class TestGrid:
+    def test_structure(self):
+        topo = grid_topology(3, 4)
+        assert topo.n_routers == 12
+        assert topo.n_links == 3 * 3 + 2 * 4  # 17 lattice edges
+
+    def test_diameter_manhattan(self):
+        assert grid_topology(3, 4).diameter_hops() == 2 + 3
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(TopologyError):
+            grid_topology(0, 4)
+
+
+class TestErdosRenyi:
+    def test_connected_and_sized(self):
+        topo = erdos_renyi_topology(30, 0.2, seed=1)
+        assert topo.n_routers == 30
+        assert nx.is_connected(topo.graph)
+
+    def test_deterministic_under_seed(self):
+        a = erdos_renyi_topology(20, 0.3, seed=5)
+        b = erdos_renyi_topology(20, 0.3, seed=5)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_topology(10, 0.0)
+        with pytest.raises(TopologyError):
+            erdos_renyi_topology(10, 1.5)
+
+    def test_sparse_failure_raises(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_topology(200, 0.001, seed=0, max_attempts=2)
+
+
+class TestWaxman:
+    def test_connected_with_distance_latencies(self):
+        topo = waxman_topology(25, seed=3)
+        assert topo.n_routers == 25
+        assert nx.is_connected(topo.graph)
+        for _, _, data in topo.graph.edges(data=True):
+            assert data["latency_ms"] > 0
+            assert data["distance_km"] >= 0
+
+    def test_deterministic_under_seed(self):
+        a = waxman_topology(15, seed=9)
+        b = waxman_topology(15, seed=9)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            waxman_topology(1)
+        with pytest.raises(TopologyError):
+            waxman_topology(10, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_topology(10, beta=1.5)
+
+
+class TestBarabasiAlbert:
+    def test_structure(self):
+        topo = barabasi_albert_topology(40, 2, seed=1)
+        assert topo.n_routers == 40
+        assert topo.n_links == 2 * (40 - 2)
+        assert nx.is_connected(topo.graph)
+
+    def test_hub_emerges(self):
+        degrees = barabasi_albert_topology(100, 2, seed=0).degree_sequence()
+        assert degrees[0] >= 3 * degrees[-1]
+
+    def test_rejects_bad_attachment(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert_topology(5, 5)

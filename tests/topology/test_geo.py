@@ -1,0 +1,79 @@
+"""Unit tests for repro.topology.geo — geographic primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.topology.geo import (
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS,
+    great_circle_km,
+    propagation_delay_ms,
+)
+
+
+class TestGreatCircle:
+    def test_zero_distance_same_point(self):
+        assert great_circle_km(40.0, -74.0, 40.0, -74.0) == pytest.approx(0.0)
+
+    def test_known_city_pair(self):
+        """New York - Los Angeles is about 3940 km."""
+        km = great_circle_km(40.71, -74.01, 34.05, -118.24)
+        assert km == pytest.approx(3940, rel=0.02)
+
+    def test_symmetric(self):
+        a = great_circle_km(48.86, 2.35, 52.52, 13.40)
+        b = great_circle_km(52.52, 13.40, 48.86, 2.35)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_quarter_meridian(self):
+        """Equator to pole along a meridian is a quarter circumference."""
+        km = great_circle_km(0.0, 0.0, 90.0, 0.0)
+        import math
+
+        assert km == pytest.approx(math.pi * EARTH_RADIUS_KM / 2, rel=1e-9)
+
+    def test_antipodal_half_circumference(self):
+        import math
+
+        km = great_circle_km(0.0, 0.0, 0.0, 180.0)
+        assert km == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-9)
+
+    def test_triangle_inequality(self):
+        paris = (48.86, 2.35)
+        berlin = (52.52, 13.40)
+        rome = (41.90, 12.50)
+        direct = great_circle_km(*paris, *rome)
+        via = great_circle_km(*paris, *berlin) + great_circle_km(*berlin, *rome)
+        assert direct <= via + 1e-9
+
+    def test_rejects_out_of_range_latitude(self):
+        with pytest.raises(ParameterError):
+            great_circle_km(91.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ParameterError):
+            great_circle_km(0.0, 0.0, -91.0, 0.0)
+
+    def test_rejects_out_of_range_longitude(self):
+        with pytest.raises(ParameterError):
+            great_circle_km(0.0, 181.0, 0.0, 0.0)
+
+
+class TestPropagationDelay:
+    def test_fiber_constant(self):
+        assert propagation_delay_ms(200.0) == pytest.approx(1.0)
+        assert FIBER_KM_PER_MS == 200.0
+
+    def test_custom_speed(self):
+        assert propagation_delay_ms(300.0, km_per_ms=300.0) == pytest.approx(1.0)
+
+    def test_zero_distance(self):
+        assert propagation_delay_ms(0.0) == 0.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ParameterError):
+            propagation_delay_ms(-1.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ParameterError):
+            propagation_delay_ms(10.0, km_per_ms=0.0)

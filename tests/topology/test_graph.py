@@ -1,0 +1,185 @@
+"""Unit tests for repro.topology.graph — the Topology substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        topo = Topology.from_edges([("A", "B"), ("B", "C")], link_latency_ms=3.0)
+        assert topo.n_routers == 3
+        assert topo.n_links == 2
+        assert topo.n_directed_edges == 4
+        assert topo.link_latency("A", "B") == 3.0
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph([("A", "B"), ("C", "D")])
+        with pytest.raises(TopologyError):
+            Topology(graph)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            Topology(nx.Graph())
+
+    def test_rejects_directed(self):
+        with pytest.raises(TopologyError):
+            Topology(nx.DiGraph([("A", "B")]))
+
+    def test_rejects_nonpositive_link_latency(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "B", latency_ms=0.0)
+        with pytest.raises(TopologyError):
+            Topology(graph)
+
+    def test_rejects_nonpositive_default_latency(self):
+        with pytest.raises(TopologyError):
+            Topology(nx.Graph([("A", "B")]), default_link_latency_ms=-1.0)
+
+    def test_rejects_negative_pair_overhead(self):
+        with pytest.raises(TopologyError):
+            Topology(nx.Graph([("A", "B")]), pair_overhead_ms=-1.0)
+
+    def test_single_node_allowed(self):
+        graph = nx.Graph()
+        graph.add_node("solo")
+        topo = Topology(graph)
+        assert topo.n_routers == 1
+        assert topo.mean_pairwise_hops() == 0.0
+
+    def test_copy_isolates_input_graph(self):
+        graph = nx.Graph([("A", "B")])
+        topo = Topology(graph, default_link_latency_ms=1.0)
+        graph.add_edge("B", "C")
+        assert topo.n_routers == 2
+
+    def test_from_coordinates(self):
+        coords = {"NY": (40.71, -74.01), "LA": (34.05, -118.24)}
+        topo = Topology.from_coordinates(coords, [("NY", "LA")], km_per_ms=200.0)
+        # ~3940 km / 200 km/ms ~ 19.7 ms
+        assert topo.link_latency("NY", "LA") == pytest.approx(19.7, rel=0.03)
+
+    def test_from_coordinates_rejects_unknown_node(self):
+        with pytest.raises(TopologyError):
+            Topology.from_coordinates({"A": (0, 0)}, [("A", "B")])
+
+
+class TestAccessors:
+    @pytest.fixture
+    def topo(self) -> Topology:
+        return Topology.from_edges(
+            [("A", "B"), ("B", "C"), ("C", "D"), ("A", "D")],
+            name="square",
+            link_latency_ms=2.0,
+        )
+
+    def test_nodes_stable_order(self, topo):
+        assert topo.nodes == ("A", "B", "C", "D")
+
+    def test_index_of(self, topo):
+        assert topo.index_of("A") == 0
+        assert topo.index_of("D") == 3
+
+    def test_index_of_unknown_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.index_of("Z")
+
+    def test_link_latency_missing_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.link_latency("A", "C")
+
+    def test_repr(self, topo):
+        assert "square" in repr(topo)
+        assert "4" in repr(topo)
+
+    def test_degree_sequence(self, topo):
+        assert topo.degree_sequence() == [2, 2, 2, 2]
+
+
+class TestMatrices:
+    @pytest.fixture
+    def topo(self) -> Topology:
+        return Topology.from_edges(
+            [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=2.0
+        )
+
+    def test_hop_matrix_line(self, topo):
+        hops = topo.hop_matrix()
+        a, d = topo.index_of("A"), topo.index_of("D")
+        assert hops[a, d] == 3
+        assert np.all(np.diag(hops) == 0)
+        assert np.allclose(hops, hops.T)
+
+    def test_latency_matrix_line(self, topo):
+        lat = topo.latency_matrix()
+        a, d = topo.index_of("A"), topo.index_of("D")
+        assert lat[a, d] == pytest.approx(6.0)
+
+    def test_latency_matrix_with_overhead(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "B", latency_ms=2.0)
+        topo = Topology(graph, pair_overhead_ms=5.0)
+        lat = topo.latency_matrix()
+        assert lat[0, 1] == pytest.approx(7.0)
+        assert lat[0, 0] == 0.0  # diagonal untouched
+
+    def test_latency_respects_shortcuts(self):
+        """Dijkstra must prefer a low-latency two-hop path."""
+        graph = nx.Graph()
+        graph.add_edge("A", "B", latency_ms=10.0)
+        graph.add_edge("A", "C", latency_ms=1.0)
+        graph.add_edge("C", "B", latency_ms=1.0)
+        topo = Topology(graph)
+        lat = topo.latency_matrix()
+        assert lat[topo.index_of("A"), topo.index_of("B")] == pytest.approx(2.0)
+
+    def test_matrices_cached_but_copied(self, topo):
+        first = topo.hop_matrix()
+        first[0, 0] = 99.0
+        second = topo.hop_matrix()
+        assert second[0, 0] == 0.0
+
+    def test_shortest_path(self, topo):
+        assert topo.shortest_path("A", "D") == ["A", "B", "C", "D"]
+
+
+class TestStatistics:
+    def test_mean_pairwise_hops_line(self):
+        topo = Topology.from_edges([("A", "B"), ("B", "C")])
+        # pairs: AB=1 BA=1 AC=2 CA=2 BC=1 CB=1 -> sum 8 over 6 pairs
+        assert topo.mean_pairwise_hops() == pytest.approx(8 / 6)
+
+    def test_mean_pairwise_latency(self):
+        topo = Topology.from_edges([("A", "B"), ("B", "C")], link_latency_ms=3.0)
+        assert topo.mean_pairwise_latency() == pytest.approx(3.0 * 8 / 6)
+
+    def test_max_pairwise_latency(self):
+        topo = Topology.from_edges([("A", "B"), ("B", "C")], link_latency_ms=3.0)
+        assert topo.max_pairwise_latency() == pytest.approx(6.0)
+
+    def test_diameter(self):
+        topo = Topology.from_edges([("A", "B"), ("B", "C"), ("C", "D")])
+        assert topo.diameter_hops() == 3
+
+    def test_scale_latencies(self):
+        topo = Topology.from_edges([("A", "B")], link_latency_ms=3.0)
+        scaled = topo.scale_latencies(2.0)
+        assert scaled.link_latency("A", "B") == pytest.approx(6.0)
+        assert topo.link_latency("A", "B") == pytest.approx(3.0)
+
+    def test_scale_latencies_scales_overhead(self):
+        graph = nx.Graph()
+        graph.add_edge("A", "B", latency_ms=1.0)
+        topo = Topology(graph, pair_overhead_ms=4.0)
+        scaled = topo.scale_latencies(0.5)
+        assert scaled.pair_overhead_ms == pytest.approx(2.0)
+
+    def test_scale_rejects_nonpositive(self):
+        topo = Topology.from_edges([("A", "B")])
+        with pytest.raises(TopologyError):
+            topo.scale_latencies(0.0)

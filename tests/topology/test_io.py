@@ -1,0 +1,145 @@
+"""Unit tests for repro.topology.io — JSON persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Topology,
+    load_topology,
+    load_topology_file,
+    save_topology,
+    topology_to_json,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ["abilene", "geant"])
+    def test_dataset_roundtrip_preserves_statistics(self, name, tmp_path):
+        original = load_topology(name)
+        path = tmp_path / f"{name}.json"
+        save_topology(original, path)
+        loaded = load_topology_file(path)
+        assert loaded.n_routers == original.n_routers
+        assert loaded.n_links == original.n_links
+        assert loaded.max_pairwise_latency() == pytest.approx(
+            original.max_pairwise_latency(), rel=1e-9
+        )
+        assert loaded.mean_pairwise_hops() == pytest.approx(
+            original.mean_pairwise_hops(), rel=1e-9
+        )
+        assert loaded.pair_overhead_ms == pytest.approx(
+            original.pair_overhead_ms, rel=1e-9
+        )
+        assert loaded.region == original.region
+
+    def test_coordinates_preserved(self, tmp_path):
+        original = load_topology("abilene")
+        path = tmp_path / "a.json"
+        save_topology(original, path)
+        loaded = load_topology_file(path)
+        assert loaded.graph.nodes["Seattle"]["lat"] == pytest.approx(47.61)
+
+    def test_simple_topology(self, tmp_path):
+        topo = Topology.from_edges(
+            [("A", "B"), ("B", "C")], name="line", link_latency_ms=2.5
+        )
+        path = tmp_path / "line.json"
+        save_topology(topo, path)
+        loaded = load_topology_file(path)
+        assert loaded.link_latency("A", "B") == pytest.approx(2.5)
+
+
+class TestSchemaValidation:
+    def write(self, tmp_path, document) -> str:
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def valid(self) -> dict:
+        return {
+            "name": "t",
+            "nodes": [{"id": "A"}, {"id": "B"}],
+            "links": [{"a": "A", "b": "B", "latency_ms": 1.0}],
+        }
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError):
+            load_topology_file(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TopologyError):
+            load_topology_file(path)
+
+    def test_missing_required_key(self, tmp_path):
+        doc = self.valid()
+        del doc["links"]
+        with pytest.raises(TopologyError):
+            load_topology_file(self.write(tmp_path, doc))
+
+    def test_node_without_id(self, tmp_path):
+        doc = self.valid()
+        doc["nodes"].append({"lat": 1.0})
+        with pytest.raises(TopologyError):
+            load_topology_file(self.write(tmp_path, doc))
+
+    def test_duplicate_node(self, tmp_path):
+        doc = self.valid()
+        doc["nodes"].append({"id": "A"})
+        with pytest.raises(TopologyError):
+            load_topology_file(self.write(tmp_path, doc))
+
+    def test_link_missing_latency(self, tmp_path):
+        doc = self.valid()
+        doc["links"][0] = {"a": "A", "b": "B"}
+        with pytest.raises(TopologyError):
+            load_topology_file(self.write(tmp_path, doc))
+
+    def test_link_to_undeclared_node(self, tmp_path):
+        doc = self.valid()
+        doc["links"].append({"a": "A", "b": "Z", "latency_ms": 1.0})
+        with pytest.raises(TopologyError):
+            load_topology_file(self.write(tmp_path, doc))
+
+    def test_disconnected_rejected_by_topology(self, tmp_path):
+        doc = {
+            "name": "t",
+            "nodes": [{"id": "A"}, {"id": "B"}, {"id": "C"}, {"id": "D"}],
+            "links": [
+                {"a": "A", "b": "B", "latency_ms": 1.0},
+                {"a": "C", "b": "D", "latency_ms": 1.0},
+            ],
+        }
+        with pytest.raises(TopologyError):
+            load_topology_file(self.write(tmp_path, doc))
+
+
+class TestScenarioFromTopology:
+    def test_extracts_table_iii_values(self):
+        from repro.core import Scenario
+
+        scenario = Scenario.from_topology(load_topology("us-a"), alpha=0.8)
+        assert scenario.n_routers == 20
+        assert scenario.unit_cost == pytest.approx(26.7, abs=1e-3)
+        assert scenario.peer_delta == pytest.approx(2.2842, abs=1e-3)
+
+    def test_ms_metric(self):
+        from repro.core import Scenario
+
+        scenario = Scenario.from_topology(
+            load_topology("us-a"), metric="ms", alpha=0.8
+        )
+        assert scenario.peer_delta == pytest.approx(15.7, abs=1e-3)
+
+    def test_overrides_win(self):
+        from repro.core import Scenario
+
+        scenario = Scenario.from_topology(
+            load_topology("us-a"), alpha=0.8, unit_cost=99.0
+        )
+        assert scenario.unit_cost == 99.0

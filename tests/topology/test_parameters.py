@@ -1,0 +1,58 @@
+"""Unit tests for repro.topology.parameters — Table III extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.datasets import TABLE_III_TARGETS, load_topology
+from repro.topology.graph import Topology
+from repro.topology.parameters import TopologyParameters, topology_parameters
+
+
+class TestExtraction:
+    def test_line_topology_values(self):
+        topo = Topology.from_edges(
+            [("A", "B"), ("B", "C")], name="line", link_latency_ms=4.0
+        )
+        params = topology_parameters(topo)
+        assert params.name == "line"
+        assert params.n_routers == 3
+        assert params.unit_cost_ms == pytest.approx(8.0)  # A-C via B
+        assert params.mean_hops == pytest.approx(8 / 6)
+        assert params.mean_latency_ms == pytest.approx(4.0 * 8 / 6)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III_TARGETS))
+    def test_matches_paper_table(self, name):
+        params = topology_parameters(load_topology(name))
+        target = TABLE_III_TARGETS[name]
+        assert params.n_routers == target.n_routers
+        assert params.unit_cost_ms == pytest.approx(target.unit_cost_ms, rel=1e-6)
+        assert params.mean_latency_ms == pytest.approx(
+            target.mean_latency_ms, rel=1e-6
+        )
+        assert params.mean_hops == pytest.approx(target.mean_hops, abs=5e-5)
+
+
+class TestPeerDelta:
+    def test_metric_selection(self):
+        params = TopologyParameters(
+            name="x", n_routers=5, unit_cost_ms=20.0,
+            mean_latency_ms=10.0, mean_hops=2.5,
+        )
+        assert params.peer_delta(metric="hops") == 2.5
+        assert params.peer_delta(metric="ms") == 10.0
+
+    def test_default_is_hops(self):
+        params = TopologyParameters(
+            name="x", n_routers=5, unit_cost_ms=20.0,
+            mean_latency_ms=10.0, mean_hops=2.5,
+        )
+        assert params.peer_delta() == 2.5
+
+    def test_unknown_metric_raises(self):
+        params = TopologyParameters(
+            name="x", n_routers=5, unit_cost_ms=20.0,
+            mean_latency_ms=10.0, mean_hops=2.5,
+        )
+        with pytest.raises(ValueError):
+            params.peer_delta(metric="seconds")
