@@ -1,13 +1,33 @@
 # Convenience targets for the reproduction repository.
 
 PYTHON ?= python
+# Make the src layout importable without an editable install.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench experiments examples scorecard clean
+.PHONY: install test lint bench experiments examples scorecard clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
-test:
+# Static analysis gate: the repo-specific invariant/layering checker
+# (rules R1-R5, see DESIGN.md "Static analysis & invariants") plus ruff
+# and mypy when installed (pip install -e '.[dev]'); both are skipped
+# with a notice on bare containers so `make lint` stays runnable
+# everywhere the test suite is.
+lint:
+	$(PYTHON) -m repro.lint src/ tests/
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/core src/repro/lint; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+test: lint
 	$(PYTHON) -m pytest tests/
 
 bench:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..errors import ParameterError
 from .experiments import TableData
 from .sweep import FigureData
 
@@ -69,7 +70,7 @@ def render_ascii_chart(
     of :func:`render_figure` remains the canonical output.
     """
     if width < 16 or height < 6:
-        raise ValueError("chart needs at least 16x6 characters")
+        raise ParameterError("chart needs at least 16x6 characters")
     lines = [f"Figure {figure.figure_id}: {figure.title}"]
     if not figure.series or not figure.series[0].x:
         lines.append("(no data)")

@@ -17,8 +17,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import CatalogError, ParameterError
+from ..core.validation import require_exponent
 from ..core.zipf import ZipfPopularity
+from ..errors import CatalogError, ParameterError
 
 __all__ = [
     "PopularityModel",
@@ -91,9 +92,8 @@ class ZipfModel(PopularityModel):
 
     def __init__(self, exponent: float, catalog_size: int):
         super().__init__(catalog_size)
-        if not 0.0 < exponent < 2.0:
-            raise ParameterError(f"Zipf exponent must lie in (0, 2), got {exponent}")
-        self.exponent = float(exponent)
+        # The discrete pmf is exact at s = 1; only eq. 6 callers care.
+        self.exponent = require_exponent(exponent, allow_one=True)
 
     def _weights(self) -> np.ndarray:
         ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
@@ -116,11 +116,9 @@ class ZipfMandelbrotModel(PopularityModel):
 
     def __init__(self, exponent: float, plateau: float, catalog_size: int):
         super().__init__(catalog_size)
-        if not 0.0 < exponent < 2.0:
-            raise ParameterError(f"exponent must lie in (0, 2), got {exponent}")
+        self.exponent = require_exponent(exponent, allow_one=True)
         if plateau < 0:
             raise ParameterError(f"plateau q must be non-negative, got {plateau}")
-        self.exponent = float(exponent)
         self.plateau = float(plateau)
 
     def _weights(self) -> np.ndarray:

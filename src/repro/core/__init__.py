@@ -29,6 +29,14 @@ from .optimizer import (
 from .performance import RoutingPerformanceModel, tier_fractions
 from .scenario import Scenario
 from .strategy import ProvisioningStrategy
+from .validation import (
+    require_capacity,
+    require_exponent,
+    require_finite,
+    require_latency_ordering,
+    require_positive,
+    require_probability,
+)
 from .zipf import (
     ZipfPopularity,
     continuous_cdf,
@@ -69,6 +77,12 @@ __all__ = [
     "minimize_objective",
     "optimal_strategy",
     "origin_load_reduction",
+    "require_capacity",
+    "require_exponent",
+    "require_finite",
+    "require_latency_ordering",
+    "require_positive",
+    "require_probability",
     "routing_improvement",
     "solve_first_order",
     "solve_lemma2",

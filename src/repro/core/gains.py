@@ -60,7 +60,7 @@ def routing_improvement(model: PerformanceCostModel, storage: float) -> float:
 
 @dataclass(frozen=True)
 class PerformanceGains:
-    """Both gains for one solved strategy, plus the underlying loads.
+    """Both §IV-E gains for one solved strategy, plus the underlying loads.
 
     Attributes
     ----------

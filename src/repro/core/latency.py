@@ -18,10 +18,10 @@ property).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import ParameterError
+from .validation import require_latency_ordering
 
 __all__ = ["LatencyModel"]
 
@@ -56,19 +56,7 @@ class LatencyModel:
     d2: float
 
     def __post_init__(self) -> None:
-        for name, value in (("d0", self.d0), ("d1", self.d1), ("d2", self.d2)):
-            if not (isinstance(value, (int, float)) and math.isfinite(value)):
-                raise ParameterError(f"latency {name} must be a finite number, got {value!r}")
-            if value <= 0:
-                raise ParameterError(f"latency {name} must be positive, got {value}")
-        if not self.d0 < self.d1:
-            raise ParameterError(
-                f"peer latency d1 must exceed local latency d0 (d0={self.d0}, d1={self.d1})"
-            )
-        if not self.d1 <= self.d2:
-            raise ParameterError(
-                f"origin latency d2 must be at least peer latency d1 (d1={self.d1}, d2={self.d2})"
-            )
+        require_latency_ordering(self.d0, self.d1, self.d2)
 
     @classmethod
     def from_gamma(

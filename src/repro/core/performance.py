@@ -26,11 +26,24 @@ import numpy as np
 
 from ..errors import ParameterError
 from .latency import LatencyModel
+from .validation import SINGULARITY_TOLERANCE
 from .zipf import ZipfPopularity
 
 __all__ = ["RoutingPerformanceModel", "tier_fractions"]
 
 ArrayLike = Union[float, np.ndarray]
+
+
+def _continuous_normalizer(s: float, n_cat: float) -> float:
+    """Eq. 6 normalizer ``(1-s)/(N^{1-s}-1)``, with its ``s → 1`` limit.
+
+    At the Zipf singularity the expression is 0/0; the limit is
+    ``1/ln N`` (the eq. 7 normalizer), matching the branch the CDF
+    itself takes in :mod:`repro.core.zipf`.
+    """
+    if abs(s - 1.0) <= SINGULARITY_TOLERANCE:
+        return 1.0 / math.log(n_cat)
+    return (1.0 - s) / (n_cat ** (1.0 - s) - 1.0)
 
 
 def tier_fractions(
@@ -43,7 +56,8 @@ def tier_fractions(
 ) -> tuple[ArrayLike, ArrayLike, ArrayLike]:
     """Probability that a request is served locally / by a peer / by origin.
 
-    Returns ``(p_local, p_peer, p_origin)`` with
+    These are the three tier masses entering the mean latency ``T(x)``
+    of paper eq. 2 (§III-B).  Returns ``(p_local, p_peer, p_origin)`` with
     ``p_local = F(c-x)``, ``p_peer = F(c-x+xn) - F(c-x)`` and
     ``p_origin = 1 - F(c-x+xn)``.  The three always sum to 1.
 
@@ -180,7 +194,7 @@ class RoutingPerformanceModel:
         # slightly inside so sweeps over [0, c] stay finite.
         local = np.clip(self.capacity - xs, 1e-12, None)
         coordinated = self.capacity + (n - 1) * xs
-        prefactor = (1.0 - s) / (n_cat ** (1.0 - s) - 1.0)
+        prefactor = _continuous_normalizer(s, n_cat)
         values = prefactor * (
             lat.peer_delta * local**-s
             - lat.origin_delta * (n - 1) * coordinated**-s
@@ -214,7 +228,7 @@ class RoutingPerformanceModel:
         lat = self.latency
         local = np.clip(self.capacity - xs, 1e-12, None)
         coordinated = self.capacity + (n - 1) * xs
-        prefactor = s * (1.0 - s) / (n_cat ** (1.0 - s) - 1.0)
+        prefactor = s * _continuous_normalizer(s, n_cat)
         values = prefactor * (
             lat.peer_delta * local ** (-s - 1.0)
             + lat.origin_delta * (n - 1) ** 2 * coordinated ** (-s - 1.0)

@@ -18,11 +18,11 @@ Lemma 2's ``b`` coefficient by design, since only their ratio enters.
 from __future__ import annotations
 
 import dataclasses
-import math
 from dataclasses import dataclass
 
 from ..errors import ParameterError
 from .cost import CoordinationCostModel
+from .validation import require_positive, require_probability
 from .gains import PerformanceGains, evaluate_gains
 from .latency import LatencyModel
 from .objective import PerformanceCostModel
@@ -100,18 +100,10 @@ class Scenario:
     cost_scale: float = BALANCED_COST_SCALE
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.alpha <= 1.0:
-            raise ParameterError(f"alpha must lie in [0, 1], got {self.alpha}")
-        if self.gamma <= 0 or not math.isfinite(self.gamma):
-            raise ParameterError(f"gamma must be positive, got {self.gamma}")
-        if self.access_latency <= 0:
-            raise ParameterError(
-                f"access latency d0 must be positive, got {self.access_latency}"
-            )
-        if self.peer_delta <= 0:
-            raise ParameterError(
-                f"peer delta d1-d0 must be positive, got {self.peer_delta}"
-            )
+        require_probability(self.alpha, "alpha")
+        require_positive(self.gamma, "gamma")
+        require_positive(self.access_latency, "access latency d0")
+        require_positive(self.peer_delta, "peer delta d1-d0")
 
     def replace(self, **changes: object) -> "Scenario":
         """Return a copy with the given fields updated (sweep helper)."""

@@ -36,6 +36,10 @@ _ASSIGNMENTS = ("round-robin", "contiguous")
 class ProvisioningStrategy:
     """A concrete storage provisioning plan for ``n`` routers.
 
+    Materializes the paper's §III-B storage split — each router devotes
+    ``c - x`` slots to the global top contents and ``x`` slots to its
+    share of the coordinated range — as explicit per-router rank sets.
+
     Parameters
     ----------
     capacity:

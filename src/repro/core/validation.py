@@ -1,0 +1,149 @@
+"""Shared domain validators for the paper's parameter contracts.
+
+The analysis is only valid on restricted domains (paper §III, §IV-B):
+the Zipf exponent must avoid the eq. 6/7 singularity at ``s = 1``, the
+tiered latencies must satisfy ``d0 < d1 <= d2`` (``γ`` divides by
+``d1 - d0``), and the per-router coordination variable is bounded by
+``0 <= x <= c`` with ``c > 0``.  These helpers are the canonical guards
+the repro-lint R3 (domain-guard) rule looks for; call them at every
+public entry point that accepts a raw domain parameter instead of
+re-writing inline checks.
+
+Every helper returns its (normalised) input so it can be used fluently::
+
+    s = require_exponent(s)
+    d0, d1, d2 = require_latency_ordering(d0, d1, d2)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..errors import ParameterError, SingularExponentError
+
+__all__ = [
+    "SINGULARITY_TOLERANCE",
+    "require_finite",
+    "require_positive",
+    "require_probability",
+    "require_exponent",
+    "require_latency_ordering",
+    "require_capacity",
+]
+
+#: Exponents within this distance of 1.0 are treated as singular for the
+#: continuous approximation (eq. 6); the discrete forms remain exact
+#: everywhere.
+SINGULARITY_TOLERANCE = 1e-12
+
+
+def require_finite(value: float, name: str = "value") -> float:
+    """Require a finite real number before it enters any paper equation."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_positive(value: float, name: str = "value") -> float:
+    """Require a strictly positive finite number (paper: c > 0, w > 0, ...)."""
+    value = require_finite(value, name)
+    if value <= 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_probability(value: float, name: str = "probability") -> float:
+    """Require a value in ``[0, 1]`` (e.g. the trade-off weight ``α`` of eq. 4)."""
+    value = require_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def require_exponent(s: float, *, allow_one: bool = False) -> float:
+    """Validate a Zipf exponent against the paper's admissible range.
+
+    The paper analyzes ``s in (0, 1) ∪ (1, 2)`` (eq. 6); ``s = 1`` is a
+    singular point of the continuous approximation.  Pass
+    ``allow_one=True`` for code paths that are exact at ``s = 1`` (the
+    discrete pmf/CDF) or that handle the logarithmic limit (eq. 6's
+    ``s → 1`` form) explicitly.
+
+    Returns the exponent unchanged, for fluent use.
+    """
+    s = require_finite(s, "Zipf exponent")
+    if not 0.0 < s < 2.0:
+        raise ParameterError(f"Zipf exponent must lie in (0, 2), got {s}")
+    if not allow_one and abs(s - 1.0) <= SINGULARITY_TOLERANCE:
+        raise SingularExponentError(
+            "Zipf exponent s = 1 is a singular point of the continuous "
+            "approximation (paper eq. 6); use the *_limit helpers instead"
+        )
+    return s
+
+
+def require_latency_ordering(
+    d0: float, d1: float, d2: float
+) -> Tuple[float, float, float]:
+    """Validate the three-tier latency ordering ``d0 < d1 <= d2`` (§III-B.1).
+
+    The tiered latency ratio ``γ = (d2 - d1)/(d1 - d0)`` divides by
+    ``d1 - d0``, so the strict first inequality is load-bearing, not
+    cosmetic.  Returns the validated ``(d0, d1, d2)`` tuple.
+    """
+    for name, value in (("d0", d0), ("d1", d1), ("d2", d2)):
+        if not (isinstance(value, (int, float)) and math.isfinite(value)):
+            raise ParameterError(f"latency {name} must be a finite number, got {value!r}")
+        if value <= 0:
+            raise ParameterError(f"latency {name} must be positive, got {value}")
+    if not d0 < d1:
+        raise ParameterError(
+            f"peer latency d1 must exceed local latency d0 (d0={d0}, d1={d1})"
+        )
+    if not d1 <= d2:
+        raise ParameterError(
+            f"origin latency d2 must be at least peer latency d1 (d1={d1}, d2={d2})"
+        )
+    return (float(d0), float(d1), float(d2))
+
+
+def require_capacity(
+    capacity: float,
+    *,
+    x: Optional[float] = None,
+    catalog_size: Optional[float] = None,
+    integer: bool = False,
+    allow_zero: bool = False,
+    name: str = "capacity",
+) -> float:
+    """Validate a cache capacity ``c`` and, optionally, ``0 <= x <= c``.
+
+    Lemma 1 (§IV-B) requires ``c > 0`` and bounds the coordination
+    variable by ``0 <= x <= c``; provisioned storage can also never
+    exceed the catalog (``c <= N``, checked when ``catalog_size`` is
+    given).  With ``integer=True`` the capacity must additionally be a
+    whole number of unit-size contents (the simulator's stores);
+    ``allow_zero=True`` admits ``c = 0`` for deliberately cache-less
+    simulated routers (outside the analytical model's domain).
+
+    Returns the validated capacity (as ``float``, or exactly the
+    integral value when ``integer=True``).
+    """
+    capacity = require_finite(capacity, name)
+    if capacity < 0 or (capacity == 0 and not allow_zero):
+        raise ParameterError(f"{name} must satisfy c > 0, got {capacity}")
+    if integer and int(capacity) != capacity:
+        raise ParameterError(f"{name} must be an integer count of contents, got {capacity}")
+    if catalog_size is not None and capacity > float(catalog_size):
+        raise ParameterError(
+            f"{name} exceeds the catalog size (c={capacity}, N={catalog_size})"
+        )
+    if x is not None:
+        x = require_finite(x, "coordination level x")
+        if not 0.0 <= x <= capacity:
+            raise ParameterError(
+                f"coordination level must satisfy 0 <= x <= c, got x={x}, c={capacity}"
+            )
+    return capacity

@@ -29,7 +29,8 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import CatalogError, ParameterError, SingularExponentError
+from ..errors import CatalogError, ParameterError
+from .validation import SINGULARITY_TOLERANCE, require_exponent, require_finite
 
 __all__ = [
     "harmonic_number",
@@ -45,10 +46,6 @@ __all__ = [
     "ZipfPopularity",
 ]
 
-#: Exponents within this distance of 1.0 are treated as singular for the
-#: continuous approximation; the discrete forms remain exact everywhere.
-SINGULARITY_TOLERANCE = 1e-12
-
 #: Rank threshold above which :func:`harmonic_number` switches from the
 #: exact cumulative sum to the Euler–Maclaurin asymptotic expansion.
 _ASYMPTOTIC_THRESHOLD = 50_000_000
@@ -57,23 +54,11 @@ _ASYMPTOTIC_THRESHOLD = 50_000_000
 def validate_exponent(s: float, *, allow_one: bool = False) -> float:
     """Validate a Zipf exponent against the paper's admissible range.
 
-    The paper analyzes ``s in (0, 1) ∪ (1, 2)``.  ``s = 1`` is a singular
-    point of the continuous approximation; pass ``allow_one=True`` for
-    code paths that handle the logarithmic limit explicitly.
-
-    Returns the exponent unchanged, for fluent use.
+    The paper analyzes ``s in (0, 1) ∪ (1, 2)`` (eq. 6).  Thin alias of
+    :func:`repro.core.validation.require_exponent`, kept for backwards
+    compatibility; new code should call the validator directly.
     """
-    s = float(s)
-    if not math.isfinite(s):
-        raise ParameterError(f"Zipf exponent must be finite, got {s!r}")
-    if not 0.0 < s < 2.0:
-        raise ParameterError(f"Zipf exponent must lie in (0, 2), got {s}")
-    if not allow_one and abs(s - 1.0) <= SINGULARITY_TOLERANCE:
-        raise SingularExponentError(
-            "Zipf exponent s = 1 is a singular point of the continuous "
-            "approximation (paper eq. 6); use the *_limit helpers instead"
-        )
-    return s
+    return require_exponent(s, allow_one=allow_one)
 
 
 def _validate_catalog_size(n: Union[int, float]) -> int:
@@ -95,7 +80,9 @@ def harmonic_number(k: Union[int, float], s: float) -> float:
         raise ParameterError(f"harmonic number order must be non-negative, got {k}")
     if k == 0:
         return 0.0
-    s = float(s)
+    # The discrete sum is exact for any finite real s (only the eq. 6
+    # continuous approximation is domain-restricted).
+    s = require_finite(s, "harmonic exponent s")
     if k <= _ASYMPTOTIC_THRESHOLD:
         j = np.arange(1, k + 1, dtype=np.float64)
         return float(np.sum(j**-s))
@@ -115,14 +102,19 @@ def harmonic_number(k: Union[int, float], s: float) -> float:
 
 
 def harmonic_numbers(k_max: int, s: float) -> np.ndarray:
-    """Vector of ``H_{k,s}`` for ``k = 0, 1, ..., k_max`` (index = k)."""
+    """Vector of ``H_{k,s}`` for ``k = 0, 1, ..., k_max`` (index = k).
+
+    Prefix sums of the eq. 1 normalizer, used to evaluate the exact
+    discrete CDF (paper §III-A) for many ranks at once.
+    """
     k_max = int(k_max)
     if k_max < 0:
         raise ParameterError(f"k_max must be non-negative, got {k_max}")
+    s = require_finite(s, "harmonic exponent s")
     j = np.arange(0, k_max + 1, dtype=np.float64)
     terms = np.zeros(k_max + 1, dtype=np.float64)
     if k_max >= 1:
-        terms[1:] = j[1:] ** -float(s)
+        terms[1:] = j[1:] ** -s
     return np.cumsum(terms)
 
 

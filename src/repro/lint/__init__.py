@@ -1,0 +1,50 @@
+"""repro-lint: AST-based invariant and layering checks for this repository.
+
+The correctness of the reproduction rests on contracts the Python type
+system cannot express — the Zipf singularity at ``s = 1`` (paper eq. 6/7),
+the tiered-latency ordering ``d0 < d1 <= d2`` behind ``γ``, the
+coordination bound ``0 <= x <= c`` and Lemma 1's existence conditions.
+This package encodes those paper-level contracts as five static-analysis
+rules and enforces them over the whole tree on every PR:
+
+- **R1 exception-discipline** — deliberate failures inside ``repro`` must
+  use the :mod:`repro.errors` hierarchy, never bare ``ValueError`` /
+  ``RuntimeError`` / ``Exception``.
+- **R2 import-layering** — the architecture DAG (``core`` below
+  ``simulation``/``analysis``/``ccn``, nothing imports ``cli``), declared
+  once in :data:`repro.lint.rules.r2_layering.ALLOWED_IMPORTS`.
+- **R3 domain-guard** — public functions taking ``s``/``exponent``,
+  ``d0/d1/d2`` or capacity parameters must validate them (directly or via
+  :mod:`repro.core.validation`) before numeric use.
+- **R4 numpy-aliasing** — no in-place mutation of array parameters in the
+  ``simulation``/``ccn`` hot paths.
+- **R5 equation-traceability** — public ``core`` functions must cite the
+  paper equation/section they implement in their docstring.
+
+Run it as ``python -m repro.lint src/ tests/`` or ``make lint``.
+Suppress a finding with ``# repro-lint: disable=R1`` on the offending
+line, or ``# repro-lint: disable-file=R4`` anywhere in the file.
+
+This package deliberately imports nothing from the rest of ``repro``
+(and nothing outside the standard library) so that it can lint a broken
+tree and so the layering rule can require that no runtime module depends
+on it.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, Severity
+from .engine import LintResult, discover_files, lint_file, lint_paths
+from .rules import RULES, Rule, rule_ids
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintResult",
+    "Rule",
+    "RULES",
+    "rule_ids",
+    "discover_files",
+    "lint_file",
+    "lint_paths",
+]

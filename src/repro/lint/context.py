@@ -1,0 +1,82 @@
+"""Per-file context handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Top-level modules of the ``repro`` package that the layering rule
+#: treats as units alongside the subpackages.
+ROOT_UNIT = "<root>"
+
+
+def resolve_module_name(path: Path) -> Optional[str]:
+    """Dotted module name of ``path``, derived from ``__init__.py`` markers.
+
+    Walks upward while the containing directory is a package.  Returns
+    ``None`` for scripts that live outside any package (e.g. loose
+    fixture files), in which case the package-scoped rules do not apply.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module_name: Optional[str]
+
+    #: Cached split source lines (1-indexed access via ``line_at``).
+    _lines: Tuple[str, ...] = field(default=(), repr=False)
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module_name=resolve_module_name(path),
+        )
+
+    @property
+    def in_repro(self) -> bool:
+        """Whether this file belongs to the ``repro`` package."""
+        name = self.module_name
+        return name is not None and (name == "repro" or name.startswith("repro."))
+
+    @property
+    def repro_unit(self) -> Optional[str]:
+        """The architectural unit this module belongs to.
+
+        Subpackage name (``core``, ``simulation``, ...), a top-level
+        module name (``errors``, ``cli``, ``__main__``), ``<root>`` for
+        ``repro/__init__.py``, or ``None`` outside the package.
+        """
+        if not self.in_repro:
+            return None
+        segments = (self.module_name or "").split(".")
+        if len(segments) == 1:
+            return ROOT_UNIT
+        return segments[1]
+
+    def line_at(self, lineno: int) -> str:
+        if not self._lines:
+            self._lines = tuple(self.source.splitlines())
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1]
+        return ""

@@ -1,0 +1,57 @@
+"""Diagnostic records produced by lint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    ``ERROR`` findings fail the build; ``WARNING`` findings are reported
+    but do not affect the exit code (reserved for advisory rules).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable report ordering: by path, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format_text(self) -> str:
+        """GCC-style one-line rendering used by the text reporter."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable form used by ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

@@ -1,0 +1,144 @@
+"""File discovery, rule dispatch, and suppression filtering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .context import ModuleContext
+from .diagnostics import Diagnostic, Severity
+from .rules import RULES, Rule
+from .suppress import SuppressionIndex
+
+#: Directory components never descended into during discovery.  Lint
+#: fixtures are deliberately-bad code; they are linted only when named
+#: explicitly on the command line (as the fixture tests do).
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {
+        "__pycache__",
+        "fixtures",
+        ".git",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+        ".pytest_cache",
+    }
+)
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting a set of paths."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_count: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any error-severity finding remains."""
+        return 1 if self.error_count else 0
+
+
+def discover_files(
+    paths: Sequence[Path],
+    *,
+    excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Exclusion applies to directory components *below* each named root,
+    so an explicitly named path is always linted — a file, or a
+    directory that itself sits under ``fixtures/`` — while walking
+    ``tests/`` still skips ``tests/lint/fixtures/``.
+    """
+    excluded = frozenset(excluded_dirs)
+    found: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (
+                    set(p.relative_to(path).parts[:-1]) & excluded
+                    or p.name.endswith(".egg-info")
+                )
+            )
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                found.append(candidate)
+    return found
+
+
+def lint_file(
+    path: Path,
+    *,
+    rules: Sequence[Rule] = RULES,
+    selected_ids: Optional[Iterable[str]] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Lint one file; returns ``(diagnostics, suppressed_count)``.
+
+    A file that fails to parse yields a single ``E001`` diagnostic so a
+    syntax error cannot silently pass the lint gate.
+    """
+    try:
+        ctx = ModuleContext.from_path(path)
+    except SyntaxError as exc:
+        return (
+            [
+                Diagnostic(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule_id="E001",
+                    rule_name="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    selected = {rid.upper() for rid in selected_ids} if selected_ids is not None else None
+    suppressions = SuppressionIndex.from_source(ctx.source)
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for rule in rules:
+        if selected is not None and rule.id.upper() not in selected:
+            continue
+        for diagnostic in rule.check(ctx):
+            if suppressions.is_suppressed(diagnostic.rule_id, diagnostic.line):
+                suppressed += 1
+            else:
+                kept.append(diagnostic)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Sequence[Rule] = RULES,
+    selected_ids: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every python file reachable from ``paths``."""
+    result = LintResult()
+    for path in discover_files(paths):
+        diagnostics, suppressed = lint_file(
+            path, rules=rules, selected_ids=selected_ids
+        )
+        result.diagnostics.extend(diagnostics)
+        result.suppressed_count += suppressed
+        result.files_checked += 1
+    result.diagnostics.sort(key=Diagnostic.sort_key)
+    return result

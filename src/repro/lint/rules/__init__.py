@@ -1,0 +1,76 @@
+"""Rule registry for repro-lint.
+
+Each rule lives in its own module and registers a single :class:`Rule`
+subclass.  The registry order defines the reporting order for findings
+on the same line.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Tuple
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic, Severity
+
+
+class Rule(ABC):
+    """One named, documented invariant check."""
+
+    #: Stable identifier used in reports and suppression comments.
+    id: str = ""
+    #: Short kebab-case name shown next to the id.
+    name: str = ""
+    #: One-line description for ``--list-rules``.
+    description: str = ""
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        """Yield findings for one module."""
+
+    def diagnostic(
+        self,
+        ctx: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        """Build a :class:`Diagnostic` attributed to this rule."""
+        return Diagnostic(
+            path=str(ctx.path),
+            line=line,
+            col=col,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+            severity=severity,
+        )
+
+
+def _build_registry() -> Tuple[Rule, ...]:
+    from .r1_exceptions import ExceptionDisciplineRule
+    from .r2_layering import ImportLayeringRule
+    from .r3_domain import DomainGuardRule
+    from .r4_aliasing import NumpyAliasingRule
+    from .r5_traceability import EquationTraceabilityRule
+
+    return (
+        ExceptionDisciplineRule(),
+        ImportLayeringRule(),
+        DomainGuardRule(),
+        NumpyAliasingRule(),
+        EquationTraceabilityRule(),
+    )
+
+
+RULES: Tuple[Rule, ...] = _build_registry()
+
+
+def rule_ids() -> List[str]:
+    """Ids of all registered rules, in registry (reporting) order."""
+    return [rule.id for rule in RULES]
+
+
+__all__ = ["Rule", "RULES", "rule_ids"]

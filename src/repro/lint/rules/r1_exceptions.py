@@ -1,0 +1,68 @@
+"""R1 — exception-discipline.
+
+Library code must raise exceptions from the :mod:`repro.errors`
+hierarchy so callers can catch ``ReproError`` once and let genuine
+programming errors (``TypeError`` and friends) propagate.  Raising a
+bare ``ValueError``/``RuntimeError``/``Exception`` from ``repro`` breaks
+that contract: a caller catching ``ReproError`` misses the failure, and
+a caller forced to catch ``ValueError`` also swallows unrelated bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from . import Rule
+
+#: Exception names whose bare use marks an undisciplined raise.  The
+#: :mod:`repro.errors` classes multiply inherit from the right builtin
+#: (e.g. ``ParameterError`` is a ``ValueError``) so switching costs
+#: callers nothing.
+FORBIDDEN_RAISES = frozenset({"ValueError", "RuntimeError", "Exception"})
+
+#: Units exempt from the rule: ``errors`` defines the hierarchy itself
+#: and ``lint`` is standalone by design (it may not import ``repro.errors``).
+EXEMPT_UNITS = frozenset({"errors", "lint"})
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The plain exception class name of a ``raise``, if identifiable."""
+    exc = node.exc
+    if exc is None:  # bare re-raise inside except: always fine
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+class ExceptionDisciplineRule(Rule):
+    id = "R1"
+    name = "exception-discipline"
+    description = (
+        "raise ReproError subclasses (repro.errors) instead of bare "
+        "ValueError/RuntimeError/Exception inside the repro package"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro or ctx.repro_unit in EXEMPT_UNITS:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            raised = _raised_name(node)
+            if raised in FORBIDDEN_RAISES:
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"raise of bare {raised}; use a ReproError subclass from "
+                    f"repro.errors (e.g. ParameterError) so callers can catch "
+                    f"library failures uniformly",
+                )

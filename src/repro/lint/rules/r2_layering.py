@@ -1,0 +1,148 @@
+"""R2 — import-layering.
+
+Enforces the architecture DAG of the reproduction.  The layer order
+(bottom to top) is::
+
+    errors
+      └─ core ── topology          (core↔topology: see note below)
+           └─ catalog
+                └─ baselines / simulation / hetero
+                     └─ ccn / adaptive
+                          └─ analysis
+                               └─ cli
+
+:data:`ALLOWED_IMPORTS` below is the single place the allowed-edge table
+is declared; DESIGN.md renders the same table in prose.  Key paper-level
+motivations: the analytical model (``core``) must stay runnable without
+the simulator so Theorem/Lemma checks cannot depend on simulation
+artefacts, and nothing may import ``cli`` or ``lint`` so the library
+stays embeddable.
+
+Note on ``core -> topology``: :meth:`repro.core.scenario.Scenario.from_topology`
+bridges measured topologies (paper §V-A, Table III) into the model stack
+via a function-local import; the edge is sanctioned here rather than
+hidden.  ``topology`` itself depends only on ``errors``, so no cycle can
+form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+from ..context import ROOT_UNIT, ModuleContext
+from ..diagnostics import Diagnostic
+from . import Rule
+
+_FOUNDATION: FrozenSet[str] = frozenset({"errors"})
+_MODEL: FrozenSet[str] = _FOUNDATION | {"core", "topology"}
+_DATA: FrozenSet[str] = _MODEL | {"catalog"}
+
+#: The allowed-edge table: architectural unit -> units it may import.
+#: A unit may always import itself; ``repro`` root re-exports (``<root>``)
+#: may import everything except ``cli`` and ``lint``.
+ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
+    "errors": frozenset(),
+    "lint": frozenset(),  # standalone: stdlib only
+    "core": frozenset({"errors", "topology"}),
+    "topology": frozenset({"errors"}),
+    "catalog": _MODEL,
+    "baselines": _DATA,
+    "simulation": _DATA,
+    "hetero": _DATA,
+    "ccn": _DATA | {"simulation"},
+    "adaptive": _DATA | {"simulation"},
+    "analysis": _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero"},
+    "cli": _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis"},
+    ROOT_UNIT: _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis"},
+    "__main__": frozenset({"cli"}),
+}
+
+
+def _resolve_relative(module_name: str, is_package_init: bool, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted target of a relative ``from ... import`` statement."""
+    segments = module_name.split(".")
+    # For ``from . import x`` in a module, level 1 refers to the parent
+    # package; in ``__init__.py`` the module name already is the package.
+    if not is_package_init:
+        segments = segments[:-1]
+    drop = node.level - 1
+    if drop > len(segments):
+        return None
+    base = segments[: len(segments) - drop] if drop else segments
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _imported_units(ctx: ModuleContext) -> Iterator[Tuple[ast.stmt, str]]:
+    """Yield ``(node, unit)`` for every import of a ``repro`` unit."""
+    is_init = ctx.path.name == "__init__.py"
+    assert ctx.module_name is not None
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                if target == "repro" or target.startswith("repro."):
+                    yield node, _unit_of(target)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                target = _resolve_relative(ctx.module_name, is_init, node)
+            else:
+                target = node.module
+            if target and (target == "repro" or target.startswith("repro.")):
+                yield node, _unit_of(target)
+
+
+def _unit_of(dotted: str) -> str:
+    segments = dotted.split(".")
+    return segments[1] if len(segments) > 1 else ROOT_UNIT
+
+
+class ImportLayeringRule(Rule):
+    id = "R2"
+    name = "import-layering"
+    description = (
+        "enforce the architecture DAG declared in "
+        "repro.lint.rules.r2_layering.ALLOWED_IMPORTS"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        unit = ctx.repro_unit
+        if unit is None:
+            return
+        allowed = ALLOWED_IMPORTS.get(unit)
+        if allowed is None:
+            yield self.diagnostic(
+                ctx,
+                1,
+                0,
+                f"unit {unit!r} is not declared in the layering table "
+                f"(repro.lint.rules.r2_layering.ALLOWED_IMPORTS); add it with "
+                f"an explicit allowed-import set",
+            )
+            return
+        for node, imported in _imported_units(ctx):
+            if imported == unit:
+                continue  # intra-unit imports are always fine
+            if imported == ROOT_UNIT:
+                # Importing the package root from inside the package
+                # re-enters the public API and invites cycles.
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "importing the repro package root from inside the package "
+                    "creates a cycle through the public API; import the "
+                    "concrete submodule instead",
+                )
+                continue
+            if imported not in allowed:
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"layering violation: {unit!r} may not import {imported!r} "
+                    f"(allowed: {', '.join(sorted(allowed)) or 'nothing'}); the "
+                    f"DAG is declared in repro.lint.rules.r2_layering",
+                )

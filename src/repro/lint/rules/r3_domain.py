@@ -1,0 +1,199 @@
+"""R3 — domain-guard.
+
+The paper's analysis is only valid on restricted parameter domains: the
+Zipf exponent ``s`` must avoid the eq. 6/7 singularity at ``s = 1`` and
+stay in ``(0, 2)``; the tiered latencies must satisfy ``d0 < d1 <= d2``
+(the definition of ``γ`` divides by ``d1 - d0``); capacities and the
+coordination variable must satisfy ``0 <= x <= c``.  A public function
+that feeds such a parameter into arithmetic without validating it turns
+a domain violation into a silent NaN or an inverted conclusion a million
+requests later.
+
+The rule requires every public module-level function (and ``__init__`` /
+``__post_init__`` of public classes) taking a recognised domain
+parameter to do one of:
+
+- call a shared validator from :mod:`repro.core.validation` (or
+  ``repro.core.zipf.validate_exponent``) on it,
+- guard it with an explicit ``if ... raise`` / ``assert``, or
+- forward it to a *trusted sink* — a constructor or function that is
+  itself validated (declared in :data:`TRUSTED_SINKS`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from . import Rule
+
+#: Parameter-name classes the rule recognises, with the contract each
+#: one carries (used in the finding message).
+EXPONENT_PARAMS: FrozenSet[str] = frozenset({"s", "exponent", "zipf_exponent", "skew"})
+LATENCY_PARAMS: FrozenSet[str] = frozenset({"d0", "d1", "d2"})
+CAPACITY_PARAMS: FrozenSet[str] = frozenset(
+    {"capacity", "cache_capacity", "total_capacity", "capacity_per_router"}
+)
+
+_CONTRACTS = (
+    (EXPONENT_PARAMS, "Zipf exponent: s in (0, 2), s = 1 singular (paper eq. 6/7)"),
+    (LATENCY_PARAMS, "tiered latency ordering d0 < d1 <= d2 (paper §III-B.1)"),
+    (CAPACITY_PARAMS, "capacity bound 0 <= x <= c (paper §III-B)"),
+)
+
+#: Names whose call counts as validating every argument passed to it.
+#: A function *named* like a validator is itself exempt from the rule —
+#: it is the guard the rest of the tree delegates to.
+VALIDATOR_NAMES: FrozenSet[str] = frozenset(
+    {
+        "validate_exponent",
+        "require_exponent",
+        "require_latency_ordering",
+        "require_capacity",
+        "require_probability",
+        "require_positive",
+        "require_finite",
+        "check_existence",
+    }
+)
+
+#: Callables known to validate their own domain parameters; forwarding a
+#: parameter into one of these satisfies the guard.  Keep this list in
+#: sync with the constructors'/functions' actual contracts.
+TRUSTED_SINKS: FrozenSet[str] = frozenset(
+    {
+        "ZipfPopularity",
+        "ZipfModel",
+        "ZipfMandelbrotModel",
+        "LatencyModel",
+        "Scenario",
+        "RoutingPerformanceModel",
+        "PerformanceCostModel",
+        "ProvisioningStrategy",
+        "HeterogeneousModel",
+        "zipf_pmf",
+        "zipf_cdf",
+        "harmonic_number",
+        "harmonic_numbers",
+        "continuous_cdf",
+        "continuous_cdf_limit",
+        "continuous_pdf",
+        "inverse_continuous_cdf",
+        "top_k_mass",
+        "make_policy",
+    }
+)
+
+#: Units where the rule applies.  ``lint`` is standalone; tests and
+#: fixtures are out of scope because their module name is not repro.*.
+EXEMPT_UNITS = frozenset({"lint"})
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_super_init(call: ast.Call) -> bool:
+    """``super().__init__(...)`` / ``Base.__init__(self, ...)`` forwarding.
+
+    Forwarding a parameter to a base-class constructor is trusted: the
+    base ``__init__`` is itself subject to this rule, so the guard
+    requirement propagates to the class that actually stores the value
+    (e.g. ``CachePolicy.__init__`` validating ``capacity`` for every
+    replacement policy).
+    """
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr in ("__init__", "__post_init__")
+
+
+def _names_in(node: ast.AST) -> FrozenSet[str]:
+    return frozenset(
+        child.id for child in ast.walk(node) if isinstance(child, ast.Name)
+    )
+
+
+def _domain_params(fn: ast.FunctionDef) -> List[Tuple[str, str]]:
+    """Recognised ``(param, contract)`` pairs of a function signature."""
+    params: List[Tuple[str, str]] = []
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+    for arg in args:
+        if arg.arg in ("self", "cls"):
+            continue
+        for names, contract in _CONTRACTS:
+            if arg.arg in names:
+                params.append((arg.arg, contract))
+    return params
+
+
+def _is_guarded(fn: ast.FunctionDef, param: str) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            callee = _callee_name(node)
+            if callee in VALIDATOR_NAMES or callee in TRUSTED_SINKS or _is_super_init(node):
+                arg_names: FrozenSet[str] = frozenset()
+                for arg in node.args:
+                    arg_names |= _names_in(arg)
+                for kw in node.keywords:
+                    arg_names |= _names_in(kw.value)
+                if param in arg_names:
+                    return True
+        elif isinstance(node, ast.If):
+            # An explicit ``if <test mentioning param>: ... raise`` guard.
+            if param in _names_in(node.test) and any(
+                isinstance(inner, ast.Raise) for inner in ast.walk(node)
+            ):
+                return True
+        elif isinstance(node, ast.Assert):
+            if param in _names_in(node.test):
+                return True
+    return False
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.FunctionDef, str]]:
+    """Module-level public functions and init methods of public classes."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and not node.name.startswith("_"):
+            yield node, node.name
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for member in node.body:
+                if isinstance(member, ast.FunctionDef) and member.name in (
+                    "__init__",
+                    "__post_init__",
+                ):
+                    yield member, f"{node.name}.{member.name}"
+
+
+class DomainGuardRule(Rule):
+    id = "R3"
+    name = "domain-guard"
+    description = (
+        "public functions taking s/exponent, d0/d1/d2 or capacity parameters "
+        "must validate them (repro.core.validation) before numeric use"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_repro or ctx.repro_unit in EXEMPT_UNITS:
+            return
+        for fn, qualname in _public_functions(ctx.tree):
+            if fn.name in VALIDATOR_NAMES:
+                continue  # this *is* a validator; it defines the guard
+            for param, contract in _domain_params(fn):
+                if not _is_guarded(fn, param):
+                    yield self.diagnostic(
+                        ctx,
+                        fn.lineno,
+                        fn.col_offset,
+                        f"public function {qualname!r} uses domain parameter "
+                        f"{param!r} without validation ({contract}); call a "
+                        f"repro.core.validation helper or forward to a trusted "
+                        f"sink before numeric use",
+                    )

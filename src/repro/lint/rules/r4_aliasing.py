@@ -1,0 +1,138 @@
+"""R4 — numpy-aliasing.
+
+The simulator and CCN data-plane hot paths pass numpy arrays around to
+avoid copies.  Mutating an array *parameter* in place (``arr[...] =``,
+``arr += ...``, ``np.add(..., out=arr)``) silently changes caller state
+through the alias — the classic source of irreproducible metrics where a
+second simulation run sees a perturbed popularity or latency vector
+(cf. Fricker et al. on how mis-set traffic-mix inputs invert hit-rate
+conclusions).  Intentional in-place protocols (e.g. a decay kernel
+documented to update its buffer argument) must carry a line suppression,
+which doubles as documentation of the aliasing contract.
+
+Scope: functions in the ``simulation`` and ``ccn`` units.  Mutating
+``self`` attributes or locals is fine; only parameters are aliased with
+caller state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from . import Rule
+
+#: Units whose hot paths the rule watches.
+WATCHED_UNITS = frozenset({"simulation", "ccn"})
+
+#: Annotation substrings marking a parameter as an array for the
+#: scalar-augmented-assignment check (``param += v`` rebinds scalars
+#: locally but mutates ndarrays in place).
+_ARRAY_ANNOTATIONS = ("ndarray", "NDArray", "ArrayLike")
+
+
+def _param_names(fn: ast.FunctionDef) -> FrozenSet[str]:
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+    return frozenset(a.arg for a in args if a.arg not in ("self", "cls"))
+
+
+def _array_annotated_params(fn: ast.FunctionDef) -> FrozenSet[str]:
+    names = set()
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(fn.args.kwonlyargs)
+    for arg in args:
+        if arg.annotation is None:
+            continue
+        rendered = ast.unparse(arg.annotation)
+        if any(marker in rendered for marker in _ARRAY_ANNOTATIONS):
+            names.add(arg.arg)
+    return frozenset(names)
+
+
+def _subscript_root(node: ast.AST) -> Optional[str]:
+    """The base name of a (possibly nested) subscript target."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class NumpyAliasingRule(Rule):
+    id = "R4"
+    name = "numpy-aliasing"
+    description = (
+        "no in-place mutation of array parameters (subscript assignment, "
+        "augmented assignment, out=) in simulation/ccn hot paths"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.repro_unit not in WATCHED_UNITS:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = _param_names(fn)
+            if not params:
+                continue
+            array_params = _array_annotated_params(fn)
+            yield from self._check_function(ctx, fn, params, array_params)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef,
+        params: FrozenSet[str],
+        array_params: FrozenSet[str],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        root = _subscript_root(target)
+                        if root in params:
+                            yield self.diagnostic(
+                                ctx,
+                                node.lineno,
+                                node.col_offset,
+                                f"in-place subscript assignment to parameter "
+                                f"{root!r} mutates caller state through the "
+                                f"alias; copy first or suppress to document "
+                                f"the in-place contract",
+                            )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Subscript):
+                    root = _subscript_root(node.target)
+                    if root in params:
+                        yield self.diagnostic(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"augmented subscript assignment mutates parameter "
+                            f"{root!r} in place through the alias",
+                        )
+                elif isinstance(node.target, ast.Name) and node.target.id in array_params:
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"augmented assignment to array parameter "
+                        f"{node.target.id!r} mutates it in place (ndarray "
+                        f"+= is not a rebind)",
+                    )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "out"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in params
+                    ):
+                        yield self.diagnostic(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"out={kw.value.id!r} writes the result into a "
+                            f"parameter buffer, mutating caller state",
+                        )

@@ -1,0 +1,106 @@
+"""Suppression comments: ``# repro-lint: disable=R1[,R2]``.
+
+Two scopes are supported:
+
+- ``# repro-lint: disable=R1,R4`` — suppresses the named rules on the
+  physical line carrying the comment (trailing or standalone; a
+  standalone comment suppresses the *next* non-comment line as well, so
+  a finding can be silenced without overlong lines).
+- ``# repro-lint: disable-file=R2`` — suppresses the named rules for the
+  whole file.
+
+``disable=all`` suppresses every rule in the given scope.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from io import StringIO
+from typing import Dict, FrozenSet, Iterable, Set
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\s-]+)"
+)
+
+ALL = "all"
+
+
+def _parse_rule_list(raw: str) -> FrozenSet[str]:
+    return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+
+
+class SuppressionIndex:
+    """Per-file index answering "is rule R suppressed at line L?"."""
+
+    def __init__(self, file_rules: FrozenSet[str], line_rules: Dict[int, FrozenSet[str]]):
+        self._file_rules = file_rules
+        self._line_rules = line_rules
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Build the index by tokenizing ``source`` and reading comments.
+
+        Tokenization (rather than a per-line regex) means directives
+        inside string literals are ignored, so lint fixtures and
+        documentation can mention the syntax without self-suppressing.
+        Falls back to an empty index if the source fails to tokenize;
+        the engine reports the syntax error separately.
+        """
+        file_rules: Set[str] = set()
+        line_rules: Dict[int, Set[str]] = {}
+        standalone: Dict[int, FrozenSet[str]] = {}
+        code_lines: Set[int] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return cls(frozenset(), {})
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                match = _DIRECTIVE_RE.search(tok.string)
+                if not match:
+                    continue
+                rules = _parse_rule_list(match.group("rules"))
+                if match.group("scope") == "disable-file":
+                    file_rules |= rules
+                else:
+                    line_rules.setdefault(tok.start[0], set()).update(rules)
+                    # Track standalone comments (nothing but whitespace
+                    # before the hash) so they also cover the next line.
+                    prefix = tok.line[: tok.start[1]]
+                    if not prefix.strip():
+                        standalone[tok.start[0]] = rules
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                code_lines.add(tok.start[0])
+        # A standalone directive suppresses the next code-bearing line.
+        if standalone:
+            ordered_code = sorted(code_lines)
+            for comment_line, rules in standalone.items():
+                for code_line in ordered_code:
+                    if code_line > comment_line:
+                        line_rules.setdefault(code_line, set()).update(rules)
+                        break
+        return cls(
+            frozenset(file_rules),
+            {line: frozenset(rules) for line, rules in line_rules.items()},
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rule_id = rule_id.upper()
+        if ALL.upper() in self._file_rules or rule_id in self._file_rules:
+            return True
+        at_line = self._line_rules.get(line, frozenset())
+        return ALL.upper() in at_line or rule_id in at_line
+
+    def suppressed_anywhere(self) -> Iterable[str]:
+        """All rule ids mentioned in any directive (for ``--list-suppressions``)."""
+        seen: Set[str] = set(self._file_rules)
+        for rules in self._line_rules.values():
+            seen |= rules
+        return sorted(seen)

@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.validation import require_capacity
 from ..errors import ParameterError, SimulationError
 
 __all__ = [
@@ -326,6 +327,7 @@ _POLICY_FACTORIES = {
 
 def make_policy(name: str, capacity: int, *, seed: int = 0) -> CachePolicy:
     """Instantiate a replacement policy by name (``lru``/``lfu``/``fifo``/``random``)."""
+    require_capacity(capacity, integer=True, allow_zero=True, name="cache capacity")
     key = name.strip().lower()
     if key not in _POLICY_FACTORIES:
         raise ParameterError(

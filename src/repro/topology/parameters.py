@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ParameterError
 from .graph import Topology
 
 __all__ = ["TopologyParameters", "topology_parameters"]
@@ -57,7 +58,7 @@ class TopologyParameters:
             return self.mean_hops
         if metric == "ms":
             return self.mean_latency_ms
-        raise ValueError(f"metric must be 'hops' or 'ms', got {metric!r}")
+        raise ParameterError(f"metric must be 'hops' or 'ms', got {metric!r}")
 
 
 def topology_parameters(topology: Topology) -> TopologyParameters:

@@ -138,6 +138,25 @@ class TestDerivatives:
         xs = np.linspace(1.0, 99.0, 33)
         assert np.all(np.asarray(perf.second_derivative(xs)) > 0)
 
+    def test_derivatives_finite_at_singular_exponent(self):
+        """s = 1 takes the 1/ln N limit of the eq. 6 prefactor."""
+        perf = RoutingPerformanceModel(
+            popularity=ZipfPopularity(1.0, 100_000),
+            latency=LatencyModel(1.0, 3.0, 13.0),
+            capacity=100.0,
+            n_routers=10,
+        )
+        eps = 1e-4
+        for x in (10.0, 50.0, 90.0):
+            numeric = (
+                perf.mean_latency(x + eps) - perf.mean_latency(x - eps)
+            ) / (2 * eps)
+            assert np.isfinite(perf.derivative(x))
+            assert perf.derivative(x) == pytest.approx(numeric, rel=1e-5)
+        assert np.all(
+            np.asarray(perf.second_derivative(np.linspace(1.0, 99.0, 33))) > 0
+        )
+
     def test_derivative_diverges_near_capacity(self, perf):
         assert perf.derivative(100.0 - 1e-9) > perf.derivative(99.0) > 0 or (
             perf.derivative(100.0 - 1e-9) > 0

@@ -1,0 +1,10 @@
+"""R1 true-positive fixture: bare builtin raises inside the package."""
+
+
+def reject(value: float) -> None:
+    """Raise undisciplined exceptions (guards for paper eq. 2 inputs)."""
+    if value < 0:
+        raise ValueError("negative")
+    if value > 1e9:
+        raise RuntimeError("too large")
+    raise Exception("fallthrough")

@@ -1,0 +1,19 @@
+"""R1 false-positive fixture: disciplined raises must not be flagged."""
+
+from ..errors import ParameterError  # noqa: F401  (parsed, never imported)
+
+
+def reject(value: float) -> None:
+    """Raise only ReproError subclasses (guards for paper eq. 2 inputs)."""
+    if value < 0:
+        raise ParameterError("negative")
+    if not isinstance(value, float):
+        raise TypeError("not a float")
+
+
+def reraise() -> None:
+    """A bare re-raise is always allowed (paper-agnostic glue)."""
+    try:
+        reject(-1.0)
+    except ParameterError:
+        raise

@@ -1,0 +1,5 @@
+"""R2 true-positive fixture: core reaching up into higher layers."""
+
+from ..simulation.simulator import SteadyStateSimulator  # noqa: F401
+from repro.analysis import sweep  # noqa: F401
+import repro.cli  # noqa: F401

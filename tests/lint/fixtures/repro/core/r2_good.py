@@ -1,0 +1,6 @@
+"""R2 false-positive fixture: sanctioned downward imports from core."""
+
+from ..errors import ParameterError  # noqa: F401
+from ..topology.graph import Topology  # noqa: F401  (sanctioned bridge edge)
+from .r1_good import reject  # noqa: F401  (intra-unit)
+import math  # noqa: F401  (stdlib is never layered)

@@ -1,0 +1,14 @@
+"""R3 true-positive fixture: domain parameters used without guards."""
+
+
+def mean_latency(s: float, d0: float, d1: float, d2: float) -> float:
+    """Feed raw domain parameters straight into eq. 2 arithmetic."""
+    gamma = (d2 - d1) / (d1 - d0)
+    return gamma * (1.0 - s)
+
+
+class Store:
+    """Holds a §III-B capacity without validating it."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity

@@ -1,0 +1,51 @@
+"""R3 false-positive fixture: every guard style the rule accepts."""
+
+from .validation import require_capacity, require_exponent, require_latency_ordering
+
+
+def mean_latency(s: float, d0: float, d1: float, d2: float) -> float:
+    """Validate via the shared helpers before touching eq. 2."""
+    s = require_exponent(s)
+    d0, d1, d2 = require_latency_ordering(d0, d1, d2)
+    return (d2 - d1) / (d1 - d0) * (1.0 - s)
+
+
+def inline_guarded(exponent: float) -> float:
+    """An explicit if/raise guard also satisfies the rule (eq. 6 domain)."""
+    if not 0.0 < exponent < 2.0:
+        raise ParameterError("bad exponent")
+    return exponent**2
+
+
+def asserted(exponent: float) -> float:
+    """An assert mentioning the parameter counts as a guard (eq. 6 domain)."""
+    assert 0.0 < exponent < 2.0
+    return exponent**2
+
+
+def forwarded(s: float, n: int) -> object:
+    """Forwarding into a trusted, self-validating sink is enough (eq. 1)."""
+    return ZipfPopularity(s, n)
+
+
+def private_helper_is_exempt() -> float:
+    """Public functions without domain params are out of scope (paper glue)."""
+    return _kernel(0.8)
+
+
+def _kernel(s: float) -> float:
+    return s * 2.0
+
+
+class Store:
+    """Validates the §III-B capacity via the shared helper."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(require_capacity(capacity, integer=True))
+
+
+class SubStore(Store):
+    """Forwarding to the base constructor propagates the §III-B guard duty."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)

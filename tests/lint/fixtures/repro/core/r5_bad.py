@@ -1,0 +1,14 @@
+"""R5 true-positive fixture: core code with no paper traceability."""
+
+
+def blend(a: float, b: float) -> float:
+    """Average two numbers."""
+    return (a + b) / 2.0
+
+
+def undocumented(a: float) -> float:
+    return a
+
+
+class Mixer:
+    """Combines things."""

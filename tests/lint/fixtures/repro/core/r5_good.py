@@ -1,0 +1,19 @@
+"""R5 false-positive fixture: properly cited core code."""
+
+
+def blend(a: float, b: float) -> float:
+    """Average two latencies (paper eq. 2, §III-B)."""
+    return (a + b) / 2.0
+
+
+def limit_form(n: float) -> float:
+    """The s -> 1 logarithmic limit of eq. 6."""
+    return n
+
+
+class Mixer:
+    """Implements the Theorem 2 scale-free reduction."""
+
+
+def _private_is_exempt(a: float) -> float:
+    return a

@@ -1,0 +1,13 @@
+"""Suppression fixture: every violation here carries a directive."""
+# repro-lint: disable-file=R5
+
+
+def reject() -> None:
+    """Line-scope suppression on the offending line (paper glue)."""
+    raise ValueError("silenced")  # repro-lint: disable=R1
+
+
+def reject_next_line() -> None:
+    """Standalone directive covers the next code line (paper glue)."""
+    # repro-lint: disable=R1
+    raise RuntimeError("also silenced")

@@ -1,0 +1,12 @@
+"""R4 true-positive fixture: in-place mutation of array parameters."""
+
+import numpy as np
+
+
+def decay(weights: np.ndarray, factor: float) -> np.ndarray:
+    """Mutate the caller's buffer three different ways."""
+    weights[0] = 0.0
+    weights[1:] += factor
+    np.multiply(weights, factor, out=weights)
+    weights *= factor
+    return weights

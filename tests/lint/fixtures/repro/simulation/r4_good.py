@@ -1,0 +1,24 @@
+"""R4 false-positive fixture: copies and local/attribute writes are fine."""
+
+import numpy as np
+
+
+def decay(weights: np.ndarray, factor: float) -> np.ndarray:
+    """Work on a copy; mutate only locals."""
+    result = weights.copy()
+    result[0] = 0.0
+    result *= factor
+    scale = 1.0
+    scale += factor
+    return result
+
+
+class Collector:
+    """Mutating self attributes is not parameter aliasing."""
+
+    def __init__(self) -> None:
+        self.counts = np.zeros(4)
+
+    def record(self, tier: int) -> None:
+        """Update own state, not an argument alias."""
+        self.counts[tier] += 1

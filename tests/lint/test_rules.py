@@ -1,0 +1,117 @@
+"""True-positive / false-positive coverage for every repro-lint rule."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+def findings_for(relpath: str, rule_id: str):
+    diagnostics, _ = lint_file(FIXTURES / relpath)
+    return [d for d in diagnostics if d.rule_id == rule_id]
+
+
+def all_findings(relpath: str):
+    diagnostics, _ = lint_file(FIXTURES / relpath)
+    return diagnostics
+
+
+CASES = [
+    ("R1", "core/r1_bad.py", "core/r1_good.py", 3),
+    ("R2", "core/r2_bad.py", "core/r2_good.py", 3),
+    ("R3", "core/r3_bad.py", "core/r3_good.py", 5),
+    ("R4", "simulation/r4_bad.py", "simulation/r4_good.py", 4),
+    ("R5", "core/r5_bad.py", "core/r5_good.py", 3),
+]
+
+
+class TestTruePositives:
+    @pytest.mark.parametrize("rule_id, bad, _good, expected", CASES)
+    def test_bad_fixture_is_flagged(self, rule_id, bad, _good, expected):
+        findings = findings_for(bad, rule_id)
+        assert len(findings) == expected, [f.message for f in findings]
+
+    def test_r1_names_the_offending_exception(self):
+        messages = "\n".join(f.message for f in findings_for("core/r1_bad.py", "R1"))
+        for name in ("ValueError", "RuntimeError", "Exception"):
+            assert name in messages
+
+    def test_r2_reports_the_violated_edge(self):
+        messages = [f.message for f in findings_for("core/r2_bad.py", "R2")]
+        assert any("'core' may not import 'simulation'" in m for m in messages)
+        assert any("'core' may not import 'analysis'" in m for m in messages)
+        assert any("'core' may not import 'cli'" in m for m in messages)
+
+    def test_r3_flags_each_unguarded_parameter(self):
+        params = {
+            f.message.split("domain parameter ")[1].split(" ")[0]
+            for f in findings_for("core/r3_bad.py", "R3")
+        }
+        assert params == {"'s'", "'d0'", "'d1'", "'d2'", "'capacity'"}
+
+    def test_r5_flags_missing_docstring_and_missing_citation(self):
+        messages = "\n".join(f.message for f in findings_for("core/r5_bad.py", "R5"))
+        assert "has no docstring" in messages
+        assert "cites no paper equation" in messages
+
+
+class TestFalsePositives:
+    @pytest.mark.parametrize("rule_id, _bad, good, _expected", CASES)
+    def test_good_fixture_is_clean(self, rule_id, _bad, good, _expected):
+        assert findings_for(good, rule_id) == []
+
+    @pytest.mark.parametrize("rule_id, _bad, good, _expected", CASES)
+    def test_good_fixture_clean_under_all_rules(self, rule_id, _bad, good, _expected):
+        assert all_findings(good) == []
+
+
+class TestSuppressions:
+    @staticmethod
+    def _core_module(tmp_path, source: str):
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (target / "__init__.py").write_text("")
+        module = target / "mod.py"
+        module.write_text(source)
+        return module
+
+    def test_directives_silence_findings_and_are_counted(self):
+        diagnostics, suppressed = lint_file(FIXTURES / "core" / "suppressed.py")
+        assert diagnostics == []
+        assert suppressed == 2  # two R1 raises; file-level R5 has no findings
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        module = self._core_module(
+            tmp_path,
+            '"""Doc."""\n'
+            "def f() -> None:\n"
+            '    """Eq. 2 glue."""\n'
+            "    raise ValueError('x')  # repro-lint: disable=R4\n",
+        )
+        diagnostics, suppressed = lint_file(module)
+        assert [d.rule_id for d in diagnostics] == ["R1"]
+        assert suppressed == 0
+
+    def test_disable_all_on_line(self, tmp_path):
+        module = self._core_module(
+            tmp_path,
+            '"""Doc."""\n'
+            "def f() -> None:\n"
+            '    """Eq. 2 glue."""\n'
+            "    raise RuntimeError('x')  # repro-lint: disable=all\n",
+        )
+        diagnostics, suppressed = lint_file(module)
+        assert diagnostics == []
+        assert suppressed == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        module = tmp_path / "broken.py"
+        module.write_text("def broken(:\n")
+        diagnostics, _ = lint_file(module)
+        assert [d.rule_id for d in diagnostics] == ["E001"]
