@@ -4,7 +4,11 @@ PYTHON ?= python
 # Make the src layout importable without an editable install.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint bench experiments examples scorecard clean
+.PHONY: install test lint bench bench-quick experiments examples scorecard clean
+
+# Label for the throughput snapshot written by `make bench`
+# (BENCH_<label>.json at the repo root).
+BENCH_LABEL ?= local
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -27,11 +31,18 @@ lint:
 		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
 	fi
 
-test: lint
+test: lint bench-quick
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) benchmarks/run_bench.py --label $(BENCH_LABEL)
+
+# CI smoke: exercises the batched kernel, both simulators, the sweep
+# engine and the Zipf caches end to end with small counts; writes
+# nothing and stores no pytest-benchmark data.
+bench-quick:
+	$(PYTHON) benchmarks/run_bench.py --quick --no-write
 
 experiments:
 	$(PYTHON) -m repro run all

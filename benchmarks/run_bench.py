@@ -1,0 +1,217 @@
+"""Throughput/latency benchmark harness writing BENCH_<label>.json.
+
+Measures the three performance-critical paths of the reproduction —
+steady-state simulation (batched kernel and scalar reference), dynamic
+cache-replacement simulation, and the analysis sweep engine — plus the
+Zipf table-cache statistics, and writes one JSON snapshot at the repo
+root so the performance trajectory is versioned alongside the code.
+
+Usage::
+
+    python benchmarks/run_bench.py --label pr2          # full run
+    python benchmarks/run_bench.py --quick --no-write   # CI smoke
+
+The workload/topology configuration mirrors
+``benchmarks/test_simulator_throughput.py`` (US-A topology, c=100,
+level 0.5, IRM Zipf(0.8) traffic) so numbers are comparable across
+harness and pytest-benchmark runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.defaults import BASE_SCENARIO  # noqa: E402
+from repro.analysis.sweep import sweep  # noqa: E402
+from repro.catalog import IRMWorkload, ZipfModel  # noqa: E402
+from repro.core import ProvisioningStrategy, ZipfPopularity  # noqa: E402
+from repro.core import clear_zipf_caches, zipf_table_stats  # noqa: E402
+from repro.simulation import DynamicSimulator, SteadyStateSimulator  # noqa: E402
+from repro.topology import load_topology  # noqa: E402
+
+
+def _steady_simulator() -> SteadyStateSimulator:
+    topology = load_topology("us-a")
+    strategy = ProvisioningStrategy(
+        capacity=100, n_routers=topology.n_routers, level=0.5
+    )
+    return SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+
+
+def _bench_steady(requests: int, *, batched: bool) -> dict:
+    simulator = _steady_simulator()
+    workload = IRMWorkload(
+        ZipfModel(0.8, 10_000), simulator.topology.nodes, seed=0
+    )
+    start = time.perf_counter()
+    metrics = simulator.run(workload, requests, batched=batched)
+    elapsed = time.perf_counter() - start
+    assert metrics.requests == requests
+    return {
+        "requests": requests,
+        "seconds": round(elapsed, 4),
+        "rps": round(requests / elapsed, 1),
+    }
+
+
+def _bench_large_catalog(requests: int, catalog_size: int) -> dict:
+    """Batched steady state at paper-scale catalog (N = 10^6 by default)."""
+    topology = load_topology("us-a")
+    strategy = ProvisioningStrategy(
+        capacity=1_000, n_routers=topology.n_routers, level=0.5
+    )
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+    workload = IRMWorkload(
+        ZipfModel(0.8, catalog_size), topology.nodes, seed=0
+    )
+    start = time.perf_counter()
+    metrics = simulator.run(workload, requests)
+    elapsed = time.perf_counter() - start
+    assert metrics.requests == requests
+    return {
+        "catalog_size": catalog_size,
+        "requests": requests,
+        "seconds": round(elapsed, 4),
+        "rps": round(requests / elapsed, 1),
+    }
+
+
+def _bench_dynamic(requests: int) -> dict:
+    topology = load_topology("us-a")
+    simulator = DynamicSimulator(
+        topology, capacity=100, policy="lru", coordination_level=0.5, seed=0
+    )
+    workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=1)
+    start = time.perf_counter()
+    metrics = simulator.run(workload, requests)
+    elapsed = time.perf_counter() - start
+    assert metrics.requests == requests
+    return {
+        "requests": requests,
+        "seconds": round(elapsed, 4),
+        "rps": round(requests / elapsed, 1),
+    }
+
+
+def _bench_sweep(parallel: int | None) -> dict:
+    alphas = [round(0.05 + 0.9 * i / 11, 4) for i in range(12)]
+    start = time.perf_counter()
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="alpha",
+        x_values=alphas,
+        quantity="level",
+        curve_field="gamma",
+        curve_values=(2.0, 5.0, 10.0),
+        parallel=parallel,
+    )
+    elapsed = time.perf_counter() - start
+    points = sum(len(s.x) for s in series)
+    return {
+        "grid_points": points,
+        "parallel": parallel,
+        "wall_s": round(elapsed, 4),
+    }
+
+
+def _bench_zipf_tables(catalog_size: int) -> dict:
+    """Cold table build vs memoized rebuild for ``ZipfPopularity``."""
+    import numpy as np
+
+    clear_zipf_caches()
+
+    def build() -> None:
+        popularity = ZipfPopularity(0.8, catalog_size)
+        popularity.cdf(catalog_size)
+        # sample() forces the N-length pmf/cdf tables (the expensive part)
+        popularity.sample(1, np.random.default_rng(0))
+
+    start = time.perf_counter()
+    build()
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    build()
+    warm = time.perf_counter() - start
+    return {
+        "catalog_size": catalog_size,
+        "cold_build_s": round(cold, 6),
+        "memoized_s": round(warm, 6),
+        "speedup": round(cold / warm, 1) if warm > 0 else float("inf"),
+    }
+
+
+def run(quick: bool) -> dict:
+    clear_zipf_caches()
+    # The batched path gets a larger count so the one-time kernel build
+    # amortizes the way it does in real model-validation runs.
+    steady_requests = 20_000 if quick else 1_000_000
+    dynamic_requests = 5_000 if quick else 50_000
+    scalar_requests = 10_000 if quick else 100_000
+
+    results = {
+        "steady_state_batched": _bench_steady(steady_requests, batched=True),
+        "steady_state_scalar": _bench_steady(scalar_requests, batched=False),
+        "dynamic_lru": _bench_dynamic(dynamic_requests),
+        "sweep_serial": _bench_sweep(None),
+    }
+    if not quick:
+        results["sweep_parallel_4"] = _bench_sweep(4)
+        results["large_catalog"] = _bench_large_catalog(200_000, 1_000_000)
+    results["zipf_tables"] = _bench_zipf_tables(
+        100_000 if quick else 1_000_000
+    )
+    results["zipf_table_stats"] = zipf_table_stats()
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label", default="local", help="suffix for BENCH_<label>.json"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small request counts (CI smoke test; numbers not comparable)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print results without writing the BENCH file",
+    )
+    parser.add_argument(
+        "--before",
+        default=None,
+        metavar="JSON",
+        help="path to a baseline JSON to embed under the 'before' key",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(quick=args.quick)
+    payload: dict = {"label": args.label, "quick": args.quick, "after": results}
+    if args.before:
+        payload["before"] = json.loads(Path(args.before).read_text())
+
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if not args.no_write:
+        out = REPO_ROOT / f"BENCH_{args.label}.json"
+        out.write_text(text + "\n")
+        print(f"\nwrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,18 +12,47 @@ from repro.simulation import DynamicSimulator, SteadyStateSimulator
 from repro.topology import load_topology
 
 
-def test_steady_state_throughput(benchmark):
+def _steady_state_simulator(capacity: int = 100) -> SteadyStateSimulator:
     topology = load_topology("us-a")
     strategy = ProvisioningStrategy(
-        capacity=100, n_routers=topology.n_routers, level=0.5
+        capacity=capacity, n_routers=topology.n_routers, level=0.5
     )
-    simulator = SteadyStateSimulator.from_strategy(
+    return SteadyStateSimulator.from_strategy(
         topology, strategy, message_accounting="none"
     )
-    workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=0)
+
+
+def test_steady_state_throughput(benchmark):
+    """The default (batched-kernel) steady-state path."""
+    simulator = _steady_state_simulator()
+    workload = IRMWorkload(
+        ZipfModel(0.8, 10_000), simulator.topology.nodes, seed=0
+    )
 
     metrics = benchmark(lambda: simulator.run(workload, 10_000))
     assert metrics.requests == 10_000
+
+
+def test_steady_state_scalar_throughput(benchmark):
+    """The scalar reference path (one resolve per request)."""
+    simulator = _steady_state_simulator()
+    workload = IRMWorkload(
+        ZipfModel(0.8, 10_000), simulator.topology.nodes, seed=0
+    )
+
+    metrics = benchmark(lambda: simulator.run_scalar(workload, 10_000))
+    assert metrics.requests == 10_000
+
+
+def test_steady_state_large_catalog_throughput(benchmark):
+    """Batched path at a paper-scale catalog (N = 10^6, c = 10^3)."""
+    simulator = _steady_state_simulator(capacity=1_000)
+    workload = IRMWorkload(
+        ZipfModel(0.8, 1_000_000), simulator.topology.nodes, seed=0
+    )
+
+    metrics = benchmark(lambda: simulator.run(workload, 50_000))
+    assert metrics.requests == 50_000
 
 
 def test_dynamic_lru_throughput(benchmark):

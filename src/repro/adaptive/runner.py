@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..catalog.workload import Workload
 from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..core.strategy import ProvisioningStrategy
@@ -220,8 +221,12 @@ class AdaptiveSimulation:
         return AdaptationTrace(records=tuple(records))
 
 
-class _ListWorkload:
-    """Adapter: a materialized request list as a Workload."""
+class _ListWorkload(Workload):
+    """Adapter: a materialized request list as a Workload.
+
+    Subclassing :class:`Workload` keeps the default ``batches`` packing,
+    so the epoch simulation rides the batched steady-state kernel.
+    """
 
     def __init__(self, requests):
         self._requests = requests

@@ -244,7 +244,8 @@ def table4_settings() -> TableData:
 
 
 def figure4_level_vs_alpha(
-    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS
+    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 4: optimal level ℓ* versus trade-off weight α, per γ."""
     series = sweep(
@@ -255,6 +256,7 @@ def figure4_level_vs_alpha(
         curve_field="gamma",
         curve_values=gammas,
         curve_label=lambda g: f"gamma={g:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="4",
@@ -270,6 +272,7 @@ def figure5_level_vs_exponent(
     *,
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 5: optimal level ℓ* versus Zipf exponent s, per α."""
     series = sweep(
@@ -280,6 +283,7 @@ def figure5_level_vs_exponent(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="5",
@@ -295,6 +299,7 @@ def figure6_level_vs_routers(
     *,
     router_counts: Sequence[int] = ROUTER_COUNT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 6: optimal level ℓ* versus network size n, per α."""
     series = sweep(
@@ -305,6 +310,7 @@ def figure6_level_vs_routers(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="6",
@@ -320,6 +326,7 @@ def figure7_level_vs_unit_cost(
     *,
     unit_costs: Sequence[float] = UNIT_COST_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 7: optimal level ℓ* versus unit coordination cost w, per α."""
     series = sweep(
@@ -330,6 +337,7 @@ def figure7_level_vs_unit_cost(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="7",
@@ -347,7 +355,8 @@ def figure7_level_vs_unit_cost(
 
 
 def figure8_origin_gain_vs_alpha(
-    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS
+    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 8: origin load reduction G_O versus α, per γ."""
     series = sweep(
@@ -358,6 +367,7 @@ def figure8_origin_gain_vs_alpha(
         curve_field="gamma",
         curve_values=gammas,
         curve_label=lambda g: f"gamma={g:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="8",
@@ -373,6 +383,7 @@ def figure9_origin_gain_vs_exponent(
     *,
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 9: origin load reduction G_O versus Zipf exponent s, per α."""
     series = sweep(
@@ -383,6 +394,7 @@ def figure9_origin_gain_vs_exponent(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="9",
@@ -398,6 +410,7 @@ def figure10_origin_gain_vs_routers(
     *,
     router_counts: Sequence[int] = ROUTER_COUNT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 10: origin load reduction G_O versus network size n, per α."""
     series = sweep(
@@ -408,6 +421,7 @@ def figure10_origin_gain_vs_routers(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="10",
@@ -423,6 +437,7 @@ def figure11_origin_gain_vs_unit_cost(
     *,
     unit_costs: Sequence[float] = UNIT_COST_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 11: origin load reduction G_O versus unit cost w, per α."""
     series = sweep(
@@ -433,6 +448,7 @@ def figure11_origin_gain_vs_unit_cost(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="11",
@@ -450,7 +466,8 @@ def figure11_origin_gain_vs_unit_cost(
 
 
 def figure12_routing_gain_vs_alpha(
-    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS
+    *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 12: routing performance improvement G_R versus α, per γ."""
     series = sweep(
@@ -461,6 +478,7 @@ def figure12_routing_gain_vs_alpha(
         curve_field="gamma",
         curve_values=gammas,
         curve_label=lambda g: f"gamma={g:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="12",
@@ -476,6 +494,7 @@ def figure13_routing_gain_vs_exponent(
     *,
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
+    parallel: Optional[int] = None,
 ) -> FigureData:
     """Figure 13: routing performance improvement G_R versus s, per α."""
     series = sweep(
@@ -486,6 +505,7 @@ def figure13_routing_gain_vs_exponent(
         curve_field="alpha",
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
+        parallel=parallel,
     )
     return FigureData(
         figure_id="13",

@@ -5,11 +5,14 @@ field varies along the x-axis, one field distinguishes the curves, and
 some scalar of the solved optimum (``ℓ*``, ``G_O`` or ``G_R``) is the
 y-value.  :func:`sweep` runs exactly that and returns structured
 :class:`Series`/:class:`FigureData` objects the benchmarks and the CLI
-render.
+render.  Grid points are independent, so ``sweep(..., parallel=k)``
+fans them out over ``k`` worker processes (results are ordered by grid
+position either way, so parallel and serial sweeps are identical).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -108,6 +111,42 @@ def solve_quantity(scenario: Scenario, quantity: str) -> float:
     return fn(scenario)
 
 
+def _solve_point(payload: tuple[Scenario, str]) -> float:
+    """Worker entry point: one ``(scenario, quantity)`` grid point.
+
+    Module-level (not a closure) so it pickles into
+    ``ProcessPoolExecutor`` workers.
+    """
+    scenario, quantity = payload
+    return solve_quantity(scenario, quantity)
+
+
+def _solve_grid(
+    payloads: Sequence[tuple[Scenario, str]], parallel: Optional[int]
+) -> list[float]:
+    """Solve every grid point, serially or across worker processes.
+
+    The returned list is ordered like ``payloads`` in both modes, so the
+    ``parallel`` knob never changes sweep output.  Falls back to the
+    serial path when worker processes cannot be spawned (restricted
+    sandboxes raise ``OSError``).
+    """
+    if parallel is not None and (int(parallel) != parallel or parallel < 0):
+        raise ParameterError(
+            f"parallel must be a non-negative integer worker count, got {parallel}"
+        )
+    if parallel in (None, 0, 1) or len(payloads) <= 1:
+        return [_solve_point(p) for p in payloads]
+    chunksize = max(1, len(payloads) // (int(parallel) * 4))
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=int(parallel)
+        ) as pool:
+            return list(pool.map(_solve_point, payloads, chunksize=chunksize))
+    except OSError:
+        return [_solve_point(p) for p in payloads]
+
+
 def sweep(
     base: Scenario,
     *,
@@ -117,6 +156,7 @@ def sweep(
     curve_field: Optional[str] = None,
     curve_values: Sequence[float] = (),
     curve_label: Optional[Callable[[float], str]] = None,
+    parallel: Optional[int] = None,
 ) -> tuple[Series, ...]:
     """Run a 1-D sweep, optionally fanned out into multiple curves.
 
@@ -133,7 +173,15 @@ def sweep(
     curve_label:
         Formats a curve value into a series label; defaults to
         ``"{field}={value}"``.
+    parallel:
+        Worker-process count for solving grid points concurrently.
+        ``None``/``0``/``1`` solve serially; any count yields exactly
+        the same series (grid order is preserved).
     """
+    if quantity not in QUANTITIES:
+        raise ParameterError(
+            f"unknown quantity {quantity!r}; expected one of {sorted(QUANTITIES)}"
+        )
     if curve_field is None:
         curve_values = (None,)  # type: ignore[assignment]
 
@@ -144,18 +192,26 @@ def sweep(
             return curve_label(value)  # type: ignore[arg-type]
         return f"{curve_field}={value}"
 
-    result: list[Series] = []
+    payloads: list[tuple[Scenario, str]] = []
     for curve_value in curve_values:
         scenario = (
             base
             if curve_field is None
             else base.replace(**{curve_field: curve_value})
         )
-        ys = tuple(
-            solve_quantity(scenario.replace(**{x_field: xv}), quantity)
-            for xv in x_values
+        payloads.extend(
+            (scenario.replace(**{x_field: xv}), quantity) for xv in x_values
         )
+    ys = _solve_grid(payloads, parallel)
+
+    result: list[Series] = []
+    n_x = len(x_values)
+    for i, curve_value in enumerate(curve_values):
         result.append(
-            Series(label=label_for(curve_value), x=tuple(float(v) for v in x_values), y=ys)
+            Series(
+                label=label_for(curve_value),
+                x=tuple(float(v) for v in x_values),
+                y=tuple(ys[i * n_x : (i + 1) * n_x]),
+            )
         )
     return tuple(result)

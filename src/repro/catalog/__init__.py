@@ -12,6 +12,7 @@ from .workload import (
     IRMWorkload,
     LocalityWorkload,
     Request,
+    RequestBatch,
     SequenceWorkload,
     TraceWorkload,
     Workload,
@@ -24,6 +25,7 @@ __all__ = [
     "LocalityWorkload",
     "PopularityModel",
     "Request",
+    "RequestBatch",
     "SequenceWorkload",
     "TraceWorkload",
     "UniformModel",

@@ -24,7 +24,6 @@ streaming iteration and batch materialization.
 from __future__ import annotations
 
 import abc
-import itertools
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Optional, Sequence
 
@@ -35,6 +34,7 @@ from .popularity import PopularityModel
 
 __all__ = [
     "Request",
+    "RequestBatch",
     "Workload",
     "IRMWorkload",
     "LocalityWorkload",
@@ -43,6 +43,9 @@ __all__ = [
 ]
 
 NodeId = Hashable
+
+#: Default number of requests per :class:`RequestBatch` when streaming.
+DEFAULT_BATCH_SIZE = 65536
 
 
 @dataclass(frozen=True)
@@ -65,16 +68,152 @@ class Request:
             raise ParameterError(f"request rank must be >= 1, got {self.rank}")
 
 
+@dataclass(frozen=True)
+class RequestBatch:
+    """A contiguous slice of a request stream in columnar (numpy) form.
+
+    This is the vectorized counterpart of a ``list[Request]``: instead
+    of one Python object per request, a batch holds a *palette* of
+    client nodes plus two parallel integer arrays.  Request ``i`` of the
+    batch is ``Request(clients[client_index[i]], ranks[i])``.
+
+    Attributes
+    ----------
+    clients:
+        The distinct client nodes this batch draws from (a palette;
+        order is workload-defined and stable across batches).
+    client_index:
+        ``int64`` array of indices into ``clients``, one per request.
+    ranks:
+        ``int64`` array of 1-based content ranks, one per request.
+    """
+
+    clients: tuple[NodeId, ...]
+    client_index: np.ndarray
+    ranks: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "client_index", np.asarray(self.client_index, dtype=np.int64)
+        )
+        object.__setattr__(self, "ranks", np.asarray(self.ranks, dtype=np.int64))
+        if self.client_index.ndim != 1 or self.ranks.ndim != 1:
+            raise ParameterError("batch columns must be one-dimensional arrays")
+        if self.client_index.shape != self.ranks.shape:
+            raise ParameterError(
+                f"batch columns must have equal length, got "
+                f"{self.client_index.shape[0]} clients vs {self.ranks.shape[0]} ranks"
+            )
+        if self.ranks.size and int(self.ranks.min()) < 1:
+            raise ParameterError("request ranks must be >= 1")
+        if self.client_index.size:
+            lo, hi = int(self.client_index.min()), int(self.client_index.max())
+            if lo < 0 or hi >= len(self.clients):
+                raise ParameterError(
+                    f"client indices must lie in [0, {len(self.clients)}), "
+                    f"got range [{lo}, {hi}]"
+                )
+
+    def __len__(self) -> int:
+        return int(self.ranks.shape[0])
+
+    def requests(self) -> Iterator[Request]:
+        """Yield the batch as scalar :class:`Request` objects, in order."""
+        clients = self.clients
+        for ci, rank in zip(self.client_index.tolist(), self.ranks.tolist()):
+            yield Request(client=clients[ci], rank=rank)
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["RequestBatch"]) -> "RequestBatch":
+        """Join consecutive batches of one stream into a single batch.
+
+        Palettes must be prefix-compatible: every batch's palette is a
+        prefix of the longest one.  Vectorized workloads emit a fixed
+        palette; the default scalar packer appends clients as they first
+        appear, so earlier batches simply carry shorter prefixes and
+        indices stay valid unchanged.
+        """
+        if not batches:
+            raise ParameterError("need at least one batch to concatenate")
+        clients = max((b.clients for b in batches), key=len)
+        for batch in batches:
+            if batch.clients != clients[: len(batch.clients)]:
+                raise ParameterError(
+                    "batches from different client palettes cannot be concatenated"
+                )
+        return cls(
+            clients=clients,
+            client_index=np.concatenate([b.client_index for b in batches]),
+            ranks=np.concatenate([b.ranks for b in batches]),
+        )
+
+
 class Workload(abc.ABC):
-    """Interface: a reproducible stream of requests."""
+    """Interface: a reproducible stream of requests.
+
+    Subclasses must implement the scalar :meth:`requests` iterator and
+    may override :meth:`batches` with a vectorized generator; the two
+    views are required to describe the *same* stream (the default
+    :meth:`batches` packs the scalar stream, and vectorized subclasses
+    implement :meth:`requests` as an adapter over their batches), so a
+    seed fixes the stream no matter which view a consumer drives.
+    """
 
     @abc.abstractmethod
     def requests(self, count: int) -> Iterator[Request]:
         """Yield the first ``count`` requests of the stream."""
 
+    def batches(
+        self, count: int, *, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[RequestBatch]:
+        """Yield the first ``count`` requests as consecutive batches.
+
+        The concatenation of the yielded batches equals the scalar
+        :meth:`requests` stream exactly, for every ``batch_size``.  This
+        default implementation packs the scalar iterator; vectorized
+        workloads override it.
+        """
+        _require_batching(count, batch_size)
+        palette: dict[NodeId, int] = {}
+        clients: list[NodeId] = []
+        index_buffer: list[int] = []
+        rank_buffer: list[int] = []
+        for request in self.requests(count):
+            ci = palette.get(request.client)
+            if ci is None:
+                ci = palette[request.client] = len(clients)
+                clients.append(request.client)
+            index_buffer.append(ci)
+            rank_buffer.append(request.rank)
+            if len(rank_buffer) == batch_size:
+                yield RequestBatch(tuple(clients), index_buffer, rank_buffer)
+                index_buffer, rank_buffer = [], []
+        if rank_buffer:
+            yield RequestBatch(tuple(clients), index_buffer, rank_buffer)
+
+    def sample_batch(self, count: int) -> RequestBatch:
+        """The first ``count`` requests as one columnar batch."""
+        parts = list(self.batches(count, batch_size=max(int(count), 1)))
+        if not parts:
+            return RequestBatch(clients=(), client_index=[], ranks=[])
+        return RequestBatch.concatenate(parts)
+
+    def _requests_from_batches(self, count: int) -> Iterator[Request]:
+        """Scalar adapter over :meth:`batches` for vectorized workloads."""
+        for batch in self.batches(count):
+            yield from batch.requests()
+
     def materialize(self, count: int) -> list[Request]:
         """The first ``count`` requests as a list."""
         return list(self.requests(count))
+
+
+def _require_batching(count: int, batch_size: int) -> None:
+    """Shared argument validation for the batch generators."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    if batch_size < 1:
+        raise ParameterError(f"batch size must be positive, got {batch_size}")
 
 
 class IRMWorkload(Workload):
@@ -124,24 +263,32 @@ class IRMWorkload(Workload):
         self.seed = int(seed)
 
     def requests(self, count: int) -> Iterator[Request]:
-        if count < 0:
-            raise ParameterError(f"count must be non-negative, got {count}")
-        # Independent child generators for ranks and clients keep the
-        # stream prefix-stable: the first k requests are identical no
-        # matter how many are ultimately drawn (or how batching falls).
+        return self._requests_from_batches(count)
+
+    def batches(
+        self, count: int, *, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[RequestBatch]:
+        """Vectorized IRM sampling, one :class:`RequestBatch` per chunk.
+
+        Independent child generators for ranks and clients keep the
+        stream prefix-stable: the first k requests are identical no
+        matter how many are ultimately drawn (or how batching falls).
+        """
+        _require_batching(count, batch_size)
         rank_rng, client_rng = np.random.default_rng(self.seed).spawn(2)
         client_cdf = np.cumsum(self._client_probs)
-        batch = 65536
+        palette = tuple(self.clients)
         remaining = count
         while remaining > 0:
-            size = min(batch, remaining)
+            size = min(batch_size, remaining)
             ranks = self.popularity.sample(size, rank_rng)
             client_idx = np.searchsorted(
                 client_cdf, client_rng.random(size), side="right"
             )
             client_idx = np.minimum(client_idx, len(self.clients) - 1)
-            for rank, ci in zip(ranks, client_idx):
-                yield Request(client=self.clients[int(ci)], rank=int(rank))
+            yield RequestBatch(
+                clients=palette, client_index=client_idx, ranks=ranks
+            )
             remaining -= size
 
 
@@ -173,18 +320,33 @@ class SequenceWorkload(Workload):
         self.flows = [(client, tuple(int(r) for r in cycle)) for client, cycle in flows]
 
     def requests(self, count: int) -> Iterator[Request]:
-        if count < 0:
-            raise ParameterError(f"count must be non-negative, got {count}")
-        iterators = [
-            (client, itertools.cycle(cycle)) for client, cycle in self.flows
-        ]
-        produced = 0
-        while produced < count:
-            for client, cycle_iter in iterators:
-                if produced >= count:
-                    return
-                yield Request(client=client, rank=next(cycle_iter))
-                produced += 1
+        return self._requests_from_batches(count)
+
+    def batches(
+        self, count: int, *, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[RequestBatch]:
+        """Vectorized round-robin expansion of the flow cycles.
+
+        Global request ``t`` (0-based) belongs to flow ``t mod n_flows``
+        at cycle position ``t // n_flows``, exactly the synchronized
+        interleaving of the paper's §II example.
+        """
+        _require_batching(count, batch_size)
+        palette = tuple(client for client, _ in self.flows)
+        cycles = [np.asarray(cycle, dtype=np.int64) for _, cycle in self.flows]
+        n_flows = len(self.flows)
+        start = 0
+        while start < count:
+            size = min(batch_size, count - start)
+            t = np.arange(start, start + size, dtype=np.int64)
+            flow_idx = t % n_flows
+            step = t // n_flows
+            ranks = np.empty(size, dtype=np.int64)
+            for fi, cycle in enumerate(cycles):
+                mask = flow_idx == fi
+                ranks[mask] = cycle[step[mask] % len(cycle)]
+            yield RequestBatch(clients=palette, client_index=flow_idx, ranks=ranks)
+            start += size
 
     def period(self) -> int:
         """Number of requests in one full synchronized cycle of all flows."""
@@ -266,6 +428,24 @@ class TraceWorkload(Workload):
 
     def __init__(self, trace: Iterable[Request]):
         self.trace = list(trace)
+        self._columns: Optional[tuple[tuple[NodeId, ...], np.ndarray, np.ndarray]] = None
+
+    def _trace_columns(self) -> tuple[tuple[NodeId, ...], np.ndarray, np.ndarray]:
+        """Columnar view of the trace (palette in first-appearance order)."""
+        if self._columns is None:
+            palette: dict[NodeId, int] = {}
+            clients: list[NodeId] = []
+            index = np.empty(len(self.trace), dtype=np.int64)
+            ranks = np.empty(len(self.trace), dtype=np.int64)
+            for i, request in enumerate(self.trace):
+                ci = palette.get(request.client)
+                if ci is None:
+                    ci = palette[request.client] = len(clients)
+                    clients.append(request.client)
+                index[i] = ci
+                ranks[i] = request.rank
+            self._columns = (tuple(clients), index, ranks)
+        return self._columns
 
     def requests(self, count: int) -> Iterator[Request]:
         if count < 0:
@@ -275,6 +455,24 @@ class TraceWorkload(Workload):
                 f"trace holds {len(self.trace)} requests; {count} were requested"
             )
         return iter(self.trace[:count])
+
+    def batches(
+        self, count: int, *, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[RequestBatch]:
+        """Columnar slices of the trace (same validation as :meth:`requests`)."""
+        _require_batching(count, batch_size)
+        if count > len(self.trace):
+            raise ParameterError(
+                f"trace holds {len(self.trace)} requests; {count} were requested"
+            )
+        palette, index, ranks = self._trace_columns()
+        for start in range(0, count, batch_size):
+            stop = min(start + batch_size, count)
+            yield RequestBatch(
+                clients=palette,
+                client_index=index[start:stop],
+                ranks=ranks[start:stop],
+            )
 
     def __len__(self) -> int:
         return len(self.trace)

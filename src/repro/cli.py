@@ -21,6 +21,7 @@ machine-readable exports.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -62,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         default=None,
         help="write the result to a file instead of stdout",
+    )
+    run.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "solve sweep grid points across N worker processes "
+            "(figure experiments only; output is identical to serial)"
+        ),
     )
 
     solve = subparsers.add_parser("solve", help="solve a single scenario")
@@ -148,6 +159,20 @@ def _emit(result: object, args: argparse.Namespace, out) -> None:
         print(text, file=out)
 
 
+def _experiment_kwargs(fn, args: argparse.Namespace) -> dict:
+    """Keyword arguments an experiment accepts from the command line.
+
+    Only sweep-based figures take ``parallel=``; passing it to the
+    table experiments would fail, so consult each signature.
+    """
+    parallel = getattr(args, "parallel", None)
+    if parallel is None:
+        return {}
+    if "parallel" not in inspect.signature(fn).parameters:
+        return {}
+    return {"parallel": parallel}
+
+
 def _run_experiment(args: argparse.Namespace, out) -> int:
     name = args.experiment
     if name == "all":
@@ -158,7 +183,7 @@ def _run_experiment(args: argparse.Namespace, out) -> int:
             )
             return 2
         for key, fn in ALL_EXPERIMENTS.items():
-            print(_render(fn()), file=out)
+            print(_render(fn(**_experiment_kwargs(fn, args))), file=out)
             print(file=out)
         return 0
     fn = ALL_EXPERIMENTS.get(name)
@@ -168,7 +193,7 @@ def _run_experiment(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 2
-    _emit(fn(), args, out)
+    _emit(fn(**_experiment_kwargs(fn, args)), args, out)
     return 0
 
 

@@ -39,6 +39,7 @@ from .validation import (
 )
 from .zipf import (
     ZipfPopularity,
+    clear_zipf_caches,
     continuous_cdf,
     continuous_cdf_limit,
     continuous_pdf,
@@ -49,6 +50,7 @@ from .zipf import (
     validate_exponent,
     zipf_cdf,
     zipf_pmf,
+    zipf_table_stats,
 )
 
 __all__ = [
@@ -65,6 +67,7 @@ __all__ = [
     "Scenario",
     "ZipfPopularity",
     "check_existence",
+    "clear_zipf_caches",
     "closed_form_alpha1",
     "continuous_cdf",
     "continuous_cdf_limit",
@@ -91,4 +94,5 @@ __all__ = [
     "validate_exponent",
     "zipf_cdf",
     "zipf_pmf",
+    "zipf_table_stats",
 ]

@@ -25,6 +25,7 @@ the workload generator.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Optional, Union
 
 import numpy as np
@@ -43,12 +44,95 @@ __all__ = [
     "inverse_continuous_cdf",
     "top_k_mass",
     "validate_exponent",
+    "zipf_table_stats",
+    "clear_zipf_caches",
     "ZipfPopularity",
 ]
 
 #: Rank threshold above which :func:`harmonic_number` switches from the
 #: exact cumulative sum to the Euler–Maclaurin asymptotic expansion.
 _ASYMPTOTIC_THRESHOLD = 50_000_000
+
+# ---------------------------------------------------------------------------
+# Memoization (perf): the eq. 1 normalizer H_{N,s}, the §III-B prefix-sum
+# tables, and the discrete pmf/CDF sampling tables are all pure functions
+# of (k, s) / (N, s).  Root-solvers and sweeps evaluate them thousands of
+# times at identical keys, so each cache below maps an exact key to the
+# exact value the uncached code would produce — hits are bitwise
+# identical to misses.  Arrays are stored read-only so a cache hit can
+# never be corrupted through an aliased view.
+# ---------------------------------------------------------------------------
+
+#: Scalar H_{k,s} values keyed ``(k, s)``; small floats, generous cap.
+_HARMONIC_CACHE: "OrderedDict[tuple[int, float], float]" = OrderedDict()
+_HARMONIC_CACHE_MAX = 4096
+
+#: Prefix-sum tables of :func:`harmonic_numbers` keyed ``(k_max, s)``.
+#: A request for a shorter prefix at the same ``s`` is served as a view
+#: of a longer cached table.  Tables are O(N) memory, so the cap is low.
+_PREFIX_CACHE: "OrderedDict[tuple[int, float], np.ndarray]" = OrderedDict()
+_PREFIX_CACHE_MAX = 4
+
+#: Discrete (pmf, cdf) sampling tables of :class:`ZipfPopularity`, keyed
+#: ``(exponent, catalog_size)`` and shared across instances.
+_POPULARITY_CACHE: "OrderedDict[tuple[float, int], tuple[np.ndarray, np.ndarray]]" = (
+    OrderedDict()
+)
+_POPULARITY_CACHE_MAX = 4
+
+#: Aggregate hit/miss counters across all three caches (BENCH harness).
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _cache_get(cache: "OrderedDict", key):
+    """LRU lookup shared by the three caches, recording hit statistics."""
+    try:
+        value = cache[key]
+    except KeyError:
+        _CACHE_STATS["misses"] += 1
+        return None
+    cache.move_to_end(key)
+    _CACHE_STATS["hits"] += 1
+    return value
+
+
+def _cache_put(cache: "OrderedDict", key, value, max_entries: int):
+    cache[key] = value
+    while len(cache) > max_entries:
+        cache.popitem(last=False)
+    return value
+
+
+def zipf_table_stats() -> dict:
+    """Hit/miss statistics of the memoized Zipf tables (paper eq. 1 data).
+
+    Returns a dict with ``hits``/``misses`` counters aggregated over the
+    harmonic-number, prefix-sum and sampling-table caches, plus current
+    entry counts per cache.  Consumed by the BENCH perf-trajectory
+    harness; purely observational.
+    """
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "harmonic_entries": len(_HARMONIC_CACHE),
+        "prefix_entries": len(_PREFIX_CACHE),
+        "popularity_entries": len(_POPULARITY_CACHE),
+    }
+
+
+def clear_zipf_caches() -> None:
+    """Drop all memoized Zipf tables (paper eq. 1 / §III-B caches).
+
+    Invalidation story: keys are exact ``(k, s)`` / ``(N, s)`` value
+    pairs and the cached payloads are immutable, so entries never go
+    stale — this exists only to release memory and to give tests a
+    clean-slate fixture.
+    """
+    _HARMONIC_CACHE.clear()
+    _PREFIX_CACHE.clear()
+    _POPULARITY_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 def validate_exponent(s: float, *, allow_one: bool = False) -> float:
@@ -83,9 +167,14 @@ def harmonic_number(k: Union[int, float], s: float) -> float:
     # The discrete sum is exact for any finite real s (only the eq. 6
     # continuous approximation is domain-restricted).
     s = require_finite(s, "harmonic exponent s")
+    cached = _cache_get(_HARMONIC_CACHE, (k, s))
+    if cached is not None:
+        return cached
     if k <= _ASYMPTOTIC_THRESHOLD:
         j = np.arange(1, k + 1, dtype=np.float64)
-        return float(np.sum(j**-s))
+        return _cache_put(
+            _HARMONIC_CACHE, (k, s), float(np.sum(j**-s)), _HARMONIC_CACHE_MAX
+        )
     # Euler–Maclaurin: H_{k,s} = zeta-like head + tail expansion.
     head_k = 10_000
     j = np.arange(1, head_k + 1, dtype=np.float64)
@@ -98,24 +187,43 @@ def harmonic_number(k: Union[int, float], s: float) -> float:
         integral = (b ** (1.0 - s) - a ** (1.0 - s)) / (1.0 - s)
     correction = 0.5 * (b**-s - a**-s)
     bernoulli = (s / 12.0) * (a ** (-s - 1.0) - b ** (-s - 1.0))
-    return head + integral + correction + bernoulli
+    return _cache_put(
+        _HARMONIC_CACHE,
+        (k, s),
+        head + integral + correction + bernoulli,
+        _HARMONIC_CACHE_MAX,
+    )
 
 
 def harmonic_numbers(k_max: int, s: float) -> np.ndarray:
     """Vector of ``H_{k,s}`` for ``k = 0, 1, ..., k_max`` (index = k).
 
     Prefix sums of the eq. 1 normalizer, used to evaluate the exact
-    discrete CDF (paper §III-A) for many ranks at once.
+    discrete CDF (paper §III-A) for many ranks at once.  Results are
+    memoized per ``(k_max, s)`` and returned as *read-only* arrays (a
+    shorter prefix at the same ``s`` is served as a view of a longer
+    cached table); callers needing a mutable array must copy.
     """
     k_max = int(k_max)
     if k_max < 0:
         raise ParameterError(f"k_max must be non-negative, got {k_max}")
     s = require_finite(s, "harmonic exponent s")
+    cached = _cache_get(_PREFIX_CACHE, (k_max, s))
+    if cached is not None:
+        return cached
+    # A longer table at the same exponent already holds this prefix.
+    for (cached_k, cached_s), table in _PREFIX_CACHE.items():
+        if cached_s == s and cached_k >= k_max:
+            _CACHE_STATS["misses"] -= 1
+            _CACHE_STATS["hits"] += 1
+            return table[: k_max + 1]
     j = np.arange(0, k_max + 1, dtype=np.float64)
     terms = np.zeros(k_max + 1, dtype=np.float64)
     if k_max >= 1:
         terms[1:] = j[1:] ** -s
-    return np.cumsum(terms)
+    result = np.cumsum(terms)
+    result.flags.writeable = False
+    return _cache_put(_PREFIX_CACHE, (k_max, s), result, _PREFIX_CACHE_MAX)
 
 
 def zipf_pmf(rank: Union[int, np.ndarray], s: float, n_catalog: int) -> Union[float, np.ndarray]:
@@ -326,11 +434,19 @@ class ZipfPopularity:
 
     def _tables(self) -> tuple[np.ndarray, np.ndarray]:
         if self._pmf_table is None:
-            ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
-            weights = ranks**-self.exponent
-            weights /= weights.sum()
-            self._pmf_table = weights
-            self._cdf_table = np.cumsum(weights)
+            key = (self.exponent, self.catalog_size)
+            cached = _cache_get(_POPULARITY_CACHE, key)
+            if cached is None:
+                ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
+                weights = ranks**-self.exponent
+                weights /= weights.sum()
+                cdf = np.cumsum(weights)
+                weights.flags.writeable = False
+                cdf.flags.writeable = False
+                cached = _cache_put(
+                    _POPULARITY_CACHE, key, (weights, cdf), _POPULARITY_CACHE_MAX
+                )
+            self._pmf_table, self._cdf_table = cached
         assert self._cdf_table is not None
         return self._pmf_table, self._cdf_table
 

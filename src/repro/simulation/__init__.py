@@ -5,6 +5,7 @@ replacement policies, nearest-replica routing, coordinated placement
 with message accounting, and steady-state/dynamic simulators.
 """
 
+from .batch import BatchAggregate, SteadyStateKernel
 from .cache import (
     CachePolicy,
     FIFOCache,
@@ -33,6 +34,7 @@ from .routing import (
 from .simulator import DynamicSimulator, SteadyStateSimulator
 
 __all__ = [
+    "BatchAggregate",
     "CCNRouter",
     "CachePolicy",
     "CoordinationReport",
@@ -52,6 +54,7 @@ __all__ = [
     "ServiceTier",
     "SimulationMetrics",
     "StaticCache",
+    "SteadyStateKernel",
     "SteadyStateSimulator",
     "build_degraded_simulator",
     "coordinated_mass_lost",

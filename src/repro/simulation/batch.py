@@ -1,0 +1,229 @@
+"""Vectorized batch resolution for static (provisioned) placements.
+
+The steady-state simulator models the paper's provisioned regime: the
+placement never changes, so the outcome of a request depends only on
+``(client, rank)`` and the answer for every *held* rank can be computed
+once.  :class:`SteadyStateKernel` precomputes that decision table from
+the rank → holders index and the router's distance matrices, after
+which a whole :class:`~repro.catalog.workload.RequestBatch` resolves
+with a handful of numpy gathers and ``np.bincount`` reductions instead
+of a Python loop — the kernel is what lets the simulator validate the
+model (eq. 2 / Table I regime) at the 10^6+ catalog and request scales
+the paper's cited evaluations use.
+
+Semantics match the scalar ``SteadyStateSimulator.resolve`` path
+exactly: nearest replica under the configured metric with ties broken
+by topology node index, local replicas winning outright, misses charged
+the client → origin path, and per-partition content-store hit/miss
+statistics accounted per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..topology.graph import Topology
+from .router import CCNRouter
+from .routing import NearestReplicaRouter
+
+__all__ = ["BatchAggregate", "SteadyStateKernel"]
+
+NodeId = Hashable
+
+#: Lookup-statistics codes per (client, rank) cell: which partition of
+#: the client's store answers the request's local lookup.
+_LOOKUP_LOCAL_HIT = 0
+_LOOKUP_COORDINATED_HIT = 1
+_LOOKUP_MISS = 2
+_N_LOOKUP_CODES = 3
+
+
+@dataclass(frozen=True)
+class BatchAggregate:
+    """Reductions of one resolved batch (exact integer/float sums).
+
+    Attributes
+    ----------
+    local_hits / peer_hits / origin_hits:
+        Requests served per tier; sum to the batch length.
+    total_hops / total_latency_ms:
+        Fetch-path sums over the batch, matching the scalar
+        ``RouteDecision`` accounting.
+    served_by_counts:
+        ``int64`` array over topology node indices: peer-tier requests
+        served per router.
+    lookup_counts:
+        ``int64`` array of shape ``(n_routers, 3)``: per client router,
+        how many lookups hit its local partition, hit its coordinated
+        partition, or missed both.
+    """
+
+    local_hits: int
+    peer_hits: int
+    origin_hits: int
+    total_hops: float
+    total_latency_ms: float
+    served_by_counts: np.ndarray
+    lookup_counts: np.ndarray
+
+
+class SteadyStateKernel:
+    """Precomputed whole-placement decision table for batched resolution.
+
+    Parameters
+    ----------
+    topology:
+        The router network (fixes the node-index order).
+    fleet:
+        The provisioned routers (static stores); consulted once at build
+        time for partition membership.
+    router:
+        The nearest-replica router whose matrices and origin model the
+        scalar path uses; the kernel reads the same tables.
+    holders:
+        The static rank → holder-nodes index of the placement.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        fleet: Mapping[NodeId, CCNRouter],
+        router: NearestReplicaRouter,
+        holders: Mapping[int, Sequence[NodeId]],
+    ):
+        n = topology.n_routers
+        hops_matrix, latency_matrix = router.path_matrices()
+        metric_matrix = router.metric_matrix()
+        self._n_routers = n
+        self._nodes = topology.nodes
+        self._node_index = {node: i for i, node in enumerate(topology.nodes)}
+
+        held = np.array(sorted(holders), dtype=np.int64)
+        n_held = held.shape[0]
+        self._held = held
+
+        # Per (client, held-rank): serving node index, fetch hops/latency.
+        server = np.empty((n, n_held), dtype=np.int64)
+        hops = np.zeros((n, n_held), dtype=np.float64)
+        latency = np.zeros((n, n_held), dtype=np.float64)
+        rows = np.arange(n)
+        for j, rank in enumerate(held.tolist()):
+            holder_idx = np.array(
+                sorted(self._node_index[node] for node in holders[rank]),
+                dtype=np.int64,
+            )
+            # First argmin over ascending holder indices reproduces the
+            # scalar tie-break (lowest topology index wins).
+            nearest = holder_idx[
+                np.argmin(metric_matrix[:, holder_idx], axis=1)
+            ]
+            server[:, j] = nearest
+            hops[:, j] = hops_matrix[rows, nearest]
+            latency[:, j] = latency_matrix[rows, nearest]
+        self._server = server
+        self._is_local = server == rows[:, None]
+        # Local service is free (hops/latency 0), as in the scalar path;
+        # the matrices' zero diagonal already guarantees this, but be
+        # explicit so the invariant survives matrix changes.
+        self._hops = np.where(self._is_local, 0.0, hops)
+        self._latency = np.where(self._is_local, 0.0, latency)
+
+        # Client → origin costs (the miss tier).
+        gateway = self._node_index[router.origin.gateway]
+        self._origin_hops = hops_matrix[:, gateway] + router.origin.extra_hops
+        self._origin_latency = (
+            latency_matrix[:, gateway] + router.origin.extra_latency_ms
+        )
+
+        # Content-store statistics codes per (client, held-rank), so the
+        # batched path reproduces the per-partition hit/miss counters the
+        # scalar ``CCNRouter.lookup`` records.
+        codes = np.full((n, n_held), _LOOKUP_MISS, dtype=np.int64)
+        for node, ccn_router in fleet.items():
+            i = self._node_index[node]
+            local_ranks = ccn_router.local_store.contents
+            coordinated_ranks = (
+                ccn_router.coordinated_store.contents
+                if ccn_router.coordinated_store is not None
+                else frozenset()
+            )
+            if local_ranks:
+                mask = np.isin(held, np.fromiter(local_ranks, dtype=np.int64))
+                codes[i, mask] = _LOOKUP_LOCAL_HIT
+            if coordinated_ranks:
+                mask = (codes[i] == _LOOKUP_MISS) & np.isin(
+                    held, np.fromiter(coordinated_ranks, dtype=np.int64)
+                )
+                codes[i, mask] = _LOOKUP_COORDINATED_HIT
+        self._lookup_codes = codes
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """Topology nodes in kernel index order."""
+        return self._nodes
+
+    def node_indices(self, clients: Sequence[NodeId]) -> np.ndarray:
+        """Map a client palette to topology node indices (``KeyError`` if unknown)."""
+        return np.array(
+            [self._node_index[client] for client in clients], dtype=np.int64
+        )
+
+    def resolve_batch(
+        self, client_idx: np.ndarray, ranks: np.ndarray
+    ) -> BatchAggregate:
+        """Resolve a batch given topology-indexed clients and 1-based ranks.
+
+        Vectorized equivalent of calling ``resolve`` per request and
+        recording each decision: hold-set membership via binary search,
+        decision-table gathers, and ``np.bincount`` reductions.
+        """
+        held = self._held
+        n_requests = ranks.shape[0]
+        if held.shape[0]:
+            pos = np.searchsorted(held, ranks)
+            pos_clipped = np.minimum(pos, held.shape[0] - 1)
+            in_held = held[pos_clipped] == ranks
+        else:
+            pos_clipped = np.zeros(n_requests, dtype=np.int64)
+            in_held = np.zeros(n_requests, dtype=bool)
+
+        held_clients = client_idx[in_held]
+        held_pos = pos_clipped[in_held]
+        is_local = self._is_local[held_clients, held_pos]
+        local_hits = int(np.count_nonzero(is_local))
+        peer_hits = int(held_clients.shape[0] - local_hits)
+        origin_hits = int(n_requests - held_clients.shape[0])
+
+        miss_clients = client_idx[~in_held]
+        total_hops = float(
+            self._hops[held_clients, held_pos].sum()
+            + self._origin_hops[miss_clients].sum()
+        )
+        total_latency = float(
+            self._latency[held_clients, held_pos].sum()
+            + self._origin_latency[miss_clients].sum()
+        )
+
+        peer_servers = self._server[held_clients, held_pos][~is_local]
+        served_by_counts = np.bincount(peer_servers, minlength=self._n_routers)
+
+        codes = np.full(n_requests, _LOOKUP_MISS, dtype=np.int64)
+        held_codes = self._lookup_codes[held_clients, held_pos]
+        codes[in_held.nonzero()[0]] = held_codes
+        lookup_counts = np.bincount(
+            client_idx * _N_LOOKUP_CODES + codes,
+            minlength=self._n_routers * _N_LOOKUP_CODES,
+        ).reshape(self._n_routers, _N_LOOKUP_CODES)
+
+        return BatchAggregate(
+            local_hits=local_hits,
+            peer_hits=peer_hits,
+            origin_hits=origin_hits,
+            total_hops=total_hops,
+            total_latency_ms=total_latency,
+            served_by_counts=served_by_counts,
+            lookup_counts=lookup_counts,
+        )

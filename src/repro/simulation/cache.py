@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -283,9 +283,16 @@ class FIFOCache(CachePolicy):
 
 
 class RandomCache(CachePolicy):
-    """Random-eviction replacement (seeded for reproducibility)."""
+    """Random-eviction replacement (seeded for reproducibility).
 
-    def __init__(self, capacity: int, *, seed: int = 0):
+    ``seed`` may be an integer or a :class:`numpy.random.SeedSequence`
+    (the simulator derives per-router, per-partition child sequences so
+    no two stores share a stream).
+    """
+
+    def __init__(
+        self, capacity: int, *, seed: Union[int, np.random.SeedSequence] = 0
+    ):
         super().__init__(capacity)
         self._rng = np.random.default_rng(seed)
         self._items: list[int] = []
@@ -325,8 +332,14 @@ _POLICY_FACTORIES = {
 }
 
 
-def make_policy(name: str, capacity: int, *, seed: int = 0) -> CachePolicy:
-    """Instantiate a replacement policy by name (``lru``/``lfu``/``fifo``/``random``)."""
+def make_policy(
+    name: str, capacity: int, *, seed: Union[int, np.random.SeedSequence] = 0
+) -> CachePolicy:
+    """Instantiate a replacement policy by name (``lru``/``lfu``/``fifo``/``random``).
+
+    ``seed`` only matters for randomized policies and may be an integer
+    or a :class:`numpy.random.SeedSequence` child stream.
+    """
     require_capacity(capacity, integer=True, allow_zero=True, name="cache capacity")
     key = name.strip().lower()
     if key not in _POLICY_FACTORIES:

@@ -11,7 +11,7 @@ counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, Optional
 
 from ..errors import SimulationError
 from .routing import RouteDecision, ServiceTier
@@ -137,6 +137,54 @@ class MetricsCollector:
             )
         self.total_hops += decision.hops
         self.total_latency_ms += decision.latency_ms
+
+    def record_batch(
+        self,
+        *,
+        local_hits: int,
+        peer_hits: int,
+        origin_hits: int,
+        total_hops: float,
+        total_latency_ms: float,
+        served_by: Optional[Mapping[NodeId, int]] = None,
+    ) -> None:
+        """Record a pre-aggregated batch of resolved requests.
+
+        The batched steady-state kernel reduces a whole
+        :class:`~repro.catalog.workload.RequestBatch` to tier counts,
+        hop/latency sums and per-router peer-service counts (via
+        ``np.bincount``), then folds them in here; semantically this is
+        ``record`` called once per request of the batch.
+        """
+        if min(local_hits, peer_hits, origin_hits) < 0:
+            raise SimulationError(
+                "batch tier counts must be non-negative, got "
+                f"({local_hits}, {peer_hits}, {origin_hits})"
+            )
+        if total_hops < 0 or total_latency_ms < 0:
+            raise SimulationError(
+                "batch hop/latency totals must be non-negative, got "
+                f"({total_hops}, {total_latency_ms})"
+            )
+        peer_served = 0
+        for server, count in (served_by or {}).items():
+            if count < 0:
+                raise SimulationError(
+                    f"served-by count for {server!r} must be non-negative, got {count}"
+                )
+            peer_served += count
+            if count:
+                self.served_by[server] = self.served_by.get(server, 0) + count
+        if peer_served > peer_hits:
+            raise SimulationError(
+                f"served-by counts ({peer_served}) exceed peer hits ({peer_hits})"
+            )
+        self.requests += local_hits + peer_hits + origin_hits
+        self.local_hits += local_hits
+        self.peer_hits += peer_hits
+        self.origin_hits += origin_hits
+        self.total_hops += total_hops
+        self.total_latency_ms += total_latency_ms
 
     def record_messages(self, count: int) -> None:
         """Add coordination messages (placement directives, consensus)."""

@@ -202,6 +202,26 @@ class NearestReplicaRouter:
             + self.origin.extra_latency_ms,
         )
 
+    def path_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """The per-pair ``(hops, latency_ms)`` matrices, node-index ordered.
+
+        Read-only views of the internal tables (both describe the same
+        shortest paths under the configured metric); callers needing a
+        mutable array must copy.  This is the bulk counterpart of
+        :meth:`resolve` used by the batched steady-state kernel.
+        """
+        hops = self._hops.view()
+        latency = self._latency.view()
+        hops.flags.writeable = False
+        latency.flags.writeable = False
+        return hops, latency
+
+    def metric_matrix(self) -> np.ndarray:
+        """Read-only nearest-replica decision matrix (hops or latency)."""
+        distance = self._distance.view()
+        distance.flags.writeable = False
+        return distance
+
     def origin_distance(self, client: NodeId) -> tuple[float, float]:
         """``(hops, latency_ms)`` from a client router to the origin."""
         client_idx = self.topology.index_of(client)

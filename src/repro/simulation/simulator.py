@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Optional
 
-from ..catalog.workload import Workload
+import numpy as np
+
+from ..catalog.workload import DEFAULT_BATCH_SIZE, RequestBatch, Workload
 from ..core.strategy import ProvisioningStrategy
 from ..errors import ParameterError, SimulationError
 from ..topology.graph import Topology
-from .cache import make_policy
+from .batch import SteadyStateKernel
+from .cache import StaticCache, make_policy
 from .coordination import Coordinator
 from .metrics import MetricsCollector, SimulationMetrics
 from .router import CCNRouter
@@ -82,6 +85,19 @@ class SteadyStateSimulator:
         for node, ccn_router in self.fleet.items():
             for rank in ccn_router.stored_ranks():
                 self._holders.setdefault(rank, []).append(node)
+        # The batched kernel assumes the placement truly is static (the
+        # class contract); fleets assembled from dynamic policies would
+        # drift under the scalar path's admits/touches, so only pure
+        # StaticCache fleets take the fast path.
+        self._placement_is_static = all(
+            isinstance(r.local_store, StaticCache)
+            and (
+                r.coordinated_store is None
+                or isinstance(r.coordinated_store, StaticCache)
+            )
+            for r in self.fleet.values()
+        )
+        self._kernel: Optional[SteadyStateKernel] = None
 
     @classmethod
     def from_strategy(
@@ -134,13 +150,101 @@ class SteadyStateSimulator:
         ccn_router.lookup(rank)  # record local store statistics
         return self.router.resolve(client, self._holders.get(rank, ()))
 
-    def run(self, workload: Workload, count: int) -> SimulationMetrics:
-        """Drive ``count`` requests of the workload and summarize."""
+    def run(
+        self,
+        workload: Workload,
+        count: int,
+        *,
+        batched: Optional[bool] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> SimulationMetrics:
+        """Drive ``count`` requests of the workload and summarize.
+
+        ``batched=None`` (the default) resolves whole
+        :class:`~repro.catalog.workload.RequestBatch` chunks against the
+        precomputed placement decision table whenever the fleet is fully
+        static, falling back to the scalar reference loop otherwise; the
+        two paths produce the same metrics and content-store statistics
+        for the same workload seed.  ``batched=True`` insists on the
+        fast path (raising for non-static fleets); ``batched=False``
+        forces the scalar loop.
+        """
+        use_batched = self._placement_is_static if batched is None else bool(batched)
+        if use_batched and not self._placement_is_static:
+            raise SimulationError(
+                "batched resolution requires a fully static fleet "
+                "(every partition a StaticCache); use batched=False"
+            )
+        if use_batched and not hasattr(workload, "batches"):
+            # Duck-typed workloads (only a ``requests`` method) predate
+            # the batch API; silently take the reference path unless the
+            # caller insisted on batching.
+            if batched:
+                raise SimulationError(
+                    f"workload {type(workload).__name__!r} does not provide "
+                    "batches(); subclass repro.catalog.Workload or use "
+                    "batched=False"
+                )
+            use_batched = False
         collector = MetricsCollector()
         collector.record_messages(self.coordination_messages)
-        for request in workload.requests(count):
-            collector.record(self.resolve(request.client, request.rank))
+        if not use_batched:
+            for request in workload.requests(count):
+                collector.record(self.resolve(request.client, request.rank))
+            return collector.summary()
+        if self._kernel is None:
+            self._kernel = SteadyStateKernel(
+                self.topology, self.fleet, self.router, self._holders
+            )
+        for batch in workload.batches(count, batch_size=batch_size):
+            self._record_batch(batch, collector)
         return collector.summary()
+
+    def run_scalar(self, workload: Workload, count: int) -> SimulationMetrics:
+        """The scalar reference implementation (one ``resolve`` per request)."""
+        return self.run(workload, count, batched=False)
+
+    def _record_batch(
+        self, batch: RequestBatch, collector: MetricsCollector
+    ) -> None:
+        """Resolve one batch through the kernel and fold in the results."""
+        kernel = self._kernel
+        assert kernel is not None
+        try:
+            palette_idx = kernel.node_indices(batch.clients)
+        except KeyError as exc:
+            raise SimulationError(
+                f"request from unknown router {exc.args[0]!r}"
+            ) from exc
+        aggregate = kernel.resolve_batch(
+            palette_idx[batch.client_index], batch.ranks
+        )
+        served_by = {
+            kernel.nodes[i]: int(n)
+            for i, n in enumerate(aggregate.served_by_counts.tolist())
+            if n
+        }
+        collector.record_batch(
+            local_hits=aggregate.local_hits,
+            peer_hits=aggregate.peer_hits,
+            origin_hits=aggregate.origin_hits,
+            total_hops=aggregate.total_hops,
+            total_latency_ms=aggregate.total_latency_ms,
+            served_by=served_by,
+        )
+        # Reproduce the per-partition store statistics the scalar path's
+        # ``CCNRouter.lookup`` records request by request.
+        for i, (local_hit, coordinated_hit, missed) in enumerate(
+            aggregate.lookup_counts.tolist()
+        ):
+            if not (local_hit or coordinated_hit or missed):
+                continue
+            router = self.fleet[kernel.nodes[i]]
+            router.local_store.hits += local_hit
+            router.local_store.misses += coordinated_hit + missed
+            if router.coordinated_store is not None:
+                router.coordinated_store.hits += coordinated_hit
+                router.coordinated_store.misses += missed
 
 
 class DynamicSimulator:
@@ -192,20 +296,45 @@ class DynamicSimulator:
         coordinated_slots = int(round(self.level * self.capacity))
         local_slots = self.capacity - coordinated_slots
         self.fleet: dict[NodeId, CCNRouter] = {}
-        for i, node in enumerate(topology.nodes):
-            local = make_policy(policy, local_slots, seed=seed * 1009 + i)
+        # One independent child seed stream per (router, partition):
+        # arithmetic derivations like ``seed * k + i`` collide (with
+        # seed=0 every router's local and coordinated streams coincide),
+        # whereas SeedSequence.spawn guarantees disjoint streams.
+        for node, per_router in zip(
+            topology.nodes, np.random.SeedSequence(seed).spawn(topology.n_routers)
+        ):
+            local_seq, coordinated_seq = per_router.spawn(2)
+            local = make_policy(policy, local_slots, seed=local_seq)
             coordinated = (
-                make_policy(policy, coordinated_slots, seed=seed * 2003 + i)
+                make_policy(policy, coordinated_slots, seed=coordinated_seq)
                 if coordinated_slots > 0
                 else None
             )
             self.fleet[node] = CCNRouter(node, local, coordinated)
         self._nodes = topology.nodes
+        self._n_nodes = len(topology.nodes)
         self._coordinated_slots = coordinated_slots
+        # Hot-loop tables: the origin path cost per client and the
+        # client → custodian peer decision are placement-independent,
+        # so compute them once instead of per request.
+        self._origin_cost = {
+            node: self.router.origin_distance(node) for node in topology.nodes
+        }
+        self._peer_decisions: dict[tuple[NodeId, NodeId], RouteDecision] = {}
 
     def _custodian(self, rank: int) -> NodeId:
         """The rank's custodian router under static hash partitioning."""
-        return self._nodes[rank % len(self._nodes)]
+        return self._nodes[rank % self._n_nodes]
+
+    def _peer_decision(self, client: NodeId, custodian: NodeId) -> RouteDecision:
+        """The (immutable, cacheable) peer-tier decision client → custodian."""
+        key = (client, custodian)
+        decision = self._peer_decisions.get(key)
+        if decision is None:
+            decision = self._peer_decisions[key] = self.router.resolve(
+                client, (custodian,)
+            )
+        return decision
 
     def _resolve(self, client: NodeId, rank: int) -> RouteDecision:
         ccn_router = self.fleet.get(client)
@@ -217,27 +346,31 @@ class DynamicSimulator:
             )
         if self._coordinated_slots > 0:
             custodian = self._custodian(rank)
-            custodian_router = self.fleet[custodian]
-            if custodian is not client and rank in custodian_router.coordinated_store:
-                custodian_router.coordinated_store.lookup(rank)
-                decision = self.router.resolve(client, [custodian])
-                ccn_router.admit_local(rank)
-                return decision
-            # Miss at the custodian too: fetch from origin via the
-            # custodian (it admits the content for future requests).
-            origin_hops, origin_latency = self.router.origin_distance(custodian)
-            to_custodian = self.router.resolve(client, [custodian])
-            if custodian is client:
-                hops, latency = self.router.origin_distance(client)
-            else:
+            if custodian is not client:
+                custodian_router = self.fleet[custodian]
+                # One statistics-recording lookup replaces the former
+                # membership check + lookup double probe; a custodian
+                # miss now counts as a miss on its coordinated store,
+                # which is the store that was actually consulted.
+                if custodian_router.coordinated_store.lookup(rank):
+                    decision = self._peer_decision(client, custodian)
+                    ccn_router.admit_local(rank)
+                    return decision
+                # Miss at the custodian too: fetch from origin via the
+                # custodian (it admits the content for future requests).
+                to_custodian = self._peer_decision(client, custodian)
+                origin_hops, origin_latency = self._origin_cost[custodian]
                 hops = to_custodian.hops + origin_hops
                 latency = to_custodian.latency_ms + origin_latency
+            else:
+                custodian_router = ccn_router
+                hops, latency = self._origin_cost[client]
             custodian_router.admit_coordinated(rank)
             ccn_router.admit_local(rank)
             return RouteDecision(
                 tier=ServiceTier.ORIGIN, server=None, hops=hops, latency_ms=latency
             )
-        hops, latency = self.router.origin_distance(client)
+        hops, latency = self._origin_cost[client]
         ccn_router.admit_local(rank)
         return RouteDecision(
             tier=ServiceTier.ORIGIN, server=None, hops=hops, latency_ms=latency
@@ -259,8 +392,25 @@ class DynamicSimulator:
         if warmup < 0:
             raise ParameterError(f"warmup must be non-negative, got {warmup}")
         collector = MetricsCollector()
-        for i, request in enumerate(workload.requests(count + warmup)):
-            decision = self._resolve(request.client, request.rank)
-            if i >= warmup:
-                collector.record(decision)
+        resolve = self._resolve
+        record = collector.record
+        # The replacement loop is inherently scalar (every decision
+        # depends on the store state the previous request left behind),
+        # but consuming the workload in columnar batches avoids building
+        # one Request object per simulated request.  Duck-typed
+        # workloads without the batch API fall back to the iterator.
+        if not hasattr(workload, "batches"):
+            for i, request in enumerate(workload.requests(count + warmup)):
+                decision = resolve(request.client, request.rank)
+                if i >= warmup:
+                    record(decision)
+            return collector.summary()
+        i = 0
+        for batch in workload.batches(count + warmup):
+            clients = batch.clients
+            for ci, rank in zip(batch.client_index.tolist(), batch.ranks.tolist()):
+                decision = resolve(clients[ci], rank)
+                if i >= warmup:
+                    record(decision)
+                i += 1
         return collector.summary()

@@ -1,0 +1,70 @@
+"""The sweep ``parallel=`` knob: identical output, validated input."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.defaults import BASE_SCENARIO
+from repro.analysis.sweep import sweep
+from repro.errors import ParameterError
+
+ALPHAS = tuple(round(0.1 + 0.8 * i / 5, 4) for i in range(6))
+
+
+def run_sweep(parallel):
+    return sweep(
+        BASE_SCENARIO,
+        x_field="alpha",
+        x_values=ALPHAS,
+        quantity="level",
+        curve_field="gamma",
+        curve_values=(2.0, 10.0),
+        parallel=parallel,
+    )
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(None)
+        parallel = run_sweep(2)
+        assert parallel == serial  # bitwise: same grid order, same solver
+
+    @pytest.mark.parametrize("parallel", [0, 1])
+    def test_degenerate_worker_counts_are_serial(self, parallel):
+        assert run_sweep(parallel) == run_sweep(None)
+
+    @pytest.mark.parametrize("parallel", [-1, 2.5])
+    def test_rejects_invalid_worker_counts(self, parallel):
+        with pytest.raises(ParameterError):
+            run_sweep(parallel)
+
+    def test_single_point_grid(self):
+        series = sweep(
+            BASE_SCENARIO,
+            x_field="alpha",
+            x_values=(0.5,),
+            quantity="level",
+            parallel=2,
+        )
+        assert len(series) == 1
+        assert len(series[0].x) == 1
+
+    def test_unknown_quantity_raises_before_spawning(self):
+        with pytest.raises(ParameterError):
+            sweep(
+                BASE_SCENARIO,
+                x_field="alpha",
+                x_values=ALPHAS,
+                quantity="nonsense",
+                parallel=2,
+            )
+
+
+class TestFigureParallelKnob:
+    def test_figure_functions_accept_parallel(self):
+        from repro.analysis.experiments import figure4_level_vs_alpha
+
+        alphas = ALPHAS
+        serial = figure4_level_vs_alpha(alphas=alphas)
+        parallel = figure4_level_vs_alpha(alphas=alphas, parallel=2)
+        assert parallel.series == serial.series

@@ -1,0 +1,152 @@
+"""Unit tests for the batched workload API (RequestBatch, batches())."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.popularity import ZipfModel
+from repro.catalog.workload import (
+    IRMWorkload,
+    LocalityWorkload,
+    Request,
+    RequestBatch,
+    SequenceWorkload,
+    TraceWorkload,
+)
+from repro.errors import ParameterError
+
+CLIENTS = ["A", "B", "C"]
+
+
+def workloads():
+    """One instance of every generator, fixed seeds."""
+    model = ZipfModel(0.8, 200)
+    return {
+        "irm": IRMWorkload(model, CLIENTS, seed=7),
+        "sequence": SequenceWorkload(
+            [("A", [1, 1, 2]), ("B", [3, 4]), ("C", [5])]
+        ),
+        "locality": LocalityWorkload(
+            model, CLIENTS, locality=0.4, window=8, seed=3
+        ),
+        "trace": TraceWorkload(
+            [Request(CLIENTS[i % 3], 1 + (i * 7) % 50) for i in range(500)]
+        ),
+    }
+
+
+class TestRequestBatch:
+    def test_roundtrip_to_requests(self):
+        batch = RequestBatch(
+            clients=("A", "B"), client_index=[0, 1, 0], ranks=[3, 1, 2]
+        )
+        assert len(batch) == 3
+        assert list(batch.requests()) == [
+            Request("A", 3),
+            Request("B", 1),
+            Request("A", 2),
+        ]
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ParameterError):
+            RequestBatch(clients=("A",), client_index=[0, 0], ranks=[1])
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ParameterError):
+            RequestBatch(clients=("A",), client_index=[0], ranks=[0])
+
+    def test_rejects_out_of_palette_index(self):
+        with pytest.raises(ParameterError):
+            RequestBatch(clients=("A",), client_index=[1], ranks=[1])
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ParameterError):
+            RequestBatch(
+                clients=("A",), client_index=[[0]], ranks=[[1]]
+            )
+
+    def test_concatenate(self):
+        a = RequestBatch(clients=("A",), client_index=[0], ranks=[1])
+        b = RequestBatch(clients=("A",), client_index=[0], ranks=[2])
+        joined = RequestBatch.concatenate([a, b])
+        assert joined.ranks.tolist() == [1, 2]
+
+    def test_concatenate_rejects_palette_mismatch(self):
+        a = RequestBatch(clients=("A",), client_index=[0], ranks=[1])
+        b = RequestBatch(clients=("B",), client_index=[0], ranks=[2])
+        with pytest.raises(ParameterError):
+            RequestBatch.concatenate([a, b])
+
+    def test_concatenate_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            RequestBatch.concatenate([])
+
+
+class TestBatchScalarEquivalence:
+    """batches() and requests() must describe the same stream."""
+
+    @pytest.mark.parametrize("name", ["irm", "sequence", "locality", "trace"])
+    def test_batches_match_scalar_stream(self, name):
+        count = 500
+        scalar = list(workloads()[name].requests(count))
+        batched = [
+            request
+            for batch in workloads()[name].batches(count, batch_size=64)
+            for request in batch.requests()
+        ]
+        assert batched == scalar
+
+    @pytest.mark.parametrize("name", ["irm", "sequence", "locality", "trace"])
+    @pytest.mark.parametrize("batch_size", [1, 7, 100, 10_000])
+    def test_batch_size_invariance(self, name, batch_size):
+        reference = workloads()[name].sample_batch(300)
+        chunks = list(
+            workloads()[name].batches(300, batch_size=batch_size)
+        )
+        joined = RequestBatch.concatenate(chunks)
+        assert joined.clients == reference.clients
+        assert np.array_equal(joined.client_index, reference.client_index)
+        assert np.array_equal(joined.ranks, reference.ranks)
+
+    @pytest.mark.parametrize("name", ["irm", "sequence", "locality", "trace"])
+    def test_prefix_stability(self, name):
+        """The first k requests are fixed by the seed, not by count."""
+        short = workloads()[name].sample_batch(100)
+        long = workloads()[name].sample_batch(400)
+        assert np.array_equal(long.ranks[:100], short.ranks)
+        assert np.array_equal(long.client_index[:100], short.client_index)
+
+    def test_sample_batch_empty(self):
+        batch = workloads()["irm"].sample_batch(0)
+        assert len(batch) == 0
+
+    @pytest.mark.parametrize("name", ["irm", "sequence", "locality", "trace"])
+    def test_rejects_bad_arguments(self, name):
+        workload = workloads()[name]
+        with pytest.raises(ParameterError):
+            list(workload.batches(-1))
+        with pytest.raises(ParameterError):
+            list(workload.batches(10, batch_size=0))
+
+
+class TestSequenceBatches:
+    def test_round_robin_interleaving(self):
+        """Matches the paper's §II synchronized two-client cycle."""
+        workload = SequenceWorkload([("R1", [1, 1, 2]), ("R2", [1, 1, 2])])
+        batch = workload.sample_batch(6)
+        assert list(batch.requests()) == [
+            Request("R1", 1),
+            Request("R2", 1),
+            Request("R1", 1),
+            Request("R2", 1),
+            Request("R1", 2),
+            Request("R2", 2),
+        ]
+
+
+class TestTraceBatches:
+    def test_rejects_overlong_count(self):
+        workload = TraceWorkload([Request("A", 1)])
+        with pytest.raises(ParameterError):
+            list(workload.batches(2))

@@ -1,0 +1,143 @@
+"""Memoized Zipf tables: cache hits must be bitwise-identical to misses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.zipf import (
+    ZipfPopularity,
+    clear_zipf_caches,
+    harmonic_number,
+    harmonic_numbers,
+    zipf_table_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_caches():
+    """Every test starts and ends with empty caches."""
+    clear_zipf_caches()
+    yield
+    clear_zipf_caches()
+
+
+def unmemoized_harmonic(k: int, s: float) -> float:
+    """Direct reference sum, bypassing the module's caches."""
+    j = np.arange(1, k + 1, dtype=np.float64)
+    return float(np.sum(j**-s))
+
+
+class TestHarmonicMemoization:
+    @pytest.mark.parametrize("s", [0.5, 0.8, 1.3, 1.9])
+    @pytest.mark.parametrize("k", [1, 10, 1_000, 50_000])
+    def test_cached_equals_reference(self, k, s):
+        first = harmonic_number(k, s)
+        second = harmonic_number(k, s)  # cache hit
+        assert first == second  # bitwise
+        assert first == pytest.approx(unmemoized_harmonic(k, s), rel=1e-12)
+
+    def test_stats_count_hits_and_misses(self):
+        harmonic_number(100, 0.8)
+        harmonic_number(100, 0.8)
+        harmonic_number(200, 0.8)
+        stats = zipf_table_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["harmonic_entries"] == 2
+
+    def test_clear_resets(self):
+        harmonic_number(100, 0.8)
+        clear_zipf_caches()
+        stats = zipf_table_stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "harmonic_entries": 0,
+            "prefix_entries": 0,
+            "popularity_entries": 0,
+        }
+
+    def test_distinct_keys_are_separate(self):
+        assert harmonic_number(100, 0.8) != harmonic_number(100, 0.9)
+        assert harmonic_number(100, 0.8) != harmonic_number(101, 0.8)
+
+
+class TestPrefixTableMemoization:
+    def test_values_match_scalar_function(self):
+        table = harmonic_numbers(500, 0.7)
+        assert table[0] == 0.0
+        for k in (1, 2, 17, 499, 500):
+            assert table[k] == pytest.approx(harmonic_number(k, 0.7), rel=1e-12)
+
+    def test_tables_are_read_only(self):
+        table = harmonic_numbers(100, 0.8)
+        with pytest.raises(ValueError):
+            table[0] = 1.0
+
+    def test_prefix_served_from_longer_table(self):
+        long = harmonic_numbers(1_000, 0.8)
+        before = zipf_table_stats()
+        short = harmonic_numbers(100, 0.8)
+        after = zipf_table_stats()
+        # Served as a view of the long table: a hit, no new entry.
+        assert after["hits"] == before["hits"] + 1
+        assert after["prefix_entries"] == before["prefix_entries"]
+        assert np.shares_memory(short, long)
+        assert np.array_equal(short, long[:101])
+
+    def test_repeated_call_hits(self):
+        a = harmonic_numbers(200, 0.8)
+        b = harmonic_numbers(200, 0.8)
+        assert a is b
+
+
+class TestPopularityTableSharing:
+    def test_instances_share_tables(self):
+        first = ZipfPopularity(0.8, 1_000)
+        second = ZipfPopularity(0.8, 1_000)
+        rng = np.random.default_rng(0)
+        first.sample(10, rng)
+        second.sample(10, rng)
+        assert np.shares_memory(first._tables()[0], second._tables()[0])
+        assert zipf_table_stats()["popularity_entries"] == 1
+
+    def test_tables_are_read_only(self):
+        popularity = ZipfPopularity(0.8, 100)
+        pmf, cdf = popularity._tables()
+        with pytest.raises(ValueError):
+            pmf[0] = 1.0
+        with pytest.raises(ValueError):
+            cdf[0] = 1.0
+
+    def test_sampling_stream_unchanged_by_sharing(self):
+        """Cache hits must not perturb sampled streams."""
+        draws_cold = ZipfPopularity(0.8, 500).sample(
+            100, np.random.default_rng(42)
+        )
+        draws_warm = ZipfPopularity(0.8, 500).sample(
+            100, np.random.default_rng(42)
+        )
+        assert np.array_equal(draws_cold, draws_warm)
+
+    def test_distinct_parameters_distinct_tables(self):
+        a = ZipfPopularity(0.8, 100)
+        b = ZipfPopularity(0.9, 100)
+        a.sample(1, np.random.default_rng(0))
+        b.sample(1, np.random.default_rng(0))
+        assert not np.shares_memory(a._tables()[0], b._tables()[0])
+        assert zipf_table_stats()["popularity_entries"] == 2
+
+
+class TestCacheEviction:
+    def test_prefix_cache_is_bounded(self):
+        for i in range(10):
+            harmonic_numbers(100 + i, 0.1 * (i + 1))
+        assert zipf_table_stats()["prefix_entries"] <= 4
+
+    def test_popularity_cache_is_bounded(self):
+        for i in range(10):
+            ZipfPopularity(0.5 + 0.1 * i, 50).sample(
+                1, np.random.default_rng(0)
+            )
+        assert zipf_table_stats()["popularity_entries"] <= 4

@@ -1,0 +1,263 @@
+"""Batched steady-state kernel vs the scalar reference implementation.
+
+The batched path must be a pure optimization: for any workload seed it
+produces the same :class:`SimulationMetrics` and the same per-partition
+content-store statistics as one ``resolve`` per request.  On topologies
+whose latencies are dyadic floats (every link 2.0 ms) summation order
+cannot round differently, so equality is bitwise; on the geo-calibrated
+paper topologies the integer counts are exact and the float totals agree
+to ~1e-9 relative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.popularity import ZipfModel
+from repro.catalog.workload import (
+    IRMWorkload,
+    LocalityWorkload,
+    Request,
+    SequenceWorkload,
+    TraceWorkload,
+)
+from repro.core.strategy import ProvisioningStrategy
+from repro.errors import SimulationError
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.simulator import DynamicSimulator, SteadyStateSimulator
+from repro.topology import load_topology, ring_topology
+
+
+def make_simulator(topology, *, capacity=12, level=0.5):
+    strategy = ProvisioningStrategy(
+        capacity=capacity, n_routers=topology.n_routers, level=level
+    )
+    return SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+
+
+def workload_factories(topology):
+    model = ZipfModel(0.8, 400)
+    nodes = topology.nodes
+    return {
+        "irm": lambda: IRMWorkload(model, nodes, seed=11),
+        "sequence": lambda: SequenceWorkload(
+            [(node, [1 + i, 9 + 2 * i, 60 + i]) for i, node in enumerate(nodes)]
+        ),
+        "locality": lambda: LocalityWorkload(
+            model, nodes, locality=0.5, window=16, seed=5
+        ),
+        "trace": lambda: TraceWorkload(
+            [
+                Request(nodes[i % len(nodes)], 1 + (i * 13) % 300)
+                for i in range(4000)
+            ]
+        ),
+    }
+
+
+def store_counters(simulator):
+    counters = {}
+    for node, router in simulator.fleet.items():
+        coordinated = router.coordinated_store
+        counters[node] = (
+            router.local_store.hits,
+            router.local_store.misses,
+            coordinated.hits if coordinated is not None else None,
+            coordinated.misses if coordinated is not None else None,
+        )
+    return counters
+
+
+class TestBitwiseEquivalenceDyadicTopology:
+    """Ring with 2.0 ms links: floats are dyadic, equality is exact."""
+
+    @pytest.mark.parametrize("name", ["irm", "sequence", "locality", "trace"])
+    def test_metrics_identical(self, name):
+        topology = ring_topology(6, link_latency_ms=2.0)
+        factory = workload_factories(topology)[name]
+        batched_sim = make_simulator(topology)
+        scalar_sim = make_simulator(topology)
+
+        batched = batched_sim.run(factory(), 4000)
+        scalar = scalar_sim.run_scalar(factory(), 4000)
+
+        assert batched == scalar  # bitwise: counts, floats and served_by
+        assert store_counters(batched_sim) == store_counters(scalar_sim)
+
+    @pytest.mark.parametrize("batch_size", [1, 17, 1000, 100_000])
+    def test_batch_size_does_not_change_metrics(self, batch_size):
+        topology = ring_topology(6, link_latency_ms=2.0)
+        factory = workload_factories(topology)["irm"]
+        reference = make_simulator(topology).run(factory(), 3000)
+        chunked = make_simulator(topology).run(
+            factory(), 3000, batch_size=batch_size
+        )
+        assert chunked == reference
+
+
+class TestGeoTopologyEquivalence:
+    """US-A latencies are not dyadic: counts exact, totals to 1e-9."""
+
+    def test_counts_exact_floats_close(self):
+        topology = load_topology("us-a")
+        factory = lambda: IRMWorkload(
+            ZipfModel(0.8, 5_000), topology.nodes, seed=0
+        )
+        batched_sim = make_simulator(topology, capacity=50)
+        scalar_sim = make_simulator(topology, capacity=50)
+
+        batched = batched_sim.run(factory(), 20_000)
+        scalar = scalar_sim.run_scalar(factory(), 20_000)
+
+        assert (batched.local_hits, batched.peer_hits, batched.origin_hits) == (
+            scalar.local_hits,
+            scalar.peer_hits,
+            scalar.origin_hits,
+        )
+        assert batched.served_by == scalar.served_by
+        assert batched.total_hops == scalar.total_hops  # integer-valued
+        assert batched.total_latency_ms == pytest.approx(
+            scalar.total_latency_ms, rel=1e-9
+        )
+        assert store_counters(batched_sim) == store_counters(scalar_sim)
+
+
+class TestRunModeSelection:
+    def test_batched_requires_static_fleet(self):
+        topology = ring_topology(4, link_latency_ms=2.0)
+        simulator = make_simulator(topology)
+        # Swap one partition for a dynamic policy: fast path must refuse.
+        from repro.simulation.cache import LRUCache
+
+        node = topology.nodes[0]
+        simulator.fleet[node].local_store = LRUCache(4)
+        simulator._placement_is_static = False
+        workload = workload_factories(topology)["irm"]
+        with pytest.raises(SimulationError):
+            simulator.run(workload(), 10, batched=True)
+        # default mode falls back to the scalar loop
+        metrics = simulator.run(workload(), 10)
+        assert metrics.requests == 10
+
+    def test_batched_requires_batch_api(self):
+        topology = ring_topology(4, link_latency_ms=2.0)
+
+        class DuckWorkload:
+            """Pre-batch-API duck-typed workload (requests only)."""
+
+            def requests(self, count):
+                return iter(
+                    Request(topology.nodes[i % 4], 1 + i % 5)
+                    for i in range(count)
+                )
+
+        simulator = make_simulator(topology)
+        with pytest.raises(SimulationError):
+            simulator.run(DuckWorkload(), 10, batched=True)
+        # default mode silently takes the reference path
+        metrics = simulator.run(DuckWorkload(), 10)
+        assert metrics == make_simulator(topology).run_scalar(DuckWorkload(), 10)
+
+    def test_unknown_client_raises(self):
+        topology = ring_topology(4, link_latency_ms=2.0)
+        simulator = make_simulator(topology)
+        workload = TraceWorkload([Request("nowhere", 1)])
+        with pytest.raises(SimulationError):
+            simulator.run(workload, 1)
+        with pytest.raises(SimulationError):
+            make_simulator(topology).run_scalar(workload, 1)
+
+
+class TestRecordBatchValidation:
+    def test_rejects_negative_counts(self):
+        collector = MetricsCollector()
+        with pytest.raises(SimulationError):
+            collector.record_batch(
+                local_hits=-1,
+                peer_hits=0,
+                origin_hits=0,
+                total_hops=0.0,
+                total_latency_ms=0.0,
+            )
+
+    def test_rejects_negative_totals(self):
+        collector = MetricsCollector()
+        with pytest.raises(SimulationError):
+            collector.record_batch(
+                local_hits=1,
+                peer_hits=0,
+                origin_hits=0,
+                total_hops=-1.0,
+                total_latency_ms=0.0,
+            )
+
+    def test_rejects_served_by_exceeding_peer_hits(self):
+        collector = MetricsCollector()
+        with pytest.raises(SimulationError):
+            collector.record_batch(
+                local_hits=0,
+                peer_hits=1,
+                origin_hits=0,
+                total_hops=1.0,
+                total_latency_ms=1.0,
+                served_by={"A": 2},
+            )
+
+    def test_accumulates_like_record(self):
+        collector = MetricsCollector()
+        collector.record_batch(
+            local_hits=2,
+            peer_hits=1,
+            origin_hits=3,
+            total_hops=7.0,
+            total_latency_ms=120.0,
+            served_by={"A": 1},
+        )
+        summary = collector.summary()
+        assert summary.requests == 6
+        assert summary.served_by == {"A": 1}
+        assert summary.total_hops == 7.0
+
+
+class TestDynamicSeedStreams:
+    """Regression: seed * k + i derivations collided at seed = 0."""
+
+    def test_seed_zero_gives_distinct_partition_streams(self):
+        topology = load_topology("us-a")
+        simulator = DynamicSimulator(
+            topology,
+            capacity=10,
+            policy="random",
+            coordination_level=0.5,
+            seed=0,
+        )
+        states = set()
+        for router in simulator.fleet.values():
+            states.add(str(router.local_store._rng.bit_generator.state["state"]))
+            states.add(
+                str(router.coordinated_store._rng.bit_generator.state["state"])
+            )
+        # Every (router, partition) pair draws from its own stream.
+        assert len(states) == 2 * topology.n_routers
+
+    def test_runs_reproducible_per_seed(self):
+        topology = ring_topology(5, link_latency_ms=2.0)
+
+        def run(seed):
+            simulator = DynamicSimulator(
+                topology,
+                capacity=8,
+                policy="random",
+                coordination_level=0.5,
+                seed=seed,
+            )
+            workload = IRMWorkload(
+                ZipfModel(0.8, 300), topology.nodes, seed=2
+            )
+            return simulator.run(workload, 2000, warmup=500)
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
