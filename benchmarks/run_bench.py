@@ -34,6 +34,7 @@ from repro.analysis.sweep import sweep  # noqa: E402
 from repro.catalog import IRMWorkload, ZipfModel  # noqa: E402
 from repro.core import ProvisioningStrategy, ZipfPopularity  # noqa: E402
 from repro.core import clear_zipf_caches, zipf_table_stats  # noqa: E402
+from repro.obs import machine_provenance, session as obs_session  # noqa: E402
 from repro.simulation import DynamicSimulator, SteadyStateSimulator  # noqa: E402
 from repro.topology import load_topology  # noqa: E402
 
@@ -197,17 +198,33 @@ def main(argv: list[str] | None = None) -> int:
         metavar="JSON",
         help="path to a baseline JSON to embed under the 'before' key",
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: <repo root>/BENCH_<label>.json)",
+    )
     args = parser.parse_args(argv)
 
-    results = run(quick=args.quick)
-    payload: dict = {"label": args.label, "quick": args.quick, "after": results}
+    # Benchmarks run inside a capture session so the instrumented
+    # library paths (batch counters, per-tier hits, sweep spans, Zipf
+    # memo deltas) land in the BENCH payload as an obs snapshot.
+    with obs_session(annotations={"bench_label": args.label}) as capture:
+        results = run(quick=args.quick)
+    payload: dict = {
+        "label": args.label,
+        "quick": args.quick,
+        "provenance": machine_provenance(),
+        "after": results,
+        "obs": capture.snapshot(),
+    }
     if args.before:
         payload["before"] = json.loads(Path(args.before).read_text())
 
     text = json.dumps(payload, indent=2)
     print(text)
     if not args.no_write:
-        out = REPO_ROOT / f"BENCH_{args.label}.json"
+        out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{args.label}.json"
         out.write_text(text + "\n")
         print(f"\nwrote {out}", file=sys.stderr)
     return 0

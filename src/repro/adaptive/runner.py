@@ -21,6 +21,7 @@ from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..core.strategy import ProvisioningStrategy
 from ..errors import ParameterError
+from ..obs import get_session
 from ..simulation.simulator import SteadyStateSimulator
 from ..topology.graph import Topology
 from .controller import AdaptiveController, EpochObservation
@@ -174,51 +175,75 @@ class AdaptiveSimulation:
         previous_strategy: Optional[ProvisioningStrategy] = None
         capacity = int(self.scenario.capacity)
         n = self.scenario.n_routers
+        obs = get_session()
         for epoch in range(n_epochs):
-            true_s = self.drift.exponent_at(epoch)
-            level = float(np.clip(self.controller.propose(epoch), 0.0, 1.0))
-            strategy = ProvisioningStrategy(
-                capacity=capacity, n_routers=n, level=level
+            with obs.span("adaptive.epoch"):
+                record = self._run_epoch(epoch, capacity, n, previous_strategy)
+            records.append(record)
+            previous_strategy = ProvisioningStrategy(
+                capacity=capacity, n_routers=n, level=record.deployed_level
             )
-            simulator = SteadyStateSimulator.from_strategy(
-                self.topology, strategy, message_accounting="none"
-            )
-            workload = self.factory.workload_at(epoch)
-            requests = workload.materialize(self.requests_per_epoch)
-            metrics_collector = simulator.run(
-                _ListWorkload(requests), self.requests_per_epoch
-            )
-            measured = self._measured_objective(metrics_collector, level)
-
-            true_scenario = self.scenario.replace(exponent=true_s)
-            oracle = optimal_strategy(
-                true_scenario.model(), check_conditions=False
-            )
-            churn = (
-                strategy.reassignment_churn(previous_strategy)
-                if previous_strategy is not None
-                else 0
-            )
-            records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    true_exponent=true_s,
-                    deployed_level=level,
-                    oracle_level=oracle.level,
-                    measured_objective=measured,
-                    oracle_objective=oracle.objective_value,
-                    regret=measured - oracle.objective_value,
-                    placement_churn=churn,
+            if obs.enabled:
+                obs.gauge("adaptive.last_regret").set(record.regret)
+                obs.gauge("adaptive.last_level_gap").set(
+                    abs(record.deployed_level - record.oracle_level)
                 )
-            )
-            observation = EpochObservation(
-                level=level,
-                measured_objective=measured,
-                observed_ranks=np.array([r.rank for r in requests]),
-            )
-            self.controller.feedback(epoch, observation)
-            previous_strategy = strategy
-        return AdaptationTrace(records=tuple(records))
+                obs.counter("adaptive.epochs").add()
+                obs.counter("adaptive.placement_churn").add(record.placement_churn)
+        trace = AdaptationTrace(records=tuple(records))
+        if obs.enabled:
+            obs.gauge("adaptive.mean_regret").set(trace.mean_regret())
+            obs.gauge("adaptive.tracking_error").set(trace.tracking_error())
+        return trace
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        capacity: int,
+        n: int,
+        previous_strategy: Optional[ProvisioningStrategy],
+    ) -> EpochRecord:
+        """One provision → simulate → measure → feedback epoch."""
+        true_s = self.drift.exponent_at(epoch)
+        level = float(np.clip(self.controller.propose(epoch), 0.0, 1.0))
+        strategy = ProvisioningStrategy(
+            capacity=capacity, n_routers=n, level=level
+        )
+        simulator = SteadyStateSimulator.from_strategy(
+            self.topology, strategy, message_accounting="none"
+        )
+        workload = self.factory.workload_at(epoch)
+        requests = workload.materialize(self.requests_per_epoch)
+        metrics_collector = simulator.run(
+            _ListWorkload(requests), self.requests_per_epoch
+        )
+        measured = self._measured_objective(metrics_collector, level)
+
+        true_scenario = self.scenario.replace(exponent=true_s)
+        oracle = optimal_strategy(
+            true_scenario.model(), check_conditions=False
+        )
+        churn = (
+            strategy.reassignment_churn(previous_strategy)
+            if previous_strategy is not None
+            else 0
+        )
+        observation = EpochObservation(
+            level=level,
+            measured_objective=measured,
+            observed_ranks=np.array([r.rank for r in requests]),
+        )
+        self.controller.feedback(epoch, observation)
+        return EpochRecord(
+            epoch=epoch,
+            true_exponent=true_s,
+            deployed_level=level,
+            oracle_level=oracle.level,
+            measured_objective=measured,
+            oracle_objective=oracle.objective_value,
+            regret=measured - oracle.objective_value,
+            placement_churn=churn,
+        )
 
 
 class _ListWorkload(Workload):

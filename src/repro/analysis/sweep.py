@@ -20,6 +20,7 @@ from ..core.gains import evaluate_gains
 from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..errors import ParameterError
+from ..obs import get_session, session as obs_session
 
 __all__ = ["Series", "FigureData", "QUANTITIES", "solve_quantity", "sweep"]
 
@@ -121,6 +122,31 @@ def _solve_point(payload: tuple[Scenario, str]) -> float:
     return solve_quantity(scenario, quantity)
 
 
+def _solve_point_observed(payload: tuple[Scenario, str]) -> tuple[float, dict]:
+    """Worker entry point when the parent has an active obs session.
+
+    The worker cannot record into the parent's session (different
+    process), so it opens a local capture session, solves its point
+    under a ``sweep.point`` span, and ships the session snapshot back
+    with the result; the parent merges snapshots in grid order —
+    deterministic regardless of pool scheduling.
+    """
+    with obs_session() as capture:
+        with capture.span("sweep.point"):
+            y = _solve_point(payload)
+    return y, capture.snapshot()
+
+
+def _solve_serial(payloads: Sequence[tuple[Scenario, str]]) -> list[float]:
+    """Serial grid solve with a per-point span (no-op cheap by default)."""
+    obs = get_session()
+    results = []
+    for payload in payloads:
+        with obs.span("sweep.point"):
+            results.append(_solve_point(payload))
+    return results
+
+
 def _solve_grid(
     payloads: Sequence[tuple[Scenario, str]], parallel: Optional[int]
 ) -> list[float]:
@@ -129,22 +155,33 @@ def _solve_grid(
     The returned list is ordered like ``payloads`` in both modes, so the
     ``parallel`` knob never changes sweep output.  Falls back to the
     serial path when worker processes cannot be spawned (restricted
-    sandboxes raise ``OSError``).
+    sandboxes raise ``OSError``).  With an active obs session, parallel
+    workers capture per-worker metrics/spans that are merged back in
+    grid order (see :mod:`repro.obs.session`).
     """
     if parallel is not None and (int(parallel) != parallel or parallel < 0):
         raise ParameterError(
             f"parallel must be a non-negative integer worker count, got {parallel}"
         )
     if parallel in (None, 0, 1) or len(payloads) <= 1:
-        return [_solve_point(p) for p in payloads]
+        return _solve_serial(payloads)
+    obs = get_session()
     chunksize = max(1, len(payloads) // (int(parallel) * 4))
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=int(parallel)
         ) as pool:
-            return list(pool.map(_solve_point, payloads, chunksize=chunksize))
+            if not obs.enabled:
+                return list(pool.map(_solve_point, payloads, chunksize=chunksize))
+            observed = list(
+                pool.map(_solve_point_observed, payloads, chunksize=chunksize)
+            )
     except OSError:
-        return [_solve_point(p) for p in payloads]
+        return _solve_serial(payloads)
+    obs.counter("sweep.worker_snapshots").add(len(observed))
+    for _, snapshot in observed:
+        obs.merge_snapshot(snapshot)
+    return [y for y, _ in observed]
 
 
 def sweep(
@@ -202,7 +239,12 @@ def sweep(
         payloads.extend(
             (scenario.replace(**{x_field: xv}), quantity) for xv in x_values
         )
-    ys = _solve_grid(payloads, parallel)
+    obs = get_session()
+    with obs.span("sweep.grid"):
+        ys = _solve_grid(payloads, parallel)
+    if obs.enabled:
+        obs.counter("sweep.grid_points").add(len(payloads))
+        obs.counter("sweep.grids").add()
 
     result: list[Series] = []
     n_x = len(x_values)

@@ -5,14 +5,17 @@ evaluates CCN caching on request traces.  This module round-trips
 :class:`~repro.catalog.workload.Request` streams through a simple CSV
 format (``client,rank`` per line with a header), so synthetic workloads
 can be frozen to disk, shared, and replayed with
-:class:`~repro.catalog.workload.TraceWorkload`.
+:class:`~repro.catalog.workload.TraceWorkload`.  Paths ending in
+``.gz`` are transparently gzip-compressed — large frozen traces are
+highly repetitive and compress well.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Callable, Hashable, Iterable, Union
 
 from ..errors import CatalogError
 from .workload import Request, TraceWorkload
@@ -22,14 +25,22 @@ __all__ = ["save_trace", "load_trace"]
 _HEADER = ("client", "rank")
 
 
+def _open_trace(path: Path, mode: str):
+    """Open a trace file as text, gzipping when the suffix asks for it."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", newline="")
+    return path.open(mode, newline="")
+
+
 def save_trace(requests: Iterable[Request], path: Union[str, Path]) -> int:
     """Write a request stream to ``path`` as CSV; returns the row count.
 
     Client identifiers are serialized with ``str``; ranks as integers.
+    A ``.gz`` suffix writes the same CSV gzip-compressed.
     """
     path = Path(path)
     count = 0
-    with path.open("w", newline="") as handle:
+    with _open_trace(path, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(_HEADER)
         for request in requests:
@@ -38,17 +49,24 @@ def save_trace(requests: Iterable[Request], path: Union[str, Path]) -> int:
     return count
 
 
-def load_trace(path: Union[str, Path]) -> TraceWorkload:
+def load_trace(
+    path: Union[str, Path],
+    *,
+    client_parser: Callable[[str], Hashable] = str,
+) -> TraceWorkload:
     """Read a CSV trace back into a replayable workload.
 
-    Clients come back as strings (CSV carries no type information);
-    traces written from string-keyed topologies round-trip exactly.
+    CSV carries no type information, so clients come back as strings by
+    default; pass ``client_parser`` (e.g. ``int``) to restore the
+    original client type and make non-string-keyed traces round-trip
+    exactly.  A ``.gz`` suffix reads the gzip-compressed format
+    :func:`save_trace` writes.
     """
     path = Path(path)
     if not path.exists():
         raise CatalogError(f"trace file {path} does not exist")
     requests: list[Request] = []
-    with path.open(newline="") as handle:
+    with _open_trace(path, "r") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header is None or tuple(header) != _HEADER:
@@ -62,13 +80,20 @@ def load_trace(path: Union[str, Path]) -> TraceWorkload:
                     f"trace file {path} line {line_number}: expected 2 "
                     f"columns, got {len(row)}"
                 )
-            client, rank_text = row
+            client_text, rank_text = row
             try:
                 rank = int(rank_text)
             except ValueError:
                 raise CatalogError(
                     f"trace file {path} line {line_number}: rank "
                     f"{rank_text!r} is not an integer"
+                )
+            try:
+                client = client_parser(client_text)
+            except (ValueError, TypeError) as exc:
+                raise CatalogError(
+                    f"trace file {path} line {line_number}: client "
+                    f"{client_text!r} rejected by client_parser: {exc}"
                 )
             requests.append(Request(client=client, rank=rank))
     return TraceWorkload(requests)

@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(figure experiments only; output is identical to serial)"
         ),
     )
+    run.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record metrics and spans to a JSON-lines events file "
+            "(render it with 'repro obs summarize PATH')"
+        ),
+    )
 
     solve = subparsers.add_parser("solve", help="solve a single scenario")
     solve.add_argument("--alpha", type=float, default=0.5)
@@ -84,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--capacity", "-c", type=float, default=10**3)
     solve.add_argument("--unit-cost", "-w", type=float, default=26.7)
     solve.add_argument("--peer-delta", type=float, default=2.2842)
+    solve.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="record metrics and spans to a JSON-lines events file",
+    )
+
+    obs = subparsers.add_parser(
+        "obs", help="observability utilities (events-file tooling)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="render a human-readable summary of an events file"
+    )
+    summarize.add_argument("events", help="path to an events .jsonl (or .jsonl.gz)")
 
     topo = subparsers.add_parser(
         "topology", help="show a topology's statistics and Table III row"
@@ -174,6 +198,9 @@ def _experiment_kwargs(fn, args: argparse.Namespace) -> dict:
 
 
 def _run_experiment(args: argparse.Namespace, out) -> int:
+    from .obs import get_session
+
+    obs = get_session()
     name = args.experiment
     if name == "all":
         if getattr(args, "format", "text") != "text" or getattr(args, "output", None):
@@ -183,7 +210,9 @@ def _run_experiment(args: argparse.Namespace, out) -> int:
             )
             return 2
         for key, fn in ALL_EXPERIMENTS.items():
-            print(_render(fn(**_experiment_kwargs(fn, args))), file=out)
+            with obs.span(f"experiment.{key}"):
+                result = fn(**_experiment_kwargs(fn, args))
+            print(_render(result), file=out)
             print(file=out)
         return 0
     fn = ALL_EXPERIMENTS.get(name)
@@ -193,11 +222,15 @@ def _run_experiment(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 2
-    _emit(fn(**_experiment_kwargs(fn, args)), args, out)
+    with obs.span(f"experiment.{name}"):
+        result = fn(**_experiment_kwargs(fn, args))
+    _emit(result, args, out)
     return 0
 
 
 def _solve(args: argparse.Namespace, out) -> int:
+    from .obs import fingerprint, get_session
+
     scenario = Scenario(
         alpha=args.alpha,
         gamma=args.gamma,
@@ -208,7 +241,11 @@ def _solve(args: argparse.Namespace, out) -> int:
         unit_cost=args.unit_cost,
         peer_delta=args.peer_delta,
     )
-    strategy, gains = scenario.solve_with_gains(check_conditions=False)
+    obs = get_session()
+    if obs.enabled:
+        obs.annotate("scenario_fingerprint", fingerprint(scenario))
+    with obs.span("solve.scenario"):
+        strategy, gains = scenario.solve_with_gains(check_conditions=False)
     print(f"scenario: {scenario}", file=out)
     print(
         f"optimal level l* = {strategy.level:.6f} "
@@ -311,6 +348,44 @@ def _protocol(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _obs_summarize(args: argparse.Namespace, out) -> int:
+    from .errors import ObservabilityError
+    from .obs import read_events, render_summary, summarize_events
+
+    try:
+        events = read_events(args.events)
+    except ObservabilityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_summary(summarize_events(events)), file=out)
+    return 0
+
+
+def _observed(args: argparse.Namespace, handler, out) -> int:
+    """Run a subcommand handler, optionally inside a recording session.
+
+    Without ``--obs`` the handler runs against the ambient null session
+    (near-zero overhead); with it, every metric and span of the run is
+    streamed to the given JSON-lines file.
+    """
+    obs_path = getattr(args, "obs", None)
+    if not obs_path:
+        return handler(args, out)
+    from .errors import ObservabilityError
+    from .obs import JsonlSink, session
+
+    try:
+        sink = JsonlSink(obs_path)
+    except ObservabilityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    annotations = {"command": args.command}
+    if args.command == "run":
+        annotations["experiment"] = args.experiment
+    with session(sink, annotations=annotations):
+        return handler(args, out)
+
+
 def _report(args: argparse.Namespace, out) -> int:
     from .analysis.reporting import generate_report
     from .errors import ParameterError
@@ -349,9 +424,11 @@ def _dispatch(argv: Optional[Sequence[str]], out) -> int:
             print(f"{name:14s} {doc}", file=out)
         return 0
     if args.command == "run":
-        return _run_experiment(args, out)
+        return _observed(args, _run_experiment, out)
     if args.command == "solve":
-        return _solve(args, out)
+        return _observed(args, _solve, out)
+    if args.command == "obs":
+        return _obs_summarize(args, out)
     if args.command == "topology":
         return _topology(args, out)
     if args.command == "sensitivity":

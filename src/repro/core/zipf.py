@@ -31,6 +31,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..errors import CatalogError, ParameterError
+from ..obs import register_provider
 from .validation import SINGULARITY_TOLERANCE, require_exponent, require_finite
 
 __all__ = [
@@ -133,6 +134,23 @@ def clear_zipf_caches() -> None:
     _POPULARITY_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+
+
+def _zipf_obs_provider() -> dict:
+    """Obs provider: the eq. 1 table-cache counters as per-process values.
+
+    Registered with :func:`repro.obs.register_provider`; sessions record
+    the finalize-minus-open delta, so a run's summary shows the memo
+    hit rate of exactly that run (merged across sweep workers).
+    """
+    stats = zipf_table_stats()
+    return {
+        "zipf.cache.hits": stats["hits"],
+        "zipf.cache.misses": stats["misses"],
+    }
+
+
+register_provider("zipf", _zipf_obs_provider)
 
 
 def validate_exponent(s: float, *, allow_one: bool = False) -> float:

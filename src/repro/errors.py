@@ -17,6 +17,7 @@ __all__ = [
     "TopologyError",
     "CatalogError",
     "SimulationError",
+    "ObservabilityError",
 ]
 
 
@@ -65,3 +66,14 @@ class CatalogError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ObservabilityError(ReproError):
+    """The metrics/tracing layer was misused (bad metric, bad events file).
+
+    Raised by :mod:`repro.obs` for caller errors — decreasing a
+    counter, re-registering a histogram with different buckets,
+    summarizing a malformed events file.  Instrumentation never raises
+    on the recording hot path for *data* reasons; observability must
+    not take down the run it observes.
+    """

@@ -55,6 +55,7 @@ def _build_registry() -> Tuple[Rule, ...]:
     from .r3_domain import DomainGuardRule
     from .r4_aliasing import NumpyAliasingRule
     from .r5_traceability import EquationTraceabilityRule
+    from .r6_observability import ObservabilityDisciplineRule
 
     return (
         ExceptionDisciplineRule(),
@@ -62,6 +63,7 @@ def _build_registry() -> Tuple[Rule, ...]:
         DomainGuardRule(),
         NumpyAliasingRule(),
         EquationTraceabilityRule(),
+        ObservabilityDisciplineRule(),
     )
 
 

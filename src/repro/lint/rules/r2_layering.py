@@ -3,7 +3,7 @@
 Enforces the architecture DAG of the reproduction.  The layer order
 (bottom to top) is::
 
-    errors
+    errors ── obs                  (obs: metrics/tracing, errors-only)
       └─ core ── topology          (core↔topology: see note below)
            └─ catalog
                 └─ baselines / simulation / hetero
@@ -34,7 +34,7 @@ from ..context import ROOT_UNIT, ModuleContext
 from ..diagnostics import Diagnostic
 from . import Rule
 
-_FOUNDATION: FrozenSet[str] = frozenset({"errors"})
+_FOUNDATION: FrozenSet[str] = frozenset({"errors", "obs"})
 _MODEL: FrozenSet[str] = _FOUNDATION | {"core", "topology"}
 _DATA: FrozenSet[str] = _MODEL | {"catalog"}
 
@@ -44,7 +44,8 @@ _DATA: FrozenSet[str] = _MODEL | {"catalog"}
 ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "errors": frozenset(),
     "lint": frozenset(),  # standalone: stdlib only
-    "core": frozenset({"errors", "topology"}),
+    "obs": frozenset({"errors"}),  # foundation: every layer may record into it
+    "core": frozenset({"errors", "obs", "topology"}),
     "topology": frozenset({"errors"}),
     "catalog": _MODEL,
     "baselines": _DATA,

@@ -1,0 +1,113 @@
+"""R6 — observability-discipline.
+
+With :mod:`repro.obs` in place there is exactly one sanctioned way for
+library code to measure time or report progress: spans and sinks.
+Ad-hoc ``time.time()``/``time.perf_counter()`` calls and bare
+``print()`` statements scattered through ``src/repro`` bypass the
+registry (so the data never reaches an events file, never merges across
+workers, and never lands in a run manifest) and pollute stdout that the
+CLI owns.  This rule forbids both outside the units that legitimately
+need them: ``obs`` itself (the only place allowed to read the clock),
+``cli``/``__main__`` (the user-facing surface that owns stdout) and
+``lint`` (standalone tooling).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from . import Rule
+
+#: Units where wall-clock reads and printing are part of the job.
+EXEMPT_UNITS = frozenset({"obs", "cli", "lint", "__main__"})
+
+#: ``time``-module functions that read a wall/monotonic clock.
+CLOCK_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def _time_module_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the ``time`` module (``import time as t``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _clock_name_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to clock functions (``from time import perf_counter``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time" and not node.level:
+            for alias in node.names:
+                if alias.name in CLOCK_FUNCTIONS:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+class ObservabilityDisciplineRule(Rule):
+    id = "R6"
+    name = "observability-discipline"
+    description = (
+        "library code must use repro.obs spans/sinks instead of ad-hoc "
+        "time.time()/perf_counter() calls or bare print()"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        unit = ctx.repro_unit
+        if unit is None or unit in EXEMPT_UNITS:
+            return
+        time_aliases = _time_module_aliases(ctx.tree)
+        clock_aliases = _clock_name_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in time_aliases
+                and fn.attr in CLOCK_FUNCTIONS
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"ad-hoc clock read time.{fn.attr}() in unit {unit!r}; "
+                    f"wrap the timed region in an obs span "
+                    f"(repro.obs.get_session().span(...)) instead",
+                )
+            elif isinstance(fn, ast.Name) and fn.id in clock_aliases:
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"ad-hoc clock read {fn.id}() (imported from time) in "
+                    f"unit {unit!r}; wrap the timed region in an obs span "
+                    f"(repro.obs.get_session().span(...)) instead",
+                )
+            elif isinstance(fn, ast.Name) and fn.id == "print":
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"bare print() in unit {unit!r}; library code must stay "
+                    f"silent — record a metric/span via repro.obs, or return "
+                    f"the text for the CLI to render",
+                )

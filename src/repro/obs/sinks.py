@@ -1,0 +1,104 @@
+"""Pluggable event sinks for the observability layer.
+
+Every span close and every finalized metric becomes one small dict
+event; a sink decides what happens to it.  Three implementations:
+
+- :class:`NullSink` — the default; drops everything.  Instrumented
+  code built against the null sink costs near zero, which is what lets
+  the hot paths stay instrumented permanently.
+- :class:`JsonlSink` — one JSON object per line, append-ordered, the
+  interchange format ``repro obs summarize`` reads.  Supports ``.gz``
+  paths transparently (frozen event streams stay shareable, like
+  frozen workload traces).
+- :class:`TextSummarySink` — buffers events and writes the
+  human-readable summary rendering on close (quick look without a
+  second command).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from ..errors import ObservabilityError
+
+__all__ = ["Sink", "NullSink", "JsonlSink", "TextSummarySink"]
+
+
+class Sink:
+    """Interface: receives events; closed exactly once at finalize."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        """Receive one event dict (a span close, a final metric, …)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+
+class NullSink(Sink):
+    """Discards every event (the near-zero-overhead default)."""
+
+    def emit(self, event: dict) -> None:
+        """Drop the event."""
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per event line to ``path``.
+
+    Events are written in emission order, so the file is a faithful
+    timeline: spans appear as they close, metric and manifest events
+    at session finalize.  A trailing ``.gz`` suffix gzip-compresses
+    the stream transparently.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        try:
+            self._handle: Optional[IO[str]] = _open_text(self.path, "w")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot open events file {self.path}: {exc}"
+            ) from exc
+        self.events_written = 0
+
+    def emit(self, event: dict) -> None:
+        """Append the event as one compact, key-sorted JSON line."""
+        if self._handle is None:
+            raise ObservabilityError(
+                f"events file {self.path} is closed; cannot emit {event.get('type')!r}"
+            )
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent); emits then raise."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TextSummarySink(Sink):
+    """Buffers events; writes the rendered text summary on close."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._events: List[dict] = []
+
+    def emit(self, event: dict) -> None:
+        """Buffer the event for the close-time rendering."""
+        self._events.append(event)
+
+    def close(self) -> None:
+        """Summarize the buffered events and write the text report."""
+        from .summary import render_summary, summarize_events
+
+        self.path.write_text(render_summary(summarize_events(self._events)) + "\n")

@@ -1,0 +1,135 @@
+"""Span-based tracing on the monotonic clock.
+
+A *span* is one named, timed region of a run — an experiment, a sweep
+grid point, an adaptive epoch.  Spans nest: the tracker keeps an open
+stack, stamps each close with ``time.perf_counter`` (monotonic, so
+spans survive wall-clock adjustments), emits one event per close to the
+session's sink, and maintains constant-memory per-name aggregates so a
+million grid-point spans summarize without storing a million records.
+
+Per-worker tracing in ``ProcessPoolExecutor`` sweeps: each worker
+records into its own tracker and ships the aggregate back with its
+result; :meth:`SpanTracker.absorb` folds those worker aggregates into
+the parent deterministically (grid order), emitting a ``span_merge``
+event so the JSONL stream preserves where the time was spent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ObservabilityError
+
+__all__ = ["SpanHandle", "SpanTracker"]
+
+_EmitFn = Callable[[dict], None]
+
+
+class SpanHandle:
+    """One open (then closed) span; usable as a context manager.
+
+    ``duration_s`` is 0 while the span is open and the measured
+    monotonic duration after close — instrumented code reads it to
+    derive rates (requests/s) without touching the clock itself.
+    """
+
+    __slots__ = ("name", "start_s", "duration_s", "depth", "_tracker")
+
+    def __init__(self, tracker: "SpanTracker", name: str, start_s: float, depth: int):
+        self.name = name
+        self.start_s = start_s
+        self.duration_s = 0.0
+        self.depth = depth
+        self._tracker = tracker
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracker._close(self)
+        return False
+
+
+class SpanTracker:
+    """Open-span stack + per-name aggregates for one session."""
+
+    def __init__(self, emit: Optional[_EmitFn] = None):
+        self._emit = emit
+        self._epoch = time.perf_counter()
+        self._stack: List[SpanHandle] = []
+        #: name -> [count, total_s]; includes absorbed worker spans.
+        self._aggregate: Dict[str, List[float]] = {}
+        #: per-name total seconds of depth-0 spans only (run phases).
+        self._phase_totals: Dict[str, float] = {}
+
+    def span(self, name: str) -> SpanHandle:
+        """Open a nested span; close it by exiting the ``with`` block."""
+        if not isinstance(name, str) or not name:
+            raise ObservabilityError(f"span name must be a non-empty string, got {name!r}")
+        handle = SpanHandle(
+            self, name, time.perf_counter() - self._epoch, len(self._stack)
+        )
+        self._stack.append(handle)
+        return handle
+
+    def _close(self, handle: SpanHandle) -> None:
+        if not self._stack or self._stack[-1] is not handle:
+            raise ObservabilityError(
+                f"span {handle.name!r} closed out of order; spans must nest"
+            )
+        self._stack.pop()
+        handle.duration_s = (time.perf_counter() - self._epoch) - handle.start_s
+        entry = self._aggregate.setdefault(handle.name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += handle.duration_s
+        if handle.depth == 0:
+            self._phase_totals[handle.name] = (
+                self._phase_totals.get(handle.name, 0.0) + handle.duration_s
+            )
+        if self._emit is not None:
+            self._emit(
+                {
+                    "type": "span",
+                    "name": handle.name,
+                    "start_s": round(handle.start_s, 6),
+                    "duration_s": round(handle.duration_s, 6),
+                    "depth": handle.depth,
+                }
+            )
+
+    def absorb(self, name: str, count: int, total_s: float) -> None:
+        """Fold a worker process's per-name span aggregate into this one."""
+        if count < 0 or total_s < 0:
+            raise ObservabilityError(
+                f"absorbed span aggregate for {name!r} must be non-negative, "
+                f"got count={count}, total_s={total_s}"
+            )
+        entry = self._aggregate.setdefault(name, [0, 0.0])
+        entry[0] += count
+        entry[1] += total_s
+        if self._emit is not None:
+            self._emit(
+                {
+                    "type": "span_merge",
+                    "name": name,
+                    "count": count,
+                    "total_s": round(total_s, 6),
+                }
+            )
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open (0 between phases)."""
+        return len(self._stack)
+
+    def aggregate(self) -> dict:
+        """Per-name ``{count, total_s}``, keys sorted (JSON-stable)."""
+        return {
+            name: {"count": int(entry[0]), "total_s": entry[1]}
+            for name, entry in sorted(self._aggregate.items())
+        }
+
+    def phase_totals(self) -> dict:
+        """Wall seconds per top-level (depth-0) span name, sorted."""
+        return {name: self._phase_totals[name] for name in sorted(self._phase_totals)}

@@ -1,0 +1,212 @@
+"""Parsing and rendering of recorded observability event streams.
+
+``repro obs summarize events.jsonl`` is backed by this module:
+:func:`read_events` loads a JSONL (optionally ``.gz``) event file,
+:func:`summarize_events` folds the raw timeline into per-span-name
+aggregates plus the final metric values, and :func:`render_summary`
+renders the human-readable report — per-phase wall time, derived rates
+(Zipf memo hit rate, requests/s), per-tier hit counters, histograms,
+and the run manifest.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..errors import ObservabilityError
+
+__all__ = ["read_events", "summarize_events", "render_summary"]
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Load an events file (one JSON object per line; ``.gz`` supported)."""
+    path = Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"events file {path} does not exist")
+    opener = gzip.open if path.suffix == ".gz" else open
+    events: List[dict] = []
+    with opener(path, "rt", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"events file {path} line {line_number} is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(event, dict) or "type" not in event:
+                raise ObservabilityError(
+                    f"events file {path} line {line_number}: expected an "
+                    f"object with a 'type' field, got {event!r}"
+                )
+            events.append(event)
+    return events
+
+
+def summarize_events(events: Iterable[dict]) -> dict:
+    """Fold an event timeline into the snapshot-shaped summary dict.
+
+    ``span``/``span_merge`` events aggregate per name (count, total
+    seconds); ``counter``/``gauge``/``histogram``/``manifest`` events
+    carry final values and pass through.  The result has the same shape
+    as :meth:`repro.obs.ObsSession.snapshot`, so both render the same
+    way.
+    """
+    spans: dict = {}
+    phases: dict = {}
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    manifest: dict = {}
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            entry = spans.setdefault(event["name"], {"count": 0, "total_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += event["duration_s"]
+            if event.get("depth", 0) == 0:
+                phases[event["name"]] = (
+                    phases.get(event["name"], 0.0) + event["duration_s"]
+                )
+        elif kind == "span_merge":
+            entry = spans.setdefault(event["name"], {"count": 0, "total_s": 0.0})
+            entry["count"] += event["count"]
+            entry["total_s"] += event["total_s"]
+        elif kind == "counter":
+            counters[event["name"]] = counters.get(event["name"], 0) + event["value"]
+        elif kind == "gauge":
+            gauges[event["name"]] = event["value"]
+        elif kind == "histogram":
+            histograms[event["name"]] = {
+                k: event[k] for k in ("bounds", "bucket_counts", "count", "total")
+            }
+        elif kind == "manifest":
+            manifest = {k: v for k, v in event.items() if k != "type"}
+            if "phases" in manifest and not phases:
+                phases = dict(manifest["phases"])
+        # Unknown event types pass through silently: newer writers must
+        # not break older summarizers.
+    return {
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+        "manifest": manifest,
+    }
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.6g}" if value == int(value) else f"{value:,.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _derived_lines(counters: dict, gauges: dict) -> List[str]:
+    """Headline rates computed from well-known metric names."""
+    lines: List[str] = []
+    hits = counters.get("zipf.cache.hits", 0)
+    misses = counters.get("zipf.cache.misses", 0)
+    if hits or misses:
+        rate = hits / (hits + misses)
+        lines.append(
+            f"  zipf memo hit rate       = {rate:7.2%}  "
+            f"({int(hits):,} hits / {int(misses):,} misses)"
+        )
+    for gauge, label in (
+        ("sim.steady.rps", "steady-state requests/s"),
+        ("sim.dynamic.rps", "dynamic requests/s"),
+    ):
+        if gauge in gauges:
+            lines.append(f"  {label:<24} = {gauges[gauge]:,.0f}")
+    tiers = [
+        (tier, counters.get(f"sim.steady.{tier}_hits"))
+        for tier in ("local", "peer", "origin")
+    ]
+    if any(v is not None for _, v in tiers):
+        total = sum(v or 0 for _, v in tiers)
+        parts = ", ".join(
+            f"{tier} {int(v or 0):,} ({(v or 0) / total:.1%})" for tier, v in tiers
+        )
+        lines.append(f"  per-tier hits (steady)   : {parts}")
+    return lines
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable report of a summarized event stream."""
+    lines: List[str] = []
+    phases = summary.get("phases", {})
+    if phases:
+        lines.append("phases (top-level spans, wall time):")
+        width = max(len(name) for name in phases)
+        for name, total in sorted(phases.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<{width}}  {total:10.4f} s")
+    spans = summary.get("spans", {})
+    if spans:
+        lines.append("spans:")
+        width = max(len(name) for name in spans)
+        lines.append(
+            f"  {'name':<{width}}  {'count':>8}  {'total s':>10}  {'mean ms':>10}"
+        )
+        for name, agg in sorted(spans.items(), key=lambda kv: -kv[1]["total_s"]):
+            mean_ms = 1e3 * agg["total_s"] / agg["count"] if agg["count"] else 0.0
+            lines.append(
+                f"  {name:<{width}}  {agg['count']:>8,}  "
+                f"{agg['total_s']:>10.4f}  {mean_ms:>10.3f}"
+            )
+    derived = _derived_lines(summary.get("counters", {}), summary.get("gauges", {}))
+    if derived:
+        lines.append("derived:")
+        lines.extend(derived)
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {_format_value(value):>14}")
+    gauges = summary.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {_format_value(value):>14}")
+    histograms = summary.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, payload in histograms.items():
+            count = payload["count"]
+            mean = payload["total"] / count if count else 0.0
+            lines.append(f"  {name}: n={count:,} mean={mean:,.1f}")
+            bounds = payload["bounds"]
+            labels = [f"<={_format_value(b)}" for b in bounds] + [
+                f">{_format_value(bounds[-1])}"
+            ]
+            occupied = [
+                (label, c)
+                for label, c in zip(labels, payload["bucket_counts"])
+                if c
+            ]
+            for label, c in occupied:
+                lines.append(f"    {label:>12}  {c:>10,}")
+    manifest = summary.get("manifest", {})
+    provenance = manifest.get("provenance", {})
+    if provenance:
+        lines.append("manifest:")
+        lines.append(
+            f"  {provenance.get('platform', '?')} · "
+            f"python {provenance.get('python', '?')} · "
+            f"numpy {provenance.get('numpy', '?')} · "
+            f"{provenance.get('cpu_count', '?')} cpus"
+        )
+        for key, value in manifest.get("annotations", {}).items():
+            lines.append(f"  {key} = {value}")
+    if not lines:
+        lines.append("(no events)")
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ from typing import Hashable, Iterable, Sequence
 from ..catalog.popularity import PopularityModel
 from ..core.strategy import ProvisioningStrategy
 from ..errors import ParameterError, SimulationError
+from ..obs import get_session
 from ..simulation.cache import StaticCache
 from ..simulation.router import CCNRouter
 from ..simulation.routing import OriginModel
@@ -58,6 +59,12 @@ def fail_stores(
     for node, router in simulator.fleet.items():
         for rank in router.stored_ranks():
             simulator._holders.setdefault(rank, []).append(node)
+    # The kernel's decision table bakes in the old holders; drop it so
+    # the next batched run rebuilds against the degraded placement.
+    simulator._kernel = None
+    obs = get_session()
+    obs.counter("sim.failures.stores_failed").add(len(failed))
+    obs.counter("sim.failures.injections").add()
 
 
 def coordinated_mass_lost(

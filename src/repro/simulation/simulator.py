@@ -23,6 +23,7 @@ import numpy as np
 from ..catalog.workload import DEFAULT_BATCH_SIZE, RequestBatch, Workload
 from ..core.strategy import ProvisioningStrategy
 from ..errors import ParameterError, SimulationError
+from ..obs import get_session
 from ..topology.graph import Topology
 from .batch import SteadyStateKernel
 from .cache import StaticCache, make_policy
@@ -188,17 +189,34 @@ class SteadyStateSimulator:
             use_batched = False
         collector = MetricsCollector()
         collector.record_messages(self.coordination_messages)
-        if not use_batched:
-            for request in workload.requests(count):
-                collector.record(self.resolve(request.client, request.rank))
-            return collector.summary()
-        if self._kernel is None:
-            self._kernel = SteadyStateKernel(
-                self.topology, self.fleet, self.router, self._holders
-            )
-        for batch in workload.batches(count, batch_size=batch_size):
-            self._record_batch(batch, collector)
-        return collector.summary()
+        # Observability: one span per run plus per-batch instruments —
+        # never per-request, so the ambient no-op session stays within
+        # noise on the hot path (tests/obs/test_overhead.py).
+        obs = get_session()
+        with obs.span("sim.steady.run") as span:
+            if not use_batched:
+                for request in workload.requests(count):
+                    collector.record(self.resolve(request.client, request.rank))
+            else:
+                if self._kernel is None:
+                    with obs.span("sim.steady.kernel_build"):
+                        self._kernel = SteadyStateKernel(
+                            self.topology, self.fleet, self.router, self._holders
+                        )
+                batch_sizes = obs.histogram("sim.steady.batch_size")
+                for batch in workload.batches(count, batch_size=batch_size):
+                    batch_sizes.observe(len(batch))
+                    obs.counter("sim.steady.batches").add()
+                    self._record_batch(batch, collector)
+        metrics = collector.summary()
+        if obs.enabled:
+            obs.counter("sim.steady.requests").add(metrics.requests)
+            obs.counter("sim.steady.local_hits").add(metrics.local_hits)
+            obs.counter("sim.steady.peer_hits").add(metrics.peer_hits)
+            obs.counter("sim.steady.origin_hits").add(metrics.origin_hits)
+            if span.duration_s > 0:
+                obs.gauge("sim.steady.rps").set(metrics.requests / span.duration_s)
+        return metrics
 
     def run_scalar(self, workload: Workload, count: int) -> SimulationMetrics:
         """The scalar reference implementation (one ``resolve`` per request)."""
@@ -394,23 +412,38 @@ class DynamicSimulator:
         collector = MetricsCollector()
         resolve = self._resolve
         record = collector.record
+        obs = get_session()
         # The replacement loop is inherently scalar (every decision
         # depends on the store state the previous request left behind),
         # but consuming the workload in columnar batches avoids building
         # one Request object per simulated request.  Duck-typed
         # workloads without the batch API fall back to the iterator.
-        if not hasattr(workload, "batches"):
-            for i, request in enumerate(workload.requests(count + warmup)):
-                decision = resolve(request.client, request.rank)
-                if i >= warmup:
-                    record(decision)
-            return collector.summary()
-        i = 0
-        for batch in workload.batches(count + warmup):
-            clients = batch.clients
-            for ci, rank in zip(batch.client_index.tolist(), batch.ranks.tolist()):
-                decision = resolve(clients[ci], rank)
-                if i >= warmup:
-                    record(decision)
-                i += 1
-        return collector.summary()
+        with obs.span("sim.dynamic.run") as span:
+            if not hasattr(workload, "batches"):
+                for i, request in enumerate(workload.requests(count + warmup)):
+                    decision = resolve(request.client, request.rank)
+                    if i >= warmup:
+                        record(decision)
+            else:
+                i = 0
+                for batch in workload.batches(count + warmup):
+                    clients = batch.clients
+                    for ci, rank in zip(
+                        batch.client_index.tolist(), batch.ranks.tolist()
+                    ):
+                        decision = resolve(clients[ci], rank)
+                        if i >= warmup:
+                            record(decision)
+                        i += 1
+        metrics = collector.summary()
+        if obs.enabled:
+            obs.counter("sim.dynamic.requests").add(metrics.requests)
+            obs.counter("sim.dynamic.warmup_requests").add(warmup)
+            obs.counter("sim.dynamic.local_hits").add(metrics.local_hits)
+            obs.counter("sim.dynamic.peer_hits").add(metrics.peer_hits)
+            obs.counter("sim.dynamic.origin_hits").add(metrics.origin_hits)
+            if span.duration_s > 0:
+                obs.gauge("sim.dynamic.rps").set(
+                    (metrics.requests + warmup) / span.duration_s
+                )
+        return metrics

@@ -60,6 +60,44 @@ class TestTraceIO:
         assert save_trace([], path) == 0
         assert len(load_trace(path)) == 0
 
+    def test_int_clients_roundtrip_with_parser(self, tmp_path):
+        requests = [Request(0, 5), Request(3, 1), Request(0, 2)]
+        path = tmp_path / "trace.csv"
+        save_trace(requests, path)
+        replayed = load_trace(path, client_parser=int).materialize(3)
+        assert replayed == requests
+        assert all(isinstance(r.client, int) for r in replayed)
+
+    def test_default_parser_keeps_strings(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace([Request(0, 5)], path)
+        assert load_trace(path).materialize(1) == [Request("0", 5)]
+
+    def test_rejecting_client_parser_raises_catalog_error(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace([Request("A", 1)], path)
+        with pytest.raises(CatalogError):
+            load_trace(path, client_parser=int)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        workload = IRMWorkload(ZipfModel(0.8, 100), [0, 1, 2], seed=9)
+        original = workload.materialize(200)
+        path = tmp_path / "trace.csv.gz"
+        assert save_trace(original, path) == 200
+        # Really gzip on disk: magic bytes, and smaller than the text form.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        replayed = load_trace(path, client_parser=int).materialize(200)
+        assert replayed == original
+
+    def test_gzip_and_plain_agree(self, tmp_path):
+        requests = [Request("A", 1), Request("B", 7)]
+        plain, gz = tmp_path / "t.csv", tmp_path / "t.csv.gz"
+        save_trace(requests, plain)
+        save_trace(requests, gz)
+        assert (
+            load_trace(plain).materialize(2) == load_trace(gz).materialize(2)
+        )
+
 
 class TestLocalityWorkload:
     def make(self, locality=0.6, seed=0, **kwargs) -> LocalityWorkload:

@@ -1,0 +1,14 @@
+"""R6 true-positive fixture: ad-hoc clocks and prints in library code."""
+
+import time
+from time import perf_counter as clock
+
+
+def timed_run(workload) -> float:
+    """Times itself with raw clock reads instead of an obs span."""
+    started = time.time()
+    t0 = time.perf_counter()
+    workload.run()
+    elapsed = clock() - t0
+    print(f"run took {elapsed:.3f}s")
+    return started + elapsed

@@ -1,0 +1,28 @@
+"""R6 false-positive fixture: spans, non-clock time usage, shadowed names."""
+
+import time
+
+from repro.obs import get_session
+
+
+def timed_run(workload) -> None:
+    """Times itself the sanctioned way: an obs span."""
+    obs = get_session()
+    with obs.span("fixture.run"):
+        workload.run()
+    obs.counter("fixture.runs").add()
+
+
+def throttled_poll(workload, interval_s: float) -> None:
+    """``time.sleep`` is not a clock read; waiting is fine."""
+    time.sleep(interval_s)
+    workload.poll()
+
+
+def local_shadow() -> float:
+    """A local callable named like a clock is not the time module's."""
+
+    def perf_counter() -> float:
+        return 0.0
+
+    return perf_counter()

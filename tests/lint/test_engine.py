@@ -110,8 +110,8 @@ class TestCli:
 
 
 class TestRuleCatalogue:
-    def test_all_five_rules_registered(self):
-        assert rule_ids() == ["R1", "R2", "R3", "R4", "R5"]
+    def test_all_six_rules_registered(self):
+        assert rule_ids() == ["R1", "R2", "R3", "R4", "R5", "R6"]
 
     def test_rules_have_metadata(self):
         for rule in RULES:

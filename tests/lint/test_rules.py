@@ -25,6 +25,7 @@ CASES = [
     ("R3", "core/r3_bad.py", "core/r3_good.py", 5),
     ("R4", "simulation/r4_bad.py", "simulation/r4_good.py", 4),
     ("R5", "core/r5_bad.py", "core/r5_good.py", 3),
+    ("R6", "simulation/r6_bad.py", "simulation/r6_good.py", 4),
 ]
 
 
@@ -56,6 +57,15 @@ class TestTruePositives:
         messages = "\n".join(f.message for f in findings_for("core/r5_bad.py", "R5"))
         assert "has no docstring" in messages
         assert "cites no paper equation" in messages
+
+    def test_r6_flags_each_discipline_breach(self):
+        messages = "\n".join(
+            f.message for f in findings_for("simulation/r6_bad.py", "R6")
+        )
+        assert "time.time()" in messages
+        assert "time.perf_counter()" in messages
+        assert "clock() (imported from time)" in messages
+        assert "bare print()" in messages
 
 
 class TestFalsePositives:

@@ -1,0 +1,63 @@
+"""Overhead guard: permanent instrumentation must stay within noise.
+
+The whole design bet of ``repro.obs`` is that the simulators can stay
+instrumented forever because the ambient null session makes every
+record a shared no-op.  This guard runs the batched steady-state
+throughput path (the same configuration as ``benchmarks/run_bench.py``)
+with and without an active no-op capture session and fails if the
+session costs more than the issue's 2% budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.core import ProvisioningStrategy
+from repro.obs import session
+from repro.simulation import SteadyStateSimulator
+from repro.topology import load_topology
+
+REQUESTS = 200_000
+REPS = 3
+BUDGET = 1.02
+
+
+def _run_once() -> float:
+    topology = load_topology("us-a")
+    strategy = ProvisioningStrategy(
+        capacity=100, n_routers=topology.n_routers, level=0.5
+    )
+    simulator = SteadyStateSimulator.from_strategy(
+        topology, strategy, message_accounting="none"
+    )
+    workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=0)
+    start = time.perf_counter()
+    metrics = simulator.run(workload, REQUESTS, batched=True)
+    elapsed = time.perf_counter() - start
+    assert metrics.requests == REQUESTS
+    return elapsed
+
+
+def _measure() -> tuple[float, float]:
+    """Min-of-REPS timings, interleaved to damp thermal/cache drift."""
+    bare: list[float] = []
+    observed: list[float] = []
+    _run_once()  # warm the Zipf memo + kernel caches for both arms
+    for _ in range(REPS):
+        bare.append(_run_once())
+        with session():  # NullSink capture session
+            observed.append(_run_once())
+    return min(bare), min(observed)
+
+
+def test_noop_session_overhead_under_two_percent():
+    bare, observed = _measure()
+    ratio = observed / bare
+    if ratio >= BUDGET:  # one retry: absorb a scheduler hiccup, not a trend
+        bare, observed = _measure()
+        ratio = observed / bare
+    assert ratio < BUDGET, (
+        f"active no-op obs session cost {100 * (ratio - 1):.2f}% on the "
+        f"batched steady-state path (bare {bare:.4f}s, observed {observed:.4f}s)"
+    )

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert counter.value == 0.0
+        counter.add()
+        counter.add(41)
+        assert counter.value == 42.0
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("a").add(-1)
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rps")
+        gauge.set(10.0)
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+
+
+class TestHistogram:
+    def test_bucketing_with_inclusive_upper_edges(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 2.0, 10.0, 99.0, 1_000.0):
+            histogram.observe(value)
+        # <=1: {0.5, 1.0}; <=10: {2, 10}; <=100: {99}; overflow: {1000}
+        assert histogram.bucket_counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.mean == pytest.approx(1112.5 / 6)
+
+    def test_default_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").bounds == DEFAULT_BUCKETS
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", bounds=())
+
+    def test_reregistration_with_other_bounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", bounds=(1.0, 3.0))
+        # Omitting bounds always returns the existing instrument.
+        assert registry.histogram("h").bounds == (1.0, 2.0)
+
+
+class TestSnapshotAndMerge:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("hits").add(3)
+        registry.gauge("rps").set(100.0)
+        registry.histogram("sizes", bounds=(10.0, 100.0)).observe(7)
+        return registry
+
+    def test_snapshot_is_json_stable(self):
+        snapshot = self._populated().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"] == {"hits": 3.0}
+        assert snapshot["gauges"] == {"rps": 100.0}
+        assert snapshot["histograms"]["sizes"]["bucket_counts"] == [1, 0, 0]
+
+    def test_merge_adds_counters_and_histograms(self):
+        parent = self._populated()
+        worker = self._populated()
+        worker.gauge("rps").set(50.0)
+        parent.merge(worker.snapshot())
+        assert parent.counter("hits").value == 6.0
+        assert parent.gauge("rps").value == 50.0  # gauge: merged value wins
+        histogram = parent.histogram("sizes")
+        assert histogram.count == 2
+        assert histogram.bucket_counts == [2, 0, 0]
+
+    def test_merge_into_empty_registry_creates_metrics(self):
+        parent = MetricsRegistry()
+        parent.merge(self._populated().snapshot())
+        assert parent.counter("hits").value == 3.0
+        assert parent.histogram("sizes").bounds == (10.0, 100.0)
+
+    def test_merge_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("sizes", bounds=(10.0, 100.0))
+        bad = {
+            "histograms": {
+                "sizes": {
+                    "bounds": [10.0, 100.0],
+                    "bucket_counts": [1],
+                    "count": 1,
+                    "total": 5.0,
+                }
+            }
+        }
+        with pytest.raises(ObservabilityError):
+            parent.merge(bad)
+
+    def test_merge_order_determinism(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        parent = MetricsRegistry()
+        parent.merge(a.snapshot())
+        parent.merge(b.snapshot())
+        assert parent.gauge("g").value == 2.0

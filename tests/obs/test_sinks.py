@@ -1,0 +1,68 @@
+"""Unit tests for the event sinks (null, JSONL, text summary)."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import JsonlSink, NullSink, TextSummarySink
+
+
+class TestNullSink:
+    def test_drops_everything(self):
+        sink = NullSink()
+        sink.emit({"type": "span", "name": "x"})
+        sink.close()
+
+
+class TestJsonlSink:
+    def test_writes_one_compact_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "counter", "name": "hits", "value": 3})
+        sink.emit({"type": "gauge", "name": "rps", "value": 1.5})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"type": "counter", "name": "hits", "value": 3}
+        assert sink.events_written == 2
+
+    def test_gzip_path_compresses_transparently(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        sink = JsonlSink(path)
+        sink.emit({"type": "counter", "name": "hits", "value": 1})
+        sink.close()
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        with gzip.open(path, "rt") as handle:
+            assert json.loads(handle.readline())["name"] == "hits"
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(ObservabilityError):
+            sink.emit({"type": "span"})
+
+    def test_unopenable_path_raises_obs_error(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            JsonlSink(tmp_path / "missing-dir" / "events.jsonl")
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestTextSummarySink:
+    def test_writes_rendered_summary_on_close(self, tmp_path):
+        path = tmp_path / "summary.txt"
+        sink = TextSummarySink(path)
+        sink.emit({"type": "span", "name": "phase", "start_s": 0.0, "duration_s": 1.5, "depth": 0})
+        sink.emit({"type": "counter", "name": "hits", "value": 7})
+        sink.close()
+        text = path.read_text()
+        assert "phases (top-level spans, wall time):" in text
+        assert "phase" in text
+        assert "hits" in text

@@ -1,0 +1,102 @@
+"""Unit tests for span tracking (nesting, aggregates, worker absorb)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import SpanTracker
+
+
+class TestSpanLifecycle:
+    def test_duration_measured_on_close(self):
+        tracker = SpanTracker()
+        with tracker.span("work") as span:
+            assert span.duration_s == 0.0
+        assert span.duration_s > 0.0
+
+    def test_nesting_depths(self):
+        tracker = SpanTracker()
+        with tracker.span("outer") as outer:
+            assert outer.depth == 0
+            with tracker.span("inner") as inner:
+                assert inner.depth == 1
+                assert tracker.open_depth == 2
+        assert tracker.open_depth == 0
+
+    def test_out_of_order_close_rejected(self):
+        tracker = SpanTracker()
+        outer = tracker.span("outer")
+        tracker.span("inner")
+        with pytest.raises(ObservabilityError):
+            tracker._close(outer)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            SpanTracker().span("")
+
+    def test_span_closes_on_exception(self):
+        tracker = SpanTracker()
+        with pytest.raises(RuntimeError):
+            with tracker.span("work"):
+                raise RuntimeError("boom")
+        assert tracker.open_depth == 0
+        assert tracker.aggregate()["work"]["count"] == 1
+
+
+class TestAggregates:
+    def test_per_name_count_and_total(self):
+        tracker = SpanTracker()
+        for _ in range(3):
+            with tracker.span("point"):
+                pass
+        aggregate = tracker.aggregate()
+        assert aggregate["point"]["count"] == 3
+        assert aggregate["point"]["total_s"] > 0.0
+
+    def test_phase_totals_are_depth_zero_only(self):
+        tracker = SpanTracker()
+        with tracker.span("phase"):
+            with tracker.span("detail"):
+                pass
+        assert set(tracker.phase_totals()) == {"phase"}
+        assert "detail" in tracker.aggregate()
+
+    def test_absorb_folds_worker_aggregates(self):
+        tracker = SpanTracker()
+        with tracker.span("point"):
+            pass
+        tracker.absorb("point", 5, 1.25)
+        aggregate = tracker.aggregate()["point"]
+        assert aggregate["count"] == 6
+        assert aggregate["total_s"] > 1.25
+
+    def test_absorb_rejects_negative(self):
+        tracker = SpanTracker()
+        with pytest.raises(ObservabilityError):
+            tracker.absorb("point", -1, 0.0)
+
+
+class TestEmission:
+    def test_span_events_emitted_at_close_in_order(self):
+        events = []
+        tracker = SpanTracker(emit=events.append)
+        with tracker.span("outer"):
+            with tracker.span("inner"):
+                pass
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        assert events[0] == {
+            "type": "span",
+            "name": "inner",
+            "start_s": events[0]["start_s"],
+            "duration_s": events[0]["duration_s"],
+            "depth": 1,
+        }
+
+    def test_absorb_emits_span_merge(self):
+        events = []
+        tracker = SpanTracker(emit=events.append)
+        tracker.absorb("point", 2, 0.5)
+        assert events == [
+            {"type": "span_merge", "name": "point", "count": 2, "total_s": 0.5}
+        ]

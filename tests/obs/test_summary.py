@@ -1,0 +1,129 @@
+"""Event-file parsing and summary rendering."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    JsonlSink,
+    read_events,
+    render_summary,
+    session,
+    summarize_events,
+)
+
+
+def _write_events(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+class TestReadEvents:
+    def test_roundtrip_through_jsonl_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with session(JsonlSink(path)) as active:
+            with active.span("phase"):
+                pass
+            active.counter("hits").add(3)
+        events = read_events(path)
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "span"
+        assert "counter" in kinds
+        assert kinds[-1] == "manifest"
+
+    def test_gzip_events_file(self, tmp_path):
+        path = tmp_path / "events.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"type": "counter", "name": "a", "value": 1}) + "\n")
+        assert read_events(path) == [{"type": "counter", "name": "a", "value": 1}]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            read_events(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ObservabilityError):
+            read_events(path)
+
+    def test_untyped_event_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"}\n')
+        with pytest.raises(ObservabilityError):
+            read_events(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('\n{"type": "counter", "name": "a", "value": 1}\n\n')
+        assert len(read_events(path)) == 1
+
+
+class TestSummarizeEvents:
+    def test_spans_aggregate_and_phases_track_depth_zero(self):
+        summary = summarize_events(
+            [
+                {"type": "span", "name": "p", "start_s": 0, "duration_s": 1.0, "depth": 0},
+                {"type": "span", "name": "p", "start_s": 1, "duration_s": 2.0, "depth": 0},
+                {"type": "span", "name": "inner", "start_s": 0, "duration_s": 0.5, "depth": 1},
+                {"type": "span_merge", "name": "p", "count": 3, "total_s": 4.0},
+            ]
+        )
+        assert summary["spans"]["p"] == {"count": 5, "total_s": 7.0}
+        assert summary["phases"] == {"p": 3.0}
+        assert "inner" not in summary["phases"]
+
+    def test_unknown_event_types_ignored(self):
+        summary = summarize_events([{"type": "from-the-future", "x": 1}])
+        assert summary["spans"] == {}
+
+    def test_manifest_passes_through(self):
+        summary = summarize_events(
+            [{"type": "manifest", "provenance": {"python": "3.11.7"}, "annotations": {}}]
+        )
+        assert summary["manifest"]["provenance"]["python"] == "3.11.7"
+
+
+class TestRenderSummary:
+    def test_renders_derived_zipf_hit_rate_and_tiers(self):
+        summary = summarize_events(
+            [
+                {"type": "counter", "name": "zipf.cache.hits", "value": 3},
+                {"type": "counter", "name": "zipf.cache.misses", "value": 1},
+                {"type": "counter", "name": "sim.steady.local_hits", "value": 70},
+                {"type": "counter", "name": "sim.steady.peer_hits", "value": 20},
+                {"type": "counter", "name": "sim.steady.origin_hits", "value": 10},
+                {"type": "gauge", "name": "sim.steady.rps", "value": 250000.0},
+            ]
+        )
+        text = render_summary(summary)
+        assert "zipf memo hit rate" in text
+        assert "75.00%" in text
+        assert "per-tier hits (steady)" in text
+        assert "local 70 (70.0%)" in text
+        assert "steady-state requests/s" in text
+        assert "250,000" in text
+
+    def test_renders_histograms_with_occupied_buckets_only(self):
+        summary = summarize_events(
+            [
+                {
+                    "type": "histogram",
+                    "name": "sim.steady.batch_size",
+                    "bounds": [10.0, 100.0],
+                    "bucket_counts": [0, 2, 0],
+                    "count": 2,
+                    "total": 60.0,
+                }
+            ]
+        )
+        text = render_summary(summary)
+        assert "sim.steady.batch_size: n=2 mean=30.0" in text
+        assert "<=100" in text
+        assert "<=10\n" not in text
+
+    def test_empty_stream_renders_placeholder(self):
+        assert render_summary(summarize_events([])) == "(no events)"
