@@ -4,7 +4,7 @@ PYTHON ?= python
 # Make the src layout importable without an editable install.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test lint bench bench-quick experiments examples scorecard clean
+.PHONY: install test lint bench bench-quick bench-check experiments examples scorecard clean
 
 # Label for the throughput snapshot written by `make bench`
 # (BENCH_<label>.json at the repo root).
@@ -43,6 +43,13 @@ bench:
 # nothing and stores no pytest-benchmark data.
 bench-quick:
 	$(PYTHON) benchmarks/run_bench.py --quick --no-write
+
+# Regression gate: re-measure the guarded throughput cases against the
+# newest committed BENCH_*.json and fail on a >20% drop.  Skips (exit 0)
+# when the machine fingerprint differs from the baseline's, since the
+# numbers are only comparable on the machine that recorded them.
+bench-check:
+	$(PYTHON) benchmarks/check_regression.py
 
 experiments:
 	$(PYTHON) -m repro run all

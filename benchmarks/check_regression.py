@@ -1,0 +1,161 @@
+"""Performance regression gate against the last committed BENCH file.
+
+Re-measures the two throughput-gated paths — the batched steady-state
+kernel and the batched dynamic (LRU) kernel — with the *same request
+counts* the committed baseline recorded, and fails (exit 1) when either
+throughput drops more than the tolerance (default 20%).  Numbers are
+only comparable on the machine that produced the baseline, so a
+machine-fingerprint mismatch skips the check (exit 0 with a notice)
+instead of failing spuriously.
+
+Usage::
+
+    python benchmarks/check_regression.py               # newest BENCH_*.json
+    python benchmarks/check_regression.py --baseline BENCH_pr4.json
+    python benchmarks/check_regression.py --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.obs import machine_provenance, session as obs_session  # noqa: E402
+
+#: Benchmark cases the gate re-measures, with the key holding their
+#: requests-per-second figure.  ``dynamic_lru``'s primary ``rps`` is
+#: kernel-only from this PR on; older baselines recorded wall rps under
+#: the same key, which only makes the gate stricter for one transition.
+GUARDED_CASES = ("steady_state_batched", "dynamic_lru")
+
+#: Provenance fields that must match for numbers to be comparable.
+FINGERPRINT_FIELDS = (
+    "platform",
+    "machine",
+    "cpu_count",
+    "python",
+    "implementation",
+    "numpy",
+)
+
+
+def find_baseline(path: str | None) -> Path | None:
+    """The BENCH file to compare against: explicit path or newest label.
+
+    Labels sort by their trailing integer (``pr2`` < ``pr10``); files
+    without a numeric suffix fall back behind numbered ones.
+    """
+    if path:
+        return Path(path)
+    candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not candidates:
+        return None
+
+    def label_key(p: Path):
+        match = re.search(r"(\d+)", p.stem)
+        return (1, int(match.group(1))) if match else (0, 0)
+
+    return max(candidates, key=label_key)
+
+
+def fingerprint(provenance: dict) -> dict:
+    return {k: provenance.get(k) for k in FINGERPRINT_FIELDS}
+
+
+def measure(case: str, baseline_case: dict) -> dict:
+    """Re-run one guarded case with the baseline's request count.
+
+    Best-of-three on both cases: a throughput gate must not flap on
+    scheduler noise, and only a *sustained* drop is a regression.
+    """
+    from run_bench import _bench_dynamic, _bench_steady
+
+    requests = int(baseline_case["requests"])
+    if case == "steady_state_batched":
+        return max(
+            (_bench_steady(requests, batched=True) for _ in range(3)),
+            key=lambda result: result["rps"],
+        )
+    if case == "dynamic_lru":
+        return _bench_dynamic(requests, repeats=3)
+    raise ValueError(f"unknown guarded case {case!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="JSON",
+        help="baseline BENCH file (default: newest BENCH_*.json by label)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = find_baseline(args.baseline)
+    if baseline_path is None or not baseline_path.exists():
+        print("bench-check: no committed BENCH_*.json baseline; skipping")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("quick"):
+        print(f"bench-check: {baseline_path.name} is a --quick run; skipping")
+        return 0
+
+    current_fp = fingerprint(machine_provenance())
+    baseline_fp = fingerprint(baseline.get("provenance", {}))
+    if current_fp != baseline_fp:
+        print(
+            "bench-check: machine fingerprint differs from "
+            f"{baseline_path.name}; numbers not comparable, skipping\n"
+            f"  baseline: {baseline_fp}\n  current:  {current_fp}"
+        )
+        return 0
+
+    failures = []
+    for case in GUARDED_CASES:
+        recorded = baseline.get("after", {}).get(case)
+        if not recorded or "rps" not in recorded:
+            print(f"bench-check: {case} absent from baseline; skipping case")
+            continue
+        # The dynamic case reads its kernel-only rps from the
+        # ``sim.dynamic.rps`` gauge, which only records inside an
+        # active obs session.
+        with obs_session():
+            result = measure(case, recorded)
+        old_rps = float(recorded["rps"])
+        new_rps = float(result["rps"])
+        floor = old_rps * (1.0 - args.tolerance)
+        verdict = "ok" if new_rps >= floor else "REGRESSION"
+        print(
+            f"bench-check: {case}: {new_rps:,.0f} rps vs baseline "
+            f"{old_rps:,.0f} (floor {floor:,.0f}) -> {verdict}"
+        )
+        if new_rps < floor:
+            failures.append(case)
+
+    if failures:
+        print(
+            f"bench-check: FAILED — {', '.join(failures)} regressed more "
+            f"than {args.tolerance:.0%} vs {baseline_path.name}"
+        )
+        return 1
+    print(f"bench-check: passed vs {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,7 +34,11 @@ from repro.analysis.sweep import sweep  # noqa: E402
 from repro.catalog import IRMWorkload, ZipfModel  # noqa: E402
 from repro.core import ProvisioningStrategy, ZipfPopularity  # noqa: E402
 from repro.core import clear_zipf_caches, zipf_table_stats  # noqa: E402
-from repro.obs import machine_provenance, session as obs_session  # noqa: E402
+from repro.obs import (  # noqa: E402
+    get_session,
+    machine_provenance,
+    session as obs_session,
+)
 from repro.simulation import DynamicSimulator, SteadyStateSimulator  # noqa: E402
 from repro.topology import load_topology  # noqa: E402
 
@@ -49,19 +53,29 @@ def _steady_simulator() -> SteadyStateSimulator:
     )
 
 
-def _bench_steady(requests: int, *, batched: bool) -> dict:
-    simulator = _steady_simulator()
-    workload = IRMWorkload(
-        ZipfModel(0.8, 10_000), simulator.topology.nodes, seed=0
-    )
-    start = time.perf_counter()
-    metrics = simulator.run(workload, requests, batched=batched)
-    elapsed = time.perf_counter() - start
-    assert metrics.requests == requests
+def _bench_steady(requests: int, *, batched: bool, repeats: int = 1) -> dict:
+    """One steady-state case, best-of-``repeats``.
+
+    The regression gate (``benchmarks/check_regression.py``) compares
+    best-of-N against this recorded figure, so the baseline must be the
+    same statistic — a lucky single shot would set an unmeetable floor.
+    """
+    best = None
+    for _ in range(repeats):
+        simulator = _steady_simulator()
+        workload = IRMWorkload(
+            ZipfModel(0.8, 10_000), simulator.topology.nodes, seed=0
+        )
+        start = time.perf_counter()
+        metrics = simulator.run(workload, requests, batched=batched)
+        elapsed = time.perf_counter() - start
+        assert metrics.requests == requests
+        best = elapsed if best is None else min(best, elapsed)
     return {
         "requests": requests,
-        "seconds": round(elapsed, 4),
-        "rps": round(requests / elapsed, 1),
+        "repeats": repeats,
+        "seconds": round(best, 4),
+        "rps": round(requests / best, 1),
     }
 
 
@@ -89,24 +103,64 @@ def _bench_large_catalog(requests: int, catalog_size: int) -> dict:
     }
 
 
-def _bench_dynamic(requests: int) -> dict:
+def _dynamic_kernel_rps() -> float:
+    """The kernel-only throughput the last dynamic run recorded.
+
+    ``DynamicSimulator.run`` times its replacement/aggregation work in a
+    ``sim.dynamic.kernel`` span and publishes requests-per-kernel-second
+    as the ``sim.dynamic.rps`` gauge, so batched and scalar numbers
+    compare like-for-like (workload generation excluded from both).
+    """
+    snapshot = get_session().snapshot()
+    return float(snapshot.get("gauges", {}).get("sim.dynamic.rps", 0.0))
+
+
+def _bench_dynamic(
+    requests: int,
+    *,
+    policy: str = "lru",
+    level: float = 0.5,
+    batched: bool = True,
+    repeats: int = 3,
+) -> dict:
+    """One dynamic-simulation case, best-of-``repeats`` per metric.
+
+    The primary ``rps`` figure is kernel-only (see
+    :func:`_dynamic_kernel_rps`); ``wall_rps`` keeps the end-to-end
+    number including workload generation.  Repeats damp scheduler noise
+    on shared machines — each metric reports its best repeat.
+    """
     topology = load_topology("us-a")
-    simulator = DynamicSimulator(
-        topology, capacity=100, policy="lru", coordination_level=0.5, seed=0
-    )
-    workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=1)
-    start = time.perf_counter()
-    metrics = simulator.run(workload, requests)
-    elapsed = time.perf_counter() - start
-    assert metrics.requests == requests
+    best_wall = None
+    best_kernel = 0.0
+    for _ in range(repeats):
+        simulator = DynamicSimulator(
+            topology,
+            capacity=100,
+            policy=policy,
+            coordination_level=level,
+            seed=0,
+        )
+        workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=1)
+        start = time.perf_counter()
+        metrics = simulator.run(workload, requests, batched=batched)
+        elapsed = time.perf_counter() - start
+        assert metrics.requests == requests
+        best_wall = elapsed if best_wall is None else min(best_wall, elapsed)
+        best_kernel = max(best_kernel, _dynamic_kernel_rps())
     return {
+        "policy": policy,
+        "coordination_level": level,
+        "batched": batched,
         "requests": requests,
-        "seconds": round(elapsed, 4),
-        "rps": round(requests / elapsed, 1),
+        "repeats": repeats,
+        "wall_s": round(best_wall, 4),
+        "wall_rps": round(requests / best_wall, 1),
+        "rps": round(best_kernel, 1),
     }
 
 
-def _bench_sweep(parallel: int | None) -> dict:
+def _bench_sweep(parallel: int | str | None) -> dict:
     alphas = [round(0.05 + 0.9 * i / 11, 4) for i in range(12)]
     start = time.perf_counter()
     series = sweep(
@@ -158,16 +212,39 @@ def run(quick: bool) -> dict:
     # The batched path gets a larger count so the one-time kernel build
     # amortizes the way it does in real model-validation runs.
     steady_requests = 20_000 if quick else 1_000_000
-    dynamic_requests = 5_000 if quick else 50_000
+    dynamic_requests = 5_000 if quick else 200_000
+    dynamic_scalar_requests = 5_000 if quick else 50_000
     scalar_requests = 10_000 if quick else 100_000
 
     results = {
-        "steady_state_batched": _bench_steady(steady_requests, batched=True),
+        "steady_state_batched": _bench_steady(
+            steady_requests, batched=True, repeats=1 if quick else 3
+        ),
         "steady_state_scalar": _bench_steady(scalar_requests, batched=False),
         "dynamic_lru": _bench_dynamic(dynamic_requests),
+        "dynamic_lru_scalar": _bench_dynamic(
+            dynamic_scalar_requests, batched=False, repeats=2
+        ),
         "sweep_serial": _bench_sweep(None),
+        "sweep_auto": _bench_sweep("auto"),
     }
     if not quick:
+        results["dynamic_lfu"] = _bench_dynamic(dynamic_requests, policy="lfu")
+        results["dynamic_perfect_lfu"] = _bench_dynamic(
+            dynamic_requests, policy="perfect-lfu"
+        )
+        results["dynamic_fifo"] = _bench_dynamic(
+            dynamic_requests, policy="fifo"
+        )
+        results["dynamic_random"] = _bench_dynamic(
+            dynamic_requests, policy="random"
+        )
+        results["dynamic_lru_uncoordinated"] = _bench_dynamic(
+            dynamic_requests, level=0.0
+        )
+        results["dynamic_lru_fully_coordinated"] = _bench_dynamic(
+            dynamic_requests, level=1.0
+        )
         results["sweep_parallel_4"] = _bench_sweep(4)
         results["large_catalog"] = _bench_large_catalog(200_000, 1_000_000)
     results["zipf_tables"] = _bench_zipf_tables(

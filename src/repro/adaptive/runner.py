@@ -12,11 +12,12 @@ adaptation quality is quantified as regret.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Optional
 
 import numpy as np
 
-from ..catalog.workload import Workload
+from ..catalog.workload import DEFAULT_BATCH_SIZE, RequestBatch, Workload
 from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..core.strategy import ProvisioningStrategy
@@ -213,10 +214,23 @@ class AdaptiveSimulation:
             self.topology, strategy, message_accounting="none"
         )
         workload = self.factory.workload_at(epoch)
-        requests = workload.materialize(self.requests_per_epoch)
-        metrics_collector = simulator.run(
-            _ListWorkload(requests), self.requests_per_epoch
-        )
+        # Columnar epoch: sample the traffic as one RequestBatch so the
+        # batched kernel never round-trips through per-request objects.
+        # Duck-typed workloads without ``sample_batch`` fall back to the
+        # materialized-list path.
+        sample = getattr(workload, "sample_batch", None)
+        if sample is not None:
+            batch = sample(self.requests_per_epoch)
+            metrics_collector = simulator.run(
+                _BatchWorkload(batch), self.requests_per_epoch
+            )
+            observed_ranks = batch.ranks
+        else:
+            requests = workload.materialize(self.requests_per_epoch)
+            metrics_collector = simulator.run(
+                _ListWorkload(requests), self.requests_per_epoch
+            )
+            observed_ranks = np.array([r.rank for r in requests])
         measured = self._measured_objective(metrics_collector, level)
 
         true_scenario = self.scenario.replace(exponent=true_s)
@@ -231,7 +245,7 @@ class AdaptiveSimulation:
         observation = EpochObservation(
             level=level,
             measured_objective=measured,
-            observed_ranks=np.array([r.rank for r in requests]),
+            observed_ranks=observed_ranks,
         )
         self.controller.feedback(epoch, observation)
         return EpochRecord(
@@ -246,11 +260,42 @@ class AdaptiveSimulation:
         )
 
 
+class _BatchWorkload(Workload):
+    """Adapter: one pre-sampled columnar batch as a Workload.
+
+    ``batches`` re-slices the stored columns, so the epoch simulation
+    feeds the batched steady-state kernel numpy views directly — no
+    per-request :class:`~repro.catalog.workload.Request` objects exist
+    anywhere on the columnar epoch path.
+    """
+
+    def __init__(self, batch: RequestBatch):
+        self._batch = batch
+
+    def requests(self, count: int):
+        return islice(self._batch.requests(), count)
+
+    def batches(self, count: int, *, batch_size: int = DEFAULT_BATCH_SIZE):
+        batch = self._batch
+        limit = min(int(count), len(batch))
+        if limit == len(batch) and limit <= batch_size:
+            yield batch
+            return
+        for start in range(0, limit, batch_size):
+            stop = min(start + batch_size, limit)
+            yield RequestBatch(
+                clients=batch.clients,
+                client_index=batch.client_index[start:stop],
+                ranks=batch.ranks[start:stop],
+            )
+
+
 class _ListWorkload(Workload):
     """Adapter: a materialized request list as a Workload.
 
     Subclassing :class:`Workload` keeps the default ``batches`` packing,
-    so the epoch simulation rides the batched steady-state kernel.
+    so duck-typed epoch workloads still ride the batched steady-state
+    kernel (via the scalar packer).
     """
 
     def __init__(self, requests):

@@ -8,13 +8,17 @@ y-value.  :func:`sweep` runs exactly that and returns structured
 render.  Grid points are independent, so ``sweep(..., parallel=k)``
 fans them out over ``k`` worker processes (results are ordered by grid
 position either way, so parallel and serial sweeps are identical).
+``parallel="auto"`` sizes the pool itself and stays serial for small
+grids, where process spin-up dwarfs the analytical solves (see
+:func:`resolve_parallel`).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from ..core.gains import evaluate_gains
 from ..core.optimizer import optimal_strategy
@@ -22,7 +26,15 @@ from ..core.scenario import Scenario
 from ..errors import ParameterError
 from ..obs import get_session, session as obs_session
 
-__all__ = ["Series", "FigureData", "QUANTITIES", "solve_quantity", "sweep"]
+__all__ = [
+    "Series",
+    "FigureData",
+    "QUANTITIES",
+    "AUTO_PARALLEL_MIN_POINTS_PER_WORKER",
+    "solve_quantity",
+    "resolve_parallel",
+    "sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -147,8 +159,49 @@ def _solve_serial(payloads: Sequence[tuple[Scenario, str]]) -> list[float]:
     return results
 
 
+#: Minimum grid points each ``parallel="auto"`` worker must amortize.
+#: One analytical point solves in well under a millisecond, while
+#: spawning a worker process costs tens of milliseconds (interpreter
+#: start + module imports + payload pickling), so a pool only pays for
+#: itself when every worker gets a few hundred points.  Below the
+#: threshold ``auto`` stays serial — the regression this fixes was a
+#: 4-worker pool taking ~5x longer than the serial solve on a
+#: figure-sized grid.
+AUTO_PARALLEL_MIN_POINTS_PER_WORKER = 256
+
+
+def resolve_parallel(
+    parallel: Union[int, str, None], n_points: int
+) -> int:
+    """Resolve a ``parallel`` request into a concrete worker count.
+
+    ``None``/``0``/``1`` mean serial.  An explicit worker count is
+    honoured as given.  ``"auto"`` picks ``os.cpu_count()`` workers but
+    caps the pool so every worker gets at least
+    :data:`AUTO_PARALLEL_MIN_POINTS_PER_WORKER` grid points — small
+    grids resolve to ``0`` (serial), because process spin-up costs more
+    than the solves themselves.  Any other string is a
+    :class:`~repro.errors.ParameterError`.
+    """
+    if parallel is None:
+        return 0
+    if isinstance(parallel, str):
+        if parallel != "auto":
+            raise ParameterError(
+                f"parallel must be a worker count or 'auto', got {parallel!r}"
+            )
+        workers = os.cpu_count() or 1
+        return min(workers, n_points // AUTO_PARALLEL_MIN_POINTS_PER_WORKER)
+    if int(parallel) != parallel or parallel < 0:
+        raise ParameterError(
+            f"parallel must be a non-negative integer worker count, got {parallel}"
+        )
+    return int(parallel)
+
+
 def _solve_grid(
-    payloads: Sequence[tuple[Scenario, str]], parallel: Optional[int]
+    payloads: Sequence[tuple[Scenario, str]],
+    parallel: Union[int, str, None],
 ) -> list[float]:
     """Solve every grid point, serially or across worker processes.
 
@@ -159,11 +212,8 @@ def _solve_grid(
     workers capture per-worker metrics/spans that are merged back in
     grid order (see :mod:`repro.obs.session`).
     """
-    if parallel is not None and (int(parallel) != parallel or parallel < 0):
-        raise ParameterError(
-            f"parallel must be a non-negative integer worker count, got {parallel}"
-        )
-    if parallel in (None, 0, 1) or len(payloads) <= 1:
+    parallel = resolve_parallel(parallel, len(payloads))
+    if parallel in (0, 1) or len(payloads) <= 1:
         return _solve_serial(payloads)
     obs = get_session()
     chunksize = max(1, len(payloads) // (int(parallel) * 4))
@@ -193,7 +243,7 @@ def sweep(
     curve_field: Optional[str] = None,
     curve_values: Sequence[float] = (),
     curve_label: Optional[Callable[[float], str]] = None,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = None,
 ) -> tuple[Series, ...]:
     """Run a 1-D sweep, optionally fanned out into multiple curves.
 
@@ -211,9 +261,11 @@ def sweep(
         Formats a curve value into a series label; defaults to
         ``"{field}={value}"``.
     parallel:
-        Worker-process count for solving grid points concurrently.
-        ``None``/``0``/``1`` solve serially; any count yields exactly
-        the same series (grid order is preserved).
+        Worker-process count for solving grid points concurrently, or
+        ``"auto"`` to let :func:`resolve_parallel` size the pool (serial
+        below its points-per-worker threshold).  ``None``/``0``/``1``
+        solve serially; every setting yields exactly the same series
+        (grid order is preserved).
     """
     if quantity not in QUANTITIES:
         raise ParameterError(

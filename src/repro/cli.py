@@ -34,6 +34,18 @@ from .core.scenario import Scenario
 __all__ = ["main", "build_parser"]
 
 
+def _parallel_workers(value: str):
+    """``--parallel`` argument: an integer worker count or ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -66,12 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--parallel",
-        type=int,
+        type=_parallel_workers,
+        nargs="?",
+        const="auto",
         default=None,
         metavar="N",
         help=(
-            "solve sweep grid points across N worker processes "
-            "(figure experiments only; output is identical to serial)"
+            "solve sweep grid points across N worker processes; a bare "
+            "--parallel means 'auto' (pool sized to the grid, serial for "
+            "small grids); figure experiments only, output is identical "
+            "to serial"
         ),
     )
     run.add_argument(

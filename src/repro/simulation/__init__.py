@@ -17,6 +17,7 @@ from .cache import (
     make_policy,
 )
 from .coordination import CoordinationReport, Coordinator
+from .dynamic_batch import DynamicBatchAggregate, DynamicKernel, DynamicKernelRun
 from .failures import (
     build_degraded_simulator,
     coordinated_mass_lost,
@@ -40,6 +41,9 @@ __all__ = [
     "CoordinationReport",
     "Coordinator",
     "DistributedCoordinator",
+    "DynamicBatchAggregate",
+    "DynamicKernel",
+    "DynamicKernelRun",
     "DynamicSimulator",
     "FIFOCache",
     "LFUCache",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
@@ -165,6 +165,15 @@ class LRUCache(CachePolicy):
     def contents(self) -> frozenset[int]:
         return frozenset(self._order)
 
+    def kernel_state(self) -> "OrderedDict[int, None]":
+        """The live recency map, least-recent first.
+
+        The batched dynamic kernel mutates it in place (same ordered-map
+        transitions the scalar path performs), so no write-back step is
+        needed; hit/miss counters are settled separately by the kernel.
+        """
+        return self._order
+
 
 class LFUCache(CachePolicy):
     """Least-frequently-used replacement with LRU tie-breaking.
@@ -206,6 +215,23 @@ class LFUCache(CachePolicy):
     @property
     def contents(self) -> frozenset[int]:
         return frozenset(self._frequency)
+
+    def kernel_state(self) -> tuple[dict[int, int], dict[int, int], int]:
+        """``(frequency, last_used, clock)`` snapshot for the batched kernel.
+
+        The kernel mirrors this into frequency/last-used arrays for
+        argmin eviction and hands the result back through
+        :meth:`restore_kernel_state` when the run finishes.
+        """
+        return self._frequency, self._last_used, self._clock
+
+    def restore_kernel_state(
+        self, frequency: dict[int, int], last_used: dict[int, int], clock: int
+    ) -> None:
+        """Install the kernel's post-run ``(frequency, last_used, clock)``."""
+        self._frequency = dict(frequency)
+        self._last_used = dict(last_used)
+        self._clock = int(clock)
 
 
 class PerfectLFUCache(CachePolicy):
@@ -256,6 +282,25 @@ class PerfectLFUCache(CachePolicy):
     def contents(self) -> frozenset[int]:
         return frozenset(self._stored)
 
+    def kernel_state(self) -> tuple[dict[int, int], dict[int, int], set[int], int]:
+        """``(global_frequency, last_used, stored, clock)`` for the kernel.
+
+        The dict references are live — the kernel keeps updating the
+        global frequency table in place (it must cover evicted ranks
+        too), mirrors the stored set into argmin arrays, and hands the
+        final membership back via :meth:`restore_kernel_state`.
+        """
+        return self._global_frequency, self._last_used, self._stored, self._clock
+
+    def restore_kernel_state(self, stored: Iterable[int], clock: int) -> None:
+        """Install the kernel's post-run stored set and clock.
+
+        The frequency/last-used dicts are shared with the kernel and
+        already up to date.
+        """
+        self._stored = set(stored)
+        self._clock = int(clock)
+
 
 class FIFOCache(CachePolicy):
     """First-in-first-out replacement (insertion order, hits don't refresh)."""
@@ -280,6 +325,18 @@ class FIFOCache(CachePolicy):
     @property
     def contents(self) -> frozenset[int]:
         return frozenset(self._order)
+
+    def kernel_state(self) -> "OrderedDict[int, None]":
+        """The live insertion-order map, oldest first.
+
+        The batched kernel copies it into a ring buffer and returns the
+        final order through :meth:`restore_kernel_state`.
+        """
+        return self._order
+
+    def restore_kernel_state(self, order: Iterable[int]) -> None:
+        """Replace the contents with ``order`` (oldest first)."""
+        self._order = OrderedDict((int(r), None) for r in order)
 
 
 class RandomCache(CachePolicy):
@@ -321,6 +378,18 @@ class RandomCache(CachePolicy):
     @property
     def contents(self) -> frozenset[int]:
         return frozenset(self._positions)
+
+    def kernel_state(
+        self,
+    ) -> tuple[list[int], dict[int, int], np.random.Generator]:
+        """``(items, positions, rng)`` live references.
+
+        The batched kernel mutates them in place and draws victims from
+        the same generator in the same order as :meth:`_admit`, so the
+        random stream continues seamlessly across scalar and batched
+        segments.
+        """
+        return self._items, self._positions, self._rng
 
 
 _POLICY_FACTORIES = {

@@ -1,0 +1,848 @@
+"""Array-backed batched engines for online (dynamic) replacement simulation.
+
+``DynamicSimulator``'s scalar loop resolves one request at a time
+against dict/OrderedDict cache state.  Replacement is inherently
+sequential — every decision depends on the store state the previous
+request left behind — so unlike the static steady-state kernel
+(:mod:`repro.simulation.batch`) the dynamic path cannot be expressed as
+pure numpy gathers.  What *can* be hoisted out of the per-request work
+is everything around the state machine: custodian assignment
+(``rank % n`` over a whole column), the per-(client, custodian) peer
+and origin cost tables, tier/latency aggregation and per-store
+statistics (``np.bincount``), and the workload columns themselves.  The
+per-request residue is a minimal Python loop over flat engine state —
+the C-implemented ordered map for LRU recency, a ring buffer plus
+membership set for FIFO, frequency/last-used arrays with lexicographic
+argmin eviction for the LFU family, and the policy's own generator
+stream for Random — which emits one small *outcome code* per request;
+metrics and store counters are then derived from the code array in
+bulk.
+
+The contract is exact equivalence with the scalar path: same tier
+counts, same per-store hit/miss counters, same final cache contents
+(including identical random streams so a batched segment can be
+continued scalar-wise and vice versa), with float cost sums equal up to
+summation order exactly as in the steady-state kernel — bit-identical
+on dyadic-latency topologies, ``rel=1e-9`` elsewhere.  Gallo et al.
+("Performance Evaluation of the Random Replacement Policy for Networks
+of Caches") and Fricker et al. ("Impact of traffic mix on caching
+performance in a content-centric network") validate cache
+approximations against exactly this kind of large-sample replacement
+simulation; the kernel exists so those regimes run at millions of
+requests per second (DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..catalog.workload import RequestBatch
+from ..errors import SimulationError
+from ..topology.graph import Topology
+from .router import CCNRouter
+from .routing import NearestReplicaRouter
+
+__all__ = ["DynamicBatchAggregate", "DynamicKernel", "DynamicKernelRun"]
+
+NodeId = Hashable
+
+#: Outcome codes, one per simulated request.  Codes 0/1 are the LOCAL
+#: tier, 2 is PEER, 3-5 are ORIGIN; codes 1-5 imply a local-store miss,
+#: codes 2-4 additionally an own-coordinated-store miss at the client
+#: (the scalar ``CCNRouter.lookup`` probes both partitions).
+_OUT_LOCAL_HIT = 0
+_OUT_OWN_COORDINATED_HIT = 1
+_OUT_PEER_HIT = 2
+_OUT_MISS_VIA_CUSTODIAN = 3
+_OUT_MISS_AT_CUSTODIAN = 4
+_OUT_MISS_UNCOORDINATED = 5
+_N_OUTCOMES = 6
+
+
+@dataclass(frozen=True)
+class DynamicBatchAggregate:
+    """Reductions of one processed batch (post-warmup slice).
+
+    Attributes
+    ----------
+    local_hits / peer_hits / origin_hits:
+        Requests served per tier; sum to the counted slice length.
+    total_hops / total_latency_ms:
+        Fetch-path sums over the counted slice, matching the scalar
+        ``RouteDecision`` accounting.
+    served_by_counts:
+        ``int64`` array over topology node indices: peer-tier requests
+        served per custodian router.
+    """
+
+    local_hits: int
+    peer_hits: int
+    origin_hits: int
+    total_hops: float
+    total_latency_ms: float
+    served_by_counts: np.ndarray
+
+
+def _ring_admit(member: set, buf: list, heads: list, sizes: list, i: int, slots: int, r: int) -> None:
+    """FIFO ring-buffer admission for store ``i`` (oldest slot at ``heads[i]``).
+
+    In-place by contract: ``buf``/``heads``/``sizes`` ARE the engine's
+    per-store state, updated through the alias on purpose.
+    """
+    if sizes[i] == slots:
+        head = heads[i]
+        member.discard(buf[head])
+        buf[head] = r  # repro-lint: disable=R4
+        heads[i] = head + 1 if head + 1 < slots else 0  # repro-lint: disable=R4
+    else:
+        buf.append(r)
+        sizes[i] += 1  # repro-lint: disable=R4
+    member.add(r)
+
+
+def _random_admit(items: list, positions: dict, rng: np.random.Generator, slots: int, r: int) -> None:
+    """Reproduce ``RandomCache._admit`` exactly — same draw sequence, same swap-remove.
+
+    In-place by contract: ``items``/``positions`` ARE the live store's
+    state (shared via ``kernel_state``), updated through the alias.
+    """
+    if len(items) >= slots:
+        victim_pos = int(rng.integers(len(items)))
+        evicted = items[victim_pos]
+        last = items.pop()
+        if victim_pos < len(items):
+            items[victim_pos] = last  # repro-lint: disable=R4
+            positions[last] = victim_pos  # repro-lint: disable=R4
+        del positions[evicted]
+    positions[r] = len(items)  # repro-lint: disable=R4
+    items.append(r)
+
+
+def _argmin_slot(freq: np.ndarray, last_used: np.ndarray, size: int) -> int:
+    """Lexicographic ``(frequency, last-used)`` argmin over the first ``size`` slots.
+
+    Matches the scalar ``min(..., key=lambda r: (freq[r], last_used[r]))``
+    victim choice; the minimizer is unique because last-used clocks are
+    distinct among stored items.
+    """
+    window = freq[:size]
+    ties = np.flatnonzero(window == window.min())
+    if ties.shape[0] == 1:
+        return int(ties[0])
+    return int(ties[np.argmin(last_used[ties])])
+
+
+class _LFUState:
+    """Array mirror of one ``LFUCache`` partition (slots ↔ stored ranks)."""
+
+    __slots__ = ("store", "slot_of", "slot_rank", "freq", "last_used", "size", "clock")
+
+    def __init__(self, store, slots: int):
+        frequency, last_used, clock = store.kernel_state()
+        self.store = store
+        self.slot_rank = list(frequency)
+        self.slot_of = {r: s for s, r in enumerate(self.slot_rank)}
+        self.freq = np.zeros(max(slots, 1), dtype=np.int64)
+        self.last_used = np.zeros(max(slots, 1), dtype=np.int64)
+        for s, r in enumerate(self.slot_rank):
+            self.freq[s] = frequency[r]
+            self.last_used[s] = last_used[r]
+        self.size = len(self.slot_rank)
+        self.clock = clock
+
+    def write_back(self) -> None:
+        """Rebuild the policy's frequency/last-used dicts from the slots."""
+        ranks = self.slot_rank
+        frequency = {r: int(f) for r, f in zip(ranks, self.freq[: self.size].tolist())}
+        last_used = {r: int(t) for r, t in zip(ranks, self.last_used[: self.size].tolist())}
+        self.store.restore_kernel_state(frequency, last_used, self.clock)
+
+
+def _lfu_admit(st: _LFUState, slots: int, r: int) -> None:
+    """In-cache LFU admission: evict the coldest stored rank, insert fresh."""
+    st.clock += 1
+    clk = st.clock
+    if st.size >= slots:
+        s = _argmin_slot(st.freq, st.last_used, st.size)
+        del st.slot_of[st.slot_rank[s]]
+        st.slot_rank[s] = r
+    else:
+        s = st.size
+        st.slot_rank.append(r)
+        st.size = s + 1
+    st.slot_of[r] = s
+    st.freq[s] = 1
+    st.last_used[s] = clk
+
+
+class _PLFUState:
+    """Array mirror of one ``PerfectLFUCache`` partition.
+
+    The global frequency and last-used dicts are the policy's own (they
+    must keep covering evicted ranks), mutated in place; only the stored
+    membership is mirrored into slots.
+    """
+
+    __slots__ = ("store", "gfreq", "lu", "slot_of", "slot_rank", "freq", "last_used", "size", "clock")
+
+    def __init__(self, store, slots: int):
+        gfreq, last_used, stored, clock = store.kernel_state()
+        self.store = store
+        self.gfreq = gfreq
+        self.lu = last_used
+        self.slot_rank = list(stored)
+        self.slot_of = {r: s for s, r in enumerate(self.slot_rank)}
+        self.freq = np.zeros(max(slots, 1), dtype=np.int64)
+        self.last_used = np.zeros(max(slots, 1), dtype=np.int64)
+        for s, r in enumerate(self.slot_rank):
+            self.freq[s] = gfreq.get(r, 0)
+            self.last_used[s] = last_used.get(r, 0)
+        self.size = len(self.slot_rank)
+        self.clock = clock
+
+    def write_back(self) -> None:
+        """Hand the final stored set and clock back (dicts are shared)."""
+        self.store.restore_kernel_state(self.slot_rank, self.clock)
+
+
+def _plfu_admit(st: _PLFUState, slots: int, r: int) -> None:
+    """Perfect-LFU admission: never displace a strictly hotter victim."""
+    st.clock += 1
+    clk = st.clock
+    gf = st.gfreq.get(r, 0) + 1
+    st.gfreq[r] = gf
+    st.lu[r] = clk
+    if st.size < slots:
+        s = st.size
+        st.slot_rank.append(r)
+        st.size = s + 1
+    else:
+        s = _argmin_slot(st.freq, st.last_used, st.size)
+        if gf <= st.freq[s]:
+            return
+        del st.slot_of[st.slot_rank[s]]
+        st.slot_rank[s] = r
+    st.slot_of[r] = s
+    st.freq[s] = gf
+    st.last_used[s] = clk
+
+
+class _EngineBase:
+    """Per-policy batch state machine; one instance per kernel run.
+
+    Subclasses provide ``_lookup_local`` / ``_admit_local`` /
+    ``_lookup_coordinated`` / ``_admit_coordinated`` hooks (a lookup
+    performs the policy's hit bookkeeping, an admit its eviction) and
+    may override :meth:`process` entirely when the extra method-call
+    indirection matters (LRU, the throughput-gated path, does).
+    """
+
+    def __init__(self, local_slots: int, coordinated_slots: int):
+        self._local_slots = int(local_slots)
+        self._coordinated_slots = int(coordinated_slots)
+
+    def process(
+        self, ranks: list, clients: list, custodians: Optional[list]
+    ) -> bytearray:
+        """Advance the caches over one batch, returning outcome codes.
+
+        The loop is the scalar ``DynamicSimulator._resolve`` flow with
+        all routing/metric work stripped out: local probe, (optionally)
+        custodian probe, admissions — state mutation and a code only.
+        Codes come back as a ``bytearray`` so the caller can wrap them
+        in a numpy view without a copy.
+        """
+        codes = bytearray()
+        append = codes.append
+        lookup_local = self._lookup_local
+        admit_local = self._admit_local
+        if custodians is None:
+            for r, c in zip(ranks, clients):
+                if lookup_local(c, r):
+                    append(0)
+                else:
+                    append(5)
+                    admit_local(c, r)
+            return codes
+        lookup_coordinated = self._lookup_coordinated
+        admit_coordinated = self._admit_coordinated
+        for r, c, k in zip(ranks, clients, custodians):
+            if lookup_local(c, r):
+                append(0)
+                continue
+            if lookup_coordinated(k, r):
+                if c == k:
+                    append(1)
+                    continue
+                append(2)
+            else:
+                append(4 if c == k else 3)
+                admit_coordinated(k, r)
+            admit_local(c, r)
+        return codes
+
+    def finish(self) -> None:
+        """Write any mirrored state back to the policies (default: none)."""
+
+
+class _LRUEngine(_EngineBase):
+    """LRU over the policies' live ordered maps (shared state, no sync).
+
+    The recency structure *is* the policy's ``OrderedDict`` — measured
+    faster in CPython than slot/clock arrays with argmin eviction,
+    because move-to-end/popitem are single C calls (DESIGN.md §11).
+    The loop is hand-inlined: this is the throughput-gated path.
+    """
+
+    def __init__(self, routers: Sequence[CCNRouter], local_slots: int, coordinated_slots: int):
+        super().__init__(local_slots, coordinated_slots)
+        self._local = tuple(r.local_store.kernel_state() for r in routers)
+        self._coordinated = (
+            tuple(r.coordinated_store.kernel_state() for r in routers)
+            if coordinated_slots
+            else None
+        )
+
+    def process(
+        self, ranks: list, clients: list, custodians: Optional[list]
+    ) -> bytearray:
+        """Advance the LRU maps over one batch, returning outcome codes."""
+        codes = bytearray()
+        append = codes.append
+        lo = self._local
+        lslots = self._local_slots
+        if custodians is None:
+            for r, c in zip(ranks, clients):
+                od = lo[c]
+                if r in od:
+                    od.move_to_end(r)
+                    append(0)
+                else:
+                    append(5)
+                    od[r] = None
+                    if len(od) > lslots:
+                        od.popitem(last=False)
+            return codes
+        co = self._coordinated
+        cslots = self._coordinated_slots
+        for r, c, k in zip(ranks, clients, custodians):
+            od = lo[c]
+            if r in od:
+                od.move_to_end(r)
+                append(0)
+                continue
+            cod = co[k]
+            if r in cod:
+                cod.move_to_end(r)
+                if c == k:
+                    append(1)
+                    continue
+                append(2)
+            else:
+                append(4 if c == k else 3)
+                cod[r] = None
+                if len(cod) > cslots:
+                    cod.popitem(last=False)
+            if lslots:
+                od[r] = None
+                if len(od) > lslots:
+                    od.popitem(last=False)
+        return codes
+
+
+class _FIFOEngine(_EngineBase):
+    """FIFO via ring buffers + membership sets, synced back at finish."""
+
+    def __init__(self, routers: Sequence[CCNRouter], local_slots: int, coordinated_slots: int):
+        super().__init__(local_slots, coordinated_slots)
+        self._local_stores = [r.local_store for r in routers]
+        self._lmember, self._lbuf, self._lhead, self._lsize = self._bind(self._local_stores)
+        if coordinated_slots:
+            self._coordinated_stores = [r.coordinated_store for r in routers]
+            self._cmember, self._cbuf, self._chead, self._csize = self._bind(
+                self._coordinated_stores
+            )
+        else:
+            self._coordinated_stores = []
+
+    @staticmethod
+    def _bind(stores):
+        members, bufs, heads, sizes = [], [], [], []
+        for store in stores:
+            order = list(store.kernel_state())
+            members.append(set(order))
+            bufs.append(order)
+            heads.append(0)
+            sizes.append(len(order))
+        return members, bufs, heads, sizes
+
+    def _lookup_local(self, c: int, r: int) -> bool:
+        return r in self._lmember[c]
+
+    def _admit_local(self, c: int, r: int) -> None:
+        if self._local_slots:
+            _ring_admit(
+                self._lmember[c], self._lbuf[c], self._lhead, self._lsize, c, self._local_slots, r
+            )
+
+    def _lookup_coordinated(self, k: int, r: int) -> bool:
+        return r in self._cmember[k]
+
+    def _admit_coordinated(self, k: int, r: int) -> None:
+        _ring_admit(
+            self._cmember[k], self._cbuf[k], self._chead, self._csize, k, self._coordinated_slots, r
+        )
+
+    def finish(self) -> None:
+        """Rebuild each policy's insertion-order map from its ring."""
+        for stores, bufs, heads, sizes, slots in (
+            (self._local_stores, self._lbuf, self._lhead, self._lsize, self._local_slots),
+            (
+                self._coordinated_stores,
+                getattr(self, "_cbuf", []),
+                getattr(self, "_chead", []),
+                getattr(self, "_csize", []),
+                self._coordinated_slots,
+            ),
+        ):
+            for store, buf, head, size in zip(stores, bufs, heads, sizes):
+                order = buf[head:] + buf[:head] if size == slots and head else buf
+                store.restore_kernel_state(order)
+
+
+class _RandomEngine(_EngineBase):
+    """Random eviction on the policies' live items/positions/rng (no sync).
+
+    Victims are drawn from the same generator objects in the same order
+    as the scalar path, so the random streams — and therefore the
+    contents — are identical request for request.
+    """
+
+    def __init__(self, routers: Sequence[CCNRouter], local_slots: int, coordinated_slots: int):
+        super().__init__(local_slots, coordinated_slots)
+        self._local = [r.local_store.kernel_state() for r in routers]
+        self._coordinated = (
+            [r.coordinated_store.kernel_state() for r in routers]
+            if coordinated_slots
+            else None
+        )
+
+    def _lookup_local(self, c: int, r: int) -> bool:
+        return r in self._local[c][1]
+
+    def _admit_local(self, c: int, r: int) -> None:
+        if self._local_slots:
+            items, positions, rng = self._local[c]
+            _random_admit(items, positions, rng, self._local_slots, r)
+
+    def _lookup_coordinated(self, k: int, r: int) -> bool:
+        return r in self._coordinated[k][1]
+
+    def _admit_coordinated(self, k: int, r: int) -> None:
+        items, positions, rng = self._coordinated[k]
+        _random_admit(items, positions, rng, self._coordinated_slots, r)
+
+
+class _LFUEngine(_EngineBase):
+    """In-cache LFU mirrored into frequency/last-used arrays (argmin evict)."""
+
+    def __init__(self, routers: Sequence[CCNRouter], local_slots: int, coordinated_slots: int):
+        super().__init__(local_slots, coordinated_slots)
+        self._llocal = [_LFUState(r.local_store, local_slots) for r in routers]
+        self._lcoord = (
+            [_LFUState(r.coordinated_store, coordinated_slots) for r in routers]
+            if coordinated_slots
+            else None
+        )
+
+    def _lookup_local(self, c: int, r: int) -> bool:
+        st = self._llocal[c]
+        s = st.slot_of.get(r)
+        if s is None:
+            return False
+        st.clock += 1
+        st.freq[s] += 1
+        st.last_used[s] = st.clock
+        return True
+
+    def _admit_local(self, c: int, r: int) -> None:
+        if self._local_slots:
+            _lfu_admit(self._llocal[c], self._local_slots, r)
+
+    def _lookup_coordinated(self, k: int, r: int) -> bool:
+        st = self._lcoord[k]
+        s = st.slot_of.get(r)
+        if s is None:
+            return False
+        st.clock += 1
+        st.freq[s] += 1
+        st.last_used[s] = st.clock
+        return True
+
+    def _admit_coordinated(self, k: int, r: int) -> None:
+        _lfu_admit(self._lcoord[k], self._coordinated_slots, r)
+
+    def finish(self) -> None:
+        """Rebuild each policy's frequency/last-used dicts from the slots."""
+        for st in self._llocal:
+            st.write_back()
+        for st in self._lcoord or ():
+            st.write_back()
+
+
+class _PerfectLFUEngine(_EngineBase):
+    """Perfect LFU: global frequency dicts shared live, stored set mirrored."""
+
+    def __init__(self, routers: Sequence[CCNRouter], local_slots: int, coordinated_slots: int):
+        super().__init__(local_slots, coordinated_slots)
+        self._llocal = [_PLFUState(r.local_store, local_slots) for r in routers]
+        self._lcoord = (
+            [_PLFUState(r.coordinated_store, coordinated_slots) for r in routers]
+            if coordinated_slots
+            else None
+        )
+
+    @staticmethod
+    def _lookup(st: _PLFUState, r: int) -> bool:
+        s = st.slot_of.get(r)
+        if s is None:
+            return False
+        st.clock += 1
+        st.gfreq[r] += 1
+        st.lu[r] = st.clock
+        st.freq[s] += 1
+        st.last_used[s] = st.clock
+        return True
+
+    def _lookup_local(self, c: int, r: int) -> bool:
+        return self._lookup(self._llocal[c], r)
+
+    def _admit_local(self, c: int, r: int) -> None:
+        if self._local_slots:
+            _plfu_admit(self._llocal[c], self._local_slots, r)
+
+    def _lookup_coordinated(self, k: int, r: int) -> bool:
+        return self._lookup(self._lcoord[k], r)
+
+    def _admit_coordinated(self, k: int, r: int) -> None:
+        _plfu_admit(self._lcoord[k], self._coordinated_slots, r)
+
+    def finish(self) -> None:
+        """Hand the final stored sets and clocks back to the policies."""
+        for st in self._llocal:
+            st.write_back()
+        for st in self._lcoord or ():
+            st.write_back()
+
+
+_ENGINE_TYPES = {
+    "lru": _LRUEngine,
+    "lfu": _LFUEngine,
+    "perfect-lfu": _PerfectLFUEngine,
+    "fifo": _FIFOEngine,
+    "random": _RandomEngine,
+}
+
+
+class DynamicKernelRun:
+    """Mutable engine state bound to one fleet for one run.
+
+    Obtained from :meth:`DynamicKernel.start_run`; drive it with
+    :meth:`process` once per batch, then :meth:`finish` exactly once to
+    write mirrored cache state and per-store hit/miss counters back to
+    the fleet.  A run is a one-shot session: finishing twice would
+    double-count statistics, so it raises.
+    """
+
+    def __init__(self, kernel: "DynamicKernel", fleet: Mapping[NodeId, CCNRouter]):
+        self._kernel = kernel
+        self._fleet = fleet
+        routers = [fleet[node] for node in kernel.nodes]
+        self._engine = _ENGINE_TYPES[kernel.policy](
+            routers, kernel.local_slots, kernel.coordinated_slots
+        )
+        n = len(kernel.nodes)
+        self._client_code_counts = np.zeros((n, _N_OUTCOMES), dtype=np.int64)
+        self._custodian_hits = np.zeros(n, dtype=np.int64)
+        self._custodian_misses = np.zeros(n, dtype=np.int64)
+        self._palette_indices: dict[tuple[NodeId, ...], np.ndarray] = {}
+        self._finished = False
+
+    def process(self, batch: RequestBatch, counted_from: int = 0) -> DynamicBatchAggregate:
+        """Advance the caches over one batch and aggregate its outcomes.
+
+        Store statistics always cover the whole batch; the returned
+        aggregate covers requests from ``counted_from`` on, so a warmup
+        boundary may fall mid-batch.
+        """
+        if self._finished:
+            raise SimulationError("dynamic kernel run already finished")
+        kernel = self._kernel
+        idx = self._palette_indices.get(batch.clients)
+        if idx is None:
+            try:
+                idx = kernel.node_indices(batch.clients)
+            except KeyError as exc:
+                raise SimulationError(
+                    f"request from unknown router {exc.args[0]!r}"
+                ) from exc
+            self._palette_indices[batch.clients] = idx
+        client_idx = idx[batch.client_index]
+        n = kernel.n_nodes
+        if kernel.coordinated_slots:
+            custodian_idx = batch.ranks % n
+            codes = self._engine.process(
+                batch.ranks.tolist(), client_idx.tolist(), custodian_idx.tolist()
+            )
+            code_arr = np.frombuffer(codes, dtype=np.uint8)
+            # One combined (client, custodian, code) key drives the store
+            # statistics, the tier counts, and the cost gather — a single
+            # bincount pass instead of one per statistic.
+            key = client_idx * n
+            key += custodian_idx
+            key *= _N_OUTCOMES
+            key += code_arr
+            matrix = np.bincount(
+                key, minlength=n * n * _N_OUTCOMES
+            ).reshape(n, n, _N_OUTCOMES)
+            self._client_code_counts += matrix.sum(axis=1)
+            by_custodian = matrix.sum(axis=0)
+            self._custodian_hits += by_custodian[:, _OUT_PEER_HIT]
+            self._custodian_misses += by_custodian[:, _OUT_MISS_VIA_CUSTODIAN]
+            if counted_from == 0:
+                tier = by_custodian.sum(axis=0)
+                costs = kernel._cost_table[key].sum(axis=0)
+                return DynamicBatchAggregate(
+                    local_hits=int(
+                        tier[_OUT_LOCAL_HIT] + tier[_OUT_OWN_COORDINATED_HIT]
+                    ),
+                    peer_hits=int(tier[_OUT_PEER_HIT]),
+                    origin_hits=int(
+                        tier[_OUT_MISS_VIA_CUSTODIAN]
+                        + tier[_OUT_MISS_AT_CUSTODIAN]
+                        + tier[_OUT_MISS_UNCOORDINATED]
+                    ),
+                    total_hops=float(costs[0]),
+                    total_latency_ms=float(costs[1]),
+                    served_by_counts=by_custodian[:, _OUT_PEER_HIT].copy(),
+                )
+            return kernel.aggregate(code_arr, client_idx, custodian_idx, counted_from)
+        codes = self._engine.process(batch.ranks.tolist(), client_idx.tolist(), None)
+        code_arr = np.frombuffer(codes, dtype=np.uint8)
+        key = client_idx * _N_OUTCOMES
+        key += code_arr
+        matrix = np.bincount(key, minlength=n * _N_OUTCOMES).reshape(n, _N_OUTCOMES)
+        self._client_code_counts += matrix
+        if counted_from == 0:
+            tier = matrix.sum(axis=0)
+            costs = kernel._uncoordinated_cost_table[key].sum(axis=0)
+            return DynamicBatchAggregate(
+                local_hits=int(tier[_OUT_LOCAL_HIT]),
+                peer_hits=0,
+                origin_hits=int(tier[_OUT_MISS_UNCOORDINATED]),
+                total_hops=float(costs[0]),
+                total_latency_ms=float(costs[1]),
+                served_by_counts=np.zeros(n, dtype=np.int64),
+            )
+        return kernel.aggregate(code_arr, client_idx, None, counted_from)
+
+    def finish(self) -> None:
+        """Write mirrored engine state and store counters back to the fleet."""
+        if self._finished:
+            raise SimulationError("dynamic kernel run already finished")
+        self._finished = True
+        self._engine.finish()
+        counts = self._client_code_counts
+        local_hits = counts[:, _OUT_LOCAL_HIT]
+        total = counts.sum(axis=1)
+        own_hits = counts[:, _OUT_OWN_COORDINATED_HIT]
+        own_misses = (
+            counts[:, _OUT_PEER_HIT]
+            + counts[:, _OUT_MISS_VIA_CUSTODIAN]
+            + counts[:, _OUT_MISS_AT_CUSTODIAN]
+        )
+        for i, node in enumerate(self._kernel.nodes):
+            router = self._fleet[node]
+            router.local_store.hits += int(local_hits[i])
+            router.local_store.misses += int(total[i] - local_hits[i])
+            store = router.coordinated_store
+            if store is not None:
+                store.hits += int(own_hits[i] + self._custodian_hits[i])
+                store.misses += int(own_misses[i] + self._custodian_misses[i])
+
+
+class DynamicKernel:
+    """Precomputed cost tables + engine factory for batched dynamic runs.
+
+    The kernel itself is immutable and placement-independent: it holds
+    the per-(client, custodian) peer tables, the via-custodian and
+    origin cost tables (float-add order matching the scalar path's
+    cached ``origin_distance`` exactly), and the node indexing.  Per-run
+    cache state lives in the :class:`DynamicKernelRun` returned by
+    :meth:`start_run`.
+
+    Parameters
+    ----------
+    topology:
+        The router network (fixes node-index order and ``rank % n``
+        custodian assignment).
+    router:
+        The nearest-replica router whose matrices and origin model the
+        scalar path uses; the kernel reads the same tables.
+    policy:
+        Normalized replacement-policy name (one of ``lru``, ``lfu``,
+        ``perfect-lfu``, ``fifo``, ``random``).
+    local_slots / coordinated_slots:
+        The per-router partition split (``c - x`` / ``x``);
+        ``coordinated_slots == 0`` selects the fully non-coordinated
+        flow (misses go straight to the origin).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        router: NearestReplicaRouter,
+        policy: str,
+        local_slots: int,
+        coordinated_slots: int,
+    ):
+        if policy not in _ENGINE_TYPES:
+            raise SimulationError(
+                f"no batched engine for policy {policy!r}; expected one of "
+                f"{sorted(_ENGINE_TYPES)}"
+            )
+        if local_slots < 0 or coordinated_slots < 0:
+            raise SimulationError(
+                f"partition slot counts must be non-negative, got "
+                f"({local_slots}, {coordinated_slots})"
+            )
+        self._policy = policy
+        self._local_slots = int(local_slots)
+        self._coordinated_slots = int(coordinated_slots)
+        self._nodes = topology.nodes
+        self._node_index = {node: i for i, node in enumerate(topology.nodes)}
+        self._n_nodes = topology.n_routers
+        hops_matrix, latency_matrix = router.path_matrices()
+        gateway = self._node_index[router.origin.gateway]
+        self._origin_hops = hops_matrix[:, gateway] + router.origin.extra_hops
+        self._origin_latency = (
+            latency_matrix[:, gateway] + router.origin.extra_latency_ms
+        )
+        self._peer_hops = hops_matrix
+        self._peer_latency = latency_matrix
+        # Via-custodian = peer leg + custodian→origin leg; adding the
+        # precomputed origin vector reproduces the scalar path's
+        # ``to_custodian.hops + origin_cost[custodian]`` float order.
+        self._via_hops = hops_matrix + self._origin_hops[None, :]
+        self._via_latency = latency_matrix + self._origin_latency[None, :]
+        # Flat (client, custodian, code) -> (hops, latency) lookup so the
+        # per-batch cost reduction is one fancy gather plus one sum.  The
+        # gathered sequence matches the masked-scatter form of
+        # :meth:`aggregate` element for element (LOCAL codes cost 0.0),
+        # so both reductions share the same pairwise summation order.
+        n = self._n_nodes
+        table = np.zeros((n, n, _N_OUTCOMES, 2))
+        table[:, :, _OUT_PEER_HIT, 0] = self._peer_hops
+        table[:, :, _OUT_PEER_HIT, 1] = self._peer_latency
+        table[:, :, _OUT_MISS_VIA_CUSTODIAN, 0] = self._via_hops
+        table[:, :, _OUT_MISS_VIA_CUSTODIAN, 1] = self._via_latency
+        for code in (_OUT_MISS_AT_CUSTODIAN, _OUT_MISS_UNCOORDINATED):
+            table[:, :, code, 0] = self._origin_hops[:, None]
+            table[:, :, code, 1] = self._origin_latency[:, None]
+        self._cost_table = table.reshape(n * n * _N_OUTCOMES, 2)
+        uncoordinated = np.zeros((n, _N_OUTCOMES, 2))
+        uncoordinated[:, _OUT_MISS_UNCOORDINATED, 0] = self._origin_hops
+        uncoordinated[:, _OUT_MISS_UNCOORDINATED, 1] = self._origin_latency
+        self._uncoordinated_cost_table = uncoordinated.reshape(
+            n * _N_OUTCOMES, 2
+        )
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """Topology nodes in kernel index order."""
+        return self._nodes
+
+    @property
+    def n_nodes(self) -> int:
+        """Router count (the custodian hash modulus)."""
+        return self._n_nodes
+
+    @property
+    def policy(self) -> str:
+        """The normalized replacement-policy name."""
+        return self._policy
+
+    @property
+    def local_slots(self) -> int:
+        """Per-router non-coordinated partition size (``c - x``)."""
+        return self._local_slots
+
+    @property
+    def coordinated_slots(self) -> int:
+        """Per-router coordinated partition size (``x``)."""
+        return self._coordinated_slots
+
+    def node_indices(self, clients: Sequence[NodeId]) -> np.ndarray:
+        """Map a client palette to topology node indices (``KeyError`` if unknown)."""
+        return np.array(
+            [self._node_index[client] for client in clients], dtype=np.int64
+        )
+
+    def start_run(self, fleet: Mapping[NodeId, CCNRouter]) -> DynamicKernelRun:
+        """Bind the kernel to a fleet's live cache state for one run."""
+        return DynamicKernelRun(self, fleet)
+
+    def aggregate(
+        self,
+        codes: np.ndarray,
+        client_idx: np.ndarray,
+        custodian_idx: Optional[np.ndarray],
+        counted_from: int = 0,
+    ) -> DynamicBatchAggregate:
+        """Reduce an outcome-code array to tier counts and cost sums.
+
+        Semantically this is recording one scalar ``RouteDecision`` per
+        request from ``counted_from`` on: LOCAL decisions cost nothing,
+        PEER hits the client→custodian leg, custodian misses the
+        via-custodian path, custodian-self and uncoordinated misses the
+        client→origin path.
+        """
+        cc = codes[counted_from:] if counted_from else codes
+        ci = client_idx[counted_from:] if counted_from else client_idx
+        tier = np.bincount(cc, minlength=_N_OUTCOMES)
+        hops = np.zeros(cc.shape[0], dtype=np.float64)
+        latency = np.zeros(cc.shape[0], dtype=np.float64)
+        if custodian_idx is None:
+            miss = cc == _OUT_MISS_UNCOORDINATED
+            mc = ci[miss]
+            hops[miss] = self._origin_hops[mc]
+            latency[miss] = self._origin_latency[mc]
+            served_by = np.zeros(self._n_nodes, dtype=np.int64)
+        else:
+            ki = custodian_idx[counted_from:] if counted_from else custodian_idx
+            peer = cc == _OUT_PEER_HIT
+            hops[peer] = self._peer_hops[ci[peer], ki[peer]]
+            latency[peer] = self._peer_latency[ci[peer], ki[peer]]
+            via = cc == _OUT_MISS_VIA_CUSTODIAN
+            hops[via] = self._via_hops[ci[via], ki[via]]
+            latency[via] = self._via_latency[ci[via], ki[via]]
+            at_origin = cc >= _OUT_MISS_AT_CUSTODIAN
+            oc = ci[at_origin]
+            hops[at_origin] = self._origin_hops[oc]
+            latency[at_origin] = self._origin_latency[oc]
+            served_by = np.bincount(ki[peer], minlength=self._n_nodes)
+        return DynamicBatchAggregate(
+            local_hits=int(tier[_OUT_LOCAL_HIT] + tier[_OUT_OWN_COORDINATED_HIT]),
+            peer_hits=int(tier[_OUT_PEER_HIT]),
+            origin_hits=int(
+                tier[_OUT_MISS_VIA_CUSTODIAN]
+                + tier[_OUT_MISS_AT_CUSTODIAN]
+                + tier[_OUT_MISS_UNCOORDINATED]
+            ),
+            total_hops=float(hops.sum()),
+            total_latency_ms=float(latency.sum()),
+            served_by_counts=served_by,
+        )

@@ -22,10 +22,10 @@ from ..catalog.popularity import PopularityModel
 from ..core.strategy import ProvisioningStrategy
 from ..errors import ParameterError, SimulationError
 from ..obs import get_session
-from ..simulation.cache import StaticCache
+from ..simulation.cache import StaticCache, make_policy
 from ..simulation.router import CCNRouter
 from ..simulation.routing import OriginModel
-from ..simulation.simulator import SteadyStateSimulator
+from ..simulation.simulator import DynamicSimulator, SteadyStateSimulator
 from ..topology.graph import Topology
 
 __all__ = ["fail_stores", "coordinated_mass_lost", "build_degraded_simulator"]
@@ -34,14 +34,23 @@ NodeId = Hashable
 
 
 def fail_stores(
-    simulator: SteadyStateSimulator, failed: Iterable[NodeId]
+    simulator: SteadyStateSimulator | DynamicSimulator,
+    failed: Iterable[NodeId],
 ) -> None:
     """Empty the content stores of the given routers, in place.
 
     The routers keep forwarding (the failure is of the storage plane,
-    not the node), matching a content-store wipe/restart.  The
-    simulator's replica index is rebuilt accordingly.
+    not the node), matching a content-store wipe/restart.  On a
+    :class:`~repro.simulation.simulator.SteadyStateSimulator` the
+    replica index is rebuilt and the batched decision table dropped; on
+    a :class:`~repro.simulation.simulator.DynamicSimulator` the failed
+    routers restart with *empty* replacement policies on fresh
+    (deterministically spawned) random streams, and the batched kernel
+    is invalidated the same way.
     """
+    if isinstance(simulator, DynamicSimulator):
+        _fail_dynamic_stores(simulator, list(failed))
+        return
     failed = list(failed)
     for node in failed:
         router = simulator.fleet.get(node)
@@ -61,6 +70,41 @@ def fail_stores(
             simulator._holders.setdefault(rank, []).append(node)
     # The kernel's decision table bakes in the old holders; drop it so
     # the next batched run rebuilds against the degraded placement.
+    simulator._kernel = None
+    obs = get_session()
+    obs.counter("sim.failures.stores_failed").add(len(failed))
+    obs.counter("sim.failures.injections").add()
+
+
+def _fail_dynamic_stores(
+    simulator: DynamicSimulator, failed: list[NodeId]
+) -> None:
+    """Restart the failed routers' dynamic stores empty, streams respawned."""
+    for node in failed:
+        router = simulator.fleet.get(node)
+        if router is None:
+            raise SimulationError(f"cannot fail unknown router {node!r}")
+        # Spawning again from the router's kept SeedSequence yields new,
+        # disjoint child streams — a restarted store must not replay the
+        # random decisions its predecessor already consumed.
+        local_seq, coordinated_seq = simulator._partition_seeds[node].spawn(2)
+        local = make_policy(
+            simulator.policy, router.local_store.capacity, seed=local_seq
+        )
+        coordinated = (
+            make_policy(
+                simulator.policy,
+                router.coordinated_store.capacity,
+                seed=coordinated_seq,
+            )
+            if router.coordinated_store is not None
+            else None
+        )
+        simulator.fleet[node] = CCNRouter(node, local, coordinated)
+    # The dynamic kernel's cost tables are placement-independent and its
+    # engine state re-binds to the fleet at every run, but drop the
+    # kernel anyway — mirroring the steady-state contract — so no future
+    # table can outlive a failure injection.
     simulator._kernel = None
     obs = get_session()
     obs.counter("sim.failures.stores_failed").add(len(failed))

@@ -27,6 +27,7 @@ from ..obs import get_session
 from ..topology.graph import Topology
 from .batch import SteadyStateKernel
 from .cache import StaticCache, make_policy
+from .dynamic_batch import DynamicKernel
 from .coordination import Coordinator
 from .metrics import MetricsCollector, SimulationMetrics
 from .router import CCNRouter
@@ -276,7 +277,7 @@ class DynamicSimulator:
         Per-router content-store capacity ``c``.
     policy:
         Replacement policy name for the dynamic partitions
-        (``"lru"``/``"lfu"``/``"fifo"``/``"random"``).
+        (``"lru"``/``"lfu"``/``"perfect-lfu"``/``"fifo"``/``"random"``).
     coordination_level:
         ``ℓ ∈ [0, 1]``: fraction of each store run as a
         hash-coordinated partition.  ``0`` is fully non-coordinated
@@ -310,6 +311,7 @@ class DynamicSimulator:
         self.topology = topology
         self.capacity = int(capacity)
         self.level = float(coordination_level)
+        self.policy = policy.strip().lower()
         self.router = NearestReplicaRouter(topology, origin=origin, metric=metric)
         coordinated_slots = int(round(self.level * self.capacity))
         local_slots = self.capacity - coordinated_slots
@@ -318,13 +320,17 @@ class DynamicSimulator:
         # arithmetic derivations like ``seed * k + i`` collide (with
         # seed=0 every router's local and coordinated streams coincide),
         # whereas SeedSequence.spawn guarantees disjoint streams.
+        # The per-router sequences are kept so failure injection can
+        # respawn *fresh* streams for replacement stores.
+        self._partition_seeds: dict[NodeId, np.random.SeedSequence] = {}
         for node, per_router in zip(
             topology.nodes, np.random.SeedSequence(seed).spawn(topology.n_routers)
         ):
+            self._partition_seeds[node] = per_router
             local_seq, coordinated_seq = per_router.spawn(2)
-            local = make_policy(policy, local_slots, seed=local_seq)
+            local = make_policy(self.policy, local_slots, seed=local_seq)
             coordinated = (
-                make_policy(policy, coordinated_slots, seed=coordinated_seq)
+                make_policy(self.policy, coordinated_slots, seed=coordinated_seq)
                 if coordinated_slots > 0
                 else None
             )
@@ -332,6 +338,8 @@ class DynamicSimulator:
         self._nodes = topology.nodes
         self._n_nodes = len(topology.nodes)
         self._coordinated_slots = coordinated_slots
+        self._local_slots = local_slots
+        self._kernel: Optional[DynamicKernel] = None
         # Hot-loop tables: the origin path cost per client and the
         # client → custodian peer decision are placement-independent,
         # so compute them once instead of per request.
@@ -400,41 +408,48 @@ class DynamicSimulator:
         count: int,
         *,
         warmup: int = 0,
+        batched: Optional[bool] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> SimulationMetrics:
         """Drive the workload, optionally discarding a warm-up prefix.
 
         ``warmup`` requests are simulated (populating caches) but not
         counted, so the summary reflects steady-state behaviour — the
         regime the analytical model describes.
+
+        ``batched=None`` (the default) drives whole
+        :class:`~repro.catalog.workload.RequestBatch` columns through
+        the array-backed replacement kernel
+        (:mod:`repro.simulation.dynamic_batch`) whenever the workload
+        provides ``batches()``, falling back to the scalar reference
+        loop otherwise.  Both paths advance the same cache state (same
+        eviction decisions, same random streams) and produce the same
+        metrics and content-store statistics for the same seed;
+        ``batched=True`` insists on the kernel (raising for duck-typed
+        workloads without the batch API), ``batched=False`` forces the
+        scalar loop.
         """
         if warmup < 0:
             raise ParameterError(f"warmup must be non-negative, got {warmup}")
+        has_batches = hasattr(workload, "batches")
+        use_batched = has_batches if batched is None else bool(batched)
+        if use_batched and not has_batches:
+            raise SimulationError(
+                f"workload {type(workload).__name__!r} does not provide "
+                "batches(); subclass repro.catalog.Workload or use "
+                "batched=False"
+            )
         collector = MetricsCollector()
-        resolve = self._resolve
-        record = collector.record
         obs = get_session()
-        # The replacement loop is inherently scalar (every decision
-        # depends on the store state the previous request left behind),
-        # but consuming the workload in columnar batches avoids building
-        # one Request object per simulated request.  Duck-typed
-        # workloads without the batch API fall back to the iterator.
-        with obs.span("sim.dynamic.run") as span:
-            if not hasattr(workload, "batches"):
-                for i, request in enumerate(workload.requests(count + warmup)):
-                    decision = resolve(request.client, request.rank)
-                    if i >= warmup:
-                        record(decision)
+        with obs.span("sim.dynamic.run"):
+            if use_batched:
+                kernel_seconds = self._run_batched(
+                    workload, count, warmup, collector, obs, batch_size
+                )
             else:
-                i = 0
-                for batch in workload.batches(count + warmup):
-                    clients = batch.clients
-                    for ci, rank in zip(
-                        batch.client_index.tolist(), batch.ranks.tolist()
-                    ):
-                        decision = resolve(clients[ci], rank)
-                        if i >= warmup:
-                            record(decision)
-                        i += 1
+                kernel_seconds = self._run_scalar_loop(
+                    workload, count, warmup, collector, obs, batch_size
+                )
         metrics = collector.summary()
         if obs.enabled:
             obs.counter("sim.dynamic.requests").add(metrics.requests)
@@ -442,8 +457,106 @@ class DynamicSimulator:
             obs.counter("sim.dynamic.local_hits").add(metrics.local_hits)
             obs.counter("sim.dynamic.peer_hits").add(metrics.peer_hits)
             obs.counter("sim.dynamic.origin_hits").add(metrics.origin_hits)
-            if span.duration_s > 0:
+            if kernel_seconds > 0:
+                # Throughput over the kernel-only spans (replacement +
+                # aggregation, excluding workload generation), so the
+                # gauge compares like-for-like across code paths.
                 obs.gauge("sim.dynamic.rps").set(
-                    (metrics.requests + warmup) / span.duration_s
+                    (metrics.requests + warmup) / kernel_seconds
                 )
         return metrics
+
+    def run_scalar(
+        self,
+        workload: Workload,
+        count: int,
+        *,
+        warmup: int = 0,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> SimulationMetrics:
+        """The scalar reference implementation (one ``_resolve`` per request)."""
+        return self.run(
+            workload, count, warmup=warmup, batched=False, batch_size=batch_size
+        )
+
+    def _get_kernel(self, obs) -> DynamicKernel:
+        """The (lazily built, placement-independent) batched kernel."""
+        if self._kernel is None:
+            with obs.span("sim.dynamic.kernel_build"):
+                self._kernel = DynamicKernel(
+                    self.topology,
+                    self.router,
+                    self.policy,
+                    self._local_slots,
+                    self._coordinated_slots,
+                )
+        return self._kernel
+
+    def _run_batched(
+        self, workload, count, warmup, collector, obs, batch_size
+    ) -> float:
+        """Kernel path: one engine session over the run's batches."""
+        kernel = self._get_kernel(obs)
+        session = kernel.start_run(self.fleet)
+        batch_sizes = obs.histogram("sim.dynamic.batch_size")
+        kernel_seconds = 0.0
+        seen = 0
+        try:
+            for batch in workload.batches(count + warmup, batch_size=batch_size):
+                n_batch = len(batch)
+                batch_sizes.observe(n_batch)
+                obs.counter("sim.dynamic.batches").add()
+                counted_from = min(max(warmup - seen, 0), n_batch)
+                with obs.span("sim.dynamic.kernel") as span:
+                    aggregate = session.process(batch, counted_from)
+                kernel_seconds += span.duration_s
+                seen += n_batch
+                served_by = {
+                    kernel.nodes[i]: int(n)
+                    for i, n in enumerate(aggregate.served_by_counts.tolist())
+                    if n
+                }
+                collector.record_batch(
+                    local_hits=aggregate.local_hits,
+                    peer_hits=aggregate.peer_hits,
+                    origin_hits=aggregate.origin_hits,
+                    total_hops=aggregate.total_hops,
+                    total_latency_ms=aggregate.total_latency_ms,
+                    served_by=served_by,
+                )
+        finally:
+            # Always hand mirrored state back so the fleet's contents
+            # stay consistent even if a batch raised mid-run.
+            session.finish()
+        return kernel_seconds
+
+    def _run_scalar_loop(
+        self, workload, count, warmup, collector, obs, batch_size
+    ) -> float:
+        """Reference path: per-request ``_resolve``, columnar input when possible."""
+        resolve = self._resolve
+        record = collector.record
+        if not hasattr(workload, "batches"):
+            # Duck-typed workloads interleave generation with
+            # resolution, so this kernel span necessarily includes
+            # generation time (documented caveat for the rps gauge).
+            with obs.span("sim.dynamic.kernel") as span:
+                for i, request in enumerate(workload.requests(count + warmup)):
+                    decision = resolve(request.client, request.rank)
+                    if i >= warmup:
+                        record(decision)
+            return span.duration_s
+        kernel_seconds = 0.0
+        i = 0
+        for batch in workload.batches(count + warmup, batch_size=batch_size):
+            clients = batch.clients
+            with obs.span("sim.dynamic.kernel") as span:
+                for ci, rank in zip(
+                    batch.client_index.tolist(), batch.ranks.tolist()
+                ):
+                    decision = resolve(clients[ci], rank)
+                    if i >= warmup:
+                        record(decision)
+                    i += 1
+            kernel_seconds += span.duration_s
+        return kernel_seconds

@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.defaults import BASE_SCENARIO
-from repro.analysis.sweep import sweep
+from repro.analysis.sweep import (
+    AUTO_PARALLEL_MIN_POINTS_PER_WORKER,
+    resolve_parallel,
+    sweep,
+)
 from repro.errors import ParameterError
 
 ALPHAS = tuple(round(0.1 + 0.8 * i / 5, 4) for i in range(6))
@@ -58,6 +64,40 @@ class TestParallelSweep:
                 quantity="nonsense",
                 parallel=2,
             )
+
+
+class TestAutoParallel:
+    def test_small_grid_resolves_serial(self):
+        # The whole point of the heuristic: a figure-sized grid must not
+        # pay process spin-up.
+        assert resolve_parallel("auto", 12) == 0
+        assert (
+            resolve_parallel("auto", AUTO_PARALLEL_MIN_POINTS_PER_WORKER - 1)
+            == 0
+        )
+
+    def test_large_grid_scales_with_cpu_count(self):
+        cpus = os.cpu_count() or 1
+        huge = AUTO_PARALLEL_MIN_POINTS_PER_WORKER * (cpus + 4)
+        assert resolve_parallel("auto", huge) == cpus
+
+    def test_threshold_caps_worker_count(self):
+        # Two thresholds' worth of points affords at most two workers,
+        # regardless of how many CPUs the machine has.
+        points = AUTO_PARALLEL_MIN_POINTS_PER_WORKER * 2
+        assert resolve_parallel("auto", points) <= 2
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_parallel(None, 10_000) == 0
+        assert resolve_parallel(0, 10_000) == 0
+        assert resolve_parallel(3, 4) == 3
+
+    def test_rejects_unknown_strings(self):
+        with pytest.raises(ParameterError):
+            resolve_parallel("fast", 100)
+
+    def test_auto_sweep_matches_serial(self):
+        assert run_sweep("auto") == run_sweep(None)
 
 
 class TestFigureParallelKnob:

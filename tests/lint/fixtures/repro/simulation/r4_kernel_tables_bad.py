@@ -1,0 +1,21 @@
+"""R4 true-positive fixture: aliasing a kernel's shared cost tables.
+
+The dynamic kernel precomputes per-(client, custodian) cost tables once
+and reuses them for every batch of a run; a helper that scribbles into
+the table it was handed corrupts every later batch through the alias.
+"""
+
+import numpy as np
+
+
+def discount_warmup(cost_table: np.ndarray, counted_from: int) -> np.ndarray:
+    """Zero the warmup rows of the *shared* table instead of a copy."""
+    cost_table[:counted_from] = 0.0
+    return cost_table
+
+
+def accumulate(totals: np.ndarray, batch_costs: np.ndarray) -> np.ndarray:
+    """Write batch sums into the caller's totals buffer via the alias."""
+    np.add(totals, batch_costs.sum(axis=0), out=totals)
+    totals += 1
+    return totals

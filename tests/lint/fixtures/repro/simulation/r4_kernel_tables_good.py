@@ -1,0 +1,30 @@
+"""R4 false-positive fixture: kernel tables gathered, never written.
+
+Mirrors the real contract of the dynamic kernel's cost tables: the
+kernel owns the tables (mutating own attributes is not aliasing) and
+per-batch consumers only gather from them, producing fresh arrays.
+"""
+
+import numpy as np
+
+
+class Kernel:
+    """Owns its cost tables; writes to own state are not aliasing."""
+
+    def __init__(self, n: int) -> None:
+        self._cost_table = np.zeros((n, 2))
+
+    def aggregate(self, key: np.ndarray) -> np.ndarray:
+        """Pure gather: the table is read, the result is a fresh array."""
+        return self._cost_table[key].sum(axis=0)
+
+    def reset(self) -> None:
+        """Clearing an attribute the kernel owns is fine."""
+        self._cost_table[:] = 0.0
+
+
+def discount_warmup(cost_table: np.ndarray, counted_from: int) -> np.ndarray:
+    """Work on a copy of the shared table."""
+    discounted = cost_table.copy()
+    discounted[:counted_from] = 0.0
+    return discounted

@@ -24,6 +24,12 @@ CASES = [
     ("R2", "core/r2_bad.py", "core/r2_good.py", 3),
     ("R3", "core/r3_bad.py", "core/r3_good.py", 5),
     ("R4", "simulation/r4_bad.py", "simulation/r4_good.py", 4),
+    (
+        "R4",
+        "simulation/r4_kernel_tables_bad.py",
+        "simulation/r4_kernel_tables_good.py",
+        3,
+    ),
     ("R5", "core/r5_bad.py", "core/r5_good.py", 3),
     ("R6", "simulation/r6_bad.py", "simulation/r6_good.py", 4),
 ]

@@ -1,0 +1,252 @@
+"""Replacement-policy edge cases the batched kernel must mirror exactly.
+
+Four corners the main equivalence matrix can sweep past without
+stressing: fully coordinated provisioning (capacity-0 local
+partitions), requests whose first-hop router *is* the custodian,
+Perfect-LFU's never-displace-hotter rule under frequency ties, and the
+random policy's generator stream staying aligned between the scalar
+and batched paths.  Plus failure injection on a dynamic fleet, which
+must restart stores empty on fresh streams and invalidate the kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.popularity import ZipfModel
+from repro.catalog.workload import IRMWorkload, Request, TraceWorkload
+from repro.errors import SimulationError
+from repro.simulation.cache import PerfectLFUCache
+from repro.simulation.failures import fail_stores
+from repro.simulation.simulator import DynamicSimulator
+from repro.topology import ring_topology
+
+POLICIES = ("lru", "lfu", "perfect-lfu", "fifo", "random")
+
+
+def make_simulator(topology, policy, *, capacity=8, level=0.5, seed=42):
+    return DynamicSimulator(
+        topology,
+        capacity=capacity,
+        policy=policy,
+        coordination_level=level,
+        seed=seed,
+    )
+
+
+def store_counters(simulator):
+    counters = {}
+    for node, router in simulator.fleet.items():
+        coordinated = router.coordinated_store
+        counters[node] = (
+            router.local_store.hits,
+            router.local_store.misses,
+            coordinated.hits if coordinated is not None else None,
+            coordinated.misses if coordinated is not None else None,
+        )
+    return counters
+
+
+class TestCapacityZeroLocalPartition:
+    """``level=1.0``: every local store has zero slots but still counts."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_local_stores_stay_empty_but_count_misses(self, policy):
+        topology = ring_topology(5, link_latency_ms=2.0)
+        batched_sim = make_simulator(topology, policy, level=1.0)
+        scalar_sim = make_simulator(topology, policy, level=1.0)
+        workload = lambda: IRMWorkload(
+            ZipfModel(0.9, 300), topology.nodes, seed=9
+        )
+
+        batched = batched_sim.run(workload(), 2500)
+        scalar = scalar_sim.run_scalar(workload(), 2500)
+
+        assert batched == scalar
+        assert store_counters(batched_sim) == store_counters(scalar_sim)
+        for simulator in (batched_sim, scalar_sim):
+            for router in simulator.fleet.values():
+                assert router.local_store.contents == frozenset()
+                assert router.local_store.hits == 0
+                assert router.local_store.misses > 0
+
+    def test_zero_capacity_admit_is_a_full_noop(self):
+        # CachePolicy.admit returns before any bookkeeping at capacity
+        # 0; a Perfect-LFU store must not even count the frequency.
+        store = PerfectLFUCache(0)
+        assert store.admit(3) is None
+        assert store._global_frequency == {}
+        assert store._clock == 0
+
+
+class TestCustodianSelfRequests:
+    """Requests whose client is the rank's custodian (code-4 flow)."""
+
+    def test_custodian_self_miss_pays_origin_not_peer(self):
+        topology = ring_topology(4, link_latency_ms=2.0)
+        n = topology.n_routers
+        client = topology.nodes[1]
+        # rank % n == 1 makes ``client`` its own custodian.
+        trace = [Request(client, 1 + n * i) for i in range(6)]
+        assert all(r.rank % n == 1 for r in trace)
+
+        batched_sim = make_simulator(topology, "lru", level=1.0)
+        scalar_sim = make_simulator(topology, "lru", level=1.0)
+        batched = batched_sim.run(TraceWorkload(trace * 2), len(trace) * 2)
+        scalar = scalar_sim.run_scalar(
+            TraceWorkload(trace * 2), len(trace) * 2
+        )
+
+        assert batched == scalar
+        # First pass over 6 distinct ranks misses at the custodian
+        # itself: the origin serves them (no peer leg exists).
+        assert batched.peer_hits == 0
+        assert batched.origin_hits == 6
+        # Second pass hits the client's own coordinated partition:
+        # LOCAL-tier hits that never touch another router.
+        assert batched.local_hits == 6
+        assert batched.served_by == {}
+        assert store_counters(batched_sim) == store_counters(scalar_sim)
+
+    def test_own_coordinated_hit_does_not_admit_locally(self):
+        topology = ring_topology(4, link_latency_ms=2.0)
+        client = topology.nodes[1]
+        rank = 1 + topology.n_routers  # custodian == client
+        # capacity=8, level=0.5: 4 local + 4 coordinated slots.  The
+        # first request admits ``rank`` to both partitions; the four
+        # fillers (custodians elsewhere) then evict it from the local
+        # LRU, so the final request hits the client's own coordinated
+        # partition — and must NOT copy the rank back locally.
+        fillers = [2, 3, 4, 6]
+        assert all(f % topology.n_routers != 1 for f in fillers)
+        trace = (
+            [Request(client, rank)]
+            + [Request(client, f) for f in fillers]
+            + [Request(client, rank)]
+        )
+        simulator = make_simulator(topology, "lru", level=0.5)
+        metrics = simulator.run(TraceWorkload(trace), len(trace))
+        router = simulator.fleet[client]
+        assert rank in router.coordinated_store.contents
+        assert rank not in router.local_store.contents
+        assert router.local_store.contents == frozenset(fillers)
+        # The own-coordinated hit still serves at the LOCAL tier.
+        assert metrics.local_hits == 1
+
+
+class TestPerfectLFUNeverDisplacesHotter:
+    def test_tied_frequency_does_not_displace(self):
+        store = PerfectLFUCache(1)
+        store.admit(1)
+        assert store.contents == frozenset({1})
+        # Rank 2 arrives with global frequency 1 == rank 1's: the rule
+        # is strict (``<=`` keeps the incumbent), so nothing changes.
+        assert store.admit(2) is None
+        assert store.contents == frozenset({1})
+        # A second request for rank 2 makes it strictly hotter; now it
+        # displaces rank 1 (the returned victim).
+        assert store.admit(2) == 1
+        assert store.contents == frozenset({2})
+
+    def test_batched_matches_scalar_under_heavy_ties(self):
+        # A near-uniform workload over a small catalog produces constant
+        # frequency ties; victim selection must stay identical.
+        topology = ring_topology(4, link_latency_ms=2.0)
+        batched_sim = make_simulator(topology, "perfect-lfu", capacity=4)
+        scalar_sim = make_simulator(topology, "perfect-lfu", capacity=4)
+        workload = lambda: IRMWorkload(
+            ZipfModel(0.05, 40), topology.nodes, seed=13
+        )
+        batched = batched_sim.run(workload(), 3000)
+        scalar = scalar_sim.run_scalar(workload(), 3000)
+        assert batched == scalar
+        assert store_counters(batched_sim) == store_counters(scalar_sim)
+        for node in topology.nodes:
+            b, s = batched_sim.fleet[node], scalar_sim.fleet[node]
+            assert (
+                b.local_store._global_frequency
+                == s.local_store._global_frequency
+            )
+            assert b.local_store._clock == s.local_store._clock
+
+
+class TestRandomStreamEquivalence:
+    def test_generator_state_identical_after_batched_run(self):
+        # Same seed, same requests: after a batched run every random
+        # store's generator must sit at the same stream position as
+        # after the scalar run — the kernel consumed exactly the same
+        # draws in the same order.
+        topology = ring_topology(5, link_latency_ms=2.0)
+        batched_sim = make_simulator(topology, "random", seed=31)
+        scalar_sim = make_simulator(topology, "random", seed=31)
+        workload = lambda: IRMWorkload(
+            ZipfModel(0.8, 200), topology.nodes, seed=4
+        )
+        assert batched_sim.run(workload(), 3000) == scalar_sim.run_scalar(
+            workload(), 3000
+        )
+        for node in topology.nodes:
+            b, s = batched_sim.fleet[node], scalar_sim.fleet[node]
+            for tag in ("local_store", "coordinated_store"):
+                b_store, s_store = getattr(b, tag), getattr(s, tag)
+                assert (
+                    b_store._rng.bit_generator.state
+                    == s_store._rng.bit_generator.state
+                ), (node, tag)
+                assert b_store._items == s_store._items
+
+
+class TestDynamicFailureInjection:
+    def run_pair(self, fail_at, policy="lru"):
+        topology = ring_topology(5, link_latency_ms=2.0)
+        failed = topology.nodes[:2]
+        workload = lambda seed: IRMWorkload(
+            ZipfModel(0.9, 300), topology.nodes, seed=seed
+        )
+        sims = []
+        for scalar in (False, True):
+            simulator = make_simulator(topology, policy, seed=17)
+            runner = simulator.run_scalar if scalar else simulator.run
+            runner(workload(1), fail_at)
+            fail_stores(simulator, failed)
+            runner(workload(2), 2000)
+            sims.append(simulator)
+        return sims, failed
+
+    def test_failed_stores_restart_empty_on_fresh_streams(self):
+        topology = ring_topology(5, link_latency_ms=2.0)
+        simulator = make_simulator(topology, "random", seed=5)
+        node = topology.nodes[0]
+        before = simulator.fleet[node]
+        workload = IRMWorkload(ZipfModel(0.9, 300), topology.nodes, seed=1)
+        simulator.run(workload, 1500)
+        assert before.local_store.contents  # warmed up
+
+        fail_stores(simulator, [node])
+        after = simulator.fleet[node]
+        assert after is not before
+        assert after.local_store.contents == frozenset()
+        assert after.coordinated_store.contents == frozenset()
+        # The restarted store must not replay its predecessor's draws.
+        assert (
+            after.local_store._rng.bit_generator.state
+            != before.local_store._rng.bit_generator.state
+        )
+        assert simulator._kernel is None
+
+    @pytest.mark.parametrize("policy", ["lru", "random"])
+    def test_batched_and_scalar_agree_across_failure(self, policy):
+        (batched_sim, scalar_sim), failed = self.run_pair(1500, policy)
+        assert store_counters(batched_sim) == store_counters(scalar_sim)
+        for node in failed:
+            b, s = batched_sim.fleet[node], scalar_sim.fleet[node]
+            assert b.local_store.contents == s.local_store.contents
+            assert (
+                b.coordinated_store.contents == s.coordinated_store.contents
+            )
+
+    def test_unknown_router_rejected(self):
+        topology = ring_topology(4, link_latency_ms=2.0)
+        simulator = make_simulator(topology, "lru")
+        with pytest.raises(SimulationError):
+            fail_stores(simulator, ["nowhere"])
