@@ -35,7 +35,8 @@ from repro.obs import machine_provenance, session as obs_session  # noqa: E402
 #: requests-per-second figure.  ``dynamic_lru``'s primary ``rps`` is
 #: kernel-only from this PR on; older baselines recorded wall rps under
 #: the same key, which only makes the gate stricter for one transition.
-GUARDED_CASES = ("steady_state_batched", "dynamic_lru")
+#: ``solver_batch`` gates the batched analytical solver's points/s.
+GUARDED_CASES = ("steady_state_batched", "dynamic_lru", "solver_batch")
 
 #: Provenance fields that must match for numbers to be comparable.
 FINGERPRINT_FIELDS = (
@@ -77,16 +78,21 @@ def measure(case: str, baseline_case: dict) -> dict:
     Best-of-three on both cases: a throughput gate must not flap on
     scheduler noise, and only a *sustained* drop is a regression.
     """
-    from run_bench import _bench_dynamic, _bench_steady
+    from run_bench import _bench_dynamic, _bench_solver_batch, _bench_steady
 
-    requests = int(baseline_case["requests"])
     if case == "steady_state_batched":
+        requests = int(baseline_case["requests"])
         return max(
             (_bench_steady(requests, batched=True) for _ in range(3)),
             key=lambda result: result["rps"],
         )
     if case == "dynamic_lru":
-        return _bench_dynamic(requests, repeats=3)
+        return _bench_dynamic(int(baseline_case["requests"]), repeats=3)
+    if case == "solver_batch":
+        # Full-size grid iff the baseline recorded the full 10k points.
+        return _bench_solver_batch(
+            quick=int(baseline_case.get("points", 0)) < 10_000, repeats=3
+        )
     raise ValueError(f"unknown guarded case {case!r}")
 
 

@@ -34,6 +34,8 @@ from repro.analysis.sweep import sweep  # noqa: E402
 from repro.catalog import IRMWorkload, ZipfModel  # noqa: E402
 from repro.core import ProvisioningStrategy, ZipfPopularity  # noqa: E402
 from repro.core import clear_zipf_caches, zipf_table_stats  # noqa: E402
+from repro.core.batch_solver import ScenarioGrid, solve_batch  # noqa: E402
+from repro.core.optimizer import optimal_strategy  # noqa: E402
 from repro.obs import (  # noqa: E402
     get_session,
     machine_provenance,
@@ -181,6 +183,93 @@ def _bench_sweep(parallel: int | str | None) -> dict:
     }
 
 
+def _solver_grid(quick: bool) -> ScenarioGrid:
+    """The eq. 5 scenario grid both solver benches share.
+
+    Full mode: 25 α × 20 s × 20 γ = 10,000 points around the Table IV
+    base (the batched-solver acceptance grid); quick mode shrinks each
+    axis for CI smoke runs.
+    """
+    n_alpha, n_s, n_gamma = (8, 5, 5) if quick else (25, 20, 20)
+    alphas = [round(0.02 + 0.98 * i / (n_alpha - 1), 6) for i in range(n_alpha)]
+    exponents = [
+        round(0.5 + 1.4 * i / (n_s - 1), 6) for i in range(n_s)
+    ]
+    # Keep the grid off the s = 1 singularity (existence excludes it).
+    exponents = [s if abs(s - 1.0) > 0.01 else 1.02 for s in exponents]
+    gammas = [round(1.0 + 11.0 * i / (n_gamma - 1), 6) for i in range(n_gamma)]
+    return ScenarioGrid.from_product(
+        BASE_SCENARIO, alpha=alphas, exponent=exponents, gamma=gammas
+    )
+
+
+def _bench_solver_batch(quick: bool, *, repeats: int = 3) -> dict:
+    """Batched eq. 7/first-order solve over the whole grid, best-of-N."""
+    grid = _solver_grid(quick)
+    best = None
+    iterations = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        strategy = solve_batch(grid, check_conditions=False)
+        elapsed = time.perf_counter() - start
+        iterations = strategy.iterations
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "points": len(grid),
+        "repeats": repeats,
+        "bisection_iterations": iterations,
+        "seconds": round(best, 4),
+        "rps": round(len(grid) / best, 1),
+    }
+
+
+def _bench_solver_scalar(quick: bool, *, limit: int | None = None) -> dict:
+    """Per-point scalar oracle over (a subset of) the same grid.
+
+    The scalar path costs ~1 ms/point, so the full 10k-point grid takes
+    ~10 s — acceptable once per BENCH run; ``limit`` caps it for the
+    quick mode.  Throughput extrapolates linearly (points are
+    independent), so the subset rps is comparable.
+    """
+    grid = _solver_grid(quick)
+    count = len(grid) if limit is None else min(limit, len(grid))
+    scenarios = [grid.scenario_at(i) for i in range(count)]
+    start = time.perf_counter()
+    for scenario in scenarios:
+        optimal_strategy(scenario.model(), check_conditions=False)
+    elapsed = time.perf_counter() - start
+    return {
+        "points": count,
+        "grid_points": len(grid),
+        "seconds": round(elapsed, 4),
+        "rps": round(count / elapsed, 1),
+    }
+
+
+def _bench_sweep_dense(quick: bool) -> dict:
+    """A dense figure-style sweep through the batched dispatch path."""
+    n_alpha = 20 if quick else 80
+    alphas = [round(0.01 + 0.98 * i / (n_alpha - 1), 6) for i in range(n_alpha)]
+    start = time.perf_counter()
+    series = sweep(
+        BASE_SCENARIO,
+        x_field="alpha",
+        x_values=alphas,
+        quantity="level",
+        curve_field="gamma",
+        curve_values=(1.0, 2.0, 5.0, 10.0, 12.0),
+        parallel="auto",
+    )
+    elapsed = time.perf_counter() - start
+    points = sum(len(s.x) for s in series)
+    return {
+        "grid_points": points,
+        "parallel": "auto",
+        "wall_s": round(elapsed, 4),
+        "rps": round(points / elapsed, 1),
+    }
+
+
 def _bench_zipf_tables(catalog_size: int) -> dict:
     """Cold table build vs memoized rebuild for ``ZipfPopularity``."""
     import numpy as np
@@ -227,7 +316,15 @@ def run(quick: bool) -> dict:
         ),
         "sweep_serial": _bench_sweep(None),
         "sweep_auto": _bench_sweep("auto"),
+        "sweep_dense": _bench_sweep_dense(quick),
+        "solver_batch": _bench_solver_batch(quick),
+        "solver_scalar": _bench_solver_scalar(
+            quick, limit=200 if quick else None
+        ),
     }
+    results["solver_batch"]["speedup_vs_scalar"] = round(
+        results["solver_batch"]["rps"] / results["solver_scalar"]["rps"], 1
+    )
     if not quick:
         results["dynamic_lfu"] = _bench_dynamic(dynamic_requests, policy="lfu")
         results["dynamic_perfect_lfu"] = _bench_dynamic(

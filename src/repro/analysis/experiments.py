@@ -10,7 +10,7 @@ rows/series; EXPERIMENTS.md records paper-vs-measured values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
 from ..catalog.popularity import ZipfModel
 from ..catalog.workload import IRMWorkload, SequenceWorkload
@@ -245,7 +245,7 @@ def table4_settings() -> TableData:
 
 def figure4_level_vs_alpha(
     *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 4: optimal level ℓ* versus trade-off weight α, per γ."""
     series = sweep(
@@ -272,7 +272,7 @@ def figure5_level_vs_exponent(
     *,
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 5: optimal level ℓ* versus Zipf exponent s, per α."""
     series = sweep(
@@ -299,7 +299,7 @@ def figure6_level_vs_routers(
     *,
     router_counts: Sequence[int] = ROUTER_COUNT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 6: optimal level ℓ* versus network size n, per α."""
     series = sweep(
@@ -326,7 +326,7 @@ def figure7_level_vs_unit_cost(
     *,
     unit_costs: Sequence[float] = UNIT_COST_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 7: optimal level ℓ* versus unit coordination cost w, per α."""
     series = sweep(
@@ -356,7 +356,7 @@ def figure7_level_vs_unit_cost(
 
 def figure8_origin_gain_vs_alpha(
     *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 8: origin load reduction G_O versus α, per γ."""
     series = sweep(
@@ -383,7 +383,7 @@ def figure9_origin_gain_vs_exponent(
     *,
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 9: origin load reduction G_O versus Zipf exponent s, per α."""
     series = sweep(
@@ -410,7 +410,7 @@ def figure10_origin_gain_vs_routers(
     *,
     router_counts: Sequence[int] = ROUTER_COUNT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 10: origin load reduction G_O versus network size n, per α."""
     series = sweep(
@@ -437,7 +437,7 @@ def figure11_origin_gain_vs_unit_cost(
     *,
     unit_costs: Sequence[float] = UNIT_COST_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 11: origin load reduction G_O versus unit cost w, per α."""
     series = sweep(
@@ -467,7 +467,7 @@ def figure11_origin_gain_vs_unit_cost(
 
 def figure12_routing_gain_vs_alpha(
     *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 12: routing performance improvement G_R versus α, per γ."""
     series = sweep(
@@ -494,7 +494,7 @@ def figure13_routing_gain_vs_exponent(
     *,
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
-    parallel: Optional[int] = None,
+    parallel: Union[int, str, None] = "auto",
 ) -> FigureData:
     """Figure 13: routing performance improvement G_R versus s, per α."""
     series = sweep(

@@ -16,7 +16,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.optimizer import optimal_strategy
+from ..core.batch_solver import (
+    ScenarioGrid,
+    coordination_cost_batch,
+    mean_latency_batch,
+    solve_batch,
+)
 from ..core.scenario import Scenario
 from ..errors import ParameterError
 
@@ -55,24 +60,26 @@ def pareto_frontier(
 
     Points are returned in ``α`` order; by convexity (Lemma 1) latency
     is non-increasing and cost non-decreasing along the sweep, which
-    the tests assert.
+    the tests assert.  The whole sweep is one batched eq. 5 solve
+    (:func:`~repro.core.batch_solver.solve_batch`) over an α column.
     """
     if not alphas:
         raise ParameterError("need at least one alpha")
-    points = []
-    for alpha in alphas:
-        spec = scenario.replace(alpha=float(alpha))
-        model = spec.model()
-        strategy = optimal_strategy(model, check_conditions=False)
-        points.append(
-            ParetoPoint(
-                alpha=float(alpha),
-                level=strategy.level,
-                latency=float(model.performance.mean_latency(strategy.storage)),
-                cost=float(model.cost.cost(strategy.storage, spec.n_routers)),
-            )
+    grid = ScenarioGrid.from_product(
+        scenario, alpha=[float(alpha) for alpha in alphas]
+    )
+    strategy = solve_batch(grid, check_conditions=False)
+    latencies = mean_latency_batch(grid, strategy.storage)
+    costs = coordination_cost_batch(grid, strategy.storage)
+    return tuple(
+        ParetoPoint(
+            alpha=float(alpha),
+            level=float(strategy.level[i]),
+            latency=float(latencies[i]),
+            cost=float(costs[i]),
         )
-    return tuple(points)
+        for i, alpha in enumerate(alphas)
+    )
 
 
 def knee_point(points: Sequence[ParetoPoint]) -> ParetoPoint:

@@ -21,6 +21,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..core.batch_solver import ScenarioGrid, solve_batch
 from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..errors import ParameterError
@@ -42,15 +43,10 @@ def _solve_level(scenario: Scenario) -> float:
     return optimal_strategy(scenario.model(), check_conditions=False).level
 
 
-def level_sensitivity(
-    scenario: Scenario, field: str, *, relative_step: float = 1e-4
-) -> float:
-    """Central finite-difference ``dℓ*/dθ`` for one scenario field.
-
-    Integer-valued fields (``n_routers``, ``catalog_size``) change the
-    problem discretely and are rejected; perturb them explicitly
-    instead.
-    """
+def _perturbation_bounds(
+    scenario: Scenario, field: str, relative_step: float
+) -> tuple[float, float]:
+    """Admissible ``(lo, hi)`` perturbation of one field (§V-B probes)."""
     if field not in _NUMERIC_FIELDS:
         raise ParameterError(
             f"cannot differentiate against {field!r}; choose one of "
@@ -69,6 +65,19 @@ def level_sensitivity(
         raise ParameterError(
             f"field {field!r} has no room to perturb around {value}"
         )
+    return lo_value, hi_value
+
+
+def level_sensitivity(
+    scenario: Scenario, field: str, *, relative_step: float = 1e-4
+) -> float:
+    """Central finite-difference ``dℓ*/dθ`` for one scenario field.
+
+    Integer-valued fields (``n_routers``, ``catalog_size``) change the
+    problem discretely and are rejected; perturb them explicitly
+    instead.
+    """
+    lo_value, hi_value = _perturbation_bounds(scenario, field, relative_step)
     lo = _solve_level(scenario.replace(**{field: lo_value}))
     hi = _solve_level(scenario.replace(**{field: hi_value}))
     return (hi - lo) / (hi_value - lo_value)
@@ -122,9 +131,9 @@ def sensitive_range(
     if grid_size < 10:
         raise ParameterError(f"grid too coarse: {grid_size}")
     alphas = np.linspace(0.005, 1.0, grid_size)
-    levels = np.array(
-        [_solve_level(scenario.replace(alpha=float(a))) for a in alphas]
-    )
+    # The whole fine α-grid is one batched eq. 5 solve.
+    grid = ScenarioGrid.from_product(scenario, alpha=alphas)
+    levels = np.array(solve_batch(grid, check_conditions=False).level)
     swing = levels[-1] - levels[0]
     if swing <= 1e-6:
         raise ParameterError(
@@ -145,8 +154,29 @@ def sensitive_range(
     )
 
 
-def sensitivity_profile(scenario: Scenario) -> Mapping[str, float]:
-    """All first-order sensitivities ``dℓ*/dθ`` at one parameter point."""
+def sensitivity_profile(
+    scenario: Scenario, *, relative_step: float = 1e-4
+) -> Mapping[str, float]:
+    """All first-order sensitivities ``dℓ*/dθ`` at one parameter point.
+
+    Same central differences as :func:`level_sensitivity` (§V-B), but
+    all 2·|fields| perturbed scenarios are solved in a single batched
+    eq. 5 pass instead of field-by-field scalar solves.
+    """
+    bounds = {
+        field: _perturbation_bounds(scenario, field, relative_step)
+        for field in _NUMERIC_FIELDS
+    }
+    probes = [
+        scenario.replace(**{field: bound})
+        for field, (lo_value, hi_value) in bounds.items()
+        for bound in (lo_value, hi_value)
+    ]
+    levels = solve_batch(
+        ScenarioGrid.from_scenarios(probes), check_conditions=False
+    ).level
     return {
-        field: level_sensitivity(scenario, field) for field in _NUMERIC_FIELDS
+        field: (float(levels[2 * i + 1]) - float(levels[2 * i]))
+        / (hi_value - lo_value)
+        for i, (field, (lo_value, hi_value)) in enumerate(bounds.items())
     }

@@ -74,6 +74,18 @@ class PopularityModel(abc.ABC):
         _, cdf_table = self._tables()
         return float(cdf_table[min(k, self.catalog_size) - 1])
 
+    def cdf_batch(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cdf`: one table gather for a rank column.
+
+        Element ``i`` equals ``cdf(int(ks[i]))`` exactly (ranks ``<= 0``
+        get mass 0, ranks beyond the catalog clip to ``N``); used by the
+        batched robustness scans instead of per-rank Python calls.
+        """
+        _, cdf_table = self._tables()
+        ks = np.asarray(ks, dtype=np.int64)
+        clipped = np.clip(ks, 1, self.catalog_size)
+        return np.where(ks <= 0, 0.0, cdf_table[clipped - 1])
+
     def sample(self, size: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Draw ``size`` i.i.d. ranks by inverse-transform sampling."""
         if size < 0:

@@ -6,6 +6,19 @@ the optimal provisioning strategy (eqs. 7–8, Lemmas 1–2, Theorems 1–2)
 and the resulting performance gains (§IV-E).
 """
 
+from .batch_solver import (
+    BatchGains,
+    BatchStrategy,
+    ScenarioGrid,
+    closed_form_alpha1_batch,
+    coordination_cost_batch,
+    evaluate_gains_batch,
+    existence_mask,
+    lemma2_coefficients_batch,
+    mean_latency_batch,
+    solve_batch,
+    solve_lemma2_batch,
+)
 from .conditions import ExistenceConditions, check_existence
 from .cost import CoordinationCostModel, PiecewiseLinearCostModel
 from .gains import (
@@ -14,8 +27,8 @@ from .gains import (
     origin_load_reduction,
     routing_improvement,
 )
-from .latency import LatencyModel
-from .objective import PerformanceCostModel
+from .latency import LatencyModel, tier_latencies_from_gamma
+from .objective import PerformanceCostModel, combine_objective
 from .optimizer import (
     Lemma2Coefficients,
     OptimalStrategy,
@@ -41,7 +54,9 @@ from .zipf import (
     ZipfPopularity,
     clear_zipf_caches,
     continuous_cdf,
+    continuous_cdf_columns,
     continuous_cdf_limit,
+    continuous_normalizer_columns,
     continuous_pdf,
     harmonic_number,
     harmonic_numbers,
@@ -54,6 +69,8 @@ from .zipf import (
 )
 
 __all__ = [
+    "BatchGains",
+    "BatchStrategy",
     "CoordinationCostModel",
     "ExistenceConditions",
     "LatencyModel",
@@ -65,18 +82,28 @@ __all__ = [
     "ProvisioningStrategy",
     "RoutingPerformanceModel",
     "Scenario",
+    "ScenarioGrid",
     "ZipfPopularity",
     "check_existence",
     "clear_zipf_caches",
     "closed_form_alpha1",
+    "closed_form_alpha1_batch",
+    "combine_objective",
     "continuous_cdf",
+    "continuous_cdf_columns",
     "continuous_cdf_limit",
+    "continuous_normalizer_columns",
     "continuous_pdf",
+    "coordination_cost_batch",
     "evaluate_gains",
+    "evaluate_gains_batch",
+    "existence_mask",
     "harmonic_number",
     "harmonic_numbers",
     "inverse_continuous_cdf",
     "lemma2_coefficients",
+    "lemma2_coefficients_batch",
+    "mean_latency_batch",
     "minimize_objective",
     "optimal_strategy",
     "origin_load_reduction",
@@ -87,9 +114,12 @@ __all__ = [
     "require_positive",
     "require_probability",
     "routing_improvement",
+    "solve_batch",
     "solve_first_order",
     "solve_lemma2",
+    "solve_lemma2_batch",
     "tier_fractions",
+    "tier_latencies_from_gamma",
     "top_k_mass",
     "validate_exponent",
     "zipf_cdf",

@@ -1,0 +1,908 @@
+"""Vectorized batch solver for the optimal strategy (paper §IV, eqs. 5–8).
+
+Every figure, sweep and sensitivity scan of the paper evaluates the same
+optimum at many parameter points.  The scalar solvers in
+:mod:`repro.core.optimizer` bisect one instance at a time (~40 Python
+iterations each); this module holds a *structure-of-arrays* scenario
+grid (:class:`ScenarioGrid`, one numpy column per Table IV parameter)
+and bisects **all** points simultaneously: the Lemma 2 residual
+``a·ℓ^{-s} − (1−ℓ)^{-s} − b`` (eq. 7) and the exact first-order
+condition (Appendix A, eq. 10) are evaluated as array expressions, so a
+whole grid converges in ~40 vectorized iterations instead of
+``40·|grid|`` scalar objective calls.
+
+Equivalence contract (mirrors the PR 2/4 simulation kernels):
+
+- the scalar :func:`~repro.core.optimizer.optimal_strategy` remains the
+  oracle; with ``warm_start=False`` the batched first-order path
+  performs the *same* float64 operations in the same order per point
+  and is bit-identical to it;
+- with Theorem 2 closed-form warm starts (``α ≈ 1``) the bracket is
+  pre-shrunk, so results agree with the oracle to within the solver
+  tolerance: ≤1e-9 in level, ≤1e-9·max(1, c) in storage, ≤1e-9 in
+  objective and gains (tests enforce exactly this);
+- per-point boundary masks reproduce ``optimal_strategy``'s ``α = 0``
+  shortcut and clip-at-``c`` handling exactly, and
+  :func:`existence_mask` reproduces Lemma 1's conditions per point.
+
+All derived coefficient columns are memoized on the grid and served as
+*read-only* arrays (like the eq. 1 tables in :mod:`repro.core.zipf`), so
+an aliasing caller can never corrupt a cached coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import (
+    ConvergenceError,
+    ExistenceConditionError,
+    ParameterError,
+    SingularExponentError,
+)
+from ..obs import get_session
+from .conditions import MIN_LARGE_CATALOG, check_existence
+from .gains import PerformanceGains
+from .latency import tier_latencies_from_gamma
+from .objective import combine_objective
+from .optimizer import LEVEL_TOLERANCE, MAX_BISECTION_ITERATIONS, OptimalStrategy
+from .scenario import BALANCED_COST_SCALE, Scenario
+from .validation import SINGULARITY_TOLERANCE
+from .zipf import continuous_cdf_columns, continuous_normalizer_columns
+
+__all__ = [
+    "ScenarioGrid",
+    "BatchStrategy",
+    "BatchGains",
+    "WARM_START_MIN_ALPHA",
+    "solve_batch",
+    "evaluate_gains_batch",
+    "existence_mask",
+    "lemma2_coefficients_batch",
+    "solve_lemma2_batch",
+    "closed_form_alpha1_batch",
+    "mean_latency_batch",
+    "coordination_cost_batch",
+]
+
+#: Minimum per-point ``α`` at which Theorem 2's closed form is a useful
+#: bracket predictor: the closed form drops the ``(1-α)`` cost term, so
+#: it only localizes the root when the objective is latency-dominated.
+WARM_START_MIN_ALPHA = 0.9
+
+_METHODS = ("auto", "lemma2", "first-order", "scalar-min", "closed-form")
+
+
+def _column(value: object, dtype=np.float64) -> np.ndarray:
+    return np.asarray(value, dtype=dtype)
+
+
+class ScenarioGrid:
+    """Structure-of-arrays grid of model parameter points (paper Table IV).
+
+    One read-only float64 column per :class:`~repro.core.scenario.Scenario`
+    field; scalar inputs broadcast against array inputs, so
+    ``ScenarioGrid(alpha=np.linspace(0, 1, 101))`` is a 101-point α-sweep
+    at the Table IV base setting.  Columns are validated with the same
+    domain rules the scalar model stack enforces at construction (α a
+    probability, γ > 0, s ∈ (0, 2) — the s = 1 eq. 6 singularity is
+    representable here, like in ``ZipfPopularity``, and handled by the
+    per-point limit branch — n ≥ 1 integral, N > 1, 0 < c ≤ N).
+
+    Derived coefficient columns (latency tiers d0/d1/d2, the eq. 6
+    normalizer, scaled costs) are computed once, memoized, and served
+    as read-only arrays via :meth:`derived`.
+    """
+
+    _COLUMNS = (
+        "alpha",
+        "gamma",
+        "exponent",
+        "n_routers",
+        "catalog_size",
+        "capacity",
+        "unit_cost",
+        "peer_delta",
+        "access_latency",
+        "fixed_cost",
+        "cost_scale",
+    )
+
+    def __init__(
+        self,
+        *,
+        alpha: object = 0.5,
+        gamma: object = 5.0,
+        exponent: object = 0.8,
+        n_routers: object = 20,
+        catalog_size: object = 10**6,
+        capacity: object = 10**3,
+        unit_cost: object = 26.7,
+        peer_delta: object = 2.2842,
+        access_latency: object = 1.0,
+        fixed_cost: object = 0.0,
+        cost_scale: object = BALANCED_COST_SCALE,
+    ):
+        """Broadcast and validate the Table IV parameter columns.
+
+        Defaults are the paper's base setting, matching
+        :class:`~repro.core.scenario.Scenario` (Table IV rows for
+        Figures 4/8/12).
+        """
+        raw = (
+            alpha,
+            gamma,
+            exponent,
+            n_routers,
+            catalog_size,
+            capacity,
+            unit_cost,
+            peer_delta,
+            access_latency,
+            fixed_cost,
+            cost_scale,
+        )
+        try:
+            arrays = np.broadcast_arrays(*(_column(v) for v in raw))
+        except ValueError as exc:
+            raise ParameterError(
+                f"scenario grid columns have incompatible shapes: {exc}"
+            ) from exc
+        columns = {}
+        for name, arr in zip(self._COLUMNS, arrays):
+            col = np.ascontiguousarray(np.atleast_1d(arr), dtype=np.float64)
+            if col.ndim != 1:
+                col = col.ravel()
+            columns[name] = col
+        # Rebind the parameters to their broadcast columns so every
+        # guard below tests the name it validates (R3 contract).
+        alpha = columns["alpha"]
+        gamma = columns["gamma"]
+        exponent = columns["exponent"]
+        n_c = columns["n_routers"]
+        catalog_c = columns["catalog_size"]
+        capacity = columns["capacity"]
+        unit_cost_c = columns["unit_cost"]
+        peer_delta_c = columns["peer_delta"]
+        access_c = columns["access_latency"]
+        fixed_c = columns["fixed_cost"]
+        scale_c = columns["cost_scale"]
+        if alpha.size == 0:
+            raise ParameterError("scenario grid must contain at least one point")
+        if np.any(~np.isfinite(alpha)) or np.any((alpha < 0.0) | (alpha > 1.0)):
+            raise ParameterError("alpha column must lie in [0, 1]")
+        if np.any(~np.isfinite(gamma)) or np.any(gamma <= 0.0):
+            raise ParameterError("gamma column must be positive and finite")
+        if np.any(~np.isfinite(exponent)) or np.any(
+            (exponent <= 0.0) | (exponent >= 2.0)
+        ):
+            raise ParameterError(
+                "exponent column must lie in (0, 2) (paper eq. 6 domain; "
+                "s = 1 is representable and takes the limit branch)"
+            )
+        if np.any(~np.isfinite(n_c)) or np.any(n_c < 1.0) or np.any(n_c != np.floor(n_c)):
+            raise ParameterError("n_routers column must be a positive integer")
+        if (
+            np.any(~np.isfinite(catalog_c))
+            or np.any(catalog_c <= 1.0)
+            or np.any(catalog_c != np.floor(catalog_c))
+        ):
+            raise ParameterError("catalog_size column must be an integer > 1")
+        if np.any(~np.isfinite(capacity)) or np.any(capacity <= 0.0):
+            raise ParameterError("capacity column must be positive and finite")
+        if np.any(capacity > catalog_c):
+            raise ParameterError(
+                "capacity column exceeds catalog_size at some grid point "
+                "(per-router c must satisfy c <= N, paper §III-B)"
+            )
+        if np.any(~np.isfinite(unit_cost_c)) or np.any(unit_cost_c <= 0.0):
+            raise ParameterError("unit_cost column must be positive and finite")
+        if np.any(~np.isfinite(peer_delta_c)) or np.any(peer_delta_c <= 0.0):
+            raise ParameterError("peer_delta column must be positive and finite")
+        if np.any(~np.isfinite(access_c)) or np.any(access_c <= 0.0):
+            raise ParameterError("access_latency column must be positive and finite")
+        if np.any(~np.isfinite(fixed_c)) or np.any(fixed_c < 0.0):
+            raise ParameterError("fixed_cost column must be non-negative and finite")
+        if np.any(~np.isfinite(scale_c)) or np.any(scale_c <= 0.0):
+            raise ParameterError("cost_scale column must be positive and finite")
+        for name, col in columns.items():
+            col.flags.writeable = False
+            setattr(self, name, col)
+        self._derived_cache: Optional[Mapping[str, np.ndarray]] = None
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def from_scenarios(cls, scenarios: Iterable[Scenario]) -> "ScenarioGrid":
+        """Columnize an iterable of scalar ``Scenario`` points (Table IV).
+
+        Point ``i`` of the grid is exactly ``scenarios[i]``; this is the
+        bridge the sweep engine uses to hand its per-point payloads to
+        the batched solver.
+        """
+        points = list(scenarios)
+        if not points:
+            raise ParameterError("from_scenarios needs at least one scenario")
+        return cls(
+            **{
+                name: np.array([getattr(p, name) for p in points], dtype=np.float64)
+                for name in cls._COLUMNS
+            }
+        )
+
+    @classmethod
+    def from_product(cls, base: Scenario, **axes: Sequence[float]) -> "ScenarioGrid":
+        """Dense cartesian product of parameter axes around ``base``.
+
+        The grid enumerates ``axes`` in C order (last axis fastest),
+        i.e. like nested loops in keyword order — the layout the paper's
+        dense (α, s, γ) evaluation grids use.  Non-swept columns are
+        filled from ``base`` (Table IV defaults).
+        """
+        if not axes:
+            raise ParameterError("from_product needs at least one axis")
+        unknown = sorted(set(axes) - set(cls._COLUMNS))
+        if unknown:
+            raise ParameterError(
+                f"unknown scenario field(s) {unknown}; expected among "
+                f"{list(cls._COLUMNS)}"
+            )
+        values = [np.atleast_1d(_column(v)) for v in axes.values()]
+        mesh = np.meshgrid(*values, indexing="ij")
+        columns = {name: grid.ravel() for name, grid in zip(axes, mesh)}
+        return cls(
+            **{
+                name: columns.get(name, getattr(base, name))
+                for name in cls._COLUMNS
+            }
+        )
+
+    # -- basic protocol -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of grid points (length of every column), cf. Table IV."""
+        return int(self.alpha.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"ScenarioGrid(size={self.size})"
+
+    def scenario_at(self, index: int) -> Scenario:
+        """The scalar ``Scenario`` of one grid point (Table IV row).
+
+        Round-trips exactly: solving ``scenario_at(i).model()`` with the
+        scalar oracle is the per-point reference for the batch result.
+        """
+        return Scenario(
+            alpha=float(self.alpha[index]),
+            gamma=float(self.gamma[index]),
+            exponent=float(self.exponent[index]),
+            n_routers=int(self.n_routers[index]),
+            catalog_size=int(self.catalog_size[index]),
+            capacity=float(self.capacity[index]),
+            unit_cost=float(self.unit_cost[index]),
+            peer_delta=float(self.peer_delta[index]),
+            access_latency=float(self.access_latency[index]),
+            fixed_cost=float(self.fixed_cost[index]),
+            cost_scale=float(self.cost_scale[index]),
+        )
+
+    def derived(self) -> Mapping[str, np.ndarray]:
+        """Memoized derived coefficient columns (eqs. 2, 3, 6).
+
+        Keys: ``d0``/``d1``/``d2`` (the tier latencies built exactly
+        like ``LatencyModel.from_gamma``), ``peer_delta``/``origin_delta``
+        (``d1-d0``, ``d2-d1``), ``singular`` (the |s-1| ≤ tol mask),
+        ``normalizer`` (the eq. 6 prefactor, with the s → 1 limit),
+        ``w_scaled``/``fixed_scaled`` (eq. 3 costs after ``cost_scale``)
+        and ``marginal_cost`` (``w·scale·n``).
+
+        The arrays are **read-only** and shared across calls — the same
+        contract as the memoized eq. 1 tables in :mod:`repro.core.zipf`;
+        callers needing a mutable array must copy.
+        """
+        if self._derived_cache is None:
+            d0, d1, d2 = tier_latencies_from_gamma(
+                self.gamma, self.access_latency, self.peer_delta
+            )
+            singular = np.abs(self.exponent - 1.0) <= SINGULARITY_TOLERANCE
+            normalizer = continuous_normalizer_columns(
+                self.exponent, self.catalog_size
+            )
+            w_scaled = self.unit_cost * self.cost_scale
+            fixed_scaled = self.fixed_cost * self.cost_scale
+            marginal_cost = w_scaled * self.n_routers
+            derived = {
+                "d0": d0,
+                "d1": d1,
+                "d2": d2,
+                "peer_delta": d1 - d0,
+                "origin_delta": d2 - d1,
+                "singular": singular,
+                "normalizer": normalizer,
+                "w_scaled": w_scaled,
+                "fixed_scaled": fixed_scaled,
+                "marginal_cost": marginal_cost,
+            }
+            for arr in derived.values():
+                arr.flags.writeable = False
+            self._derived_cache = derived
+        return self._derived_cache
+
+
+# -- vectorized model primitives (exact scalar-op-order replicas) -------
+
+
+def _cdf_columns(grid: ScenarioGrid, x: np.ndarray) -> np.ndarray:
+    return continuous_cdf_columns(x, grid.exponent, grid.catalog_size)
+
+
+def _mean_latency_columns(
+    grid: ScenarioGrid, derived: Mapping[str, np.ndarray], x: np.ndarray
+) -> np.ndarray:
+    # Tier boundaries exactly as tier_fractions: c-x and c-x+x·n.
+    f_local = _cdf_columns(grid, grid.capacity - x)
+    f_coord = _cdf_columns(grid, grid.capacity - x + x * grid.n_routers)
+    return (
+        f_local * derived["d0"]
+        + (f_coord - f_local) * derived["d1"]
+        + (1.0 - f_coord) * derived["d2"]
+    )
+
+
+def _cost_columns(
+    grid: ScenarioGrid, derived: Mapping[str, np.ndarray], x: np.ndarray
+) -> np.ndarray:
+    return derived["w_scaled"] * grid.n_routers * x + derived["fixed_scaled"]
+
+
+def _objective_columns(
+    grid: ScenarioGrid, derived: Mapping[str, np.ndarray], x: np.ndarray
+) -> np.ndarray:
+    t = _mean_latency_columns(grid, derived, x)
+    w = _cost_columns(grid, derived, x)
+    return combine_objective(grid.alpha, t, w)
+
+
+def _derivative_columns(
+    grid: ScenarioGrid, derived: Mapping[str, np.ndarray], x: np.ndarray
+) -> np.ndarray:
+    # Appendix A first derivative, same clamp and op order as
+    # RoutingPerformanceModel.derivative.
+    s = grid.exponent
+    local = np.clip(grid.capacity - x, 1e-12, None)
+    coordinated = grid.capacity + (grid.n_routers - 1.0) * x
+    t_prime = derived["normalizer"] * (
+        derived["peer_delta"] * local**-s
+        - derived["origin_delta"] * (grid.n_routers - 1.0) * coordinated**-s
+    )
+    return combine_objective(grid.alpha, t_prime, derived["marginal_cost"])
+
+
+def _closed_form_columns(grid: ScenarioGrid) -> np.ndarray:
+    # Theorem 2 closed form, unvalidated (warm-start probe only); nan
+    # at extreme (γ, s) underflow is harmless — nan probes never pass
+    # the bracket-validity comparison and are ignored.
+    s = grid.exponent
+    with np.errstate(over="ignore", invalid="ignore"):
+        return 1.0 / (
+            grid.gamma ** (-1.0 / s) * grid.n_routers ** (1.0 - 1.0 / s) + 1.0
+        )
+
+
+# -- existence conditions (Lemma 1, vectorized) -------------------------
+
+
+def existence_mask(grid: ScenarioGrid) -> np.ndarray:
+    """Per-point Lemma 1 existence conditions (paper §IV-B).
+
+    Reproduces :func:`repro.core.conditions.check_existence` for every
+    grid point: ``True`` exactly where the scalar check reports no
+    violations.  The returned boolean array is read-only.
+    """
+    c = grid.capacity
+    n = grid.n_routers
+    n_cat = grid.catalog_size
+    s = grid.exponent
+    derived = grid.derived()
+    capacity_ok = np.isfinite(c) & (c > 0.0)
+    catalog_ok = n_cat >= MIN_LARGE_CATALOG
+    aggregate_bad = capacity_ok & catalog_ok & (c * np.maximum(n, 1.0) > n_cat)
+    catalog_ok = catalog_ok & ~aggregate_bad
+    routers_ok = n > 1.0
+    exponent_ok = (0.0 < s) & (s < 2.0) & (np.abs(s - 1.0) > SINGULARITY_TOLERANCE)
+    latency_ok = (derived["d0"] < derived["d1"]) & (derived["d1"] <= derived["d2"])
+    ok = capacity_ok & catalog_ok & routers_ok & exponent_ok & latency_ok
+    ok.flags.writeable = False
+    return ok
+
+
+def _raise_existence(grid: ScenarioGrid, ok: np.ndarray) -> None:
+    bad = np.flatnonzero(~ok)
+    violations: list[str] = []
+    for index in bad[:5]:
+        point = grid.scenario_at(int(index))
+        conditions = check_existence(
+            capacity=point.capacity,
+            catalog_size=point.catalog_size,
+            n_routers=point.n_routers,
+            exponent=point.exponent,
+            latency=point.latency(),
+        )
+        violations.extend(
+            f"grid point {int(index)}: {reason}" for reason in conditions.violations
+        )
+    if bad.size > 5:
+        violations.append(f"... and {bad.size - 5} more violating grid points")
+    raise ExistenceConditionError(violations)
+
+
+# -- batched solvers ----------------------------------------------------
+
+
+def lemma2_coefficients_batch(grid: ScenarioGrid) -> tuple[np.ndarray, np.ndarray]:
+    """The eq. 7 coefficient columns ``(a, b)`` for a whole grid (Lemma 2).
+
+    ``a = γ·n^{1-s}``;
+    ``b = ((1-α)/α)·((N^{1-s}-1)/(1-s))·((n-1)·w/(d1-d0))·c^s``.
+
+    Like the scalar :func:`~repro.core.optimizer.lemma2_coefficients`,
+    raises :class:`~repro.errors.ParameterError` if any point has
+    ``α = 0`` (``b`` diverges; :func:`solve_batch` masks those points to
+    the trivial boundary before calling this) and
+    :class:`~repro.errors.SingularExponentError` at the s = 1
+    singularity.
+    """
+    if np.any(grid.alpha <= 0.0):
+        raise ParameterError(
+            "Lemma 2 coefficients are undefined at alpha = 0; the optimum "
+            "there is trivially non-coordinated (level 0)"
+        )
+    _require_nonsingular(grid)
+    return _lemma2_ab(grid, grid.alpha)
+
+
+def _require_nonsingular(grid: ScenarioGrid) -> None:
+    singular = grid.derived()["singular"]
+    if np.any(singular):
+        index = int(np.flatnonzero(singular)[0])
+        raise SingularExponentError(
+            f"Zipf exponent s = 1 (grid point {index}) is the eq. 6/7 "
+            f"singularity; this solver requires s in (0, 1) ∪ (1, 2)"
+        )
+
+
+def _lemma2_ab(
+    grid: ScenarioGrid, alpha: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    derived = grid.derived()
+    s = grid.exponent
+    a = grid.gamma * grid.n_routers ** (1.0 - s)
+    zipf_factor = (grid.catalog_size ** (1.0 - s) - 1.0) / (1.0 - s)
+    cost_factor = (
+        (grid.n_routers - 1.0) * derived["w_scaled"] / derived["peer_delta"]
+    )
+    b = ((1.0 - alpha) / alpha) * zipf_factor * cost_factor * grid.capacity**s
+    return a, b
+
+
+def solve_lemma2_batch(
+    a: np.ndarray, b: np.ndarray, exponent: np.ndarray
+) -> np.ndarray:
+    """Solve the eq. 7 fixed point by bisection for every column entry.
+
+    Theorem 1 guarantees a unique root of
+    ``g(ℓ) = a·ℓ^{-s} - (1-ℓ)^{-s} - b`` on ``(0, 1)`` per point; like
+    the scalar :func:`~repro.core.optimizer.solve_lemma2`, points whose
+    root sits beyond the numerical bracket are clamped to the boundary
+    the monotone ``g`` points at.
+    """
+    a = _column(a)
+    b = _column(b)
+    s = _column(exponent)
+    if np.any(~np.isfinite(exponent := s)) or np.any(
+        (exponent <= 0.0) | (exponent >= 2.0)
+    ) or np.any(np.abs(exponent - 1.0) <= SINGULARITY_TOLERANCE):
+        raise SingularExponentError(
+            "exponent column must lie in (0, 1) ∪ (1, 2) for the eq. 7 "
+            "fixed point (s = 1 is the singularity)"
+        )
+    if np.any(~np.isfinite(a)) or np.any(a <= 0.0):
+        raise ParameterError("coefficient column a must be positive")
+    if np.any(b < 0.0):
+        raise ParameterError("coefficient column b must be non-negative")
+    a, b, s = np.broadcast_arrays(a, b, s)
+
+    def g(level: np.ndarray) -> np.ndarray:
+        return a * level**-s - (1.0 - level) ** -s - b
+
+    lo = np.full(a.shape, LEVEL_TOLERANCE)
+    hi = np.full(a.shape, 1.0 - LEVEL_TOLERANCE)
+    g_lo = g(lo)
+    g_hi = g(hi)
+    clamp_lo = g_lo <= 0.0
+    clamp_hi = ~clamp_lo & (g_hi >= 0.0)
+    interior = ~clamp_lo & ~clamp_hi
+    active = interior & (hi - lo > LEVEL_TOLERANCE)
+    iterations = 0
+    while active.any():
+        if iterations >= MAX_BISECTION_ITERATIONS:
+            raise ConvergenceError(
+                f"batched Lemma 2 bisection failed to converge within "
+                f"{MAX_BISECTION_ITERATIONS} iterations"
+            )
+        iterations += 1
+        mid = 0.5 * (lo + hi)
+        above = active & (g(mid) > 0.0)
+        lo = np.where(above, mid, lo)
+        hi = np.where(active & ~above, mid, hi)
+        active = interior & (hi - lo > LEVEL_TOLERANCE)
+    levels = np.where(interior, 0.5 * (lo + hi), np.where(clamp_lo, lo, hi))
+    return levels
+
+
+def closed_form_alpha1_batch(
+    gamma: np.ndarray, n_routers: np.ndarray, exponent: np.ndarray
+) -> np.ndarray:
+    """Theorem 2's closed-form optimal level columns for ``α = 1``.
+
+    ``ℓ* = 1 / (γ^{-1/s}·n^{1-1/s} + 1)`` — the corrected-exponent form
+    (see :func:`~repro.core.optimizer.closed_form_alpha1` for why the
+    paper's printed eq. 8 sign is adjusted).
+    """
+    g = _column(gamma)
+    n = _column(n_routers)
+    s = _column(exponent)
+    if np.any(~np.isfinite(g)) or np.any(g <= 0.0):
+        raise ParameterError("gamma column must be positive")
+    if np.any(n < 1.0):
+        raise ParameterError("router count column must be positive")
+    if np.any(~np.isfinite(exponent := s)) or np.any(
+        (exponent <= 0.0) | (exponent >= 2.0)
+    ) or np.any(np.abs(exponent - 1.0) <= SINGULARITY_TOLERANCE):
+        raise SingularExponentError(
+            "exponent column must lie in (0, 1) ∪ (1, 2) for Theorem 2 "
+            "(s = 1 is the singularity)"
+        )
+    return 1.0 / (g ** (-1.0 / s) * n ** (1.0 - 1.0 / s) + 1.0)
+
+
+def _solve_first_order_columns(
+    grid: ScenarioGrid,
+    derived: Mapping[str, np.ndarray],
+    warm_start: bool,
+) -> tuple[np.ndarray, int]:
+    """Bisect the Appendix A eq. 10 first-order condition per point.
+
+    Mirrors :func:`~repro.core.optimizer.solve_first_order` exactly:
+    ``α ≤ 0`` points return 0; ``d(0) ≥ 0`` points return 0;
+    ``d(c·(1-1e-12)) ≤ 0`` points return ``c``; everything else bisects
+    to ``hi - lo ≤ LEVEL_TOLERANCE·c``.  ``warm_start`` pre-shrinks the
+    bracket for ``α ≥ WARM_START_MIN_ALPHA`` points with two monotone
+    probes around the Theorem 2 closed form.
+    """
+    capacity = grid.capacity
+    alpha = grid.alpha
+    positive = alpha > 0.0
+    lo = np.zeros(len(grid))
+    hi = capacity * (1.0 - 1e-12)
+    d_lo = _derivative_columns(grid, derived, lo)
+    at_zero = positive & (d_lo >= 0.0)
+    d_hi = _derivative_columns(grid, derived, hi)
+    at_capacity = positive & ~at_zero & (d_hi <= 0.0)
+    interior = positive & ~at_zero & ~at_capacity
+
+    if warm_start and bool(np.any(interior & (alpha >= WARM_START_MIN_ALPHA))):
+        warm = interior & (alpha >= WARM_START_MIN_ALPHA)
+        x_hat = _closed_form_columns(grid) * capacity
+        # Two probes bracketing the Theorem 2 prediction.  The objective
+        # is convex (Lemma 1) so its derivative is increasing: any probe
+        # with d < 0 is a valid new lo, any probe with d >= 0 a valid
+        # new hi — warm starts can shrink but never invalidate the
+        # bracket.  Probes outside the current bracket (and nan probes
+        # from underflowed closed forms) fail the comparison and are
+        # ignored.
+        for probe in (0.75 * x_hat, np.minimum(1.25 * x_hat, 0.5 * (x_hat + hi))):
+            inside = warm & (lo < probe) & (probe < hi)
+            if not inside.any():
+                continue
+            d_probe = _derivative_columns(grid, derived, np.where(inside, probe, lo))
+            lo = np.where(inside & (d_probe < 0.0), probe, lo)
+            hi = np.where(inside & (d_probe >= 0.0), probe, hi)
+
+    tolerance = LEVEL_TOLERANCE * capacity
+    active = interior & (hi - lo > tolerance)
+    iterations = 0
+    while active.any():
+        if iterations >= MAX_BISECTION_ITERATIONS:
+            raise ConvergenceError(
+                f"batched first-order bisection failed to converge within "
+                f"{MAX_BISECTION_ITERATIONS} iterations"
+            )
+        iterations += 1
+        mid = 0.5 * (lo + hi)
+        d_mid = _derivative_columns(grid, derived, mid)
+        below = active & (d_mid < 0.0)
+        lo = np.where(below, mid, lo)
+        hi = np.where(active & ~below, mid, hi)
+        active = interior & (hi - lo > tolerance)
+    x_star = np.where(interior, 0.5 * (lo + hi), 0.0)
+    x_star = np.where(at_capacity, capacity, x_star)
+    return x_star, iterations
+
+
+@dataclass(frozen=True)
+class BatchStrategy:
+    """Solved optimal strategies for every grid point (paper eq. 5).
+
+    The array analogue of :class:`~repro.core.optimizer.OptimalStrategy`:
+    ``level[i]``/``storage[i]``/``objective_value[i]`` are ``ℓ*``, ``x*``
+    and ``T_w(x*)`` of grid point ``i``; ``method[i]`` names the solver
+    that produced it (``"boundary"`` for the α = 0 shortcut);
+    ``existence_ok[i]`` is the Lemma 1 mask; ``iterations`` counts the
+    vectorized bisection sweeps the whole grid needed.  All arrays are
+    read-only.
+    """
+
+    level: np.ndarray
+    storage: np.ndarray
+    objective_value: np.ndarray
+    method: np.ndarray
+    alpha: np.ndarray
+    existence_ok: np.ndarray
+    iterations: int
+
+    def __len__(self) -> int:
+        return int(self.level.size)
+
+    def strategy_at(self, index: int) -> OptimalStrategy:
+        """The scalar ``OptimalStrategy`` view of one grid point (eq. 5)."""
+        return OptimalStrategy(
+            level=float(self.level[index]),
+            storage=float(self.storage[index]),
+            objective_value=float(self.objective_value[index]),
+            method=str(self.method[index]),
+            alpha=float(self.alpha[index]),
+        )
+
+    @property
+    def fully_coordinated(self) -> np.ndarray:
+        """Per-point ``ℓ* ≥ 1 - 1e-9`` saturation mask (cf. §IV-C)."""
+        return self.level >= 1.0 - 1e-9
+
+    @property
+    def non_coordinated(self) -> np.ndarray:
+        """Per-point ``ℓ* ≤ 1e-9`` collapse mask (cf. §IV-C)."""
+        return self.level <= 1e-9
+
+
+def _lock(*arrays: np.ndarray) -> None:
+    for arr in arrays:
+        arr.flags.writeable = False
+
+
+def _finish_columns(
+    grid: ScenarioGrid,
+    derived: Mapping[str, np.ndarray],
+    x_star: np.ndarray,
+    method: np.ndarray,
+    existence_ok: np.ndarray,
+    iterations: int,
+) -> BatchStrategy:
+    # Vectorized replica of optimal_strategy's finish(): clip to [0, c],
+    # then keep the best of (x*, 0, c) with min()'s first-wins tie-break.
+    capacity = grid.capacity
+    x_clip = np.minimum(np.maximum(x_star, 0.0), capacity)
+    f_x = _objective_columns(grid, derived, x_clip)
+    f_0 = _objective_columns(grid, derived, np.zeros(len(grid)))
+    f_c = _objective_columns(grid, derived, capacity)
+    pick_x = f_x <= np.minimum(f_0, f_c)
+    pick_0 = ~pick_x & (f_0 <= f_c)
+    best_x = np.where(pick_x, x_clip, np.where(pick_0, 0.0, capacity))
+    best_f = np.where(pick_x, f_x, np.where(pick_0, f_0, f_c))
+    level = best_x / capacity
+    alpha = np.array(grid.alpha)
+    _lock(level, best_x, best_f, method, alpha)
+    return BatchStrategy(
+        level=level,
+        storage=best_x,
+        objective_value=best_f,
+        method=method,
+        alpha=alpha,
+        existence_ok=existence_ok,
+        iterations=iterations,
+    )
+
+
+def solve_batch(
+    grid: ScenarioGrid,
+    *,
+    method: str = "auto",
+    check_conditions: bool = True,
+    warm_start: bool = True,
+) -> BatchStrategy:
+    """Solve eq. 5 for every grid point in one vectorized pass.
+
+    The batched analogue of
+    :func:`~repro.core.optimizer.optimal_strategy`; per-point semantics
+    (the α = 0 boundary shortcut, clip-at-``c`` handling, the
+    finish-time boundary comparison) are reproduced exactly, and the
+    bisections (eq. 7 / Appendix A eq. 10) run as ~40 whole-grid array
+    iterations.
+
+    Parameters
+    ----------
+    grid:
+        The structure-of-arrays parameter grid.
+    method:
+        ``"auto"``/``"first-order"`` bisect the exact first-order
+        condition; ``"lemma2"`` the eq. 7 fixed point; ``"closed-form"``
+        applies Theorem 2 (``α = 1`` points only).  ``"scalar-min"`` has
+        no batched form — use the scalar oracle — and raises
+        :class:`~repro.errors.ParameterError`.
+    check_conditions:
+        When True (default), Lemma 1's conditions are checked per point
+        and :class:`~repro.errors.ExistenceConditionError` is raised if
+        any point violates them (mirroring the scalar solver).  The
+        per-point mask is recorded on the result either way.
+    warm_start:
+        Pre-shrink first-order brackets with Theorem 2 probes for
+        ``α ≥ WARM_START_MIN_ALPHA`` points.  ``False`` makes the
+        first-order path bit-identical to the scalar oracle.
+
+    Reports a ``solver.batch`` span with ``solver.batch.points`` /
+    ``solver.batch.grids`` counters and an iterations + points/s gauge
+    pair to :mod:`repro.obs`.
+    """
+    if method not in _METHODS:
+        raise ParameterError(f"unknown solver method {method!r}")
+    if method == "scalar-min":
+        raise ParameterError(
+            "scalar-min has no batched form (scipy's bounded Brent is "
+            "inherently per-point); use the scalar optimal_strategy oracle"
+        )
+    obs = get_session()
+    with obs.span("solver.batch") as span:
+        strategy = _solve_batch_impl(grid, method, check_conditions, warm_start)
+    if obs.enabled:
+        obs.counter("solver.batch.grids").add()
+        obs.counter("solver.batch.points").add(len(grid))
+        obs.gauge("solver.batch.iterations").set(float(strategy.iterations))
+        if span.duration_s > 0:
+            obs.gauge("solver.batch.points_per_s").set(
+                len(grid) / span.duration_s
+            )
+    return strategy
+
+
+def _solve_batch_impl(
+    grid: ScenarioGrid, method: str, check_conditions: bool, warm_start: bool
+) -> BatchStrategy:
+    ok = existence_mask(grid)
+    if check_conditions and not bool(ok.all()):
+        _raise_existence(grid, ok)
+    derived = grid.derived()
+    alpha = grid.alpha
+    boundary = alpha == 0.0
+    iterations = 0
+
+    if method == "closed-form":
+        if np.any(~boundary & (alpha != 1.0)):
+            raise ParameterError(
+                "the closed form (Theorem 2) applies only at alpha = 1"
+            )
+        if np.any(~boundary):
+            _require_nonsingular(grid)
+        with np.errstate(over="ignore", invalid="ignore"):
+            x_star = np.where(boundary, 0.0, _closed_form_columns(grid) * grid.capacity)
+        labels = np.where(boundary, "boundary", "closed-form")
+    elif method == "lemma2":
+        if np.any(~boundary):
+            _require_nonsingular(grid)
+        safe_alpha = np.where(boundary, 0.5, alpha)
+        a, b = _lemma2_ab(grid, safe_alpha)
+        with np.errstate(over="ignore", invalid="ignore"):
+            levels = solve_lemma2_batch(a, b, grid.exponent)
+        x_star = np.where(boundary, 0.0, levels * grid.capacity)
+        labels = np.where(boundary, "boundary", "lemma2")
+    else:  # auto / first-order
+        x_star, iterations = _solve_first_order_columns(grid, derived, warm_start)
+        labels = np.where(boundary, "boundary", "first-order")
+
+    return _finish_columns(grid, derived, x_star, labels, ok, iterations)
+
+
+@dataclass(frozen=True)
+class BatchGains:
+    """Both §IV-E gains for every solved grid point.
+
+    The array analogue of :class:`~repro.core.gains.PerformanceGains`
+    (``G_O`` of §IV-E.1, ``G_R`` of §IV-E.2, plus the underlying origin
+    loads and latencies).  All arrays are read-only.
+    """
+
+    origin_load_reduction: np.ndarray
+    routing_improvement: np.ndarray
+    origin_load_optimal: np.ndarray
+    origin_load_baseline: np.ndarray
+    latency_optimal: np.ndarray
+    latency_baseline: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.origin_load_reduction.size)
+
+    def gains_at(self, index: int) -> PerformanceGains:
+        """The scalar ``PerformanceGains`` view of one grid point (§IV-E)."""
+        return PerformanceGains(
+            origin_load_reduction=float(self.origin_load_reduction[index]),
+            routing_improvement=float(self.routing_improvement[index]),
+            origin_load_optimal=float(self.origin_load_optimal[index]),
+            origin_load_baseline=float(self.origin_load_baseline[index]),
+            latency_optimal=float(self.latency_optimal[index]),
+            latency_baseline=float(self.latency_baseline[index]),
+        )
+
+
+def mean_latency_batch(grid: ScenarioGrid, storage: np.ndarray) -> np.ndarray:
+    """Mean latency ``T(x)`` (eq. 2) for one storage value per grid point."""
+    x = _column(storage)
+    if np.any((x < 0.0) | (x > grid.capacity)):
+        raise ParameterError("storage column must lie in [0, c] per point")
+    return _mean_latency_columns(grid, grid.derived(), x)
+
+
+def coordination_cost_batch(grid: ScenarioGrid, storage: np.ndarray) -> np.ndarray:
+    """Coordination cost ``W(x)`` (eq. 3, after cost_scale) per grid point."""
+    x = _column(storage)
+    if np.any((x < 0.0) | (x > grid.capacity)):
+        raise ParameterError("storage column must lie in [0, c] per point")
+    return _cost_columns(grid, grid.derived(), x)
+
+
+def evaluate_gains_batch(
+    grid: ScenarioGrid, strategy: Union[BatchStrategy, np.ndarray]
+) -> BatchGains:
+    """Evaluate both §IV-E gains on a solved level array.
+
+    Vectorized replica of :func:`~repro.core.gains.evaluate_gains`:
+    ``G_O = 1 - origin_load(x*)/origin_load(0)`` (0 where the baseline
+    is degenerate, §IV-E.1) and ``G_R = 1 - T(x*)/T(0)`` (§IV-E.2),
+    computed column-wise from a :class:`BatchStrategy` (or a raw storage
+    array).
+    """
+    x = _column(strategy.storage if isinstance(strategy, BatchStrategy) else strategy)
+    if np.any((x < 0.0) | (x > grid.capacity)):
+        raise ParameterError("storage column must lie in [0, c] per point")
+    derived = grid.derived()
+    zeros = np.zeros(len(grid))
+    # origin_load via the tier boundary c-x+x·n, exactly as tier_fractions.
+    load_optimal = 1.0 - _cdf_columns(
+        grid, grid.capacity - x + x * grid.n_routers
+    )
+    load_baseline = 1.0 - _cdf_columns(
+        grid, grid.capacity - zeros + zeros * grid.n_routers
+    )
+    degenerate = load_baseline <= 0.0
+    g_o = np.where(
+        degenerate,
+        0.0,
+        1.0 - load_optimal / np.where(degenerate, 1.0, load_baseline),
+    )
+    latency_optimal = _mean_latency_columns(grid, derived, x)
+    latency_baseline = _mean_latency_columns(grid, derived, zeros)
+    g_r = 1.0 - latency_optimal / latency_baseline
+    _lock(g_o, g_r, load_optimal, load_baseline, latency_optimal, latency_baseline)
+    return BatchGains(
+        origin_load_reduction=g_o,
+        routing_improvement=g_r,
+        origin_load_optimal=load_optimal,
+        origin_load_baseline=load_baseline,
+        latency_optimal=latency_optimal,
+        latency_baseline=latency_baseline,
+    )

@@ -20,10 +20,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ParameterError
 from .validation import require_latency_ordering
 
-__all__ = ["LatencyModel"]
+__all__ = ["LatencyModel", "tier_latencies_from_gamma"]
+
+
+def tier_latencies_from_gamma(
+    gamma: np.ndarray, d0: np.ndarray, peer_delta: np.ndarray
+) -> np.ndarray:
+    """Columnized :meth:`LatencyModel.from_gamma` (paper §III-B.1).
+
+    Builds the three tier-latency columns ``(d0, d1, d2)`` for a whole
+    scenario grid at once from per-point tiered latency ratios ``γ``
+    (the only latency quantity the optimum depends on — Theorem 2's
+    scale-free property), with exactly the scalar constructor's
+    arithmetic: ``d1 = d0 + peer_delta``, ``d2 = d1 + γ·peer_delta``.
+    Returns three fresh float64 arrays broadcast to a common shape.
+    """
+    gamma = np.asarray(gamma, dtype=np.float64)
+    d0 = np.asarray(d0, dtype=np.float64)
+    peer_delta = np.asarray(peer_delta, dtype=np.float64)
+    if np.any(~np.isfinite(gamma)) or np.any(gamma <= 0.0):
+        raise ParameterError("tiered latency ratio column must be positive")
+    if np.any(~np.isfinite(d0)) or np.any(d0 <= 0.0):
+        raise ParameterError("d0 column must be positive and finite")
+    if np.any(~np.isfinite(peer_delta)) or np.any(peer_delta <= 0.0):
+        raise ParameterError("peer_delta column must be positive and finite")
+    gamma, d0, peer_delta = np.broadcast_arrays(gamma, d0, peer_delta)
+    d1 = d0 + peer_delta
+    d2 = d1 + gamma * peer_delta
+    return np.array(d0, dtype=np.float64), d1, d2
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,23 @@ from ..errors import ParameterError
 from .cost import CoordinationCostModel, PiecewiseLinearCostModel
 from .performance import RoutingPerformanceModel
 
-__all__ = ["PerformanceCostModel"]
+__all__ = ["PerformanceCostModel", "combine_objective"]
 
 ArrayLike = Union[float, np.ndarray]
+
+
+def combine_objective(
+    alpha: ArrayLike, latency: ArrayLike, cost: ArrayLike
+) -> ArrayLike:
+    """The eq. 4 blend ``T_w = α·T + (1-α)·W`` as a reusable expression.
+
+    Shared by the scalar :class:`PerformanceCostModel` and the batched
+    grid solver so both paths combine the two terms (and their
+    derivatives, Appendix A eq. 10) with the *same* float64 operation
+    order — the bit-equivalence contract between the two solvers rests
+    on this.  Works element-wise for scalar or column inputs.
+    """
+    return alpha * latency + (1.0 - alpha) * cost
 
 #: Cost models the objective accepts: anything exposing ``cost(x, n)``
 #: plus either ``marginal_cost(n)`` (constant slope, eq. 3) or
@@ -84,7 +98,7 @@ class PerformanceCostModel:
         """Evaluate ``T_w(x) = α·T(x) + (1-α)·W(x)`` (eq. 4)."""
         t = np.asarray(self.performance.mean_latency(x))
         w = np.asarray(self.cost.cost(x, self.n_routers))
-        values = self.alpha * t + (1.0 - self.alpha) * w
+        values = combine_objective(self.alpha, t, w)
         if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
             return float(values)
         return values
@@ -99,9 +113,9 @@ class PerformanceCostModel:
         t_prime = np.asarray(self.performance.derivative(x))
         if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
             w_prime = self._marginal_cost(float(x))
-            return float(self.alpha * t_prime + (1.0 - self.alpha) * w_prime)
+            return float(combine_objective(self.alpha, t_prime, w_prime))
         w_prime = np.array([self._marginal_cost(float(v)) for v in np.asarray(x)])
-        return self.alpha * t_prime + (1.0 - self.alpha) * w_prime
+        return combine_objective(self.alpha, t_prime, w_prime)
 
     def second_derivative(self, x: ArrayLike) -> ArrayLike:
         """Second derivative; the linear cost contributes nothing."""

@@ -258,10 +258,16 @@ def minimize_objective(model: PerformanceCostModel) -> float:
         raise ConvergenceError(f"scalar minimization failed: {result.message}")
     x_star = float(result.x)
     # Bounded Brent never evaluates the exact endpoints; snap to a
-    # boundary when it is at least as good.
-    for boundary in (0.0, capacity):
-        if float(model.objective(boundary)) <= float(model.objective(x_star)):
-            x_star = boundary
+    # boundary when it is at least as good.  Each candidate's objective
+    # is evaluated exactly once — T_w(x) costs two eq. 6 CDF
+    # evaluations, so the snap adds three objective calls, not four.
+    f_star = float(model.objective(x_star))
+    f_zero = float(model.objective(0.0))
+    f_capacity = float(model.objective(capacity))
+    if f_zero <= f_star:
+        x_star, f_star = 0.0, f_zero
+    if f_capacity <= f_star:
+        x_star = capacity
     return x_star
 
 

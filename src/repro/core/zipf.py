@@ -41,6 +41,8 @@ __all__ = [
     "zipf_cdf",
     "continuous_cdf",
     "continuous_cdf_limit",
+    "continuous_cdf_columns",
+    "continuous_normalizer_columns",
     "continuous_pdf",
     "inverse_continuous_cdf",
     "top_k_mass",
@@ -98,7 +100,9 @@ def _cache_get(cache: "OrderedDict", key):
 
 
 def _cache_put(cache: "OrderedDict", key, value, max_entries: int):
-    cache[key] = value
+    # In-place by contract: callers hand in the module-level LRU dict
+    # precisely so it is updated through the alias.
+    cache[key] = value  # repro-lint: disable=R4
     while len(cache) > max_entries:
         cache.popitem(last=False)
     return value
@@ -321,6 +325,59 @@ def continuous_cdf_limit(
     if np.isscalar(x) or getattr(x, "ndim", 1) == 0:
         return float(values)
     return values
+
+
+def continuous_cdf_columns(
+    x: np.ndarray, s: np.ndarray, n_catalog: np.ndarray
+) -> np.ndarray:
+    """Eq. 6 CDF evaluated column-wise with *per-point* exponents.
+
+    The batched solver's building block: unlike :func:`continuous_cdf`
+    (one scalar ``s`` for the whole array), every element here carries
+    its own ``(x_i, s_i, N_i)`` triple.  Non-singular points perform the
+    exact :func:`continuous_cdf` float64 operations (clip to ``[1, N]``,
+    then ``(x^{1-s}-1)/(N^{1-s}-1)``); points at the ``s = 1``
+    singularity take the :func:`continuous_cdf_limit` branch
+    ``ln x / ln N`` per point.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    if np.any(~np.isfinite(s)) or np.any((s <= 0.0) | (s >= 2.0)):
+        raise ParameterError(
+            "exponent column s must lie in (0, 2) for the eq. 6 CDF"
+        )
+    n = np.asarray(n_catalog, dtype=np.float64)
+    if np.any(~np.isfinite(n)) or np.any(n <= 1.0):
+        raise CatalogError("catalog size column must exceed 1")
+    xs = np.clip(np.asarray(x, dtype=np.float64), 1.0, n)
+    singular = np.abs(s - 1.0) <= SINGULARITY_TOLERANCE
+    # Off-branch exponent placeholder: keeps the discarded lane finite
+    # without touching the exact 1-s the regular branch uses.
+    one_minus_s = np.where(singular, 0.5, 1.0 - s)
+    denom = n**one_minus_s - 1.0
+    regular = (xs**one_minus_s - 1.0) / denom
+    return np.where(singular, np.log(xs) / np.log(n), regular)
+
+
+def continuous_normalizer_columns(s: np.ndarray, n_catalog: np.ndarray) -> np.ndarray:
+    """The eq. 6 derivative prefactor, column-wise with per-point ``s``.
+
+    ``(1-s)/(N^{1-s}-1)`` for regular points, the ``1/ln N`` limit at
+    the ``s = 1`` singularity — exactly the per-point dispatch the
+    scalar Appendix-A derivative performs, vectorized for the batched
+    first-order solver.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    if np.any(~np.isfinite(s)) or np.any((s <= 0.0) | (s >= 2.0)):
+        raise ParameterError(
+            "exponent column s must lie in (0, 2) for the eq. 6 prefactor"
+        )
+    n = np.asarray(n_catalog, dtype=np.float64)
+    if np.any(~np.isfinite(n)) or np.any(n <= 1.0):
+        raise CatalogError("catalog size column must exceed 1")
+    singular = np.abs(s - 1.0) <= SINGULARITY_TOLERANCE
+    one_minus_s = np.where(singular, 0.5, 1.0 - s)
+    regular = (1.0 - s) / (n**one_minus_s - 1.0)
+    return np.where(singular, 1.0 / np.log(n), regular)
 
 
 def continuous_pdf(

@@ -148,6 +148,39 @@ class HeterogeneousModel:
             1.0 - self.alpha
         ) * self.coordination_cost(shares)
 
+    def objective_levels(self, levels: ArrayLike) -> np.ndarray:
+        """``α·T̄ + (1-α)·W`` for a whole column of uniform levels.
+
+        Row ``k`` equals ``objective(uniform_shares(levels[k]))`` with
+        the same floating-point operation order (shares outer product,
+        per-row ``max``/``sum`` reductions), so the grid scan in
+        :func:`~repro.hetero.optimizer.optimize_uniform_level` scores
+        every candidate level in one vectorized pass.
+        """
+        grid = np.asarray(levels, dtype=np.float64)
+        if grid.ndim != 1:
+            raise ParameterError(
+                f"levels must form a 1-D column, got shape {grid.shape}"
+            )
+        if np.any(grid < 0.0) or np.any(grid > 1.0):
+            raise ParameterError("levels must lie in [0, 1]")
+        caps = np.asarray(self.capacities)
+        x = grid[:, None] * caps[None, :]
+        local = caps[None, :] - x
+        pool_start = local.max(axis=1)
+        pool_end = pool_start + x.sum(axis=1)
+        f_pool = np.asarray(self.popularity.cdf_continuous(pool_end))
+        f_local = np.asarray(self.popularity.cdf_continuous(local))
+        lat = self.latency
+        per_router = (
+            f_local * lat.d0
+            + (f_pool[:, None] - f_local) * lat.d1
+            + (1.0 - f_pool[:, None]) * lat.d2
+        )
+        mean_latency = per_router.mean(axis=1)
+        cost = self.cost.unit_cost * x.sum(axis=1) + self.cost.fixed_cost
+        return self.alpha * mean_latency + (1.0 - self.alpha) * cost
+
     def origin_load(self, shares: ArrayLike) -> float:
         """Fraction of requests served by the origin."""
         x = self._validate_shares(shares)

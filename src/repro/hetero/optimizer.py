@@ -118,14 +118,14 @@ def optimize_uniform_level(
     """Best single level ``ℓ`` with ``x_i = ℓ·c_i`` (grid + refine).
 
     This is the strategy a carrier applying the paper's homogeneous
-    result to a heterogeneous network would deploy.
+    result to a heterogeneous network would deploy.  The grid scan is
+    one vectorized :meth:`~repro.hetero.model.HeterogeneousModel.objective_levels`
+    call; only the bracketing refinement stays scalar.
     """
     if resolution < 2:
         raise ParameterError(f"resolution must be at least 2, got {resolution}")
     levels = np.linspace(0.0, 1.0, resolution)
-    values = np.array(
-        [model.objective(model.uniform_shares(float(l))) for l in levels]
-    )
+    values = model.objective_levels(levels)
     k = int(np.argmin(values))
     lo = levels[max(k - 1, 0)]
     hi = levels[min(k + 1, resolution - 1)]

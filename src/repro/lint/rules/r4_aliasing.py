@@ -10,9 +10,13 @@ conclusions).  Intentional in-place protocols (e.g. a decay kernel
 documented to update its buffer argument) must carry a line suppression,
 which doubles as documentation of the aliasing contract.
 
-Scope: functions in the ``simulation`` and ``ccn`` units.  Mutating
-``self`` attributes or locals is fine; only parameters are aliased with
-caller state.
+Scope: functions in the ``simulation``, ``ccn`` and ``core`` units.
+``core`` joined the watch list with the batched analytical solver
+(``core.batch_solver``), whose memoized coefficient columns are handed
+to callers as read-only views — an in-place write anywhere in ``core``
+could corrupt every later solve sharing the cache.  Mutating ``self``
+attributes or locals is fine; only parameters are aliased with caller
+state.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from ..diagnostics import Diagnostic
 from . import Rule
 
 #: Units whose hot paths the rule watches.
-WATCHED_UNITS = frozenset({"simulation", "ccn"})
+WATCHED_UNITS = frozenset({"simulation", "ccn", "core"})
 
 #: Annotation substrings marking a parameter as an array for the
 #: scalar-augmented-assignment check (``param += v`` rebinds scalars
@@ -64,7 +68,7 @@ class NumpyAliasingRule(Rule):
     name = "numpy-aliasing"
     description = (
         "no in-place mutation of array parameters (subscript assignment, "
-        "augmented assignment, out=) in simulation/ccn hot paths"
+        "augmented assignment, out=) in simulation/ccn/core hot paths"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:

@@ -29,6 +29,21 @@ def run_sweep(parallel):
     )
 
 
+def assert_series_close(left, right, tolerance=1e-9):
+    """Structurally equal series, values within the solver tolerance.
+
+    The batched path warm-starts its bisection, so it agrees with the
+    scalar path per point well below 1e-9 without being bitwise equal.
+    """
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.label == b.label
+        assert a.x == b.x
+        assert len(a.y) == len(b.y)
+        for ya, yb in zip(a.y, b.y):
+            assert ya == pytest.approx(yb, abs=tolerance)
+
+
 class TestParallelSweep:
     def test_parallel_matches_serial(self):
         serial = run_sweep(None)
@@ -97,7 +112,21 @@ class TestAutoParallel:
             resolve_parallel("fast", 100)
 
     def test_auto_sweep_matches_serial(self):
-        assert run_sweep("auto") == run_sweep(None)
+        # "auto" now dispatches analytical grids to the batched solver;
+        # it must agree with the scalar serial path per point.
+        assert_series_close(run_sweep("auto"), run_sweep(None))
+
+    def test_analytical_auto_never_spawns_processes(self):
+        # BENCH_pr4 showed process spin-up losing to serial on analytical
+        # sweeps (auto 0.0315s vs serial 0.0223s on a figure-sized grid);
+        # the solver-aware heuristic keeps them vectorized at any size.
+        huge = AUTO_PARALLEL_MIN_POINTS_PER_WORKER * 64
+        assert resolve_parallel("auto", huge, analytical=True) == 0
+        assert resolve_parallel("auto", 12, analytical=True) == 0
+
+    def test_analytical_flag_preserves_explicit_counts(self):
+        assert resolve_parallel(2, 10_000, analytical=True) == 2
+        assert resolve_parallel(None, 10_000, analytical=True) == 0
 
 
 class TestFigureParallelKnob:
@@ -105,6 +134,6 @@ class TestFigureParallelKnob:
         from repro.analysis.experiments import figure4_level_vs_alpha
 
         alphas = ALPHAS
-        serial = figure4_level_vs_alpha(alphas=alphas)
-        parallel = figure4_level_vs_alpha(alphas=alphas, parallel=2)
-        assert parallel.series == serial.series
+        batched = figure4_level_vs_alpha(alphas=alphas)  # default "auto"
+        scalar = figure4_level_vs_alpha(alphas=alphas, parallel=2)
+        assert_series_close(batched.series, scalar.series)

@@ -1,0 +1,332 @@
+"""Equivalence tests for repro.core.batch_solver vs the scalar oracle.
+
+The contract under test (batch_solver module docstring): with
+``warm_start=False`` the batched first-order path is bit-identical to
+:func:`repro.core.optimizer.optimal_strategy`; with warm starts it
+agrees within the solver tolerance — per point ``level`` within 1e-9,
+``storage`` within ``1e-9·max(1, c)``, ``objective``/``G_O``/``G_R``
+within 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch_solver import (
+    BatchStrategy,
+    ScenarioGrid,
+    closed_form_alpha1_batch,
+    evaluate_gains_batch,
+    existence_mask,
+    lemma2_coefficients_batch,
+    solve_batch,
+    solve_lemma2_batch,
+)
+from repro.core.conditions import check_existence
+from repro.core.gains import evaluate_gains
+from repro.core.optimizer import (
+    closed_form_alpha1,
+    lemma2_coefficients,
+    optimal_strategy,
+    solve_lemma2,
+)
+from repro.core.scenario import Scenario
+from repro.errors import (
+    ExistenceConditionError,
+    ParameterError,
+    SingularExponentError,
+)
+from repro.obs import session
+
+BASE = Scenario()  # Table IV base point
+
+LEVEL_TOL = 1e-9
+VALUE_TOL = 1e-9
+
+
+def random_scenarios(seed: int, count: int) -> list[Scenario]:
+    """Fixed-seed scenario soup covering the solver's regimes.
+
+    Exponents span both sides of the s = 1 singularity (kept at least
+    0.02 away so the scalar model stack accepts them); α covers the
+    boundary 0, interior values and the closed-form regime at 1.
+    """
+    rng = np.random.default_rng(seed)
+    scenarios = []
+    for i in range(count):
+        if i % 7 == 0:
+            alpha = 0.0
+        elif i % 7 == 1:
+            alpha = 1.0
+        elif i % 7 == 2:
+            alpha = float(rng.uniform(0.9, 1.0))  # warm-start regime
+        else:
+            alpha = float(rng.uniform(0.01, 0.99))
+        exponent = float(rng.uniform(0.3, 1.95))
+        if abs(exponent - 1.0) < 0.02:
+            exponent = 1.05
+        catalog = int(rng.integers(10_000, 2_000_000))
+        scenarios.append(
+            BASE.replace(
+                alpha=alpha,
+                gamma=float(rng.uniform(0.5, 15.0)),
+                exponent=exponent,
+                n_routers=int(rng.integers(2, 60)),
+                catalog_size=catalog,
+                capacity=float(rng.uniform(10.0, catalog / 100.0)),
+                unit_cost=float(rng.uniform(1.0, 60.0)),
+            )
+        )
+    return scenarios
+
+
+def assert_matches_scalar(
+    grid: ScenarioGrid, batched: BatchStrategy, **solve_kwargs
+) -> None:
+    for i in range(len(grid)):
+        scenario = grid.scenario_at(i)
+        scalar = optimal_strategy(
+            scenario.model(), check_conditions=False, **solve_kwargs
+        )
+        assert batched.level[i] == pytest.approx(scalar.level, abs=LEVEL_TOL)
+        assert batched.storage[i] == pytest.approx(
+            scalar.storage, abs=VALUE_TOL * max(1.0, scenario.capacity)
+        )
+        assert batched.objective_value[i] == pytest.approx(
+            scalar.objective_value, rel=VALUE_TOL, abs=VALUE_TOL
+        )
+
+
+class TestScenarioGrid:
+    def test_from_product_round_trips_every_point(self):
+        alphas = [0.1, 0.5, 0.9]
+        gammas = [2.0, 8.0]
+        grid = ScenarioGrid.from_product(BASE, alpha=alphas, gamma=gammas)
+        assert len(grid) == 6
+        expected = [
+            BASE.replace(alpha=a, gamma=g) for a in alphas for g in gammas
+        ]
+        assert [grid.scenario_at(i) for i in range(6)] == expected
+
+    def test_from_scenarios_round_trips(self):
+        scenarios = random_scenarios(seed=3, count=12)
+        grid = ScenarioGrid.from_scenarios(scenarios)
+        assert [grid.scenario_at(i) for i in range(len(grid))] == scenarios
+
+    def test_broadcasts_scalars_against_columns(self):
+        grid = ScenarioGrid(alpha=[0.2, 0.4, 0.8], gamma=5.0)
+        assert grid.gamma.tolist() == [5.0, 5.0, 5.0]
+
+    def test_rejects_mismatched_column_lengths(self):
+        with pytest.raises(ParameterError):
+            ScenarioGrid(alpha=[0.2, 0.4], gamma=[1.0, 2.0, 3.0])
+
+    def test_rejects_out_of_range_alpha(self):
+        with pytest.raises(ParameterError):
+            ScenarioGrid(alpha=[0.5, 1.5])
+
+    def test_rejects_unknown_product_axis(self):
+        with pytest.raises(ParameterError):
+            ScenarioGrid.from_product(BASE, bogus=[1.0, 2.0])
+
+    def test_rejects_empty_scenario_list(self):
+        with pytest.raises(ParameterError):
+            ScenarioGrid.from_scenarios([])
+
+    def test_columns_and_derived_arrays_are_read_only(self):
+        grid = ScenarioGrid(alpha=[0.3, 0.7])
+        with pytest.raises(ValueError):
+            grid.alpha[0] = 0.9
+        derived = grid.derived()
+        for name, column in derived.items():
+            if isinstance(column, np.ndarray):
+                assert not column.flags.writeable, name
+
+
+class TestFirstOrderEquivalence:
+    def test_random_grid_matches_scalar_within_tolerance(self):
+        scenarios = random_scenarios(seed=11, count=40)
+        grid = ScenarioGrid.from_scenarios(scenarios)
+        batched = solve_batch(grid, check_conditions=False)
+        assert_matches_scalar(grid, batched)
+
+    def test_cold_path_is_bit_identical_to_scalar(self):
+        scenarios = random_scenarios(seed=23, count=25)
+        grid = ScenarioGrid.from_scenarios(scenarios)
+        batched = solve_batch(grid, check_conditions=False, warm_start=False)
+        for i, scenario in enumerate(scenarios):
+            scalar = optimal_strategy(scenario.model(), check_conditions=False)
+            assert float(batched.level[i]) == scalar.level
+            assert float(batched.storage[i]) == scalar.storage
+
+    def test_singular_exponent_matches_scalar(self):
+        grid = ScenarioGrid.from_product(
+            BASE.replace(exponent=1.0), alpha=[0.3, 0.6, 1.0]
+        )
+        batched = solve_batch(grid, check_conditions=False, warm_start=False)
+        assert_matches_scalar(grid, batched)
+
+    def test_alpha_zero_is_boundary(self):
+        grid = ScenarioGrid(alpha=[0.0, 0.5])
+        batched = solve_batch(grid, check_conditions=False)
+        assert batched.level[0] == 0.0
+        assert str(batched.method[0]) == "boundary"
+        assert str(batched.method[1]) == "first-order"
+
+    def test_high_gamma_points_push_toward_saturation(self):
+        # High α with a steep tier ratio drives ℓ* toward 1 (cf. Figure 4);
+        # the (c-x)^{-s} local term keeps the optimum strictly interior,
+        # which both solvers must agree on.
+        grid = ScenarioGrid.from_product(
+            BASE.replace(alpha=1.0), gamma=[20.0, 50.0]
+        )
+        batched = solve_batch(grid, check_conditions=False)
+        assert_matches_scalar(grid, batched)
+        assert bool((np.array(batched.level) > 0.98).all())
+        assert not bool(batched.fully_coordinated.any())
+
+    def test_strategy_at_round_trips_scalar_fields(self):
+        grid = ScenarioGrid(alpha=[0.4])
+        batched = solve_batch(grid, check_conditions=False)
+        scalar = batched.strategy_at(0)
+        assert scalar.level == float(batched.level[0])
+        assert scalar.method == "first-order"
+        assert scalar.alpha == 0.4
+
+
+class TestAlternateMethods:
+    def test_lemma2_batch_matches_scalar_per_point(self):
+        scenarios = [
+            s for s in random_scenarios(seed=5, count=30) if s.alpha > 0.0
+        ]
+        grid = ScenarioGrid.from_scenarios(scenarios)
+        a, b = lemma2_coefficients_batch(grid)
+        levels = solve_lemma2_batch(a, b, grid.exponent)
+        for i, scenario in enumerate(scenarios):
+            coeffs = lemma2_coefficients(scenario.model())
+            assert a[i] == pytest.approx(coeffs.a, rel=1e-12)
+            assert b[i] == pytest.approx(coeffs.b, rel=1e-12)
+            assert levels[i] == pytest.approx(solve_lemma2(coeffs), abs=LEVEL_TOL)
+
+    def test_lemma2_method_matches_scalar_solver(self):
+        scenarios = [
+            s for s in random_scenarios(seed=17, count=20) if s.alpha > 0.0
+        ]
+        grid = ScenarioGrid.from_scenarios(scenarios)
+        batched = solve_batch(grid, method="lemma2", check_conditions=False)
+        assert_matches_scalar(grid, batched, method="lemma2")
+
+    def test_closed_form_batch_matches_scalar(self):
+        gammas = np.array([0.5, 2.0, 5.0, 20.0])
+        levels = closed_form_alpha1_batch(gammas, 20.0, 0.8)
+        for gamma, level in zip(gammas, levels):
+            assert level == pytest.approx(
+                closed_form_alpha1(float(gamma), 20, 0.8), rel=1e-12
+            )
+
+    def test_closed_form_method_requires_alpha_one(self):
+        grid = ScenarioGrid(alpha=[0.5, 1.0])
+        with pytest.raises(ParameterError, match="alpha = 1"):
+            solve_batch(grid, method="closed-form", check_conditions=False)
+
+    def test_closed_form_method_matches_scalar_at_alpha_one(self):
+        grid = ScenarioGrid.from_product(
+            BASE.replace(alpha=1.0), gamma=[1.0, 5.0, 12.0]
+        )
+        batched = solve_batch(grid, method="closed-form", check_conditions=False)
+        assert_matches_scalar(grid, batched, method="closed-form")
+
+    def test_scalar_min_has_no_batched_form(self):
+        grid = ScenarioGrid(alpha=[0.5])
+        with pytest.raises(ParameterError, match="scalar-min"):
+            solve_batch(grid, method="scalar-min", check_conditions=False)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ParameterError):
+            solve_batch(ScenarioGrid(alpha=[0.5]), method="newton")
+
+    def test_lemma2_coefficients_reject_alpha_zero(self):
+        with pytest.raises(ParameterError):
+            lemma2_coefficients_batch(ScenarioGrid(alpha=[0.0, 0.5]))
+
+    def test_singular_exponent_rejected_outside_first_order(self):
+        grid = ScenarioGrid(alpha=[0.5], exponent=[1.0])
+        with pytest.raises(SingularExponentError):
+            solve_batch(grid, method="lemma2", check_conditions=False)
+
+
+class TestGainsEquivalence:
+    def test_gains_match_scalar_per_point(self):
+        scenarios = random_scenarios(seed=41, count=30)
+        grid = ScenarioGrid.from_scenarios(scenarios)
+        batched = solve_batch(grid, check_conditions=False)
+        gains = evaluate_gains_batch(grid, batched)
+        for i, scenario in enumerate(scenarios):
+            model = scenario.model()
+            scalar = evaluate_gains(
+                model, optimal_strategy(model, check_conditions=False)
+            )
+            assert gains.origin_load_reduction[i] == pytest.approx(
+                scalar.origin_load_reduction, abs=VALUE_TOL
+            )
+            assert gains.routing_improvement[i] == pytest.approx(
+                scalar.routing_improvement, abs=VALUE_TOL
+            )
+
+    def test_accepts_raw_storage_column(self):
+        grid = ScenarioGrid(alpha=[0.5, 0.5], capacity=[100.0, 100.0])
+        gains = evaluate_gains_batch(grid, np.array([0.0, 50.0]))
+        assert gains.origin_load_reduction[0] == 0.0
+        assert gains.origin_load_reduction[1] > 0.0
+
+    def test_rejects_storage_outside_capacity(self):
+        grid = ScenarioGrid(alpha=[0.5], capacity=[100.0])
+        with pytest.raises(ParameterError):
+            evaluate_gains_batch(grid, np.array([150.0]))
+
+
+class TestExistenceHandling:
+    def test_mask_matches_scalar_check_per_point(self):
+        grid = ScenarioGrid(
+            alpha=0.5,
+            n_routers=[20.0, 1.0, 20.0, 20.0],
+            catalog_size=[10**6, 10**6, 50.0, 10**6],
+            capacity=[10**3, 10**3, 10.0, 10**6],
+        )
+        mask = existence_mask(grid)
+        for i in range(len(grid)):
+            point = grid.scenario_at(i)
+            conditions = check_existence(
+                capacity=point.capacity,
+                catalog_size=point.catalog_size,
+                n_routers=point.n_routers,
+                exponent=point.exponent,
+                latency=point.latency(),
+            )
+            assert bool(mask[i]) == (not conditions.violations)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_solve_batch_raises_with_point_index(self):
+        grid = ScenarioGrid(alpha=[0.5, 0.5], catalog_size=[10**6, 50.0],
+                            capacity=[10**3, 10.0])
+        with pytest.raises(ExistenceConditionError, match="grid point 1"):
+            solve_batch(grid)
+
+    def test_check_conditions_false_records_mask(self):
+        grid = ScenarioGrid(alpha=[0.5, 0.5], catalog_size=[10**6, 50.0],
+                            capacity=[10**3, 10.0])
+        batched = solve_batch(grid, check_conditions=False)
+        assert batched.existence_ok.tolist() == [True, False]
+
+
+class TestObservability:
+    def test_solve_batch_reports_span_and_metrics(self):
+        grid = ScenarioGrid.from_product(BASE, alpha=[0.2, 0.5, 0.8])
+        with session() as active:
+            solve_batch(grid, check_conditions=False)
+        snap = active.snapshot()
+        assert snap["counters"].get("solver.batch.grids") == 1.0
+        assert snap["counters"].get("solver.batch.points") == 3.0
+        assert "solver.batch.iterations" in snap["gauges"]
+        assert "solver.batch" in snap["spans"]

@@ -280,3 +280,60 @@ class TestOptimalStrategy:
         strategy = optimal_strategy(BASE.replace(alpha=0.7).model(), method=method)
         assert 0.0 <= strategy.level <= 1.0
         assert strategy.method == method or strategy.method == "boundary"
+
+
+class TestMinimizeObjectiveSnap:
+    """The boundary snap evaluates each candidate's objective once."""
+
+    class _CountingModel:
+        def __init__(self, model):
+            self._model = model
+            self.calls: list[float] = []
+
+        @property
+        def capacity(self):
+            return self._model.capacity
+
+        def objective(self, x):
+            self.calls.append(float(x))
+            return self._model.objective(x)
+
+    def test_snap_makes_exactly_three_objective_calls(self, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.core.optimizer as optimizer_module
+
+        counting = self._CountingModel(BASE.replace(alpha=0.5).model())
+
+        def fake_minimize_scalar(fun, *, bounds, method, options):
+            # Stand-in for bounded Brent that never touches the
+            # objective, isolating the snap loop's own evaluations.
+            return SimpleNamespace(success=True, x=0.5 * bounds[1], message="")
+
+        monkeypatch.setattr(
+            optimizer_module._scipy_optimize, "minimize_scalar", fake_minimize_scalar
+        )
+        minimize_objective(counting)
+        assert counting.calls == [0.5 * counting.capacity, 0.0, counting.capacity]
+
+    def test_snap_prefers_boundary_when_it_ties_or_wins(self, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.core.optimizer as optimizer_module
+
+        # Cost-dominant regime: x = 0 beats any interior candidate.
+        model = BASE.replace(alpha=0.01, unit_cost=500.0).model()
+
+        def fake_minimize_scalar(fun, *, bounds, method, options):
+            return SimpleNamespace(success=True, x=0.5 * bounds[1], message="")
+
+        monkeypatch.setattr(
+            optimizer_module._scipy_optimize, "minimize_scalar", fake_minimize_scalar
+        )
+        assert minimize_objective(model) == 0.0
+
+    def test_matches_first_order_solver(self):
+        model = BASE.replace(alpha=0.6).model()
+        x_min = minimize_objective(model)
+        x_fo = solve_first_order(model)
+        assert x_min == pytest.approx(x_fo, abs=1e-6 * model.capacity)

@@ -1,0 +1,16 @@
+"""R4 true-positive fixture: mutating cached coefficient columns in place.
+
+The batched solver memoizes eq. 7 coefficient columns and returns them
+as shared views; every write pattern below corrupts the cache through
+the alias.
+"""
+
+import numpy as np
+
+
+def rescale_coefficients(table: np.ndarray, factor: float) -> np.ndarray:
+    """Overwrite the cached eq. 7 coefficient view (the aliasing bug)."""
+    table[0] = factor
+    np.multiply(table, factor, out=table)
+    table += factor
+    return table

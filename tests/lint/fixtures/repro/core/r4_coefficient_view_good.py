@@ -1,0 +1,29 @@
+"""R4 false-positive fixture: read-only coefficient caching, no aliasing."""
+
+import numpy as np
+
+
+def rescale_coefficients(table: np.ndarray, factor: float) -> np.ndarray:
+    """Copy-then-scale keeps the caller's eq. 7 columns intact."""
+    scaled = np.array(table) * factor
+    scaled[0] = factor
+    return scaled
+
+
+class CoefficientCache:
+    """Memoized eq. 7 coefficient columns, handed out as locked views.
+
+    The class owns the buffer: callers receive a read-only array, so the
+    Lemma 2 coefficients cannot drift between solves.
+    """
+
+    def __init__(self) -> None:
+        self._table = None
+
+    def coefficients(self, factor: float) -> np.ndarray:
+        """Build the eq. 7 column once and lock it before sharing."""
+        if self._table is None:
+            table = np.ones(8) * factor
+            table.flags.writeable = False
+            self._table = table
+        return self._table

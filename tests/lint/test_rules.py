@@ -30,6 +30,12 @@ CASES = [
         "simulation/r4_kernel_tables_good.py",
         3,
     ),
+    (
+        "R4",
+        "core/r4_coefficient_view_bad.py",
+        "core/r4_coefficient_view_good.py",
+        3,
+    ),
     ("R5", "core/r5_bad.py", "core/r5_good.py", 3),
     ("R6", "simulation/r6_bad.py", "simulation/r6_good.py", 4),
 ]
