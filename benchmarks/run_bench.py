@@ -270,6 +270,37 @@ def _bench_sweep_dense(quick: bool) -> dict:
     }
 
 
+def _bench_lint_full_tree() -> dict:
+    """Cold vs warm whole-tree lint (the incremental-engine headline).
+
+    Cold parses every file and runs all ten rules; warm serves per-file
+    results from the content-hash cache and re-runs only the cheap
+    summary-level project rules.  Uses a throwaway cache directory so
+    the bench never touches the working tree's ``.lint-cache/``.
+    """
+    import tempfile
+
+    from repro.lint import lint_paths
+
+    targets = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = Path(cache_dir) / "lint-cache"
+        start = time.perf_counter()
+        cold = lint_paths(targets, cache_dir=cache)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = lint_paths(targets, cache_dir=cache)
+        warm_s = time.perf_counter() - start
+    return {
+        "files": cold.files_checked,
+        "findings": len(cold.diagnostics),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_relinted": warm.files_relinted,
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+    }
+
+
 def _bench_zipf_tables(catalog_size: int) -> dict:
     """Cold table build vs memoized rebuild for ``ZipfPopularity``."""
     import numpy as np
@@ -344,6 +375,7 @@ def run(quick: bool) -> dict:
         )
         results["sweep_parallel_4"] = _bench_sweep(4)
         results["large_catalog"] = _bench_large_catalog(200_000, 1_000_000)
+    results["lint_full_tree"] = _bench_lint_full_tree()
     results["zipf_tables"] = _bench_zipf_tables(
         100_000 if quick else 1_000_000
     )

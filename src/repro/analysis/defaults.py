@@ -17,7 +17,6 @@ __all__ = [
     "BASE_SCENARIO",
     "FIGURE_GAMMAS",
     "ALPHA_GRID",
-    "ALPHA_GRID_DENSE",
     "EXPONENT_GRID",
     "ROUTER_COUNT_GRID",
     "UNIT_COST_GRID",
@@ -43,9 +42,6 @@ FIGURE_GAMMAS = (2.0, 4.0, 6.0, 8.0, 10.0)
 #: The α sweep of Figures 4, 8 and 12 — the open interval (0, 1) plus
 #: its endpoints' closures where the optimum is well defined.
 ALPHA_GRID = tuple(np.round(np.linspace(0.05, 1.0, 20), 4))
-
-#: A denser α grid for curves whose sensitive range needs resolution.
-ALPHA_GRID_DENSE = tuple(np.round(np.linspace(0.02, 1.0, 50), 4))
 
 #: The Zipf-exponent sweep of Figures 5, 9 and 13 — [0.1, 1) ∪ (1, 1.9],
 #: excluding the singular point s = 1.

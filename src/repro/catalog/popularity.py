@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.validation import require_exponent
-from ..core.zipf import ZipfPopularity
+from ..core.zipf import DEFAULT_SAMPLE_SEED, ZipfPopularity
 from ..errors import CatalogError, ParameterError
 
 __all__ = [
@@ -87,10 +87,15 @@ class PopularityModel(abc.ABC):
         return np.where(ks <= 0, 0.0, cdf_table[clipped - 1])
 
     def sample(self, size: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Draw ``size`` i.i.d. ranks by inverse-transform sampling."""
+        """Draw ``size`` i.i.d. ranks by inverse-transform sampling.
+
+        When ``rng`` is omitted, a fixed-seed generator is used so the
+        draw replays bit-for-bit across runs (R7 determinism contract);
+        pass your own ``Generator`` for independent draws.
+        """
         if size < 0:
             raise ParameterError(f"sample size must be non-negative, got {size}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(DEFAULT_SAMPLE_SEED)
         _, cdf_table = self._tables()
         return np.searchsorted(cdf_table, rng.random(size), side="left") + 1
 

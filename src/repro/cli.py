@@ -11,6 +11,7 @@ Usage::
     python -m repro topology abilene           # topology statistics
     python -m repro sensitivity --gamma 5      # sensitive range of alpha
     python -m repro protocol geant             # coordination protocol cost
+    python -m repro lint src tests             # whole-program static checks
 
 The default output is the fixed-width text rendering of
 :mod:`repro.analysis.tables`, suitable for redirecting into files and
@@ -143,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
     proto.add_argument("name", help="abilene | cernet | geant | us-a")
     proto.add_argument("--level", type=float, default=0.5)
     proto.add_argument("--capacity", type=int, default=20)
+
+    # `repro lint` is dispatched before argparse runs (see _dispatch):
+    # repro.lint.cli owns the whole flag surface (--format sarif, --fix,
+    # --changed, ...) and argparse REMAINDER cannot forward leading
+    # options.  The stub here only provides the help line.
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the whole-program static-analysis rules (repro.lint)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
 
     report = subparsers.add_parser(
         "report", help="generate the full markdown reproduction report"
@@ -433,7 +445,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
 def _dispatch(argv: Optional[Sequence[str]], out) -> int:
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
+    if argv_list[:1] == ["lint"]:
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv_list[1:], out=out)
+    args = build_parser().parse_args(argv_list)
     if args.command == "list":
         for name, fn in ALL_EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]

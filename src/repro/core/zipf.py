@@ -50,6 +50,7 @@ __all__ = [
     "zipf_table_stats",
     "clear_zipf_caches",
     "ZipfPopularity",
+    "DEFAULT_SAMPLE_SEED",
 ]
 
 #: Rank threshold above which :func:`harmonic_number` switches from the
@@ -75,6 +76,13 @@ _HARMONIC_CACHE_MAX = 4096
 #: of a longer cached table.  Tables are O(N) memory, so the cap is low.
 _PREFIX_CACHE: "OrderedDict[tuple[int, float], np.ndarray]" = OrderedDict()
 _PREFIX_CACHE_MAX = 4
+
+#: Seed of the fallback generator used by ``sample(..., rng=None)``.
+#: An *entropy*-seeded fallback would make the default sampling path
+#: non-replayable (R7 rng-determinism); callers wanting independent
+#: draws pass their own ``Generator``.  Value = the paper's venue year
+#: and id, chosen once and never varied.
+DEFAULT_SAMPLE_SEED = 20131307
 
 #: Discrete (pmf, cdf) sampling tables of :class:`ZipfPopularity`, keyed
 #: ``(exponent, catalog_size)`` and shared across instances.
@@ -533,10 +541,14 @@ class ZipfPopularity:
         Uses inverse-transform sampling against the precomputed discrete
         CDF table, which is exact (unlike ``numpy.random.zipf``, which
         samples the unbounded Zipf law and requires ``s > 1``).
+
+        When ``rng`` is omitted the draw comes from a fixed-seed
+        generator (:data:`DEFAULT_SAMPLE_SEED`) so repeated runs replay
+        bit-for-bit; pass your own ``Generator`` for independent draws.
         """
         if size < 0:
             raise ParameterError(f"sample size must be non-negative, got {size}")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(DEFAULT_SAMPLE_SEED)
         _, cdf_table = self._tables()
         u = rng.random(size)
         return np.searchsorted(cdf_table, u, side="left") + 1

@@ -1,0 +1,93 @@
+"""Committed-baseline support: fail on *new* findings only.
+
+The CI gate must be able to adopt a new rule before the tree is fully
+clean under it: the known findings are recorded in a committed baseline
+file (``lint-baseline.json`` at the repo root) and the gate fails only
+on findings *not* in the baseline.  This keeps ``make test`` strict for
+regressions while allowing incremental adoption.
+
+A baseline entry matches on ``(rule, path, message)`` — deliberately
+not on line numbers, so unrelated edits above a baselined finding do
+not resurrect it.  The repo policy (DESIGN.md §13) is that the shipped
+baseline stays *empty*: findings are fixed or suppressed in place with
+a justification, and the baseline exists as CI machinery, not as a
+dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _normalize_path(path: str) -> str:
+    rel = os.path.relpath(path) if os.path.isabs(path) else path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+class Baseline:
+    """An accepted-findings set loaded from / saved to JSON."""
+
+    def __init__(self, keys: Set[_Key]):
+        self._keys = keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @staticmethod
+    def key_of(diagnostic: Diagnostic) -> _Key:
+        return (
+            diagnostic.rule_id,
+            _normalize_path(diagnostic.path),
+            diagnostic.message,
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises OSError/ValueError on bad input."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        keys: Set[_Key] = set()
+        for entry in payload.get("entries", []):
+            keys.add((entry["rule"], entry["path"], entry["message"]))
+        return cls(keys)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        return cls({cls.key_of(d) for d in diagnostics})
+
+    def contains(self, diagnostic: Diagnostic) -> bool:
+        """Whether this finding is recorded (and therefore accepted)."""
+        return self.key_of(diagnostic) in self._keys
+
+    def split(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Partition into ``(new, baselined)``."""
+        new: List[Diagnostic] = []
+        baselined: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            (baselined if self.contains(diagnostic) else new).append(diagnostic)
+        return new, baselined
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as sorted, stable JSON (diff-friendly)."""
+        entries = [
+            {"rule": rule, "path": rel_path, "message": message}
+            for rule, rel_path, message in sorted(self._keys)
+        ]
+        Path(path).write_text(
+            json.dumps({"version": 1, "entries": entries}, indent=2) + "\n",
+            encoding="utf-8",
+        )

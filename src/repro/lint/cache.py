@@ -1,0 +1,183 @@
+"""Incremental lint cache: content-hash keyed, import-graph invalidated.
+
+A full-tree lint parses ~180 files and runs nine per-file rules over
+each — seconds of work that CI and pre-commit hooks repeat on trees
+that have not changed.  The cache removes that cost: after a clean run,
+every file has an entry recording
+
+- ``hash`` — sha256 of the file's bytes,
+- ``dep_hash`` — sha256 over the *transitive import closure's* content
+  hashes (computed from the phase-1 project index), so editing a leaf
+  module invalidates every importer without any timestamp games,
+- the file's serialised diagnostics, suppression count, and
+  :class:`~repro.lint.project.ModuleSummary`.
+
+On a warm run the engine hashes the files (cheap), rebuilds the project
+index *from cached summaries without parsing anything*, recomputes each
+dep-hash, and re-lints only files whose own hash or dep-hash moved.  A
+clean tree therefore re-parses zero files and the whole-tree lint takes
+milliseconds; project rules (R10) still run every time, against the
+summary-level index.
+
+The cache lives under ``.lint-cache/`` (git-ignorable, safe to delete
+at any time) and is versioned: a registry change — new rules, changed
+rule order — abandons stale caches wholesale rather than risking a
+stale finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .diagnostics import Diagnostic
+from .project import ModuleSummary
+
+__all__ = ["CacheEntry", "IncrementalCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".lint-cache"
+
+#: Bump when the cache payload shape changes incompatibly.
+CACHE_FORMAT = 1
+
+
+@dataclass
+class CacheEntry:
+    """One file's cached lint outcome + index contribution."""
+
+    hash: str
+    dep_hash: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed_count: int = 0
+    summary: Optional[ModuleSummary] = None
+
+    def to_json(self) -> dict:
+        return {
+            "hash": self.hash,
+            "dep_hash": self.dep_hash,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "suppressed": self.suppressed_count,
+            "summary": self.summary.to_json() if self.summary else None,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "CacheEntry":
+        return cls(
+            hash=payload["hash"],
+            dep_hash=payload["dep_hash"],
+            diagnostics=[
+                Diagnostic.from_json(d) for d in payload["diagnostics"]
+            ],
+            suppressed_count=int(payload["suppressed"]),
+            summary=(
+                ModuleSummary.from_json(payload["summary"])
+                if payload.get("summary")
+                else None
+            ),
+        )
+
+
+class IncrementalCache:
+    """Load/store for the per-file cache under ``cache_dir``.
+
+    The cache key space is the *resolved* file path; the rules key binds
+    entries to the rule selection they were produced under, so
+    ``--select R1`` runs and full runs never cross-contaminate.
+    """
+
+    def __init__(self, cache_dir: Path, rules_key: str):
+        self.cache_dir = Path(cache_dir)
+        self.rules_key = rules_key
+        self.entries: Dict[str, CacheEntry] = {}
+        self._loaded_ok = False
+
+    @property
+    def path(self) -> Path:
+        return self.cache_dir / "cache.json"
+
+    # -- persistence ----------------------------------------------------
+    def load(self) -> bool:
+        """Read the cache; an unreadable/mismatched cache is just empty."""
+        self.entries = {}
+        self._loaded_ok = False
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        if (
+            payload.get("format") != CACHE_FORMAT
+            or payload.get("rules_key") != self.rules_key
+        ):
+            return False
+        try:
+            self.entries = {
+                path: CacheEntry.from_json(entry)
+                for path, entry in payload.get("files", {}).items()
+            }
+        except (KeyError, TypeError, ValueError):
+            self.entries = {}
+            return False
+        self._loaded_ok = True
+        return True
+
+    def save(self) -> None:
+        """Atomically persist every entry under ``cache_dir``."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "rules_key": self.rules_key,
+            "files": {
+                path: entry.to_json() for path, entry in self.entries.items()
+            },
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self.path)
+
+    # -- lookups ---------------------------------------------------------
+    def summary_for(self, path: str, file_hash: str) -> Optional[ModuleSummary]:
+        """Cached index contribution, valid only if the content matches."""
+        entry = self.entries.get(path)
+        if entry is not None and entry.hash == file_hash and entry.summary:
+            return entry.summary
+        return None
+
+    def result_for(
+        self, path: str, file_hash: str, dep_hash: str
+    ) -> Optional[Tuple[List[Diagnostic], int]]:
+        """Cached diagnostics, valid only if content AND deps match."""
+        entry = self.entries.get(path)
+        if (
+            entry is not None
+            and entry.hash == file_hash
+            and entry.dep_hash == dep_hash
+        ):
+            return list(entry.diagnostics), entry.suppressed_count
+        return None
+
+    def store(
+        self,
+        path: str,
+        file_hash: str,
+        dep_hash: str,
+        diagnostics: List[Diagnostic],
+        suppressed_count: int,
+        summary: Optional[ModuleSummary],
+    ) -> None:
+        """Record one file's fresh lint outcome + index contribution."""
+        self.entries[path] = CacheEntry(
+            hash=file_hash,
+            dep_hash=dep_hash,
+            diagnostics=list(diagnostics),
+            suppressed_count=suppressed_count,
+            summary=summary,
+        )
+
+    def prune(self, live_paths: set) -> None:
+        """Drop entries for files no longer part of the lint target set."""
+        for stale in set(self.entries) - set(live_paths):
+            del self.entries[stale]

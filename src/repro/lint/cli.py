@@ -1,7 +1,18 @@
 """Command-line interface: ``python -m repro.lint [paths...]``.
 
-Exit codes follow the usual linter convention: 0 clean, 1 findings,
-2 usage or internal error.
+Also reachable as ``repro lint ...`` through the package CLI.  Exit
+codes follow the usual linter convention: 0 clean, 1 findings, 2 usage
+or internal error.  Noteworthy flags:
+
+- ``--format sarif`` renders a SARIF 2.1.0 log for CI annotation;
+- ``--fix`` applies the mechanical fixes (R8 dtype kwargs, R9
+  try/finally span closure) and re-lints;
+- ``--changed`` lints only git-changed files plus their transitive
+  importers (pre-commit fast path);
+- ``--baseline FILE`` suppresses findings recorded in a committed
+  baseline and fails only on new ones;
+- ``--no-cache`` / ``--cache-dir`` control the incremental cache
+  (enabled by default, under ``.lint-cache/``).
 """
 
 from __future__ import annotations
@@ -12,8 +23,12 @@ import sys
 from pathlib import Path
 from typing import IO, Optional, Sequence
 
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .cache import DEFAULT_CACHE_DIR
 from .engine import LintResult, lint_paths
-from .rules import RULES, rule_ids
+from .fixes import apply_fixes
+from .rules import PROJECT_RULES, RULES, rule_ids
+from .sarif import to_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -24,8 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description=(
-            "AST-based invariant & layering checks for the repro package "
-            "(rules R1-R5; see DESIGN.md 'Static analysis & invariants')"
+            "Whole-program invariant & layering checks for the repro "
+            "package (per-file rules R1-R9 plus project rule R10; see "
+            "DESIGN.md 'Static analysis & invariants')"
         ),
     )
     parser.add_argument(
@@ -36,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -55,11 +71,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append a per-rule finding count to text output",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes (R8 dtype, R9 span closure), then re-lint",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-changed files and their transitive importers",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental cache (full re-lint, nothing written)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"incremental cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "suppress findings recorded in this baseline file; fail only "
+            f"on new ones (conventionally {DEFAULT_BASELINE_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings as the baseline file and exit 0",
+    )
     return parser
 
 
 def _print_rules(out: IO[str]) -> None:
-    for rule in RULES:
+    for rule in list(RULES) + list(PROJECT_RULES):
         print(f"{rule.id}  {rule.name:24s} {rule.description}", file=out)
 
 
@@ -79,6 +129,8 @@ def _render_text(result: LintResult, *, statistics: bool, out: IO[str]) -> None:
     )
     if result.suppressed_count:
         summary += f", {result.suppressed_count} suppressed"
+    if result.files_from_cache:
+        summary += f", {result.files_from_cache} from cache"
     print(summary, file=out)
 
 
@@ -86,10 +138,17 @@ def _render_json(result: LintResult, out: IO[str]) -> None:
     payload = {
         "findings": [d.to_json() for d in result.diagnostics],
         "files_checked": result.files_checked,
+        "files_relinted": result.files_relinted,
+        "files_from_cache": result.files_from_cache,
         "suppressed": result.suppressed_count,
         "rules": rule_ids(),
     }
     json.dump(payload, out, indent=2)
+    print(file=out)
+
+
+def _render_sarif(result: LintResult, out: IO[str]) -> None:
+    json.dump(to_sarif(result.diagnostics), out, indent=2)
     print(file=out)
 
 
@@ -112,13 +171,68 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[IO[str]] = None) ->
                 file=sys.stderr,
             )
             return EXIT_USAGE
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
+    lint_kwargs = dict(
+        selected_ids=selected,
+        cache_dir=cache_dir,
+        changed_only=args.changed,
+    )
     try:
-        result = lint_paths([Path(p) for p in args.paths], selected_ids=selected)
+        result = lint_paths([Path(p) for p in args.paths], **lint_kwargs)
+        if args.fix:
+            fixed_paths, dropped = apply_fixes(result.diagnostics)
+            if fixed_paths:
+                for path in fixed_paths:
+                    print(f"repro-lint: fixed {path}", file=out)
+                result = lint_paths(
+                    [Path(p) for p in args.paths], **lint_kwargs
+                )
+            for diagnostic in dropped:
+                print(
+                    f"repro-lint: could not auto-fix "
+                    f"{diagnostic.path}:{diagnostic.line} "
+                    f"[{diagnostic.rule_id}]",
+                    file=sys.stderr,
+                )
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    except RuntimeError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        Baseline.from_diagnostics(result.diagnostics).save(
+            Path(args.write_baseline)
+        )
+        print(
+            f"repro-lint: wrote {len(result.diagnostics)} finding(s) to "
+            f"{args.write_baseline}",
+            file=out,
+        )
+        return EXIT_CLEAN
+
+    if args.baseline:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                f"repro-lint: cannot read baseline {args.baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        new, baselined = baseline.split(result.diagnostics)
+        result.diagnostics = new
+        if baselined:
+            print(
+                f"repro-lint: {len(baselined)} baselined finding(s) hidden",
+                file=out,
+            )
+
     if args.format == "json":
         _render_json(result, out)
+    elif args.format == "sarif":
+        _render_sarif(result, out)
     else:
         _render_text(result, statistics=args.statistics, out=out)
     return EXIT_FINDINGS if result.exit_code else EXIT_CLEAN

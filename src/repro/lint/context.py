@@ -5,7 +5,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import ProjectIndex
 
 #: Top-level modules of the ``repro`` package that the layering rule
 #: treats as units alongside the subpackages.
@@ -38,6 +41,13 @@ class ModuleContext:
     source: str
     tree: ast.Module
     module_name: Optional[str]
+
+    #: Back-reference to the whole-program index (phase 1), populated by
+    #: the engine when linting a full path set; ``None`` when a file is
+    #: linted in isolation via :func:`repro.lint.lint_file`.  Per-file
+    #: rules that can exploit cross-module facts should degrade
+    #: gracefully when it is absent.
+    project: Optional["ProjectIndex"] = None
 
     #: Cached split source lines (1-indexed access via ``line_at``).
     _lines: Tuple[str, ...] = field(default=(), repr=False)

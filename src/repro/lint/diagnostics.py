@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Any, Dict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
 
 
 class Severity(enum.Enum):
@@ -22,6 +22,35 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class Fix:
+    """A mechanical edit that resolves a finding (``repro lint --fix``).
+
+    Fixes are deliberately line/column-textual rather than AST-rewrites
+    so they survive serialisation through the incremental cache.  Two
+    kinds exist today:
+
+    - ``insert`` — splice ``data["text"]`` into position
+      (``data["line"]``, ``data["col"]``); used for missing
+      ``dtype=np.int64`` keywords (R8).
+    - ``span_try_finally`` — wrap the statements after a manual span
+      open (``data["assign_line"]``) up to ``data["block_end_line"]``
+      in ``try:``/``finally: <handle>.__exit__(None, None, None)``;
+      used for unclosed spans (R9).
+    """
+
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable form (cache + ``--format json``)."""
+        return {"kind": self.kind, "data": dict(self.data)}
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "Fix":
+        return cls(kind=payload["kind"], data=dict(payload["data"]))
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One finding: a rule violated at a specific source location."""
 
@@ -32,6 +61,8 @@ class Diagnostic:
     rule_name: str
     message: str
     severity: Severity = Severity.ERROR
+    #: Optional mechanical auto-fix applied by ``--fix``.
+    fix: Optional[Fix] = None
 
     def sort_key(self) -> tuple[str, int, int, str]:
         """Stable report ordering: by path, then position, then rule id."""
@@ -45,8 +76,8 @@ class Diagnostic:
         )
 
     def to_json(self) -> Dict[str, Any]:
-        """JSON-serialisable form used by ``--format json``."""
-        return {
+        """JSON-serialisable form used by ``--format json`` and the cache."""
+        payload: Dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -55,3 +86,20 @@ class Diagnostic:
             "severity": str(self.severity),
             "message": self.message,
         }
+        if self.fix is not None:
+            payload["fix"] = self.fix.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "Diagnostic":
+        """Inverse of :meth:`to_json` (incremental-cache reload path)."""
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=payload["rule"],
+            rule_name=payload["name"],
+            message=payload["message"],
+            severity=Severity(payload.get("severity", "error")),
+            fix=Fix.from_json(payload["fix"]) if payload.get("fix") else None,
+        )

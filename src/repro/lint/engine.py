@@ -1,14 +1,38 @@
-"""File discovery, rule dispatch, and suppression filtering."""
+"""Two-phase whole-program lint engine.
+
+Phase 1 (*index*): every discovered file is reduced to a
+:class:`~repro.lint.project.ModuleSummary` — parsed fresh, or loaded
+from the incremental cache when the file's content hash is unchanged —
+and the summaries combine into the shared
+:class:`~repro.lint.project.ProjectIndex` (import graph, reference
+index).
+
+Phase 2 (*rules*): per-file rules run over each file that needs
+re-linting (content changed, or anything in its transitive import
+closure changed — the cache stores a dependency hash per file), with
+``ctx.project`` pointing at the phase-1 index; project rules
+(:class:`~repro.lint.rules.ProjectRule`, e.g. R10 dead-public-API) run
+once over the index itself, every run — they are cheap against
+summaries and their findings depend on global state no per-file cache
+entry could own.
+
+``--changed`` mode narrows phase 2a to the files reported by
+``git diff --name-only HEAD`` (plus untracked files) *and their
+transitive importers*, which is the fast pre-commit path.
+"""
 
 from __future__ import annotations
 
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .context import ModuleContext
+from .cache import IncrementalCache
+from .context import ModuleContext, resolve_module_name
 from .diagnostics import Diagnostic, Severity
-from .rules import RULES, Rule
+from .project import ModuleSummary, ProjectIndex, content_hash, summarize
+from .rules import PROJECT_RULES, RULES, ProjectRule, Rule, rule_ids
 from .suppress import SuppressionIndex
 
 #: Directory components never descended into during discovery.  Lint
@@ -24,6 +48,7 @@ DEFAULT_EXCLUDED_DIRS = frozenset(
         "build",
         "dist",
         ".pytest_cache",
+        ".lint-cache",
     }
 )
 
@@ -35,6 +60,13 @@ class LintResult:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
     suppressed_count: int = 0
+    #: Incremental-engine accounting: how many files were re-parsed and
+    #: re-linted this run vs. served wholesale from the cache.
+    files_relinted: int = 0
+    files_from_cache: int = 0
+    #: ``--changed`` mode: files outside the changed set with no valid
+    #: cache entry are skipped (their findings are unknown this run).
+    files_skipped: int = 0
 
     @property
     def error_count(self) -> int:
@@ -83,34 +115,82 @@ def discover_files(
     return found
 
 
+def git_changed_files(repo_root: Optional[Path] = None) -> Optional[Set[Path]]:
+    """Files differing from HEAD plus untracked files, resolved.
+
+    Returns ``None`` when git is unavailable or the directory is not a
+    work tree; callers decide whether that is an error (the CLI treats
+    it as one for ``--changed``).
+    """
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    changed: Set[Path] = set()
+    for args in (
+        ("git", "diff", "--name-only", "HEAD"),
+        ("git", "ls-files", "--others", "--exclude-standard"),
+    ):
+        try:
+            proc = subprocess.run(
+                args,
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=False,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                changed.add((root / line).resolve())
+    return changed
+
+
+def _parse_error_diagnostic(path: Path, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=str(path),
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        rule_id="E001",
+        rule_name="parse-error",
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
 def lint_file(
     path: Path,
     *,
     rules: Sequence[Rule] = RULES,
     selected_ids: Optional[Iterable[str]] = None,
+    project: Optional[ProjectIndex] = None,
 ) -> Tuple[List[Diagnostic], int]:
-    """Lint one file; returns ``(diagnostics, suppressed_count)``.
+    """Lint one file in isolation; returns ``(diagnostics, suppressed)``.
 
     A file that fails to parse yields a single ``E001`` diagnostic so a
-    syntax error cannot silently pass the lint gate.
+    syntax error cannot silently pass the lint gate.  Project rules do
+    not run here — they need :func:`lint_paths`' whole-program index.
     """
     try:
         ctx = ModuleContext.from_path(path)
     except SyntaxError as exc:
-        return (
-            [
-                Diagnostic(
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    rule_id="E001",
-                    rule_name="parse-error",
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ],
-            0,
-        )
-    selected = {rid.upper() for rid in selected_ids} if selected_ids is not None else None
+        return [_parse_error_diagnostic(path, exc)], 0
+    ctx.project = project
+    return _run_file_rules(ctx, rules, _selection(selected_ids))
+
+
+def _selection(selected_ids: Optional[Iterable[str]]) -> Optional[Set[str]]:
+    if selected_ids is None:
+        return None
+    return {rid.upper() for rid in selected_ids}
+
+
+def _run_file_rules(
+    ctx: ModuleContext,
+    rules: Sequence[Rule],
+    selected: Optional[Set[str]],
+) -> Tuple[List[Diagnostic], int]:
     suppressions = SuppressionIndex.from_source(ctx.source)
     kept: List[Diagnostic] = []
     suppressed = 0
@@ -125,20 +205,194 @@ def lint_file(
     return kept, suppressed
 
 
+def _run_project_rules(
+    index: ProjectIndex,
+    project_rules: Sequence[ProjectRule],
+    selected: Optional[Set[str]],
+    linted_paths: Set[str],
+) -> Tuple[List[Diagnostic], int]:
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for rule in project_rules:
+        if selected is not None and rule.id.upper() not in selected:
+            continue
+        for diagnostic in rule.check_project(index):
+            if diagnostic.path not in linted_paths:
+                continue
+            summary = index.summaries.get(diagnostic.path)
+            if summary is not None and summary.is_suppressed(
+                diagnostic.rule_id, diagnostic.line
+            ):
+                suppressed += 1
+            else:
+                kept.append(diagnostic)
+    return kept, suppressed
+
+
 def lint_paths(
     paths: Sequence[Path],
     *,
     rules: Sequence[Rule] = RULES,
+    project_rules: Sequence[ProjectRule] = PROJECT_RULES,
     selected_ids: Optional[Iterable[str]] = None,
+    cache_dir: Optional[Path] = None,
+    changed_only: bool = False,
+    repo_root: Optional[Path] = None,
 ) -> LintResult:
-    """Lint every python file reachable from ``paths``."""
+    """Lint every python file reachable from ``paths`` (two phases).
+
+    With ``cache_dir`` the incremental cache is consulted and updated;
+    with ``changed_only`` per-file rules run only on git-changed files
+    plus their transitive importers (project rules always run).
+    """
     result = LintResult()
-    for path in discover_files(paths):
-        diagnostics, suppressed = lint_file(
-            path, rules=rules, selected_ids=selected_ids
+    files = discover_files(paths)
+    selected = _selection(selected_ids)
+
+    # ---- hash every file (cheap, and the cache key space). ----------
+    sources: Dict[str, bytes] = {}
+    hashes: Dict[str, str] = {}
+    for path in files:
+        raw = path.read_bytes()
+        key = str(path)
+        sources[key] = raw
+        hashes[key] = content_hash(raw)
+
+    cache: Optional[IncrementalCache] = None
+    if cache_dir is not None:
+        rules_key = "|".join(rule_ids()) + "//" + (
+            ",".join(sorted(selected)) if selected is not None else "all"
         )
+        cache = IncrementalCache(Path(cache_dir), rules_key)
+        cache.load()
+
+    # ---- phase 1: summaries (cached or parsed) -> project index. ----
+    contexts: Dict[str, ModuleContext] = {}
+    parse_errors: Dict[str, Diagnostic] = {}
+    summaries: Dict[str, ModuleSummary] = {}
+
+    def _parse(path: Path) -> Optional[ModuleContext]:
+        key = str(path)
+        if key in contexts:
+            return contexts[key]
+        if key in parse_errors:
+            return None
+        try:
+            source = sources[key].decode("utf-8")
+            ctx = ModuleContext.from_path(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            if isinstance(exc, SyntaxError):
+                parse_errors[key] = _parse_error_diagnostic(path, exc)
+            else:
+                parse_errors[key] = Diagnostic(
+                    path=key,
+                    line=1,
+                    col=0,
+                    rule_id="E001",
+                    rule_name="parse-error",
+                    message=f"file is not valid UTF-8: {exc}",
+                )
+            return None
+        del source  # decoded only to surface unicode errors here
+        contexts[key] = ctx
+        return ctx
+
+    for path in files:
+        key = str(path)
+        summary = cache.summary_for(key, hashes[key]) if cache else None
+        if summary is None:
+            ctx = _parse(path)
+            if ctx is None:
+                summary = ModuleSummary(
+                    path=key,
+                    module_name=resolve_module_name(path),
+                    hash=hashes[key],
+                    is_init=path.name == "__init__.py",
+                )
+            else:
+                summary = summarize(ctx, hashes[key])
+        summaries[key] = summary
+    index = ProjectIndex(summaries.values())
+    dep_hashes = {key: index.dependency_hash(key) for key in summaries}
+
+    # ---- phase 2a: per-file rules (incremental). --------------------
+    targets: Set[str] = set(summaries)
+    if changed_only:
+        changed = git_changed_files(repo_root)
+        if changed is None:
+            raise RuntimeError(
+                "--changed requires git and a work tree (git diff failed)"
+            )
+        changed_keys = {
+            key for key, path in ((str(p), p) for p in files)
+            if path.resolve() in changed
+        }
+        expanded = set(changed_keys)
+        for key in changed_keys:
+            expanded |= index.transitive_importers(key)
+        targets = expanded & set(summaries)
+
+    for path in files:
+        key = str(path)
+        if key not in targets:
+            cached = (
+                cache.result_for(key, hashes[key], dep_hashes[key])
+                if cache
+                else None
+            )
+            if cached is not None:
+                diagnostics, suppressed = cached
+                result.diagnostics.extend(diagnostics)
+                result.suppressed_count += suppressed
+                result.files_from_cache += 1
+                result.files_checked += 1
+            else:
+                result.files_skipped += 1
+            continue
+        cached = (
+            cache.result_for(key, hashes[key], dep_hashes[key])
+            if cache
+            else None
+        )
+        if cached is not None:
+            diagnostics, suppressed = cached
+            result.files_from_cache += 1
+        else:
+            if key in parse_errors:
+                diagnostics, suppressed = [parse_errors[key]], 0
+            else:
+                ctx = _parse(path)
+                if ctx is None:
+                    diagnostics, suppressed = [parse_errors[key]], 0
+                else:
+                    ctx.project = index
+                    diagnostics, suppressed = _run_file_rules(
+                        ctx, rules, selected
+                    )
+            result.files_relinted += 1
+            if cache is not None:
+                cache.store(
+                    key,
+                    hashes[key],
+                    dep_hashes[key],
+                    diagnostics,
+                    suppressed,
+                    summaries[key],
+                )
         result.diagnostics.extend(diagnostics)
         result.suppressed_count += suppressed
         result.files_checked += 1
+
+    # ---- phase 2b: project rules (always run, summary-level). -------
+    project_diagnostics, project_suppressed = _run_project_rules(
+        index, project_rules, selected, set(summaries)
+    )
+    result.diagnostics.extend(project_diagnostics)
+    result.suppressed_count += project_suppressed
+
+    if cache is not None:
+        cache.prune(set(summaries))
+        cache.save()
+
     result.diagnostics.sort(key=Diagnostic.sort_key)
     return result

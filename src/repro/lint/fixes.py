@@ -1,0 +1,105 @@
+"""Auto-fix application for the mechanical rules (``repro lint --fix``).
+
+Only findings carrying a :class:`~repro.lint.diagnostics.Fix` payload
+are touched; everything else (layering violations, missing overflow
+comments, genuine design findings) still requires a human.  Supported
+payloads:
+
+- ``insert`` — splice text into one position (R8's missing
+  ``dtype=np.int64`` keyword);
+- ``span_try_finally`` — wrap the statements following a manual span
+  open in ``try:``/``finally: <handle>.__exit__(None, None, None)``
+  (R9's unclosed-span rewrite).
+
+Fixes are applied bottom-up per file so earlier edits never shift the
+line numbers of later ones, and the rewritten source is re-parsed
+before writing: a fix that would produce a syntax error is dropped and
+reported instead of destroying the file.  ``--fix`` is best-effort by
+design — always re-lint (the CLI does automatically) and re-run the
+equivalence suites after applying.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = ["apply_fixes", "fixable"]
+
+
+def fixable(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The subset of findings that carry a mechanical fix."""
+    return [d for d in diagnostics if d.fix is not None]
+
+
+def _apply_insert(lines: List[str], data: dict) -> None:
+    line_idx = int(data["line"]) - 1
+    col = int(data["col"])
+    text = data["text"]
+    line = lines[line_idx]
+    col = max(0, min(col, len(line)))
+    lines[line_idx] = line[:col] + text + line[col:]
+
+
+def _apply_span_try_finally(lines: List[str], data: dict) -> None:
+    start = int(data["block_start_line"]) - 1
+    end = int(data["block_end_line"]) - 1
+    indent = " " * int(data["indent"])
+    handle = data["handle"]
+    # Indent the guarded block one level deeper.
+    for i in range(start, end + 1):
+        if lines[i].strip():
+            lines[i] = "    " + lines[i]
+    closer = [
+        f"{indent}finally:",
+        f"{indent}    {handle}.__exit__(None, None, None)",
+    ]
+    lines[end + 1 : end + 1] = closer
+    lines[start:start] = [f"{indent}try:"]
+
+
+def apply_fixes(
+    diagnostics: Iterable[Diagnostic],
+) -> Tuple[List[str], List[Diagnostic]]:
+    """Apply every carried fix, grouped per file, bottom-up.
+
+    Returns ``(fixed_paths, dropped)`` where ``dropped`` are findings
+    whose fix was skipped because the rewritten file would no longer
+    parse (each file's edits are validated together before writing).
+    """
+    by_file: Dict[str, List[Diagnostic]] = {}
+    for diagnostic in fixable(diagnostics):
+        by_file.setdefault(diagnostic.path, []).append(diagnostic)
+    fixed_paths: List[str] = []
+    dropped: List[Diagnostic] = []
+    for path, findings in sorted(by_file.items()):
+        source = Path(path).read_text(encoding="utf-8")
+        lines = source.splitlines()
+        trailing_newline = source.endswith("\n")
+        # Bottom-up: apply the fix anchored lowest in the file first.
+        def anchor(d: Diagnostic) -> int:
+            assert d.fix is not None
+            return int(
+                d.fix.data.get("line", d.fix.data.get("assign_line", d.line))
+            )
+
+        for diagnostic in sorted(findings, key=anchor, reverse=True):
+            assert diagnostic.fix is not None
+            if diagnostic.fix.kind == "insert":
+                _apply_insert(lines, diagnostic.fix.data)
+            elif diagnostic.fix.kind == "span_try_finally":
+                _apply_span_try_finally(lines, diagnostic.fix.data)
+            else:  # unknown kind: leave for a newer tool version
+                dropped.append(diagnostic)
+        new_source = "\n".join(lines) + ("\n" if trailing_newline else "")
+        try:
+            ast.parse(new_source)
+        except SyntaxError:
+            dropped.extend(findings)
+            continue
+        Path(path).write_text(new_source, encoding="utf-8")
+        fixed_paths.append(path)
+    return fixed_paths, dropped

@@ -3,19 +3,31 @@
 Each rule lives in its own module and registers a single :class:`Rule`
 subclass.  The registry order defines the reporting order for findings
 on the same line.
+
+Two rule families exist since the whole-program framework landed:
+
+- **per-file rules** (:class:`Rule`) — phase 2a, see one
+  :class:`~repro.lint.context.ModuleContext` at a time (optionally with
+  its ``project`` back-reference populated);
+- **project rules** (:class:`ProjectRule`) — phase 2b, see the whole
+  :class:`~repro.lint.project.ProjectIndex` and can reason across
+  modules (import graph, reference index, re-exports).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from ..context import ModuleContext
-from ..diagnostics import Diagnostic, Severity
+from ..diagnostics import Diagnostic, Fix, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..project import ProjectIndex
 
 
 class Rule(ABC):
-    """One named, documented invariant check."""
+    """One named, documented invariant check over a single module."""
 
     #: Stable identifier used in reports and suppression comments.
     id: str = ""
@@ -36,10 +48,44 @@ class Rule(ABC):
         message: str,
         *,
         severity: Severity = Severity.ERROR,
+        fix: Optional[Fix] = None,
     ) -> Diagnostic:
         """Build a :class:`Diagnostic` attributed to this rule."""
         return Diagnostic(
             path=str(ctx.path),
+            line=line,
+            col=col,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+            severity=severity,
+            fix=fix,
+        )
+
+
+class ProjectRule(ABC):
+    """A whole-program check over the phase-1 :class:`ProjectIndex`."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def check_project(self, project: "ProjectIndex") -> Iterator[Diagnostic]:
+        """Yield findings over the whole project."""
+
+    def diagnostic(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        """Construct a finding carrying this rule's id/name."""
+        return Diagnostic(
+            path=path,
             line=line,
             col=col,
             rule_id=self.id,
@@ -56,6 +102,9 @@ def _build_registry() -> Tuple[Rule, ...]:
     from .r4_aliasing import NumpyAliasingRule
     from .r5_traceability import EquationTraceabilityRule
     from .r6_observability import ObservabilityDisciplineRule
+    from .r7_rng import RngDeterminismRule
+    from .r8_dtype import KernelDtypeDisciplineRule
+    from .r9_spans import SpanPairingRule
 
     return (
         ExceptionDisciplineRule(),
@@ -64,15 +113,25 @@ def _build_registry() -> Tuple[Rule, ...]:
         NumpyAliasingRule(),
         EquationTraceabilityRule(),
         ObservabilityDisciplineRule(),
+        RngDeterminismRule(),
+        KernelDtypeDisciplineRule(),
+        SpanPairingRule(),
     )
 
 
+def _build_project_registry() -> Tuple[ProjectRule, ...]:
+    from .r10_dead_api import DeadPublicApiRule
+
+    return (DeadPublicApiRule(),)
+
+
 RULES: Tuple[Rule, ...] = _build_registry()
+PROJECT_RULES: Tuple[ProjectRule, ...] = _build_project_registry()
 
 
 def rule_ids() -> List[str]:
-    """Ids of all registered rules, in registry (reporting) order."""
-    return [rule.id for rule in RULES]
+    """Ids of all registered rules (per-file then project), in order."""
+    return [rule.id for rule in RULES] + [rule.id for rule in PROJECT_RULES]
 
 
-__all__ = ["Rule", "RULES", "rule_ids"]
+__all__ = ["Rule", "ProjectRule", "RULES", "PROJECT_RULES", "rule_ids"]

@@ -1,0 +1,70 @@
+"""R10 — dead-public-API (whole-program).
+
+The reproduction's public surface is its re-export chain:
+``repro/__init__.py`` and the subpackage ``__init__.py`` files advertise
+(via ``__all__`` or public imports) what downstream code may rely on.
+An exported name that nothing inside the project — neither library code
+nor the test suite — ever references is dead weight with teeth: it is
+untested by construction (the API-quality gate cannot see it), it
+silently rots as kernels evolve, and it widens the surface the kernel
+equivalence contracts (DESIGN.md §§9/11/12) must defend.
+
+This is the first rule that *requires* the phase-1
+:class:`~repro.lint.project.ProjectIndex`: a per-file checker cannot
+know whether ``repro.analysis.sweep.sweep`` is referenced from a test
+three packages away.  The check is string-level and deliberately
+conservative — any mention of the identifier anywhere in the project
+(call, attribute access, registry-dict wiring in the defining module,
+import in a non-``__init__`` module) keeps the export alive; a ``def``/
+``class`` statement and an ``__all__`` string entry are *bindings*, not
+mentions, so a name that is only ever defined and exported is flagged.
+Re-export imports in ``__init__.py`` files are likewise discounted
+(plumbing, not use) — that is handled when the index summarises each
+init module, see :func:`repro.lint.project._references`.
+
+Intentional external-only API (documented entry points exercised by
+``examples/`` scripts, say) should carry an in-place suppression with a
+justifying comment, following the PR 4/5 R4 convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from . import ProjectRule
+
+#: Names whose export is structural, never "dead".
+_STRUCTURAL = frozenset({"__all__", "__version__", "main"})
+
+
+class DeadPublicApiRule(ProjectRule):
+    id = "R10"
+    name = "dead-public-api"
+    description = (
+        "exported names (__all__ / package-init re-exports) must be "
+        "referenced somewhere in the project or tests (project rule)"
+    )
+
+    def check_project(self, project) -> Iterator[Diagnostic]:
+        for path, summary in sorted(project.summaries.items()):
+            module = summary.module_name
+            if module is None or not (
+                module == "repro" or module.startswith("repro.")
+            ):
+                continue
+            if not summary.exports:
+                continue
+            for name, line, col in summary.exports:
+                if name.startswith("_") or name in _STRUCTURAL:
+                    continue
+                if not project.referencing_files(name):
+                    yield self.diagnostic(
+                        path,
+                        line,
+                        col,
+                        f"exported name {name!r} has no reference anywhere in "
+                        f"the project or tests (beyond re-export plumbing); "
+                        f"remove it from the public surface or suppress with "
+                        f"a comment justifying the external-only use",
+                    )

@@ -23,6 +23,11 @@ bridges measured topologies (paper §V-A, Table III) into the model stack
 via a function-local import; the edge is sanctioned here rather than
 hidden.  ``topology`` itself depends only on ``errors``, so no cycle can
 form.
+
+Note on ``cli -> lint``: the ``repro lint`` subcommand delegates to
+:mod:`repro.lint.cli`, so the CLI (and only the CLI) may import ``lint``.
+``lint`` itself still imports nothing from ``repro``, so the "lint a
+broken tree" property and acyclicity are preserved.
 """
 
 from __future__ import annotations
@@ -54,7 +59,8 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "ccn": _DATA | {"simulation"},
     "adaptive": _DATA | {"simulation"},
     "analysis": _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero"},
-    "cli": _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis"},
+    "cli": _DATA
+    | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis", "lint"},
     ROOT_UNIT: _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis"},
     "__main__": frozenset({"cli"}),
 }

@@ -1,0 +1,244 @@
+"""R7 — rng-determinism.
+
+Every experimental claim in this reproduction rests on bit-exact
+replays: the batched kernels are validated against their scalar
+references *per seed* (DESIGN.md §§9/11), and the dynamic simulator's
+per-router streams are carved from one ``SeedSequence.spawn`` lineage
+precisely because ad-hoc seed arithmetic collided once already (the
+PR 2 ``seed=0`` collision fix).  Any read of *global* RNG state — the
+legacy ``np.random.*`` singleton or the stdlib ``random`` module — or
+any ``default_rng()`` constructed without a seed breaks that property
+silently: results drift between runs and the equivalence suites can no
+longer certify the kernels.
+
+This rule therefore enforces, in the stochastic units
+(``simulation``, ``core``, ``catalog``, ``adaptive``):
+
+- no calls to legacy global-state ``np.random`` functions
+  (``np.random.seed``, ``np.random.rand``, ``np.random.choice``, ...);
+  only the explicit constructors (``default_rng``, ``Generator``,
+  ``SeedSequence`` and the BitGenerators) are sanctioned;
+- no stdlib ``random`` module-level functions (``random.random()``
+  et al.) — ``random.Random(seed)`` instances are allowed;
+- every ``np.random.default_rng(...)`` call must receive an explicit
+  seed/``SeedSequence`` argument, so each generator is derivable from a
+  seed parameter or a ``SeedSequence.spawn`` lineage;
+- ``np.random.Generator(bitgen())`` with an unseeded BitGenerator is
+  flagged for the same reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from . import Rule
+
+#: Units whose results must replay bit-exactly from recorded seeds.
+SCOPED_UNITS = frozenset({"simulation", "core", "catalog", "adaptive"})
+
+#: ``np.random`` attributes that do NOT touch global state: explicit
+#: constructors and seed-lineage machinery.
+SANCTIONED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: stdlib ``random`` module-level functions that mutate/read the hidden
+#: global ``Random`` instance.
+GLOBAL_STDLIB_RANDOM = frozenset(
+    {
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the ``numpy`` module."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or alias.name)
+                elif alias.name.startswith("numpy.") and not alias.asname:
+                    # ``import numpy.random`` binds the top package.
+                    aliases.add("numpy")
+    return aliases
+
+
+def _np_random_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to ``numpy.random`` itself."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy.random" and alias.asname:
+                    aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy" and not node.level:
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _stdlib_random_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _direct_constructor_aliases(tree: ast.Module) -> Set[str]:
+    """Names imported directly: ``from numpy.random import default_rng``."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "numpy.random"
+            and not node.level
+        ):
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """True when the constructor call carries no usable seed argument."""
+    if node.args and not (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    ):
+        return False
+    for kw in node.keywords:
+        if kw.arg in (None, "seed") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return False
+    return True
+
+
+class RngDeterminismRule(Rule):
+    id = "R7"
+    name = "rng-determinism"
+    description = (
+        "stochastic units must derive every Generator from an explicit "
+        "seed or SeedSequence lineage; no global np.random/random state"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        unit = ctx.repro_unit
+        if unit not in SCOPED_UNITS:
+            return
+        np_aliases = _numpy_aliases(ctx.tree)
+        npr_aliases = _np_random_aliases(ctx.tree)
+        stdlib_aliases = _stdlib_random_aliases(ctx.tree) - npr_aliases
+        direct_rng = _direct_constructor_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            # np.random.<fn>(...) — fn is Attribute over Attribute(np, random)
+            attr_chain = None
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Attribute)
+                and isinstance(fn.value.value, ast.Name)
+                and fn.value.value.id in np_aliases
+                and fn.value.attr == "random"
+            ):
+                attr_chain = fn.attr
+            elif (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in npr_aliases
+            ):
+                attr_chain = fn.attr
+            if attr_chain is not None:
+                if attr_chain not in SANCTIONED_NP_RANDOM:
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"np.random.{attr_chain}() reads/mutates the global "
+                        f"numpy RNG state in unit {unit!r}; use an explicit "
+                        f"np.random.default_rng(seed) (or a SeedSequence.spawn "
+                        f"child) threaded through the call instead",
+                    )
+                elif attr_chain == "default_rng" and _is_unseeded_call(node):
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"unseeded np.random.default_rng() in unit {unit!r} is "
+                        f"entropy-seeded and cannot replay; pass an explicit "
+                        f"seed or a SeedSequence.spawn child",
+                    )
+                elif attr_chain == "Generator" and node.args:
+                    inner = node.args[0]
+                    if isinstance(inner, ast.Call) and _is_unseeded_call(inner):
+                        yield self.diagnostic(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"np.random.Generator over an unseeded BitGenerator "
+                            f"in unit {unit!r} cannot replay; seed the "
+                            f"BitGenerator explicitly",
+                        )
+                continue
+            # from numpy.random import default_rng; default_rng()
+            if isinstance(fn, ast.Name) and fn.id in direct_rng:
+                if _is_unseeded_call(node):
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"unseeded default_rng() in unit {unit!r} is "
+                        f"entropy-seeded and cannot replay; pass an explicit "
+                        f"seed or a SeedSequence.spawn child",
+                    )
+                continue
+            # stdlib random.<fn>(...)
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in stdlib_aliases
+                and fn.attr in GLOBAL_STDLIB_RANDOM
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"stdlib random.{fn.attr}() uses the hidden global Random "
+                    f"instance in unit {unit!r}; construct random.Random(seed) "
+                    f"or use numpy default_rng(seed) instead",
+                )

@@ -1,0 +1,272 @@
+"""R8 — kernel-dtype-discipline.
+
+The vectorized kernels aggregate whole batches through *combined-key*
+``np.bincount`` reductions: several small integer coordinates are packed
+into one flat key, e.g. ``(client·n + custodian)·6 + code`` in the
+dynamic kernel (DESIGN.md §11) and ``client·4 + lookup_code`` in the
+steady kernel (§9).  The correctness of every statistic the paper
+reproduction reports rides on these keys never overflowing — and numpy
+makes that easy to get wrong silently: the default integer dtype is
+platform-dependent (int32 on Windows), ``np.arange`` inherits it, and a
+key built from an int32 operand wraps negative long before anyone
+notices, turning ``bincount`` into an exception at best and corrupted
+counts at worst.
+
+In the kernel units (``simulation``, ``core``) this rule requires:
+
+- a combined key passed to ``np.bincount`` must be materialised into a
+  named variable, never built inline in the call (auditability);
+- the statements constructing such a key (any arithmetic lineage) must
+  carry an explicit ``int64``/``intp`` dtype marker
+  (``dtype=np.int64``, ``.astype(np.int64)``, ``np.int64(...)``) so the
+  key's width is pinned regardless of platform;
+- those statements must be accompanied by an overflow-bound comment
+  (a comment containing ``overflow``) stating why the packed key fits —
+  the invariant a future refactor must re-verify;
+- ``np.arange`` calls must pass an explicit ``dtype=``; the default
+  integer width is platform-dependent (auto-fixable via ``--fix``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic, Fix
+from . import Rule
+
+#: Units containing batched kernels whose keys must be overflow-audited.
+KERNEL_UNITS = frozenset({"simulation", "core"})
+
+#: Textual markers that pin an explicit 64-bit (or pointer-sized) lineage.
+_INT64_MARKERS = ("int64", "intp")
+
+#: How many lines above a key's first construction statement an
+#: overflow-bound comment may sit.
+_COMMENT_REACH = 4
+
+_ARITH_OPS = (ast.Mult, ast.Add, ast.Sub, ast.LShift, ast.BitOr)
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _is_np_call(node: ast.Call, np_aliases: Set[str], fn_name: str) -> bool:
+    fn = node.func
+    return (
+        isinstance(fn, ast.Attribute)
+        and fn.attr == fn_name
+        and isinstance(fn.value, ast.Name)
+        and fn.value.id in np_aliases
+    )
+
+
+def _calls_in_scope(body: Sequence[ast.stmt]) -> List[ast.Call]:
+    """All Call nodes in a suite, skipping nested def/class subtrees."""
+    calls: List[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            visit(child)
+
+    for stmt in body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue  # nested scope: analysed separately
+        visit(stmt)
+    return calls
+
+
+def _walk_scope_statements(stmt_list: Sequence[ast.stmt]) -> List[ast.stmt]:
+    """Flatten a suite into all statements, skipping nested def/class."""
+    out: List[ast.stmt] = []
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            out.append(stmt)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field, None)
+                if inner:
+                    visit(inner)
+            for handler in getattr(stmt, "handlers", []) or []:
+                visit(handler.body)
+
+    visit(stmt_list)
+    return out
+
+
+def _has_arithmetic(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp) and isinstance(child.op, _ARITH_OPS):
+            return True
+    return False
+
+
+def _segment(ctx: ModuleContext, stmt: ast.stmt) -> str:
+    """Source text of a statement (line-sliced; robust fallback)."""
+    text = ast.get_source_segment(ctx.source, stmt)
+    if text is not None:
+        return text
+    end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+    return "\n".join(ctx.line_at(line) for line in range(stmt.lineno, end + 1))
+
+
+class KernelDtypeDisciplineRule(Rule):
+    id = "R8"
+    name = "kernel-dtype-discipline"
+    description = (
+        "combined-key bincount encodings in kernel units must be named, "
+        "explicitly int64, and carry an overflow-bound comment; "
+        "np.arange needs an explicit dtype"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        unit = ctx.repro_unit
+        if unit not in KERNEL_UNITS:
+            return
+        np_aliases = _numpy_aliases(ctx.tree)
+        if not np_aliases:
+            return
+        # --- np.arange must pin its dtype (platform-dependent default).
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_np_call(node, np_aliases, "arange"):
+                if not any(kw.arg == "dtype" for kw in node.keywords):
+                    fix = None
+                    if not any(
+                        isinstance(a, ast.Constant) and isinstance(a.value, float)
+                        for a in node.args
+                    ):
+                        end_line = getattr(node, "end_lineno", node.lineno)
+                        end_col = getattr(node, "end_col_offset", None)
+                        if end_line is not None and end_col is not None:
+                            fix = Fix(
+                                "insert",
+                                {
+                                    "line": end_line,
+                                    "col": end_col - 1,
+                                    "text": ", dtype=np.int64",
+                                },
+                            )
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "np.arange without an explicit dtype: the default "
+                        "integer width is platform-dependent (int32 on "
+                        "Windows); pass dtype=np.int64 (or np.intp for pure "
+                        "index arrays)",
+                        fix=fix,
+                    )
+        # --- combined-key bincount discipline, per scope.
+        scopes: List[Sequence[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            yield from self._check_scope(ctx, body, np_aliases)
+
+    # -- scope-level combined-key analysis ------------------------------
+    def _check_scope(
+        self,
+        ctx: ModuleContext,
+        body: Sequence[ast.stmt],
+        np_aliases: Set[str],
+    ) -> Iterator[Diagnostic]:
+        statements = _walk_scope_statements(body)
+        calls = _calls_in_scope(body)
+        # Construction statements per local name (assign + augassign).
+        lineage: Dict[str, List[ast.stmt]] = {}
+        for stmt in statements:
+            targets: List[str] = []
+            if isinstance(stmt, ast.Assign):
+                targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                targets = [stmt.target.id]
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                targets = [stmt.target.id]
+            for name in targets:
+                lineage.setdefault(name, []).append(stmt)
+        # bincount calls at this scope.
+        seen_keys: Set[str] = set()
+        for node in calls:
+            if not (_is_np_call(node, np_aliases, "bincount") and node.args):
+                continue
+            key = node.args[0]
+            if isinstance(key, ast.BinOp):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "combined bincount key built inline; materialise it "
+                    "into a named variable with an explicit int64 dtype "
+                    "and an overflow-bound comment so the packing can be "
+                    "audited",
+                )
+                continue
+            if not isinstance(key, ast.Name) or key.id in seen_keys:
+                continue
+            stmts = lineage.get(key.id, [])
+            if not stmts:
+                continue
+            arithmetic = [
+                s
+                for s in stmts
+                if (isinstance(s, ast.AugAssign) and isinstance(s.op, _ARITH_OPS))
+                or _has_arithmetic(
+                    s.value if isinstance(s, (ast.Assign, ast.AnnAssign)) else s
+                )
+            ]
+            if not arithmetic:
+                continue  # plain gather/copy, not a combined key
+            seen_keys.add(key.id)
+            texts = [_segment(ctx, s) for s in stmts]
+            if not any(
+                marker in text for text in texts for marker in _INT64_MARKERS
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    stmts[0].lineno,
+                    stmts[0].col_offset,
+                    f"combined key {key.id!r} has no explicit int64 "
+                    f"lineage; coerce an operand (e.g. "
+                    f"np.asarray(..., dtype=np.int64)) so the packed key "
+                    f"cannot silently inherit a 32-bit dtype",
+                )
+            first_line = min(s.lineno for s in stmts)
+            last_line = max(
+                getattr(s, "end_lineno", s.lineno) or s.lineno for s in stmts
+            )
+            window = range(max(1, first_line - _COMMENT_REACH), last_line + 1)
+            if not any(
+                "#" in ctx.line_at(line)
+                and "overflow" in ctx.line_at(line).lower()
+                for line in window
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    stmts[0].lineno,
+                    stmts[0].col_offset,
+                    f"combined key {key.id!r} lacks an overflow-bound "
+                    f"comment; state the maximum packed value (e.g. "
+                    f"'# key fits int64: max (n*n)*6 ..., no overflow') "
+                    f"next to its construction",
+                )

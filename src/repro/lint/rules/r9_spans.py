@@ -1,0 +1,267 @@
+"""R9 — span-pairing.
+
+:mod:`repro.obs` spans are a LIFO stack (DESIGN.md §10): ``span()``
+pushes the handle at *call* time and only ``__exit__`` pops it.  A span
+opened without a guaranteed close therefore poisons the whole session —
+every later close raises ``ObservabilityError: spans must nest``, and
+phase totals silently stop attributing time.  The sanctioned shapes are
+the ``with`` statement and, for code that must hold a handle across a
+non-lexical region, the explicit ``try``/``finally`` pairing:
+
+.. code-block:: python
+
+    with obs.span("solve.grid"):          # preferred
+        ...
+
+    handle = obs.span("epoch")            # manual: allowed only as
+    try:                                   # assignment immediately
+        ...                                # followed by try/finally
+    finally:                               # that calls __exit__
+        handle.__exit__(None, None, None)
+
+The rule also guards the metrics taxonomy: counters are *monotone*
+(add-merge across workers, §10), so a counter must never be decremented
+and a gauge must never be used as a counter by reading its own
+``.value`` back and incrementing it — merge semantics (last-write-wins)
+would drop worker contributions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic, Fix
+from . import Rule
+
+#: Units exempt from pairing discipline: obs implements the machinery
+#: (its internals legitimately hold open handles), lint is standalone.
+EXEMPT_UNITS = frozenset({"obs", "lint"})
+
+
+def _is_span_open(node: ast.Call) -> bool:
+    """A call that opens a span: ``<expr>.span(<name>)``.
+
+    Requires exactly one non-integer positional argument so
+    ``re.Match.span()``/``match.span(1)`` do not false-positive.
+    """
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "span"
+        and len(node.args) == 1
+        and not node.keywords
+        and not (
+            isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, int)
+        )
+    )
+
+
+def _try_closes(handle: str, try_stmt: ast.Try) -> bool:
+    """Does the try's ``finally`` call ``<handle>.__exit__``?"""
+    for stmt in try_stmt.finalbody:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__exit__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == handle
+            ):
+                return True
+    return False
+
+
+def _suite_end_line(suite: Sequence[ast.stmt]) -> int:
+    last = suite[-1]
+    return getattr(last, "end_lineno", last.lineno) or last.lineno
+
+
+class SpanPairingRule(Rule):
+    id = "R9"
+    name = "span-pairing"
+    description = (
+        "obs spans must close on all paths (with-statement or "
+        "try/finally); counters are monotone-only, no gauge-as-counter"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        unit = ctx.repro_unit
+        if unit is None or unit in EXEMPT_UNITS:
+            return
+        yield from self._check_span_opens(ctx)
+        yield from self._check_metric_taxonomy(ctx, unit)
+
+    # -- span open/close pairing ---------------------------------------
+    def _check_span_opens(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        sanctioned: Set[int] = set()
+        # Pass 1: mark span-open calls in sanctioned positions.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+                for item in node.items:
+                    for sub in ast.walk(item.context_expr):
+                        if isinstance(sub, ast.Call) and _is_span_open(sub):
+                            sanctioned.add(id(sub))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # span factories (e.g. a session method returning the
+                # handle) delegate the pairing duty to their caller.
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Call) and _is_span_open(sub):
+                        sanctioned.add(id(sub))
+            elif isinstance(node, ast.Call):
+                # A span handle passed straight into another call (e.g.
+                # an ExitStack.enter_context) transfers ownership.
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Call) and _is_span_open(sub):
+                            sanctioned.add(id(sub))
+        # Pass 2: assignments followed by try/finally are sanctioned;
+        # walk every suite so "statement followed by" is well-defined.
+        for suite in self._suites(ctx.tree):
+            for pos, stmt in enumerate(suite):
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                    and _is_span_open(stmt.value)
+                ):
+                    continue
+                handle = stmt.targets[0].id
+                follower = suite[pos + 1] if pos + 1 < len(suite) else None
+                if isinstance(follower, ast.Try) and _try_closes(handle, follower):
+                    sanctioned.add(id(stmt.value))
+                else:
+                    sanctioned.add(id(stmt.value))  # report once, below
+                    rest = suite[pos + 1 :]
+                    fix = None
+                    if rest:
+                        fix = Fix(
+                            "span_try_finally",
+                            {
+                                "assign_line": stmt.lineno,
+                                "block_start_line": rest[0].lineno,
+                                "block_end_line": _suite_end_line(rest),
+                                "indent": stmt.col_offset,
+                                "handle": handle,
+                            },
+                        )
+                    yield self.diagnostic(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"span handle {handle!r} opened without a guaranteed "
+                        f"close: use 'with ...span(...)' or follow the "
+                        f"assignment immediately with try/finally calling "
+                        f"{handle}.__exit__(None, None, None)",
+                        fix=fix,
+                    )
+        # Pass 3: any remaining span open is unsanctioned (dropped
+        # handle, stored attribute, etc.).
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_span_open(node)
+                and id(node) not in sanctioned
+            ):
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "span opened here but never closed on this path; spans "
+                    "push a LIFO stack at call time — every open must pair "
+                    "with a close (use a with-statement)",
+                )
+
+    def _suites(self, tree: ast.Module) -> Iterator[List[ast.stmt]]:
+        """Every statement suite in the module (bodies, orelse, ...)."""
+        yield tree.body
+        for node in ast.walk(tree):
+            for field in ("body", "orelse", "finalbody"):
+                suite = getattr(node, field, None)
+                if (
+                    isinstance(suite, list)
+                    and suite
+                    and all(isinstance(s, ast.stmt) for s in suite)
+                    and not isinstance(node, ast.Module)
+                ):
+                    yield suite
+
+    # -- metric taxonomy ------------------------------------------------
+    def _check_metric_taxonomy(
+        self, ctx: ModuleContext, unit: str
+    ) -> Iterator[Diagnostic]:
+        gauge_names = self._gauge_bound_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            target = node.func.value
+            # counter(...).add(negative) — counters are monotone.
+            if node.func.attr == "add" and self._is_metric_chain(target, "counter"):
+                if node.args and self._is_negative(node.args[0]):
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"counter decremented in unit {unit!r}; obs counters "
+                        f"are monotone (add-merge across workers) — model "
+                        f"decreases with a gauge instead",
+                    )
+            # gauge(...).set(<reads own .value back>) — counter in disguise.
+            if node.func.attr == "set" and (
+                self._is_metric_chain(target, "gauge")
+                or (isinstance(target, ast.Name) and target.id in gauge_names)
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.BinOp) and any(
+                        isinstance(sub, ast.Attribute) and sub.attr == "value"
+                        for sub in ast.walk(arg)
+                    ):
+                        yield self.diagnostic(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"gauge used as a counter in unit {unit!r} "
+                            f"(set(... .value ...)); gauges merge "
+                            f"last-write-wins and would drop worker "
+                            f"contributions — use counter().add()",
+                        )
+                        break
+
+    @staticmethod
+    def _is_metric_chain(target: ast.expr, factory: str) -> bool:
+        """``<expr>.gauge("x").set`` / ``<expr>.counter("x").add`` chains."""
+        return (
+            isinstance(target, ast.Call)
+            and isinstance(target.func, ast.Attribute)
+            and target.func.attr == factory
+        )
+
+    @staticmethod
+    def _gauge_bound_names(tree: ast.Module) -> Set[str]:
+        """Local names assigned from a ``.gauge(...)`` call."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr == "gauge"
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_negative(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+        ) or (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and node.value < 0
+        )

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 rendering for CI annotation.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+CI systems use to surface linter findings as inline annotations.  This
+module renders a :class:`~repro.lint.engine.LintResult` as a minimal but
+schema-valid SARIF 2.1.0 log: one ``run``, a ``tool.driver`` carrying
+the full rule catalogue (so viewers can show rule help without another
+lookup), and one ``result`` per diagnostic with a physical location.
+
+Produced by ``repro lint --format sarif`` / ``python -m repro.lint
+--format sarif`` and consumed by the CI gate (see Makefile ``lint``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from .diagnostics import Diagnostic, Severity
+from .rules import PROJECT_RULES, RULES
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS: Dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+}
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+    }
+
+
+def _artifact_uri(path: str) -> str:
+    """Relative, forward-slash URI as SARIF viewers expect."""
+    rel = os.path.relpath(path) if os.path.isabs(path) else path
+    # Outside-the-tree paths keep their absolute form (file scheme is
+    # unnecessary for the viewers we target; relative is preferred).
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def _result(diagnostic: Diagnostic, rule_index: Dict[str, int]) -> dict:
+    result = {
+        "ruleId": diagnostic.rule_id,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _artifact_uri(diagnostic.path)},
+                    "region": {
+                        "startLine": max(1, diagnostic.line),
+                        # SARIF columns are 1-based; AST cols are 0-based.
+                        "startColumn": diagnostic.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if diagnostic.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[diagnostic.rule_id]
+    return result
+
+
+def to_sarif(diagnostics: List[Diagnostic]) -> dict:
+    """Render findings as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    catalogue = list(RULES) + list(PROJECT_RULES)
+    rule_index = {rule.id: i for i, rule in enumerate(catalogue)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        # The tool ships with the repository; DESIGN.md
+                        # §8/§13 is its documentation of record.
+                        "rules": [_rule_descriptor(r) for r in catalogue],
+                    }
+                },
+                "results": [
+                    _result(d, rule_index) for d in diagnostics
+                ],
+            }
+        ],
+    }

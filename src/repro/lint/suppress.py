@@ -37,6 +37,16 @@ class SuppressionIndex:
         self._file_rules = file_rules
         self._line_rules = line_rules
 
+    @property
+    def file_rules(self) -> FrozenSet[str]:
+        """Rules suppressed for the whole file (``disable-file=...``)."""
+        return self._file_rules
+
+    @property
+    def line_rules(self) -> Dict[int, FrozenSet[str]]:
+        """Line -> rules suppressed on that line (read-only view)."""
+        return dict(self._line_rules)
+
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
         """Build the index by tokenizing ``source`` and reading comments.

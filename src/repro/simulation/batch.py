@@ -109,7 +109,7 @@ class SteadyStateKernel:
         server = np.empty((n, n_held), dtype=np.int64)
         hops = np.zeros((n, n_held), dtype=np.float64)
         latency = np.zeros((n, n_held), dtype=np.float64)
-        rows = np.arange(n)
+        rows = np.arange(n, dtype=np.int64)
         for j, rank in enumerate(held.tolist()):
             holder_idx = np.array(
                 sorted(self._node_index[node] for node in holders[rank]),
@@ -213,8 +213,13 @@ class SteadyStateKernel:
         codes = np.full(n_requests, _LOOKUP_MISS, dtype=np.int64)
         held_codes = self._lookup_codes[held_clients, held_pos]
         codes[in_held.nonzero()[0]] = held_codes
+        # lookup_key fits int64: max value is n_routers·_N_LOOKUP_CODES - 1
+        # (< 2**63 for any feasible topology, so no overflow); the np.int64
+        # factor forces 64-bit packing even where the platform default int
+        # is 32-bit.
+        lookup_key = client_idx * np.int64(_N_LOOKUP_CODES) + codes
         lookup_counts = np.bincount(
-            client_idx * _N_LOOKUP_CODES + codes,
+            lookup_key,
             minlength=self._n_routers * _N_LOOKUP_CODES,
         ).reshape(self._n_routers, _N_LOOKUP_CODES)
 

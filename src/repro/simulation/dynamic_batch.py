@@ -601,7 +601,11 @@ class DynamicKernelRun:
             # One combined (client, custodian, code) key drives the store
             # statistics, the tier counts, and the cost gather — a single
             # bincount pass instead of one per statistic.
-            key = client_idx * n
+            # key fits int64: max value is n·n·_N_OUTCOMES - 1 (< 6·n²,
+            # e.g. 9 600 at n = 40), nowhere near 2**63 — no overflow;
+            # the explicit int64 coercion keeps the packing exact even
+            # where the platform default int is 32-bit.
+            key = client_idx.astype(np.int64) * n
             key += custodian_idx
             key *= _N_OUTCOMES
             key += code_arr
@@ -632,7 +636,10 @@ class DynamicKernelRun:
             return kernel.aggregate(code_arr, client_idx, custodian_idx, counted_from)
         codes = self._engine.process(batch.ranks.tolist(), client_idx.tolist(), None)
         code_arr = np.frombuffer(codes, dtype=np.uint8)
-        key = client_idx * _N_OUTCOMES
+        # key fits int64: max value is n·_N_OUTCOMES - 1 (< 6·n), so no
+        # overflow; coerced to int64 for the same dtype discipline as the
+        # coordinated path.
+        key = client_idx.astype(np.int64) * _N_OUTCOMES
         key += code_arr
         matrix = np.bincount(key, minlength=n * _N_OUTCOMES).reshape(n, _N_OUTCOMES)
         self._client_code_counts += matrix

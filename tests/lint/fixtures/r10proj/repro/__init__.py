@@ -1,0 +1,5 @@
+"""R10 project fixture: a tiny package with one dead re-export."""
+
+from .util import dead_helper, used_helper
+
+__all__ = ["dead_helper", "used_helper"]

@@ -1,0 +1,7 @@
+"""Keeps ``used_helper`` alive; never touches ``dead_helper``."""
+
+from .util import used_helper
+
+
+def run() -> int:
+    return used_helper()

@@ -1,0 +1,11 @@
+"""Two exported helpers; only one is referenced anywhere."""
+
+__all__ = ["dead_helper", "used_helper"]
+
+
+def used_helper() -> int:
+    return 1
+
+
+def dead_helper() -> int:
+    return 2

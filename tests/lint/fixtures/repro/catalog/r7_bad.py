@@ -1,0 +1,25 @@
+"""R7 true positives: global RNG state and unseeded generators."""
+
+import random
+
+import numpy as np
+
+
+def global_numpy_seed() -> None:
+    np.random.seed(123)  # finding 1: mutates the global singleton
+
+
+def global_numpy_draw(n: int):
+    return np.random.rand(n)  # finding 2: reads the global singleton
+
+
+def unseeded_default_rng():
+    return np.random.default_rng()  # finding 3: entropy-seeded
+
+
+def unseeded_bitgen():
+    return np.random.Generator(np.random.PCG64())  # finding 4
+
+
+def stdlib_global_draw() -> float:
+    return random.random()  # finding 5: hidden global Random instance

@@ -1,0 +1,32 @@
+"""R7 false positives: every generator has an explicit seed lineage."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_literal():
+    return np.random.default_rng(42)
+
+
+def seeded_parameter(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_lineage(root_seed: int):
+    ss = np.random.SeedSequence(root_seed)
+    return [np.random.default_rng(child) for child in ss.spawn(3)]
+
+
+def seeded_bitgen():
+    return np.random.Generator(np.random.PCG64(9))
+
+
+def seeded_direct_import():
+    return default_rng(11)
+
+
+def local_stdlib_instance() -> float:
+    local = random.Random(4)
+    return local.random()

@@ -1,0 +1,18 @@
+"""R8 true positives: unpinned dtypes around combined bincount keys."""
+
+import numpy as np
+
+
+def unpinned_arange(n: int):
+    return np.arange(n)  # finding 1: platform-dependent default dtype
+
+
+def inline_key(a, b, n: int):
+    # finding 2: combined key built inline in the bincount call
+    return np.bincount(a * n + b, minlength=n * n)
+
+
+def unaudited_key(a, b, n: int):
+    key = a * n  # findings 3+4: no int64 lineage, no bound stated
+    key += b
+    return np.bincount(key, minlength=n * n)

@@ -1,0 +1,23 @@
+"""R8 false positives: pinned dtypes, audited combined keys."""
+
+import numpy as np
+
+
+def pinned_arange(n: int):
+    return np.arange(n, dtype=np.int64)
+
+
+def pinned_float_arange():
+    return np.arange(0.0, 1.0, 0.1, dtype=np.float64)
+
+
+def audited_key(a, b, n: int):
+    # key fits int64: max value is n*n - 1, far below 2**63 (no overflow)
+    key = a.astype(np.int64) * n
+    key += b
+    return np.bincount(key, minlength=n * n)
+
+
+def plain_gather(codes, n: int):
+    counts = codes  # no arithmetic lineage: not a combined key
+    return np.bincount(counts, minlength=n)

@@ -1,0 +1,20 @@
+"""R9 true positives: leaked spans and metric-taxonomy abuse."""
+
+
+def leaked_assignment(obs, work) -> None:
+    handle = obs.span("epoch")  # finding 1: no try/finally follows
+    work()
+    handle.close()
+
+
+def dropped_handle(obs) -> None:
+    obs.span("orphan")  # finding 2: handle discarded, never closed
+
+
+def decremented_counter(obs) -> None:
+    obs.counter("inflight").add(-1)  # finding 3: counters are monotone
+
+
+def gauge_as_counter(obs) -> None:
+    depth = obs.gauge("depth")
+    depth.set(depth.value + 1)  # finding 4: last-write-wins merge

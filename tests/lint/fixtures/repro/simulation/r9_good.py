@@ -1,0 +1,35 @@
+"""R9 false positives: every sanctioned span/metric shape."""
+
+import re
+
+
+def with_statement(obs, work) -> None:
+    with obs.span("solve"):
+        work()
+
+
+def manual_pairing(obs, work) -> None:
+    handle = obs.span("epoch")
+    try:
+        work()
+    finally:
+        handle.__exit__(None, None, None)
+
+
+def span_factory(obs):
+    return obs.span("delegated")
+
+
+def ownership_transfer(obs, stack) -> None:
+    stack.enter_context(obs.span("owned"))
+
+
+def regex_span(text: str):
+    match = re.search(r"\d+", text)
+    assert match is not None
+    return match.span(), match.span(0)
+
+
+def sane_metrics(obs) -> None:
+    obs.counter("requests").add(1)
+    obs.gauge("queue_depth").set(17)

@@ -12,13 +12,19 @@ from repro.lint.cli import main
 from repro.lint.rules import RULES, rule_ids
 
 REPO_SRC = Path(repro.__file__).parent.parent  # .../src
+REPO_TESTS = Path(__file__).parent.parent  # .../tests
 FIXTURES = Path(__file__).parent / "fixtures" / "repro"
 
 
 class TestLiveTree:
-    def test_src_is_clean(self):
-        """The acceptance gate: repro-lint exits 0 on the live tree."""
-        result = lint_paths([REPO_SRC])
+    def test_src_and_tests_are_clean(self):
+        """The acceptance gate: all ten rules pass on the live tree.
+
+        Both trees are linted together so R10's reference index sees
+        test usages of exported names (the same invocation the Makefile
+        gate uses).
+        """
+        result = lint_paths([REPO_SRC, REPO_TESTS])
         assert result.diagnostics == [], [
             d.format_text() for d in result.diagnostics
         ]
@@ -27,12 +33,12 @@ class TestLiveTree:
 
     def test_cli_exits_zero_on_src(self):
         out = io.StringIO()
-        assert main([str(REPO_SRC)], out=out) == 0
+        assert main(["--no-cache", str(REPO_SRC), str(REPO_TESTS)], out=out) == 0
         assert "0 finding(s)" in out.getvalue()
 
     def test_cli_exits_nonzero_on_bad_fixture(self):
         out = io.StringIO()
-        assert main([str(FIXTURES / "core" / "r1_bad.py")], out=out) == 1
+        assert main(["--no-cache", str(FIXTURES / "core" / "r1_bad.py")], out=out) == 1
 
 
 class TestDiscovery:
@@ -59,7 +65,8 @@ class TestCli:
     def test_json_output_shape(self):
         out = io.StringIO()
         code = main(
-            ["--format", "json", str(FIXTURES / "core" / "r3_bad.py")], out=out
+            ["--no-cache", "--format", "json", str(FIXTURES / "core" / "r3_bad.py")],
+            out=out,
         )
         assert code == 1
         payload = json.loads(out.getvalue())
@@ -75,12 +82,13 @@ class TestCli:
     def test_select_restricts_rules(self):
         out = io.StringIO()
         code = main(
-            ["--select", "R5", str(FIXTURES / "core" / "r1_bad.py")], out=out
+            ["--no-cache", "--select", "R5", str(FIXTURES / "core" / "r1_bad.py")],
+            out=out,
         )
         assert code == 0  # R1 findings exist but only R5 was selected
 
     def test_unknown_rule_is_usage_error(self):
-        assert main(["--select", "R9", str(FIXTURES)]) == 2
+        assert main(["--select", "R99", str(FIXTURES)]) == 2
 
     def test_missing_path_is_usage_error(self):
         assert main(["no/such/dir"]) == 2
@@ -94,7 +102,10 @@ class TestCli:
 
     def test_statistics_footer(self):
         out = io.StringIO()
-        main(["--statistics", str(FIXTURES / "core" / "r1_bad.py")], out=out)
+        main(
+            ["--no-cache", "--statistics", str(FIXTURES / "core" / "r1_bad.py")],
+            out=out,
+        )
         assert "R1: 3" in out.getvalue()
 
     def test_module_entrypoint(self):
@@ -110,9 +121,13 @@ class TestCli:
 
 
 class TestRuleCatalogue:
-    def test_all_six_rules_registered(self):
-        assert rule_ids() == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    def test_all_ten_rules_registered(self):
+        assert rule_ids() == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+        ]
 
     def test_rules_have_metadata(self):
-        for rule in RULES:
+        from repro.lint.rules import PROJECT_RULES
+
+        for rule in list(RULES) + list(PROJECT_RULES):
             assert rule.id and rule.name and rule.description

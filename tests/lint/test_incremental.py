@@ -1,0 +1,187 @@
+"""Incremental cache and ``--changed`` mode behaviour.
+
+These tests build a tiny synthetic ``repro`` package in ``tmp_path`` so
+cache hits/misses can be asserted file-by-file, then time the real tree
+once to enforce the headline guarantee: a warm full-tree lint is at
+least an order of magnitude faster than a cold one.
+"""
+
+import subprocess
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import lint_paths
+from repro.lint.cli import main
+
+REPO_SRC = Path(repro.__file__).parent.parent  # .../src
+
+#: Synthetic tree: top -> mid -> leaf import chain plus two inits.
+_TREE = {
+    "repro/__init__.py": '"""Pkg."""\n',
+    "repro/core/__init__.py": '"""Core."""\n',
+    "repro/core/leaf.py": '"""Leaf."""\n\nX = 1\n',
+    "repro/core/mid.py": (
+        '"""Mid."""\n\nfrom repro.core.leaf import X\n\nY = X + 1\n'
+    ),
+    "repro/core/top.py": (
+        '"""Top."""\n\nfrom repro.core.mid import Y\n\nZ = Y + 1\n'
+    ),
+}
+
+
+def make_tree(root: Path) -> Path:
+    for relpath, source in _TREE.items():
+        target = root / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root / "repro"
+
+
+class TestIncrementalCache:
+    def test_cold_run_parses_everything(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        result = lint_paths([pkg], cache_dir=tmp_path / "cache")
+        assert result.diagnostics == []
+        assert result.files_relinted == len(_TREE)
+        assert result.files_from_cache == 0
+
+    def test_warm_run_relints_nothing(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([pkg], cache_dir=cache)
+        warm = lint_paths([pkg], cache_dir=cache)
+        assert warm.diagnostics == []
+        assert warm.files_relinted == 0
+        assert warm.files_from_cache == len(_TREE)
+        assert warm.files_checked == len(_TREE)
+
+    def test_leaf_edit_invalidates_transitive_importers(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([pkg], cache_dir=cache)
+        leaf = pkg / "core" / "leaf.py"
+        leaf.write_text(leaf.read_text() + "\n# touched\n")
+        run = lint_paths([pkg], cache_dir=cache)
+        # leaf changed; mid imports leaf; top imports mid -> all three
+        # re-lint.  The two __init__ files stay cached.
+        assert run.files_relinted == 3
+        assert run.files_from_cache == 2
+
+    def test_cached_findings_replay_verbatim(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        bad = pkg / "core" / "bad.py"
+        bad.write_text(
+            '"""Doc."""\n\n\ndef f() -> None:\n'
+            '    """Eq. 2 glue."""\n'
+            "    raise ValueError('x')\n"
+        )
+        cold = lint_paths([pkg], cache_dir=cache)
+        warm = lint_paths([pkg], cache_dir=cache)
+        assert warm.files_relinted == 0
+        assert [d.to_json() for d in warm.diagnostics] == [
+            d.to_json() for d in cold.diagnostics
+        ]
+        assert warm.exit_code == 1
+
+    def test_rule_selection_gets_its_own_cache_key(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([pkg], cache_dir=cache, selected_ids=["R1"])
+        full = lint_paths([pkg], cache_dir=cache)
+        # An R1-only cache must not satisfy a full run.
+        assert full.files_relinted == len(_TREE)
+
+    def test_corrupt_cache_is_rebuilt_not_fatal(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        cache = tmp_path / "cache"
+        lint_paths([pkg], cache_dir=cache)
+        (cache / "cache.json").write_text("{ not json")
+        run = lint_paths([pkg], cache_dir=cache)
+        assert run.files_relinted == len(_TREE)
+        assert run.diagnostics == []
+
+    def test_warm_full_tree_lint_is_10x_faster_than_cold(self, tmp_path):
+        """The incremental engine's acceptance bar (DESIGN.md SS13)."""
+        cache = tmp_path / "cache"
+        t0 = time.perf_counter()
+        cold = lint_paths([REPO_SRC], cache_dir=cache)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = lint_paths([REPO_SRC], cache_dir=cache)
+        warm_s = time.perf_counter() - t0
+        assert cold.files_relinted > 50
+        assert warm.files_relinted == 0
+        assert warm_s * 10 <= cold_s, (
+            f"warm lint {warm_s:.3f}s not 10x faster than cold {cold_s:.3f}s"
+        )
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ("git", "-c", "user.email=lint@test", "-c", "user.name=lint") + args,
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture()
+def git_tree(tmp_path):
+    pkg = make_tree(tmp_path)
+    try:
+        _git(tmp_path, "init", "-q")
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("git unavailable")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path, pkg
+
+
+class TestChangedMode:
+    def test_clean_tree_lints_nothing(self, git_tree):
+        root, pkg = git_tree
+        run = lint_paths([pkg], changed_only=True, repo_root=root)
+        assert run.files_relinted == 0
+        assert run.files_skipped == len(_TREE)
+
+    def test_edit_targets_file_and_transitive_importers(self, git_tree):
+        root, pkg = git_tree
+        mid = pkg / "core" / "mid.py"
+        mid.write_text(mid.read_text() + "\n# touched\n")
+        run = lint_paths([pkg], changed_only=True, repo_root=root)
+        # mid changed; top imports mid.  leaf and the inits are skipped.
+        assert run.files_relinted == 2
+        assert run.files_skipped == 3
+
+    def test_changed_plus_cache_covers_the_whole_tree(self, git_tree):
+        root, pkg = git_tree
+        cache = root / "cache"
+        lint_paths([pkg], cache_dir=cache)
+        mid = pkg / "core" / "mid.py"
+        mid.write_text(mid.read_text() + "\n# touched\n")
+        run = lint_paths(
+            [pkg], cache_dir=cache, changed_only=True, repo_root=root
+        )
+        assert run.files_relinted == 2
+        assert run.files_from_cache == 3
+        assert run.files_skipped == 0
+
+    def test_untracked_file_counts_as_changed(self, git_tree):
+        root, pkg = git_tree
+        (pkg / "core" / "fresh.py").write_text('"""Fresh."""\n\nW = 1\n')
+        run = lint_paths([pkg], changed_only=True, repo_root=root)
+        assert run.files_relinted == 1
+
+    def test_changed_without_git_raises(self, tmp_path):
+        pkg = make_tree(tmp_path)
+        with pytest.raises(RuntimeError, match="--changed requires git"):
+            lint_paths([pkg], changed_only=True, repo_root=tmp_path)
+
+    def test_cli_maps_missing_git_to_usage_error(self, tmp_path, monkeypatch):
+        pkg = make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["--changed", "--no-cache", str(pkg)]) == 2

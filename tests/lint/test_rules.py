@@ -38,6 +38,9 @@ CASES = [
     ),
     ("R5", "core/r5_bad.py", "core/r5_good.py", 3),
     ("R6", "simulation/r6_bad.py", "simulation/r6_good.py", 4),
+    ("R7", "catalog/r7_bad.py", "catalog/r7_good.py", 5),
+    ("R8", "simulation/r8_bad.py", "simulation/r8_good.py", 4),
+    ("R9", "simulation/r9_bad.py", "simulation/r9_good.py", 4),
 ]
 
 
@@ -79,6 +82,27 @@ class TestTruePositives:
         assert "clock() (imported from time)" in messages
         assert "bare print()" in messages
 
+    def test_r7_flags_global_state_and_unseeded_generators(self):
+        messages = "\n".join(
+            f.message for f in findings_for("catalog/r7_bad.py", "R7")
+        )
+        assert "np.random.seed" in messages
+        assert "np.random.rand" in messages
+        assert "default_rng()" in messages
+        assert "random.random" in messages
+
+    def test_r8_arange_finding_carries_autofix(self):
+        findings = findings_for("simulation/r8_bad.py", "R8")
+        arange = [f for f in findings if "np.arange" in f.message]
+        assert len(arange) == 1
+        assert arange[0].fix is not None
+        assert arange[0].fix.kind == "insert"
+
+    def test_r9_span_findings_carry_tryfinally_fix(self):
+        findings = findings_for("simulation/r9_bad.py", "R9")
+        leaked = [f for f in findings if f.fix is not None]
+        assert any(f.fix.kind == "span_try_finally" for f in leaked)
+
 
 class TestFalsePositives:
     @pytest.mark.parametrize("rule_id, _bad, good, _expected", CASES)
@@ -88,6 +112,28 @@ class TestFalsePositives:
     @pytest.mark.parametrize("rule_id, _bad, good, _expected", CASES)
     def test_good_fixture_clean_under_all_rules(self, rule_id, _bad, good, _expected):
         assert all_findings(good) == []
+
+
+class TestDeadPublicApi:
+    """R10 needs a whole project, not a single file: use lint_paths."""
+
+    R10PROJ = Path(__file__).parent / "fixtures" / "r10proj"
+
+    def _findings(self):
+        from repro.lint import lint_paths
+
+        result = lint_paths([self.R10PROJ], selected_ids=["R10"])
+        return result.diagnostics
+
+    def test_dead_export_is_flagged_at_every_export_site(self):
+        findings = self._findings()
+        assert len(findings) == 2, [d.format_text() for d in findings]
+        assert all("dead_helper" in d.message for d in findings)
+        flagged = sorted(Path(d.path).name for d in findings)
+        assert flagged == ["__init__.py", "util.py"]
+
+    def test_used_export_is_not_flagged(self):
+        assert not any("used_helper" in d.message for d in self._findings())
 
 
 class TestSuppressions:

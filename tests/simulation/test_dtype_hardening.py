@@ -1,0 +1,100 @@
+"""Combined-key packing stays exact in int64 at large N (R8 hardening).
+
+The batched kernels pack several small integer coordinates into one
+flat ``np.bincount`` key (DESIGN.md SS9/SS11).  These tests replicate the
+exact packing expressions used by the kernels with deliberately narrow
+(int32) input dtypes at N = 10**6 events and n = 40 routers, and check
+the resulting count tensors against an ``np.add.at`` reference that
+never packs at all — so a silent 32-bit wraparound in the key lineage
+would show up as a count mismatch, not just a dtype change.
+"""
+
+import numpy as np
+
+from repro.simulation.batch import _N_LOOKUP_CODES
+from repro.simulation.dynamic_batch import _N_OUTCOMES
+
+N_EVENTS = 10**6
+N_ROUTERS = 40
+
+
+def _inputs(seed: int = 20131307):
+    rng = np.random.default_rng(seed)
+    client = rng.integers(0, N_ROUTERS, size=N_EVENTS, dtype=np.int32)
+    custodian = rng.integers(0, N_ROUTERS, size=N_EVENTS, dtype=np.int32)
+    code = rng.integers(0, _N_OUTCOMES, size=N_EVENTS, dtype=np.uint8)
+    return client, custodian, code
+
+
+class TestCoordinatedKeyPacking:
+    """Mirror of the (client, custodian, code) site in dynamic_batch."""
+
+    def test_large_n_counts_match_unpacked_reference(self):
+        client, custodian, code = _inputs()
+        n = N_ROUTERS
+        key = client.astype(np.int64) * n
+        key += custodian
+        key *= _N_OUTCOMES
+        key += code
+        assert key.dtype == np.int64
+        matrix = np.bincount(
+            key, minlength=n * n * _N_OUTCOMES
+        ).reshape(n, n, _N_OUTCOMES)
+        reference = np.zeros((n, n, _N_OUTCOMES), dtype=np.int64)
+        np.add.at(reference, (client, custodian, code), 1)
+        assert matrix.sum() == N_EVENTS
+        np.testing.assert_array_equal(matrix, reference)
+
+    def test_packing_survives_values_beyond_int32(self):
+        """With enough routers the packed key exceeds 2**31; the int64
+        coercion must keep it exact where int32 would wrap negative."""
+        n = 2**17  # n*n*6 ~ 10**11 >> 2**31
+        client = np.full(1000, n - 1, dtype=np.int32)
+        custodian = np.full(1000, n - 1, dtype=np.int32)
+        code = np.full(1000, _N_OUTCOMES - 1, dtype=np.uint8)
+        key = client.astype(np.int64) * n
+        key += custodian
+        key *= _N_OUTCOMES
+        key += code
+        expected = ((n - 1) * n + (n - 1)) * _N_OUTCOMES + (_N_OUTCOMES - 1)
+        assert expected > 2**31  # the case int32 cannot represent
+        assert key.dtype == np.int64
+        assert (key == expected).all()
+        assert (key >= 0).all()
+
+
+class TestUncoordinatedKeyPacking:
+    """Mirror of the (client, code) site in dynamic_batch."""
+
+    def test_large_n_counts_match_unpacked_reference(self):
+        client, _, code = _inputs()
+        n = N_ROUTERS
+        key = client.astype(np.int64) * _N_OUTCOMES
+        key += code
+        assert key.dtype == np.int64
+        matrix = np.bincount(key, minlength=n * _N_OUTCOMES).reshape(
+            n, _N_OUTCOMES
+        )
+        reference = np.zeros((n, _N_OUTCOMES), dtype=np.int64)
+        np.add.at(reference, (client, code), 1)
+        np.testing.assert_array_equal(matrix, reference)
+
+
+class TestSteadyLookupKeyPacking:
+    """Mirror of the (client, lookup_code) site in batch.py."""
+
+    def test_large_n_counts_match_unpacked_reference(self):
+        client, _, _ = _inputs()
+        rng = np.random.default_rng(7)
+        codes = rng.integers(
+            0, _N_LOOKUP_CODES, size=N_EVENTS, dtype=np.int32
+        )
+        n = N_ROUTERS
+        lookup_key = client * np.int64(_N_LOOKUP_CODES) + codes
+        assert lookup_key.dtype == np.int64
+        counts = np.bincount(
+            lookup_key, minlength=n * _N_LOOKUP_CODES
+        ).reshape(n, _N_LOOKUP_CODES)
+        reference = np.zeros((n, _N_LOOKUP_CODES), dtype=np.int64)
+        np.add.at(reference, (client, codes), 1)
+        np.testing.assert_array_equal(counts, reference)
