@@ -36,7 +36,14 @@ from repro.obs import machine_provenance, session as obs_session  # noqa: E402
 #: kernel-only from this PR on; older baselines recorded wall rps under
 #: the same key, which only makes the gate stricter for one transition.
 #: ``solver_batch`` gates the batched analytical solver's points/s.
-GUARDED_CASES = ("steady_state_batched", "dynamic_lru", "solver_batch")
+#: ``sharded_dynamic_lru`` gates the region-sharded scale run's
+#: kernel-only throughput (sum of per-shard kernel spans).
+GUARDED_CASES = (
+    "steady_state_batched",
+    "dynamic_lru",
+    "solver_batch",
+    "sharded_dynamic_lru",
+)
 
 #: Provenance fields that must match for numbers to be comparable.
 FINGERPRINT_FIELDS = (
@@ -78,7 +85,12 @@ def measure(case: str, baseline_case: dict) -> dict:
     Best-of-three on both cases: a throughput gate must not flap on
     scheduler noise, and only a *sustained* drop is a regression.
     """
-    from run_bench import _bench_dynamic, _bench_solver_batch, _bench_steady
+    from run_bench import (
+        _bench_dynamic,
+        _bench_sharded_dynamic,
+        _bench_solver_batch,
+        _bench_steady,
+    )
 
     if case == "steady_state_batched":
         requests = int(baseline_case["requests"])
@@ -92,6 +104,13 @@ def measure(case: str, baseline_case: dict) -> dict:
         # Full-size grid iff the baseline recorded the full 10k points.
         return _bench_solver_batch(
             quick=int(baseline_case.get("points", 0)) < 10_000, repeats=3
+        )
+    if case == "sharded_dynamic_lru":
+        # Full-scale run iff the baseline recorded the 10^7-request run;
+        # a single pass — the case is minutes long and kernel-only rps
+        # is already averaged over 100 per-region spans.
+        return _bench_sharded_dynamic(
+            quick=int(baseline_case.get("requests", 0)) < 10_000_000
         )
     raise ValueError(f"unknown guarded case {case!r}")
 

@@ -21,7 +21,6 @@ where per-point work is large enough to amortize spawning workers (see
 from __future__ import annotations
 
 import concurrent.futures
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
@@ -30,7 +29,7 @@ from ..core.gains import evaluate_gains
 from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..errors import ParameterError
-from ..obs import get_session, session as obs_session
+from ..obs import available_cpus, get_session, session as obs_session
 
 __all__ = [
     "Series",
@@ -207,12 +206,20 @@ AUTO_PARALLEL_MIN_POINTS_PER_WORKER = 256
 
 
 def resolve_parallel(
-    parallel: Union[int, str, None], n_points: int, *, analytical: bool = False
+    parallel: Union[int, str, None],
+    n_points: int,
+    *,
+    analytical: bool = False,
+    sharded: bool = False,
 ) -> int:
     """Resolve a ``parallel`` request into a concrete worker count.
 
     ``0`` means "no pool" — solve in-process (serial scalar, or the
-    vectorized batch path when the caller has one).  The decision table:
+    vectorized batch path when the caller has one).  CPU budgets come
+    from :func:`repro.obs.available_cpus` — the CPUs this *process* may
+    run on, not the machine's nominal count (under container/affinity
+    limits ``os.cpu_count`` overstates the pool a worker can use).
+    The decision table:
 
     ============  =======================  ================================
     request       analytical quantities    simulation-backed quantities
@@ -222,16 +229,23 @@ def resolve_parallel(
     ``k >= 2``    ``k`` workers (explicit  ``k`` workers
                   request overrides the
                   heuristic)
-    ``"auto"``    0 — the vectorized       ``cpu_count`` workers, capped
-                  solver beats any pool:   so each amortizes at least
-                  a whole grid solves in   :data:`AUTO_PARALLEL_MIN_POINTS_PER_WORKER`
-                  ~40 array iterations,    points (0 below the threshold:
-                  while spawning alone     process spin-up costs more than
-                  costs tens of ms (the    small grids)
-                  BENCH_pr4 inversion:
+    ``"auto"``    0 — the vectorized       ``available_cpus()`` workers,
+                  solver beats any pool:   capped so each amortizes at
+                  a whole grid solves in   least
+                  ~40 array iterations,    :data:`AUTO_PARALLEL_MIN_POINTS_PER_WORKER`
+                  while spawning alone     points (0 below the threshold:
+                  costs tens of ms (the    process spin-up costs more than
+                  BENCH_pr4 inversion:     small grids)
                   auto 0.0315 s vs serial
                   0.0223 s on 36 points)
     ============  =======================  ================================
+
+    ``sharded=True`` selects the region-sharded simulation profile
+    instead: each of the ``n_points`` work items (client regions) is a
+    long-running simulation, so there is no per-point amortization
+    floor — ``"auto"`` is simply ``min(available_cpus(), n_points)``,
+    matching how :func:`repro.simulation.sharded.run_sharded` sizes its
+    own pool.
 
     Any other string is a :class:`~repro.errors.ParameterError`.
     """
@@ -242,9 +256,11 @@ def resolve_parallel(
             raise ParameterError(
                 f"parallel must be a worker count or 'auto', got {parallel!r}"
             )
+        workers = available_cpus()
+        if sharded:
+            return max(min(workers, n_points), 1)
         if analytical:
             return 0
-        workers = os.cpu_count() or 1
         return min(workers, n_points // AUTO_PARALLEL_MIN_POINTS_PER_WORKER)
     if int(parallel) != parallel or parallel < 0:
         raise ParameterError(

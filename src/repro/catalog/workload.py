@@ -216,6 +216,40 @@ def _require_batching(count: int, batch_size: int) -> None:
         raise ParameterError(f"batch size must be positive, got {batch_size}")
 
 
+def _coerce_seed(seed: "int | np.random.SeedSequence") -> "int | np.random.SeedSequence":
+    """Normalize a workload seed: ints coerce, SeedSequences pass through.
+
+    ``numpy.random.default_rng`` accepts both, so downstream RNG
+    construction is unchanged; sharded runs pass spawned
+    ``SeedSequence`` children so per-region streams stay disjoint.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return int(seed)
+
+
+def _child_rngs(seed: "int | np.random.SeedSequence", n: int) -> list:
+    """``n`` child generators of the seed, without mutating shared state.
+
+    ``Generator.spawn``/``SeedSequence.spawn`` advance the sequence's
+    child counter, so spawning directly from a caller-provided
+    ``SeedSequence`` would make successive ``batches()`` calls yield
+    *different* streams — breaking the "a seed fixes the stream" class
+    contract.  Rebuild an equivalent root per call instead: same
+    ``(entropy, spawn_key)`` → same children, every time.  For int
+    seeds this reproduces ``default_rng(seed).spawn(n)`` bit-exactly.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=seed.spawn_key,
+            pool_size=seed.pool_size,
+        )
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
 class IRMWorkload(Workload):
     """Independent-reference-model workload over a popularity model.
 
@@ -229,7 +263,8 @@ class IRMWorkload(Workload):
         Optional relative request rates per client; uniform if omitted.
     seed:
         RNG seed; two workloads with the same seed yield identical
-        streams.
+        streams.  Accepts an int or a ``numpy.random.SeedSequence``
+        (sharded runs hand each region a spawned child sequence).
     """
 
     def __init__(
@@ -238,7 +273,7 @@ class IRMWorkload(Workload):
         clients: Sequence[NodeId],
         *,
         client_weights: Optional[Sequence[float]] = None,
-        seed: int = 0,
+        seed: "int | np.random.SeedSequence" = 0,
     ):
         if not clients:
             raise ParameterError("need at least one client router")
@@ -260,7 +295,7 @@ class IRMWorkload(Workload):
             self._client_probs = np.full(
                 len(self.clients), 1.0 / len(self.clients)
             )
-        self.seed = int(seed)
+        self.seed = _coerce_seed(seed)
 
     def requests(self, count: int) -> Iterator[Request]:
         return self._requests_from_batches(count)
@@ -275,7 +310,7 @@ class IRMWorkload(Workload):
         matter how many are ultimately drawn (or how batching falls).
         """
         _require_batching(count, batch_size)
-        rank_rng, client_rng = np.random.default_rng(self.seed).spawn(2)
+        rank_rng, client_rng = _child_rngs(self.seed, 2)
         client_cdf = np.cumsum(self._client_probs)
         palette = tuple(self.clients)
         remaining = count
@@ -381,7 +416,7 @@ class LocalityWorkload(Workload):
     window:
         Per-client recency buffer length.
     seed:
-        RNG seed.
+        RNG seed (int or ``numpy.random.SeedSequence``).
     """
 
     def __init__(
@@ -391,7 +426,7 @@ class LocalityWorkload(Workload):
         *,
         locality: float = 0.5,
         window: int = 32,
-        seed: int = 0,
+        seed: "int | np.random.SeedSequence" = 0,
     ):
         if not clients:
             raise ParameterError("need at least one client router")
@@ -403,7 +438,7 @@ class LocalityWorkload(Workload):
         self.clients = list(clients)
         self.locality = float(locality)
         self.window = int(window)
-        self.seed = int(seed)
+        self.seed = _coerce_seed(seed)
 
     def requests(self, count: int) -> Iterator[Request]:
         if count < 0:

@@ -11,6 +11,7 @@ Usage::
     python -m repro topology abilene           # topology statistics
     python -m repro sensitivity --gamma 5      # sensitive range of alpha
     python -m repro protocol geant             # coordination protocol cost
+    python -m repro scale --routers 5000 --regions 100   # sharded ISP-scale run
     python -m repro lint src tests             # whole-program static checks
 
 The default output is the fixed-width text rendering of
@@ -144,6 +145,48 @@ def build_parser() -> argparse.ArgumentParser:
     proto.add_argument("name", help="abilene | cernet | geant | us-a")
     proto.add_argument("--level", type=float, default=0.5)
     proto.add_argument("--capacity", type=int, default=20)
+
+    scale = subparsers.add_parser(
+        "scale",
+        help=(
+            "generate a synthetic multi-tier ISP topology and run a "
+            "region-sharded simulation over it"
+        ),
+    )
+    scale.add_argument("--routers", type=int, default=1000)
+    scale.add_argument("--regions", type=int, default=20)
+    scale.add_argument("--tiers", type=int, choices=(2, 3), default=3)
+    scale.add_argument("--requests", type=int, default=1_000_000)
+    scale.add_argument("--warmup", type=int, default=0)
+    scale.add_argument("--capacity", "-c", type=int, default=100)
+    scale.add_argument(
+        "--policy",
+        choices=("lru", "lfu", "perfect-lfu", "fifo", "random"),
+        default="lru",
+    )
+    scale.add_argument("--level", type=float, default=0.5)
+    scale.add_argument("--exponent", "-s", type=float, default=0.8)
+    scale.add_argument("--catalog", "-N", type=int, default=10_000)
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--mode", choices=("dynamic", "steady"), default="dynamic")
+    scale.add_argument("--metric", choices=("hops", "latency"), default="hops")
+    scale.add_argument(
+        "--shards",
+        type=_parallel_workers,
+        default="auto",
+        metavar="N",
+        help=(
+            "worker processes for the region shards: an integer or "
+            "'auto' (available CPUs, capped at the region count); "
+            "results are identical for every value"
+        ),
+    )
+    scale.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="record metrics and spans to a JSON-lines events file",
+    )
 
     # `repro lint` is dispatched before argparse runs (see _dispatch):
     # repro.lint.cli owns the whole flag surface (--format sarif, --fix,
@@ -376,6 +419,76 @@ def _protocol(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _scale(args: argparse.Namespace, out) -> int:
+    from .analysis.sweep import resolve_parallel
+    from .errors import ReproError
+    from .obs import get_session
+    from .simulation import run_sharded
+    from .topology import generate_hierarchy
+
+    obs = get_session()
+    try:
+        with obs.span("scale.generate"):
+            topology = generate_hierarchy(
+                args.seed,
+                routers=args.routers,
+                regions=args.regions,
+                tiers=args.tiers,
+            )
+        workers = resolve_parallel(
+            args.shards, topology.region_count, sharded=True
+        )
+        result = run_sharded(
+            topology,
+            requests=args.requests,
+            capacity=args.capacity,
+            mode=args.mode,
+            policy=args.policy,
+            coordination_level=args.level,
+            exponent=args.exponent,
+            catalog_size=args.catalog,
+            warmup=args.warmup,
+            seed=args.seed,
+            shards=workers if workers >= 1 else None,
+            metric=args.metric,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    metrics = result.metrics
+    print(
+        f"{topology.name}: {topology.n_routers} routers "
+        f"({topology.n_backbone} backbone, {topology.region_count} regions), "
+        f"{topology.n_links} links",
+        file=out,
+    )
+    print(
+        f"mode {args.mode}, policy {args.policy}, level {args.level:g}, "
+        f"c={args.capacity}, Zipf(s={args.exponent:g}, N={args.catalog})",
+        file=out,
+    )
+    print(
+        f"requests: {result.requests} (+{result.warmup} warmup) across "
+        f"{result.regions} regions, {result.shards or 'no'} worker shards",
+        file=out,
+    )
+    print(
+        f"origin load   = {metrics.origin_load:.4f}\n"
+        f"local/peer    = {metrics.local_fraction:.4f} / "
+        f"{metrics.peer_fraction:.4f}\n"
+        f"mean hops     = {metrics.mean_hops:.4f}\n"
+        f"mean latency  = {metrics.mean_latency_ms:.4f} ms",
+        file=out,
+    )
+    if result.kernel_seconds > 0:
+        print(
+            f"kernel        = {result.kernel_seconds:.3f} s "
+            f"({result.kernel_rps:,.0f} req/s)",
+            file=out,
+        )
+    return 0
+
+
 def _obs_summarize(args: argparse.Namespace, out) -> int:
     from .errors import ObservabilityError
     from .obs import read_events, render_summary, summarize_events
@@ -468,6 +581,8 @@ def _dispatch(argv: Optional[Sequence[str]], out) -> int:
         return _sensitivity(args, out)
     if args.command == "protocol":
         return _protocol(args, out)
+    if args.command == "scale":
+        return _observed(args, _scale, out)
     if args.command == "report":
         return _report(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

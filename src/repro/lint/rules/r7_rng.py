@@ -12,7 +12,8 @@ silently: results drift between runs and the equivalence suites can no
 longer certify the kernels.
 
 This rule therefore enforces, in the stochastic units
-(``simulation``, ``core``, ``catalog``, ``adaptive``):
+(``simulation``, ``core``, ``catalog``, ``adaptive``, ``topology`` —
+the synthetic generators promise seed → identical graph):
 
 - no calls to legacy global-state ``np.random`` functions
   (``np.random.seed``, ``np.random.rand``, ``np.random.choice``, ...);
@@ -37,7 +38,7 @@ from ..diagnostics import Diagnostic
 from . import Rule
 
 #: Units whose results must replay bit-exactly from recorded seeds.
-SCOPED_UNITS = frozenset({"simulation", "core", "catalog", "adaptive"})
+SCOPED_UNITS = frozenset({"simulation", "core", "catalog", "adaptive", "topology"})
 
 #: ``np.random`` attributes that do NOT touch global state: explicit
 #: constructors and seed-lineage machinery.

@@ -43,7 +43,7 @@ simulation, adaptive, analysis, cli — may record into it.
 
 from __future__ import annotations
 
-from .manifest import fingerprint, machine_provenance, run_manifest
+from .manifest import available_cpus, fingerprint, machine_provenance, run_manifest
 from .registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -81,6 +81,7 @@ __all__ = [
     "get_session",
     "register_provider",
     "registered_providers",
+    "available_cpus",
     "machine_provenance",
     "run_manifest",
     "fingerprint",

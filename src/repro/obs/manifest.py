@@ -16,7 +16,32 @@ import platform
 import sys
 from typing import Mapping, Optional
 
-__all__ = ["machine_provenance", "run_manifest", "fingerprint"]
+__all__ = ["available_cpus", "machine_provenance", "run_manifest", "fingerprint"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (never less than 1).
+
+    ``os.cpu_count()`` reports the machine, not the process: under
+    cgroup/affinity limits (containers, ``taskset``) it overstates what
+    a worker pool can use.  Prefer ``os.process_cpu_count()`` (Python
+    3.13+), fall back to the scheduling affinity mask, then to
+    ``os.cpu_count()``.  Every parallel-worker heuristic in the project
+    (grid solves, sharded simulation) sizes off this number, so it
+    lives here in the foundation layer.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    count = process_cpu_count() if process_cpu_count is not None else None
+    if not count:
+        sched_getaffinity = getattr(os, "sched_getaffinity", None)
+        if sched_getaffinity is not None:
+            try:
+                count = len(sched_getaffinity(0))
+            except OSError:
+                count = None
+    if not count:
+        count = os.cpu_count()
+    return max(int(count or 1), 1)
 
 
 def machine_provenance() -> dict:
@@ -27,6 +52,7 @@ def machine_provenance() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "process_cpu_count": available_cpus(),
         "python": platform.python_version(),
         "implementation": sys.implementation.name,
         "numpy": numpy.__version__,

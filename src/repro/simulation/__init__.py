@@ -32,6 +32,12 @@ from .routing import (
     RouteDecision,
     ServiceTier,
 )
+from .sharded import (
+    RegionFailure,
+    ShardedRunResult,
+    deterministic_view,
+    run_sharded,
+)
 from .simulator import DynamicSimulator, SteadyStateSimulator
 
 __all__ = [
@@ -54,14 +60,18 @@ __all__ = [
     "OriginModel",
     "ProtocolOutcome",
     "RandomCache",
+    "RegionFailure",
     "RouteDecision",
     "ServiceTier",
+    "ShardedRunResult",
     "SimulationMetrics",
     "StaticCache",
     "SteadyStateKernel",
     "SteadyStateSimulator",
     "build_degraded_simulator",
     "coordinated_mass_lost",
+    "deterministic_view",
     "fail_stores",
     "make_policy",
+    "run_sharded",
 ]

@@ -26,6 +26,7 @@ from typing import Hashable, Mapping, Sequence
 import numpy as np
 
 from ..topology.graph import Topology
+from .dynamic_batch import DEFAULT_TABLE_LIMIT_BYTES, _require_table_budget
 from .router import CCNRouter
 from .routing import NearestReplicaRouter
 
@@ -85,6 +86,11 @@ class SteadyStateKernel:
         scalar path uses; the kernel reads the same tables.
     holders:
         The static rank → holder-nodes index of the placement.
+    table_limit_bytes:
+        Ceiling on the dense per-(client, held-rank) decision tables
+        (:data:`~repro.simulation.dynamic_batch.DEFAULT_TABLE_LIMIT_BYTES`);
+        placements whose tables would exceed it fail fast with a
+        pointer to the region-sharded path.
     """
 
     def __init__(
@@ -93,8 +99,17 @@ class SteadyStateKernel:
         fleet: Mapping[NodeId, CCNRouter],
         router: NearestReplicaRouter,
         holders: Mapping[int, Sequence[NodeId]],
+        *,
+        table_limit_bytes: int = DEFAULT_TABLE_LIMIT_BYTES,
     ):
         n = topology.n_routers
+        # Dense allocations below: five (n, n_held) tables (server index,
+        # hops/latency and their masked copies) dominate.
+        _require_table_budget(
+            "SteadyStateKernel",
+            n * max(len(holders), 1) * 5 * 8,
+            int(table_limit_bytes),
+        )
         hops_matrix, latency_matrix = router.path_matrices()
         metric_matrix = router.metric_matrix()
         self._n_routers = n

@@ -45,9 +45,43 @@ from ..topology.graph import Topology
 from .router import CCNRouter
 from .routing import NearestReplicaRouter
 
-__all__ = ["DynamicBatchAggregate", "DynamicKernel", "DynamicKernelRun"]
+__all__ = [
+    "DEFAULT_TABLE_LIMIT_BYTES",
+    "DynamicBatchAggregate",
+    "DynamicKernel",
+    "DynamicKernelRun",
+]
 
 NodeId = Hashable
+
+#: Ceiling on a kernel's dense cost tables (2 GiB).  The dynamic
+#: kernel's flat lookup is O(n² · outcomes) — ~19 GB at n = 5000 — so a
+#: whole-graph kernel at internet scale is a mistake, not a workload:
+#: shard by client region (:mod:`repro.simulation.sharded`) and give
+#: each region its own small kernel instead.
+DEFAULT_TABLE_LIMIT_BYTES = 2 << 30
+
+
+def _require_table_budget(
+    kernel: str, estimated_bytes: int, limit_bytes: int
+) -> None:
+    """Refuse to allocate dense kernel tables beyond ``limit_bytes``.
+
+    Failing fast with a pointer to the sharded path beats an opaque
+    ``MemoryError`` minutes into an internet-scale run.
+    """
+    if limit_bytes < 1:
+        raise SimulationError(
+            f"table_limit_bytes must be positive, got {limit_bytes}"
+        )
+    if estimated_bytes > limit_bytes:
+        raise SimulationError(
+            f"{kernel} cost tables need ~{estimated_bytes / 2**30:.1f} GiB, "
+            f"over the {limit_bytes / 2**30:.1f} GiB limit; at this scale "
+            "shard the run by client region with "
+            "repro.simulation.sharded.run_sharded (per-region kernels), or "
+            "raise table_limit_bytes explicitly"
+        )
 
 #: Outcome codes, one per simulated request.  Codes 0/1 are the LOCAL
 #: tier, 2 is PEER, 3-5 are ORIGIN; codes 1-5 imply a local-store miss,
@@ -706,6 +740,11 @@ class DynamicKernel:
         The per-router partition split (``c - x`` / ``x``);
         ``coordinated_slots == 0`` selects the fully non-coordinated
         flow (misses go straight to the origin).
+    table_limit_bytes:
+        Ceiling on the dense cost tables
+        (:data:`DEFAULT_TABLE_LIMIT_BYTES`); topologies whose O(n²)
+        tables would exceed it fail fast with a pointer to the
+        region-sharded path.
     """
 
     def __init__(
@@ -715,6 +754,8 @@ class DynamicKernel:
         policy: str,
         local_slots: int,
         coordinated_slots: int,
+        *,
+        table_limit_bytes: int = DEFAULT_TABLE_LIMIT_BYTES,
     ):
         if policy not in _ENGINE_TYPES:
             raise SimulationError(
@@ -732,6 +773,13 @@ class DynamicKernel:
         self._nodes = topology.nodes
         self._node_index = {node: i for i, node in enumerate(topology.nodes)}
         self._n_nodes = topology.n_routers
+        # Dense allocations below: the flat cost table (n·n·outcomes·2
+        # doubles) plus the two via-custodian n×n matrices.
+        _require_table_budget(
+            "DynamicKernel",
+            self._n_nodes * self._n_nodes * (_N_OUTCOMES * 2 + 2) * 8,
+            int(table_limit_bytes),
+        )
         hops_matrix, latency_matrix = router.path_matrices()
         gateway = self._node_index[router.origin.gateway]
         self._origin_hops = hops_matrix[:, gateway] + router.origin.extra_hops

@@ -186,6 +186,26 @@ class MetricsCollector:
         self.total_hops += total_hops
         self.total_latency_ms += total_latency_ms
 
+    def merge(self, metrics: SimulationMetrics) -> None:
+        """Fold a finished run's summary into this collector.
+
+        Addition over every counter and sum, so merging per-shard
+        summaries in a fixed order is exactly equivalent to one
+        collector having recorded all requests — integer counters add
+        exactly, and the float hop/latency sums add in the merge order,
+        which sharded runs keep fixed (region order) to make the result
+        shard-count-invariant.  ``served_by`` counts fold per router.
+        """
+        self.requests += metrics.requests
+        self.local_hits += metrics.local_hits
+        self.peer_hits += metrics.peer_hits
+        self.origin_hits += metrics.origin_hits
+        self.total_hops += metrics.total_hops
+        self.total_latency_ms += metrics.total_latency_ms
+        self.coordination_messages += metrics.coordination_messages
+        for server, count in metrics.served_by.items():
+            self.served_by[server] = self.served_by.get(server, 0) + count
+
     def record_messages(self, count: int) -> None:
         """Add coordination messages (placement directives, consensus)."""
         if count < 0:

@@ -286,7 +286,9 @@ class DynamicSimulator:
     origin / metric:
         As in :class:`SteadyStateSimulator`.
     seed:
-        Seed for randomized policies.
+        Seed for randomized policies — an int, or a
+        ``numpy.random.SeedSequence`` child (as spawned per region by
+        :mod:`repro.simulation.sharded`).
     """
 
     def __init__(
@@ -298,7 +300,7 @@ class DynamicSimulator:
         coordination_level: float = 0.0,
         origin: Optional[OriginModel] = None,
         metric: str = "hops",
-        seed: int = 0,
+        seed: "int | np.random.SeedSequence" = 0,
     ):
         if int(capacity) != capacity or capacity < 1:
             raise ParameterError(
@@ -323,8 +325,21 @@ class DynamicSimulator:
         # The per-router sequences are kept so failure injection can
         # respawn *fresh* streams for replacement stores.
         self._partition_seeds: dict[NodeId, np.random.SeedSequence] = {}
+        # Copy a caller-provided SeedSequence instead of spawning from
+        # it directly: spawn advances the shared object's child counter,
+        # so two simulators built from one sequence would otherwise get
+        # different fleets.  Same (entropy, spawn_key) → same streams.
+        root_seq = (
+            np.random.SeedSequence(
+                entropy=seed.entropy,
+                spawn_key=seed.spawn_key,
+                pool_size=seed.pool_size,
+            )
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
         for node, per_router in zip(
-            topology.nodes, np.random.SeedSequence(seed).spawn(topology.n_routers)
+            topology.nodes, root_seq.spawn(topology.n_routers)
         ):
             self._partition_seeds[node] = per_router
             local_seq, coordinated_seq = per_router.spawn(2)

@@ -26,6 +26,7 @@ from .geo import (
     propagation_delay_ms,
 )
 from .graph import Topology
+from .hierarchy import HierarchicalTopology, generate_hierarchy
 from .io import load_topology_file, save_topology, topology_to_json
 from .parameters import TopologyParameters, topology_parameters
 
@@ -35,11 +36,13 @@ __all__ = [
     "TABLE_III_TARGETS",
     "TOPOLOGY_NAMES",
     "TableIIITargets",
+    "HierarchicalTopology",
     "Topology",
     "TopologyParameters",
     "barabasi_albert_topology",
     "calibrate_link_latencies",
     "erdos_renyi_topology",
+    "generate_hierarchy",
     "great_circle_km",
     "grid_topology",
     "load_abilene",

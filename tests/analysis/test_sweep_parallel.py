@@ -13,6 +13,7 @@ from repro.analysis.sweep import (
     sweep,
 )
 from repro.errors import ParameterError
+from repro.obs import available_cpus
 
 ALPHAS = tuple(round(0.1 + 0.8 * i / 5, 4) for i in range(6))
 
@@ -91,8 +92,8 @@ class TestAutoParallel:
             == 0
         )
 
-    def test_large_grid_scales_with_cpu_count(self):
-        cpus = os.cpu_count() or 1
+    def test_large_grid_scales_with_available_cpus(self):
+        cpus = available_cpus()
         huge = AUTO_PARALLEL_MIN_POINTS_PER_WORKER * (cpus + 4)
         assert resolve_parallel("auto", huge) == cpus
 
@@ -127,6 +128,41 @@ class TestAutoParallel:
     def test_analytical_flag_preserves_explicit_counts(self):
         assert resolve_parallel(2, 10_000, analytical=True) == 2
         assert resolve_parallel(None, 10_000, analytical=True) == 0
+
+
+class TestAvailableCpus:
+    def test_at_least_one_and_at_most_the_machine(self):
+        cpus = available_cpus()
+        assert cpus >= 1
+        machine = os.cpu_count()
+        if machine:
+            assert cpus <= machine
+
+    def test_reported_in_machine_provenance(self):
+        from repro.obs import machine_provenance
+
+        provenance = machine_provenance()
+        assert provenance["process_cpu_count"] == available_cpus()
+
+
+class TestShardedResolution:
+    def test_auto_has_no_amortization_floor(self):
+        # Region shards are long simulations: even a handful of regions
+        # deserve a pool, unlike sub-millisecond analytical points.
+        cpus = available_cpus()
+        assert resolve_parallel("auto", 4, sharded=True) == min(cpus, 4)
+        assert resolve_parallel("auto", 100, sharded=True) == min(cpus, 100)
+        assert resolve_parallel("auto", 1, sharded=True) == 1
+
+    def test_sharded_overrides_the_analytical_shortcut(self):
+        assert (
+            resolve_parallel("auto", 8, analytical=True, sharded=True) >= 1
+        )
+
+    def test_explicit_counts_and_serial_pass_through(self):
+        assert resolve_parallel(None, 8, sharded=True) == 0
+        assert resolve_parallel(0, 8, sharded=True) == 0
+        assert resolve_parallel(6, 8, sharded=True) == 6
 
 
 class TestFigureParallelKnob:

@@ -150,3 +150,41 @@ class TestTraceBatches:
         workload = TraceWorkload([Request("A", 1)])
         with pytest.raises(ParameterError):
             list(workload.batches(2))
+
+
+class TestSeedSequenceSeeds:
+    """Workload seeds accept SeedSequence children (the sharded lineage)."""
+
+    def test_irm_seed_sequence_matches_equivalent_entropy(self):
+        seq = np.random.SeedSequence(99)
+        a = IRMWorkload(ZipfModel(0.8, 200), CLIENTS, seed=seq)
+        b = IRMWorkload(ZipfModel(0.8, 200), CLIENTS, seed=seq)
+        assert a.seed is seq
+        batch_a = a.sample_batch(500)
+        batch_b = b.sample_batch(500)
+        assert np.array_equal(batch_a.ranks, batch_b.ranks)
+        assert np.array_equal(batch_a.client_index, batch_b.client_index)
+        # Replaying the same workload must not advance shared spawn state.
+        replay = a.sample_batch(500)
+        assert np.array_equal(replay.ranks, batch_a.ranks)
+
+    def test_spawned_children_yield_disjoint_streams(self):
+        children = np.random.SeedSequence(5).spawn(2)
+        model = ZipfModel(0.8, 200)
+        left = IRMWorkload(model, CLIENTS, seed=children[0]).sample_batch(300)
+        right = IRMWorkload(model, CLIENTS, seed=children[1]).sample_batch(300)
+        assert not np.array_equal(left.ranks, right.ranks)
+
+    def test_locality_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(4)
+        workload = LocalityWorkload(
+            ZipfModel(0.8, 200), CLIENTS, locality=0.4, window=8, seed=seq
+        )
+        first = workload.materialize(50)
+        again = workload.materialize(50)
+        assert first == again
+
+    def test_int_seeds_still_coerce(self):
+        workload = IRMWorkload(ZipfModel(0.8, 200), CLIENTS, seed=np.int64(7))
+        assert workload.seed == 7
+        assert isinstance(workload.seed, int)

@@ -1,0 +1,22 @@
+"""R7 true positives in the topology unit: unseeded synthetic generators."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_generator_positions(n: int):
+    rng = np.random.default_rng()  # finding 1: entropy-seeded
+    return rng.uniform(0.0, 100.0, size=(n, 2))
+
+
+def global_waxman_draws(n: int):
+    return np.random.random((n, n))  # finding 2: global singleton
+
+def shuffled_node_order(nodes: list) -> list:
+    random.shuffle(nodes)  # finding 3: hidden global Random instance
+    return nodes
+
+
+def unseeded_bitgen_edges():
+    return np.random.Generator(np.random.PCG64())  # finding 4

@@ -1,0 +1,17 @@
+"""R7 false positives in the topology unit: seed → identical graph."""
+
+import numpy as np
+
+
+def seeded_positions(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 100.0, size=(n, 2))
+
+
+def per_region_lineage(seed: int, regions: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(regions)]
+
+
+def seeded_bitgen_edges(seed: int):
+    return np.random.Generator(np.random.PCG64(seed))
