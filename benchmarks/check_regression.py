@@ -38,11 +38,14 @@ from repro.obs import machine_provenance, session as obs_session  # noqa: E402
 #: ``solver_batch`` gates the batched analytical solver's points/s.
 #: ``sharded_dynamic_lru`` gates the region-sharded scale run's
 #: kernel-only throughput (sum of per-shard kernel spans).
+#: ``approx_grid`` gates the Che-approximation layer's points/s over
+#: the same grid (the 1000x-simulation-bypass headline).
 GUARDED_CASES = (
     "steady_state_batched",
     "dynamic_lru",
     "solver_batch",
     "sharded_dynamic_lru",
+    "approx_grid",
 )
 
 #: Provenance fields that must match for numbers to be comparable.
@@ -86,6 +89,7 @@ def measure(case: str, baseline_case: dict) -> dict:
     scheduler noise, and only a *sustained* drop is a regression.
     """
     from run_bench import (
+        _bench_approx_grid,
         _bench_dynamic,
         _bench_sharded_dynamic,
         _bench_solver_batch,
@@ -111,6 +115,11 @@ def measure(case: str, baseline_case: dict) -> dict:
         # is already averaged over 100 per-region spans.
         return _bench_sharded_dynamic(
             quick=int(baseline_case.get("requests", 0)) < 10_000_000
+        )
+    if case == "approx_grid":
+        # Full-size grid iff the baseline recorded the full 10k points.
+        return _bench_approx_grid(
+            quick=int(baseline_case.get("points", 0)) < 10_000, repeats=3
         )
     raise ValueError(f"unknown guarded case {case!r}")
 

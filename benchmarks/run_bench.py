@@ -246,6 +246,63 @@ def _bench_solver_scalar(quick: bool, *, limit: int | None = None) -> dict:
     }
 
 
+def _bench_approx_grid(quick: bool, *, repeats: int = 3) -> dict:
+    """Che-approximation sweep over the eq. 5 grid vs per-point simulation.
+
+    ``approx_batch`` answers "best coordination level under LRU" for
+    every point of the same 10k-point grid the solver benches use
+    (best-of-N, cold memo each repeat so the figure includes the
+    fixed-point work).  The dynamic route needs one simulation per
+    (point, level) pair, so the speedup figure times ONE representative
+    point through the simulator — the ``dynamic_lru`` traffic config at
+    the cross-validation request count, once per level on the default
+    21-level grid — and extrapolates linearly: points are independent,
+    so per-point cost is constant.
+    """
+    from repro.approx import approx_batch, clear_approx_caches
+
+    grid = _solver_grid(quick)
+    best = None
+    unique_solves = 0
+    for _ in range(repeats):
+        clear_approx_caches()
+        start = time.perf_counter()
+        result = approx_batch(grid, policy="lru")
+        elapsed = time.perf_counter() - start
+        unique_solves = result.unique_solves
+        best = elapsed if best is None else min(best, elapsed)
+
+    n_levels, requests = (3, 5_000) if quick else (21, 40_000)
+    topology = load_topology("us-a")
+    start = time.perf_counter()
+    for index in range(n_levels):
+        simulator = DynamicSimulator(
+            topology,
+            capacity=100,
+            policy="lru",
+            coordination_level=index / (n_levels - 1),
+            seed=0,
+        )
+        workload = IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=1)
+        metrics = simulator.run(workload, requests)
+        assert metrics.requests == requests
+    dynamic_point_s = time.perf_counter() - start
+
+    points_per_s = len(grid) / best
+    dynamic_points_per_s = 1.0 / dynamic_point_s
+    return {
+        "points": len(grid),
+        "repeats": repeats,
+        "unique_solves": unique_solves,
+        "seconds": round(best, 4),
+        "rps": round(points_per_s, 1),
+        "dynamic_levels": n_levels,
+        "dynamic_requests_per_level": requests,
+        "dynamic_point_s": round(dynamic_point_s, 4),
+        "speedup_vs_dynamic": round(points_per_s / dynamic_points_per_s, 1),
+    }
+
+
 def _bench_sweep_dense(quick: bool) -> dict:
     """A dense figure-style sweep through the batched dispatch path."""
     n_alpha = 20 if quick else 80
@@ -418,6 +475,7 @@ def run(quick: bool) -> dict:
         "solver_scalar": _bench_solver_scalar(
             quick, limit=200 if quick else None
         ),
+        "approx_grid": _bench_approx_grid(quick, repeats=1 if quick else 3),
         "topology_generate_5k": _bench_topology_generate(quick),
         "sharded_dynamic_lru": _bench_sharded_dynamic(quick),
     }

@@ -19,6 +19,9 @@ The library provides:
   models and workload generators;
 - a request-level simulator (:mod:`repro.simulation`) validating the
   analysis and reproducing the motivating example;
+- the Che/TTL approximation layer (:mod:`repro.approx`): dynamic
+  -policy hit rates and latency from characteristic-time fixed points,
+  orders of magnitude faster than simulating;
 - the evaluation harness (:mod:`repro.analysis`): every table and
   figure of the paper as a regenerable experiment.
 
@@ -47,6 +50,13 @@ from .core import (
     origin_load_reduction,
     routing_improvement,
 )
+from .approx import (
+    ApproxSolution,
+    approx_batch,
+    characteristic_time,
+    solve_custodian,
+    solve_en_route,
+)
 from .catalog import Catalog, IRMWorkload, Request, SequenceWorkload, ZipfModel
 from .errors import (
     CatalogError,
@@ -69,6 +79,7 @@ from .topology import Topology, load_topology, topology_parameters
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApproxSolution",
     "Catalog",
     "CatalogError",
     "ConvergenceError",
@@ -97,10 +108,14 @@ __all__ = [
     "ZipfModel",
     "ZipfPopularity",
     "__version__",
+    "approx_batch",
+    "characteristic_time",
     "closed_form_alpha1",
     "evaluate_gains",
     "load_topology",
     "optimal_strategy",
+    "solve_custodian",
+    "solve_en_route",
     "origin_load_reduction",
     "routing_improvement",
     "topology_parameters",

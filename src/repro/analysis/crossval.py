@@ -1,0 +1,152 @@
+"""Cross-validation of the approximation layer against the dynamic kernel.
+
+The Che/TTL approximation (:mod:`repro.approx`) is only useful if its
+predictions track the simulated fleet within a known band, so this
+module makes the comparison a first-class, reusable object:
+:func:`cross_validate` runs
+:func:`repro.approx.network.solve_custodian` and
+:class:`repro.simulation.simulator.DynamicSimulator` on the *same*
+configuration and reports the per-tier deltas.  It lives in
+``analysis`` (not ``approx``) because the architecture DAG keeps
+``approx`` below the simulation layer — this is the layer allowed to
+see both sides.
+
+Measured bands (DESIGN.md §15 documents the full table): on the paper's
+small topologies with warmed LRU fleets the aggregate hit-rate error
+stays within ~2–3 absolute percentage points, Random/FIFO within ~4 —
+the Che approximation is exact for LRU only in the large-cache limit,
+and the simulated estimate itself carries O(1/√requests) sampling
+noise, so tolerances must budget for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..approx.metrics import ApproxMetrics
+from ..approx.network import ApproxSolution, solve_custodian
+from ..catalog.workload import IRMWorkload
+from ..core.zipf import ZipfPopularity
+from ..errors import ParameterError
+from ..simulation.metrics import SimulationMetrics
+from ..simulation.routing import OriginModel
+from ..simulation.simulator import DynamicSimulator
+from ..topology.graph import Topology
+
+__all__ = ["CrossValidation", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """Approx-vs-simulation comparison of one configuration.
+
+    Attributes
+    ----------
+    approx / simulated:
+        The two metric bundles (expected fractions vs observed counts).
+    hit_rate_error:
+        ``|approx aggregate hit rate − simulated|`` — the acceptance
+        metric of the cross-validation suite (absolute, in [0, 1]).
+    local_error / peer_error / origin_error:
+        Absolute per-tier fraction deltas (``origin_error`` equals
+        ``hit_rate_error`` by construction; kept for table symmetry).
+    latency_rel_error:
+        ``|ΔT| / T_sim`` on the mean fetch latency (absolute delta when
+        the simulated latency is 0).
+    solution:
+        The full approximation solution (iteration/residual telemetry).
+    """
+
+    approx: ApproxMetrics
+    simulated: SimulationMetrics
+    hit_rate_error: float
+    local_error: float
+    peer_error: float
+    origin_error: float
+    latency_rel_error: float
+    solution: ApproxSolution
+
+    def within(
+        self, hit_rate_band: float, *, latency_band: Optional[float] = None
+    ) -> bool:
+        """Whether the deltas sit inside the given tolerance bands."""
+        if hit_rate_band < 0.0:
+            raise ParameterError(
+                f"hit-rate band must be non-negative, got {hit_rate_band}"
+            )
+        ok = self.hit_rate_error <= hit_rate_band
+        if latency_band is not None:
+            ok = ok and self.latency_rel_error <= latency_band
+        return ok
+
+
+def cross_validate(
+    topology: Topology,
+    *,
+    capacity: int,
+    coordination_level: float = 0.0,
+    policy: str = "lru",
+    exponent: float = 0.8,
+    catalog_size: int = 10_000,
+    requests: int = 50_000,
+    warmup: int = 50_000,
+    seed: int = 0,
+    origin: Optional[OriginModel] = None,
+    metric: str = "hops",
+) -> CrossValidation:
+    """Compare the approximation with one warmed dynamic-simulator run.
+
+    Both sides get the identical configuration (the ``origin`` object is
+    shared — ``approx`` accepts it duck-typed); the simulator runs a
+    uniform-client IRM workload for ``warmup`` uncounted plus
+    ``requests`` counted draws.  Warmup matters: the Che fixed point
+    describes the stationary regime, and a cold fleet biases the
+    simulated origin load upward.
+    """
+    if requests < 1:
+        raise ParameterError(f"request count must be positive, got {requests}")
+    if warmup < 0:
+        raise ParameterError(f"warmup must be non-negative, got {warmup}")
+    solution = solve_custodian(
+        topology,
+        capacity=capacity,
+        coordination_level=coordination_level,
+        policy=policy,
+        exponent=exponent,
+        catalog_size=catalog_size,
+        origin=origin,
+        metric=metric,
+    )
+    simulator = DynamicSimulator(
+        topology,
+        capacity=capacity,
+        policy=policy,
+        coordination_level=coordination_level,
+        origin=origin,
+        metric=metric,
+        seed=seed,
+    )
+    workload = IRMWorkload(
+        ZipfPopularity(exponent, catalog_size), topology.nodes, seed=seed
+    )
+    simulated = simulator.run(workload, requests, warmup=warmup)
+    approx = solution.metrics
+    latency_denominator = simulated.mean_latency_ms
+    if latency_denominator > 0.0:
+        latency_rel = (
+            abs(approx.mean_latency_ms - latency_denominator)
+            / latency_denominator
+        )
+    else:
+        latency_rel = abs(approx.mean_latency_ms - latency_denominator)
+    return CrossValidation(
+        approx=approx,
+        simulated=simulated,
+        hit_rate_error=abs(approx.origin_load - simulated.origin_load),
+        local_error=abs(approx.local_fraction - simulated.local_fraction),
+        peer_error=abs(approx.peer_fraction - simulated.peer_fraction),
+        origin_error=abs(approx.origin_load - simulated.origin_load),
+        latency_rel_error=latency_rel,
+        solution=solution,
+    )

@@ -246,6 +246,7 @@ def table4_settings() -> TableData:
 def figure4_level_vs_alpha(
     *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 4: optimal level ℓ* versus trade-off weight α, per γ."""
     series = sweep(
@@ -257,6 +258,7 @@ def figure4_level_vs_alpha(
         curve_values=gammas,
         curve_label=lambda g: f"gamma={g:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="4",
@@ -273,6 +275,7 @@ def figure5_level_vs_exponent(
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 5: optimal level ℓ* versus Zipf exponent s, per α."""
     series = sweep(
@@ -284,6 +287,7 @@ def figure5_level_vs_exponent(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="5",
@@ -300,6 +304,7 @@ def figure6_level_vs_routers(
     router_counts: Sequence[int] = ROUTER_COUNT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 6: optimal level ℓ* versus network size n, per α."""
     series = sweep(
@@ -311,6 +316,7 @@ def figure6_level_vs_routers(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="6",
@@ -327,6 +333,7 @@ def figure7_level_vs_unit_cost(
     unit_costs: Sequence[float] = UNIT_COST_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 7: optimal level ℓ* versus unit coordination cost w, per α."""
     series = sweep(
@@ -338,6 +345,7 @@ def figure7_level_vs_unit_cost(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="7",
@@ -357,6 +365,7 @@ def figure7_level_vs_unit_cost(
 def figure8_origin_gain_vs_alpha(
     *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 8: origin load reduction G_O versus α, per γ."""
     series = sweep(
@@ -368,6 +377,7 @@ def figure8_origin_gain_vs_alpha(
         curve_values=gammas,
         curve_label=lambda g: f"gamma={g:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="8",
@@ -384,6 +394,7 @@ def figure9_origin_gain_vs_exponent(
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 9: origin load reduction G_O versus Zipf exponent s, per α."""
     series = sweep(
@@ -395,6 +406,7 @@ def figure9_origin_gain_vs_exponent(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="9",
@@ -411,6 +423,7 @@ def figure10_origin_gain_vs_routers(
     router_counts: Sequence[int] = ROUTER_COUNT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 10: origin load reduction G_O versus network size n, per α."""
     series = sweep(
@@ -422,6 +435,7 @@ def figure10_origin_gain_vs_routers(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="10",
@@ -438,6 +452,7 @@ def figure11_origin_gain_vs_unit_cost(
     unit_costs: Sequence[float] = UNIT_COST_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 11: origin load reduction G_O versus unit cost w, per α."""
     series = sweep(
@@ -449,6 +464,7 @@ def figure11_origin_gain_vs_unit_cost(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="11",
@@ -468,6 +484,7 @@ def figure11_origin_gain_vs_unit_cost(
 def figure12_routing_gain_vs_alpha(
     *, alphas: Sequence[float] = ALPHA_GRID, gammas: Sequence[float] = FIGURE_GAMMAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 12: routing performance improvement G_R versus α, per γ."""
     series = sweep(
@@ -479,6 +496,7 @@ def figure12_routing_gain_vs_alpha(
         curve_values=gammas,
         curve_label=lambda g: f"gamma={g:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="12",
@@ -495,6 +513,7 @@ def figure13_routing_gain_vs_exponent(
     exponents: Sequence[float] = EXPONENT_GRID,
     alphas: Sequence[float] = CURVE_ALPHAS,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> FigureData:
     """Figure 13: routing performance improvement G_R versus s, per α."""
     series = sweep(
@@ -506,6 +525,7 @@ def figure13_routing_gain_vs_exponent(
         curve_values=alphas,
         curve_label=lambda a: f"alpha={a:g}",
         parallel=parallel,
+        solver=solver,
     )
     return FigureData(
         figure_id="13",

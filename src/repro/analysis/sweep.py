@@ -24,6 +24,7 @@ import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
+from ..approx.batch import approx_batch
 from ..core.batch_solver import ScenarioGrid, evaluate_gains_batch, solve_batch
 from ..core.gains import evaluate_gains
 from ..core.optimizer import optimal_strategy
@@ -36,6 +37,7 @@ __all__ = [
     "FigureData",
     "QUANTITIES",
     "ANALYTICAL_QUANTITIES",
+    "SOLVERS",
     "AUTO_PARALLEL_MIN_POINTS_PER_WORKER",
     "solve_quantity",
     "resolve_parallel",
@@ -124,6 +126,16 @@ QUANTITIES: Mapping[str, Callable[[Scenario], float]] = {
 #: ``parallel="auto"`` falls back to process fan-out for them.
 ANALYTICAL_QUANTITIES = frozenset(QUANTITIES)
 
+#: Back-end selectors for :func:`sweep`.  ``"auto"`` keeps the historic
+#: behaviour (``parallel`` decides between the vectorized analytical
+#: batch, serial scalar solves and process fan-out); ``"scalar"`` and
+#: ``"batched"`` pin those two analytical paths explicitly; ``"approx"``
+#: swaps the closed-form model for the Che/TTL approximation layer
+#: (:func:`repro.approx.batch.approx_batch`), answering the same three
+#: quantities under *dynamic* replacement (LRU by default) instead of
+#: the paper's idealized placement.
+SOLVERS = ("auto", "scalar", "batched", "approx")
+
 
 def solve_quantity(scenario: Scenario, quantity: str) -> float:
     """Solve one scenario for one named quantity (``level``, ``origin_gain``, ``routing_gain``)."""
@@ -191,6 +203,28 @@ def _solve_batched(payloads: Sequence[tuple[Scenario, str]]) -> list[float]:
         ys = evaluate_gains_batch(grid, strategy).origin_load_reduction
     else:
         ys = evaluate_gains_batch(grid, strategy).routing_improvement
+    return [float(y) for y in ys]
+
+
+def _solve_approx(payloads: Sequence[tuple[Scenario, str]]) -> list[float]:
+    """Whole-grid solve through the Che/TTL approximation layer.
+
+    Columnizes the payload scenarios exactly like :func:`_solve_batched`
+    but hands the grid to :func:`repro.approx.batch.approx_batch`, which
+    re-optimizes the coordination level per point under approximated
+    LRU dynamics (memoized per-``(N, s, c, n)`` fixed points; records
+    its own ``approx.batch`` span and points/s gauge).  The three sweep
+    quantities map directly onto the result columns.
+    """
+    quantity = payloads[0][1]
+    grid = ScenarioGrid.from_scenarios(scenario for scenario, _ in payloads)
+    result = approx_batch(grid)
+    if quantity == "level":
+        ys = result.level
+    elif quantity == "origin_gain":
+        ys = result.origin_gain
+    else:
+        ys = result.routing_gain
     return [float(y) for y in ys]
 
 
@@ -272,6 +306,7 @@ def resolve_parallel(
 def _solve_grid(
     payloads: Sequence[tuple[Scenario, str]],
     parallel: Union[int, str, None],
+    solver: str = "auto",
 ) -> list[float]:
     """Solve every grid point, serially or across worker processes.
 
@@ -290,6 +325,12 @@ def _solve_grid(
     """
     quantities = {quantity for _, quantity in payloads}
     analytical = quantities <= ANALYTICAL_QUANTITIES
+    if solver == "approx":
+        return _solve_approx(payloads)
+    if solver == "batched":
+        return _solve_batched(payloads)
+    if solver == "scalar":
+        analytical = False  # fall through to serial / process fan-out
     if parallel == "auto" and analytical and len(quantities) == 1:
         return _solve_batched(payloads)
     parallel = resolve_parallel(parallel, len(payloads), analytical=analytical)
@@ -324,6 +365,7 @@ def sweep(
     curve_values: Sequence[float] = (),
     curve_label: Optional[Callable[[float], str]] = None,
     parallel: Union[int, str, None] = "auto",
+    solver: str = "auto",
 ) -> tuple[Series, ...]:
     """Run a 1-D sweep, optionally fanned out into multiple curves.
 
@@ -350,10 +392,28 @@ def sweep(
         every mode, and all modes agree per point to well below 1e-9
         (the batched path is bit-identical except where Theorem 2 warm
         starts shrink the bisection bracket).
+    solver:
+        Which model backs the y-values (one of :data:`SOLVERS`).
+        ``"auto"`` lets ``parallel`` pick among the analytical paths;
+        ``"scalar"``/``"batched"`` pin those explicitly; ``"approx"``
+        answers the same quantities from the Che/TTL approximation of
+        LRU dynamics (:mod:`repro.approx`) — one vectorized pass,
+        ``parallel`` is ignored.
     """
     if quantity not in QUANTITIES:
         raise ParameterError(
             f"unknown quantity {quantity!r}; expected one of {sorted(QUANTITIES)}"
+        )
+    if solver not in SOLVERS:
+        raise ParameterError(
+            f"unknown solver {solver!r}; expected one of {list(SOLVERS)}"
+        )
+    if solver == "approx" and type(base) is not Scenario:
+        raise ParameterError(
+            "solver='approx' solves plain Scenario grids only; "
+            f"got {type(base).__name__} — heterogeneous (repro.hetero) and "
+            "adaptive (repro.adaptive) scenario types have no "
+            "Che-approximation path yet"
         )
     if curve_field is None:
         curve_values = (None,)  # type: ignore[assignment]
@@ -377,7 +437,7 @@ def sweep(
         )
     obs = get_session()
     with obs.span("sweep.grid"):
-        ys = _solve_grid(payloads, parallel)
+        ys = _solve_grid(payloads, parallel, solver)
     if obs.enabled:
         obs.counter("sweep.grid_points").add(len(payloads))
         obs.counter("sweep.grids").add()

@@ -1,0 +1,71 @@
+"""``repro.approx`` — Che/TTL networks-of-caches approximation layer.
+
+The fidelity-vs-speed tier between the closed-form analytical model
+(:mod:`repro.core`) and the dynamic simulators
+(:mod:`repro.simulation`): per-cache Che characteristic-time fixed
+points (LRU, and the Random/FIFO variants of Gallo et al.) composed
+over a topology by miss-stream thinning.  Answers dynamic-policy
+questions — LRU/Random hit rates, where the optimum coordination level
+lands under real replacement — in milliseconds instead of full
+simulation runs, within the error bands documented in DESIGN.md §15.
+
+Module map: :mod:`.che` (single-cache fixed points), :mod:`.network`
+(topology-aware custodian / en-route solvers), :mod:`.batch`
+(grid-scale ``approx_batch``), :mod:`.metrics` (the
+``SimulationMetrics``-shaped output type).  The cross-validation
+harness lives in :mod:`repro.analysis.crossval`, above the simulation
+layer.
+"""
+
+from .batch import (
+    DEFAULT_LEVEL_COUNT,
+    DEFAULT_QUADRATURE,
+    ApproxBatchResult,
+    approx_batch,
+)
+from .che import (
+    MAX_FIXED_POINT_ITERATIONS,
+    OCCUPANCY_TOLERANCE,
+    POLICIES,
+    CharacteristicTime,
+    approx_memo_stats,
+    characteristic_time,
+    clear_approx_caches,
+    hit_probabilities,
+    solve_fixed_point,
+    solve_fixed_point_batch,
+)
+from .metrics import FRACTION_TOLERANCE, ApproxMetrics
+from .network import (
+    ApproxSolution,
+    LevelCurve,
+    OriginSpec,
+    level_curve,
+    solve_custodian,
+    solve_en_route,
+)
+
+__all__ = [
+    "POLICIES",
+    "OCCUPANCY_TOLERANCE",
+    "MAX_FIXED_POINT_ITERATIONS",
+    "DEFAULT_LEVEL_COUNT",
+    "DEFAULT_QUADRATURE",
+    "FRACTION_TOLERANCE",
+    "ApproxBatchResult",
+    "ApproxMetrics",
+    "ApproxSolution",
+    "CharacteristicTime",
+    "LevelCurve",
+    "OriginSpec",
+    "approx_batch",
+    "approx_memo_stats",
+    "characteristic_time",
+    "clear_approx_caches",
+    "hit_probabilities",
+    "level_curve",
+    "solve_custodian",
+    "solve_en_route",
+    "solve_fixed_point",
+    "solve_fixed_point_batch",
+]

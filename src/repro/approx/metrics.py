@@ -1,0 +1,76 @@
+"""Predicted metrics of the approximation layer.
+
+:class:`ApproxMetrics` mirrors the property surface of
+:class:`repro.simulation.metrics.SimulationMetrics` — ``origin_load``,
+``local_fraction``, ``peer_fraction``, ``mean_hops``,
+``mean_latency_ms``, ``tier_fractions()`` — so cross-validation code
+and the figure pipeline can consume either interchangeably.  The
+difference is semantic: simulation reports *observed* tier counts over
+a finite request stream, while the approximation reports *expected*
+fractions of the stationary regime, so everything here is a float in
+``[0, 1]`` rather than a counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = ["ApproxMetrics", "FRACTION_TOLERANCE"]
+
+#: Allowed defect of ``local + peer + origin - 1`` — accumulated float64
+#: rounding over million-entry catalog reductions stays far below this.
+FRACTION_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ApproxMetrics:
+    """Expected per-tier behaviour of one approximated configuration.
+
+    Attributes
+    ----------
+    local_fraction / peer_fraction / origin_load:
+        Expected request fractions served by the client's own store,
+        by a peer router (the custodian / an en-route cache), and by
+        the origin — the paper's Table I metric trio; they sum to 1.
+    mean_hops / mean_latency_ms:
+        Expected fetch-path cost per request, excluding the constant
+        client access leg — the same convention as
+        :class:`~repro.simulation.metrics.SimulationMetrics`.
+    """
+
+    local_fraction: float
+    peer_fraction: float
+    origin_load: float
+    mean_hops: float
+    mean_latency_ms: float
+
+    def __post_init__(self) -> None:
+        for name in ("local_fraction", "peer_fraction", "origin_load"):
+            value = getattr(self, name)
+            if not -FRACTION_TOLERANCE <= value <= 1.0 + FRACTION_TOLERANCE:
+                raise ParameterError(
+                    f"{name} must be a probability, got {value}"
+                )
+        total = self.local_fraction + self.peer_fraction + self.origin_load
+        if abs(total - 1.0) > FRACTION_TOLERANCE:
+            raise ParameterError(
+                f"tier fractions must sum to 1, got {total} "
+                f"({self.local_fraction} + {self.peer_fraction} + "
+                f"{self.origin_load})"
+            )
+        if self.mean_hops < 0.0 or self.mean_latency_ms < 0.0:
+            raise ParameterError(
+                "mean hops/latency must be non-negative, got "
+                f"({self.mean_hops}, {self.mean_latency_ms})"
+            )
+
+    def tier_fractions(self) -> tuple[float, float, float]:
+        """``(local, peer, origin)`` — same layout as the simulator's."""
+        return (self.local_fraction, self.peer_fraction, self.origin_load)
+
+    @property
+    def hit_rate(self) -> float:
+        """Aggregate in-network hit rate ``1 - origin_load``."""
+        return 1.0 - self.origin_load

@@ -1,0 +1,578 @@
+"""Networks-of-caches approximation over a concrete topology.
+
+Extends the single-cache fixed points of :mod:`.che` to the two network
+shapes this reproduction simulates, by *miss-stream thinning*: a cache
+fed per-content rates ``λ_i`` forwards the thinned stream
+``λ_i (1 - h_i)`` to the next cache on the request path (Gallo et al.;
+Paschos et al. — see PAPERS.md).
+
+- :func:`solve_custodian` mirrors
+  :class:`repro.simulation.simulator.DynamicSimulator`'s coordination
+  semantics exactly: every router's store splits into a local partition
+  (capacity ``c - round(ℓ·c)``) fed the full client Zipf stream, and a
+  hash-custodian partition (``round(ℓ·c)``) fed the *aggregated* local
+  misses of every router for the ranks it custodies
+  (``custodian(rank) = nodes[rank mod n]``).  Because the dynamic
+  kernel admits on every miss, the local tier feels the full IRM
+  stream regardless of downstream state — the sweep therefore
+  converges in one local-then-custodian pass.
+
+- :func:`solve_en_route` models the paper's en-route hierarchy: each
+  client's requests walk its shortest path toward the origin gateway,
+  each node caching what passes through it (one undivided store per
+  node).  Per-node aggregated arrival rates are recomputed from the
+  thinned streams of the downstream caches and the whole leaf→origin
+  sweep repeats until the hit vectors stop moving — the fixed point of
+  a DAG composition, reached within (diameter + 1) sweeps.
+
+Layering note: ``approx`` sits beside ``core`` in the architecture DAG
+(imports ``core``/``topology``/``obs``/``errors`` only), so it cannot
+reuse :class:`repro.simulation.routing.NearestReplicaRouter`.  Instead
+:func:`_path_matrices` replicates that class's per-pair accumulation
+(hops *and* latency along the same metric-chosen paths, pair overhead
+on non-self pairs) and :class:`OriginSpec` is attribute-compatible with
+``simulation.routing.OriginModel`` — the ``origin`` parameter accepts
+either, and the cross-validation suite asserts the accounting agrees.
+
+Both solvers return an :class:`~repro.approx.metrics.ApproxMetrics`
+whose hop/latency accounting therefore matches what the simulators
+charge; see ``tests/approx/test_cross_validation.py`` and DESIGN.md §15
+for the measured error bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.validation import require_capacity, require_probability
+from ..core.zipf import validate_exponent, zipf_tables
+from ..errors import ConvergenceError, ParameterError, TopologyError
+from ..obs import get_session
+from ..topology.graph import Topology
+from .che import hit_probabilities, solve_fixed_point
+from .metrics import ApproxMetrics
+
+__all__ = [
+    "ApproxSolution",
+    "LevelCurve",
+    "OriginSpec",
+    "solve_custodian",
+    "solve_en_route",
+    "level_curve",
+]
+
+NodeId = Hashable
+
+#: Sweep limits of the en-route fixed point: the composition is a DAG
+#: of depth <= the topology diameter, so the Jacobi iteration is exact
+#: after (depth + 1) sweeps — 64 covers any reproduction topology.
+MAX_SWEEPS = 64
+SWEEP_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class OriginSpec:
+    """Origin placement: gateway router plus the beyond-gateway leg.
+
+    Attribute-compatible with
+    :class:`repro.simulation.routing.OriginModel` (same field names and
+    defaults), so either type can be passed wherever the solvers take
+    an ``origin`` — without ``approx`` importing the simulation layer.
+    """
+
+    gateway: NodeId
+    extra_hops: float = 1.0
+    extra_latency_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.extra_hops < 0:
+            raise ParameterError(
+                f"origin extra hops must be non-negative, got {self.extra_hops}"
+            )
+        if self.extra_latency_ms < 0:
+            raise ParameterError(
+                f"origin extra latency must be non-negative, "
+                f"got {self.extra_latency_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ApproxSolution:
+    """One solved network approximation.
+
+    Attributes
+    ----------
+    mode:
+        ``"custodian"`` (the dynamic simulator's coordination shape) or
+        ``"en-route"`` (the paper's hierarchical shape).
+    policy / level:
+        Replacement policy and coordination level ``ℓ`` the solution
+        describes (``level`` is 0 for en-route solutions).
+    metrics:
+        The predicted per-tier fractions and mean fetch costs.
+    iterations:
+        Total fixed-point iterations across every per-cache solve,
+        plus (en-route) the number of whole-network sweeps.
+    residual:
+        Worst absolute occupancy residual ``|Σh - C|`` across caches.
+    characteristic_times:
+        The solved ``T_C`` per cache — ``(local, custodian_0, ...)``
+        for custodian mode, one per topology node for en-route
+        (``inf`` marks a cache holding its whole arrival support,
+        ``nan`` marks pinned perfect-LFU stores with no timer).
+    """
+
+    mode: str
+    policy: str
+    level: float
+    metrics: ApproxMetrics
+    iterations: int
+    residual: float
+    characteristic_times: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class LevelCurve:
+    """The predicted ``T(ℓ)`` curve: one solution per coordination level."""
+
+    levels: tuple[float, ...]
+    solutions: tuple[ApproxSolution, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.solutions):
+            raise ParameterError(
+                f"level curve has {len(self.levels)} levels but "
+                f"{len(self.solutions)} solutions"
+            )
+
+    def latencies_ms(self) -> tuple[float, ...]:
+        """``T(ℓ)`` — mean fetch latency per level."""
+        return tuple(s.metrics.mean_latency_ms for s in self.solutions)
+
+    def mean_hops(self) -> tuple[float, ...]:
+        """Mean fetch hops per level."""
+        return tuple(s.metrics.mean_hops for s in self.solutions)
+
+    def origin_loads(self) -> tuple[float, ...]:
+        """Origin-served fraction per level (Table I row 1)."""
+        return tuple(s.metrics.origin_load for s in self.solutions)
+
+
+def _path_matrices(
+    topology: Topology, metric: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pair ``(hops, latency_ms)`` along the metric's shortest paths.
+
+    Replicates ``NearestReplicaRouter._path_matrices`` operation for
+    operation: both matrices describe the *same* path per pair (chosen
+    by hop count or Dijkstra latency), and ``pair_overhead_ms`` is
+    added to every non-self latency.
+    """
+    n = topology.n_routers
+    hops = np.zeros((n, n), dtype=np.float64)
+    latency = np.zeros((n, n), dtype=np.float64)
+    graph = topology.graph
+    if metric == "hops":
+        paths_iter = nx.all_pairs_shortest_path(graph)
+    else:
+        paths_iter = nx.all_pairs_dijkstra_path(graph, weight="latency_ms")
+    for source, paths in paths_iter:
+        i = topology.index_of(source)
+        for target, path in paths.items():
+            j = topology.index_of(target)
+            hops[i, j] = len(path) - 1
+            latency[i, j] = sum(
+                graph.edges[path[k], path[k + 1]]["latency_ms"]
+                for k in range(len(path) - 1)
+            )
+    if topology.pair_overhead_ms > 0:
+        latency += topology.pair_overhead_ms * (1.0 - np.eye(n))
+    return hops, latency
+
+
+def _resolve_network(
+    topology: Topology, origin: Optional[OriginSpec], metric: str
+) -> tuple[np.ndarray, np.ndarray, int, float, float]:
+    """``(hops_m, lat_m, gateway_idx, extra_hops, extra_latency_ms)``.
+
+    Defaults follow ``NearestReplicaRouter``: with no explicit origin,
+    the gateway is the router minimizing the summed hop distance to all
+    others (first index on ties) and the origin sits one hop / 50 ms
+    beyond it.  ``origin`` may be an :class:`OriginSpec` or any object
+    with the same attributes (e.g. ``simulation.routing.OriginModel``).
+    """
+    if metric not in ("hops", "latency"):
+        raise ParameterError(
+            f"metric must be 'hops' or 'latency', got {metric!r}"
+        )
+    hops_m, lat_m = _path_matrices(topology, metric)
+    if origin is None:
+        gateway = topology.nodes[int(np.argmin(hops_m.sum(axis=1)))]
+        origin = OriginSpec(gateway=gateway)
+    if origin.gateway not in topology.nodes:
+        raise TopologyError(
+            f"origin gateway {origin.gateway!r} is not a router of "
+            f"{topology.name!r}"
+        )
+    return (
+        hops_m,
+        lat_m,
+        topology.index_of(origin.gateway),
+        float(origin.extra_hops),
+        float(origin.extra_latency_ms),
+    )
+
+
+def _hit_vector(
+    rates: np.ndarray,
+    capacity: float,
+    policy: str,
+) -> tuple[np.ndarray, float, int, float]:
+    """``(h, T_C, iterations, residual)`` for one cache of the network.
+
+    ``perfect-lfu`` pins the ``capacity`` highest-rate contents (ties
+    broken by index, matching the deterministic frequency order the
+    dynamic kernel converges to); the timer policies go through the
+    Che fixed point.
+    """
+    if policy == "perfect-lfu":
+        h = np.zeros_like(rates)
+        k = int(round(capacity))
+        positive = np.flatnonzero(rates > 0.0)
+        if k > 0 and positive.size:
+            order = positive[np.argsort(-rates[positive], kind="stable")]
+            h[order[:k]] = 1.0
+        return h, float("nan"), 0, 0.0
+    solved = solve_fixed_point(rates, capacity, policy=policy)
+    return (
+        hit_probabilities(rates, solved.value, policy=policy),
+        solved.value,
+        solved.iterations,
+        solved.residual,
+    )
+
+
+def _validate_common(
+    topology: Topology, capacity: int, policy: str, exponent: float, catalog_size: int
+) -> tuple[int, str, float]:
+    if int(capacity) != capacity or capacity < 1:
+        raise ParameterError(f"capacity must be a positive integer, got {capacity}")
+    policy = policy.strip().lower()
+    exponent = validate_exponent(exponent, allow_one=True)
+    if int(catalog_size) != catalog_size or catalog_size < topology.n_routers:
+        raise ParameterError(
+            f"catalog size must be an integer >= the router count "
+            f"({topology.n_routers}), got {catalog_size}"
+        )
+    return int(capacity), policy, exponent
+
+
+def solve_custodian(
+    topology: Topology,
+    *,
+    capacity: int,
+    coordination_level: float = 0.0,
+    policy: str = "lru",
+    exponent: float = 0.8,
+    catalog_size: int = 10_000,
+    origin: Optional[OriginSpec] = None,
+    metric: str = "hops",
+) -> ApproxSolution:
+    """Approximate :class:`~repro.simulation.simulator.DynamicSimulator`.
+
+    Same constructor surface as the simulator (module docstring has the
+    model); clients are uniform IRM sources as in
+    :class:`~repro.catalog.workload.IRMWorkload`.  The request flow per
+    content ``i`` with custodian ``k``, local hit probability
+    ``h_loc(i)`` (identical across routers — every local partition sees
+    the same Zipf stream) and custodian hit probability ``h_k(i)``:
+
+    - served locally with ``h_loc + (1/n)(1-h_loc)·h_k`` (the second
+      term: the custodian's own clients find coordinated copies during
+      the *local* lookup, which the simulator counts as a LOCAL hit);
+    - served by the custodian peer with ``(1-1/n)(1-h_loc)·h_k``;
+    - otherwise fetched from the origin *via the custodian's path*
+      (``ℓ > 0``) or directly (``ℓ = 0``) — the simulator's exact
+      charging.
+    """
+    capacity, policy, exponent = _validate_common(
+        topology,
+        int(require_capacity(capacity, integer=True)),
+        policy,
+        validate_exponent(exponent, allow_one=True),
+        catalog_size,
+    )
+    coordination_level = require_probability(
+        float(coordination_level), "coordination level"
+    )
+    obs = get_session()
+    with obs.span("approx.solve"):
+        hops_m, lat_m, gateway_idx, extra_hops, extra_lat = _resolve_network(
+            topology, origin, metric
+        )
+        n = topology.n_routers
+        coordinated_slots = int(round(coordination_level * capacity))
+        local_slots = capacity - coordinated_slots
+        pmf, _ = zipf_tables(exponent, int(catalog_size))
+
+        iterations = 0
+        residual = 0.0
+        times = []
+        if local_slots > 0:
+            h_loc, t_loc, its, res = _hit_vector(pmf, float(local_slots), policy)
+            iterations += its
+            residual = max(residual, res)
+            times.append(t_loc)
+        else:
+            h_loc = np.zeros_like(pmf)
+            times.append(0.0)
+
+        # Custodian tier: rank r (1-based) belongs to nodes[r mod n], so
+        # content index i = r - 1 maps to custodian (i + 1) mod n.
+        custodian_of = (np.arange(1, int(catalog_size) + 1) % n).astype(np.int64)
+        h_coord = np.zeros_like(pmf)
+        if coordinated_slots > 0:
+            miss_rates = pmf * (1.0 - h_loc)
+            for j in range(n):
+                assigned = np.flatnonzero(custodian_of == j)
+                h_j, t_j, its, res = _hit_vector(
+                    miss_rates[assigned], float(coordinated_slots), policy
+                )
+                h_coord[assigned] = h_j
+                iterations += its
+                residual = max(residual, res)
+                times.append(t_j)
+
+        # Tier probabilities per content (docstring derivation).
+        miss_local = 1.0 - h_loc
+        p_local = pmf * (h_loc + miss_local * h_coord / n)
+        p_peer = pmf * miss_local * h_coord * (n - 1) / n
+        p_origin = pmf * miss_local * (1.0 - h_coord)
+
+        og_hops = hops_m[:, gateway_idx] + extra_hops
+        og_lat = lat_m[:, gateway_idx] + extra_lat
+        if n > 1:
+            # Mean client→custodian distance over the n-1 remote clients
+            # (diagonals are zero, so the full column sum works).
+            peer_hops = hops_m.sum(axis=0) / (n - 1)
+            peer_lat = lat_m.sum(axis=0) / (n - 1)
+        else:
+            peer_hops = np.zeros(1)
+            peer_lat = np.zeros(1)
+
+        # Aggregate the per-content masses per custodian, then charge
+        # the custodian-specific distances (one dot product per tier).
+        peer_mass = np.bincount(custodian_of, weights=p_peer, minlength=n)
+        origin_mass = np.bincount(custodian_of, weights=p_origin, minlength=n)
+        total_peer = float(p_peer.sum())
+        total_origin = float(p_origin.sum())
+        total_local = float(p_local.sum())
+        mean_hops = float(peer_mass @ peer_hops)
+        mean_lat = float(peer_mass @ peer_lat)
+        if coordinated_slots > 0:
+            # Origin fetches route via the custodian: its own origin path
+            # plus the client→custodian leg for the (n-1)/n remote share.
+            origin_hops_via = og_hops + peer_hops * (n - 1) / n
+            origin_lat_via = og_lat + peer_lat * (n - 1) / n
+            mean_hops += float(origin_mass @ origin_hops_via)
+            mean_lat += float(origin_mass @ origin_lat_via)
+        else:
+            mean_hops += total_origin * float(og_hops.mean())
+            mean_lat += total_origin * float(og_lat.mean())
+
+        metrics = ApproxMetrics(
+            local_fraction=total_local,
+            peer_fraction=total_peer,
+            origin_load=total_origin,
+            mean_hops=mean_hops,
+            mean_latency_ms=mean_lat,
+        )
+        if obs.enabled:
+            obs.counter("approx.network.solves").add()
+            obs.gauge("approx.network.residual").set(residual)
+    return ApproxSolution(
+        mode="custodian",
+        policy=policy,
+        level=coordination_level,
+        metrics=metrics,
+        iterations=iterations,
+        residual=residual,
+        characteristic_times=tuple(times),
+    )
+
+
+def solve_en_route(
+    topology: Topology,
+    *,
+    capacity: int,
+    policy: str = "lru",
+    exponent: float = 0.8,
+    catalog_size: int = 10_000,
+    origin: Optional[OriginSpec] = None,
+    metric: str = "hops",
+    max_sweeps: int = MAX_SWEEPS,
+    tolerance: float = SWEEP_TOLERANCE,
+) -> ApproxSolution:
+    """Approximate the paper's en-route hierarchy (module docstring).
+
+    Every node runs one undivided cache of ``capacity`` slots; client
+    ``r``'s requests walk the hop-shortest path ``r → gateway`` and are
+    served by the first cache holding the content (its own node counts
+    as the local tier), else by the origin behind the gateway.  Misses
+    install the content at every node of the path (the leave-copy-
+    everywhere discipline the thinning model describes).  Per-node
+    arrivals aggregate the thinned streams of all paths through the
+    node; sweeps repeat leaf→origin until no hit vector moves by more
+    than ``tolerance``.
+    """
+    capacity, policy, exponent = _validate_common(
+        topology,
+        int(require_capacity(capacity, integer=True)),
+        policy,
+        validate_exponent(exponent, allow_one=True),
+        catalog_size,
+    )
+    if max_sweeps < 1:
+        raise ParameterError(f"max_sweeps must be positive, got {max_sweeps}")
+    obs = get_session()
+    with obs.span("approx.solve"):
+        _, _, gateway_idx, extra_hops, extra_lat = _resolve_network(
+            topology, origin, metric
+        )
+        gateway = topology.nodes[gateway_idx]
+        n = topology.n_routers
+        pmf, _ = zipf_tables(exponent, int(catalog_size))
+        exogenous = pmf / n
+
+        # One hop-shortest path per client, as node indices, plus the
+        # latency prefix of each hop (pair overhead charged like the
+        # routing matrices: once per remote fetch).
+        paths: list[list[int]] = []
+        path_lat: list[np.ndarray] = []
+        for node in topology.nodes:
+            path = topology.shortest_path(node, gateway)
+            idx = [topology.index_of(u) for u in path]
+            prefix = np.zeros(len(path), dtype=np.float64)
+            for j in range(1, len(path)):
+                prefix[j] = prefix[j - 1] + topology.link_latency(
+                    path[j - 1], path[j]
+                )
+            if topology.pair_overhead_ms > 0 and len(path) > 1:
+                prefix[1:] += topology.pair_overhead_ms
+            paths.append(idx)
+            path_lat.append(prefix)
+
+        h = np.zeros((n, pmf.size), dtype=np.float64)
+        times = np.zeros(n, dtype=np.float64)
+        iterations = 0
+        residual = 0.0
+        converged = False
+        delta = float("inf")
+        for sweep in range(1, max_sweeps + 1):
+            arrivals = np.zeros_like(h)
+            for idx in paths:
+                stream = exogenous
+                for v in idx:
+                    arrivals[v] += stream
+                    stream = stream * (1.0 - h[v])
+            h_next = np.empty_like(h)
+            residual = 0.0
+            for v in range(n):
+                h_v, t_v, its, res = _hit_vector(
+                    arrivals[v], float(capacity), policy
+                )
+                h_next[v] = h_v
+                times[v] = t_v
+                iterations += its
+                residual = max(residual, res)
+            delta = float(np.max(np.abs(h_next - h)))
+            h = h_next
+            if obs.enabled:
+                obs.counter("approx.network.sweeps").add()
+            if delta <= tolerance:
+                converged = True
+                iterations += sweep
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"en-route sweep did not converge within {max_sweeps} "
+                f"sweeps on {topology.name!r} (last delta {delta:.3e})"
+            )
+
+        local = peer = origin_frac = 0.0
+        mean_hops = mean_lat = 0.0
+        for idx, prefix_lat in zip(paths, path_lat):
+            stream = exogenous
+            for j, v in enumerate(idx):
+                served = stream * h[v]
+                mass = float(served.sum())
+                if j == 0:
+                    local += mass
+                else:
+                    peer += mass
+                    mean_hops += mass * j
+                    mean_lat += mass * float(prefix_lat[j])
+                stream = stream * (1.0 - h[v])
+            mass = float(stream.sum())
+            origin_frac += mass
+            mean_hops += mass * (len(idx) - 1 + extra_hops)
+            mean_lat += mass * (float(prefix_lat[-1]) + extra_lat)
+
+        metrics = ApproxMetrics(
+            local_fraction=local,
+            peer_fraction=peer,
+            origin_load=origin_frac,
+            mean_hops=mean_hops,
+            mean_latency_ms=mean_lat,
+        )
+        if obs.enabled:
+            obs.counter("approx.network.solves").add()
+            obs.gauge("approx.network.residual").set(residual)
+    return ApproxSolution(
+        mode="en-route",
+        policy=policy,
+        level=0.0,
+        metrics=metrics,
+        iterations=iterations,
+        residual=residual,
+        characteristic_times=tuple(float(t) for t in times),
+    )
+
+
+def level_curve(
+    topology: Topology,
+    levels: Sequence[float],
+    *,
+    capacity: int,
+    policy: str = "lru",
+    exponent: float = 0.8,
+    catalog_size: int = 10_000,
+    origin: Optional[OriginSpec] = None,
+    metric: str = "hops",
+) -> LevelCurve:
+    """The predicted ``T(ℓ)`` curve over a grid of coordination levels.
+
+    One :func:`solve_custodian` per level — the approximation-layer
+    counterpart of sweeping ``coordination_level`` over dynamic
+    simulation runs, at a fraction of the cost.
+    """
+    if not levels:
+        raise ParameterError("need at least one coordination level")
+    solutions = tuple(
+        solve_custodian(
+            topology,
+            capacity=capacity,
+            coordination_level=level,
+            policy=policy,
+            exponent=exponent,
+            catalog_size=catalog_size,
+            origin=origin,
+            metric=metric,
+        )
+        for level in levels
+    )
+    return LevelCurve(levels=tuple(float(v) for v in levels), solutions=solutions)

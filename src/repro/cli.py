@@ -12,6 +12,7 @@ Usage::
     python -m repro sensitivity --gamma 5      # sensitive range of alpha
     python -m repro protocol geant             # coordination protocol cost
     python -m repro scale --routers 5000 --regions 100   # sharded ISP-scale run
+    python -m repro approx abilene -c 100      # Che/TTL approximate solve
     python -m repro lint src tests             # whole-program static checks
 
 The default output is the fixed-width text rendering of
@@ -90,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--parallel means 'auto' (pool sized to the grid, serial for "
             "small grids); figure experiments only, output is identical "
             "to serial"
+        ),
+    )
+    run.add_argument(
+        "--solver",
+        choices=("auto", "scalar", "batched", "approx"),
+        default="auto",
+        help=(
+            "model backing sweep figures: the closed analytical form "
+            "('auto' picks scalar vs batched) or the Che/TTL "
+            "approximation of LRU dynamics ('approx'); figure "
+            "experiments only"
         ),
     )
     run.add_argument(
@@ -188,6 +200,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="record metrics and spans to a JSON-lines events file",
     )
 
+    approx = subparsers.add_parser(
+        "approx",
+        help=(
+            "solve a topology with the Che/TTL approximation layer "
+            "(milliseconds instead of a full simulation run)"
+        ),
+    )
+    approx.add_argument("name", help="abilene | cernet | geant | us-a")
+    approx.add_argument("--capacity", "-c", type=int, default=100)
+    approx.add_argument("--level", type=float, default=0.5)
+    approx.add_argument(
+        "--policy",
+        choices=("lru", "random", "fifo", "perfect-lfu"),
+        default="lru",
+    )
+    approx.add_argument("--exponent", "-s", type=float, default=0.8)
+    approx.add_argument("--catalog", "-N", type=int, default=10_000)
+    approx.add_argument(
+        "--mode",
+        choices=("custodian", "en-route"),
+        default="custodian",
+        help=(
+            "custodian: the paper's coordinated-placement model; "
+            "en-route: caching along the path to the origin gateway"
+        ),
+    )
+    approx.add_argument("--metric", choices=("hops", "latency"), default="hops")
+    approx.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="record metrics and spans to a JSON-lines events file",
+    )
+
     # `repro lint` is dispatched before argparse runs (see _dispatch):
     # repro.lint.cli owns the whole flag surface (--format sarif, --fix,
     # --changed, ...) and argparse REMAINDER cannot forward leading
@@ -257,15 +303,19 @@ def _emit(result: object, args: argparse.Namespace, out) -> None:
 def _experiment_kwargs(fn, args: argparse.Namespace) -> dict:
     """Keyword arguments an experiment accepts from the command line.
 
-    Only sweep-based figures take ``parallel=``; passing it to the
-    table experiments would fail, so consult each signature.
+    Only sweep-based figures take ``parallel=``/``solver=``; passing
+    them to the table experiments would fail, so consult each
+    signature.
     """
+    kwargs = {}
+    parameters = inspect.signature(fn).parameters
     parallel = getattr(args, "parallel", None)
-    if parallel is None:
-        return {}
-    if "parallel" not in inspect.signature(fn).parameters:
-        return {}
-    return {"parallel": parallel}
+    if parallel is not None and "parallel" in parameters:
+        kwargs["parallel"] = parallel
+    solver = getattr(args, "solver", "auto")
+    if solver != "auto" and "solver" in parameters:
+        kwargs["solver"] = solver
+    return kwargs
 
 
 def _run_experiment(args: argparse.Namespace, out) -> int:
@@ -489,6 +539,58 @@ def _scale(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _approx(args: argparse.Namespace, out) -> int:
+    from .approx import solve_custodian, solve_en_route
+    from .errors import ReproError
+    from .topology import load_topology
+
+    try:
+        topology = load_topology(args.name)
+        if args.mode == "custodian":
+            solution = solve_custodian(
+                topology,
+                capacity=args.capacity,
+                coordination_level=args.level,
+                policy=args.policy,
+                exponent=args.exponent,
+                catalog_size=args.catalog,
+                metric=args.metric,
+            )
+        else:
+            solution = solve_en_route(
+                topology,
+                capacity=args.capacity,
+                policy=args.policy,
+                exponent=args.exponent,
+                catalog_size=args.catalog,
+                metric=args.metric,
+            )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    metrics = solution.metrics
+    print(
+        f"{topology.name}: {solution.mode} approximation, policy "
+        f"{solution.policy}, level {solution.level:g}, c={args.capacity}, "
+        f"Zipf(s={args.exponent:g}, N={args.catalog})",
+        file=out,
+    )
+    print(
+        f"origin load   = {metrics.origin_load:.4f}\n"
+        f"local/peer    = {metrics.local_fraction:.4f} / "
+        f"{metrics.peer_fraction:.4f}\n"
+        f"mean hops     = {metrics.mean_hops:.4f}\n"
+        f"mean latency  = {metrics.mean_latency_ms:.4f} ms",
+        file=out,
+    )
+    print(
+        f"fixed point   = {solution.iterations} iterations, "
+        f"residual {solution.residual:.2e}",
+        file=out,
+    )
+    return 0
+
+
 def _obs_summarize(args: argparse.Namespace, out) -> int:
     from .errors import ObservabilityError
     from .obs import read_events, render_summary, summarize_events
@@ -583,6 +685,8 @@ def _dispatch(argv: Optional[Sequence[str]], out) -> int:
         return _protocol(args, out)
     if args.command == "scale":
         return _observed(args, _scale, out)
+    if args.command == "approx":
+        return _observed(args, _approx, out)
     if args.command == "report":
         return _report(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

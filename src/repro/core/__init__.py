@@ -61,11 +61,13 @@ from .zipf import (
     harmonic_number,
     harmonic_numbers,
     inverse_continuous_cdf,
+    register_zipf_cache_clearer,
     top_k_mass,
     validate_exponent,
     zipf_cdf,
     zipf_pmf,
     zipf_table_stats,
+    zipf_tables,
 )
 
 __all__ = [
@@ -124,5 +126,7 @@ __all__ = [
     "validate_exponent",
     "zipf_cdf",
     "zipf_pmf",
+    "register_zipf_cache_clearer",
     "zipf_table_stats",
+    "zipf_tables",
 ]

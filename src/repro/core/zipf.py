@@ -47,8 +47,10 @@ __all__ = [
     "inverse_continuous_cdf",
     "top_k_mass",
     "validate_exponent",
+    "zipf_tables",
     "zipf_table_stats",
     "clear_zipf_caches",
+    "register_zipf_cache_clearer",
     "ZipfPopularity",
     "DEFAULT_SAMPLE_SEED",
 ]
@@ -93,6 +95,14 @@ _POPULARITY_CACHE_MAX = 4
 
 #: Aggregate hit/miss counters across all three caches (BENCH harness).
 _CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Clearers of *dependent* memos registered by higher layers (e.g. the
+#: ``repro.approx`` characteristic-time memo, whose entries are derived
+#: from the eq. 1 tables).  Layering forbids ``core`` importing those
+#: layers, so they register a callback instead and
+#: :func:`clear_zipf_caches` invokes every one — a single clear-all
+#: entry point for tests and memory pressure.
+_DEPENDENT_CLEARERS: list = []
 
 
 def _cache_get(cache: "OrderedDict", key):
@@ -146,6 +156,25 @@ def clear_zipf_caches() -> None:
     _POPULARITY_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+    for clearer in _DEPENDENT_CLEARERS:
+        clearer()
+
+
+def register_zipf_cache_clearer(clearer) -> None:
+    """Register a callback invoked by :func:`clear_zipf_caches`.
+
+    Higher layers memoizing values *derived* from the eq. 1 tables
+    (e.g. the Che characteristic-time memo in :mod:`repro.approx`)
+    register their clear function here, so one ``clear_zipf_caches()``
+    call drops every table in the derivation chain.  Registering the
+    same callable twice is a no-op.
+    """
+    if not callable(clearer):
+        raise ParameterError(
+            f"cache clearer must be callable, got {type(clearer).__name__}"
+        )
+    if clearer not in _DEPENDENT_CLEARERS:
+        _DEPENDENT_CLEARERS.append(clearer)
 
 
 def _zipf_obs_provider() -> dict:
@@ -434,6 +463,35 @@ def inverse_continuous_cdf(
     return values
 
 
+def zipf_tables(exponent: float, catalog_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """The memoized discrete ``(pmf, cdf)`` tables of eq. 1, read-only.
+
+    One normalized float64 pmf table plus its cumulative sum, built at
+    most once per ``(exponent, catalog_size)`` key and shared between
+    :class:`ZipfPopularity` sampling and the :mod:`repro.approx`
+    fixed-point solvers — the approximation layer's per-``(N, s)``
+    arrival-rate vectors are exactly these tables, so exposing the cache
+    avoids re-normalizing ``N`` ranks on every characteristic-time
+    solve.  ``s = 1`` is admissible (the discrete pmf is well defined at
+    the eq. 6 singularity).  Callers needing a mutable array must copy.
+    """
+    exponent = validate_exponent(exponent, allow_one=True)
+    catalog_size = _validate_catalog_size(catalog_size)
+    key = (exponent, catalog_size)
+    cached = _cache_get(_POPULARITY_CACHE, key)
+    if cached is None:
+        ranks = np.arange(1, catalog_size + 1, dtype=np.float64)
+        weights = ranks**-exponent
+        weights /= weights.sum()
+        cdf = np.cumsum(weights)
+        weights.flags.writeable = False
+        cdf.flags.writeable = False
+        cached = _cache_put(
+            _POPULARITY_CACHE, key, (weights, cdf), _POPULARITY_CACHE_MAX
+        )
+    return cached
+
+
 def top_k_mass(k: Union[int, float], s: float, n_catalog: float, *, exact: bool = False) -> float:
     """Probability mass of the top-``k`` ranked contents.
 
@@ -517,19 +575,9 @@ class ZipfPopularity:
 
     def _tables(self) -> tuple[np.ndarray, np.ndarray]:
         if self._pmf_table is None:
-            key = (self.exponent, self.catalog_size)
-            cached = _cache_get(_POPULARITY_CACHE, key)
-            if cached is None:
-                ranks = np.arange(1, self.catalog_size + 1, dtype=np.float64)
-                weights = ranks**-self.exponent
-                weights /= weights.sum()
-                cdf = np.cumsum(weights)
-                weights.flags.writeable = False
-                cdf.flags.writeable = False
-                cached = _cache_put(
-                    _POPULARITY_CACHE, key, (weights, cdf), _POPULARITY_CACHE_MAX
-                )
-            self._pmf_table, self._cdf_table = cached
+            self._pmf_table, self._cdf_table = zipf_tables(
+                self.exponent, self.catalog_size
+            )
         assert self._cdf_table is not None
         return self._pmf_table, self._cdf_table
 

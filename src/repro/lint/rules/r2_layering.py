@@ -5,8 +5,8 @@ Enforces the architecture DAG of the reproduction.  The layer order
 
     errors ── obs                  (obs: metrics/tracing, errors-only)
       └─ core ── topology          (core↔topology: see note below)
-           └─ catalog
-                └─ baselines / simulation / hetero
+           └─ approx / catalog     (approx: Che/TTL fixed points, no
+                └─ baselines / simulation / hetero    simulation access)
                      └─ ccn / adaptive
                           └─ analysis
                                └─ cli
@@ -52,16 +52,32 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "obs": frozenset({"errors"}),  # foundation: every layer may record into it
     "core": frozenset({"errors", "obs", "topology"}),
     "topology": frozenset({"errors"}),
+    # approx sits beside catalog: the Che/TTL approximation layer must
+    # stay runnable without the simulation stack so cross-validation is
+    # a genuine comparison (the harness lives in analysis, which sees
+    # both sides).
+    "approx": _MODEL,
     "catalog": _MODEL,
     "baselines": _DATA,
     "simulation": _DATA,
     "hetero": _DATA,
     "ccn": _DATA | {"simulation"},
     "adaptive": _DATA | {"simulation"},
-    "analysis": _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero"},
+    "analysis": _DATA
+    | {"simulation", "ccn", "baselines", "adaptive", "hetero", "approx"},
     "cli": _DATA
-    | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis", "lint"},
-    ROOT_UNIT: _DATA | {"simulation", "ccn", "baselines", "adaptive", "hetero", "analysis"},
+    | {
+        "simulation",
+        "ccn",
+        "baselines",
+        "adaptive",
+        "hetero",
+        "approx",
+        "analysis",
+        "lint",
+    },
+    ROOT_UNIT: _DATA
+    | {"simulation", "ccn", "baselines", "adaptive", "hetero", "approx", "analysis"},
     "__main__": frozenset({"cli"}),
 }
 

@@ -73,6 +73,9 @@ TRUSTED_SINKS: FrozenSet[str] = frozenset(
         "PerformanceCostModel",
         "ProvisioningStrategy",
         "HeterogeneousModel",
+        "DynamicSimulator",
+        "solve_custodian",
+        "solve_en_route",
         "zipf_pmf",
         "zipf_cdf",
         "harmonic_number",

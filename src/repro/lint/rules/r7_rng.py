@@ -13,7 +13,9 @@ longer certify the kernels.
 
 This rule therefore enforces, in the stochastic units
 (``simulation``, ``core``, ``catalog``, ``adaptive``, ``topology`` —
-the synthetic generators promise seed → identical graph):
+the synthetic generators promise seed → identical graph — and
+``approx``, whose fixed points must agree bit-exactly with the
+cross-validation baselines):
 
 - no calls to legacy global-state ``np.random`` functions
   (``np.random.seed``, ``np.random.rand``, ``np.random.choice``, ...);
@@ -38,7 +40,9 @@ from ..diagnostics import Diagnostic
 from . import Rule
 
 #: Units whose results must replay bit-exactly from recorded seeds.
-SCOPED_UNITS = frozenset({"simulation", "core", "catalog", "adaptive", "topology"})
+SCOPED_UNITS = frozenset(
+    {"simulation", "core", "catalog", "adaptive", "topology", "approx"}
+)
 
 #: ``np.random`` attributes that do NOT touch global state: explicit
 #: constructors and seed-lineage machinery.

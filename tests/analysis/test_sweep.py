@@ -113,3 +113,65 @@ class TestSweep:
         )
         expected = Scenario(alpha=0.9, gamma=6.0).solve(check_conditions=False).level
         assert series[0].y_at(0.9) == pytest.approx(expected)
+
+
+class TestSolverSelection:
+    BASE = Scenario(capacity=100.0, catalog_size=10_000)
+
+    def test_explicit_solvers_match_auto(self):
+        kwargs = dict(
+            x_field="alpha", x_values=(0.2, 0.5, 0.8), quantity="level"
+        )
+        auto = sweep(self.BASE, **kwargs)
+        scalar = sweep(self.BASE, solver="scalar", **kwargs)
+        batched = sweep(self.BASE, solver="batched", **kwargs)
+        for a, s, b in zip(auto[0].y, scalar[0].y, batched[0].y):
+            assert s == pytest.approx(a, abs=1e-9)
+            assert b == pytest.approx(a, abs=1e-9)
+
+    @pytest.mark.parametrize("quantity", sorted(QUANTITIES))
+    def test_approx_solver_answers_every_quantity(self, quantity):
+        series = sweep(
+            self.BASE,
+            x_field="alpha",
+            x_values=(0.2, 0.8),
+            quantity=quantity,
+            solver="approx",
+        )
+        assert len(series[0].y) == 2
+        assert all(0.0 <= y <= 1.0 for y in series[0].y)
+
+    def test_approx_level_rises_with_alpha(self):
+        # Heavier performance weighting must not decrease the chosen
+        # coordination level under the approximation either.
+        series = sweep(
+            self.BASE,
+            x_field="alpha",
+            x_values=(0.05, 0.5, 0.95),
+            quantity="level",
+            solver="approx",
+        )
+        assert series[0].is_monotone_increasing(tolerance=1e-9)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ParameterError, match="unknown solver"):
+            sweep(
+                self.BASE,
+                x_field="alpha",
+                x_values=(0.5,),
+                quantity="level",
+                solver="simulated",
+            )
+
+    def test_approx_rejects_non_scenario_types(self):
+        class HeteroScenario(Scenario):
+            pass
+
+        with pytest.raises(ParameterError, match="plain Scenario"):
+            sweep(
+                HeteroScenario(),
+                x_field="alpha",
+                x_values=(0.5,),
+                quantity="level",
+                solver="approx",
+            )

@@ -1,0 +1,132 @@
+"""Tolerance-band equivalence: approximation layer vs the dynamic kernel.
+
+The acceptance bands are deliberately wide multiples of the measured
+errors (DESIGN.md §15 tabulates them): on Abilene with c=100, N=5000,
+s=0.8 and 40k warmed requests the absolute aggregate-hit-rate error
+stays below 0.01 for both LRU and Random across coordination levels
+{0, 0.5, 1}.  The bands below (0.03 LRU / 0.05 Random) budget for the
+simulated estimate's own O(1/sqrt(requests)) sampling noise at the
+reduced request counts used here, while still catching any structural
+regression of the approximation (a broken tier split shows up as
+errors of 0.1+).
+"""
+
+import pytest
+
+from repro.analysis import CrossValidation, cross_validate
+from repro.approx import level_curve, solve_en_route
+from repro.errors import ParameterError
+from repro.topology import generate_hierarchy, load_topology
+
+REQUESTS = 30_000
+WARMUP = 30_000
+CAPACITY = 100
+CATALOG = 5_000
+EXPONENT = 0.8
+SEED = 7
+
+#: Absolute aggregate-hit-rate tolerance per policy.  The Che LRU form
+#: is tighter than the Gallo Random/FIFO form at these cache sizes.
+BANDS = {"lru": 0.03, "random": 0.05}
+
+
+def validate(policy: str, level: float, **overrides) -> CrossValidation:
+    kwargs = dict(
+        capacity=CAPACITY,
+        coordination_level=level,
+        policy=policy,
+        exponent=EXPONENT,
+        catalog_size=CATALOG,
+        requests=REQUESTS,
+        warmup=WARMUP,
+        seed=SEED,
+    )
+    kwargs.update(overrides)
+    topology = kwargs.pop("topology", None)
+    if topology is None:
+        topology = load_topology("abilene")
+    return cross_validate(topology, **kwargs)
+
+
+class TestToleranceBands:
+    @pytest.mark.parametrize("policy", ["lru", "random"])
+    @pytest.mark.parametrize("level", [0.0, 0.5, 1.0])
+    def test_abilene_hit_rate_within_band(self, policy, level):
+        result = validate(policy, level)
+        band = BANDS[policy]
+        assert result.within(band, latency_band=0.05), (
+            f"policy={policy} level={level}: hit-rate error "
+            f"{result.hit_rate_error:.4f} (band {band}), latency rel error "
+            f"{result.latency_rel_error:.4f}"
+        )
+
+    def test_per_tier_fractions_track_the_simulator(self):
+        result = validate("lru", 0.5)
+        assert result.local_error <= 0.03
+        assert result.peer_error <= 0.03
+        assert result.origin_error == result.hit_rate_error
+
+    def test_hierarchy_generator_instance(self):
+        # A synthetic multi-tier ISP topology exercises non-uniform
+        # distances and a generated gateway placement.
+        topology = generate_hierarchy(3, routers=24, regions=3, tiers=2)
+        result = validate(
+            "lru",
+            0.5,
+            topology=topology,
+            requests=20_000,
+            warmup=20_000,
+        )
+        assert result.within(0.05, latency_band=0.10), (
+            f"hierarchy: hit-rate error {result.hit_rate_error:.4f}, "
+            f"latency rel error {result.latency_rel_error:.4f}"
+        )
+
+    def test_solution_telemetry_is_populated(self):
+        result = validate("lru", 0.5)
+        assert result.solution.mode == "custodian"
+        assert result.solution.iterations >= 1
+        assert result.solution.residual <= 1e-6
+        assert len(result.solution.characteristic_times) >= 1
+
+
+class TestValidationSurface:
+    def test_band_must_be_non_negative(self):
+        result = validate("lru", 0.0, requests=1_000, warmup=0)
+        with pytest.raises(ParameterError, match="band"):
+            result.within(-0.1)
+
+    def test_request_counts_are_validated(self):
+        topology = load_topology("abilene")
+        with pytest.raises(ParameterError, match="request count"):
+            cross_validate(topology, capacity=10, requests=0)
+        with pytest.raises(ParameterError, match="warmup"):
+            cross_validate(topology, capacity=10, warmup=-1)
+
+
+class TestLevelCurve:
+    def test_curve_is_consistent_with_point_solves(self):
+        topology = load_topology("abilene")
+        curve = level_curve(
+            topology,
+            (0.0, 0.5, 1.0),
+            capacity=CAPACITY,
+            catalog_size=CATALOG,
+            exponent=EXPONENT,
+        )
+        assert curve.levels == (0.0, 0.5, 1.0)
+        latencies = curve.latencies_ms()
+        origins = curve.origin_loads()
+        assert len(latencies) == len(origins) == 3
+        # Coordination removes duplicate storage: the fully coordinated
+        # fleet must beat the uncoordinated one on origin load.
+        assert origins[2] < origins[0]
+
+    def test_en_route_solver_produces_valid_fractions(self):
+        topology = load_topology("abilene")
+        solution = solve_en_route(
+            topology, capacity=CAPACITY, catalog_size=CATALOG
+        )
+        local, peer, origin = solution.metrics.tier_fractions()
+        assert local + peer + origin == pytest.approx(1.0, abs=1e-6)
+        assert solution.mode == "en-route"

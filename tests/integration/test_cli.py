@@ -161,6 +161,39 @@ class TestProtocolCommand:
         assert code == 2
 
 
+class TestApproxCommand:
+    def test_custodian_solve(self):
+        code, text = run_cli(
+            "approx", "abilene", "-c", "100", "--level", "0.5", "-N", "5000"
+        )
+        assert code == 0
+        assert "custodian approximation" in text
+        assert "origin load" in text
+        assert "fixed point" in text
+
+    def test_en_route_solve(self):
+        code, text = run_cli(
+            "approx", "geant", "--mode", "en-route", "-c", "50", "-N", "2000"
+        )
+        assert code == 0
+        assert "en-route approximation" in text
+
+    def test_unknown_topology(self):
+        code, _ = run_cli("approx", "arpanet")
+        assert code == 2
+
+    def test_rejects_bad_level(self):
+        code, _ = run_cli("approx", "abilene", "--level", "1.5")
+        assert code == 2
+
+    def test_run_solver_flag_reaches_the_sweep(self):
+        code, text = run_cli(
+            "run", "figure4", "--solver", "approx", "--format", "csv"
+        )
+        assert code == 0
+        assert text.startswith("alpha,")
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,1 @@
+"""Fixture approx unit for layering/rng rule tests."""

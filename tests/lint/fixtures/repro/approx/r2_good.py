@@ -1,0 +1,8 @@
+"""R2 false-positive fixture: the approx unit's sanctioned imports."""
+
+from ..errors import ParameterError  # noqa: F401
+from ..obs import get_session  # noqa: F401
+from ..core.zipf import zipf_tables  # noqa: F401
+from ..topology.graph import Topology  # noqa: F401
+from .r7_good import seeded_noise  # noqa: F401  (intra-unit)
+import numpy as np  # noqa: F401  (third-party is never layered)

@@ -1,0 +1,22 @@
+"""R7 true positives in the approx unit: unreplayable randomness."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_perturbation(n: int):
+    rng = np.random.default_rng()  # finding 1: entropy-seeded
+    return rng.normal(0.0, 1e-9, size=n)
+
+
+def global_jitter(n: int):
+    return np.random.random(n)  # finding 2: global singleton
+
+def shuffled_solve_order(caches: list) -> list:
+    random.shuffle(caches)  # finding 3: hidden global Random instance
+    return caches
+
+
+def unseeded_bitgen_start():
+    return np.random.Generator(np.random.PCG64())  # finding 4

@@ -1,0 +1,13 @@
+"""R7 false positives in the approx unit: seed-derived generators only."""
+
+import numpy as np
+
+
+def seeded_noise(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1e-9, size=n)
+
+
+def per_cache_lineage(seed: int, caches: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(caches)]

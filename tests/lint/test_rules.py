@@ -36,10 +36,12 @@ CASES = [
         "core/r4_coefficient_view_good.py",
         3,
     ),
+    ("R2", "approx/r2_bad.py", "approx/r2_good.py", 3),
     ("R5", "core/r5_bad.py", "core/r5_good.py", 3),
     ("R6", "simulation/r6_bad.py", "simulation/r6_good.py", 4),
     ("R7", "catalog/r7_bad.py", "catalog/r7_good.py", 5),
     ("R7", "topology/r7_bad.py", "topology/r7_good.py", 4),
+    ("R7", "approx/r7_bad.py", "approx/r7_good.py", 4),
     ("R8", "simulation/r8_bad.py", "simulation/r8_good.py", 4),
     ("R9", "simulation/r9_bad.py", "simulation/r9_good.py", 4),
 ]
