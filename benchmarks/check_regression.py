@@ -40,12 +40,15 @@ from repro.obs import machine_provenance, session as obs_session  # noqa: E402
 #: kernel-only throughput (sum of per-shard kernel spans).
 #: ``approx_grid`` gates the Che-approximation layer's points/s over
 #: the same grid (the 1000x-simulation-bypass headline).
+#: ``ccn_packet_batched`` gates the batched packet-level engine's
+#: requests/s (the >=50x-over-scalar-CCNNetwork headline).
 GUARDED_CASES = (
     "steady_state_batched",
     "dynamic_lru",
     "solver_batch",
     "sharded_dynamic_lru",
     "approx_grid",
+    "ccn_packet_batched",
 )
 
 #: Provenance fields that must match for numbers to be comparable.
@@ -90,6 +93,7 @@ def measure(case: str, baseline_case: dict) -> dict:
     """
     from run_bench import (
         _bench_approx_grid,
+        _bench_ccn_packet_batched,
         _bench_dynamic,
         _bench_sharded_dynamic,
         _bench_solver_batch,
@@ -120,6 +124,10 @@ def measure(case: str, baseline_case: dict) -> dict:
         # Full-size grid iff the baseline recorded the full 10k points.
         return _bench_approx_grid(
             quick=int(baseline_case.get("points", 0)) < 10_000, repeats=3
+        )
+    if case == "ccn_packet_batched":
+        return _bench_ccn_packet_batched(
+            int(baseline_case["requests"]), repeats=3
         )
     raise ValueError(f"unknown guarded case {case!r}")
 

@@ -393,6 +393,68 @@ def _bench_sharded_dynamic(quick: bool) -> dict:
     }
 
 
+def _ccn_packet_workload(topology):
+    return IRMWorkload(ZipfModel(0.8, 10_000), topology.nodes, seed=7)
+
+
+def _bench_ccn_packet_scalar(requests: int) -> dict:
+    """Scalar packet-level CCNNetwork reference (US-A, c=100, l=0.5)."""
+    from repro.ccn import CCNNetwork
+
+    topology = load_topology("us-a")
+    network = CCNNetwork(topology, origin_gateway=topology.nodes[0])
+    network.install_strategy(
+        ProvisioningStrategy(
+            capacity=100, n_routers=topology.n_routers, level=0.5
+        )
+    )
+    start = time.perf_counter()
+    metrics = network.run_workload(
+        _ccn_packet_workload(topology), requests, interarrival_ms=1.0
+    )
+    elapsed = time.perf_counter() - start
+    assert metrics.requests_issued == requests
+    return {
+        "requests": requests,
+        "seconds": round(elapsed, 4),
+        "rps": round(requests / elapsed, 1),
+    }
+
+
+def _bench_ccn_packet_batched(requests: int, *, repeats: int = 3) -> dict:
+    """Batched packet engine on the scalar case's exact traffic, best-of-N."""
+    from repro.ccn import BatchedCCNEngine
+
+    topology = load_topology("us-a")
+    best = None
+    aggregations = 0
+    simulated = 0
+    for _ in range(repeats):
+        engine = BatchedCCNEngine(topology, origin_gateway=topology.nodes[0])
+        engine.install_strategy(
+            ProvisioningStrategy(
+                capacity=100, n_routers=topology.n_routers, level=0.5
+            )
+        )
+        start = time.perf_counter()
+        result = engine.run_workload(
+            _ccn_packet_workload(topology), requests, interarrival_ms=1.0
+        )
+        elapsed = time.perf_counter() - start
+        assert result.requests_issued == requests
+        aggregations = result.pit_aggregations
+        simulated = result.simulated_requests
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "requests": requests,
+        "repeats": repeats,
+        "pit_aggregations": aggregations,
+        "simulated_requests": simulated,
+        "seconds": round(best, 4),
+        "rps": round(requests / best, 1),
+    }
+
+
 def _bench_lint_full_tree() -> dict:
     """Cold vs warm whole-tree lint (the incremental-engine headline).
 
@@ -478,9 +540,20 @@ def run(quick: bool) -> dict:
         "approx_grid": _bench_approx_grid(quick, repeats=1 if quick else 3),
         "topology_generate_5k": _bench_topology_generate(quick),
         "sharded_dynamic_lru": _bench_sharded_dynamic(quick),
+        "ccn_packet_scalar": _bench_ccn_packet_scalar(
+            5_000 if quick else 20_000
+        ),
+        "ccn_packet_batched": _bench_ccn_packet_batched(
+            50_000 if quick else 1_000_000, repeats=1 if quick else 3
+        ),
     }
     results["solver_batch"]["speedup_vs_scalar"] = round(
         results["solver_batch"]["rps"] / results["solver_scalar"]["rps"], 1
+    )
+    results["ccn_packet_batched"]["speedup_vs_scalar"] = round(
+        results["ccn_packet_batched"]["rps"]
+        / results["ccn_packet_scalar"]["rps"],
+        1,
     )
     if not quick:
         results["dynamic_lfu"] = _bench_dynamic(dynamic_requests, policy="lfu")

@@ -17,6 +17,7 @@ from .caching import (
     ProbabilisticCache,
     make_enroute_strategy,
 )
+from .engine import BatchedCCNEngine, BatchedCCNResult, CacheQueue
 from .fib import Fib, build_fibs
 from .names import Name
 from .network import CCNMetrics, CCNNetwork
@@ -24,9 +25,12 @@ from .packets import Data, Interest
 from .pit import Pit, PitEntry
 
 __all__ = [
+    "BatchedCCNEngine",
+    "BatchedCCNResult",
     "CCNMetrics",
     "CCNNetwork",
     "CacheEverywhere",
+    "CacheQueue",
     "Data",
     "EdgeCache",
     "EnRouteCaching",

@@ -161,6 +161,7 @@ class CCNNetwork:
         client_latency_ms: float = 0.0,
         default_capacity: int = 0,
         pit_lifetime_ms: float = 60_000.0,
+        custodians: Optional[Mapping[Name, NodeId]] = None,
     ):
         if origin_gateway not in topology.nodes:
             raise TopologyError(
@@ -176,7 +177,17 @@ class CCNNetwork:
         self.client_latency_ms = float(client_latency_ms)
         self.enroute = enroute if enroute is not None else CacheEverywhere()
         stores = dict(stores or {})
-        fibs = build_fibs(topology, origin_gateway, root_prefix=root_prefix)
+        # Explicit per-name routes at construction time — the crafted-
+        # scenario counterpart of install_strategy's custodian FIBs
+        # (e.g. a custodian route deliberately pointing at a router
+        # that does not hold the content, to exercise the duplicate-
+        # nonce retry path).
+        fibs = build_fibs(
+            topology,
+            origin_gateway,
+            root_prefix=root_prefix,
+            custodians=dict(custodians) if custodians else None,
+        )
         self._nodes: dict[NodeId, _NodeState] = {}
         for node in topology.nodes:
             store = stores.pop(node, None)
@@ -282,6 +293,19 @@ class CCNNetwork:
             Interest(name=name),
             CLIENT_FACE,
         )
+
+    def issue_at(self, client: NodeId, rank: int, time_ms: float) -> None:
+        """Inject one client request at an explicit timeline position.
+
+        Crafted-schedule counterpart of :meth:`run_workload`'s fixed
+        inter-arrival injection (used by the scalar/batched equivalence
+        suite to pin down aggregation races): position the logical clock
+        and issue.  Call :meth:`run` afterwards to process the timeline.
+        """
+        if time_ms < 0:
+            raise ParameterError(f"issue time must be non-negative, got {time_ms}")
+        self._now = float(time_ms)
+        self.issue(client, rank)
 
     def _handle_interest(self, node: NodeId, interest: Interest, from_face) -> None:
         state = self._nodes[node]

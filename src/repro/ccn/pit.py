@@ -8,6 +8,7 @@ later ones just add their face to the entry.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
@@ -44,6 +45,12 @@ class Pit:
             raise ParameterError(f"PIT lifetime must be positive, got {lifetime}")
         self.lifetime = float(lifetime)
         self._entries: dict[Name, PitEntry] = {}
+        # Lazy expiry index: (expires_at, name) records, one per deadline
+        # ever assigned.  A refresh pushes a new record and leaves the
+        # old one to be skipped on pop (its timestamp no longer matches
+        # the entry), so purging costs O(log n) amortized per touched
+        # record instead of a full-table scan per insert/satisfy.
+        self._expiry_heap: list[tuple[float, Name]] = []
         self.aggregated = 0  # Interests absorbed by an existing entry
         self.expired = 0
 
@@ -53,11 +60,21 @@ class Pit:
     def __contains__(self, name: Name) -> bool:
         return name in self._entries
 
+    def _set_deadline(self, name: Name, entry: PitEntry, now: float) -> None:
+        entry.expires_at = now + self.lifetime
+        heapq.heappush(self._expiry_heap, (entry.expires_at, name))
+
     def _purge_expired(self, now: float) -> None:
-        stale = [n for n, e in self._entries.items() if e.expires_at <= now]
-        for name in stale:
-            del self._entries[name]
-            self.expired += 1
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now:
+            expires_at, name = heapq.heappop(heap)
+            entry = self._entries.get(name)
+            # Stale records (the entry was refreshed, satisfied, or
+            # replaced since this deadline was recorded) are skipped;
+            # only an entry still carrying this exact deadline expires.
+            if entry is not None and entry.expires_at == expires_at:
+                del self._entries[name]
+                self.expired += 1
 
     def insert(self, name: Name, face: FaceId, nonce: int, now: float) -> str:
         """Record an incoming Interest and classify it.
@@ -76,16 +93,16 @@ class Pit:
         self._purge_expired(now)
         entry = self._entries.get(name)
         if entry is None:
-            self._entries[name] = PitEntry(
-                faces={face}, nonces={nonce}, expires_at=now + self.lifetime
-            )
+            entry = PitEntry(faces={face}, nonces={nonce})
+            self._entries[name] = entry
+            self._set_deadline(name, entry, now)
             return "forward"
         if nonce in entry.nonces:
-            entry.expires_at = now + self.lifetime
+            self._set_deadline(name, entry, now)
             return "duplicate"
         entry.faces.add(face)
         entry.nonces.add(nonce)
-        entry.expires_at = now + self.lifetime
+        self._set_deadline(name, entry, now)
         self.aggregated += 1
         return "aggregated"
 

@@ -13,6 +13,8 @@ Usage::
     python -m repro protocol geant             # coordination protocol cost
     python -m repro scale --routers 5000 --regions 100   # sharded ISP-scale run
     python -m repro approx abilene -c 100      # Che/TTL approximate solve
+    python -m repro ccn us-a --queue-size 8    # batched packet-level CCN run
+    python -m repro ccn us-a --sweep           # contention-vs-l* experiment
     python -m repro lint src tests             # whole-program static checks
 
 The default output is the fixed-width text rendering of
@@ -228,6 +230,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     approx.add_argument("--metric", choices=("hops", "latency"), default="hops")
     approx.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="record metrics and spans to a JSON-lines events file",
+    )
+
+    ccn = subparsers.add_parser(
+        "ccn",
+        help=(
+            "batched packet-level CCN run (PIT aggregation + finite "
+            "store queues), or the contention-vs-l* sweep"
+        ),
+    )
+    ccn.add_argument("name", help="abilene | cernet | geant | us-a")
+    ccn.add_argument("--capacity", "-c", type=int, default=100)
+    ccn.add_argument("--level", type=float, default=0.5)
+    ccn.add_argument("--requests", type=int, default=100_000)
+    ccn.add_argument(
+        "--interarrival",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="request inter-arrival time in ms (smaller = more contention)",
+    )
+    ccn.add_argument("--exponent", "-s", type=float, default=0.8)
+    ccn.add_argument("--catalog", "-N", type=int, default=10_000)
+    ccn.add_argument("--seed", type=int, default=0)
+    ccn.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "finite content-store admission queue of K pending "
+            "operations (omit for the scalar-equivalent no-queue model)"
+        ),
+    )
+    ccn.add_argument(
+        "--read-penalty",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="store read service time (with --queue-size)",
+    )
+    ccn.add_argument(
+        "--write-penalty",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="store write service time (with --queue-size)",
+    )
+    ccn.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "run the contention experiment instead: mean latency vs "
+            "coordination level l across contention regimes, with the "
+            "measured optima vs the analytic eq. 5/7 l*"
+        ),
+    )
+    ccn.add_argument(
         "--obs",
         default=None,
         metavar="PATH",
@@ -591,6 +654,129 @@ def _approx(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _ccn(args: argparse.Namespace, out) -> int:
+    from .catalog import IRMWorkload, ZipfModel
+    from .ccn import BatchedCCNEngine, CacheQueue
+    from .core.strategy import ProvisioningStrategy
+    from .errors import ReproError
+    from .topology import load_topology
+
+    if not 0.0 <= args.level <= 1.0:
+        print("--level must lie in [0, 1]", file=sys.stderr)
+        return 2
+    try:
+        if args.sweep:
+            from .analysis.contention import contention_sweep
+
+            figure = contention_sweep(
+                topology_name=args.name,
+                capacity=args.capacity,
+                exponent=args.exponent,
+                catalog_size=args.catalog,
+                requests=args.requests,
+                seed=args.seed,
+            )
+            print(_render(figure), file=out)
+            print(
+                f"analytic l* (eq. 5/7) = "
+                f"{figure.parameters['analytic_level']:.4f}",
+                file=out,
+            )
+            for label, level in figure.parameters["measured_optima"].items():
+                agg = figure.parameters["pit_aggregations"][label]
+                rej = figure.parameters["rejected_ops"][label]
+                print(
+                    f"measured l^* [{label}] = {level:.2f} "
+                    f"(aggregations {agg}, rejections {rej})",
+                    file=out,
+                )
+            return 0
+        topology = load_topology(args.name)
+        queue = None
+        if args.queue_size is not None:
+            queue = CacheQueue(
+                size=args.queue_size,
+                read_penalty_ms=args.read_penalty,
+                write_penalty_ms=args.write_penalty,
+            )
+        engine = BatchedCCNEngine(
+            topology, origin_gateway=topology.nodes[0], queue=queue
+        )
+        engine.install_strategy(
+            ProvisioningStrategy(
+                capacity=args.capacity,
+                n_routers=topology.n_routers,
+                level=args.level,
+            )
+        )
+        workload = IRMWorkload(
+            ZipfModel(args.exponent, args.catalog),
+            topology.nodes,
+            seed=args.seed,
+        )
+        import time as _time
+
+        start = _time.perf_counter()
+        result = engine.run_workload(
+            workload, args.requests, interarrival_ms=args.interarrival
+        )
+        elapsed = _time.perf_counter() - start
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"{topology.name}: batched packet-level run, level {args.level:g}, "
+        f"c={args.capacity}, Zipf(s={args.exponent:g}, N={args.catalog}), "
+        f"interarrival {args.interarrival:g} ms",
+        file=out,
+    )
+    print(
+        f"requests      = {result.requests_issued} "
+        f"({result.requests_completed} completed, "
+        f"{result.simulated_requests} micro-simulated)",
+        file=out,
+    )
+    print(
+        f"origin load   = {result.origin_load:.4f}\n"
+        f"cs hits       = {result.cs_hits}\n"
+        f"aggregations  = {result.pit_aggregations}\n"
+        f"mean hops     = {result.mean_interest_hops:.4f}\n"
+        f"mean latency  = {result.mean_latency_ms:.4f} ms",
+        file=out,
+    )
+    outcome_totals = result.outcome_counts.sum(axis=0)
+    print(
+        "outcomes      = "
+        + ", ".join(
+            f"{label} {int(outcome_totals[code])}"
+            for label, code in (
+                ("served-local", 0),
+                ("forwarded", 1),
+                ("aggregated", 2),
+                ("origin", 3),
+                ("queued", 4),
+                ("rejected", 5),
+            )
+        ),
+        file=out,
+    )
+    if queue is not None:
+        print(
+            f"queue         = size {queue.size}, "
+            f"{result.queued_ops} queued ops, "
+            f"{result.rejected_ops} rejected ops, "
+            f"total wait {result.queue_wait_ms:.2f} ms",
+            file=out,
+        )
+    if elapsed > 0:
+        print(
+            f"engine        = {elapsed:.3f} s "
+            f"({result.requests_issued / elapsed:,.0f} req/s)",
+            file=out,
+        )
+    return 0
+
+
 def _obs_summarize(args: argparse.Namespace, out) -> int:
     from .errors import ObservabilityError
     from .obs import read_events, render_summary, summarize_events
@@ -687,6 +873,8 @@ def _dispatch(argv: Optional[Sequence[str]], out) -> int:
         return _observed(args, _scale, out)
     if args.command == "approx":
         return _observed(args, _approx, out)
+    if args.command == "ccn":
+        return _observed(args, _ccn, out)
     if args.command == "report":
         return _report(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -15,7 +15,8 @@ This rule therefore enforces, in the stochastic units
 (``simulation``, ``core``, ``catalog``, ``adaptive``, ``topology`` —
 the synthetic generators promise seed → identical graph — and
 ``approx``, whose fixed points must agree bit-exactly with the
-cross-validation baselines):
+cross-validation baselines, and ``ccn``, whose batched packet engine is
+pinned to the scalar simulator per seed):
 
 - no calls to legacy global-state ``np.random`` functions
   (``np.random.seed``, ``np.random.rand``, ``np.random.choice``, ...);
@@ -41,7 +42,7 @@ from . import Rule
 
 #: Units whose results must replay bit-exactly from recorded seeds.
 SCOPED_UNITS = frozenset(
-    {"simulation", "core", "catalog", "adaptive", "topology", "approx"}
+    {"simulation", "core", "catalog", "adaptive", "topology", "approx", "ccn"}
 )
 
 #: ``np.random`` attributes that do NOT touch global state: explicit

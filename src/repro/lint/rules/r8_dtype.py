@@ -12,7 +12,9 @@ key built from an int32 operand wraps negative long before anyone
 notices, turning ``bincount`` into an exception at best and corrupted
 counts at worst.
 
-In the kernel units (``simulation``, ``core``) this rule requires:
+In the kernel units (``simulation``, ``core``, ``ccn`` — the batched
+packet engine packs ``client·6 + outcome`` cohort keys) this rule
+requires:
 
 - a combined key passed to ``np.bincount`` must be materialised into a
   named variable, never built inline in the call (auditability);
@@ -37,7 +39,7 @@ from ..diagnostics import Diagnostic, Fix
 from . import Rule
 
 #: Units containing batched kernels whose keys must be overflow-audited.
-KERNEL_UNITS = frozenset({"simulation", "core"})
+KERNEL_UNITS = frozenset({"simulation", "core", "ccn"})
 
 #: Textual markers that pin an explicit 64-bit (or pointer-sized) lineage.
 _INT64_MARKERS = ("int64", "intp")

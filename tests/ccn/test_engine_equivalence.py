@@ -1,0 +1,290 @@
+"""Scalar CCNNetwork vs batched engine equivalence (DESIGN.md §16).
+
+The contract: with ``queue=None`` every :class:`CCNMetrics` counter is
+bit-identical, and the completed-request latency and hop multisets
+match — exactly on dyadic link latencies, to float-sum tolerance on
+measured geo latencies (the scalar accumulates latencies on the
+absolute timeline, the engine on issue-relative offsets; IEEE addition
+orders differ).
+
+Includes the ISSUE's concurrency semantics triplet: aggregated
+Interests satisfied by one in-flight Data, duplicate-nonce retry via
+the alternate FIB next hop, and expiry-then-reissue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog import IRMWorkload, ZipfModel
+from repro.ccn import BatchedCCNEngine, CCNNetwork
+from repro.core import ProvisioningStrategy
+from repro.simulation import StaticCache
+from repro.topology import Topology, load_topology
+
+#: Relative tolerance for latency multisets on geo-latency topologies.
+GEO_RTOL = 1e-9
+
+COUNTERS = (
+    "requests_issued",
+    "requests_completed",
+    "origin_productions",
+    "cs_hits",
+    "interest_transmissions",
+    "data_transmissions",
+    "pit_aggregations",
+)
+
+
+def assert_equivalent(metrics, result, *, exact_latency: bool = False):
+    """Counters bit-identical; latency/hop multisets equal."""
+    for name in COUNTERS:
+        assert getattr(metrics, name) == getattr(result, name), name
+    scalar_hops = np.sort(np.asarray(metrics.interest_hops))
+    batched_hops = np.sort(result.interest_hops)
+    assert np.array_equal(scalar_hops, batched_hops)
+    scalar_lat = np.sort(np.asarray(metrics.latencies_ms))
+    batched_lat = np.sort(result.latencies_ms)
+    assert scalar_lat.shape == batched_lat.shape
+    if exact_latency:
+        assert np.array_equal(scalar_lat, batched_lat)
+    else:
+        assert np.allclose(scalar_lat, batched_lat, rtol=GEO_RTOL, atol=0.0)
+
+
+def run_both_workload(
+    topology,
+    *,
+    count,
+    interarrival_ms=1.0,
+    strategy=None,
+    seed=7,
+    catalog=10_000,
+    exponent=0.8,
+    **kwargs,
+):
+    """One workload stream through the scalar network and the engine."""
+    gateway = topology.nodes[0]
+    popularity = ZipfModel(exponent, catalog)
+    net = CCNNetwork(topology, origin_gateway=gateway, **kwargs)
+    engine = BatchedCCNEngine(topology, origin_gateway=gateway, **kwargs)
+    if strategy is not None:
+        net.install_strategy(strategy)
+        engine.install_strategy(strategy)
+    metrics = net.run_workload(
+        IRMWorkload(popularity, topology.nodes, seed=seed),
+        count,
+        interarrival_ms=interarrival_ms,
+    )
+    result = engine.run_workload(
+        IRMWorkload(popularity, topology.nodes, seed=seed),
+        count,
+        interarrival_ms=interarrival_ms,
+    )
+    assert net.directive_messages == engine.directive_messages
+    return metrics, result
+
+
+def run_both_schedule(topology, schedule, **kwargs):
+    """An explicit (client, rank, time) schedule through both paths."""
+    gateway = topology.nodes[0]
+    net = CCNNetwork(topology, origin_gateway=gateway, **kwargs)
+    engine = BatchedCCNEngine(topology, origin_gateway=gateway, **kwargs)
+    for client, rank, time_ms in schedule:
+        net.issue_at(client, rank, time_ms)
+    metrics = net.run()
+    result = engine.run_schedule(
+        [s[0] for s in schedule],
+        [s[1] for s in schedule],
+        [s[2] for s in schedule],
+    )
+    return metrics, result
+
+
+@pytest.fixture(scope="module")
+def us_a():
+    return load_topology("us-a")
+
+
+@pytest.fixture
+def line() -> Topology:
+    return Topology.from_edges(
+        [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=2.0
+    )
+
+
+class TestProvisionedUsA:
+    @pytest.mark.parametrize("level", [0.0, 0.5, 1.0])
+    def test_levels(self, us_a, level):
+        strategy = ProvisioningStrategy(
+            capacity=100, n_routers=us_a.n_routers, level=level
+        )
+        metrics, result = run_both_workload(
+            us_a, count=4000, strategy=strategy
+        )
+        assert_equivalent(metrics, result)
+
+    def test_high_contention(self, us_a):
+        strategy = ProvisioningStrategy(
+            capacity=100, n_routers=us_a.n_routers, level=0.5
+        )
+        metrics, result = run_both_workload(
+            us_a, count=4000, interarrival_ms=0.1, strategy=strategy
+        )
+        assert metrics.pit_aggregations > 0
+        assert_equivalent(metrics, result)
+
+    def test_client_access_latency(self, us_a):
+        strategy = ProvisioningStrategy(
+            capacity=100, n_routers=us_a.n_routers, level=0.5
+        )
+        metrics, result = run_both_workload(
+            us_a,
+            count=3000,
+            interarrival_ms=0.25,
+            strategy=strategy,
+            client_latency_ms=1.5,
+        )
+        assert_equivalent(metrics, result)
+
+    def test_empty_stores_hot_catalog(self, us_a):
+        # No stores at all: everything aggregates or crosses to origin.
+        metrics, result = run_both_workload(
+            us_a, count=3000, catalog=50, exponent=1.2
+        )
+        assert metrics.pit_aggregations > 0
+        assert_equivalent(metrics, result)
+
+
+class TestLineTopology:
+    def test_dyadic_latencies_exact(self, line):
+        strategy = ProvisioningStrategy(
+            capacity=20, n_routers=line.n_routers, level=0.5
+        )
+        metrics, result = run_both_workload(
+            line,
+            count=3000,
+            interarrival_ms=0.125,
+            strategy=strategy,
+            catalog=200,
+        )
+        assert_equivalent(metrics, result, exact_latency=True)
+
+    def test_tiny_pit_lifetime(self, line):
+        # PIT lifetime below the origin round trip: entries expire with
+        # Data still in flight, requests fail and are completed by later
+        # same-name deliveries (the scalar's pending-issue sweep).
+        metrics, result = run_both_workload(
+            line,
+            count=2000,
+            interarrival_ms=0.125,
+            catalog=100,
+            pit_lifetime_ms=4.0,
+            origin_latency_ms=8.0,
+        )
+        assert metrics.requests_completed < metrics.requests_issued
+        assert_equivalent(metrics, result, exact_latency=True)
+
+    def test_tiny_pit_with_client_latency(self, line):
+        metrics, result = run_both_workload(
+            line,
+            count=2000,
+            interarrival_ms=0.125,
+            catalog=100,
+            pit_lifetime_ms=6.0,
+            origin_latency_ms=8.0,
+            client_latency_ms=1.0,
+        )
+        assert_equivalent(metrics, result, exact_latency=True)
+
+
+class TestConcurrencySemantics:
+    """The ISSUE's PIT aggregation triplet, pinned on crafted schedules."""
+
+    def test_aggregated_interests_one_data(self, line):
+        # Three clients ask for one name while the first Interest is in
+        # flight: one origin production, one upstream Data satisfying
+        # every aggregated face.
+        schedule = [("A", 1, 0.0), ("B", 1, 1.0), ("A", 2, 2.0), ("C", 1, 3.0)]
+        metrics, result = run_both_schedule(
+            line, schedule, origin_latency_ms=8.0
+        )
+        # B joins A's pending entry at the gateway; C joins B's at B.
+        assert metrics.pit_aggregations == 2
+        assert metrics.origin_productions == 2  # ranks 1 and 2, once each
+        assert metrics.requests_completed == 4
+        assert_equivalent(metrics, result, exact_latency=True)
+
+    def test_duplicate_nonce_retry_alternate_route(self, line):
+        # Custodian route for rank 1 deliberately points at router A,
+        # which does not hold the content: C's Interest dead-ends at A,
+        # bounces back out its arrival face, loops at B (duplicate
+        # nonce) and retries B's alternate FIB hop toward the origin.
+        name = CCNNetwork(
+            Topology.from_edges([("X", "Y")], link_latency_ms=1.0),
+            origin_gateway="X",
+        ).rank_to_name(1)
+        custodians = {name: "A"}
+        gateway = "D"
+        net = CCNNetwork(
+            Topology.from_edges(
+                [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=2.0
+            ),
+            origin_gateway=gateway,
+            custodians=custodians,
+        )
+        engine = BatchedCCNEngine(
+            Topology.from_edges(
+                [("A", "B"), ("B", "C"), ("C", "D")], link_latency_ms=2.0
+            ),
+            origin_gateway=gateway,
+            custodians=custodians,
+        )
+        net.issue_at("C", 1, 0.0)
+        metrics = net.run()
+        result = engine.run_schedule(["C"], [1], [0.0])
+        assert metrics.requests_completed == 1
+        # The walk visits more links than the direct C->D origin route.
+        assert metrics.interest_transmissions > 2
+        assert_equivalent(metrics, result, exact_latency=True)
+
+    def test_expiry_then_reissue(self, line):
+        # Same client, same name, second Interest issued after the PIT
+        # entry expired: a fresh entry forwards again instead of
+        # aggregating.
+        schedule = [("B", 1, 0.0), ("B", 1, 30.0)]
+        metrics, result = run_both_schedule(
+            line,
+            schedule,
+            origin_latency_ms=8.0,
+            pit_lifetime_ms=5.0,
+        )
+        assert metrics.pit_aggregations == 0
+        assert metrics.origin_productions == 2
+        assert_equivalent(metrics, result, exact_latency=True)
+
+    def test_reissue_within_lifetime_aggregates(self, line):
+        # Control for the expiry case: inside the lifetime the second
+        # Interest is absorbed (same client and name dedupe via PIT,
+        # not via nonce — fresh nonce per issue).
+        schedule = [("B", 1, 0.0), ("B", 1, 3.0)]
+        metrics, result = run_both_schedule(
+            line,
+            schedule,
+            origin_latency_ms=8.0,
+            pit_lifetime_ms=60_000.0,
+        )
+        assert metrics.pit_aggregations == 1
+        assert metrics.origin_productions == 1
+        assert_equivalent(metrics, result, exact_latency=True)
+
+    def test_static_store_serves_aggregation_cluster(self, line):
+        # Interacting requests served by a static store on the default
+        # route (C and D both reach gateway A through B).
+        stores = {"B": StaticCache(1, frozenset({1}))}
+        schedule = [("C", 1, 0.0), ("D", 1, 0.5), ("C", 1, 1.0)]
+        metrics, result = run_both_schedule(line, schedule, stores=stores)
+        assert metrics.cs_hits >= 1
+        assert metrics.origin_productions == 0
+        assert_equivalent(metrics, result, exact_latency=True)

@@ -163,3 +163,73 @@ class TestPit:
     def test_rejects_bad_lifetime(self):
         with pytest.raises(ParameterError):
             Pit(lifetime=0.0)
+
+
+class _ScanProofDict(dict):
+    """A dict that forbids whole-table iteration.
+
+    Guards the lazy-expiry regression: `_purge_expired` must touch only
+    heap records that are actually due, never walk `_entries`.
+    """
+
+    def _no_scan(self, *args, **kwargs):
+        raise AssertionError("PIT purge scanned the whole entry table")
+
+    __iter__ = _no_scan
+    keys = _no_scan
+    values = _no_scan
+    items = _no_scan
+    copy = _no_scan
+
+
+class TestPitScaling:
+    def test_purge_does_not_scan_live_table(self):
+        # 10k live entries, then a thousand insert/satisfy operations:
+        # with the old O(n)-scan-per-call purge this would iterate the
+        # full table on every call; the scan-proof dict turns any such
+        # iteration into a hard failure.
+        pit = Pit(lifetime=1e9)
+        for i in range(10_000):
+            pit.insert(Name(f"/bulk/{i}"), "faceA", nonce=i, now=0.0)
+        pit._entries = _ScanProofDict(pit._entries)
+        for i in range(1000):
+            name = Name(f"/hot/{i}")
+            assert pit.insert(name, "faceA", nonce=100_000 + i, now=1.0) == "forward"
+            assert pit.satisfy(name, now=2.0) == frozenset({"faceA"})
+        assert len(pit) == 10_000
+        assert pit.expired == 0
+
+    def test_refresh_then_expiry_counts_once(self):
+        # The refresh leaves a stale heap record behind; expiry must
+        # fire once, at the refreshed deadline, not per stale record.
+        pit = Pit(lifetime=10.0)
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        pit.insert(Name("/a/1"), "faceB", nonce=2, now=8.0)  # refresh
+        pit._purge_expired(now=11.0)  # original deadline: stale, skipped
+        assert pit.expired == 0
+        assert Name("/a/1") in pit
+        pit._purge_expired(now=19.0)  # refreshed deadline: fires
+        assert pit.expired == 1
+        pit._purge_expired(now=100.0)  # nothing left to double count
+        assert pit.expired == 1
+
+    def test_satisfied_entry_leaves_only_stale_records(self):
+        pit = Pit(lifetime=10.0)
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        assert pit.satisfy(Name("/a/1"), now=1.0) == frozenset({"faceA"})
+        pit._purge_expired(now=50.0)
+        assert pit.expired == 0
+
+    def test_reinserted_name_expires_at_new_deadline(self):
+        # Expire, reinsert the same name: the stale record for the dead
+        # generation must not expire the fresh entry early.
+        pit = Pit(lifetime=10.0)
+        pit.insert(Name("/a/1"), "faceA", nonce=1, now=0.0)
+        pit._purge_expired(now=11.0)
+        assert pit.expired == 1
+        pit.insert(Name("/a/1"), "faceB", nonce=2, now=12.0)
+        pit._purge_expired(now=13.0)
+        assert Name("/a/1") in pit
+        assert pit.expired == 1
+        pit._purge_expired(now=23.0)
+        assert pit.expired == 2

@@ -194,6 +194,51 @@ class TestApproxCommand:
         assert text.startswith("alpha,")
 
 
+class TestCcnCommand:
+    def test_single_run(self):
+        code, text = run_cli(
+            "ccn", "abilene", "--requests", "2000", "--level", "0.5"
+        )
+        assert code == 0
+        assert "batched packet-level run" in text
+        assert "outcomes" in text
+        assert "aggregated" in text
+        assert "req/s" in text
+
+    def test_queue_stats_line(self):
+        code, text = run_cli(
+            "ccn",
+            "abilene",
+            "--requests",
+            "2000",
+            "--interarrival",
+            "0.05",
+            "--queue-size",
+            "2",
+            "--read-penalty",
+            "1.0",
+        )
+        assert code == 0
+        assert "queue" in text
+
+    def test_sweep(self):
+        code, text = run_cli(
+            "ccn", "abilene", "--sweep", "--requests", "1500"
+        )
+        assert code == 0
+        assert "analytic l* (eq. 5/7)" in text
+        assert "measured l^* [independent arrivals]" in text
+        assert "measured l^* [contended + queue 2]" in text
+
+    def test_rejects_bad_level(self):
+        code, _ = run_cli("ccn", "abilene", "--level", "1.5")
+        assert code == 2
+
+    def test_unknown_topology(self):
+        code, _ = run_cli("ccn", "atlantis")
+        assert code == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,23 @@
+"""R7 true positives in the ccn unit: unreplayable packet randomness."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_nonce_stream(n: int):
+    rng = np.random.default_rng()  # finding 1: entropy-seeded nonces
+    return rng.integers(0, 2**31, size=n)
+
+
+def global_arrival_jitter(n: int):
+    return np.random.random(n)  # finding 2: global singleton
+
+
+def shuffled_cohort_order(requests: list) -> list:
+    random.shuffle(requests)  # finding 3: hidden global Random instance
+    return requests
+
+
+def unseeded_bitgen_start():
+    return np.random.Generator(np.random.PCG64())  # finding 4

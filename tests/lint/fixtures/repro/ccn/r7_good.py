@@ -1,0 +1,13 @@
+"""R7 false positives in the ccn unit: seed-derived nonce lineages only."""
+
+import numpy as np
+
+
+def seeded_nonce_stream(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**31, size=n)
+
+
+def per_node_nonce_lineage(seed: int, nodes: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(nodes)]

@@ -1,0 +1,22 @@
+"""R8 true positives: unpinned dtypes around cohort outcome keys."""
+
+import numpy as np
+
+N_OUTCOMES = 6
+
+
+def unpinned_rank_ids(n: int):
+    return np.arange(n)  # finding 1: platform-dependent default dtype
+
+
+def inline_outcome_key(clients, outcomes, n_nodes: int):
+    # finding 2: combined key built inline in the bincount call
+    return np.bincount(
+        clients * N_OUTCOMES + outcomes, minlength=n_nodes * N_OUTCOMES
+    )
+
+
+def unaudited_outcome_key(clients, outcomes, n_nodes: int):
+    key = clients * N_OUTCOMES  # findings 3+4: no int64 lineage, no bound
+    key += outcomes
+    return np.bincount(key, minlength=n_nodes * N_OUTCOMES)

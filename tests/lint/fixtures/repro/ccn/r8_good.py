@@ -1,0 +1,21 @@
+"""R8 false positives: pinned dtypes, audited cohort outcome keys."""
+
+import numpy as np
+
+N_OUTCOMES = 6
+
+
+def pinned_rank_ids(n: int):
+    return np.arange(n, dtype=np.int64)
+
+
+def audited_outcome_key(clients, outcomes, n_nodes: int):
+    # key fits int64: max value is n_nodes*6 - 1, far below 2**63 (no overflow)
+    key = clients.astype(np.int64) * N_OUTCOMES
+    key += outcomes
+    return np.bincount(key, minlength=n_nodes * N_OUTCOMES)
+
+
+def plain_outcome_gather(outcome_codes, n: int):
+    counts = outcome_codes  # no arithmetic lineage: not a combined key
+    return np.bincount(counts, minlength=n)

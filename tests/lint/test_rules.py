@@ -42,7 +42,9 @@ CASES = [
     ("R7", "catalog/r7_bad.py", "catalog/r7_good.py", 5),
     ("R7", "topology/r7_bad.py", "topology/r7_good.py", 4),
     ("R7", "approx/r7_bad.py", "approx/r7_good.py", 4),
+    ("R7", "ccn/r7_bad.py", "ccn/r7_good.py", 4),
     ("R8", "simulation/r8_bad.py", "simulation/r8_good.py", 4),
+    ("R8", "ccn/r8_bad.py", "ccn/r8_good.py", 4),
     ("R9", "simulation/r9_bad.py", "simulation/r9_good.py", 4),
 ]
 
