@@ -42,10 +42,13 @@ from repro.obs import machine_provenance, session as obs_session  # noqa: E402
 #: the same grid (the 1000x-simulation-bypass headline).
 #: ``ccn_packet_batched`` gates the batched packet-level engine's
 #: requests/s (the >=50x-over-scalar-CCNNetwork headline).
+#: ``solver_warm_resolve`` gates the incremental re-solver's effective
+#: points/s (full grid over warm wall time — the online-service path).
 GUARDED_CASES = (
     "steady_state_batched",
     "dynamic_lru",
     "solver_batch",
+    "solver_warm_resolve",
     "sharded_dynamic_lru",
     "approx_grid",
     "ccn_packet_batched",
@@ -97,6 +100,7 @@ def measure(case: str, baseline_case: dict) -> dict:
         _bench_dynamic,
         _bench_sharded_dynamic,
         _bench_solver_batch,
+        _bench_solver_warm_resolve,
         _bench_steady,
     )
 
@@ -112,6 +116,11 @@ def measure(case: str, baseline_case: dict) -> dict:
         # Full-size grid iff the baseline recorded the full 10k points.
         return _bench_solver_batch(
             quick=int(baseline_case.get("points", 0)) < 10_000, repeats=3
+        )
+    if case == "solver_warm_resolve":
+        # Full-size grid iff the baseline recorded the full 10k points.
+        return _bench_solver_warm_resolve(
+            quick=int(baseline_case.get("points", 0)) < 10_000
         )
     if case == "sharded_dynamic_lru":
         # Full-scale run iff the baseline recorded the 10^7-request run;

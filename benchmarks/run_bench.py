@@ -223,6 +223,111 @@ def _bench_solver_batch(quick: bool, *, repeats: int = 3) -> dict:
     }
 
 
+def _bench_solver_warm_resolve(quick: bool, *, repeats: int = 7) -> dict:
+    """Warm incremental re-solve of a slightly perturbed grid, best-of-N.
+
+    The online-service scenario: the 10k-point grid was solved once,
+    then ~5% of its points drift (a ~3% γ move) and only those are
+    re-solved, seeded from the previous optimum.  Headline: the warm
+    path's speedup over a cold ``solve_batch`` of the same perturbed
+    grid, with per-point agreement within 1e-9.
+    """
+    import numpy as np
+
+    from repro.core.batch_solver import resolve_incremental
+
+    grid = _solver_grid(quick)
+    prev = solve_batch(grid, check_conditions=False)
+    rng = np.random.default_rng(7)
+    changed = rng.choice(len(grid), size=max(1, len(grid) // 20), replace=False)
+    mask = np.zeros(len(grid), dtype=bool)
+    mask[changed] = True
+    columns = {
+        name: getattr(grid, name).copy() for name in ScenarioGrid._COLUMNS
+    }
+    columns["gamma"][changed] *= 1.03
+    perturbed = ScenarioGrid(**columns)
+
+    warm_best = cold_best = None
+    warm = cold = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        warm = resolve_incremental(perturbed, prev, mask, check_conditions=False)
+        elapsed = time.perf_counter() - start
+        warm_best = elapsed if warm_best is None else min(warm_best, elapsed)
+        start = time.perf_counter()
+        cold = solve_batch(perturbed, check_conditions=False)
+        elapsed = time.perf_counter() - start
+        cold_best = elapsed if cold_best is None else min(cold_best, elapsed)
+    max_diff = float(np.max(np.abs(warm.level - cold.level)))
+    return {
+        "points": len(grid),
+        "changed": int(mask.sum()),
+        "repeats": repeats,
+        "newton_iterations": warm.iterations,
+        "warm_seconds": round(warm_best, 5),
+        "cold_seconds": round(cold_best, 5),
+        "speedup_vs_cold": round(cold_best / warm_best, 1),
+        "max_level_diff": max_diff,
+        "rps": round(len(grid) / warm_best, 1),
+    }
+
+
+def _bench_serve_control_loop(quick: bool) -> dict:
+    """The `repro serve` loop end-to-end: estimate -> dead-band -> warm solve.
+
+    A drifting Zipf stream (s sweeping 0.6 -> 1.4 and back) is replayed
+    through :class:`~repro.service.loop.OptimizerService`; the figure of
+    merit is control-loop ticks/s including estimation, policy and the
+    warm re-provisioning solve.
+    """
+    import math
+
+    import numpy as np
+
+    from repro.core.scenario import Scenario
+    from repro.service import DeadBandPolicy, MeasurementBatch, OptimizerService
+
+    ticks = 50 if quick else 200
+    catalog = 50_000
+    per_tick = 500
+    scenario = Scenario(
+        alpha=0.6, n_routers=20, capacity=500.0, catalog_size=catalog
+    )
+    rng = np.random.default_rng(11)
+    ranks = np.arange(1, catalog + 1, dtype=np.float64)
+    batches = []
+    for tick in range(ticks):
+        s = 1.0 + 0.4 * math.sin(2.0 * math.pi * tick / ticks)
+        weights = ranks ** -s
+        weights /= weights.sum()
+        batches.append(
+            MeasurementBatch(
+                ranks=rng.choice(
+                    np.arange(1, catalog + 1), size=per_tick, p=weights
+                )
+            )
+        )
+    service = OptimizerService(
+        scenario, memory=0.6, policy=DeadBandPolicy(dead_band=0.01)
+    )
+    start = time.perf_counter()
+    for _ in service.run(batches):
+        pass
+    elapsed = time.perf_counter() - start
+    tracker = service.tracker
+    return {
+        "ticks": ticks,
+        "requests_per_tick": per_tick,
+        "catalog": catalog,
+        "cold_solves": tracker.cold_solves,
+        "warm_solves": tracker.warm_solves,
+        "skipped": tracker.skipped,
+        "seconds": round(elapsed, 4),
+        "ticks_per_s": round(ticks / elapsed, 1),
+    }
+
+
 def _bench_solver_scalar(quick: bool, *, limit: int | None = None) -> dict:
     """Per-point scalar oracle over (a subset of) the same grid.
 
@@ -534,6 +639,8 @@ def run(quick: bool) -> dict:
         "sweep_auto": _bench_sweep("auto"),
         "sweep_dense": _bench_sweep_dense(quick),
         "solver_batch": _bench_solver_batch(quick),
+        "solver_warm_resolve": _bench_solver_warm_resolve(quick),
+        "serve_control_loop": _bench_serve_control_loop(quick),
         "solver_scalar": _bench_solver_scalar(
             quick, limit=200 if quick else None
         ),

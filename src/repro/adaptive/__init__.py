@@ -21,6 +21,7 @@ from .drift import (
 )
 from .estimator import ExponentEstimator, estimate_exponent
 from .runner import AdaptationTrace, AdaptiveSimulation, EpochRecord
+from .tracker import WarmStrategyTracker
 
 __all__ = [
     "AdaptationTrace",
@@ -33,6 +34,7 @@ __all__ = [
     "ExponentEstimator",
     "GradientController",
     "ModelBasedController",
+    "WarmStrategyTracker",
     "estimate_exponent",
     "linear_drift",
     "sinusoidal_drift",

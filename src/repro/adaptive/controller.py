@@ -32,6 +32,7 @@ from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..errors import ParameterError
 from .estimator import ExponentEstimator
+from .tracker import WarmStrategyTracker
 
 __all__ = ["EpochObservation", "AdaptiveController", "ModelBasedController", "GradientController"]
 
@@ -84,6 +85,16 @@ class ModelBasedController(AdaptiveController):
     max_step:
         Optional cap on the per-epoch level change (placement-churn
         rate limit); ``None`` jumps straight to the solved optimum.
+    dead_band:
+        Estimate moves within this band of the last solved estimate
+        skip the re-solve entirely (the tracker returns the cached
+        optimum); 0 still deduplicates exactly repeated estimates.
+    warm:
+        ``True`` (default) serves solves through a
+        :class:`~repro.adaptive.tracker.WarmStrategyTracker` — cold
+        solve once, warm incremental re-solves after.  ``False`` keeps
+        the legacy cold :func:`optimal_strategy` per epoch (the
+        reference the warm path's equivalence test pins against).
     """
 
     def __init__(
@@ -93,6 +104,8 @@ class ModelBasedController(AdaptiveController):
         initial_level: float = 0.0,
         memory: float = 0.5,
         max_step: Optional[float] = None,
+        dead_band: float = 0.0,
+        warm: bool = True,
     ):
         if not 0.0 <= initial_level <= 1.0:
             raise ParameterError(f"initial level must lie in [0, 1], got {initial_level}")
@@ -103,9 +116,19 @@ class ModelBasedController(AdaptiveController):
         self.max_step = max_step
         self.estimator = ExponentEstimator(scenario.catalog_size, memory=memory)
         self.last_estimate: Optional[float] = None
+        self.warm = bool(warm)
+        self.tracker = WarmStrategyTracker(scenario, dead_band=dead_band)
 
     def propose(self, epoch: int) -> float:
         return self.level
+
+    def _target_level(self, estimate: float) -> float:
+        if self.warm:
+            return self.tracker.solve(estimate).level
+        return optimal_strategy(
+            self.scenario.replace(exponent=estimate).model(),
+            check_conditions=False,
+        ).level
 
     def feedback(self, epoch: int, observation: EpochObservation) -> None:
         self.estimator.observe(observation.observed_ranks)
@@ -113,10 +136,7 @@ class ModelBasedController(AdaptiveController):
             return
         estimate = self.estimator.estimate()
         self.last_estimate = estimate
-        target = optimal_strategy(
-            self.scenario.replace(exponent=estimate).model(),
-            check_conditions=False,
-        ).level
+        target = self._target_level(estimate)
         if self.max_step is None:
             self.level = target
         else:

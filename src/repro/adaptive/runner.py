@@ -18,7 +18,6 @@ from typing import Optional
 import numpy as np
 
 from ..catalog.workload import DEFAULT_BATCH_SIZE, RequestBatch, Workload
-from ..core.optimizer import optimal_strategy
 from ..core.scenario import Scenario
 from ..core.strategy import ProvisioningStrategy
 from ..errors import ParameterError
@@ -27,6 +26,7 @@ from ..simulation.simulator import SteadyStateSimulator
 from ..topology.graph import Topology
 from .controller import AdaptiveController, EpochObservation
 from .drift import DriftingPopularity, EpochWorkloadFactory
+from .tracker import WarmStrategyTracker
 
 __all__ = ["EpochRecord", "AdaptationTrace", "AdaptiveSimulation"]
 
@@ -154,6 +154,10 @@ class AdaptiveSimulation:
         self.controller = controller
         self.requests_per_epoch = int(requests_per_epoch)
         self.factory = EpochWorkloadFactory(drift, topology.nodes, seed=seed)
+        # The oracle re-solves eq. 5 at every epoch's true exponent;
+        # the tracker serves those warm from the previous epoch's
+        # optimum (cold only once) and deduplicates repeated exponents.
+        self._oracle_tracker = WarmStrategyTracker(scenario)
 
     def _measured_objective(self, metrics, level: float) -> float:
         """Objective from observed tier fractions + deployed cost."""
@@ -233,10 +237,7 @@ class AdaptiveSimulation:
             observed_ranks = np.array([r.rank for r in requests])
         measured = self._measured_objective(metrics_collector, level)
 
-        true_scenario = self.scenario.replace(exponent=true_s)
-        oracle = optimal_strategy(
-            true_scenario.model(), check_conditions=False
-        )
+        oracle = self._oracle_tracker.solve(true_s)
         churn = (
             strategy.reassignment_churn(previous_strategy)
             if previous_strategy is not None

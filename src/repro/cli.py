@@ -297,6 +297,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="record metrics and spans to a JSON-lines events file",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "online optimization service: ingest measurement batches and "
+            "re-provision the coordination level through the warm "
+            "incremental re-solver"
+        ),
+    )
+    serve.add_argument(
+        "source",
+        help=(
+            "measurement stream: one whitespace-separated line of request "
+            "ranks per tick ('-' for stdin; blank lines are idle ticks)"
+        ),
+    )
+    serve.add_argument("--alpha", type=float, default=0.5)
+    serve.add_argument("--gamma", type=float, default=5.0)
+    serve.add_argument("--routers", "-n", type=int, default=20)
+    serve.add_argument("--catalog", "-N", type=int, default=10**6)
+    serve.add_argument("--capacity", "-c", type=float, default=10**3)
+    serve.add_argument("--unit-cost", "-w", type=float, default=26.7)
+    serve.add_argument("--peer-delta", type=float, default=2.2842)
+    serve.add_argument(
+        "--dead-band",
+        type=float,
+        default=0.0,
+        metavar="DS",
+        help=(
+            "skip the re-solve while the estimate stays within DS of the "
+            "last solved exponent (0 still deduplicates exact repeats)"
+        ),
+    )
+    serve.add_argument(
+        "--memory",
+        type=float,
+        default=0.5,
+        metavar="M",
+        help="estimator window retention per tick, in [0, 1)",
+    )
+    serve.add_argument(
+        "--tick",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="pause between batches (0 = replay as fast as possible)",
+    )
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="stop after processing this many ticks",
+    )
+    serve.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="record metrics and spans to a JSON-lines events file",
+    )
+
     # `repro lint` is dispatched before argparse runs (see _dispatch):
     # repro.lint.cli owns the whole flag surface (--format sarif, --fix,
     # --changed, ...) and argparse REMAINDER cannot forward leading
@@ -777,6 +837,77 @@ def _ccn(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace, out) -> int:
+    """Run the online optimization service over a measurement stream."""
+    import time
+    from contextlib import nullcontext
+
+    from .errors import ParameterError
+    from .service import DeadBandPolicy, OptimizerService, read_stream
+
+    try:
+        scenario = Scenario(
+            alpha=args.alpha,
+            gamma=args.gamma,
+            n_routers=args.routers,
+            catalog_size=args.catalog,
+            capacity=args.capacity,
+            unit_cost=args.unit_cost,
+            peer_delta=args.peer_delta,
+        )
+        service = OptimizerService(
+            scenario,
+            memory=args.memory,
+            policy=DeadBandPolicy(dead_band=args.dead_band),
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print(f"--limit must be positive, got {args.limit}", file=sys.stderr)
+        return 2
+    try:
+        source = (
+            nullcontext(sys.stdin) if args.source == "-" else open(args.source)
+        )
+        with source as stream:
+            for tick in service.run(read_stream(stream)):
+                if tick.action == "idle":
+                    print(
+                        f"tick {tick.index:4d}  obs={tick.observed:6d}  idle",
+                        file=out,
+                    )
+                else:
+                    clamp = "  clamped" if tick.clamped else ""
+                    print(
+                        f"tick {tick.index:4d}  obs={tick.observed:6d}  "
+                        f"s^={tick.estimate:.4f}  l={tick.level:.4f}  "
+                        f"{tick.action}  stale={tick.staleness}"
+                        f"{clamp}",
+                        file=out,
+                    )
+                if args.limit is not None and service.ticks >= args.limit:
+                    break
+                if args.tick > 0.0:
+                    time.sleep(args.tick)
+    except (OSError, ParameterError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    tracker = service.tracker
+    print(
+        f"{service.ticks} ticks: {tracker.cold_solves} cold, "
+        f"{tracker.warm_solves} warm, {tracker.skipped} skipped",
+        file=out,
+    )
+    if tracker.current is not None:
+        print(
+            f"provisioned level l* = {tracker.current.level:.6f} "
+            f"(solved at s = {tracker.solved_exponent:.4f})",
+            file=out,
+        )
+    return 0
+
+
 def _obs_summarize(args: argparse.Namespace, out) -> int:
     from .errors import ObservabilityError
     from .obs import read_events, render_summary, summarize_events
@@ -875,6 +1006,8 @@ def _dispatch(argv: Optional[Sequence[str]], out) -> int:
         return _observed(args, _approx, out)
     if args.command == "ccn":
         return _observed(args, _ccn, out)
+    if args.command == "serve":
+        return _observed(args, _serve, out)
     if args.command == "report":
         return _report(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -59,6 +59,7 @@ __all__ = [
     "BatchGains",
     "WARM_START_MIN_ALPHA",
     "solve_batch",
+    "resolve_incremental",
     "evaluate_gains_batch",
     "existence_mask",
     "lemma2_coefficients_batch",
@@ -293,6 +294,45 @@ class ScenarioGrid:
             cost_scale=float(self.cost_scale[index]),
         )
 
+    def subset(self, indices: np.ndarray) -> "ScenarioGrid":
+        """A new grid holding only the selected points (Table IV rows).
+
+        ``indices`` may be an integer index array or a boolean mask of
+        length :attr:`size`.  Point ``j`` of the subset is exactly point
+        ``indices[j]`` of this grid (``scenario_at`` round-trips), so a
+        solver may re-solve a perturbed subset and scatter the results
+        back without changing any per-point semantics.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == np.bool_:
+            if idx.shape != (self.size,):
+                raise ParameterError(
+                    f"boolean subset mask must have length {self.size}, "
+                    f"got shape {idx.shape}"
+                )
+            idx = np.flatnonzero(idx)
+        else:
+            idx = idx.astype(np.intp)
+            if idx.ndim != 1:
+                raise ParameterError("subset indices must be one-dimensional")
+            if idx.size and (idx.min() < -self.size or idx.max() >= self.size):
+                raise ParameterError(
+                    f"subset indices out of range for grid of size {self.size}"
+                )
+        if idx.size == 0:
+            raise ParameterError("subset must select at least one grid point")
+        # Row selection preserves every per-point invariant the
+        # constructor checks (all guards are pointwise, including
+        # capacity <= catalog_size), so skip re-validation: this sits on
+        # the warm re-solve hot path where it would dominate the solve.
+        out = ScenarioGrid.__new__(ScenarioGrid)
+        for name in self._COLUMNS:
+            col = np.ascontiguousarray(getattr(self, name)[idx])
+            col.flags.writeable = False
+            setattr(out, name, col)
+        out._derived_cache = None
+        return out
+
     def derived(self) -> Mapping[str, np.ndarray]:
         """Memoized derived coefficient columns (eqs. 2, 3, 6).
 
@@ -385,6 +425,38 @@ def _derivative_columns(
     return combine_objective(grid.alpha, t_prime, derived["marginal_cost"])
 
 
+def _newton_step_columns(
+    grid: ScenarioGrid, derived: Mapping[str, np.ndarray], x: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    # Fused Appendix A first + second derivative of the eq. 5 objective
+    # at x.  The first derivative replays _derivative_columns bit-exactly
+    # (same clamp, same op order), so bracket updates made from it stay
+    # interchangeable with the cold bisection's.  The cost term (eq. 3)
+    # is linear, so f''(x) = α·T''(x) with
+    # T''(x) = normalizer·s·((d1-d0)·(c-x)^{-s-1}
+    #          + (d2-d1)·(n-1)²·(c+(n-1)x)^{-s-1}) > 0
+    # on the interior (Lemma 1 convexity) — the curvature the damped
+    # Newton correction divides by; it only scales the step, so reusing
+    # the x^{-s} powers (one divide instead of a second pow) is safe.
+    s = grid.exponent
+    local = np.clip(grid.capacity - x, 1e-12, None)
+    coordinated = grid.capacity + (grid.n_routers - 1.0) * x
+    local_pow = local**-s
+    coordinated_pow = coordinated**-s
+    t_prime = derived["normalizer"] * (
+        derived["peer_delta"] * local_pow
+        - derived["origin_delta"] * (grid.n_routers - 1.0) * coordinated_pow
+    )
+    d = combine_objective(grid.alpha, t_prime, derived["marginal_cost"])
+    t_double = derived["normalizer"] * s * (
+        derived["peer_delta"] * local_pow / local
+        + derived["origin_delta"]
+        * (grid.n_routers - 1.0) ** 2
+        * coordinated_pow / coordinated
+    )
+    return d, grid.alpha * t_double
+
+
 def _closed_form_columns(grid: ScenarioGrid) -> np.ndarray:
     # Theorem 2 closed form, unvalidated (warm-start probe only); nan
     # at extreme (γ, s) underflow is harmless — nan probes never pass
@@ -410,14 +482,20 @@ def existence_mask(grid: ScenarioGrid) -> np.ndarray:
     n = grid.n_routers
     n_cat = grid.catalog_size
     s = grid.exponent
-    derived = grid.derived()
+    # Tier latencies computed directly (not via derived()): the warm
+    # incremental path masks existence on the full grid but only ever
+    # solves a small subset, so populating the full derived cache here
+    # would dominate its runtime.
+    d0, d1, d2 = tier_latencies_from_gamma(
+        grid.gamma, grid.access_latency, grid.peer_delta
+    )
     capacity_ok = np.isfinite(c) & (c > 0.0)
     catalog_ok = n_cat >= MIN_LARGE_CATALOG
     aggregate_bad = capacity_ok & catalog_ok & (c * np.maximum(n, 1.0) > n_cat)
     catalog_ok = catalog_ok & ~aggregate_bad
     routers_ok = n > 1.0
     exponent_ok = (0.0 < s) & (s < 2.0) & (np.abs(s - 1.0) > SINGULARITY_TOLERANCE)
-    latency_ok = (derived["d0"] < derived["d1"]) & (derived["d1"] <= derived["d2"])
+    latency_ok = (d0 < d1) & (d1 <= d2)
     ok = capacity_ok & catalog_ok & routers_ok & exponent_ok & latency_ok
     ok.flags.writeable = False
     return ok
@@ -816,6 +894,360 @@ def _solve_batch_impl(
         labels = np.where(boundary, "boundary", "first-order")
 
     return _finish_columns(grid, derived, x_star, labels, ok, iterations)
+
+
+def _newton_resolve_columns(
+    grid: ScenarioGrid,
+    derived: Mapping[str, np.ndarray],
+    x0: np.ndarray,
+    max_newton: int,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Damped Newton corrections on the eq. 10 first-order condition.
+
+    Seeds every interior point from ``x0`` (the previous optimum) and
+    applies up to ``max_newton`` Newton steps ``x − f'(x)/f''(x)``
+    (Appendix A derivatives), each safeguarded by the sign bracket the
+    convex objective guarantees: a step that escapes the validity
+    window (leaves the open bracket, or meets non-positive curvature
+    from the boundary clamps) is damped to the bracket midpoint.
+    Boundary handling (``α ≤ 0``, ``d(0) ≥ 0``, ``d(c·(1−1e-12)) ≤ 0``)
+    mirrors :func:`_solve_first_order_columns` exactly; points whose
+    last step still exceeds the bisection tolerance fall back to the
+    bracketed bisection per point.
+
+    Returns ``(x_star, labels, iterations, fallback_count)``.
+    """
+    capacity = grid.capacity
+    alpha = grid.alpha
+    positive = alpha > 0.0
+    lo = np.zeros(len(grid))
+    hi = capacity * (1.0 - 1e-12)
+    d_lo = _derivative_columns(grid, derived, lo)
+    at_zero = positive & (d_lo >= 0.0)
+    d_hi = _derivative_columns(grid, derived, hi)
+    at_capacity = positive & ~at_zero & (d_hi <= 0.0)
+    interior = positive & ~at_zero & ~at_capacity
+
+    tolerance = LEVEL_TOLERANCE * capacity
+    x = np.where(interior, np.clip(x0, lo, hi), 0.0)
+    active = interior.copy()
+    iterations = 0
+
+    def newton_sweeps(sweeps: int) -> int:
+        """Damped Newton corrections on the active points; returns #sweeps."""
+        nonlocal x, lo, hi, active
+        used = 0
+        # Sentinel forbidding step-convergence on the first sweep: the
+        # non-growth guard needs a real previous step to compare with.
+        previous_step = np.full(x.shape, -1.0)
+        for _ in range(sweeps):
+            if not active.any():
+                break
+            used += 1
+            d, curvature = _newton_step_columns(grid, derived, x)
+            # Maintain the sign bracket: f' is increasing (convexity),
+            # so d < 0 makes x a valid lower bound, d >= 0 an upper one.
+            below = active & (d < 0.0)
+            lo = np.where(below, x, lo)
+            hi = np.where(active & ~below, x, hi)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                step = d / curvature
+            finite = (curvature > 0.0) & np.isfinite(step)
+            # Convergence is judged on the raw Newton step *before* the
+            # bracket check: once |Δ| falls under a ulp of x the proposal
+            # can collide with a bracket edge that has collapsed onto the
+            # root, and the midpoint fallback would fling a converged
+            # point back into slow per-bit bisection.  A tiny step alone
+            # is not enough: near the x = c singularity the curvature
+            # blows up a power of (c-x) faster than the derivative, so
+            # |Δ| ≈ (c-x)/s is small at a point that is nowhere near a
+            # root.  True Newton convergence shrinks steps quadratically
+            # while the singular crawl *grows* them geometrically, so
+            # also require the step not to have grown.
+            step_size = np.abs(step)
+            active &= ~(
+                finite & (step_size <= tolerance) & (step_size <= previous_step)
+            )
+            previous_step = step_size
+            raw = x - step
+            valid = finite & (lo < raw) & (raw < hi)
+            proposed = np.where(valid, raw, 0.5 * (lo + hi))
+            moved = np.abs(proposed - x)
+            x = np.where(active, proposed, x)
+            # A midpoint fallback that barely moves means the bracket
+            # itself has collapsed to the tolerance — done.  (A barely
+            # moving *Newton* proposal is NOT conclusive: that is the
+            # singular crawl again, handled by the guarded test above.)
+            active &= ~(~valid & (moved <= tolerance))
+        return used
+
+    def bisect_to(width: np.ndarray) -> int:
+        """Halve the active brackets until ``hi − lo ≤ width``; x := midpoint."""
+        nonlocal x, lo, hi, active
+        used = 0
+        halving = active & (hi - lo > width)
+        while halving.any():
+            if iterations + used >= MAX_BISECTION_ITERATIONS:
+                raise ConvergenceError(
+                    f"incremental re-solve failed to converge within "
+                    f"{MAX_BISECTION_ITERATIONS} iterations"
+                )
+            used += 1
+            mid = 0.5 * (lo + hi)
+            below = halving & (_derivative_columns(grid, derived, mid) < 0.0)
+            lo = np.where(below, mid, lo)
+            hi = np.where(halving & ~below, mid, hi)
+            halving = active & (hi - lo > width)
+        x = np.where(active, 0.5 * (lo + hi), x)
+        return used
+
+    def boundary_polish(sweeps: int) -> int:
+        """Dominant-balance fixed point for roots near the x = c singularity.
+
+        Near the upper boundary the eq. 10 derivative is dominated by
+        the ``(d1-d0)·(c-x)^{-s}`` term (the eq. 6 CDF's local tier), so
+        ``d(x) = 0`` rearranges to the map
+        ``x ← c − (pd·norm·α / (α·norm·od·(n-1)·coord(x)^{-s} −
+        (1-α)·mc))^{1/s}`` whose contraction factor ``~s·(n-1)·(c-x)/
+        coord`` vanishes as x → c: exactly where the Newton step
+        degenerates to ~(c-x)/s, this map converges in 2-3 sweeps.
+        Points whose map value is invalid (non-positive balance) or
+        escapes the bracket are left for the bisection ladder.
+        """
+        nonlocal x, active
+        s = grid.exponent
+        n1 = grid.n_routers - 1.0
+        safe_alpha = np.where(positive, alpha, 1.0)
+        balance_scale = (
+            (1.0 - safe_alpha)
+            * derived["marginal_cost"]
+            / (safe_alpha * derived["normalizer"])
+        )
+        used = 0
+        for _ in range(sweeps):
+            if not active.any():
+                break
+            used += 1
+            coordinated = capacity + n1 * x
+            balance = derived["origin_delta"] * n1 * coordinated**-s - balance_scale
+            with np.errstate(divide="ignore", invalid="ignore"):
+                proposed = capacity - (derived["peer_delta"] / balance) ** (
+                    1.0 / s
+                )
+            finite = active & np.isfinite(proposed)
+            moved = np.abs(proposed - x)
+            # A contraction step under the tolerance means the fixed
+            # point has converged — accept it (clipped into the
+            # bracket) even when the proposal collides with a collapsed
+            # bracket edge, which the strict interior test would bounce
+            # back into per-bit bisection.
+            done = finite & (moved <= tolerance)
+            valid = finite & (lo < proposed) & (proposed < hi)
+            x = np.where(valid | done, np.clip(proposed, lo, hi), x)
+            active &= ~done
+        return used
+
+    # Phase A: pure warm corrections — perturbed interior optima settle
+    # here in 1-3 Newton steps (+1 sweep to confirm the step shrank).
+    iterations += newton_sweeps(max_newton + 1)
+    fallback = active.copy()
+    fallback_count = int(fallback.sum())
+    if fallback_count:
+        # Escaped the validity window (stale seed, e.g. a previously
+        # clipped boundary optimum whose Newton step degenerates to
+        # ~(c-x)/s): the dominant-balance fixed point settles near-
+        # boundary roots in 2-3 sweeps without needing a tight bracket,
+        # and a short Newton re-check retires points the fixed point
+        # parked on the root with its last contraction just above the
+        # step tolerance.
+        iterations += boundary_polish(max_newton + 2)
+        iterations += newton_sweeps(2)
+    if active.any():
+        # Whatever survives all three (rare: far-moved interior roots)
+        # is re-localized by coarse bracketed bisection, finished
+        # quadratically by a Newton polish, and only then pays the
+        # plain bisection ladder down to the cold tolerance.
+        iterations += bisect_to(np.maximum(tolerance, 1e-3 * capacity))
+        iterations += newton_sweeps(max_newton + 1)
+        iterations += boundary_polish(max_newton + 2)
+        iterations += bisect_to(tolerance)
+
+    x_star = np.where(at_capacity, capacity, x)
+    labels = np.where(positive, "warm-newton", "boundary")
+    labels[fallback] = "first-order"
+    return x_star, labels, iterations, fallback_count
+
+
+def _carried_columns(
+    grid: ScenarioGrid, prev: Union[BatchStrategy, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Writable (level, storage, objective, method) columns seeded from ``prev``.
+
+    A :class:`BatchStrategy` carries its solved arrays verbatim, so
+    unchanged points of the incremental re-solve are bitwise identical
+    to the previous solve (eq. 5 optimum unchanged parameters →
+    unchanged optimum).  A raw level array is evaluated through the
+    eq. 2/3 objective at ``ℓ·c`` and labelled ``"carried"``.
+    """
+    if isinstance(prev, BatchStrategy):
+        if len(prev) != len(grid):
+            raise ParameterError(
+                f"previous strategy has {len(prev)} points but the grid "
+                f"has {len(grid)}"
+            )
+        # Widen the label column so every incremental label fits without
+        # truncation (numpy fixed-width strings truncate on assignment).
+        width = max(prev.method.dtype.itemsize // np.dtype("U1").itemsize, 11)
+        return (
+            np.array(prev.level),
+            np.array(prev.storage),
+            np.array(prev.objective_value),
+            prev.method.astype(f"<U{width}"),
+        )
+    levels = _column(prev)
+    if levels.shape != (len(grid),):
+        raise ParameterError(
+            f"previous level column must have shape ({len(grid)},), "
+            f"got {levels.shape}"
+        )
+    if np.any(~np.isfinite(levels)) or np.any((levels < 0.0) | (levels > 1.0)):
+        raise ParameterError("previous level column must lie in [0, 1]")
+    storage = levels * grid.capacity
+    objective = np.array(
+        _objective_columns(grid, grid.derived(), storage)
+    )
+    return (
+        np.array(levels),
+        storage,
+        objective,
+        np.full(len(grid), "carried", dtype="<U11"),
+    )
+
+
+def resolve_incremental(
+    grid: ScenarioGrid,
+    prev: Union[BatchStrategy, np.ndarray],
+    changed_mask: Optional[np.ndarray] = None,
+    *,
+    check_conditions: bool = True,
+    max_newton: int = 3,
+) -> BatchStrategy:
+    """Warm incremental re-solve of eq. 5 seeded from a previous optimum.
+
+    The eq. 5/7 optimum is continuous in the Table IV parameters
+    ``(s, N, n, γ, α, c)``, so after a small perturbation the previous
+    per-point optimum already localizes the new root of the Appendix A
+    first-order condition (eq. 10): instead of the ~40 whole-grid
+    bisection iterations of a cold :func:`solve_batch`, each perturbed
+    point takes 1–3 damped Newton corrections seeded from its previous
+    ``x*`` (see :func:`_newton_resolve_columns`), falling back to the
+    bracketed bisection per point only when the Newton step escapes its
+    validity window.  Unchanged points carry the previous solution
+    bitwise.
+
+    Parameters
+    ----------
+    grid:
+        The *new* (perturbed) parameter grid.
+    prev:
+        The previous solution on a same-size grid: a
+        :class:`BatchStrategy` (carried verbatim for unchanged points)
+        or a raw level column in [0, 1] (re-evaluated through the
+        objective and labelled ``"carried"``).
+    changed_mask:
+        Boolean column marking the perturbed points; ``None`` re-solves
+        every point warm.
+    check_conditions:
+        As in :func:`solve_batch` — per-point Lemma 1 checks.
+    max_newton:
+        Newton corrections per point before the bisection fallback.
+
+    Agrees with the cold solve within 1e-9 per point in level (the
+    Newton stop tolerance is the bisection tolerance
+    ``LEVEL_TOLERANCE·c``); the equivalence suite enforces this.
+    Reports a ``solver.resolve`` span with points/changed/fallback
+    counters and an iterations + points/s gauge pair to
+    :mod:`repro.obs`.
+    """
+    if max_newton < 1:
+        raise ParameterError(f"max_newton must be >= 1, got {max_newton}")
+    obs = get_session()
+    with obs.span("solver.resolve") as span:
+        strategy, changed_count, fallback_count = _resolve_incremental_impl(
+            grid, prev, changed_mask, check_conditions, max_newton
+        )
+    if obs.enabled:
+        obs.counter("solver.resolve.grids").add()
+        obs.counter("solver.resolve.points").add(len(grid))
+        obs.counter("solver.resolve.changed").add(changed_count)
+        obs.counter("solver.resolve.fallbacks").add(fallback_count)
+        obs.gauge("solver.resolve.iterations").set(float(strategy.iterations))
+        if span.duration_s > 0:
+            obs.gauge("solver.resolve.points_per_s").set(
+                len(grid) / span.duration_s
+            )
+    return strategy
+
+
+def _resolve_incremental_impl(
+    grid: ScenarioGrid,
+    prev: Union[BatchStrategy, np.ndarray],
+    changed_mask: Optional[np.ndarray],
+    check_conditions: bool,
+    max_newton: int,
+) -> tuple[BatchStrategy, int, int]:
+    level, storage, objective, method = _carried_columns(grid, prev)
+    if changed_mask is None:
+        changed = np.ones(len(grid), dtype=bool)
+    else:
+        changed = np.asarray(changed_mask)
+        if changed.dtype != np.bool_ or changed.shape != (len(grid),):
+            raise ParameterError(
+                f"changed_mask must be a boolean column of length "
+                f"{len(grid)}"
+            )
+    idx = np.flatnonzero(changed)
+    sub = grid.subset(idx) if idx.size else None
+    # The Lemma 1 mask depends only on per-point parameters, so the
+    # carry contract (unchanged mask entry ⇒ unchanged parameters) lets
+    # a previous BatchStrategy carry its verdicts and re-checks only
+    # the perturbed subset; a raw level column has no verdicts to carry.
+    if isinstance(prev, BatchStrategy):
+        ok = np.array(prev.existence_ok)
+        if sub is not None:
+            ok[idx] = existence_mask(sub)
+    else:
+        ok = existence_mask(grid)
+    if check_conditions and not bool(ok.all()):
+        _raise_existence(grid, ok)
+    fallback_count = 0
+    iterations = 0
+    if sub is not None:
+        derived = sub.derived()
+        x0 = storage[idx]
+        x_star, labels, iterations, fallback_count = _newton_resolve_columns(
+            sub, derived, x0, max_newton
+        )
+        finished = _finish_columns(sub, derived, x_star, labels, ok[idx], iterations)
+        level[idx] = finished.level
+        storage[idx] = finished.storage
+        objective[idx] = finished.objective_value
+        method[idx] = finished.method
+    alpha = np.array(grid.alpha)
+    _lock(level, storage, objective, method, alpha)
+    return (
+        BatchStrategy(
+            level=level,
+            storage=storage,
+            objective_value=objective,
+            method=method,
+            alpha=alpha,
+            existence_ok=ok,
+            iterations=iterations,
+        ),
+        int(idx.size),
+        fallback_count,
+    )
 
 
 @dataclass(frozen=True)

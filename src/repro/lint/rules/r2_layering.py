@@ -8,7 +8,7 @@ Enforces the architecture DAG of the reproduction.  The layer order
            └─ approx / catalog     (approx: Che/TTL fixed points, no
                 └─ baselines / simulation / hetero    simulation access)
                      └─ ccn / adaptive
-                          └─ analysis
+                          └─ analysis / service
                                └─ cli
 
 :data:`ALLOWED_IMPORTS` below is the single place the allowed-edge table
@@ -63,6 +63,11 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "hetero": _DATA,
     "ccn": _DATA | {"simulation"},
     "adaptive": _DATA | {"simulation"},
+    # service is the online control loop: estimator + warm tracker
+    # (adaptive) over the batched solver (core).  It must stay clear of
+    # the simulation stack — the loop is driven by *measured* batches,
+    # never by simulated traffic it generates itself.
+    "service": frozenset({"errors", "obs", "core", "adaptive"}),
     "analysis": _DATA
     | {"simulation", "ccn", "baselines", "adaptive", "hetero", "approx"},
     "cli": _DATA
@@ -74,10 +79,20 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
         "hetero",
         "approx",
         "analysis",
+        "service",
         "lint",
     },
     ROOT_UNIT: _DATA
-    | {"simulation", "ccn", "baselines", "adaptive", "hetero", "approx", "analysis"},
+    | {
+        "simulation",
+        "ccn",
+        "baselines",
+        "adaptive",
+        "hetero",
+        "approx",
+        "analysis",
+        "service",
+    },
     "__main__": frozenset({"cli"}),
 }
 

@@ -15,8 +15,9 @@ This rule therefore enforces, in the stochastic units
 (``simulation``, ``core``, ``catalog``, ``adaptive``, ``topology`` —
 the synthetic generators promise seed → identical graph — and
 ``approx``, whose fixed points must agree bit-exactly with the
-cross-validation baselines, and ``ccn``, whose batched packet engine is
-pinned to the scalar simulator per seed):
+cross-validation baselines, ``ccn``, whose batched packet engine is
+pinned to the scalar simulator per seed, and ``service``, whose control
+loop must replay a recorded measurement stream bit-exactly):
 
 - no calls to legacy global-state ``np.random`` functions
   (``np.random.seed``, ``np.random.rand``, ``np.random.choice``, ...);
@@ -42,7 +43,16 @@ from . import Rule
 
 #: Units whose results must replay bit-exactly from recorded seeds.
 SCOPED_UNITS = frozenset(
-    {"simulation", "core", "catalog", "adaptive", "topology", "approx", "ccn"}
+    {
+        "simulation",
+        "core",
+        "catalog",
+        "adaptive",
+        "topology",
+        "approx",
+        "ccn",
+        "service",
+    }
 )
 
 #: ``np.random`` attributes that do NOT touch global state: explicit

@@ -1,0 +1,23 @@
+"""Online optimization service (the `repro serve` control loop).
+
+The paper solves eq. 5 offline for a static scenario; this package
+turns the solver into a long-running control loop: measurement batches
+stream in, the windowed Zipf-exponent MLE updates, and the coordination
+level is re-provisioned through the warm incremental re-solver whenever
+the estimate moves past a dead-band.  The loop itself is synchronous
+and I/O-free — the CLI owns the clock and the streams — so every piece
+is unit-testable and replayable.
+"""
+
+from .ingest import MeasurementBatch, parse_line, read_stream
+from .loop import OptimizerService, ServiceTick
+from .policy import DeadBandPolicy
+
+__all__ = [
+    "DeadBandPolicy",
+    "MeasurementBatch",
+    "OptimizerService",
+    "ServiceTick",
+    "parse_line",
+    "read_stream",
+]

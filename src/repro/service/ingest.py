@@ -1,0 +1,79 @@
+"""Measurement-batch ingestion for the online optimizer.
+
+One measurement batch is one control-loop tick's worth of observed
+request ranks.  The wire format is deliberately trivial — one line per
+batch, whitespace-separated integer ranks, ``#`` comments — so traffic
+taps, replay files and shell pipelines can all feed `repro serve`.
+A blank line is a well-formed *empty* batch: the window saw no traffic
+that tick, and the service idles through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, TextIO, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["MeasurementBatch", "parse_line", "read_stream"]
+
+
+@dataclass(frozen=True)
+class MeasurementBatch:
+    """One tick's observed request ranks (1-based catalog positions)."""
+
+    ranks: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        ranks = np.asarray(self.ranks)
+        if ranks.ndim != 1:
+            raise ParameterError(
+                f"measurement ranks must be one-dimensional, got shape {ranks.shape}"
+            )
+        if ranks.size and (
+            not np.issubdtype(ranks.dtype, np.integer) or np.any(ranks < 1)
+        ):
+            raise ParameterError("measurement ranks must be integers >= 1")
+        object.__setattr__(self, "ranks", ranks.astype(np.int64, copy=False))
+
+    def __len__(self) -> int:
+        return int(self.ranks.size)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the window saw no traffic this tick."""
+        return self.ranks.size == 0
+
+
+def parse_line(line: str) -> MeasurementBatch:
+    """Parse one text line into a :class:`MeasurementBatch`.
+
+    Whitespace-separated integer ranks; anything after ``#`` is a
+    comment; a blank (or comment-only) line is an empty batch.
+    """
+    payload = line.split("#", 1)[0].strip()
+    if not payload:
+        return MeasurementBatch()
+    try:
+        values = [int(token) for token in payload.split()]
+    except ValueError as exc:
+        raise ParameterError(
+            f"measurement line is not whitespace-separated integer ranks: "
+            f"{payload!r}"
+        ) from exc
+    return MeasurementBatch(ranks=np.array(values, dtype=np.int64))
+
+
+def read_stream(
+    stream: Union[TextIO, Iterable[str]],
+) -> Iterator[MeasurementBatch]:
+    """Iterate a text stream as measurement batches, one per line.
+
+    Works on file objects and plain string iterables alike; every line
+    (including blank ones — idle ticks) yields a batch, so tick indices
+    in the service line up with line numbers in the stream.
+    """
+    for line in stream:
+        yield parse_line(line)

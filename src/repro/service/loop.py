@@ -1,0 +1,196 @@
+"""The persistent control loop behind `repro serve`.
+
+:class:`OptimizerService` closes the paper's offline pipeline into an
+online one: each tick ingests a measurement batch, refreshes the
+windowed Zipf MLE, conditions the estimate through the
+:class:`~repro.service.policy.DeadBandPolicy`, and re-provisions the
+eq. 5 optimum through a warm
+:class:`~repro.adaptive.tracker.WarmStrategyTracker` — cold solve once,
+1-3 Newton corrections per re-solve after.  The loop never touches the
+clock or any stream itself: latency comes from obs spans, batches come
+from the caller, so a recorded stream replays bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..adaptive.estimator import ExponentEstimator
+from ..adaptive.tracker import WarmStrategyTracker
+from ..core.scenario import Scenario
+from ..errors import ParameterError
+from ..obs import get_session
+from .ingest import MeasurementBatch
+from .policy import DeadBandPolicy
+
+__all__ = ["OptimizerService", "ServiceTick"]
+
+
+@dataclass(frozen=True)
+class ServiceTick:
+    """What one control-loop tick observed and decided.
+
+    Attributes
+    ----------
+    index:
+        Tick number (0-based, equals the batch's position in the stream).
+    observed:
+        Request count in this tick's measurement window.
+    estimate:
+        The conditioned (post-clamp) exponent estimate, or ``None`` on
+        an idle tick (no traffic seen yet this run).
+    clamped:
+        Whether the raw MLE fell outside the policy's solver envelope.
+    level:
+        The provisioned coordination level after this tick (``None``
+        until the first solve).
+    action:
+        How the tick was served: ``"idle"`` (no traffic yet),
+        ``"cold"`` (first solve), ``"warm"`` (incremental re-solve) or
+        ``"skipped"`` (estimate inside the dead-band).
+    solve_latency_s:
+        Duration of this tick's solve span (0 when no solve ran or the
+        ambient obs session is disabled).
+    staleness:
+        Ticks elapsed since the provisioned level was last re-solved
+        (0 on a tick that solved).
+    tracking_error:
+        ``|estimate − solved exponent|`` — how far the live estimate
+        has drifted from what the deployed level was solved for.
+    """
+
+    index: int
+    observed: int
+    estimate: Optional[float]
+    clamped: bool
+    level: Optional[float]
+    action: str
+    solve_latency_s: float
+    staleness: int
+    tracking_error: float
+
+
+class OptimizerService:
+    """Persistent estimate → dead-band → warm re-solve control loop.
+
+    Parameters
+    ----------
+    scenario:
+        Scenario template supplying every parameter but the exponent,
+        which is estimated online from the measurement stream.
+    memory:
+        Estimator window retention per tick (see
+        :class:`~repro.adaptive.estimator.ExponentEstimator`).
+    policy:
+        Estimate conditioning: solver envelope and dead-band width.
+    bounds:
+        MLE search bounds handed to the estimator.  May be wider than
+        the solver envelope; estimates outside it are clamped and
+        counted on the ``service.estimate_clamped`` obs counter.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        memory: float = 0.5,
+        policy: Optional[DeadBandPolicy] = None,
+        bounds: tuple[float, float] = (0.05, 1.95),
+    ):
+        lo, hi = bounds
+        if not 0.0 < lo < hi:
+            raise ParameterError(f"invalid estimator bounds {bounds}")
+        self.scenario = scenario
+        self.policy = policy if policy is not None else DeadBandPolicy()
+        self.bounds = (float(lo), float(hi))
+        self.estimator = ExponentEstimator(scenario.catalog_size, memory=memory)
+        self.tracker = WarmStrategyTracker(
+            scenario, dead_band=self.policy.dead_band
+        )
+        self.ticks = 0
+        self._staleness = 0
+        self._tracking_error = 0.0
+
+    def ingest(self, batch: MeasurementBatch) -> ServiceTick:
+        """Process one measurement batch; returns the tick's record."""
+        obs = get_session()
+        with obs.span("service.tick"):
+            tick = self._ingest(batch, obs)
+        self.ticks += 1
+        if obs.enabled:
+            obs.counter("service.ticks").add()
+            obs.gauge("service.solve_latency_s").set(tick.solve_latency_s)
+            obs.gauge("service.estimate_staleness").set(float(tick.staleness))
+            obs.gauge("service.tracking_error").set(tick.tracking_error)
+        return tick
+
+    def _ingest(self, batch: MeasurementBatch, obs) -> ServiceTick:
+        index = self.ticks
+        if not batch.empty:
+            self.estimator.observe(batch.ranks)
+        if not self.estimator.has_observations:
+            # Idle: nothing has ever been observed, there is no estimate
+            # to act on (an empty window after traffic keeps the
+            # previous window's estimate and flows through the
+            # dead-band like any repeat).
+            return ServiceTick(
+                index=index,
+                observed=len(batch),
+                estimate=None,
+                clamped=False,
+                level=self._current_level(),
+                action="idle",
+                solve_latency_s=0.0,
+                staleness=self._bump_staleness(),
+                tracking_error=self._tracking_error,
+            )
+        raw = self.estimator.estimate(bounds=self.bounds)
+        estimate, clamped = self.policy.clamp(raw)
+        if clamped and obs.enabled:
+            obs.counter("service.estimate_clamped").add()
+        before = (self.tracker.cold_solves, self.tracker.warm_solves)
+        with obs.span("service.solve") as span:
+            strategy = self.tracker.solve(estimate)
+        after = (self.tracker.cold_solves, self.tracker.warm_solves)
+        if after[0] > before[0]:
+            action = "cold"
+        elif after[1] > before[1]:
+            action = "warm"
+        else:
+            action = "skipped"
+        if action == "skipped":
+            staleness = self._bump_staleness()
+            latency = 0.0
+        else:
+            self._staleness = 0
+            staleness = 0
+            latency = float(span.duration_s)
+        self._tracking_error = abs(estimate - self.tracker.solved_exponent)
+        return ServiceTick(
+            index=index,
+            observed=len(batch),
+            estimate=estimate,
+            clamped=clamped,
+            level=strategy.level,
+            action=action,
+            solve_latency_s=latency,
+            staleness=staleness,
+            tracking_error=self._tracking_error,
+        )
+
+    def run(
+        self, batches: Iterable[MeasurementBatch]
+    ) -> Iterator[ServiceTick]:
+        """Drive the loop over a batch stream, yielding tick records."""
+        for batch in batches:
+            yield self.ingest(batch)
+
+    def _current_level(self) -> Optional[float]:
+        current = self.tracker.current
+        return None if current is None else current.level
+
+    def _bump_staleness(self) -> int:
+        if self.tracker.current is not None:
+            self._staleness += 1
+        return self._staleness

@@ -1,0 +1,67 @@
+"""Estimate-conditioning policy for the online optimizer.
+
+The estimator may run with user-chosen MLE bounds, but the batched
+solver's exponent column must stay inside the paper's eq. 6 domain
+``(0, 2)``.  :class:`DeadBandPolicy` owns the two knobs between an
+estimate and a re-solve: the clamp onto the solver's safe envelope and
+the dead-band width the warm tracker re-provisions past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+__all__ = ["DeadBandPolicy"]
+
+#: The service's safe exponent envelope.  Strictly inside the eq. 6
+#: domain ``(0, 2)`` so a clamped estimate always builds a valid
+#: :class:`~repro.core.batch_solver.ScenarioGrid` column.
+SOLVER_EXPONENT_FLOOR = 0.05
+SOLVER_EXPONENT_CEILING = 1.95
+
+
+@dataclass(frozen=True)
+class DeadBandPolicy:
+    """How estimates become re-provisioning decisions.
+
+    Attributes
+    ----------
+    dead_band:
+        Estimate moves with ``|Δs| <= dead_band`` of the last solved
+        exponent are absorbed (the cached optimum keeps serving);
+        re-solves happen only strictly past the band.  0 still
+        deduplicates exactly repeated estimates.
+    floor / ceiling:
+        The solver envelope estimates are clamped onto before solving.
+        Defaults cover the estimator's default MLE bounds, so clamping
+        only engages when the service runs with widened bounds.
+    """
+
+    dead_band: float = 0.0
+    floor: float = SOLVER_EXPONENT_FLOOR
+    ceiling: float = SOLVER_EXPONENT_CEILING
+
+    def __post_init__(self) -> None:
+        if self.dead_band < 0.0:
+            raise ParameterError(
+                f"dead_band must be non-negative, got {self.dead_band}"
+            )
+        if not 0.0 < self.floor < self.ceiling < 2.0:
+            raise ParameterError(
+                "solver envelope must satisfy 0 < floor < ceiling < 2 "
+                f"(paper eq. 6 domain), got [{self.floor}, {self.ceiling}]"
+            )
+
+    def clamp(self, estimate: float) -> tuple[float, bool]:
+        """Project an estimate onto the solver envelope.
+
+        Returns ``(value, clamped)`` where ``clamped`` says whether the
+        estimate actually fell outside ``[floor, ceiling]``.
+        """
+        if estimate < self.floor:
+            return self.floor, True
+        if estimate > self.ceiling:
+            return self.ceiling, True
+        return float(estimate), False

@@ -95,3 +95,105 @@ class TestWindowedEstimator:
         estimator = ExponentEstimator(100)
         with pytest.raises(ParameterError):
             estimator.observe(np.array([0]))
+
+
+class TestWarmNewtonMLE:
+    """The warm Newton solve is pinned to the scalar MLE (satellite 1)."""
+
+    @staticmethod
+    def _brentq_reference(mean_log_rank: float, catalog: int) -> float:
+        """Root of the score f'(s) = m − E_s[log j] by high-precision brentq."""
+        from scipy import optimize
+
+        log_ranks = np.log(np.arange(1, catalog + 1, dtype=np.float64))
+
+        def score(s: float) -> float:
+            weights = np.exp(-s * log_ranks)
+            return mean_log_rank - float(weights @ log_ranks) / float(
+                weights.sum()
+            )
+
+        return float(optimize.brentq(score, 0.05, 1.95, xtol=1e-13))
+
+    @pytest.mark.parametrize("true_s", [0.3, 0.7, 1.1, 1.6, 1.9])
+    def test_newton_pins_to_scalar_mle_within_1e9(self, true_s):
+        from repro.adaptive.estimator import _solve_mle
+
+        catalog = 50_000
+        log_ranks = np.log(np.arange(1, catalog + 1, dtype=np.float64))
+        weights = np.exp(-true_s * log_ranks)
+        mean_log_rank = float(weights @ log_ranks) / float(weights.sum())
+        got = _solve_mle(mean_log_rank, catalog, (0.05, 1.95))
+        assert got == pytest.approx(
+            self._brentq_reference(mean_log_rank, catalog), abs=1e-9
+        )
+
+    def test_newton_matches_legacy_bounded_minimization(self):
+        """Agreement with the pre-incremental solver within its xatol."""
+        from scipy import optimize
+        import math
+
+        from repro.adaptive.estimator import _solve_mle
+        from repro.core.zipf import harmonic_number
+
+        catalog = 20_000
+        model = ZipfModel(1.1, catalog)
+        ranks = model.sample(30_000, np.random.default_rng(11))
+        mean_log_rank = float(np.mean(np.log(ranks.astype(np.float64))))
+        legacy = optimize.minimize_scalar(
+            lambda s: s * mean_log_rank
+            + math.log(harmonic_number(catalog, s)),
+            bounds=(0.05, 1.95),
+            method="bounded",
+            options={"xatol": 1e-8},
+        )
+        got = _solve_mle(mean_log_rank, catalog, (0.05, 1.95))
+        assert got == pytest.approx(float(legacy.x), abs=5e-8)
+
+    def test_non_convergence_falls_back_to_bounded_minimization(
+        self, monkeypatch
+    ):
+        from repro.adaptive import estimator as est_mod
+
+        monkeypatch.setattr(est_mod, "_NEWTON_MAX_ITERATIONS", 0)
+        catalog = 5_000
+        model = ZipfModel(0.9, catalog)
+        ranks = model.sample(10_000, np.random.default_rng(13))
+        fallback = estimate_exponent(ranks, catalog)
+        monkeypatch.undo()
+        newton = estimate_exponent(ranks, catalog)
+        assert fallback == pytest.approx(newton, abs=5e-8)
+
+    def test_huge_catalog_uses_bounded_minimization(self, monkeypatch):
+        from repro.adaptive import estimator as est_mod
+
+        monkeypatch.setattr(est_mod, "_MAX_EXACT_CATALOG", 100)
+        catalog = 5_000
+        model = ZipfModel(0.9, catalog)
+        ranks = model.sample(10_000, np.random.default_rng(13))
+        fallback = estimate_exponent(ranks, catalog)
+        monkeypatch.undo()
+        newton = estimate_exponent(ranks, catalog)
+        assert fallback == pytest.approx(newton, abs=5e-8)
+
+    def test_single_rank_stream_returns_upper_bound(self):
+        """All-rank-1 traffic (mean log-rank 0) is maximally skewed."""
+        estimator = ExponentEstimator(1_000)
+        estimator.observe(np.ones(100, dtype=int))
+        assert estimator.estimate() == pytest.approx(1.95)
+
+    def test_near_uniform_stream_returns_lower_bound(self):
+        """Traffic flatter than the lower bound clamps to it."""
+        catalog = 1_000
+        ranks = np.arange(1, catalog + 1)  # perfectly uniform sweep
+        assert estimate_exponent(ranks, catalog) == pytest.approx(0.05)
+
+    def test_warm_start_is_cached_and_reset_clears_it(self):
+        estimator = ExponentEstimator(2_000, memory=0.5)
+        estimator.observe(ZipfModel(0.8, 2_000).sample(5_000, np.random.default_rng(3)))
+        first = estimator.estimate()
+        assert estimator._last_estimate == pytest.approx(first)
+        again = estimator.estimate()
+        assert again == pytest.approx(first, abs=1e-12)
+        estimator.reset()
+        assert estimator._last_estimate is None

@@ -1,0 +1,251 @@
+"""Equivalence tests for the warm incremental re-solver vs the cold solve.
+
+The contract under test (:func:`repro.core.batch_solver.resolve_incremental`
+docstring): perturbed points agree with a cold :func:`solve_batch` of the
+same grid within 1e-9 per point in level, unchanged points carry the
+previous :class:`BatchStrategy` columns bitwise, and the warm path needs
+far fewer whole-grid sweeps than the cold bisection ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch_solver import (
+    BatchStrategy,
+    ScenarioGrid,
+    resolve_incremental,
+    solve_batch,
+)
+from repro.core.scenario import Scenario
+from repro.errors import ExistenceConditionError, ParameterError
+from repro.obs import session
+
+BASE = Scenario()  # Table IV base point
+
+LEVEL_TOL = 1e-9
+
+
+def reference_grid() -> ScenarioGrid:
+    """A 1000-point grid spanning α, both sides of s = 1, and γ."""
+    return ScenarioGrid.from_product(
+        BASE,
+        alpha=np.linspace(0.05, 1.0, 10),
+        exponent=np.linspace(0.3, 1.9, 10),
+        gamma=np.linspace(0.5, 15.0, 10),
+    )
+
+
+def perturb(
+    grid: ScenarioGrid,
+    column: str,
+    *,
+    seed: int,
+    fraction: float = 0.05,
+    scale: float = 1.03,
+) -> tuple[ScenarioGrid, np.ndarray]:
+    """Scale ``column`` on a random ``fraction`` of points; returns mask."""
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(grid.size, size=max(1, int(grid.size * fraction)), replace=False)
+    columns = {name: getattr(grid, name) for name in grid._COLUMNS}
+    values = np.array(columns[column])
+    values[idx] *= scale
+    if column == "exponent":
+        values[idx] = np.clip(values[idx], 0.3, 1.9)
+    elif column == "alpha":
+        values[idx] = np.clip(values[idx], 0.0, 1.0)
+    columns[column] = values
+    mask = np.zeros(grid.size, dtype=bool)
+    mask[idx] = True
+    return ScenarioGrid(**columns), mask
+
+
+class TestAgreesWithColdSolve:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("column", ["gamma", "exponent", "alpha"])
+    def test_perturbed_points_match_cold(self, column, seed):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, column, seed=seed)
+        warm = resolve_incremental(perturbed, prev, mask, check_conditions=False)
+        cold = solve_batch(perturbed, check_conditions=False)
+        np.testing.assert_allclose(
+            warm.level, cold.level, atol=LEVEL_TOL, rtol=0.0
+        )
+        np.testing.assert_allclose(
+            warm.objective_value, cold.objective_value, rtol=1e-9
+        )
+
+    def test_large_perturbation_exercises_fallback(self):
+        """A 10% γ shock moves many previously clipped boundary optima."""
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, "gamma", seed=3, scale=1.10)
+        warm = resolve_incremental(perturbed, prev, mask, check_conditions=False)
+        cold = solve_batch(perturbed, check_conditions=False)
+        methods = set(np.array(warm.method)[mask].tolist())
+        assert "first-order" in methods  # fallback path ran
+        np.testing.assert_allclose(
+            warm.level, cold.level, atol=LEVEL_TOL, rtol=0.0
+        )
+
+    def test_all_points_warm_when_mask_omitted(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, _ = perturb(grid, "gamma", seed=4)
+        warm = resolve_incremental(perturbed, prev, check_conditions=False)
+        cold = solve_batch(perturbed, check_conditions=False)
+        np.testing.assert_allclose(
+            warm.level, cold.level, atol=LEVEL_TOL, rtol=0.0
+        )
+        assert "carried" not in set(np.array(warm.method).tolist())
+
+    def test_warm_needs_far_fewer_sweeps_than_cold(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, "gamma", seed=5)
+        warm = resolve_incremental(perturbed, prev, mask, check_conditions=False)
+        cold = solve_batch(perturbed, check_conditions=False)
+        assert warm.iterations <= cold.iterations // 2
+
+
+class TestCarriedPoints:
+    def test_unchanged_points_are_bitwise_identical(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, "gamma", seed=6)
+        warm = resolve_incremental(perturbed, prev, mask, check_conditions=False)
+        unchanged = ~mask
+        assert np.array_equal(
+            np.array(warm.level)[unchanged], np.array(prev.level)[unchanged]
+        )
+        assert np.array_equal(
+            np.array(warm.storage)[unchanged], np.array(prev.storage)[unchanged]
+        )
+        assert np.array_equal(
+            np.array(warm.objective_value)[unchanged],
+            np.array(prev.objective_value)[unchanged],
+        )
+        assert np.array_equal(
+            np.array(warm.method)[unchanged], np.array(prev.method)[unchanged]
+        )
+
+    def test_existence_verdicts_carry_from_previous_strategy(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, "gamma", seed=7)
+        warm = resolve_incremental(perturbed, prev, mask, check_conditions=False)
+        unchanged = ~mask
+        assert np.array_equal(
+            np.array(warm.existence_ok)[unchanged],
+            np.array(prev.existence_ok)[unchanged],
+        )
+
+    def test_raw_level_column_seeds_the_warm_solve(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, "gamma", seed=8)
+        warm = resolve_incremental(
+            perturbed, np.array(prev.level), mask, check_conditions=False
+        )
+        cold = solve_batch(perturbed, check_conditions=False)
+        np.testing.assert_allclose(
+            warm.level, cold.level, atol=LEVEL_TOL, rtol=0.0
+        )
+        carried = np.array(warm.method)[~mask]
+        assert set(carried.tolist()) == {"carried"}
+
+
+class TestValidation:
+    def test_previous_strategy_length_mismatch_raises(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        small = grid.subset(np.arange(10))
+        with pytest.raises(ParameterError, match="previous strategy"):
+            resolve_incremental(small, prev, check_conditions=False)
+
+    def test_non_boolean_mask_raises(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        with pytest.raises(ParameterError, match="boolean column"):
+            resolve_incremental(
+                grid, prev, np.zeros(grid.size), check_conditions=False
+            )
+
+    def test_wrong_length_mask_raises(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        with pytest.raises(ParameterError, match="boolean column"):
+            resolve_incremental(
+                grid, prev, np.zeros(5, dtype=bool), check_conditions=False
+            )
+
+    def test_out_of_range_levels_raise(self):
+        grid = reference_grid()
+        with pytest.raises(ParameterError, match=r"\[0, 1\]"):
+            resolve_incremental(
+                grid, np.full(grid.size, 1.5), check_conditions=False
+            )
+
+    def test_max_newton_below_one_raises(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        with pytest.raises(ParameterError, match="max_newton"):
+            resolve_incremental(grid, prev, max_newton=0, check_conditions=False)
+
+    def test_existence_violation_raises_when_checked(self):
+        grid = ScenarioGrid.from_product(
+            BASE.replace(catalog_size=100_000),
+            capacity=np.array([10.0, 30_000.0]),  # n·c > N on the second
+        )
+        prev_levels = np.zeros(grid.size)
+        with pytest.raises(ExistenceConditionError):
+            resolve_incremental(grid, prev_levels)
+        warm = resolve_incremental(grid, prev_levels, check_conditions=False)
+        assert bool(warm.existence_ok[0]) and not bool(warm.existence_ok[1])
+
+
+class TestSubset:
+    def test_subset_round_trips_points(self):
+        grid = reference_grid()
+        idx = np.array([3, 17, 512])
+        sub = grid.subset(idx)
+        for j, i in enumerate(idx):
+            assert sub.scenario_at(j) == grid.scenario_at(int(i))
+
+    def test_boolean_mask_selects_points(self):
+        grid = reference_grid()
+        mask = np.zeros(grid.size, dtype=bool)
+        mask[[1, 5]] = True
+        assert grid.subset(mask).size == 2
+
+    def test_empty_selection_raises(self):
+        grid = reference_grid()
+        with pytest.raises(ParameterError, match="at least one"):
+            grid.subset(np.zeros(grid.size, dtype=bool))
+
+    def test_out_of_range_indices_raise(self):
+        grid = reference_grid()
+        with pytest.raises(ParameterError, match="out of range"):
+            grid.subset(np.array([grid.size]))
+
+    def test_wrong_length_boolean_mask_raises(self):
+        grid = reference_grid()
+        with pytest.raises(ParameterError, match="boolean subset mask"):
+            grid.subset(np.zeros(3, dtype=bool))
+
+
+class TestObservability:
+    def test_resolve_reports_span_and_counters(self):
+        grid = reference_grid()
+        prev = solve_batch(grid, check_conditions=False)
+        perturbed, mask = perturb(grid, "gamma", seed=9)
+        with session() as obs:
+            resolve_incremental(perturbed, prev, mask, check_conditions=False)
+            metrics = obs.snapshot()
+        assert metrics["counters"]["solver.resolve.grids"] == 1
+        assert metrics["counters"]["solver.resolve.points"] == grid.size
+        assert metrics["counters"]["solver.resolve.changed"] == int(mask.sum())
+        assert "solver.resolve.iterations" in metrics["gauges"]
+        assert "solver.resolve" in metrics["spans"]

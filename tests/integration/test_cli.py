@@ -239,6 +239,68 @@ class TestCcnCommand:
         assert code == 2
 
 
+class TestServeCommand:
+    def write_stream(self, tmp_path, lines):
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_serves_a_measurement_file(self, tmp_path):
+        source = self.write_stream(
+            tmp_path,
+            ["", "1 1 2 3 1 5 2 1 8 1", "1 2 1 1 4 1 13 2 1 1"],
+        )
+        code, text = run_cli(
+            "serve", source, "-N", "100", "-c", "10", "-n", "5"
+        )
+        assert code == 0
+        assert "idle" in text
+        assert "cold" in text
+        assert "3 ticks: 1 cold" in text
+        assert "provisioned level l*" in text
+
+    def test_dead_band_skips_are_reported(self, tmp_path):
+        line = "1 1 2 3 1 5 2 1 8 1"
+        source = self.write_stream(tmp_path, [line, line, line])
+        code, text = run_cli(
+            "serve", source, "-N", "100", "-c", "10", "-n", "5",
+            "--dead-band", "0.5",
+        )
+        assert code == 0
+        assert "skipped" in text
+        assert "2 skipped" in text
+
+    def test_limit_stops_early(self, tmp_path):
+        source = self.write_stream(tmp_path, ["1 2 3"] * 5)
+        code, text = run_cli(
+            "serve", source, "-N", "100", "-c", "10", "-n", "5",
+            "--limit", "2",
+        )
+        assert code == 0
+        assert "2 ticks" in text
+
+    def test_missing_source_fails_cleanly(self, tmp_path):
+        code, _ = run_cli("serve", str(tmp_path / "nope.txt"))
+        assert code == 2
+
+    def test_bad_measurement_line_fails_cleanly(self, tmp_path):
+        source = self.write_stream(tmp_path, ["1 2 three"])
+        code, _ = run_cli("serve", source, "-N", "100", "-c", "10", "-n", "5")
+        assert code == 2
+
+    def test_obs_events_file(self, tmp_path):
+        source = self.write_stream(tmp_path, ["1 1 2 3 1", "2 1 1 4 1"])
+        events = tmp_path / "events.jsonl"
+        code, _ = run_cli(
+            "serve", source, "-N", "100", "-c", "10", "-n", "5",
+            "--obs", str(events),
+        )
+        assert code == 0
+        text = events.read_text()
+        assert "service.tick" in text
+        assert "service.solve_latency_s" in text
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

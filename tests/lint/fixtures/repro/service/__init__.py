@@ -1,0 +1,1 @@
+"""Fixture service unit for layering/rng rule tests."""

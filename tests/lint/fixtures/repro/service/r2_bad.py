@@ -1,0 +1,5 @@
+"""R2 true-positive fixture: service reaching into forbidden layers."""
+
+from ..simulation.simulator import SteadyStateSimulator  # noqa: F401
+from ..catalog.workload import IRMWorkload  # noqa: F401
+import repro.analysis  # noqa: F401

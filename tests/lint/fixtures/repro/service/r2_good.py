@@ -1,0 +1,8 @@
+"""R2 false-positive fixture: the service unit's sanctioned imports."""
+
+from ..errors import ParameterError  # noqa: F401
+from ..obs import get_session  # noqa: F401
+from ..core.scenario import Scenario  # noqa: F401
+from ..adaptive.tracker import WarmStrategyTracker  # noqa: F401
+from .r7_good import replayed_ranks  # noqa: F401  (intra-unit)
+import numpy as np  # noqa: F401  (third-party is never layered)

@@ -1,0 +1,23 @@
+"""R7 true positives in the service unit: unreplayable randomness."""
+
+import random
+
+import numpy as np
+
+
+def synthetic_batch(n: int):
+    rng = np.random.default_rng()  # finding 1: entropy-seeded
+    return rng.integers(1, 100, size=n)
+
+
+def jittered_tick(n: int):
+    return np.random.random(n)  # finding 2: global singleton
+
+
+def shuffled_batches(batches: list) -> list:
+    random.shuffle(batches)  # finding 3: hidden global Random instance
+    return batches
+
+
+def unseeded_bitgen_stream():
+    return np.random.Generator(np.random.PCG64())  # finding 4

@@ -1,0 +1,13 @@
+"""R7 false positives in the service unit: seed-derived generators only."""
+
+import numpy as np
+
+
+def replayed_ranks(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 100, size=n)
+
+
+def per_stream_lineage(seed: int, streams: int):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(streams)]

@@ -43,6 +43,8 @@ CASES = [
     ("R7", "topology/r7_bad.py", "topology/r7_good.py", 4),
     ("R7", "approx/r7_bad.py", "approx/r7_good.py", 4),
     ("R7", "ccn/r7_bad.py", "ccn/r7_good.py", 4),
+    ("R2", "service/r2_bad.py", "service/r2_good.py", 3),
+    ("R7", "service/r7_bad.py", "service/r7_good.py", 4),
     ("R8", "simulation/r8_bad.py", "simulation/r8_good.py", 4),
     ("R8", "ccn/r8_bad.py", "ccn/r8_good.py", 4),
     ("R9", "simulation/r9_bad.py", "simulation/r9_good.py", 4),

@@ -1,0 +1,68 @@
+"""Tests for repro.service.ingest — the measurement wire format."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.service import MeasurementBatch, parse_line, read_stream
+
+
+class TestMeasurementBatch:
+    def test_default_is_empty(self):
+        batch = MeasurementBatch()
+        assert batch.empty
+        assert len(batch) == 0
+
+    def test_holds_integer_ranks(self):
+        batch = MeasurementBatch(ranks=np.array([3, 1, 2]))
+        assert not batch.empty
+        assert len(batch) == 3
+        assert batch.ranks.dtype == np.int64
+
+    def test_rejects_non_positive_ranks(self):
+        with pytest.raises(ParameterError):
+            MeasurementBatch(ranks=np.array([1, 0, 2]))
+
+    def test_rejects_float_ranks(self):
+        with pytest.raises(ParameterError):
+            MeasurementBatch(ranks=np.array([1.5, 2.0]))
+
+    def test_rejects_matrix_ranks(self):
+        with pytest.raises(ParameterError):
+            MeasurementBatch(ranks=np.ones((2, 2), dtype=np.int64))
+
+
+class TestParseLine:
+    def test_parses_whitespace_separated_ranks(self):
+        batch = parse_line("5 1  12\t3")
+        np.testing.assert_array_equal(batch.ranks, [5, 1, 12, 3])
+
+    def test_blank_line_is_empty_batch(self):
+        assert parse_line("").empty
+        assert parse_line("   \n").empty
+
+    def test_comment_only_line_is_empty_batch(self):
+        assert parse_line("# a comment\n").empty
+
+    def test_trailing_comment_is_stripped(self):
+        batch = parse_line("4 2 # burst from cache tap\n")
+        np.testing.assert_array_equal(batch.ranks, [4, 2])
+
+    def test_non_integer_token_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_line("3 four 5")
+
+
+class TestReadStream:
+    def test_yields_one_batch_per_line(self):
+        stream = io.StringIO("1 2\n\n3\n")
+        batches = list(read_stream(stream))
+        assert [len(b) for b in batches] == [2, 0, 1]
+
+    def test_accepts_plain_string_iterables(self):
+        batches = list(read_stream(["7 7 7", "# idle"]))
+        assert [len(b) for b in batches] == [3, 0]

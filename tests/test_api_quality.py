@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.simulation",
     "repro.ccn",
     "repro.adaptive",
+    "repro.service",
     "repro.hetero",
     "repro.analysis",
     "repro.baselines",
